@@ -1,0 +1,77 @@
+//! Expected-improvement acquisition for minimisation.
+
+/// Expected improvement of a candidate with posterior `(mean, variance)`
+/// over the best (lowest) objective value observed so far.
+///
+/// `EI = (best − μ) Φ(z) + σ φ(z)` with `z = (best − μ) / σ`, the standard
+/// formulation for minimisation. A tiny exploration margin `xi` is
+/// subtracted from `best` to avoid premature convergence.
+pub fn expected_improvement(mean: f64, variance: f64, best: f64, xi: f64) -> f64 {
+    let sigma = variance.max(1e-12).sqrt();
+    let improvement = best - xi - mean;
+    let z = improvement / sigma;
+    (improvement * normal_cdf(z) + sigma * normal_pdf(z)).max(0.0)
+}
+
+/// Standard normal probability density function.
+pub fn normal_pdf(z: f64) -> f64 {
+    const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+    INV_SQRT_2PI * (-0.5 * z * z).exp()
+}
+
+/// Standard normal cumulative distribution function via the Abramowitz &
+/// Stegun error-function approximation (max absolute error ≈ 1.5e-7).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(6.0) > 0.999_999);
+        assert!(normal_cdf(-6.0) < 1e-6);
+    }
+
+    #[test]
+    fn normal_pdf_is_symmetric_and_peaks_at_zero() {
+        assert!((normal_pdf(0.0) - 0.398_942_280_4).abs() < 1e-9);
+        assert!((normal_pdf(1.3) - normal_pdf(-1.3)).abs() < 1e-12);
+        assert!(normal_pdf(0.0) > normal_pdf(0.5));
+    }
+
+    #[test]
+    fn ei_prefers_lower_means_and_higher_uncertainty() {
+        let best = 10.0;
+        let low_mean = expected_improvement(5.0, 1.0, best, 0.0);
+        let high_mean = expected_improvement(15.0, 1.0, best, 0.0);
+        assert!(low_mean > high_mean);
+
+        let certain = expected_improvement(10.0, 0.01, best, 0.0);
+        let uncertain = expected_improvement(10.0, 4.0, best, 0.0);
+        assert!(uncertain > certain);
+    }
+
+    #[test]
+    fn ei_is_nonnegative_and_zero_for_hopeless_candidates() {
+        let ei = expected_improvement(1_000.0, 1e-6, 10.0, 0.0);
+        assert!(ei >= 0.0);
+        assert!(ei < 1e-9);
+    }
+}

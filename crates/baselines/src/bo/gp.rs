@@ -1,0 +1,192 @@
+//! A small Gaussian-process regressor (Cholesky-based, no external linear
+//! algebra dependencies).
+
+use super::kernel::RbfKernel;
+
+/// Gaussian-process regression over normalised inputs in `[0, 1]^d`.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    kernel: RbfKernel,
+    x: Vec<Vec<f64>>,
+    /// Mean of the training targets (the GP models the residual around it).
+    y_mean: f64,
+    /// Cholesky factor `L` of the Gram matrix.
+    chol: Vec<Vec<f64>>,
+    /// `K⁻¹ (y - mean)` computed via two triangular solves.
+    alpha: Vec<f64>,
+}
+
+impl GaussianProcess {
+    /// Fits a GP to the observations `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` have different lengths, are empty, or contain
+    /// points of inconsistent dimensionality.
+    pub fn fit(kernel: RbfKernel, x: Vec<Vec<f64>>, y: &[f64]) -> Self {
+        assert_eq!(x.len(), y.len(), "x and y must have the same length");
+        assert!(!x.is_empty(), "cannot fit a GP to zero observations");
+        let dim = x[0].len();
+        assert!(x.iter().all(|p| p.len() == dim), "inconsistent dimensionality");
+
+        let y_mean = y.iter().sum::<f64>() / y.len() as f64;
+        let centred: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+        let gram = kernel.gram(&x);
+        let chol = cholesky(&gram);
+        let alpha = cholesky_solve(&chol, &centred);
+        GaussianProcess {
+            kernel,
+            x,
+            y_mean,
+            chol,
+            alpha,
+        }
+    }
+
+    /// Posterior mean and variance at `point`.
+    pub fn predict(&self, point: &[f64]) -> (f64, f64) {
+        let k_star: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, point)).collect();
+        let mean = self.y_mean
+            + k_star
+                .iter()
+                .zip(&self.alpha)
+                .map(|(k, a)| k * a)
+                .sum::<f64>();
+        // v = L⁻¹ k*; var = k(x*,x*) - vᵀv
+        let v = forward_substitute(&self.chol, &k_star);
+        let var = self.kernel.eval(point, point) - v.iter().map(|x| x * x).sum::<f64>();
+        (mean, var.max(1e-12))
+    }
+
+    /// Number of training observations.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Returns `true` when the GP holds no observations (never after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+/// Cholesky decomposition of a symmetric positive-definite matrix
+/// (lower-triangular `L` with `LLᵀ = A`). A small jitter is added if a
+/// diagonal element degenerates, which keeps the decomposition usable for
+/// nearly-singular Gram matrices of close-by samples.
+fn cholesky(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = a.len();
+    let mut l = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i][j];
+            for k in 0..j {
+                sum -= l[i][k] * l[j][k];
+            }
+            if i == j {
+                l[i][j] = sum.max(1e-10).sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    l
+}
+
+/// Solves `L y = b` for lower-triangular `L`.
+fn forward_substitute(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for j in 0..i {
+            sum -= l[i][j] * y[j];
+        }
+        y[i] = sum / l[i][i];
+    }
+    y
+}
+
+/// Solves `Lᵀ x = y` for lower-triangular `L`.
+fn backward_substitute(l: &[Vec<f64>], y: &[f64]) -> Vec<f64> {
+    let n = y.len();
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for j in (i + 1)..n {
+            sum -= l[j][i] * x[j];
+        }
+        x[i] = sum / l[i][i];
+    }
+    x
+}
+
+/// Solves `L Lᵀ x = b`.
+fn cholesky_solve(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    backward_substitute(l, &forward_substitute(l, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_of_identity_is_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let l = cholesky(&a);
+        assert!((l[0][0] - 1.0).abs() < 1e-12);
+        assert!((l[1][1] - 1.0).abs() < 1e-12);
+        assert!(l[0][1].abs() < 1e-12 && l[1][0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_solve_recovers_known_solution() {
+        // A = [[4, 2], [2, 3]], x = [1, 2] => b = [8, 8]
+        let a = vec![vec![4.0, 2.0], vec![2.0, 3.0]];
+        let l = cholesky(&a);
+        let x = cholesky_solve(&l, &[8.0, 8.0]);
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gp_interpolates_training_points() {
+        let kernel = RbfKernel::new(1.0, 0.3, 1e-8);
+        let x = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let y = [1.0, 3.0, 2.0];
+        let gp = GaussianProcess::fit(kernel, x.clone(), &y);
+        assert_eq!(gp.len(), 3);
+        assert!(!gp.is_empty());
+        for (xi, yi) in x.iter().zip(y.iter()) {
+            let (mean, var) = gp.predict(xi);
+            assert!((mean - yi).abs() < 1e-3, "mean {mean} != target {yi}");
+            assert!(var < 1e-3, "variance at a training point should be tiny");
+        }
+    }
+
+    #[test]
+    fn gp_uncertainty_grows_away_from_data() {
+        let kernel = RbfKernel::new(1.0, 0.2, 1e-8);
+        let x = vec![vec![0.0], vec![0.1]];
+        let y = [0.0, 0.1];
+        let gp = GaussianProcess::fit(kernel, x, &y);
+        let (_, var_near) = gp.predict(&[0.05]);
+        let (_, var_far) = gp.predict(&[0.9]);
+        assert!(var_far > var_near);
+    }
+
+    #[test]
+    fn gp_prediction_reverts_to_mean_far_from_data() {
+        let kernel = RbfKernel::new(1.0, 0.1, 1e-8);
+        let x = vec![vec![0.0], vec![0.05]];
+        let y = [10.0, 12.0];
+        let gp = GaussianProcess::fit(kernel, x, &y);
+        let (mean_far, _) = gp.predict(&[1.0]);
+        assert!((mean_far - 11.0).abs() < 0.5, "far prediction ~ prior mean");
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn fit_rejects_mismatched_lengths() {
+        let _ = GaussianProcess::fit(RbfKernel::default(), vec![vec![0.0]], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Squared-exponential (RBF) covariance kernel.
+
+/// An isotropic squared-exponential kernel
+/// `k(a, b) = σ² · exp(-‖a − b‖² / (2ℓ²))` with additive observation noise
+/// on the diagonal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RbfKernel {
+    /// Signal variance σ².
+    pub variance: f64,
+    /// Length scale ℓ (inputs are normalised to `[0, 1]`, so values around
+    /// 0.2–0.5 are reasonable).
+    pub length_scale: f64,
+    /// Observation noise added to the diagonal of the Gram matrix.
+    pub noise: f64,
+}
+
+impl RbfKernel {
+    /// Creates a kernel.
+    pub fn new(variance: f64, length_scale: f64, noise: f64) -> Self {
+        RbfKernel {
+            variance,
+            length_scale,
+            noise,
+        }
+    }
+
+    /// Covariance between two (equal-length) points.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let sq_dist: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        self.variance * (-sq_dist / (2.0 * self.length_scale * self.length_scale)).exp()
+    }
+
+    /// The full Gram matrix of a point set, with noise on the diagonal.
+    pub fn gram(&self, points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let n = points.len();
+        let mut k = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in i..n {
+                let v = self.eval(&points[i], &points[j]);
+                k[i][j] = v;
+                k[j][i] = v;
+            }
+            k[i][i] += self.noise;
+        }
+        k
+    }
+}
+
+impl Default for RbfKernel {
+    fn default() -> Self {
+        RbfKernel::new(1.0, 0.3, 1e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_is_maximal_at_zero_distance() {
+        let k = RbfKernel::default();
+        let a = vec![0.3, 0.7];
+        assert!((k.eval(&a, &a) - k.variance).abs() < 1e-12);
+        let b = vec![0.9, 0.1];
+        assert!(k.eval(&a, &b) < k.variance);
+        assert!(k.eval(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn kernel_is_symmetric_and_decays_with_distance() {
+        let k = RbfKernel::new(2.0, 0.5, 0.0);
+        let a = vec![0.0, 0.0];
+        let near = vec![0.1, 0.0];
+        let far = vec![0.9, 0.9];
+        assert_eq!(k.eval(&a, &near), k.eval(&near, &a));
+        assert!(k.eval(&a, &near) > k.eval(&a, &far));
+    }
+
+    #[test]
+    fn gram_matrix_has_noise_on_diagonal() {
+        let k = RbfKernel::new(1.0, 0.3, 0.01);
+        let pts = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let g = k.gram(&pts);
+        assert_eq!(g.len(), 3);
+        for (i, row) in g.iter().enumerate() {
+            assert!((row[i] - (1.0 + 0.01)).abs() < 1e-12);
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v - g[j][i]).abs() < 1e-12, "gram must be symmetric");
+            }
+        }
+    }
+}

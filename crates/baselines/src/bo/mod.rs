@@ -1,0 +1,363 @@
+//! Workflow-level Bayesian optimization over decoupled resources (the
+//! baseline of Bilal et al., extended to workflows as in the paper's §II-B
+//! and §IV-A).
+//!
+//! The joint configuration of an `n`-function workflow is encoded as a
+//! `2n`-dimensional point in `[0, 1]^{2n}` (per function: normalised vCPU
+//! and normalised memory, both snapped onto the paper's discretisation). A
+//! Gaussian-process surrogate with an RBF kernel models the penalised cost
+//! objective; candidates are scored with expected improvement. The method
+//! works, but — as the paper observes (Fig. 3) — the search space grows so
+//! large after decoupling that it converges slowly and unstably for
+//! workflows.
+
+pub mod acquisition;
+pub mod gp;
+pub mod kernel;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use aarc_core::search::{validate_slo, ConfigurationSearch, SearchOutcome, SearchTrace};
+use aarc_core::AarcError;
+use aarc_simulator::{ConfigMap, ResourceConfig, WorkflowEnvironment};
+
+use self::acquisition::expected_improvement;
+use self::gp::GaussianProcess;
+use self::kernel::RbfKernel;
+
+/// Parameters of the Bayesian-optimization baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoParams {
+    /// Total number of samples (workflow executions), including the initial
+    /// random design. The paper runs 100 rounds for the Chatbot motivation
+    /// experiment and ~70 in the evaluation figures.
+    pub iterations: usize,
+    /// Number of initial quasi-random samples before the surrogate is used.
+    pub initial_samples: usize,
+    /// Number of random candidates scored by expected improvement per
+    /// iteration.
+    pub candidates: usize,
+    /// RBF kernel length scale over the normalised inputs.
+    pub length_scale: f64,
+    /// Exploration margin of the expected-improvement acquisition.
+    pub xi: f64,
+    /// RNG seed (the search is deterministic for a fixed seed).
+    pub seed: u64,
+}
+
+impl Default for BoParams {
+    fn default() -> Self {
+        BoParams {
+            iterations: 70,
+            initial_samples: 8,
+            candidates: 256,
+            length_scale: 0.25,
+            xi: 0.01,
+            seed: 2_025,
+        }
+    }
+}
+
+impl BoParams {
+    /// The 100-round configuration used by the paper's §II-B motivation
+    /// experiment (Fig. 3).
+    pub fn motivation() -> Self {
+        BoParams {
+            iterations: 100,
+            ..BoParams::default()
+        }
+    }
+}
+
+/// The Bayesian-optimization baseline.
+#[derive(Debug, Clone)]
+pub struct BayesianOptimization {
+    params: BoParams,
+}
+
+impl BayesianOptimization {
+    /// Creates the baseline with the given parameters.
+    pub fn new(params: BoParams) -> Self {
+        BayesianOptimization { params }
+    }
+
+    /// The baseline's parameters.
+    pub fn params(&self) -> &BoParams {
+        &self.params
+    }
+
+    /// Decodes a normalised point into a per-function configuration map.
+    fn decode(&self, env: &WorkflowEnvironment, point: &[f64]) -> ConfigMap {
+        let space = env.space();
+        let n = env.workflow().len();
+        let mut configs = Vec::with_capacity(n);
+        for f in 0..n {
+            let cpu_norm = point[2 * f].clamp(0.0, 1.0);
+            let mem_norm = point[2 * f + 1].clamp(0.0, 1.0);
+            let vcpu = space.snap_vcpu(space.min_vcpu + cpu_norm * (space.max_vcpu - space.min_vcpu));
+            let mem_range = f64::from(space.max_memory_mb - space.min_memory_mb);
+            let mem = space
+                .snap_memory(space.min_memory_mb + (mem_norm * mem_range).round() as u32);
+            configs.push(ResourceConfig::new(vcpu, mem));
+        }
+        ConfigMap::from_vec(configs)
+    }
+
+    /// Penalised objective: billed cost, inflated proportionally to the SLO
+    /// excess and to OOM failures. The penalty is *relative to the
+    /// candidate's own cost* (as in the original single-function BO
+    /// formulation), which is what makes workflow-level BO keep probing the
+    /// cheap-but-slow boundary region — the instability the paper observes
+    /// in §II-B.
+    fn objective(cost: f64, makespan_ms: f64, oom: bool, slo_ms: f64, base_cost: f64) -> f64 {
+        let mut obj = cost;
+        if makespan_ms > slo_ms {
+            obj *= 1.0 + 2.0 * (makespan_ms / slo_ms - 1.0);
+        }
+        if oom {
+            obj += base_cost;
+        }
+        obj
+    }
+}
+
+impl ConfigurationSearch for BayesianOptimization {
+    fn name(&self) -> &str {
+        "BO"
+    }
+
+    fn search(&self, env: &WorkflowEnvironment, slo_ms: f64) -> Result<SearchOutcome, AarcError> {
+        validate_slo(slo_ms)?;
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut trace = SearchTrace::new();
+        let dim = env.workflow().len() * 2;
+
+        // Reference execution with the over-provisioned base configuration.
+        let base_configs = env.base_configs();
+        let base_report = env.execute(&base_configs)?;
+        trace.record(&base_report, true, "base configuration");
+        if base_report.any_oom() {
+            return Err(AarcError::BaseConfigurationOom);
+        }
+        if !base_report.meets_slo(slo_ms) {
+            return Err(AarcError::BaseConfigurationViolatesSlo {
+                makespan_ms: base_report.makespan_ms(),
+                slo_ms,
+            });
+        }
+        let base_cost = base_report.total_cost();
+
+        let mut xs: Vec<Vec<f64>> = vec![vec![1.0; dim]];
+        let mut ys: Vec<f64> = vec![Self::objective(
+            base_cost,
+            base_report.makespan_ms(),
+            false,
+            slo_ms,
+            base_cost,
+        )];
+        let mut best_feasible_cost = base_cost;
+        let mut best_configs = base_configs;
+
+        let kernel = RbfKernel::new(1.0, self.params.length_scale, 1e-6);
+        let total_budget = self.params.iterations.max(2);
+
+        while trace.sample_count() < total_budget {
+            let point: Vec<f64> = if trace.sample_count() < self.params.initial_samples {
+                // Initial space-filling design: uniform random points.
+                (0..dim).map(|_| rng.gen::<f64>()).collect()
+            } else {
+                // Surrogate-guided: maximise expected improvement over a
+                // random candidate pool (normalising the objective keeps the
+                // GP well-conditioned).
+                let y_scale = ys.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
+                let ys_norm: Vec<f64> = ys.iter().map(|y| y / y_scale).collect();
+                let gp = GaussianProcess::fit(kernel, xs.clone(), &ys_norm);
+                let best_norm = ys_norm.iter().cloned().fold(f64::INFINITY, f64::min);
+                let mut best_candidate: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
+                let mut best_ei = f64::NEG_INFINITY;
+                for c in 0..self.params.candidates {
+                    let candidate: Vec<f64> = if c % 4 == 0 && !xs.is_empty() {
+                        // A quarter of the pool are local perturbations of the
+                        // incumbent, which helps late-stage refinement.
+                        let incumbent = &xs[ys_norm
+                            .iter()
+                            .enumerate()
+                            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite objectives"))
+                            .map(|(i, _)| i)
+                            .unwrap_or(0)];
+                        incumbent
+                            .iter()
+                            .map(|v| (v + rng.gen_range(-0.1..0.1)).clamp(0.0, 1.0))
+                            .collect()
+                    } else {
+                        (0..dim).map(|_| rng.gen::<f64>()).collect()
+                    };
+                    let (mean, var) = gp.predict(&candidate);
+                    let ei = expected_improvement(mean, var, best_norm, self.params.xi);
+                    if ei > best_ei {
+                        best_ei = ei;
+                        best_candidate = candidate;
+                    }
+                }
+                best_candidate
+            };
+
+            let configs = self.decode(env, &point);
+            let report = env.execute(&configs)?;
+            let feasible = report.meets_slo(slo_ms) && !report.any_oom();
+            trace.record(
+                &report,
+                feasible,
+                format!("bo sample {}", trace.sample_count() + 1),
+            );
+            let obj = Self::objective(
+                report.total_cost(),
+                report.makespan_ms(),
+                report.any_oom(),
+                slo_ms,
+                base_cost,
+            );
+            xs.push(point);
+            ys.push(obj);
+            if feasible && report.total_cost() < best_feasible_cost {
+                best_feasible_cost = report.total_cost();
+                best_configs = configs;
+            }
+        }
+
+        let final_report = env.execute(&best_configs)?;
+        Ok(SearchOutcome {
+            best_configs,
+            final_report,
+            trace,
+        })
+    }
+}
+
+impl Default for BayesianOptimization {
+    fn default() -> Self {
+        BayesianOptimization::new(BoParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarc_simulator::{FunctionProfile, ProfileSet};
+    use aarc_workflow::WorkflowBuilder;
+
+    fn small_env() -> WorkflowEnvironment {
+        let mut b = WorkflowBuilder::new("bo-test");
+        let a = b.add_function("work");
+        let c = b.add_function("save");
+        b.add_edge(a, c).unwrap();
+        let wf = b.build().unwrap();
+        let mut p = ProfileSet::new();
+        p.insert(
+            a,
+            FunctionProfile::builder("work")
+                .serial_ms(2_000.0)
+                .parallel_ms(20_000.0)
+                .max_parallelism(4.0)
+                .working_set_mb(512.0)
+                .mem_floor_mb(256.0)
+                .build(),
+        );
+        p.insert(
+            c,
+            FunctionProfile::builder("save")
+                .serial_ms(2_000.0)
+                .working_set_mb(256.0)
+                .build(),
+        );
+        WorkflowEnvironment::builder(wf, p).build().unwrap()
+    }
+
+    fn fast_params() -> BoParams {
+        BoParams {
+            iterations: 20,
+            initial_samples: 5,
+            candidates: 64,
+            ..BoParams::default()
+        }
+    }
+
+    #[test]
+    fn bo_finds_a_cheaper_feasible_configuration() {
+        let env = small_env();
+        let slo = 60_000.0;
+        let bo = BayesianOptimization::new(fast_params());
+        let outcome = bo.search(&env, slo).unwrap();
+        let base_cost = env.execute(&env.base_configs()).unwrap().total_cost();
+        assert!(outcome.final_report.meets_slo(slo));
+        assert!(outcome.best_cost() < base_cost);
+        assert_eq!(outcome.trace.sample_count(), 20);
+    }
+
+    #[test]
+    fn bo_is_deterministic_for_a_seed() {
+        let env = small_env();
+        let bo = BayesianOptimization::new(fast_params());
+        let a = bo.search(&env, 60_000.0).unwrap();
+        let b = bo.search(&env, 60_000.0).unwrap();
+        assert_eq!(a.best_cost(), b.best_cost());
+        assert_eq!(a.trace.cost_series(), b.trace.cost_series());
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let env = small_env();
+        let a = BayesianOptimization::new(fast_params()).search(&env, 60_000.0).unwrap();
+        let b = BayesianOptimization::new(BoParams {
+            seed: 999,
+            ..fast_params()
+        })
+        .search(&env, 60_000.0)
+        .unwrap();
+        assert_ne!(a.trace.cost_series(), b.trace.cost_series());
+    }
+
+    #[test]
+    fn bo_rejects_invalid_and_impossible_slos() {
+        let env = small_env();
+        let bo = BayesianOptimization::new(fast_params());
+        assert!(matches!(bo.search(&env, f64::NAN), Err(AarcError::InvalidSlo(_))));
+        assert!(matches!(
+            bo.search(&env, 1.0),
+            Err(AarcError::BaseConfigurationViolatesSlo { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_snaps_onto_the_grid_and_respects_bounds() {
+        let env = small_env();
+        let bo = BayesianOptimization::default();
+        let low = bo.decode(&env, &[0.0, 0.0, 0.0, 0.0]);
+        let high = bo.decode(&env, &[1.0, 1.0, 1.0, 1.0]);
+        for (_, c) in low.iter() {
+            assert_eq!(c, env.space().min_config());
+        }
+        for (_, c) in high.iter() {
+            assert_eq!(c, env.space().max_config());
+        }
+        // Out-of-range coordinates are clamped rather than panicking.
+        let clamped = bo.decode(&env, &[-3.0, 7.0, 0.5, 0.5]);
+        assert!(env.space().contains(clamped.get(aarc_workflow::NodeId::new(0))));
+    }
+
+    #[test]
+    fn objective_penalises_violations_and_oom() {
+        let feasible = BayesianOptimization::objective(100.0, 50.0, false, 100.0, 1_000.0);
+        let slow = BayesianOptimization::objective(100.0, 150.0, false, 100.0, 1_000.0);
+        let oom = BayesianOptimization::objective(100.0, 50.0, true, 100.0, 1_000.0);
+        assert_eq!(feasible, 100.0);
+        assert!(slow > feasible, "slo excess must inflate the objective");
+        assert!(oom > feasible + 999.0, "oom must add the base-cost penalty");
+    }
+
+    #[test]
+    fn bo_name() {
+        assert_eq!(BayesianOptimization::default().name(), "BO");
+    }
+}

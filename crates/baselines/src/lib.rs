@@ -1,0 +1,58 @@
+//! Baseline configuration-search methods the paper compares AARC against.
+//!
+//! * [`bo::BayesianOptimization`] — the decoupled-resource Bayesian
+//!   optimization of Bilal et al. (EuroSys'23), extended to workflows as the
+//!   paper does: the joint per-function (vCPU, memory) vector is optimised
+//!   with a Gaussian-process surrogate and expected-improvement
+//!   acquisition over the discretised space (memory 128–10 240 MB in 64 MB
+//!   steps, vCPU 0.1–10).
+//! * [`maff::MaffGradientDescent`] — MAFF (Zubko et al.), a memory-centric
+//!   gradient-descent that keeps CPU coupled to memory (1 vCPU per
+//!   1 024 MB) and reverts-and-terminates on the first SLO violation.
+//! * [`random_search::RandomSearch`] — a uniform random-sampling control
+//!   used in ablation experiments.
+//!
+//! All methods implement the same
+//! [`ConfigurationSearch`](aarc_core::search::ConfigurationSearch) trait as
+//! AARC's scheduler, so the experiment harness can swap them freely.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bo;
+pub mod maff;
+pub mod random_search;
+
+pub use bo::{BayesianOptimization, BoParams};
+pub use maff::{MaffGradientDescent, MaffParams};
+pub use random_search::{RandomSearch, RandomSearchParams};
+
+/// Convenience: all baselines boxed behind the common trait, plus AARC,
+/// in the order the paper's figures use (AARC, BO, MAFF).
+pub fn paper_methods(
+    aarc_params: aarc_core::AarcParams,
+    bo_params: BoParams,
+    maff_params: MaffParams,
+) -> Vec<Box<dyn aarc_core::ConfigurationSearch>> {
+    vec![
+        Box::new(aarc_core::GraphCentricScheduler::new(aarc_params)),
+        Box::new(BayesianOptimization::new(bo_params)),
+        Box::new(MaffGradientDescent::new(maff_params)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_methods_are_three_in_figure_order() {
+        let methods = paper_methods(
+            aarc_core::AarcParams::default(),
+            BoParams::default(),
+            MaffParams::default(),
+        );
+        let names: Vec<&str> = methods.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["AARC", "BO", "MAFF"]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Uniform random search over the decoupled configuration space.
+//!
+//! Not part of the paper's comparison, but a useful control for the
+//! ablation benches: it shares BO's search space without any surrogate
+//! model, which isolates how much the Gaussian process actually contributes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use aarc_core::search::{validate_slo, ConfigurationSearch, SearchOutcome, SearchTrace};
+use aarc_core::AarcError;
+use aarc_simulator::{ConfigMap, ResourceConfig, WorkflowEnvironment};
+
+/// Parameters of the random-search control.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomSearchParams {
+    /// Number of random samples (workflow executions).
+    pub iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomSearchParams {
+    fn default() -> Self {
+        RandomSearchParams {
+            iterations: 70,
+            seed: 7,
+        }
+    }
+}
+
+/// The random-search control method.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    params: RandomSearchParams,
+}
+
+impl RandomSearch {
+    /// Creates the control with the given parameters.
+    pub fn new(params: RandomSearchParams) -> Self {
+        RandomSearch { params }
+    }
+}
+
+impl ConfigurationSearch for RandomSearch {
+    fn name(&self) -> &str {
+        "Random"
+    }
+
+    fn search(&self, env: &WorkflowEnvironment, slo_ms: f64) -> Result<SearchOutcome, AarcError> {
+        validate_slo(slo_ms)?;
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut trace = SearchTrace::new();
+        let space = *env.space();
+
+        let base_configs = env.base_configs();
+        let base_report = env.execute(&base_configs)?;
+        trace.record(&base_report, true, "base configuration");
+        if base_report.any_oom() {
+            return Err(AarcError::BaseConfigurationOom);
+        }
+        if !base_report.meets_slo(slo_ms) {
+            return Err(AarcError::BaseConfigurationViolatesSlo {
+                makespan_ms: base_report.makespan_ms(),
+                slo_ms,
+            });
+        }
+
+        let mut best_cost = base_report.total_cost();
+        let mut best_configs = base_configs;
+        while trace.sample_count() < self.params.iterations.max(2) {
+            let configs = ConfigMap::from_vec(
+                (0..env.workflow().len())
+                    .map(|_| {
+                        let vcpu = space.snap_vcpu(rng.gen_range(space.min_vcpu..=space.max_vcpu));
+                        let mem = space.snap_memory(
+                            rng.gen_range(space.min_memory_mb..=space.max_memory_mb),
+                        );
+                        ResourceConfig::new(vcpu, mem)
+                    })
+                    .collect(),
+            );
+            let report = env.execute(&configs)?;
+            let feasible = report.meets_slo(slo_ms) && !report.any_oom();
+            trace.record(&report, feasible, format!("random sample {}", trace.sample_count() + 1));
+            if feasible && report.total_cost() < best_cost {
+                best_cost = report.total_cost();
+                best_configs = configs;
+            }
+        }
+
+        let final_report = env.execute(&best_configs)?;
+        Ok(SearchOutcome {
+            best_configs,
+            final_report,
+            trace,
+        })
+    }
+}
+
+impl Default for RandomSearch {
+    fn default() -> Self {
+        RandomSearch::new(RandomSearchParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarc_simulator::{FunctionProfile, ProfileSet};
+    use aarc_workflow::WorkflowBuilder;
+
+    fn env() -> WorkflowEnvironment {
+        let mut b = WorkflowBuilder::new("rand-test");
+        let a = b.add_function("a");
+        let wf = b.build().unwrap();
+        let mut p = ProfileSet::new();
+        p.insert(
+            a,
+            FunctionProfile::builder("a")
+                .serial_ms(1_000.0)
+                .parallel_ms(5_000.0)
+                .max_parallelism(4.0)
+                .working_set_mb(512.0)
+                .mem_floor_mb(256.0)
+                .build(),
+        );
+        WorkflowEnvironment::builder(wf, p).build().unwrap()
+    }
+
+    #[test]
+    fn random_search_never_returns_an_slo_violation() {
+        let env = env();
+        let slo = 30_000.0;
+        let rs = RandomSearch::new(RandomSearchParams {
+            iterations: 15,
+            seed: 3,
+        });
+        let outcome = rs.search(&env, slo).unwrap();
+        assert!(outcome.final_report.meets_slo(slo));
+        assert_eq!(outcome.trace.sample_count(), 15);
+    }
+
+    #[test]
+    fn random_search_is_deterministic_per_seed() {
+        let env = env();
+        let rs = RandomSearch::default();
+        let a = rs.search(&env, 30_000.0).unwrap();
+        let b = rs.search(&env, 30_000.0).unwrap();
+        assert_eq!(a.best_cost(), b.best_cost());
+    }
+
+    #[test]
+    fn random_search_name() {
+        assert_eq!(RandomSearch::default().name(), "Random");
+    }
+}

@@ -1,0 +1,22 @@
+//! Ablation bench: AARC parameter variants (affinity guidance, back-off,
+//! step size, safety factor) on the Chatbot workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aarc_bench::ablations::{run_variant, variants};
+use aarc_workloads::chatbot;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    let workload = chatbot();
+    for (label, params) in variants() {
+        group.bench_with_input(BenchmarkId::new("variant", label), &params, |b, &p| {
+            b.iter(|| std::hint::black_box(run_variant(&workload, label, p).expect("variant runs")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 2 bench: sweeping the decoupled (vCPU, memory) grid for each paper
+//! workload and locating its cost optimum.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aarc_bench::fig2_decoupling::{sweep, sweep_grid};
+use aarc_workloads::paper_workloads;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_decoupling");
+    group.sample_size(10);
+    for workload in paper_workloads() {
+        group.bench_with_input(
+            BenchmarkId::new("paper_grid_sweep", workload.name()),
+            &workload,
+            |b, wl| {
+                b.iter(|| {
+                    let heatmap = sweep(wl);
+                    std::hint::black_box(heatmap.cheapest_within_slo(wl.slo_ms()))
+                });
+            },
+        );
+    }
+    // A single-cell sweep isolates the cost of one simulated execution.
+    let chatbot = &paper_workloads()[0];
+    group.bench_function("single_execution_chatbot", |b| {
+        b.iter(|| std::hint::black_box(sweep_grid(chatbot, &[1.0], &[512])));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig. 5 bench: one full configuration search per (workload, method) pair —
+//! the quantity whose total sampling runtime and cost the figure reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aarc_bench::fig5_search_efficiency::measure;
+use aarc_bench::methods::MethodName;
+use aarc_workloads::{chatbot, ml_pipeline};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_search_efficiency");
+    group.sample_size(10);
+    // The chatbot and ML Pipeline workloads keep the bench runtime sane;
+    // the experiments binary covers Video Analysis as well.
+    for workload in [chatbot(), ml_pipeline()] {
+        for method in MethodName::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), workload.name()),
+                &(workload.clone(), method),
+                |b, (wl, m)| {
+                    b.iter(|| std::hint::black_box(measure(wl, *m).expect("search succeeds")));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

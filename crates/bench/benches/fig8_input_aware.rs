@@ -1,0 +1,50 @@
+//! Fig. 8 bench: building the input-aware engine for the Video Analysis
+//! workflow and serving a light/middle/heavy request mix with it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use aarc_core::{AarcParams, GraphCentricScheduler, InputAwareEngine};
+use aarc_workloads::inputs::request_sequence;
+use aarc_workloads::video_analysis;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_input_aware");
+    group.sample_size(10);
+
+    let workload = video_analysis();
+    let scheduler = GraphCentricScheduler::new(AarcParams::fast());
+
+    group.bench_function("build_engine_fast_params", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                InputAwareEngine::build(
+                    &scheduler,
+                    workload.env(),
+                    workload.slo_ms(),
+                    workload.input_classes(),
+                )
+                .expect("engine builds"),
+            )
+        });
+    });
+
+    let engine = InputAwareEngine::build(
+        &GraphCentricScheduler::new(AarcParams::paper()),
+        workload.env(),
+        workload.slo_ms(),
+        workload.input_classes(),
+    )
+    .expect("engine builds");
+    let requests = request_sequence(9);
+    group.bench_function("serve_9_requests", |b| {
+        b.iter(|| {
+            for (_, input) in &requests {
+                std::hint::black_box(engine.serve(workload.env(), *input).expect("request served"));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

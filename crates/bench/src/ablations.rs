@@ -1,0 +1,134 @@
+//! Ablation studies of AARC's design choices (see DESIGN.md §5):
+//! affinity-guided queue seeding, exponential back-off aggressiveness and
+//! the initial step size.
+
+use aarc_core::{AarcError, AarcParams, ConfigurationSearch, GraphCentricScheduler};
+use aarc_workloads::Workload;
+
+/// Result of one ablation variant on one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationResult {
+    /// Variant label.
+    pub variant: String,
+    /// Number of samples the search used.
+    pub samples: usize,
+    /// Total sampling runtime in seconds.
+    pub total_runtime_s: f64,
+    /// Cost of the final configuration.
+    pub final_cost: f64,
+    /// Whether the final configuration meets the SLO.
+    pub meets_slo: bool,
+}
+
+/// Runs one parameter variant on a workload.
+///
+/// # Errors
+///
+/// Propagates search errors.
+pub fn run_variant(
+    workload: &Workload,
+    label: &str,
+    params: AarcParams,
+) -> Result<AblationResult, AarcError> {
+    let scheduler = GraphCentricScheduler::new(params);
+    let outcome = scheduler.search(workload.env(), workload.slo_ms())?;
+    Ok(AblationResult {
+        variant: label.to_owned(),
+        samples: outcome.trace.sample_count(),
+        total_runtime_s: outcome.trace.total_runtime_ms() / 1_000.0,
+        final_cost: outcome.final_report.total_cost(),
+        meets_slo: outcome.final_report.meets_slo(workload.slo_ms()),
+    })
+}
+
+/// The ablation grid the `ablations` bench and the experiments binary run.
+pub fn variants() -> Vec<(&'static str, AarcParams)> {
+    let paper = AarcParams::paper();
+    vec![
+        ("paper defaults", paper),
+        (
+            "no affinity guidance",
+            AarcParams {
+                affinity_guided: false,
+                ..paper
+            },
+        ),
+        (
+            "gentle backoff (0.8)",
+            AarcParams {
+                backoff_factor: 0.8,
+                ..paper
+            },
+        ),
+        (
+            "small initial steps (5%)",
+            AarcParams {
+                initial_cpu_step: 0.05,
+                initial_mem_step: 0.05,
+                ..paper
+            },
+        ),
+        (
+            "large initial steps (40%)",
+            AarcParams {
+                initial_cpu_step: 0.4,
+                initial_mem_step: 0.4,
+                ..paper
+            },
+        ),
+        (
+            "tight safety factor (0.9)",
+            AarcParams {
+                slo_safety_factor: 0.9,
+                ..paper
+            },
+        ),
+    ]
+}
+
+/// Runs the full ablation grid on one workload.
+///
+/// # Errors
+///
+/// Propagates search errors.
+pub fn run_all(workload: &Workload) -> Result<Vec<AblationResult>, AarcError> {
+    variants()
+        .into_iter()
+        .map(|(label, params)| run_variant(workload, label, params))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarc_workloads::chatbot;
+
+    #[test]
+    fn every_variant_is_slo_compliant() {
+        let wl = chatbot();
+        let results = run_all(&wl).unwrap();
+        assert_eq!(results.len(), variants().len());
+        for r in &results {
+            assert!(r.meets_slo, "variant `{}` violated the SLO", r.variant);
+            assert!(r.samples > 0);
+            assert!(r.final_cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn small_steps_need_at_least_as_many_samples_as_paper_defaults() {
+        let wl = chatbot();
+        let paper = run_variant(&wl, "paper", AarcParams::paper()).unwrap();
+        let small = run_variant(
+            &wl,
+            "small",
+            AarcParams {
+                initial_cpu_step: 0.05,
+                initial_mem_step: 0.05,
+                ..AarcParams::paper()
+            },
+        )
+        .unwrap();
+        assert!(small.samples + 5 >= paper.samples);
+    }
+}

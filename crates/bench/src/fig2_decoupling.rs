@@ -1,0 +1,184 @@
+//! Fig. 2 — runtime and cost heat-maps over decoupled (vCPU, memory) grids
+//! for the three workflows, plus the §II-A motivation numbers.
+
+use aarc_simulator::{ConfigMap, ResourceConfig};
+use aarc_workloads::Workload;
+
+/// One cell of a decoupling heat-map.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeatmapCell {
+    /// vCPU allocation applied uniformly to every function.
+    pub vcpu: f64,
+    /// Memory allocation in MB applied uniformly to every function.
+    pub memory_mb: u32,
+    /// End-to-end runtime in ms (`None` when the configuration OOMs).
+    pub runtime_ms: Option<f64>,
+    /// Total billed cost (`None` when the configuration OOMs).
+    pub cost: Option<f64>,
+}
+
+/// The full grid for one workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecouplingHeatmap {
+    /// Workflow name.
+    pub workload: String,
+    /// Grid cells in row-major (vCPU-major) order.
+    pub cells: Vec<HeatmapCell>,
+}
+
+impl DecouplingHeatmap {
+    /// The cheapest non-OOM cell.
+    pub fn cheapest(&self) -> Option<HeatmapCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.cost.is_some())
+            .min_by(|a, b| {
+                a.cost
+                    .partial_cmp(&b.cost)
+                    .expect("costs are finite")
+            })
+            .copied()
+    }
+
+    /// The cheapest non-OOM cell that also meets `slo_ms`.
+    pub fn cheapest_within_slo(&self, slo_ms: f64) -> Option<HeatmapCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.cost.is_some() && c.runtime_ms.is_some_and(|r| r <= slo_ms))
+            .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("costs are finite"))
+            .copied()
+    }
+}
+
+/// The (vCPU, memory) grid the paper sweeps for a workload (Fig. 2 axes).
+pub fn paper_grid(workload_name: &str) -> (Vec<f64>, Vec<u32>) {
+    match workload_name {
+        // Chatbot and ML Pipeline: 0.5–4 vCPU × 512–2048 MB.
+        "chatbot" | "ml-pipeline" => (
+            vec![0.5, 1.0, 2.0, 3.0, 4.0],
+            vec![512, 1_024, 1_536, 2_048],
+        ),
+        // Video Analysis: 4–8 vCPU × 5120–8192 MB.
+        "video-analysis" => (
+            vec![4.0, 5.0, 6.0, 7.0, 8.0],
+            vec![5_120, 6_144, 7_168, 8_192],
+        ),
+        _ => (vec![1.0, 2.0, 4.0, 8.0], vec![512, 1_024, 2_048, 4_096]),
+    }
+}
+
+/// Sweeps the decoupled grid for one workload.
+///
+/// # Panics
+///
+/// Panics if the platform rejects an execution (cannot happen for the
+/// built-in grids, which stay within the paper testbed's capacity).
+pub fn sweep(workload: &Workload) -> DecouplingHeatmap {
+    let (vcpus, memories) = paper_grid(workload.name());
+    sweep_grid(workload, &vcpus, &memories)
+}
+
+/// Sweeps an explicit grid for one workload.
+///
+/// # Panics
+///
+/// Panics if the platform rejects an execution (configuration outside the
+/// cluster capacity).
+pub fn sweep_grid(workload: &Workload, vcpus: &[f64], memories: &[u32]) -> DecouplingHeatmap {
+    let env = workload.env();
+    let mut cells = Vec::with_capacity(vcpus.len() * memories.len());
+    for &vcpu in vcpus {
+        for &memory_mb in memories {
+            let configs =
+                ConfigMap::uniform(env.workflow().len(), ResourceConfig::new(vcpu, memory_mb));
+            let report = env
+                .execute(&configs)
+                .expect("grid configurations fit the paper testbed");
+            let (runtime_ms, cost) = if report.any_oom() {
+                (None, None)
+            } else {
+                (Some(report.makespan_ms()), Some(report.total_cost()))
+            };
+            cells.push(HeatmapCell {
+                vcpu,
+                memory_mb,
+                runtime_ms,
+                cost,
+            });
+        }
+    }
+    DecouplingHeatmap {
+        workload: workload.name().to_owned(),
+        cells,
+    }
+}
+
+/// The §II-A motivation numbers: the memory saving of the decoupled cost
+/// optimum against the coupled configuration providing the same vCPU count
+/// (1 core per `mb_per_core` MB).
+pub fn decoupling_memory_saving(heatmap: &DecouplingHeatmap, mb_per_core: f64) -> Option<f64> {
+    let best = heatmap.cheapest()?;
+    let coupled_memory = best.vcpu * mb_per_core;
+    Some(1.0 - f64::from(best.memory_mb) / coupled_memory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarc_workloads::{chatbot, ml_pipeline, video_analysis};
+
+    #[test]
+    fn chatbot_grid_is_flat_in_memory() {
+        let hm = sweep(&chatbot());
+        assert_eq!(hm.cells.len(), 20);
+        // Fix vCPU = 1, runtimes across memory sizes barely differ.
+        let row: Vec<f64> = hm
+            .cells
+            .iter()
+            .filter(|c| (c.vcpu - 1.0).abs() < 1e-9)
+            .filter_map(|c| c.runtime_ms)
+            .collect();
+        assert!(row.len() >= 3);
+        let min = row.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!((max - min) / min < 0.02, "chatbot runtime should be flat in memory");
+    }
+
+    #[test]
+    fn chatbot_cost_optimum_is_low_cpu_low_memory() {
+        let hm = sweep(&chatbot());
+        let best = hm.cheapest_within_slo(120_000.0).unwrap();
+        assert!(best.vcpu <= 1.0, "chatbot optimum should need at most 1 vCPU");
+        assert_eq!(best.memory_mb, 512);
+    }
+
+    #[test]
+    fn ml_pipeline_cost_optimum_is_high_cpu_low_memory() {
+        let hm = sweep(&ml_pipeline());
+        let best = hm.cheapest_within_slo(120_000.0).unwrap();
+        assert!(best.vcpu >= 2.0, "ml pipeline needs several cores");
+        assert_eq!(best.memory_mb, 512, "ml pipeline needs little memory");
+        // The motivating 87.5 % memory saving vs a coupled 4-core allocation.
+        if (best.vcpu - 4.0).abs() < 1e-9 {
+            let saving = decoupling_memory_saving(&hm, 1_024.0).unwrap();
+            assert!(saving > 0.8);
+        }
+    }
+
+    #[test]
+    fn video_analysis_needs_large_memory() {
+        let hm = sweep(&video_analysis());
+        let best = hm.cheapest_within_slo(600_000.0).unwrap();
+        assert!(best.memory_mb >= 5_120);
+        assert!(best.vcpu >= 5.0);
+    }
+
+    #[test]
+    fn custom_grid_reports_oom_cells() {
+        let wl = video_analysis();
+        let hm = sweep_grid(&wl, &[4.0], &[1_024]);
+        assert_eq!(hm.cells.len(), 1);
+        assert!(hm.cells[0].cost.is_none(), "1 GB must OOM the video workload");
+        assert!(hm.cheapest().is_none());
+    }
+}

@@ -1,0 +1,73 @@
+//! The three search methods compared throughout the evaluation, constructed
+//! with the parameters used by the paper.
+
+use aarc_baselines::{BayesianOptimization, BoParams, MaffGradientDescent, MaffParams};
+use aarc_core::{AarcParams, ConfigurationSearch, GraphCentricScheduler};
+
+/// Identifier of a search method, in the order used by the figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodName {
+    /// The paper's contribution.
+    Aarc,
+    /// Bayesian optimization (Bilal et al., extended to workflows).
+    Bo,
+    /// MAFF coupled gradient descent.
+    Maff,
+}
+
+impl MethodName {
+    /// All methods in figure order.
+    pub const ALL: [MethodName; 3] = [MethodName::Aarc, MethodName::Bo, MethodName::Maff];
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            MethodName::Aarc => "AARC",
+            MethodName::Bo => "BO",
+            MethodName::Maff => "MAFF",
+        }
+    }
+}
+
+impl std::fmt::Display for MethodName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Builds one search method with its evaluation-default parameters.
+pub fn build_method(name: MethodName) -> Box<dyn ConfigurationSearch> {
+    match name {
+        MethodName::Aarc => Box::new(GraphCentricScheduler::new(AarcParams::paper())),
+        MethodName::Bo => Box::new(BayesianOptimization::new(BoParams::default())),
+        MethodName::Maff => Box::new(MaffGradientDescent::new(MaffParams::default())),
+    }
+}
+
+/// All three methods with their evaluation-default parameters, in figure
+/// order.
+pub fn default_methods() -> Vec<(MethodName, Box<dyn ConfigurationSearch>)> {
+    MethodName::ALL
+        .iter()
+        .map(|&m| (m, build_method(m)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_trait_names() {
+        for (name, method) in default_methods() {
+            assert_eq!(name.label(), method.name());
+        }
+    }
+
+    #[test]
+    fn three_methods_in_order() {
+        let names: Vec<MethodName> = default_methods().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec![MethodName::Aarc, MethodName::Bo, MethodName::Maff]);
+        assert_eq!(MethodName::Aarc.to_string(), "AARC");
+    }
+}

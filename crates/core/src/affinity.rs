@@ -1,0 +1,191 @@
+//! Resource-affinity analysis.
+//!
+//! The "affinity-aware" part of AARC: before shrinking anything, the
+//! framework probes each function's performance profile along both resource
+//! axes and classifies it as CPU-bound, memory-bound, I/O-bound or balanced.
+//! The classification seeds the priority queue of Algorithm 2 so that the
+//! *cheap-to-shrink* dimension is tried first (memory for CPU-bound
+//! functions, CPU for memory-bound functions), which reduces the number of
+//! wasted samples.
+
+use serde::{Deserialize, Serialize};
+
+use aarc_simulator::{ResourceConfig, WorkflowEnvironment};
+use aarc_workflow::{NodeId, ResourceAffinity};
+
+/// Relative sensitivities of one function to each resource dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AffinityReport {
+    /// The function.
+    pub node: NodeId,
+    /// Relative runtime increase when the vCPU allocation is halved from the
+    /// base configuration (0 = insensitive).
+    pub cpu_sensitivity: f64,
+    /// Relative runtime increase when the memory allocation is halved from
+    /// the base configuration (0 = insensitive).
+    pub mem_sensitivity: f64,
+    /// The resulting classification.
+    pub affinity: ResourceAffinity,
+}
+
+/// Sensitivity threshold above which a dimension is considered significant.
+const SENSITIVITY_THRESHOLD: f64 = 0.10;
+
+/// Probes the profile of `node` in `env` and classifies its resource
+/// affinity.
+///
+/// The probe evaluates the analytical profile directly (the equivalent of
+/// running the single function in isolation twice per axis), so it costs no
+/// workflow executions.
+pub fn classify_affinity(env: &WorkflowEnvironment, node: NodeId) -> Option<AffinityReport> {
+    let profile = env.profiles().get(node)?;
+    let base = env.base_config();
+    let space = env.space();
+    let base_runtime = profile.runtime_ms(base)?;
+
+    let half_cpu = ResourceConfig::new(
+        space.snap_vcpu(base.vcpu.get() / 2.0),
+        base.memory.get(),
+    );
+    let half_mem = ResourceConfig::new(
+        base.vcpu.get(),
+        space.snap_memory(base.memory.get() / 2),
+    );
+
+    // OOM on the halved-memory probe counts as maximal memory sensitivity.
+    let cpu_runtime = profile.runtime_ms(half_cpu).unwrap_or(f64::INFINITY);
+    let mem_runtime = profile.runtime_ms(half_mem).unwrap_or(f64::INFINITY);
+
+    let rel = |probe: f64| {
+        if probe.is_infinite() {
+            f64::INFINITY
+        } else {
+            ((probe - base_runtime) / base_runtime).max(0.0)
+        }
+    };
+    let cpu_sensitivity = rel(cpu_runtime);
+    let mem_sensitivity = rel(mem_runtime);
+
+    let affinity = match (
+        cpu_sensitivity > SENSITIVITY_THRESHOLD,
+        mem_sensitivity > SENSITIVITY_THRESHOLD,
+    ) {
+        (true, false) => ResourceAffinity::CpuBound,
+        (false, true) => ResourceAffinity::MemoryBound,
+        (true, true) => ResourceAffinity::Balanced,
+        (false, false) => ResourceAffinity::IoBound,
+    };
+
+    Some(AffinityReport {
+        node,
+        cpu_sensitivity,
+        mem_sensitivity,
+        affinity,
+    })
+}
+
+/// Classifies every function of the environment's workflow.
+pub fn classify_workflow(env: &WorkflowEnvironment) -> Vec<AffinityReport> {
+    env.workflow()
+        .node_ids()
+        .filter_map(|id| classify_affinity(env, id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarc_simulator::{FunctionProfile, ProfileSet};
+    use aarc_workflow::WorkflowBuilder;
+
+    fn env_with(profiles: Vec<(&str, FunctionProfile)>) -> (WorkflowEnvironment, Vec<NodeId>) {
+        let mut b = WorkflowBuilder::new("aff");
+        let ids: Vec<NodeId> = profiles.iter().map(|(n, _)| b.add_function(*n)).collect();
+        let wf = b.build().unwrap();
+        let mut set = ProfileSet::new();
+        for (id, (_, p)) in ids.iter().zip(profiles.into_iter()) {
+            set.insert(*id, p);
+        }
+        let env = WorkflowEnvironment::builder(wf, set).build().unwrap();
+        (env, ids)
+    }
+
+    #[test]
+    fn cpu_bound_function_is_classified_cpu_bound() {
+        let (env, ids) = env_with(vec![(
+            "cpu",
+            FunctionProfile::builder("cpu")
+                .parallel_ms(50_000.0)
+                .max_parallelism(10.0)
+                .working_set_mb(256.0)
+                .build(),
+        )]);
+        let report = classify_affinity(&env, ids[0]).unwrap();
+        assert_eq!(report.affinity, ResourceAffinity::CpuBound);
+        assert!(report.cpu_sensitivity > report.mem_sensitivity);
+    }
+
+    #[test]
+    fn memory_bound_function_is_classified_memory_bound() {
+        let (env, ids) = env_with(vec![(
+            "mem",
+            FunctionProfile::builder("mem")
+                .serial_ms(10_000.0)
+                .working_set_mb(8_192.0)
+                .mem_floor_mb(6_144.0)
+                .mem_penalty_factor(6.0)
+                .build(),
+        )]);
+        let report = classify_affinity(&env, ids[0]).unwrap();
+        assert_eq!(report.affinity, ResourceAffinity::MemoryBound);
+        assert!(report.mem_sensitivity > report.cpu_sensitivity);
+    }
+
+    #[test]
+    fn io_bound_function_is_insensitive_to_both() {
+        let (env, ids) = env_with(vec![(
+            "io",
+            FunctionProfile::builder("io")
+                .io_ms(5_000.0)
+                .working_set_mb(128.0)
+                .build(),
+        )]);
+        let report = classify_affinity(&env, ids[0]).unwrap();
+        assert_eq!(report.affinity, ResourceAffinity::IoBound);
+    }
+
+    #[test]
+    fn balanced_function_is_sensitive_to_both() {
+        let (env, ids) = env_with(vec![(
+            "both",
+            FunctionProfile::builder("both")
+                .parallel_ms(60_000.0)
+                .max_parallelism(10.0)
+                .working_set_mb(8_192.0)
+                .mem_floor_mb(4_096.0)
+                .mem_penalty_factor(6.0)
+                .build(),
+        )]);
+        let report = classify_affinity(&env, ids[0]).unwrap();
+        assert_eq!(report.affinity, ResourceAffinity::Balanced);
+    }
+
+    #[test]
+    fn classify_workflow_covers_all_functions() {
+        let (env, _) = env_with(vec![
+            ("a", FunctionProfile::builder("a").serial_ms(100.0).build()),
+            ("b", FunctionProfile::builder("b").io_ms(100.0).build()),
+        ]);
+        let reports = classify_workflow(&env);
+        assert_eq!(reports.len(), 2);
+    }
+
+    #[test]
+    fn unknown_node_returns_none() {
+        let (env, _) = env_with(vec![(
+            "a",
+            FunctionProfile::builder("a").serial_ms(100.0).build(),
+        )]);
+        assert!(classify_affinity(&env, NodeId::new(42)).is_none());
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type of the AARC core.
+
+use std::error::Error;
+use std::fmt;
+
+use aarc_simulator::SimulatorError;
+
+/// Errors produced by the AARC scheduler and configurator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AarcError {
+    /// The workflow cannot meet the SLO even with the over-provisioned base
+    /// configuration; no amount of shrinking will help.
+    BaseConfigurationViolatesSlo {
+        /// Makespan under the base configuration, in ms.
+        makespan_ms: f64,
+        /// The requested SLO, in ms.
+        slo_ms: f64,
+    },
+    /// The base configuration already fails with an out-of-memory error.
+    BaseConfigurationOom,
+    /// The SLO is not a positive, finite number.
+    InvalidSlo(f64),
+    /// An error bubbled up from the simulated platform.
+    Simulator(SimulatorError),
+    /// The input-aware engine was asked to dispatch before any
+    /// configuration was computed.
+    NoConfigurations,
+}
+
+impl fmt::Display for AarcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AarcError::BaseConfigurationViolatesSlo { makespan_ms, slo_ms } => write!(
+                f,
+                "base configuration runs for {makespan_ms:.1} ms which already violates the {slo_ms:.1} ms slo"
+            ),
+            AarcError::BaseConfigurationOom => {
+                write!(f, "base configuration fails with out-of-memory")
+            }
+            AarcError::InvalidSlo(v) => write!(f, "slo must be positive and finite, got {v}"),
+            AarcError::Simulator(e) => write!(f, "platform error: {e}"),
+            AarcError::NoConfigurations => {
+                write!(f, "input-aware engine holds no configurations yet")
+            }
+        }
+    }
+}
+
+impl Error for AarcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AarcError::Simulator(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimulatorError> for AarcError {
+    fn from(e: SimulatorError) -> Self {
+        AarcError::Simulator(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let cases = vec![
+            AarcError::BaseConfigurationViolatesSlo {
+                makespan_ms: 130_000.0,
+                slo_ms: 120_000.0,
+            },
+            AarcError::BaseConfigurationOom,
+            AarcError::InvalidSlo(-1.0),
+            AarcError::NoConfigurations,
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn simulator_errors_convert_and_keep_source() {
+        let e: AarcError = SimulatorError::MissingConfig {
+            node: aarc_workflow::NodeId::new(0),
+        }
+        .into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("platform error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AarcError>();
+    }
+}

@@ -1,0 +1,134 @@
+//! Tunable parameters of the AARC scheduler and configurator.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of Algorithms 1 and 2.
+///
+/// The defaults correspond to the constants implied by the paper: a per-path
+/// sampling budget (`MAX_TRAIL`) of 100, a per-operation revert budget
+/// (`FUNC_TRIAL`) of 4, an initial shrink step of 30 % of the base
+/// allocation with exponential back-off on revert, and affinity-guided
+/// seeding of the priority queue. With these settings the scheduler needs
+/// roughly 50–75 samples for the paper's six-function workflows, matching
+/// the sample counts reported in §IV-B.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AarcParams {
+    /// Maximum number of samples (workflow executions) spent configuring one
+    /// path — the paper's `MAX_TRAIL`.
+    pub max_trials_per_path: usize,
+    /// How many times a single operation may be reverted before it is
+    /// permanently dropped from the queue — the paper's `FUNC_TRIAL`.
+    pub func_trials: u32,
+    /// Initial shrink step for CPU operations, as a fraction of the base
+    /// vCPU allocation (the paper's running example in Fig. 4 shows
+    /// percentage steps that halve on revert).
+    pub initial_cpu_step: f64,
+    /// Initial shrink step for memory operations, as a fraction of the base
+    /// memory allocation.
+    pub initial_mem_step: f64,
+    /// Multiplier applied to the step on every revert (exponential
+    /// back-off, Algorithm 2 line 15). Must be in `(0, 1)`.
+    pub backoff_factor: f64,
+    /// Whether the priority queue is seeded by the per-function resource
+    /// affinity (memory operations first for CPU-bound functions and vice
+    /// versa). Disabling this reproduces the plain Algorithm 2 ordering and
+    /// is used by the `ablation_affinity` bench.
+    pub affinity_guided: bool,
+    /// Safety margin kept between the configured path runtime and its SLO
+    /// (e.g. `0.98` aims the path at 98 % of the budget). `1.0` uses the
+    /// full budget.
+    pub slo_safety_factor: f64,
+}
+
+impl AarcParams {
+    /// Parameters matching the paper's description.
+    pub fn paper() -> Self {
+        AarcParams {
+            max_trials_per_path: 100,
+            func_trials: 4,
+            initial_cpu_step: 0.3,
+            initial_mem_step: 0.3,
+            backoff_factor: 0.5,
+            affinity_guided: true,
+            slo_safety_factor: 1.0,
+        }
+    }
+
+    /// A smaller budget useful in unit tests.
+    pub fn fast() -> Self {
+        AarcParams {
+            max_trials_per_path: 15,
+            ..AarcParams::paper()
+        }
+    }
+
+    /// Validates the parameter combination, returning a human-readable
+    /// reason when invalid.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_trials_per_path == 0 {
+            return Err("max_trials_per_path must be at least 1".into());
+        }
+        if self.func_trials == 0 {
+            return Err("func_trials must be at least 1".into());
+        }
+        if !(0.0..1.0).contains(&self.initial_cpu_step) || self.initial_cpu_step <= 0.0 {
+            return Err("initial_cpu_step must be in (0, 1)".into());
+        }
+        if !(0.0..1.0).contains(&self.initial_mem_step) || self.initial_mem_step <= 0.0 {
+            return Err("initial_mem_step must be in (0, 1)".into());
+        }
+        if !(0.0..1.0).contains(&self.backoff_factor) || self.backoff_factor <= 0.0 {
+            return Err("backoff_factor must be in (0, 1)".into());
+        }
+        if !(0.0..=1.0).contains(&self.slo_safety_factor) || self.slo_safety_factor <= 0.0 {
+            return Err("slo_safety_factor must be in (0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for AarcParams {
+    fn default() -> Self {
+        AarcParams::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_paper_parameters_and_valid() {
+        let p = AarcParams::default();
+        assert_eq!(p, AarcParams::paper());
+        assert!(p.validate().is_ok());
+        assert!(AarcParams::fast().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut p = AarcParams::paper();
+        p.max_trials_per_path = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = AarcParams::paper();
+        p.func_trials = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = AarcParams::paper();
+        p.initial_cpu_step = 0.0;
+        assert!(p.validate().is_err());
+
+        let mut p = AarcParams::paper();
+        p.initial_mem_step = 1.5;
+        assert!(p.validate().is_err());
+
+        let mut p = AarcParams::paper();
+        p.backoff_factor = 1.0;
+        assert!(p.validate().is_err());
+
+        let mut p = AarcParams::paper();
+        p.slo_safety_factor = 0.0;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! The common interface shared by AARC and the baseline search methods, and
+//! the per-sample trace that drives the paper's search-efficiency figures
+//! (Figs. 5, 6 and 7).
+
+use serde::{Deserialize, Serialize};
+
+use aarc_simulator::{ConfigMap, ExecutionReport, WorkflowEnvironment};
+
+use crate::error::AarcError;
+
+/// One configuration sample taken during a search: the candidate was
+/// executed once and its runtime and cost observed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSample {
+    /// 1-based sample index.
+    pub index: usize,
+    /// End-to-end runtime of the sampled execution, in ms.
+    pub makespan_ms: f64,
+    /// Billed cost of the sampled execution.
+    pub cost: f64,
+    /// Whether any function was OOM-killed in this sample.
+    pub oom: bool,
+    /// Whether the sample was accepted (kept) by the search method.
+    pub accepted: bool,
+    /// Short human-readable description (e.g. `"n2.cpu -20%"`).
+    pub label: String,
+}
+
+/// The chronological record of all samples taken by one search run.
+///
+/// *Total search runtime* (Fig. 5a) is the sum of the sampled executions'
+/// runtimes — each sample requires actually running the workflow once on the
+/// platform. *Total search cost* (Fig. 5b) is the sum of their billed costs.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SearchTrace {
+    samples: Vec<SearchSample>,
+}
+
+impl SearchTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        SearchTrace {
+            samples: Vec::new(),
+        }
+    }
+
+    /// Records one sample, assigning it the next index.
+    pub fn record(&mut self, report: &ExecutionReport, accepted: bool, label: impl Into<String>) {
+        self.push(SearchSample {
+            index: 0,
+            makespan_ms: report.makespan_ms(),
+            cost: report.total_cost(),
+            oom: report.any_oom(),
+            accepted,
+            label: label.into(),
+        });
+    }
+
+    /// Appends an already-constructed sample, re-assigning its index to keep
+    /// the trace chronological.
+    pub fn push(&mut self, mut sample: SearchSample) {
+        sample.index = self.samples.len() + 1;
+        self.samples.push(sample);
+    }
+
+    /// Appends every sample of `other` to this trace (re-indexed). Used by
+    /// the input-aware engine to merge the per-class scheduler runs.
+    pub fn merge(&mut self, other: &SearchTrace) {
+        for sample in other.samples() {
+            self.push(sample.clone());
+        }
+    }
+
+    /// All samples in chronological order.
+    pub fn samples(&self) -> &[SearchSample] {
+        &self.samples
+    }
+
+    /// Number of samples taken (the x-axis of Figs. 6 and 7).
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Total wall-clock time spent executing samples, in ms (Fig. 5a).
+    pub fn total_runtime_ms(&self) -> f64 {
+        self.samples.iter().map(|s| s.makespan_ms).sum()
+    }
+
+    /// Total billed cost of all samples (Fig. 5b).
+    pub fn total_cost(&self) -> f64 {
+        self.samples.iter().map(|s| s.cost).sum()
+    }
+
+    /// The per-sample runtime series (Fig. 6).
+    pub fn runtime_series(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.makespan_ms).collect()
+    }
+
+    /// The per-sample cost series (Fig. 7).
+    pub fn cost_series(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.cost).collect()
+    }
+
+    /// The best (lowest) cost observed among samples that met `slo_ms` and
+    /// did not OOM, as a running series ("best configuration found so far").
+    pub fn best_cost_series(&self, slo_ms: f64) -> Vec<f64> {
+        let mut best = f64::INFINITY;
+        self.samples
+            .iter()
+            .map(|s| {
+                if !s.oom && s.makespan_ms <= slo_ms {
+                    best = best.min(s.cost);
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+/// The result of a configuration search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The best configuration found.
+    pub best_configs: ConfigMap,
+    /// Execution report of the best configuration (deterministic
+    /// verification run).
+    pub final_report: ExecutionReport,
+    /// The chronological sample trace of the search.
+    pub trace: SearchTrace,
+}
+
+impl SearchOutcome {
+    /// Cost of the best configuration (one execution).
+    pub fn best_cost(&self) -> f64 {
+        self.final_report.total_cost()
+    }
+
+    /// Runtime of the best configuration, in ms.
+    pub fn best_runtime_ms(&self) -> f64 {
+        self.final_report.makespan_ms()
+    }
+}
+
+/// A configuration-search method: given an environment and an end-to-end
+/// SLO, produce a per-function configuration.
+///
+/// AARC's [`GraphCentricScheduler`](crate::scheduler::GraphCentricScheduler)
+/// and the baselines (Bayesian optimization, MAFF) all implement this trait,
+/// which is what the experiment harness iterates over.
+pub trait ConfigurationSearch {
+    /// Short method name used in figures ("AARC", "BO", "MAFF").
+    fn name(&self) -> &str;
+
+    /// Runs the search.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error if the SLO is invalid, the base
+    /// configuration already violates it, or the platform rejects an
+    /// execution.
+    fn search(&self, env: &WorkflowEnvironment, slo_ms: f64) -> Result<SearchOutcome, AarcError>;
+}
+
+/// Validates an SLO value (positive, finite).
+///
+/// # Errors
+///
+/// Returns [`AarcError::InvalidSlo`] for zero, negative, NaN or infinite
+/// values. Exposed so baseline implementations of [`ConfigurationSearch`]
+/// can apply the same validation.
+pub fn validate_slo(slo_ms: f64) -> Result<(), AarcError> {
+    if !slo_ms.is_finite() || slo_ms <= 0.0 {
+        return Err(AarcError::InvalidSlo(slo_ms));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarc_simulator::{FunctionProfile, ProfileSet, ResourceConfig};
+    use aarc_workflow::WorkflowBuilder;
+
+    fn tiny_env() -> WorkflowEnvironment {
+        let mut b = WorkflowBuilder::new("t");
+        let a = b.add_function("a");
+        let wf = b.build().unwrap();
+        let mut p = ProfileSet::new();
+        p.insert(a, FunctionProfile::builder("a").serial_ms(100.0).build());
+        WorkflowEnvironment::builder(wf, p).build().unwrap()
+    }
+
+    #[test]
+    fn trace_accumulates_totals_and_series() {
+        let env = tiny_env();
+        let mut trace = SearchTrace::new();
+        let big = env
+            .execute(&ConfigMap::uniform(1, ResourceConfig::new(2.0, 1024)))
+            .unwrap();
+        let small = env
+            .execute(&ConfigMap::uniform(1, ResourceConfig::new(1.0, 512)))
+            .unwrap();
+        trace.record(&big, true, "base");
+        trace.record(&small, true, "shrunk");
+        assert_eq!(trace.sample_count(), 2);
+        assert_eq!(trace.samples()[0].index, 1);
+        assert_eq!(trace.samples()[1].index, 2);
+        assert!((trace.total_runtime_ms() - (big.makespan_ms() + small.makespan_ms())).abs() < 1e-9);
+        assert!((trace.total_cost() - (big.total_cost() + small.total_cost())).abs() < 1e-9);
+        assert_eq!(trace.runtime_series().len(), 2);
+        assert_eq!(trace.cost_series().len(), 2);
+    }
+
+    #[test]
+    fn best_cost_series_ignores_slo_violations_and_oom() {
+        let mut trace = SearchTrace::new();
+        // Hand-craft samples: a violating one followed by a good one.
+        trace.samples.push(SearchSample {
+            index: 1,
+            makespan_ms: 500.0,
+            cost: 10.0,
+            oom: false,
+            accepted: false,
+            label: "too slow".into(),
+        });
+        trace.samples.push(SearchSample {
+            index: 2,
+            makespan_ms: 100.0,
+            cost: 50.0,
+            oom: true,
+            accepted: false,
+            label: "oom".into(),
+        });
+        trace.samples.push(SearchSample {
+            index: 3,
+            makespan_ms: 100.0,
+            cost: 30.0,
+            oom: false,
+            accepted: true,
+            label: "good".into(),
+        });
+        let series = trace.best_cost_series(200.0);
+        assert!(series[0].is_infinite());
+        assert!(series[1].is_infinite());
+        assert_eq!(series[2], 30.0);
+    }
+
+    #[test]
+    fn validate_slo_rejects_nonsense() {
+        assert!(validate_slo(1.0).is_ok());
+        assert!(validate_slo(0.0).is_err());
+        assert!(validate_slo(-5.0).is_err());
+        assert!(validate_slo(f64::NAN).is_err());
+        assert!(validate_slo(f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! Cluster, host and cold-start modelling.
+//!
+//! The paper executes workflows on a single 4-socket Xeon host (96 physical
+//! cores, 512 GB) with one Docker container per function. The simulator
+//! generalises this to a small cluster of identical hosts so that resource
+//! contention between parallel functions is modelled: a function can only
+//! start once a host has enough free vCPU and memory for its container.
+
+use serde::{Deserialize, Serialize};
+
+use crate::resources::ResourceConfig;
+
+/// Cold-start latency model for containers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColdStartModel {
+    /// Whether cold starts are simulated at all. The configuration-search
+    /// experiments in the paper measure warm executions, so this defaults to
+    /// `false`.
+    pub enabled: bool,
+    /// Fixed container provisioning latency in milliseconds.
+    pub base_ms: f64,
+    /// Additional latency per GB of configured memory (larger sandboxes take
+    /// longer to provision).
+    pub per_gb_ms: f64,
+}
+
+impl ColdStartModel {
+    /// Cold starts disabled.
+    pub fn disabled() -> Self {
+        ColdStartModel {
+            enabled: false,
+            base_ms: 0.0,
+            per_gb_ms: 0.0,
+        }
+    }
+
+    /// A typical warm-pool-miss cold start: 250 ms plus 50 ms per GB.
+    pub fn typical() -> Self {
+        ColdStartModel {
+            enabled: true,
+            base_ms: 250.0,
+            per_gb_ms: 50.0,
+        }
+    }
+
+    /// Cold-start latency for a container of the given configuration.
+    pub fn latency_ms(&self, config: ResourceConfig) -> f64 {
+        if !self.enabled {
+            return 0.0;
+        }
+        self.base_ms + self.per_gb_ms * config.memory.as_gb()
+    }
+}
+
+impl Default for ColdStartModel {
+    fn default() -> Self {
+        ColdStartModel::disabled()
+    }
+}
+
+/// Static description of the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of identical hosts.
+    pub hosts: usize,
+    /// vCPUs per host.
+    pub vcpus_per_host: f64,
+    /// Memory per host in MB.
+    pub memory_mb_per_host: u32,
+    /// Network bandwidth between functions in MB/s, used for inter-function
+    /// data transfers.
+    pub network_mb_per_s: f64,
+    /// Cold-start model.
+    pub cold_start: ColdStartModel,
+    /// Relative multiplicative runtime jitter (e.g. `0.02` = ±2 %). Zero
+    /// makes executions fully deterministic.
+    pub runtime_jitter: f64,
+}
+
+impl ClusterSpec {
+    /// The paper's testbed: one host with 96 physical cores and 512 GB of
+    /// memory, 10 Gbit/s-class networking, warm containers, no jitter.
+    pub fn paper_testbed() -> Self {
+        ClusterSpec {
+            hosts: 1,
+            vcpus_per_host: 96.0,
+            memory_mb_per_host: 512 * 1024,
+            network_mb_per_s: 1_000.0,
+            cold_start: ColdStartModel::disabled(),
+            runtime_jitter: 0.0,
+        }
+    }
+
+    /// The paper's testbed with a small amount of measurement noise, used by
+    /// the Table II experiment (100 repeated executions with ± std).
+    pub fn paper_testbed_with_jitter(jitter: f64) -> Self {
+        ClusterSpec {
+            runtime_jitter: jitter,
+            ..ClusterSpec::paper_testbed()
+        }
+    }
+
+    /// Capacity check: can the cluster ever host a container of this size?
+    pub fn can_fit(&self, config: ResourceConfig) -> bool {
+        config.vcpu.get() <= self.vcpus_per_host + 1e-9
+            && config.memory.get() <= self.memory_mb_per_host
+    }
+
+    /// Transfer latency for `payload_mb` megabytes over the cluster network.
+    pub fn transfer_ms(&self, payload_mb: f64) -> f64 {
+        if self.network_mb_per_s <= 0.0 {
+            return 0.0;
+        }
+        payload_mb.max(0.0) / self.network_mb_per_s * 1_000.0
+    }
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec::paper_testbed()
+    }
+}
+
+/// Mutable per-host free capacity tracked during execution.
+#[derive(Debug, Clone)]
+pub(crate) struct HostState {
+    pub free_vcpu: f64,
+    pub free_memory_mb: f64,
+}
+
+/// Mutable cluster state used by the executor for placement decisions.
+#[derive(Debug, Clone)]
+pub(crate) struct ClusterState {
+    hosts: Vec<HostState>,
+}
+
+impl ClusterState {
+    pub fn new(spec: &ClusterSpec) -> Self {
+        ClusterState {
+            hosts: (0..spec.hosts.max(1))
+                .map(|_| HostState {
+                    free_vcpu: spec.vcpus_per_host,
+                    free_memory_mb: f64::from(spec.memory_mb_per_host),
+                })
+                .collect(),
+        }
+    }
+
+    /// First-fit placement. Returns the host index if a host has room.
+    pub fn try_place(&mut self, config: ResourceConfig) -> Option<usize> {
+        let need_cpu = config.vcpu.get();
+        let need_mem = f64::from(config.memory.get());
+        for (i, h) in self.hosts.iter_mut().enumerate() {
+            if h.free_vcpu + 1e-9 >= need_cpu && h.free_memory_mb + 1e-9 >= need_mem {
+                h.free_vcpu -= need_cpu;
+                h.free_memory_mb -= need_mem;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Releases the resources of a container previously placed on `host`.
+    pub fn release(&mut self, host: usize, config: ResourceConfig) {
+        let h = &mut self.hosts[host];
+        h.free_vcpu += config.vcpu.get();
+        h.free_memory_mb += f64::from(config.memory.get());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_dimensions() {
+        let c = ClusterSpec::paper_testbed();
+        assert_eq!(c.hosts, 1);
+        assert_eq!(c.vcpus_per_host, 96.0);
+        assert_eq!(c.memory_mb_per_host, 512 * 1024);
+        assert!(c.can_fit(ResourceConfig::new(10.0, 10_240)));
+        assert!(!c.can_fit(ResourceConfig::new(200.0, 1024)));
+    }
+
+    #[test]
+    fn cold_start_latency() {
+        let off = ColdStartModel::disabled();
+        assert_eq!(off.latency_ms(ResourceConfig::new(1.0, 2048)), 0.0);
+        let on = ColdStartModel::typical();
+        let lat = on.latency_ms(ResourceConfig::new(1.0, 2048));
+        assert!((lat - (250.0 + 50.0 * 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_payload() {
+        let c = ClusterSpec::paper_testbed();
+        assert_eq!(c.transfer_ms(0.0), 0.0);
+        assert!((c.transfer_ms(100.0) - 100.0).abs() < 1e-9);
+        let no_net = ClusterSpec {
+            network_mb_per_s: 0.0,
+            ..c
+        };
+        assert_eq!(no_net.transfer_ms(100.0), 0.0);
+    }
+
+    #[test]
+    fn placement_and_release() {
+        let spec = ClusterSpec {
+            hosts: 2,
+            vcpus_per_host: 4.0,
+            memory_mb_per_host: 4096,
+            ..ClusterSpec::paper_testbed()
+        };
+        let mut state = ClusterState::new(&spec);
+        let big = ResourceConfig::new(3.0, 3072);
+        let h0 = state.try_place(big).unwrap();
+        assert_eq!(h0, 0);
+        // Second big container does not fit on host 0 anymore.
+        let h1 = state.try_place(big).unwrap();
+        assert_eq!(h1, 1);
+        // Third does not fit anywhere.
+        assert!(state.try_place(big).is_none());
+        state.release(h0, big);
+        assert_eq!(state.try_place(big), Some(0));
+    }
+
+    #[test]
+    fn jittered_testbed_keeps_other_fields() {
+        let c = ClusterSpec::paper_testbed_with_jitter(0.05);
+        assert_eq!(c.runtime_jitter, 0.05);
+        assert_eq!(c.hosts, 1);
+    }
+}

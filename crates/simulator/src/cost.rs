@@ -1,0 +1,114 @@
+//! The paper's extended AWS-Lambda pricing model for decoupled resources.
+
+use serde::{Deserialize, Serialize};
+
+use crate::resources::ResourceConfig;
+
+/// Pricing model `cost = t · (µ0 · cpu + µ1 · mem) + µ2` (paper §IV-A d).
+///
+/// * `t` — billed function runtime in **milliseconds**,
+/// * `cpu` — vCPU cores,
+/// * `mem` — memory in MB,
+/// * `µ0` — price per vCPU-millisecond (paper value `0.512`),
+/// * `µ1` — price per MB-millisecond (paper value `0.001`),
+/// * `µ2` — flat per-request / orchestration price (paper value `0`).
+///
+/// Cost is reported in the same abstract currency units as the paper (the
+/// constants are scale factors rather than dollars).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PricingModel {
+    /// µ0 — price per vCPU-millisecond.
+    pub per_vcpu_ms: f64,
+    /// µ1 — price per MB-millisecond.
+    pub per_mb_ms: f64,
+    /// µ2 — flat price per function request.
+    pub per_request: f64,
+}
+
+impl PricingModel {
+    /// The constants used in the paper: µ0 = 0.512, µ1 = 0.001, µ2 = 0.
+    pub fn paper() -> Self {
+        PricingModel {
+            per_vcpu_ms: 0.512,
+            per_mb_ms: 0.001,
+            per_request: 0.0,
+        }
+    }
+
+    /// Creates a custom pricing model.
+    pub fn new(per_vcpu_ms: f64, per_mb_ms: f64, per_request: f64) -> Self {
+        PricingModel {
+            per_vcpu_ms,
+            per_mb_ms,
+            per_request,
+        }
+    }
+
+    /// Cost of one invocation of a function configured as `config` that ran
+    /// for `runtime_ms` milliseconds.
+    pub fn invocation_cost(&self, config: ResourceConfig, runtime_ms: f64) -> f64 {
+        runtime_ms
+            * (self.per_vcpu_ms * config.vcpu.get() + self.per_mb_ms * f64::from(config.memory.get()))
+            + self.per_request
+    }
+
+    /// The per-millisecond "resource rate" of a configuration, i.e. the cost
+    /// slope with respect to runtime. Useful for reasoning about whether a
+    /// resource reduction can ever pay off.
+    pub fn rate(&self, config: ResourceConfig) -> f64 {
+        self.per_vcpu_ms * config.vcpu.get() + self.per_mb_ms * f64::from(config.memory.get())
+    }
+}
+
+impl Default for PricingModel {
+    fn default() -> Self {
+        PricingModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let p = PricingModel::paper();
+        assert_eq!(p.per_vcpu_ms, 0.512);
+        assert_eq!(p.per_mb_ms, 0.001);
+        assert_eq!(p.per_request, 0.0);
+        assert_eq!(PricingModel::default(), p);
+    }
+
+    #[test]
+    fn invocation_cost_formula() {
+        let p = PricingModel::paper();
+        let c = ResourceConfig::new(2.0, 1024);
+        // 1000 ms * (0.512*2 + 0.001*1024) = 1000 * 2.048 = 2048
+        let cost = p.invocation_cost(c, 1000.0);
+        assert!((cost - 2048.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_request_component_is_additive() {
+        let p = PricingModel::new(0.0, 0.0, 5.0);
+        let c = ResourceConfig::new(4.0, 4096);
+        assert_eq!(p.invocation_cost(c, 123.0), 5.0);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_runtime_and_resources() {
+        let p = PricingModel::paper();
+        let small = ResourceConfig::new(1.0, 512);
+        let big = ResourceConfig::new(2.0, 512);
+        assert!(p.invocation_cost(small, 100.0) < p.invocation_cost(small, 200.0));
+        assert!(p.invocation_cost(small, 100.0) < p.invocation_cost(big, 100.0));
+        assert!(p.rate(small) < p.rate(big));
+    }
+
+    #[test]
+    fn zero_runtime_costs_only_the_request_fee() {
+        let p = PricingModel::new(0.512, 0.001, 3.0);
+        let c = ResourceConfig::new(10.0, 10_240);
+        assert_eq!(p.invocation_cost(c, 0.0), 3.0);
+    }
+}

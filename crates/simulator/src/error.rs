@@ -1,0 +1,112 @@
+//! Error types of the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use aarc_workflow::{NodeId, WorkflowError};
+
+/// Errors produced while configuring or executing a simulated workflow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimulatorError {
+    /// A function in the workflow has no performance profile.
+    MissingProfile {
+        /// The function without a profile.
+        node: NodeId,
+        /// Its name, if known.
+        name: String,
+    },
+    /// A function in the workflow has no resource configuration.
+    MissingConfig {
+        /// The function without a configuration.
+        node: NodeId,
+    },
+    /// A resource configuration is outside the platform's allowed space.
+    InvalidConfig {
+        /// The offending function.
+        node: NodeId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The underlying workflow was malformed.
+    Workflow(WorkflowError),
+    /// The cluster cannot ever fit a requested allocation (it exceeds the
+    /// capacity of every host).
+    Unplaceable {
+        /// The offending function.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for SimulatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulatorError::MissingProfile { node, name } => {
+                write!(f, "function {node} (`{name}`) has no performance profile")
+            }
+            SimulatorError::MissingConfig { node } => {
+                write!(f, "function {node} has no resource configuration")
+            }
+            SimulatorError::InvalidConfig { node, reason } => {
+                write!(f, "invalid configuration for function {node}: {reason}")
+            }
+            SimulatorError::Workflow(e) => write!(f, "workflow error: {e}"),
+            SimulatorError::Unplaceable { node } => write!(
+                f,
+                "function {node} requests more resources than any cluster host provides"
+            ),
+        }
+    }
+}
+
+impl Error for SimulatorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimulatorError::Workflow(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WorkflowError> for SimulatorError {
+    fn from(e: WorkflowError) -> Self {
+        SimulatorError::Workflow(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases = vec![
+            SimulatorError::MissingProfile {
+                node: NodeId::new(1),
+                name: "f".into(),
+            },
+            SimulatorError::MissingConfig { node: NodeId::new(2) },
+            SimulatorError::InvalidConfig {
+                node: NodeId::new(3),
+                reason: "memory below 128 MB".into(),
+            },
+            SimulatorError::Workflow(WorkflowError::Empty),
+            SimulatorError::Unplaceable { node: NodeId::new(4) },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn from_workflow_error_preserves_source() {
+        let err: SimulatorError = WorkflowError::Empty.into();
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimulatorError>();
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimal discrete-event machinery used by the workflow executor.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use aarc_workflow::NodeId;
+
+/// Simulation time in integer microseconds (integer so events order totally).
+pub type SimTime = u64;
+
+/// Converts milliseconds (as used throughout the performance model) to
+/// microsecond simulation ticks.
+pub fn ms_to_ticks(ms: f64) -> SimTime {
+    (ms.max(0.0) * 1_000.0).round() as SimTime
+}
+
+/// Converts microsecond ticks back to milliseconds.
+pub fn ticks_to_ms(ticks: SimTime) -> f64 {
+    ticks as f64 / 1_000.0
+}
+
+/// Events processed by the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// All dependencies (and data transfers) of a function are satisfied.
+    FunctionReady(NodeId),
+    /// A running function finished and releases its container resources.
+    FunctionFinished(NodeId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list: events pop in time order, ties broken
+/// by insertion order.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { time, seq, event }));
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|Reverse(s)| (s.time, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(300, Event::FunctionReady(NodeId::new(2)));
+        q.push(100, Event::FunctionReady(NodeId::new(0)));
+        q.push(200, Event::FunctionFinished(NodeId::new(1)));
+        let order: Vec<SimTime> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(50, Event::FunctionReady(NodeId::new(0)));
+        q.push(50, Event::FunctionReady(NodeId::new(1)));
+        q.push(50, Event::FunctionReady(NodeId::new(2)));
+        let nodes: Vec<usize> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                Event::FunctionReady(n) | Event::FunctionFinished(n) => n.index(),
+            })
+        })
+        .collect();
+        assert_eq!(nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn conversion_round_trip() {
+        assert_eq!(ms_to_ticks(1.5), 1500);
+        assert_eq!(ticks_to_ms(1500), 1.5);
+        assert_eq!(ms_to_ticks(-3.0), 0);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, Event::FunctionReady(NodeId::new(0)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,614 @@
+//! Discrete-event execution of a workflow DAG under a resource
+//! configuration.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use aarc_workflow::{CommunicationKind, NodeId, Workflow};
+
+use crate::cluster::{ClusterSpec, ClusterState};
+use crate::cost::PricingModel;
+use crate::env::ConfigMap;
+use crate::error::SimulatorError;
+use crate::event::{ms_to_ticks, ticks_to_ms, Event, EventQueue};
+use crate::input::InputSpec;
+use crate::perf_model::{InvocationOutcome, ProfileSet};
+use crate::resources::ResourceConfig;
+use crate::trace::{ExecutionTrace, TraceEvent};
+
+/// Billed runtime charged for an invocation that is killed by the OOM
+/// supervisor (detection and teardown time).
+const OOM_KILL_MS: f64 = 50.0;
+
+/// Per-function outcome of one simulated workflow execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionExecution {
+    /// The function.
+    pub node: NodeId,
+    /// Its name.
+    pub name: String,
+    /// Configuration it ran with.
+    pub config: ResourceConfig,
+    /// Host it was placed on.
+    pub host: usize,
+    /// Time the function became ready (dependencies satisfied), ms.
+    pub ready_ms: f64,
+    /// Time the container started (after any capacity wait), ms.
+    pub start_ms: f64,
+    /// Time the function finished, ms.
+    pub end_ms: f64,
+    /// Billed runtime (excludes queueing and cold start), ms.
+    pub runtime_ms: f64,
+    /// Cold-start latency paid, ms.
+    pub cold_start_ms: f64,
+    /// Billed cost of this invocation.
+    pub cost: f64,
+    /// Whether the invocation was killed out-of-memory.
+    pub oom: bool,
+}
+
+/// Result of executing a workflow once under a configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    executions: Vec<FunctionExecution>,
+    makespan_ms: f64,
+    total_cost: f64,
+    any_oom: bool,
+    #[serde(skip)]
+    trace: ExecutionTrace,
+}
+
+impl ExecutionReport {
+    /// End-to-end latency of the workflow in milliseconds.
+    pub fn makespan_ms(&self) -> f64 {
+        self.makespan_ms
+    }
+
+    /// Total billed cost over all function invocations.
+    pub fn total_cost(&self) -> f64 {
+        self.total_cost
+    }
+
+    /// Whether any function was OOM-killed.
+    pub fn any_oom(&self) -> bool {
+        self.any_oom
+    }
+
+    /// `true` when no function failed and the makespan is within `slo_ms`.
+    pub fn meets_slo(&self, slo_ms: f64) -> bool {
+        !self.any_oom && self.makespan_ms <= slo_ms
+    }
+
+    /// Per-function outcomes, ordered by node index.
+    pub fn executions(&self) -> &[FunctionExecution] {
+        &self.executions
+    }
+
+    /// The outcome of one function.
+    pub fn execution(&self, node: NodeId) -> Option<&FunctionExecution> {
+        self.executions.iter().find(|e| e.node == node)
+    }
+
+    /// Billed runtime of one function, if it ran.
+    pub fn runtime_of(&self, node: NodeId) -> Option<f64> {
+        self.execution(node).map(|e| e.runtime_ms)
+    }
+
+    /// Billed cost of one function, if it ran.
+    pub fn cost_of(&self, node: NodeId) -> Option<f64> {
+        self.execution(node).map(|e| e.cost)
+    }
+
+    /// The detailed event trace of the execution.
+    pub fn trace(&self) -> &ExecutionTrace {
+        &self.trace
+    }
+}
+
+struct NodeRuntimeState {
+    remaining_preds: usize,
+    ready_at_ticks: u64,
+    started: bool,
+    finished: bool,
+}
+
+/// Executes `workflow` once under `configs`.
+///
+/// This is the low-level entry point; most callers use
+/// [`WorkflowEnvironment::execute`](crate::env::WorkflowEnvironment::execute)
+/// which bundles the static arguments.
+///
+/// # Errors
+///
+/// Returns an error if a function lacks a profile or configuration, or if a
+/// configuration can never fit on any cluster host.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_workflow(
+    workflow: &Workflow,
+    profiles: &ProfileSet,
+    configs: &ConfigMap,
+    input: InputSpec,
+    cluster: &ClusterSpec,
+    pricing: &PricingModel,
+    seed: u64,
+) -> Result<ExecutionReport, SimulatorError> {
+    let n = workflow.len();
+    if configs.len() != n {
+        return Err(SimulatorError::MissingConfig {
+            node: NodeId::new(configs.len().min(n)),
+        });
+    }
+    for id in workflow.node_ids() {
+        if profiles.get(id).is_none() {
+            return Err(SimulatorError::MissingProfile {
+                node: id,
+                name: workflow.function(id).name().to_owned(),
+            });
+        }
+        if !cluster.can_fit(configs.get(id)) {
+            return Err(SimulatorError::Unplaceable { node: id });
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queue = EventQueue::new();
+    let mut cluster_state = ClusterState::new(cluster);
+    let mut trace = ExecutionTrace::new();
+    let mut waiting: Vec<NodeId> = Vec::new();
+    let mut states: Vec<NodeRuntimeState> = workflow
+        .node_ids()
+        .map(|id| NodeRuntimeState {
+            remaining_preds: workflow.dag().predecessors(id).len(),
+            ready_at_ticks: 0,
+            started: false,
+            finished: false,
+        })
+        .collect();
+    let mut executions: Vec<Option<FunctionExecution>> = (0..n).map(|_| None).collect();
+
+    // Entry functions become ready immediately (the request payload arrives
+    // with the trigger).
+    for id in workflow.entries() {
+        queue.push(0, Event::FunctionReady(id));
+    }
+
+    // Starts `node` at `now` if a host has capacity; returns true on success.
+    let start_fn = |node: NodeId,
+                        now_ticks: u64,
+                        cluster_state: &mut ClusterState,
+                        queue: &mut EventQueue,
+                        trace: &mut ExecutionTrace,
+                        executions: &mut Vec<Option<FunctionExecution>>,
+                        states: &mut Vec<NodeRuntimeState>,
+                        rng: &mut StdRng|
+     -> bool {
+        let config = configs.get(node);
+        let Some(host) = cluster_state.try_place(config) else {
+            return false;
+        };
+        let profile = profiles.get(node).expect("validated above");
+        let cold_start_ms = cluster.cold_start.latency_ms(config);
+        let outcome = profile.evaluate(config, input);
+        let (runtime_ms, oom) = match outcome {
+            InvocationOutcome::Completed { runtime_ms } => {
+                let jitter = if cluster.runtime_jitter > 0.0 {
+                    1.0 + cluster.runtime_jitter * (rng.gen::<f64>() * 2.0 - 1.0)
+                } else {
+                    1.0
+                };
+                (runtime_ms * jitter, false)
+            }
+            InvocationOutcome::OutOfMemory { required_mb } => {
+                trace.push(TraceEvent::OomKilled {
+                    at_ms: ticks_to_ms(now_ticks),
+                    node,
+                    required_mb,
+                });
+                (OOM_KILL_MS, true)
+            }
+        };
+        let start_ms = ticks_to_ms(now_ticks);
+        let end_ms = start_ms + cold_start_ms + runtime_ms;
+        trace.push(TraceEvent::Started {
+            at_ms: start_ms,
+            node,
+            host,
+            cold_start_ms,
+        });
+        executions[node.index()] = Some(FunctionExecution {
+            node,
+            name: workflow.function(node).name().to_owned(),
+            config,
+            host,
+            ready_ms: ticks_to_ms(states[node.index()].ready_at_ticks),
+            start_ms,
+            end_ms,
+            runtime_ms,
+            cold_start_ms,
+            cost: pricing.invocation_cost(config, runtime_ms),
+            oom,
+        });
+        states[node.index()].started = true;
+        queue.push(ms_to_ticks(end_ms), Event::FunctionFinished(node));
+        true
+    };
+
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::FunctionReady(node) => {
+                if states[node.index()].started {
+                    continue;
+                }
+                states[node.index()].ready_at_ticks = now;
+                trace.push(TraceEvent::Ready {
+                    at_ms: ticks_to_ms(now),
+                    node,
+                });
+                let started = start_fn(
+                    node,
+                    now,
+                    &mut cluster_state,
+                    &mut queue,
+                    &mut trace,
+                    &mut executions,
+                    &mut states,
+                    &mut rng,
+                );
+                if !started {
+                    trace.push(TraceEvent::QueuedForCapacity {
+                        at_ms: ticks_to_ms(now),
+                        node,
+                    });
+                    waiting.push(node);
+                }
+            }
+            Event::FunctionFinished(node) => {
+                if states[node.index()].finished {
+                    continue;
+                }
+                states[node.index()].finished = true;
+                let exec = executions[node.index()]
+                    .as_ref()
+                    .expect("finished functions have an execution record");
+                let finish_ms = exec.end_ms;
+                let config = exec.config;
+                trace.push(TraceEvent::Finished {
+                    at_ms: finish_ms,
+                    node,
+                    runtime_ms: exec.runtime_ms,
+                });
+                cluster_state.release(exec.host, config);
+
+                // Wake up successors whose dependencies are now satisfied.
+                for &succ in workflow.dag().successors(node) {
+                    let transfer_ms = edge_transfer_ms(workflow, cluster, input, node, succ);
+                    let arrive = ms_to_ticks(finish_ms + transfer_ms);
+                    let st = &mut states[succ.index()];
+                    st.ready_at_ticks = st.ready_at_ticks.max(arrive);
+                    st.remaining_preds -= 1;
+                    if st.remaining_preds == 0 {
+                        queue.push(st.ready_at_ticks, Event::FunctionReady(succ));
+                    }
+                }
+
+                // Capacity was released: retry queued functions in FIFO
+                // order at the current time.
+                let mut still_waiting = Vec::new();
+                for waiting_node in waiting.drain(..) {
+                    let started = start_fn(
+                        waiting_node,
+                        now,
+                        &mut cluster_state,
+                        &mut queue,
+                        &mut trace,
+                        &mut executions,
+                        &mut states,
+                        &mut rng,
+                    );
+                    if !started {
+                        still_waiting.push(waiting_node);
+                    }
+                }
+                waiting = still_waiting;
+            }
+        }
+    }
+
+    let executions: Vec<FunctionExecution> = executions.into_iter().flatten().collect();
+    debug_assert_eq!(
+        executions.len(),
+        n,
+        "every function of an acyclic workflow must eventually run"
+    );
+    let makespan_ms = executions.iter().map(|e| e.end_ms).fold(0.0, f64::max);
+    let total_cost = executions.iter().map(|e| e.cost).sum();
+    let any_oom = executions.iter().any(|e| e.oom);
+    Ok(ExecutionReport {
+        executions,
+        makespan_ms,
+        total_cost,
+        any_oom,
+        trace,
+    })
+}
+
+/// Latency of moving the edge payload from `from` to `to`, taking the
+/// communication pattern into account.
+fn edge_transfer_ms(
+    workflow: &Workflow,
+    cluster: &ClusterSpec,
+    input: InputSpec,
+    from: NodeId,
+    to: NodeId,
+) -> f64 {
+    let Some(edge) = workflow.edge(from, to) else {
+        return 0.0;
+    };
+    let fanout = workflow.dag().successors(from).len().max(1) as f64;
+    let fanin = workflow.dag().predecessors(to).len().max(1) as f64;
+    let effective_mb = match edge.kind {
+        CommunicationKind::Direct | CommunicationKind::Broadcast => edge.payload_mb,
+        CommunicationKind::Scatter => edge.payload_mb / fanout,
+        CommunicationKind::Gather => edge.payload_mb / fanin,
+    };
+    cluster.transfer_ms(effective_mb * input.scale.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ConfigMap;
+    use crate::perf_model::FunctionProfile;
+    use aarc_workflow::WorkflowBuilder;
+
+    fn two_step_workflow() -> (Workflow, ProfileSet) {
+        let mut b = WorkflowBuilder::new("two");
+        let a = b.add_function("first");
+        let c = b.add_function("second");
+        b.add_edge(a, c).unwrap();
+        let wf = b.build().unwrap();
+        let mut profiles = ProfileSet::new();
+        profiles.insert(
+            a,
+            FunctionProfile::builder("first").serial_ms(1_000.0).build(),
+        );
+        profiles.insert(
+            c,
+            FunctionProfile::builder("second").serial_ms(2_000.0).build(),
+        );
+        (wf, profiles)
+    }
+
+    fn run(
+        wf: &Workflow,
+        profiles: &ProfileSet,
+        configs: &ConfigMap,
+        cluster: &ClusterSpec,
+    ) -> ExecutionReport {
+        execute_workflow(
+            wf,
+            profiles,
+            configs,
+            InputSpec::nominal(),
+            cluster,
+            &PricingModel::paper(),
+            42,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sequential_functions_run_back_to_back() {
+        let (wf, profiles) = two_step_workflow();
+        let configs = ConfigMap::uniform(wf.len(), ResourceConfig::new(1.0, 512));
+        let report = run(&wf, &profiles, &configs, &ClusterSpec::paper_testbed());
+        assert!(!report.any_oom());
+        // 1 s + 2 s plus a small transfer.
+        assert!(report.makespan_ms() >= 3_000.0);
+        assert!(report.makespan_ms() < 3_100.0);
+        let a = wf.find("first").unwrap();
+        let c = wf.find("second").unwrap();
+        assert!(report.execution(c).unwrap().start_ms >= report.execution(a).unwrap().end_ms);
+        assert_eq!(report.executions().len(), 2);
+    }
+
+    #[test]
+    fn parallel_branches_overlap() {
+        let mut b = WorkflowBuilder::new("par");
+        let split = b.add_function("split");
+        let w1 = b.add_function("w1");
+        let w2 = b.add_function("w2");
+        let merge = b.add_function("merge");
+        b.add_edge(split, w1).unwrap();
+        b.add_edge(split, w2).unwrap();
+        b.add_edge(w1, merge).unwrap();
+        b.add_edge(w2, merge).unwrap();
+        let wf = b.build().unwrap();
+        let mut profiles = ProfileSet::new();
+        for (id, spec) in wf.iter() {
+            profiles.insert(
+                id,
+                FunctionProfile::builder(spec.name()).serial_ms(1_000.0).build(),
+            );
+        }
+        let configs = ConfigMap::uniform(wf.len(), ResourceConfig::new(1.0, 512));
+        let report = run(&wf, &profiles, &configs, &ClusterSpec::paper_testbed());
+        // 3 levels of 1 s each, not 4 s: the two workers overlap.
+        assert!(report.makespan_ms() < 3_200.0);
+        assert!(report.makespan_ms() >= 3_000.0);
+    }
+
+    #[test]
+    fn capacity_limits_serialise_parallel_work() {
+        let mut b = WorkflowBuilder::new("cap");
+        let w1 = b.add_function("w1");
+        let w2 = b.add_function("w2");
+        // No edges: both are entry functions and could run in parallel.
+        let _ = (w1, w2);
+        let wf = b.build().unwrap();
+        let mut profiles = ProfileSet::new();
+        for (id, spec) in wf.iter() {
+            profiles.insert(
+                id,
+                FunctionProfile::builder(spec.name()).serial_ms(1_000.0).build(),
+            );
+        }
+        let tiny_cluster = ClusterSpec {
+            hosts: 1,
+            vcpus_per_host: 1.0,
+            memory_mb_per_host: 1024,
+            ..ClusterSpec::paper_testbed()
+        };
+        let configs = ConfigMap::uniform(wf.len(), ResourceConfig::new(1.0, 512));
+        let report = run(&wf, &profiles, &configs, &tiny_cluster);
+        // Only one fits at a time, so the second waits for the first.
+        assert!(report.makespan_ms() >= 2_000.0);
+        let queued = report
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::QueuedForCapacity { .. }))
+            .count();
+        assert_eq!(queued, 1);
+    }
+
+    #[test]
+    fn oom_is_reported_and_does_not_satisfy_slo() {
+        let mut b = WorkflowBuilder::new("oom");
+        let a = b.add_function("big");
+        let _ = a;
+        let wf = b.build().unwrap();
+        let mut profiles = ProfileSet::new();
+        profiles.insert(
+            wf.find("big").unwrap(),
+            FunctionProfile::builder("big")
+                .serial_ms(100.0)
+                .working_set_mb(4096.0)
+                .mem_floor_mb(2048.0)
+                .build(),
+        );
+        let configs = ConfigMap::uniform(wf.len(), ResourceConfig::new(1.0, 512));
+        let report = run(&wf, &profiles, &configs, &ClusterSpec::paper_testbed());
+        assert!(report.any_oom());
+        assert!(!report.meets_slo(1_000_000.0));
+    }
+
+    #[test]
+    fn unplaceable_config_is_an_error() {
+        let (wf, profiles) = two_step_workflow();
+        let configs = ConfigMap::uniform(wf.len(), ResourceConfig::new(200.0, 512));
+        let err = execute_workflow(
+            &wf,
+            &profiles,
+            &configs,
+            InputSpec::nominal(),
+            &ClusterSpec::paper_testbed(),
+            &PricingModel::paper(),
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimulatorError::Unplaceable { .. }));
+    }
+
+    #[test]
+    fn missing_profile_is_an_error() {
+        let mut b = WorkflowBuilder::new("missing");
+        let a = b.add_function("present");
+        let c = b.add_function("absent");
+        b.add_edge(a, c).unwrap();
+        let wf = b.build().unwrap();
+        let mut profiles = ProfileSet::new();
+        profiles.insert(a, FunctionProfile::builder("present").serial_ms(10.0).build());
+        let configs = ConfigMap::uniform(wf.len(), ResourceConfig::new(1.0, 512));
+        let err = execute_workflow(
+            &wf,
+            &profiles,
+            &configs,
+            InputSpec::nominal(),
+            &ClusterSpec::paper_testbed(),
+            &PricingModel::paper(),
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimulatorError::MissingProfile { .. }));
+    }
+
+    #[test]
+    fn config_map_length_mismatch_is_an_error() {
+        let (wf, profiles) = two_step_workflow();
+        let configs = ConfigMap::uniform(1, ResourceConfig::new(1.0, 512));
+        let err = execute_workflow(
+            &wf,
+            &profiles,
+            &configs,
+            InputSpec::nominal(),
+            &ClusterSpec::paper_testbed(),
+            &PricingModel::paper(),
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimulatorError::MissingConfig { .. }));
+    }
+
+    #[test]
+    fn deterministic_without_jitter_and_varies_with_jitter() {
+        let (wf, profiles) = two_step_workflow();
+        let configs = ConfigMap::uniform(wf.len(), ResourceConfig::new(1.0, 512));
+        let r1 = run(&wf, &profiles, &configs, &ClusterSpec::paper_testbed());
+        let r2 = run(&wf, &profiles, &configs, &ClusterSpec::paper_testbed());
+        assert_eq!(r1.makespan_ms(), r2.makespan_ms());
+        assert_eq!(r1.total_cost(), r2.total_cost());
+
+        let jittery = ClusterSpec::paper_testbed_with_jitter(0.05);
+        let j1 = execute_workflow(
+            &wf,
+            &profiles,
+            &configs,
+            InputSpec::nominal(),
+            &jittery,
+            &PricingModel::paper(),
+            1,
+        )
+        .unwrap();
+        let j2 = execute_workflow(
+            &wf,
+            &profiles,
+            &configs,
+            InputSpec::nominal(),
+            &jittery,
+            &PricingModel::paper(),
+            2,
+        )
+        .unwrap();
+        assert_ne!(j1.makespan_ms(), j2.makespan_ms());
+    }
+
+    #[test]
+    fn cost_matches_pricing_model_sum() {
+        let (wf, profiles) = two_step_workflow();
+        let configs = ConfigMap::uniform(wf.len(), ResourceConfig::new(2.0, 1024));
+        let report = run(&wf, &profiles, &configs, &ClusterSpec::paper_testbed());
+        let pricing = PricingModel::paper();
+        let manual: f64 = report
+            .executions()
+            .iter()
+            .map(|e| pricing.invocation_cost(e.config, e.runtime_ms))
+            .sum();
+        assert!((report.total_cost() - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cold_starts_add_latency_but_not_billed_runtime() {
+        let (wf, profiles) = two_step_workflow();
+        let configs = ConfigMap::uniform(wf.len(), ResourceConfig::new(1.0, 512));
+        let warm = run(&wf, &profiles, &configs, &ClusterSpec::paper_testbed());
+        let cold_cluster = ClusterSpec {
+            cold_start: crate::cluster::ColdStartModel::typical(),
+            ..ClusterSpec::paper_testbed()
+        };
+        let cold = run(&wf, &profiles, &configs, &cold_cluster);
+        assert!(cold.makespan_ms() > warm.makespan_ms());
+        assert!((cold.total_cost() - warm.total_cost()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,106 @@
+//! Input descriptions for input-sensitive workflows.
+//!
+//! §IV-D of the paper adds an *Input-Aware Configuration Engine*: the Video
+//! Analysis workflow is input-sensitive, so the engine classifies incoming
+//! requests (by video bitrate/duration) into size classes and selects a
+//! pre-computed configuration per class. The simulator models an input as a
+//! scalar *scale factor* applied to the per-function work plus a payload
+//! size used for data-transfer latency.
+
+use serde::{Deserialize, Serialize};
+
+/// Coarse input size class used by the input-aware engine (§IV-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum InputClass {
+    /// Small inputs (e.g. short, low-bitrate videos).
+    Light,
+    /// Typical inputs.
+    Middle,
+    /// Large inputs (e.g. long, high-bitrate videos).
+    Heavy,
+}
+
+impl InputClass {
+    /// All classes, in increasing size order.
+    pub const ALL: [InputClass; 3] = [InputClass::Light, InputClass::Middle, InputClass::Heavy];
+}
+
+impl std::fmt::Display for InputClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            InputClass::Light => "light",
+            InputClass::Middle => "middle",
+            InputClass::Heavy => "heavy",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A concrete input to a workflow execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InputSpec {
+    /// Multiplier applied to every function's compute and memory demands.
+    /// `1.0` is the nominal (profiling) input.
+    pub scale: f64,
+    /// Size of the input payload entering the workflow, in MB.
+    pub payload_mb: f64,
+}
+
+impl InputSpec {
+    /// The nominal input used for profiling (`scale = 1`, 8 MB payload).
+    pub fn nominal() -> Self {
+        InputSpec {
+            scale: 1.0,
+            payload_mb: 8.0,
+        }
+    }
+
+    /// Creates an input with the given scale and payload.
+    pub fn new(scale: f64, payload_mb: f64) -> Self {
+        InputSpec { scale, payload_mb }
+    }
+
+    /// Classifies the input into the coarse classes used by the input-aware
+    /// engine. Scales below 0.75 are light, above 1.5 heavy, otherwise
+    /// middle.
+    pub fn classify(&self) -> InputClass {
+        if self.scale < 0.75 {
+            InputClass::Light
+        } else if self.scale > 1.5 {
+            InputClass::Heavy
+        } else {
+            InputClass::Middle
+        }
+    }
+}
+
+impl Default for InputSpec {
+    fn default() -> Self {
+        InputSpec::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_is_default() {
+        assert_eq!(InputSpec::default(), InputSpec::nominal());
+        assert_eq!(InputSpec::nominal().scale, 1.0);
+    }
+
+    #[test]
+    fn classification_thresholds() {
+        assert_eq!(InputSpec::new(0.4, 2.0).classify(), InputClass::Light);
+        assert_eq!(InputSpec::new(1.0, 8.0).classify(), InputClass::Middle);
+        assert_eq!(InputSpec::new(2.5, 64.0).classify(), InputClass::Heavy);
+    }
+
+    #[test]
+    fn class_ordering_and_display() {
+        assert!(InputClass::Light < InputClass::Heavy);
+        assert_eq!(InputClass::ALL.len(), 3);
+        assert_eq!(InputClass::Middle.to_string(), "middle");
+    }
+}

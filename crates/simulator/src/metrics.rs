@@ -1,0 +1,138 @@
+//! Small statistics helpers used by the experiment harness (means, standard
+//! deviations, percentiles) — the quantities reported in Table II.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample of observations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; zero for n < 2).
+    pub std_dev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over `values`. Returns a zeroed summary
+    /// for an empty slice.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = if values.len() > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            count: values.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+}
+
+/// Returns the `p`-th percentile (0–100) of `values` using linear
+/// interpolation between closest ranks. Returns `None` for an empty slice.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN values"));
+    let p = p.clamp(0.0, 100.0) / 100.0;
+    let rank = p * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Mean absolute difference between consecutive values, normalised by the
+/// mean of the series — the "average fluctuation amplitude" metric the paper
+/// uses to quantify the instability of Bayesian optimization (§II-B).
+pub fn fluctuation_amplitude(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    if mean.abs() < f64::EPSILON {
+        return 0.0;
+    }
+    let mad = values
+        .windows(2)
+        .map(|w| (w[1] - w[0]).abs())
+        .sum::<f64>()
+        / (values.len() - 1) as f64;
+    mad / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.138_089_935).abs() < 1e-6);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_of_empty_and_singleton() {
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean, 0.0);
+        let single = Summary::of(&[3.5]);
+        assert_eq!(single.count, 1);
+        assert_eq!(single.mean, 3.5);
+        assert_eq!(single.std_dev, 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(4.0));
+        assert_eq!(percentile(&v, 50.0), Some(2.5));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn fluctuation_amplitude_matches_definition() {
+        // values 10, 12, 8 -> diffs 2, 4 -> mad 3; mean 10 -> 0.3
+        let f = fluctuation_amplitude(&[10.0, 12.0, 8.0]);
+        assert!((f - 0.3).abs() < 1e-12);
+        assert_eq!(fluctuation_amplitude(&[5.0]), 0.0);
+        assert_eq!(fluctuation_amplitude(&[]), 0.0);
+    }
+
+    #[test]
+    fn fluctuation_of_constant_series_is_zero() {
+        assert_eq!(fluctuation_amplitude(&[4.0, 4.0, 4.0]), 0.0);
+    }
+}

@@ -1,0 +1,466 @@
+//! Analytical per-function performance model.
+//!
+//! The model maps a decoupled `(vCPU, memory)` allocation and an input scale
+//! to a runtime, reproducing the qualitative behaviour the paper measures on
+//! real containers (§II-A, Fig. 2):
+//!
+//! * **CPU scaling** — compute is split into a serial part and a
+//!   parallelisable part (Amdahl's law). The parallel part speeds up with
+//!   vCPU only up to the function's intrinsic parallelism; allocations below
+//!   one core slow both parts down proportionally.
+//! * **Memory pressure** — every function has a working set. Allocations
+//!   above it give no speedup (the flat heat-map rows of Fig. 2a/2b);
+//!   allocations below it pay a growing spill/GC penalty; allocations below
+//!   a hard floor fail with an out-of-memory error.
+//! * **I/O** — a fixed component insensitive to either resource.
+//! * **Input sensitivity** — compute, working set and floor scale with the
+//!   input (`scale^sensitivity`), which is what makes the Video Analysis
+//!   workflow input-sensitive (§IV-D).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use aarc_workflow::NodeId;
+
+use crate::input::InputSpec;
+use crate::resources::ResourceConfig;
+
+/// Outcome of evaluating the performance model for one invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InvocationOutcome {
+    /// The invocation completed in the given number of milliseconds.
+    Completed {
+        /// Modelled runtime in milliseconds.
+        runtime_ms: f64,
+    },
+    /// The invocation was killed because memory was below the OOM floor.
+    OutOfMemory {
+        /// Megabytes that would have been required to stay above the floor.
+        required_mb: f64,
+    },
+}
+
+impl InvocationOutcome {
+    /// Runtime if the invocation completed.
+    pub fn runtime_ms(&self) -> Option<f64> {
+        match self {
+            InvocationOutcome::Completed { runtime_ms } => Some(*runtime_ms),
+            InvocationOutcome::OutOfMemory { .. } => None,
+        }
+    }
+
+    /// Returns `true` for an out-of-memory outcome.
+    pub fn is_oom(&self) -> bool {
+        matches!(self, InvocationOutcome::OutOfMemory { .. })
+    }
+}
+
+/// Performance profile of one serverless function.
+///
+/// Build profiles with [`FunctionProfile::builder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionProfile {
+    name: String,
+    serial_ms: f64,
+    parallel_ms: f64,
+    max_parallelism: f64,
+    io_ms: f64,
+    working_set_mb: f64,
+    mem_floor_mb: f64,
+    mem_penalty_factor: f64,
+    input_sensitivity: f64,
+    mem_input_sensitivity: f64,
+}
+
+impl FunctionProfile {
+    /// Starts building a profile for a function called `name`.
+    pub fn builder(name: impl Into<String>) -> FunctionProfileBuilder {
+        FunctionProfileBuilder::new(name)
+    }
+
+    /// Function name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Serial compute component at one core, in milliseconds.
+    pub fn serial_ms(&self) -> f64 {
+        self.serial_ms
+    }
+
+    /// Parallelisable compute component at one core, in milliseconds.
+    pub fn parallel_ms(&self) -> f64 {
+        self.parallel_ms
+    }
+
+    /// Maximum number of cores the function can exploit.
+    pub fn max_parallelism(&self) -> f64 {
+        self.max_parallelism
+    }
+
+    /// Working-set size at nominal input, in MB.
+    pub fn working_set_mb(&self) -> f64 {
+        self.working_set_mb
+    }
+
+    /// Hard OOM floor at nominal input, in MB.
+    pub fn mem_floor_mb(&self) -> f64 {
+        self.mem_floor_mb
+    }
+
+    /// Exponent with which compute scales with the input scale factor.
+    pub fn input_sensitivity(&self) -> f64 {
+        self.input_sensitivity
+    }
+
+    /// Evaluates the model for one invocation.
+    ///
+    /// Returns [`InvocationOutcome::OutOfMemory`] when the configured memory
+    /// is below the (input-scaled) floor, otherwise the modelled runtime.
+    pub fn evaluate(&self, config: ResourceConfig, input: InputSpec) -> InvocationOutcome {
+        let compute_scale = input.scale.max(0.0).powf(self.input_sensitivity);
+        let mem_scale = input.scale.max(0.0).powf(self.mem_input_sensitivity);
+
+        let floor = self.mem_floor_mb * mem_scale;
+        let mem = f64::from(config.memory.get());
+        if mem < floor {
+            return InvocationOutcome::OutOfMemory { required_mb: floor };
+        }
+
+        let vcpu = config.vcpu.get().max(1e-3);
+        // Below one core even the serial part is throttled; above one core
+        // only the parallel part benefits, up to the intrinsic parallelism.
+        let serial_speed = vcpu.min(1.0);
+        let parallel_speed = vcpu.min(self.max_parallelism).max(serial_speed);
+        let serial_time = self.serial_ms * compute_scale / serial_speed;
+        let parallel_time = self.parallel_ms * compute_scale / parallel_speed;
+
+        let working_set = (self.working_set_mb * mem_scale).max(floor);
+        let pressure = if mem >= working_set || working_set <= floor {
+            1.0
+        } else {
+            // Linear interpolation between no penalty (at the working set)
+            // and the full penalty factor (at the floor).
+            let deficit = (working_set - mem) / (working_set - floor);
+            1.0 + (self.mem_penalty_factor - 1.0) * deficit.clamp(0.0, 1.0)
+        };
+
+        let runtime = (serial_time + parallel_time) * pressure + self.io_ms * compute_scale.max(1.0).sqrt();
+        InvocationOutcome::Completed { runtime_ms: runtime.max(0.1) }
+    }
+
+    /// Convenience wrapper returning the runtime at nominal input or `None`
+    /// on OOM.
+    pub fn runtime_ms(&self, config: ResourceConfig) -> Option<f64> {
+        self.evaluate(config, InputSpec::nominal()).runtime_ms()
+    }
+}
+
+/// Builder for [`FunctionProfile`].
+///
+/// All durations default to zero, the working set defaults to 128 MB, the
+/// floor to 64 MB, the memory penalty to 4× and the parallelism cap to 1
+/// core, so the minimal useful profile only needs a compute component:
+///
+/// ```
+/// use aarc_simulator::perf_model::FunctionProfile;
+///
+/// let p = FunctionProfile::builder("resize").parallel_ms(2_000.0).build();
+/// assert_eq!(p.name(), "resize");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FunctionProfileBuilder {
+    profile: FunctionProfile,
+}
+
+impl FunctionProfileBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        FunctionProfileBuilder {
+            profile: FunctionProfile {
+                name: name.into(),
+                serial_ms: 0.0,
+                parallel_ms: 0.0,
+                max_parallelism: 1.0,
+                io_ms: 0.0,
+                working_set_mb: 128.0,
+                mem_floor_mb: 64.0,
+                mem_penalty_factor: 4.0,
+                input_sensitivity: 1.0,
+                mem_input_sensitivity: 0.0,
+            },
+        }
+    }
+
+    /// Sets the serial compute time at one core (ms).
+    pub fn serial_ms(mut self, v: f64) -> Self {
+        self.profile.serial_ms = v;
+        self
+    }
+
+    /// Sets the parallelisable compute time at one core (ms).
+    pub fn parallel_ms(mut self, v: f64) -> Self {
+        self.profile.parallel_ms = v;
+        self
+    }
+
+    /// Sets the maximum exploitable parallelism (cores).
+    pub fn max_parallelism(mut self, v: f64) -> Self {
+        self.profile.max_parallelism = v.max(1.0);
+        self
+    }
+
+    /// Sets the resource-insensitive I/O time (ms).
+    pub fn io_ms(mut self, v: f64) -> Self {
+        self.profile.io_ms = v;
+        self
+    }
+
+    /// Sets the working-set size at nominal input (MB).
+    pub fn working_set_mb(mut self, v: f64) -> Self {
+        self.profile.working_set_mb = v;
+        self
+    }
+
+    /// Sets the OOM floor at nominal input (MB).
+    pub fn mem_floor_mb(mut self, v: f64) -> Self {
+        self.profile.mem_floor_mb = v;
+        self
+    }
+
+    /// Sets the slowdown factor applied when memory is at the floor.
+    pub fn mem_penalty_factor(mut self, v: f64) -> Self {
+        self.profile.mem_penalty_factor = v.max(1.0);
+        self
+    }
+
+    /// Sets the exponent with which compute scales with the input scale.
+    /// Zero makes the function input-insensitive.
+    pub fn input_sensitivity(mut self, v: f64) -> Self {
+        self.profile.input_sensitivity = v;
+        self
+    }
+
+    /// Sets the exponent with which the working set and floor scale with the
+    /// input scale.
+    pub fn mem_input_sensitivity(mut self, v: f64) -> Self {
+        self.profile.mem_input_sensitivity = v;
+        self
+    }
+
+    /// Finishes the profile.
+    pub fn build(self) -> FunctionProfile {
+        let mut p = self.profile;
+        // The floor can never exceed the working set.
+        if p.mem_floor_mb > p.working_set_mb {
+            p.mem_floor_mb = p.working_set_mb;
+        }
+        p
+    }
+}
+
+/// The collection of per-function profiles of one workflow, keyed by node
+/// id.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ProfileSet {
+    profiles: HashMap<NodeId, FunctionProfile>,
+}
+
+impl ProfileSet {
+    /// Creates an empty profile set.
+    pub fn new() -> Self {
+        ProfileSet {
+            profiles: HashMap::new(),
+        }
+    }
+
+    /// Inserts (or replaces) the profile of `node`.
+    pub fn insert(&mut self, node: NodeId, profile: FunctionProfile) -> Option<FunctionProfile> {
+        self.profiles.insert(node, profile)
+    }
+
+    /// The profile of `node`, if present.
+    pub fn get(&self, node: NodeId) -> Option<&FunctionProfile> {
+        self.profiles.get(&node)
+    }
+
+    /// Number of profiled functions.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Returns `true` if no profiles are present.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Iterates over `(NodeId, &FunctionProfile)`.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &FunctionProfile)> {
+        self.profiles.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+impl FromIterator<(NodeId, FunctionProfile)> for ProfileSet {
+    fn from_iter<T: IntoIterator<Item = (NodeId, FunctionProfile)>>(iter: T) -> Self {
+        ProfileSet {
+            profiles: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(NodeId, FunctionProfile)> for ProfileSet {
+    fn extend<T: IntoIterator<Item = (NodeId, FunctionProfile)>>(&mut self, iter: T) {
+        self.profiles.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu_bound() -> FunctionProfile {
+        FunctionProfile::builder("cpu")
+            .serial_ms(1_000.0)
+            .parallel_ms(16_000.0)
+            .max_parallelism(8.0)
+            .working_set_mb(256.0)
+            .mem_floor_mb(128.0)
+            .build()
+    }
+
+    fn mem_bound() -> FunctionProfile {
+        FunctionProfile::builder("mem")
+            .serial_ms(2_000.0)
+            .parallel_ms(2_000.0)
+            .max_parallelism(2.0)
+            .working_set_mb(4096.0)
+            .mem_floor_mb(1024.0)
+            .mem_penalty_factor(6.0)
+            .build()
+    }
+
+    #[test]
+    fn runtime_decreases_with_more_cpu_up_to_parallelism() {
+        let p = cpu_bound();
+        let r1 = p.runtime_ms(ResourceConfig::new(1.0, 1024)).unwrap();
+        let r4 = p.runtime_ms(ResourceConfig::new(4.0, 1024)).unwrap();
+        let r8 = p.runtime_ms(ResourceConfig::new(8.0, 1024)).unwrap();
+        let r10 = p.runtime_ms(ResourceConfig::new(10.0, 1024)).unwrap();
+        assert!(r4 < r1);
+        assert!(r8 < r4);
+        // Beyond the parallelism cap extra cores do not help.
+        assert!((r10 - r8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_bound_function_is_memory_insensitive_above_working_set() {
+        let p = cpu_bound();
+        let small = p.runtime_ms(ResourceConfig::new(2.0, 512)).unwrap();
+        let large = p.runtime_ms(ResourceConfig::new(2.0, 8192)).unwrap();
+        assert!((small - large).abs() < 1e-9, "flat heat-map row expected");
+    }
+
+    #[test]
+    fn sub_core_allocations_slow_serial_work() {
+        let p = cpu_bound();
+        let full = p.runtime_ms(ResourceConfig::new(1.0, 1024)).unwrap();
+        let half = p.runtime_ms(ResourceConfig::new(0.5, 1024)).unwrap();
+        assert!(half > 1.9 * full, "half a core should roughly double runtime");
+    }
+
+    #[test]
+    fn memory_pressure_slows_and_oom_kills() {
+        let p = mem_bound();
+        let comfortable = p.runtime_ms(ResourceConfig::new(2.0, 6144)).unwrap();
+        let pressured = p.runtime_ms(ResourceConfig::new(2.0, 2048)).unwrap();
+        assert!(pressured > comfortable);
+        let outcome = p.evaluate(ResourceConfig::new(2.0, 512), InputSpec::nominal());
+        assert!(outcome.is_oom());
+        assert_eq!(outcome.runtime_ms(), None);
+    }
+
+    #[test]
+    fn penalty_interpolates_between_working_set_and_floor() {
+        let p = mem_bound();
+        let at_ws = p.runtime_ms(ResourceConfig::new(2.0, 4096)).unwrap();
+        let mid = p.runtime_ms(ResourceConfig::new(2.0, 2560)).unwrap();
+        let near_floor = p.runtime_ms(ResourceConfig::new(2.0, 1088)).unwrap();
+        assert!(at_ws < mid && mid < near_floor);
+        // At the floor the slowdown approaches the configured penalty factor
+        // (compute portion only).
+        assert!(near_floor < at_ws * 6.5);
+    }
+
+    #[test]
+    fn input_scale_grows_compute_and_memory_demand() {
+        let p = FunctionProfile::builder("video")
+            .parallel_ms(10_000.0)
+            .max_parallelism(4.0)
+            .working_set_mb(2048.0)
+            .mem_floor_mb(1024.0)
+            .input_sensitivity(1.0)
+            .mem_input_sensitivity(1.0)
+            .build();
+        let nominal = p
+            .evaluate(ResourceConfig::new(4.0, 4096), InputSpec::nominal())
+            .runtime_ms()
+            .unwrap();
+        let heavy = p
+            .evaluate(ResourceConfig::new(4.0, 4096), InputSpec::new(2.0, 64.0))
+            .runtime_ms()
+            .unwrap();
+        assert!(heavy > 1.8 * nominal);
+        // A heavy input can push a previously-safe allocation under the OOM
+        // floor.
+        let oom = p.evaluate(ResourceConfig::new(4.0, 1536), InputSpec::new(2.0, 64.0));
+        assert!(oom.is_oom());
+    }
+
+    #[test]
+    fn input_insensitive_function_ignores_scale() {
+        let p = FunctionProfile::builder("store")
+            .serial_ms(500.0)
+            .input_sensitivity(0.0)
+            .build();
+        let a = p
+            .evaluate(ResourceConfig::new(1.0, 512), InputSpec::new(0.2, 1.0))
+            .runtime_ms()
+            .unwrap();
+        let b = p
+            .evaluate(ResourceConfig::new(1.0, 512), InputSpec::new(3.0, 100.0))
+            .runtime_ms()
+            .unwrap();
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_clamps_floor_to_working_set() {
+        let p = FunctionProfile::builder("weird")
+            .working_set_mb(256.0)
+            .mem_floor_mb(512.0)
+            .build();
+        assert!(p.mem_floor_mb() <= p.working_set_mb());
+    }
+
+    #[test]
+    fn profile_set_insert_get_iter() {
+        let mut set = ProfileSet::new();
+        assert!(set.is_empty());
+        set.insert(NodeId::new(0), cpu_bound());
+        set.insert(NodeId::new(1), mem_bound());
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.get(NodeId::new(1)).unwrap().name(), "mem");
+        assert!(set.get(NodeId::new(9)).is_none());
+        let names: Vec<&str> = set.iter().map(|(_, p)| p.name()).collect();
+        assert_eq!(names.len(), 2);
+        let rebuilt: ProfileSet = set.iter().map(|(id, p)| (id, p.clone())).collect();
+        assert_eq!(rebuilt.len(), 2);
+    }
+
+    #[test]
+    fn runtime_never_returns_non_positive() {
+        let p = FunctionProfile::builder("noop").build();
+        let r = p.runtime_ms(ResourceConfig::new(10.0, 10_240)).unwrap();
+        assert!(r > 0.0);
+    }
+}

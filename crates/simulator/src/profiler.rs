@@ -1,0 +1,137 @@
+//! Profiling runs: execute the workflow with a dummy (nominal) input and the
+//! base configuration to obtain per-function runtimes, which become the node
+//! weights of the weighted DAG (Algorithm 1, lines 2–6).
+
+use serde::{Deserialize, Serialize};
+
+use aarc_workflow::NodeId;
+
+use crate::env::{ConfigMap, WorkflowEnvironment};
+use crate::error::SimulatorError;
+use crate::executor::ExecutionReport;
+
+/// Per-function runtimes measured by a profiling run, used as DAG node
+/// weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfiledWeights {
+    runtimes_ms: Vec<f64>,
+}
+
+impl ProfiledWeights {
+    /// Builds weights from an execution report (billed runtime per
+    /// function; OOM-killed functions contribute their kill time).
+    pub fn from_report(report: &ExecutionReport) -> Self {
+        let n = report.executions().len();
+        let mut runtimes_ms = vec![0.0; n];
+        for exec in report.executions() {
+            if exec.node.index() < n {
+                runtimes_ms[exec.node.index()] = exec.runtime_ms;
+            }
+        }
+        ProfiledWeights { runtimes_ms }
+    }
+
+    /// Runtime of `node` in milliseconds (zero for unknown nodes).
+    pub fn get(&self, node: NodeId) -> f64 {
+        self.runtimes_ms.get(node.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Number of profiled functions.
+    pub fn len(&self) -> usize {
+        self.runtimes_ms.len()
+    }
+
+    /// Returns `true` if no functions were profiled.
+    pub fn is_empty(&self) -> bool {
+        self.runtimes_ms.is_empty()
+    }
+
+    /// Sum of all function runtimes (the weight of executing the workflow
+    /// serially).
+    pub fn total_ms(&self) -> f64 {
+        self.runtimes_ms.iter().sum()
+    }
+
+    /// A closure usable directly as the weight function of
+    /// [`critical_path`](aarc_workflow::critical_path::critical_path).
+    pub fn weight_fn(&self) -> impl Fn(NodeId) -> f64 + Copy + '_ {
+        move |id| self.get(id)
+    }
+}
+
+/// Profiles `env`'s workflow under `configs`, returning the per-function
+/// runtimes.
+///
+/// # Errors
+///
+/// Propagates execution errors (missing profiles, unplaceable containers).
+pub fn profile_workflow(
+    env: &WorkflowEnvironment,
+    configs: &ConfigMap,
+) -> Result<ProfiledWeights, SimulatorError> {
+    let report = env.execute(configs)?;
+    Ok(ProfiledWeights::from_report(&report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf_model::{FunctionProfile, ProfileSet};
+    use crate::resources::ResourceConfig;
+    use aarc_workflow::critical_path::critical_path;
+    use aarc_workflow::WorkflowBuilder;
+
+    fn env() -> WorkflowEnvironment {
+        let mut b = WorkflowBuilder::new("prof");
+        let a = b.add_function("fast");
+        let c = b.add_function("slow");
+        let d = b.add_function("sink");
+        b.add_edge(a, d).unwrap();
+        b.add_edge(c, d).unwrap();
+        let wf = b.build().unwrap();
+        let mut profiles = ProfileSet::new();
+        profiles.insert(a, FunctionProfile::builder("fast").serial_ms(100.0).build());
+        profiles.insert(c, FunctionProfile::builder("slow").serial_ms(5_000.0).build());
+        profiles.insert(d, FunctionProfile::builder("sink").serial_ms(50.0).build());
+        WorkflowEnvironment::builder(wf, profiles).build().unwrap()
+    }
+
+    #[test]
+    fn profiling_extracts_per_function_runtimes() {
+        let env = env();
+        let weights = profile_workflow(&env, &env.base_configs()).unwrap();
+        assert_eq!(weights.len(), 3);
+        let slow = env.workflow().find("slow").unwrap();
+        let fast = env.workflow().find("fast").unwrap();
+        assert!(weights.get(slow) > weights.get(fast));
+        assert!(weights.total_ms() >= weights.get(slow));
+        assert!(!weights.is_empty());
+    }
+
+    #[test]
+    fn weights_feed_critical_path_extraction() {
+        let env = env();
+        let weights = profile_workflow(&env, &env.base_configs()).unwrap();
+        let cp = critical_path(env.workflow().dag(), weights.weight_fn());
+        let slow = env.workflow().find("slow").unwrap();
+        assert!(cp.contains(slow), "critical path must include the slow branch");
+    }
+
+    #[test]
+    fn unknown_node_weight_is_zero() {
+        let env = env();
+        let weights = profile_workflow(&env, &env.base_configs()).unwrap();
+        assert_eq!(weights.get(NodeId::new(99)), 0.0);
+    }
+
+    #[test]
+    fn profiling_respects_configuration() {
+        let env = env();
+        let big = ConfigMap::uniform(3, ResourceConfig::new(4.0, 2048));
+        let small = ConfigMap::uniform(3, ResourceConfig::new(0.5, 2048));
+        let wb = profile_workflow(&env, &big).unwrap();
+        let ws = profile_workflow(&env, &small).unwrap();
+        // Sub-core allocation slows every function down.
+        assert!(ws.total_ms() > wb.total_ms());
+    }
+}

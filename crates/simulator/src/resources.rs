@@ -1,0 +1,278 @@
+//! Decoupled CPU and memory allocations and the discretised configuration
+//! space of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// A vCPU allocation (fractional cores), e.g. `Vcpu(0.5)` is half a core.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Vcpu(pub f64);
+
+impl Vcpu {
+    /// Raw number of cores.
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Vcpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1} vCPU", self.0)
+    }
+}
+
+/// A memory allocation in megabytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MemoryMb(pub u32);
+
+impl MemoryMb {
+    /// Raw megabytes.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Memory expressed in gigabytes.
+    pub fn as_gb(self) -> f64 {
+        f64::from(self.0) / 1024.0
+    }
+}
+
+impl std::fmt::Display for MemoryMb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} MB", self.0)
+    }
+}
+
+/// A decoupled (vCPU, memory) configuration for one serverless function.
+///
+/// On memory-centric platforms such as AWS Lambda the two quantities are
+/// coupled (roughly one core per 1769 MB); the paper's premise is that they
+/// should be configurable independently.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceConfig {
+    /// CPU share in cores.
+    pub vcpu: Vcpu,
+    /// Memory limit in megabytes.
+    pub memory: MemoryMb,
+}
+
+impl ResourceConfig {
+    /// Creates a configuration from raw core and megabyte counts.
+    pub fn new(vcpu: f64, memory_mb: u32) -> Self {
+        ResourceConfig {
+            vcpu: Vcpu(vcpu),
+            memory: MemoryMb(memory_mb),
+        }
+    }
+
+    /// The coupled configuration used by memory-centric platforms and the
+    /// MAFF baseline: one vCPU per `mb_per_core` megabytes of memory.
+    pub fn coupled(memory_mb: u32, mb_per_core: f64) -> Self {
+        ResourceConfig {
+            vcpu: Vcpu(f64::from(memory_mb) / mb_per_core),
+            memory: MemoryMb(memory_mb),
+        }
+    }
+}
+
+impl std::fmt::Display for ResourceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} / {}", self.vcpu, self.memory)
+    }
+}
+
+impl Default for ResourceConfig {
+    /// The over-provisioned base configuration used by Algorithm 1 before
+    /// any shrinking happens (maximum of the paper's search space).
+    fn default() -> Self {
+        ResourceSpace::paper().max_config()
+    }
+}
+
+/// The discretised decoupled configuration space described in §IV-A of the
+/// paper: memory from 128 MB to 10 240 MB in 64 MB increments and vCPU from
+/// 0.1 to 10 cores (we discretise CPU in 0.1-core steps).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceSpace {
+    /// Minimum vCPU allocation.
+    pub min_vcpu: f64,
+    /// Maximum vCPU allocation.
+    pub max_vcpu: f64,
+    /// vCPU step used when discretising.
+    pub vcpu_step: f64,
+    /// Minimum memory in MB.
+    pub min_memory_mb: u32,
+    /// Maximum memory in MB.
+    pub max_memory_mb: u32,
+    /// Memory step in MB.
+    pub memory_step_mb: u32,
+}
+
+impl ResourceSpace {
+    /// The space used throughout the paper's evaluation.
+    pub fn paper() -> Self {
+        ResourceSpace {
+            min_vcpu: 0.1,
+            max_vcpu: 10.0,
+            vcpu_step: 0.1,
+            min_memory_mb: 128,
+            max_memory_mb: 10_240,
+            memory_step_mb: 64,
+        }
+    }
+
+    /// The largest (over-provisioned) configuration in the space, used as
+    /// the base configuration of Algorithm 1.
+    pub fn max_config(&self) -> ResourceConfig {
+        ResourceConfig::new(self.max_vcpu, self.max_memory_mb)
+    }
+
+    /// The smallest configuration in the space.
+    pub fn min_config(&self) -> ResourceConfig {
+        ResourceConfig::new(self.min_vcpu, self.min_memory_mb)
+    }
+
+    /// Clamps a configuration into the space and snaps it onto the grid.
+    pub fn clamp(&self, config: ResourceConfig) -> ResourceConfig {
+        ResourceConfig::new(self.snap_vcpu(config.vcpu.get()), self.snap_memory(config.memory.get()))
+    }
+
+    /// Snaps a vCPU value onto the grid (rounding to the nearest step) and
+    /// clamps it into `[min_vcpu, max_vcpu]`.
+    pub fn snap_vcpu(&self, vcpu: f64) -> f64 {
+        let clamped = vcpu.clamp(self.min_vcpu, self.max_vcpu);
+        let steps = ((clamped - self.min_vcpu) / self.vcpu_step).round();
+        // Guard against FP drift producing values like 0.30000000000000004.
+        ((self.min_vcpu + steps * self.vcpu_step) * 1e6).round() / 1e6
+    }
+
+    /// Snaps a memory value onto the grid and clamps it into range.
+    pub fn snap_memory(&self, memory_mb: u32) -> u32 {
+        let clamped = memory_mb.clamp(self.min_memory_mb, self.max_memory_mb);
+        let offset = clamped - self.min_memory_mb;
+        let steps = (offset + self.memory_step_mb / 2) / self.memory_step_mb;
+        (self.min_memory_mb + steps * self.memory_step_mb).min(self.max_memory_mb)
+    }
+
+    /// Returns `true` if `config` lies inside the space (within grid
+    /// clamping bounds; it need not be exactly on the grid).
+    pub fn contains(&self, config: ResourceConfig) -> bool {
+        let v = config.vcpu.get();
+        let m = config.memory.get();
+        v >= self.min_vcpu - 1e-9
+            && v <= self.max_vcpu + 1e-9
+            && m >= self.min_memory_mb
+            && m <= self.max_memory_mb
+    }
+
+    /// Number of discrete vCPU levels.
+    pub fn vcpu_levels(&self) -> usize {
+        (((self.max_vcpu - self.min_vcpu) / self.vcpu_step).round() as usize) + 1
+    }
+
+    /// Number of discrete memory levels.
+    pub fn memory_levels(&self) -> usize {
+        ((self.max_memory_mb - self.min_memory_mb) / self.memory_step_mb) as usize + 1
+    }
+
+    /// Size of the discrete per-function search space (`vcpu × memory`).
+    pub fn cardinality(&self) -> usize {
+        self.vcpu_levels() * self.memory_levels()
+    }
+
+    /// Enumerates all discrete vCPU levels.
+    pub fn vcpu_grid(&self) -> Vec<f64> {
+        (0..self.vcpu_levels())
+            .map(|i| ((self.min_vcpu + i as f64 * self.vcpu_step) * 1e6).round() / 1e6)
+            .collect()
+    }
+
+    /// Enumerates all discrete memory levels.
+    pub fn memory_grid(&self) -> Vec<u32> {
+        (0..self.memory_levels())
+            .map(|i| self.min_memory_mb + (i as u32) * self.memory_step_mb)
+            .collect()
+    }
+}
+
+impl Default for ResourceSpace {
+    fn default() -> Self {
+        ResourceSpace::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_space_dimensions() {
+        let s = ResourceSpace::paper();
+        assert_eq!(s.memory_levels(), (10_240 - 128) / 64 + 1);
+        assert_eq!(s.vcpu_levels(), 100);
+        assert_eq!(s.cardinality(), s.vcpu_levels() * s.memory_levels());
+        assert_eq!(s.max_config(), ResourceConfig::new(10.0, 10_240));
+        assert_eq!(s.min_config(), ResourceConfig::new(0.1, 128));
+    }
+
+    #[test]
+    fn snap_memory_rounds_to_grid() {
+        let s = ResourceSpace::paper();
+        assert_eq!(s.snap_memory(128), 128);
+        assert_eq!(s.snap_memory(100), 128);
+        assert_eq!(s.snap_memory(511), 512);
+        assert_eq!(s.snap_memory(530), 512);
+        assert_eq!(s.snap_memory(545), 576);
+        assert_eq!(s.snap_memory(50_000), 10_240);
+    }
+
+    #[test]
+    fn snap_vcpu_rounds_to_grid() {
+        let s = ResourceSpace::paper();
+        assert!((s.snap_vcpu(0.0) - 0.1).abs() < 1e-9);
+        assert!((s.snap_vcpu(3.14) - 3.1).abs() < 1e-9);
+        assert!((s.snap_vcpu(99.0) - 10.0).abs() < 1e-9);
+        // 0.25 is equidistant between grid points; either neighbour is an
+        // acceptable snap.
+        let snapped = s.snap_vcpu(0.25);
+        assert!((snapped - 0.2).abs() < 1e-9 || (snapped - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamp_combines_both_axes() {
+        let s = ResourceSpace::paper();
+        let c = s.clamp(ResourceConfig::new(42.0, 7));
+        assert_eq!(c, ResourceConfig::new(10.0, 128));
+        assert!(s.contains(c));
+        assert!(!s.contains(ResourceConfig::new(42.0, 7)));
+    }
+
+    #[test]
+    fn grids_cover_extremes() {
+        let s = ResourceSpace::paper();
+        let vg = s.vcpu_grid();
+        let mg = s.memory_grid();
+        assert_eq!(vg.first().copied(), Some(0.1));
+        assert!((vg.last().copied().unwrap() - 10.0).abs() < 1e-6);
+        assert_eq!(mg.first().copied(), Some(128));
+        assert_eq!(mg.last().copied(), Some(10_240));
+    }
+
+    #[test]
+    fn coupled_config_matches_maff_ratio() {
+        let c = ResourceConfig::coupled(2048, 1024.0);
+        assert!((c.vcpu.get() - 2.0).abs() < 1e-9);
+        assert_eq!(c.memory.get(), 2048);
+    }
+
+    #[test]
+    fn default_config_is_base_overprovisioned() {
+        assert_eq!(ResourceConfig::default(), ResourceSpace::paper().max_config());
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = ResourceConfig::new(2.5, 1024);
+        assert_eq!(c.to_string(), "2.5 vCPU / 1024 MB");
+        assert_eq!(MemoryMb(2048).as_gb(), 2.0);
+    }
+}

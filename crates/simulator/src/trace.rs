@@ -1,0 +1,151 @@
+//! Execution traces for debugging and visualisation.
+
+use serde::{Deserialize, Serialize};
+
+use aarc_workflow::NodeId;
+
+/// One event recorded during a simulated workflow execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A function became ready (all dependencies and transfers done).
+    Ready {
+        /// Simulation time in ms.
+        at_ms: f64,
+        /// The function.
+        node: NodeId,
+    },
+    /// A function started executing on a host.
+    Started {
+        /// Simulation time in ms.
+        at_ms: f64,
+        /// The function.
+        node: NodeId,
+        /// Host index it was placed on.
+        host: usize,
+        /// Cold-start latency paid before user code ran, in ms.
+        cold_start_ms: f64,
+    },
+    /// A function finished successfully.
+    Finished {
+        /// Simulation time in ms.
+        at_ms: f64,
+        /// The function.
+        node: NodeId,
+        /// Billed runtime in ms.
+        runtime_ms: f64,
+    },
+    /// A function was killed by the out-of-memory supervisor.
+    OomKilled {
+        /// Simulation time in ms.
+        at_ms: f64,
+        /// The function.
+        node: NodeId,
+        /// Memory that would have been required, in MB.
+        required_mb: f64,
+    },
+    /// A function had to wait for cluster capacity.
+    QueuedForCapacity {
+        /// Simulation time in ms.
+        at_ms: f64,
+        /// The function.
+        node: NodeId,
+    },
+}
+
+impl TraceEvent {
+    /// Simulation time of the event in milliseconds.
+    pub fn at_ms(&self) -> f64 {
+        match self {
+            TraceEvent::Ready { at_ms, .. }
+            | TraceEvent::Started { at_ms, .. }
+            | TraceEvent::Finished { at_ms, .. }
+            | TraceEvent::OomKilled { at_ms, .. }
+            | TraceEvent::QueuedForCapacity { at_ms, .. } => *at_ms,
+        }
+    }
+
+    /// The function the event refers to.
+    pub fn node(&self) -> NodeId {
+        match self {
+            TraceEvent::Ready { node, .. }
+            | TraceEvent::Started { node, .. }
+            | TraceEvent::Finished { node, .. }
+            | TraceEvent::OomKilled { node, .. }
+            | TraceEvent::QueuedForCapacity { node, .. } => *node,
+        }
+    }
+}
+
+/// The ordered list of trace events of one execution.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl ExecutionTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        ExecutionTrace { events: Vec::new() }
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All events in chronological (insertion) order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events concerning one function.
+    pub fn for_node(&self, node: NodeId) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.node() == node).collect()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_accumulates_and_filters() {
+        let mut t = ExecutionTrace::new();
+        assert!(t.is_empty());
+        t.push(TraceEvent::Ready {
+            at_ms: 0.0,
+            node: NodeId::new(0),
+        });
+        t.push(TraceEvent::Started {
+            at_ms: 0.0,
+            node: NodeId::new(0),
+            host: 0,
+            cold_start_ms: 0.0,
+        });
+        t.push(TraceEvent::Finished {
+            at_ms: 10.0,
+            node: NodeId::new(0),
+            runtime_ms: 10.0,
+        });
+        t.push(TraceEvent::OomKilled {
+            at_ms: 12.0,
+            node: NodeId::new(1),
+            required_mb: 2048.0,
+        });
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.for_node(NodeId::new(0)).len(), 3);
+        assert_eq!(t.for_node(NodeId::new(1)).len(), 1);
+        assert_eq!(t.events()[3].at_ms(), 12.0);
+        assert_eq!(t.events()[3].node(), NodeId::new(1));
+    }
+}

@@ -1,0 +1,176 @@
+//! Builder for [`Workflow`] values.
+
+use std::collections::HashSet;
+
+use crate::dag::{Dag, NodeId};
+use crate::edge::{CommunicationKind, Edge};
+use crate::error::WorkflowError;
+use crate::node::{FunctionSpec, ResourceAffinity};
+use crate::workflow::Workflow;
+
+/// Incremental builder for [`Workflow`]s.
+///
+/// # Example
+///
+/// ```
+/// use aarc_workflow::{WorkflowBuilder, ResourceAffinity, CommunicationKind};
+///
+/// # fn main() -> Result<(), aarc_workflow::WorkflowError> {
+/// let mut b = WorkflowBuilder::new("video-analysis");
+/// let split = b.add_function("split");
+/// let extract = b.add_function_with_affinity("extract", ResourceAffinity::MemoryBound);
+/// let classify = b.add_function("classify");
+/// b.add_edge_with(split, extract, 64.0, CommunicationKind::Scatter)?;
+/// b.add_edge(extract, classify)?;
+/// let wf = b.build()?;
+/// assert_eq!(wf.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WorkflowBuilder {
+    name: String,
+    dag: Dag<FunctionSpec>,
+    edges: Vec<Edge>,
+}
+
+impl WorkflowBuilder {
+    /// Creates a builder for a workflow called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        WorkflowBuilder {
+            name: name.into(),
+            dag: Dag::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a function with the default (balanced) affinity annotation.
+    pub fn add_function(&mut self, name: impl Into<String>) -> NodeId {
+        self.dag.add_node(FunctionSpec::new(name))
+    }
+
+    /// Adds a function with an explicit affinity annotation.
+    pub fn add_function_with_affinity(
+        &mut self,
+        name: impl Into<String>,
+        affinity: ResourceAffinity,
+    ) -> NodeId {
+        self.dag.add_node(FunctionSpec::with_affinity(name, affinity))
+    }
+
+    /// Adds a plain dependency edge with a 1 MB direct payload.
+    ///
+    /// # Errors
+    ///
+    /// See [`Dag::add_edge`](crate::Dag::add_edge).
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), WorkflowError> {
+        self.add_edge_with(from, to, 1.0, CommunicationKind::Direct)
+    }
+
+    /// Adds a dependency edge with explicit payload size and communication
+    /// kind.
+    ///
+    /// # Errors
+    ///
+    /// See [`Dag::add_edge`](crate::Dag::add_edge).
+    pub fn add_edge_with(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload_mb: f64,
+        kind: CommunicationKind,
+    ) -> Result<(), WorkflowError> {
+        self.dag.add_edge(from, to)?;
+        self.edges.push(Edge::with_kind(from, to, payload_mb, kind));
+        Ok(())
+    }
+
+    /// Adds a linear chain of edges through `nodes`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Dag::add_edge`](crate::Dag::add_edge).
+    pub fn chain(&mut self, nodes: &[NodeId]) -> Result<(), WorkflowError> {
+        for pair in nodes.windows(2) {
+            self.add_edge(pair[0], pair[1])?;
+        }
+        Ok(())
+    }
+
+    /// Finalises the workflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkflowError::Empty`] if no function was added,
+    /// [`WorkflowError::DuplicateFunctionName`] if two functions share a
+    /// name, and [`WorkflowError::NoEntryNode`] if no entry node exists.
+    pub fn build(self) -> Result<Workflow, WorkflowError> {
+        if self.dag.is_empty() {
+            return Err(WorkflowError::Empty);
+        }
+        let mut seen = HashSet::new();
+        for (_, spec) in self.dag.iter() {
+            if !seen.insert(spec.name().to_owned()) {
+                return Err(WorkflowError::DuplicateFunctionName(spec.name().to_owned()));
+            }
+        }
+        if self.dag.sources().is_empty() {
+            return Err(WorkflowError::NoEntryNode);
+        }
+        Ok(Workflow::from_parts(self.name, self.dag, self.edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_rejects_empty() {
+        let b = WorkflowBuilder::new("empty");
+        assert_eq!(b.build().unwrap_err(), WorkflowError::Empty);
+    }
+
+    #[test]
+    fn build_rejects_duplicate_names() {
+        let mut b = WorkflowBuilder::new("dup");
+        b.add_function("f");
+        b.add_function("f");
+        assert_eq!(
+            b.build().unwrap_err(),
+            WorkflowError::DuplicateFunctionName("f".into())
+        );
+    }
+
+    #[test]
+    fn chain_builds_linear_workflow() {
+        let mut b = WorkflowBuilder::new("chain");
+        let ids: Vec<_> = (0..5).map(|i| b.add_function(format!("f{i}"))).collect();
+        b.chain(&ids).unwrap();
+        let wf = b.build().unwrap();
+        assert_eq!(wf.edges().len(), 4);
+        assert_eq!(wf.entries(), vec![ids[0]]);
+        assert_eq!(wf.exits(), vec![ids[4]]);
+    }
+
+    #[test]
+    fn single_function_workflow_is_valid() {
+        let mut b = WorkflowBuilder::new("single");
+        b.add_function("only");
+        let wf = b.build().unwrap();
+        assert_eq!(wf.len(), 1);
+        assert_eq!(wf.entries(), wf.exits());
+    }
+
+    #[test]
+    fn builder_propagates_cycle_errors() {
+        let mut b = WorkflowBuilder::new("cyclic");
+        let a = b.add_function("a");
+        let c = b.add_function("b");
+        b.add_edge(a, c).unwrap();
+        assert!(matches!(
+            b.add_edge(c, a),
+            Err(WorkflowError::CycleDetected { .. })
+        ));
+    }
+}

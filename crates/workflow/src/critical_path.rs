@@ -1,0 +1,282 @@
+//! Weighted critical-path extraction (the paper's `find_critical_path`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dag::{Dag, NodeId};
+
+/// The critical (longest weighted) path of a workflow DAG.
+///
+/// Node weights are the profiled runtimes of the functions; the critical path
+/// is the chain of dependent functions whose total runtime determines the
+/// end-to-end latency of the workflow and therefore receives the end-to-end
+/// SLO during configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CriticalPath {
+    nodes: Vec<NodeId>,
+    length: f64,
+}
+
+impl CriticalPath {
+    /// The nodes on the path, ordered from entry to exit.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Total weight (sum of node weights) along the path.
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+
+    /// Returns `true` if `id` lies on the critical path.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.contains(&id)
+    }
+
+    /// Position of `id` on the path, if present.
+    pub fn position(&self, id: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|&n| n == id)
+    }
+
+    /// Number of nodes on the path.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the path is empty (only possible for empty DAGs).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Computes the critical path of `dag` under the node-weight function
+/// `weight`.
+///
+/// Weights are interpreted as function runtimes (any non-negative unit). The
+/// returned path maximises the sum of node weights among all source-to-sink
+/// paths. Ties are broken deterministically towards lower node indices so
+/// repeated invocations return the same path.
+///
+/// # Example
+///
+/// ```
+/// use aarc_workflow::{Dag, critical_path::critical_path};
+///
+/// let mut g = Dag::new();
+/// let a = g.add_node("a");
+/// let b = g.add_node("b");
+/// let c = g.add_node("c");
+/// let d = g.add_node("d");
+/// g.add_edge(a, b).unwrap();
+/// g.add_edge(a, c).unwrap();
+/// g.add_edge(b, d).unwrap();
+/// g.add_edge(c, d).unwrap();
+///
+/// // b (40) is heavier than c (10), so the critical path goes through b.
+/// let weights = [5.0, 40.0, 10.0, 5.0];
+/// let cp = critical_path(&g, |id| weights[id.index()]);
+/// assert_eq!(cp.nodes(), &[a, b, d]);
+/// assert!((cp.length() - 50.0).abs() < 1e-9);
+/// ```
+pub fn critical_path<N>(dag: &Dag<N>, weight: impl Fn(NodeId) -> f64) -> CriticalPath {
+    if dag.is_empty() {
+        return CriticalPath {
+            nodes: Vec::new(),
+            length: 0.0,
+        };
+    }
+    let order = dag.topological_order();
+    let n = dag.len();
+    // dist[v] = weight of the heaviest path ending at v (inclusive);
+    // hops[v] = its node count, used to break weight ties towards longer
+    // paths so zero-weight prefixes/suffixes are still included.
+    let mut dist = vec![0.0_f64; n];
+    let mut hops = vec![1_usize; n];
+    let mut best_pred: Vec<Option<NodeId>> = vec![None; n];
+    // Lexicographic "is (da, ha) better than (db, hb)" with an absolute
+    // tolerance on the weight comparison and node-index tie-break for
+    // determinism.
+    let better = |da: f64, ha: usize, ia: usize, db: f64, hb: usize, ib: usize| {
+        if da > db + 1e-12 {
+            return true;
+        }
+        if (da - db).abs() <= 1e-12 {
+            if ha > hb {
+                return true;
+            }
+            if ha == hb {
+                return ia < ib;
+            }
+        }
+        false
+    };
+    for &v in &order {
+        let w = weight(v);
+        debug_assert!(w.is_finite(), "node weight must be finite");
+        let mut pred: Option<NodeId> = None;
+        for &p in dag.predecessors(v) {
+            let take = match pred {
+                None => true,
+                Some(q) => better(
+                    dist[p.index()],
+                    hops[p.index()],
+                    p.index(),
+                    dist[q.index()],
+                    hops[q.index()],
+                    q.index(),
+                ),
+            };
+            if take {
+                pred = Some(p);
+            }
+        }
+        let (base_dist, base_hops) = match pred {
+            Some(p) => (dist[p.index()], hops[p.index()]),
+            None => (0.0, 0),
+        };
+        dist[v.index()] = base_dist + w;
+        hops[v.index()] = base_hops + 1;
+        best_pred[v.index()] = pred;
+    }
+    // The critical path ends at the node with the largest distance (ties
+    // broken towards more hops, then lower index).
+    let mut end = order[0];
+    for &v in &order {
+        if better(
+            dist[v.index()],
+            hops[v.index()],
+            v.index(),
+            dist[end.index()],
+            hops[end.index()],
+            end.index(),
+        ) {
+            end = v;
+        }
+    }
+    // Backtrack.
+    let mut nodes = vec![end];
+    let mut cur = end;
+    while let Some(p) = best_pred[cur.index()] {
+        nodes.push(p);
+        cur = p;
+    }
+    nodes.reverse();
+    CriticalPath {
+        length: dist[end.index()],
+        nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights_fn(weights: &[f64]) -> impl Fn(NodeId) -> f64 + '_ {
+        move |id| weights[id.index()]
+    }
+
+    #[test]
+    fn single_node() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let cp = critical_path(&g, |_| 7.0);
+        assert_eq!(cp.nodes(), &[a]);
+        assert_eq!(cp.length(), 7.0);
+        assert!(cp.contains(a));
+        assert_eq!(cp.position(a), Some(0));
+    }
+
+    #[test]
+    fn empty_dag_gives_empty_path() {
+        let g: Dag<()> = Dag::new();
+        let cp = critical_path(&g, |_| 1.0);
+        assert!(cp.is_empty());
+        assert_eq!(cp.length(), 0.0);
+    }
+
+    #[test]
+    fn chain_takes_all_nodes() {
+        let mut g = Dag::new();
+        let ids: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        let cp = critical_path(&g, |_| 2.0);
+        assert_eq!(cp.nodes(), ids.as_slice());
+        assert!((cp.length() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diamond_prefers_heavier_branch() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        let weights = [1.0, 10.0, 50.0, 1.0];
+        let cp = critical_path(&g, weights_fn(&weights));
+        assert_eq!(cp.nodes(), &[a, c, d]);
+        assert!((cp.length() - 52.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_sources_and_sinks() {
+        // Two independent chains; the longer one wins.
+        let mut g = Dag::new();
+        let a0 = g.add_node(());
+        let a1 = g.add_node(());
+        let b0 = g.add_node(());
+        let b1 = g.add_node(());
+        g.add_edge(a0, a1).unwrap();
+        g.add_edge(b0, b1).unwrap();
+        let weights = [1.0, 1.0, 5.0, 6.0];
+        let cp = critical_path(&g, weights_fn(&weights));
+        assert_eq!(cp.nodes(), &[b0, b1]);
+        assert!((cp.length() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_length_equals_sum_of_member_weights() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        let weights = [3.0, 4.0, 2.5];
+        let cp = critical_path(&g, weights_fn(&weights));
+        let sum: f64 = cp.nodes().iter().map(|n| weights[n.index()]).sum();
+        assert!((cp.length() - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_are_deterministic() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        let cp1 = critical_path(&g, |_| 1.0);
+        let cp2 = critical_path(&g, |_| 1.0);
+        assert_eq!(cp1, cp2);
+        assert_eq!(cp1.len(), 3);
+    }
+
+    #[test]
+    fn zero_weights_are_allowed() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b).unwrap();
+        let cp = critical_path(&g, |_| 0.0);
+        assert_eq!(cp.length(), 0.0);
+        assert_eq!(cp.len(), 2);
+    }
+}

@@ -1,0 +1,99 @@
+//! Edge metadata: communication patterns between workflow functions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dag::NodeId;
+
+/// How data flows along a dependency edge.
+///
+/// The paper distinguishes *scatter* (a payload is partitioned across the
+/// downstream fan-out, as in Video Analysis and Chatbot) from *broadcast*
+/// (the full payload is replicated to every successor, as in ML Pipeline).
+/// The simulator uses the kind to scale data-transfer latency with fan-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum CommunicationKind {
+    /// Point-to-point transfer of the full payload.
+    #[default]
+    Direct,
+    /// The payload is split evenly across all successors.
+    Scatter,
+    /// The full payload is replicated to all successors.
+    Broadcast,
+    /// Successor gathers partial payloads from all predecessors.
+    Gather,
+}
+
+impl std::fmt::Display for CommunicationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CommunicationKind::Direct => "direct",
+            CommunicationKind::Scatter => "scatter",
+            CommunicationKind::Broadcast => "broadcast",
+            CommunicationKind::Gather => "gather",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A directed dependency between two workflow functions with transfer
+/// metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Upstream function.
+    pub from: NodeId,
+    /// Downstream function.
+    pub to: NodeId,
+    /// Communication pattern of the transfer.
+    pub kind: CommunicationKind,
+    /// Payload size transferred along this edge, in megabytes.
+    pub payload_mb: f64,
+}
+
+impl Edge {
+    /// Creates a direct edge with the given payload size.
+    pub fn new(from: NodeId, to: NodeId, payload_mb: f64) -> Self {
+        Edge {
+            from,
+            to,
+            kind: CommunicationKind::Direct,
+            payload_mb,
+        }
+    }
+
+    /// Creates an edge with an explicit communication kind.
+    pub fn with_kind(from: NodeId, to: NodeId, payload_mb: f64, kind: CommunicationKind) -> Self {
+        Edge {
+            from,
+            to,
+            kind,
+            payload_mb,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_constructors() {
+        let e = Edge::new(NodeId::new(0), NodeId::new(1), 4.0);
+        assert_eq!(e.kind, CommunicationKind::Direct);
+        assert_eq!(e.payload_mb, 4.0);
+        let e2 = Edge::with_kind(NodeId::new(0), NodeId::new(1), 2.0, CommunicationKind::Scatter);
+        assert_eq!(e2.kind, CommunicationKind::Scatter);
+    }
+
+    #[test]
+    fn communication_kind_display() {
+        assert_eq!(CommunicationKind::Direct.to_string(), "direct");
+        assert_eq!(CommunicationKind::Scatter.to_string(), "scatter");
+        assert_eq!(CommunicationKind::Broadcast.to_string(), "broadcast");
+        assert_eq!(CommunicationKind::Gather.to_string(), "gather");
+    }
+
+    #[test]
+    fn default_kind_is_direct() {
+        assert_eq!(CommunicationKind::default(), CommunicationKind::Direct);
+    }
+}

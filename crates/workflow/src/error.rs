@@ -1,0 +1,110 @@
+//! Error types for workflow construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::dag::NodeId;
+
+/// Errors produced while building or analysing a workflow DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkflowError {
+    /// An edge refers to a node index that does not exist.
+    UnknownNode(NodeId),
+    /// Adding the edge would introduce a cycle.
+    CycleDetected {
+        /// Source node of the offending edge.
+        from: NodeId,
+        /// Destination node of the offending edge.
+        to: NodeId,
+    },
+    /// The same edge was added twice.
+    DuplicateEdge {
+        /// Source node of the duplicated edge.
+        from: NodeId,
+        /// Destination node of the duplicated edge.
+        to: NodeId,
+    },
+    /// A self-loop (`v -> v`) was requested.
+    SelfLoop(NodeId),
+    /// The workflow contains no functions.
+    Empty,
+    /// Two functions share the same name, which would make configuration
+    /// reports ambiguous.
+    DuplicateFunctionName(String),
+    /// The graph has no entry node (every node has a predecessor), which can
+    /// only happen for cyclic graphs and is reported defensively.
+    NoEntryNode,
+}
+
+impl fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkflowError::UnknownNode(id) => write!(f, "unknown node id {}", id.index()),
+            WorkflowError::CycleDetected { from, to } => write!(
+                f,
+                "adding edge {} -> {} would create a cycle",
+                from.index(),
+                to.index()
+            ),
+            WorkflowError::DuplicateEdge { from, to } => write!(
+                f,
+                "edge {} -> {} already exists",
+                from.index(),
+                to.index()
+            ),
+            WorkflowError::SelfLoop(id) => {
+                write!(f, "self-loop on node {} is not allowed", id.index())
+            }
+            WorkflowError::Empty => write!(f, "workflow contains no functions"),
+            WorkflowError::DuplicateFunctionName(name) => {
+                write!(f, "duplicate function name `{name}`")
+            }
+            WorkflowError::NoEntryNode => write!(f, "workflow has no entry node"),
+        }
+    }
+}
+
+impl Error for WorkflowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(WorkflowError, &str)> = vec![
+            (WorkflowError::UnknownNode(NodeId::new(3)), "unknown node id 3"),
+            (
+                WorkflowError::CycleDetected {
+                    from: NodeId::new(1),
+                    to: NodeId::new(0),
+                },
+                "adding edge 1 -> 0 would create a cycle",
+            ),
+            (
+                WorkflowError::DuplicateEdge {
+                    from: NodeId::new(0),
+                    to: NodeId::new(1),
+                },
+                "edge 0 -> 1 already exists",
+            ),
+            (WorkflowError::SelfLoop(NodeId::new(2)), "self-loop on node 2 is not allowed"),
+            (WorkflowError::Empty, "workflow contains no functions"),
+            (
+                WorkflowError::DuplicateFunctionName("f".into()),
+                "duplicate function name `f`",
+            ),
+            (WorkflowError::NoEntryNode, "workflow has no entry node"),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WorkflowError>();
+    }
+}

@@ -1,0 +1,62 @@
+//! Workflow DAG substrate for the AARC resource-configuration framework.
+//!
+//! A serverless *workflow* is a directed acyclic graph (DAG) whose nodes are
+//! serverless functions and whose edges are invocation/data dependencies.
+//! This crate provides:
+//!
+//! * [`Dag`] — a small, index-based DAG container generic over the node
+//!   payload, with cycle detection, topological ordering and reachability
+//!   helpers.
+//! * [`Workflow`] — a `Dag<FunctionSpec>` describing a serverless workflow,
+//!   built through [`WorkflowBuilder`].
+//! * [`critical_path`](critical_path::critical_path) — weighted longest-path
+//!   extraction (the paper's `find_critical_path`).
+//! * [`subpath`] — detour sub-path extraction and full path decomposition
+//!   (the paper's `find_detour_subpath`), which the Graph-Centric Scheduler
+//!   consumes.
+//! * [`patterns`] — constructors for the communication patterns the paper
+//!   discusses (chains, scatter, broadcast, diamonds and layered random
+//!   DAGs).
+//!
+//! # Example
+//!
+//! ```
+//! use aarc_workflow::{WorkflowBuilder, critical_path::critical_path};
+//!
+//! # fn main() -> Result<(), aarc_workflow::WorkflowError> {
+//! let mut b = WorkflowBuilder::new("demo");
+//! let split = b.add_function("split");
+//! let work = b.add_function("work");
+//! let merge = b.add_function("merge");
+//! b.add_edge(split, work)?;
+//! b.add_edge(work, merge)?;
+//! let wf = b.build()?;
+//!
+//! // Weights (per-function runtimes in milliseconds) are supplied externally.
+//! let cp = critical_path(wf.dag(), |id| 10.0 + id.index() as f64);
+//! assert_eq!(cp.nodes().len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod critical_path;
+pub mod dag;
+pub mod edge;
+pub mod error;
+pub mod node;
+pub mod patterns;
+pub mod subpath;
+pub mod workflow;
+
+pub use builder::WorkflowBuilder;
+pub use critical_path::{critical_path, CriticalPath};
+pub use dag::{Dag, NodeId};
+pub use edge::{CommunicationKind, Edge};
+pub use error::WorkflowError;
+pub use node::{FunctionSpec, ResourceAffinity};
+pub use subpath::{decompose, DetourSubpath, PathDecomposition};
+pub use workflow::Workflow;

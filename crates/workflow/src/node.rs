@@ -1,0 +1,115 @@
+//! Function node payloads.
+
+use serde::{Deserialize, Serialize};
+
+/// Dominant resource affinity of a serverless function.
+///
+/// The paper's key observation (§II-A) is that different workflows — and
+/// different functions inside one workflow — have different *resource
+/// affinities*: some are CPU-bound and insensitive to memory, others need a
+/// large working set but little compute. AARC exploits this by decoupling the
+/// two dimensions. The affinity label is advisory metadata: the configurator
+/// discovers the real affinity empirically, but workload authors may annotate
+/// it and the [`affinity` analysis](https://docs.rs) recomputes it from
+/// profiling samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ResourceAffinity {
+    /// Runtime dominated by compute; scales with vCPU, flat in memory.
+    CpuBound,
+    /// Runtime dominated by the working set; needs memory, little compute.
+    MemoryBound,
+    /// Runtime dominated by I/O or orchestration; mostly insensitive to both.
+    IoBound,
+    /// Sensitive to both resources.
+    #[default]
+    Balanced,
+}
+
+impl std::fmt::Display for ResourceAffinity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ResourceAffinity::CpuBound => "cpu-bound",
+            ResourceAffinity::MemoryBound => "memory-bound",
+            ResourceAffinity::IoBound => "io-bound",
+            ResourceAffinity::Balanced => "balanced",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static description of a serverless function inside a workflow.
+///
+/// The specification carries only identity and advisory metadata; the
+/// performance behaviour of the function under a given CPU/memory allocation
+/// is modelled by the simulator crate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionSpec {
+    name: String,
+    affinity: ResourceAffinity,
+}
+
+impl FunctionSpec {
+    /// Creates a function specification with [`ResourceAffinity::Balanced`].
+    pub fn new(name: impl Into<String>) -> Self {
+        FunctionSpec {
+            name: name.into(),
+            affinity: ResourceAffinity::Balanced,
+        }
+    }
+
+    /// Creates a function specification with an explicit affinity annotation.
+    pub fn with_affinity(name: impl Into<String>, affinity: ResourceAffinity) -> Self {
+        FunctionSpec {
+            name: name.into(),
+            affinity,
+        }
+    }
+
+    /// The unique function name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The advisory resource affinity annotation.
+    pub fn affinity(&self) -> ResourceAffinity {
+        self.affinity
+    }
+
+    /// Replaces the affinity annotation.
+    pub fn set_affinity(&mut self, affinity: ResourceAffinity) {
+        self.affinity = affinity;
+    }
+}
+
+impl std::fmt::Display for FunctionSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.name, self.affinity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_defaults_to_balanced() {
+        let spec = FunctionSpec::new("classify");
+        assert_eq!(spec.name(), "classify");
+        assert_eq!(spec.affinity(), ResourceAffinity::Balanced);
+    }
+
+    #[test]
+    fn with_affinity_and_set_affinity() {
+        let mut spec = FunctionSpec::with_affinity("train", ResourceAffinity::CpuBound);
+        assert_eq!(spec.affinity(), ResourceAffinity::CpuBound);
+        spec.set_affinity(ResourceAffinity::MemoryBound);
+        assert_eq!(spec.affinity(), ResourceAffinity::MemoryBound);
+    }
+
+    #[test]
+    fn display_formats() {
+        let spec = FunctionSpec::with_affinity("extract", ResourceAffinity::IoBound);
+        assert_eq!(spec.to_string(), "extract (io-bound)");
+        assert_eq!(ResourceAffinity::Balanced.to_string(), "balanced");
+    }
+}

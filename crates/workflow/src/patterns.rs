@@ -1,0 +1,183 @@
+//! Constructors for common serverless workflow topologies.
+//!
+//! The paper characterises its workloads by their communication pattern:
+//! Chatbot and Video Analysis are *scatter* workflows (a splitter fans work
+//! out to parallel functions that rejoin), while ML Pipeline is a *broadcast*
+//! workflow (the input is replicated to parallel branches of different
+//! depth). These helpers build such shapes programmatically, both for tests
+//! and for the random workload generator.
+
+use crate::builder::WorkflowBuilder;
+use crate::dag::NodeId;
+use crate::edge::CommunicationKind;
+use crate::error::WorkflowError;
+use crate::workflow::Workflow;
+
+/// Builds a linear chain `f0 -> f1 -> … -> f(n-1)`.
+///
+/// # Errors
+///
+/// Returns an error if `n == 0`.
+pub fn chain(name: &str, n: usize) -> Result<Workflow, WorkflowError> {
+    let mut b = WorkflowBuilder::new(name);
+    let ids: Vec<NodeId> = (0..n).map(|i| b.add_function(format!("{name}_f{i}"))).collect();
+    b.chain(&ids)?;
+    b.build()
+}
+
+/// Builds a scatter/gather workflow: `split -> {worker_0 … worker_{w-1}} ->
+/// merge`, the shape of the paper's Chatbot and Video Analysis applications.
+///
+/// # Errors
+///
+/// Returns an error if `workers == 0`.
+pub fn scatter_gather(name: &str, workers: usize) -> Result<Workflow, WorkflowError> {
+    if workers == 0 {
+        return Err(WorkflowError::Empty);
+    }
+    let mut b = WorkflowBuilder::new(name);
+    let split = b.add_function(format!("{name}_split"));
+    let merge = b.add_function(format!("{name}_merge"));
+    for i in 0..workers {
+        let w = b.add_function(format!("{name}_worker{i}"));
+        b.add_edge_with(split, w, 8.0, CommunicationKind::Scatter)?;
+        b.add_edge_with(w, merge, 8.0, CommunicationKind::Gather)?;
+    }
+    b.build()
+}
+
+/// Builds a broadcast workflow with branches of the given lengths joining at
+/// a final combine node, the shape of the paper's ML Pipeline application.
+///
+/// # Errors
+///
+/// Returns an error if `branch_lengths` is empty or contains a zero.
+pub fn broadcast(name: &str, branch_lengths: &[usize]) -> Result<Workflow, WorkflowError> {
+    if branch_lengths.is_empty() || branch_lengths.contains(&0) {
+        return Err(WorkflowError::Empty);
+    }
+    let mut b = WorkflowBuilder::new(name);
+    let start = b.add_function(format!("{name}_start"));
+    let combine = b.add_function(format!("{name}_combine"));
+    for (bi, &len) in branch_lengths.iter().enumerate() {
+        let mut prev = start;
+        for si in 0..len {
+            let f = b.add_function(format!("{name}_b{bi}_s{si}"));
+            let kind = if prev == start {
+                CommunicationKind::Broadcast
+            } else {
+                CommunicationKind::Direct
+            };
+            b.add_edge_with(prev, f, 16.0, kind)?;
+            prev = f;
+        }
+        b.add_edge_with(prev, combine, 16.0, CommunicationKind::Gather)?;
+    }
+    b.build()
+}
+
+/// Builds a diamond workflow `start -> {left, right} -> end`.
+///
+/// # Errors
+///
+/// Propagates builder errors (none are expected for this fixed shape).
+pub fn diamond(name: &str) -> Result<Workflow, WorkflowError> {
+    let mut b = WorkflowBuilder::new(name);
+    let start = b.add_function(format!("{name}_start"));
+    let left = b.add_function(format!("{name}_left"));
+    let right = b.add_function(format!("{name}_right"));
+    let end = b.add_function(format!("{name}_end"));
+    b.add_edge(start, left)?;
+    b.add_edge(start, right)?;
+    b.add_edge(left, end)?;
+    b.add_edge(right, end)?;
+    b.build()
+}
+
+/// Builds a layered DAG with `layers` layers of `width` functions each.
+/// Every function in layer `i` depends on every function in layer `i-1`,
+/// which is the densest DAG shape the scheduler has to handle.
+///
+/// # Errors
+///
+/// Returns an error if `layers == 0` or `width == 0`.
+pub fn layered(name: &str, layers: usize, width: usize) -> Result<Workflow, WorkflowError> {
+    if layers == 0 || width == 0 {
+        return Err(WorkflowError::Empty);
+    }
+    let mut b = WorkflowBuilder::new(name);
+    let mut prev_layer: Vec<NodeId> = Vec::new();
+    for l in 0..layers {
+        let layer: Vec<NodeId> = (0..width)
+            .map(|w| b.add_function(format!("{name}_l{l}_w{w}")))
+            .collect();
+        for &p in &prev_layer {
+            for &c in &layer {
+                b.add_edge(p, c)?;
+            }
+        }
+        prev_layer = layer;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::critical_path::critical_path;
+    use crate::subpath::decompose;
+
+    #[test]
+    fn chain_shape() {
+        let wf = chain("c", 4).unwrap();
+        assert_eq!(wf.len(), 4);
+        assert_eq!(wf.edges().len(), 3);
+        assert_eq!(wf.entries().len(), 1);
+        assert_eq!(wf.exits().len(), 1);
+    }
+
+    #[test]
+    fn chain_of_zero_is_an_error() {
+        assert!(chain("c", 0).is_err());
+    }
+
+    #[test]
+    fn scatter_gather_shape() {
+        let wf = scatter_gather("sg", 3).unwrap();
+        assert_eq!(wf.len(), 5);
+        assert_eq!(wf.edges().len(), 6);
+        let split = wf.find("sg_split").unwrap();
+        assert_eq!(wf.dag().successors(split).len(), 3);
+        assert!(scatter_gather("sg", 0).is_err());
+    }
+
+    #[test]
+    fn broadcast_shape_matches_branch_spec() {
+        let wf = broadcast("ml", &[2, 1]).unwrap();
+        // start + combine + 3 branch functions
+        assert_eq!(wf.len(), 5);
+        let start = wf.find("ml_start").unwrap();
+        assert_eq!(wf.dag().successors(start).len(), 2);
+        assert!(broadcast("ml", &[]).is_err());
+        assert!(broadcast("ml", &[1, 0]).is_err());
+    }
+
+    #[test]
+    fn diamond_decomposition() {
+        let wf = diamond("d").unwrap();
+        let d = decompose(wf.dag(), |_| 1.0);
+        assert_eq!(d.critical.len(), 3);
+        assert_eq!(d.subpaths.len(), 1);
+        assert_eq!(d.covered(), 4);
+    }
+
+    #[test]
+    fn layered_is_dense_and_acyclic() {
+        let wf = layered("lay", 3, 3).unwrap();
+        assert_eq!(wf.len(), 9);
+        assert_eq!(wf.dag().edge_count(), 2 * 9);
+        let cp = critical_path(wf.dag(), |_| 1.0);
+        assert_eq!(cp.len(), 3);
+        assert!(layered("lay", 0, 3).is_err());
+    }
+}

@@ -1,0 +1,418 @@
+//! Detour sub-path extraction (the paper's `find_detour_subpath`) and full
+//! path decomposition of a workflow DAG.
+//!
+//! After the critical path of a workflow has been configured, every remaining
+//! function lies on a *detour sub-path*: a chain of off-critical functions
+//! that branches off an already-covered node (its *start anchor*) and rejoins
+//! another covered node (its *end anchor*). The Graph-Centric Scheduler
+//! assigns each detour a sub-SLO equal to the time window between its anchors
+//! on the configured critical path, so shrinking resources on the detour can
+//! never delay the critical path.
+
+use serde::{Deserialize, Serialize};
+
+use crate::critical_path::{critical_path, CriticalPath};
+use crate::dag::{Dag, NodeId};
+
+/// A detour sub-path of a workflow relative to a set of already-covered
+/// nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetourSubpath {
+    /// Covered node the detour branches off from, if the detour does not
+    /// start at a workflow entry.
+    pub start_anchor: Option<NodeId>,
+    /// Covered node the detour rejoins, if the detour does not end at a
+    /// workflow exit.
+    pub end_anchor: Option<NodeId>,
+    /// The not-yet-covered functions on the detour, in dependency order.
+    pub interior: Vec<NodeId>,
+    /// Total weight of the interior under the weights used for extraction.
+    pub interior_weight: f64,
+}
+
+impl DetourSubpath {
+    /// All nodes of the sub-path including anchors, in dependency order.
+    ///
+    /// This matches the paper's `sp`, which contains the (already scheduled)
+    /// anchor functions so that Algorithm 1 can pop them and shrink the
+    /// sub-SLO accordingly.
+    pub fn nodes_with_anchors(&self) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(self.interior.len() + 2);
+        if let Some(s) = self.start_anchor {
+            v.push(s);
+        }
+        v.extend(self.interior.iter().copied());
+        if let Some(e) = self.end_anchor {
+            v.push(e);
+        }
+        v
+    }
+
+    /// Number of interior (not yet configured) functions.
+    pub fn len(&self) -> usize {
+        self.interior.len()
+    }
+
+    /// Returns `true` if the detour has no interior functions.
+    pub fn is_empty(&self) -> bool {
+        self.interior.is_empty()
+    }
+}
+
+/// Complete decomposition of a workflow DAG into its critical path and a
+/// sequence of detour sub-paths covering every remaining function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathDecomposition {
+    /// The weighted critical path.
+    pub critical: CriticalPath,
+    /// Detour sub-paths in extraction order (heaviest first at each level).
+    pub subpaths: Vec<DetourSubpath>,
+}
+
+impl PathDecomposition {
+    /// Total number of functions covered (critical + all interiors).
+    pub fn covered(&self) -> usize {
+        self.critical.len() + self.subpaths.iter().map(DetourSubpath::len).sum::<usize>()
+    }
+}
+
+/// Finds the detour sub-paths of `dag` relative to `covered`, considering
+/// only nodes not in `covered` as interior candidates.
+///
+/// Each returned sub-path is a maximal chain of uncovered nodes whose head is
+/// either a workflow entry or has a covered predecessor, and whose tail is
+/// either a workflow exit or has a covered successor. Among the possible
+/// chains the heaviest (by `weight`) is extracted first; extraction repeats
+/// until no uncovered node can be anchored at the current level.
+pub fn find_detour_subpaths<N>(
+    dag: &Dag<N>,
+    covered: &[NodeId],
+    weight: impl Fn(NodeId) -> f64 + Copy,
+) -> Vec<DetourSubpath> {
+    let mut is_covered = vec![false; dag.len()];
+    for &c in covered {
+        is_covered[c.index()] = true;
+    }
+    let mut out = Vec::new();
+    loop {
+        match heaviest_anchored_chain(dag, &is_covered, weight) {
+            Some(sp) => {
+                for &n in &sp.interior {
+                    is_covered[n.index()] = true;
+                }
+                out.push(sp);
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Decomposes the DAG into its critical path plus detour sub-paths covering
+/// every node.
+///
+/// This is the structural half of the paper's Algorithm 1: the scheduler in
+/// `aarc-core` walks the returned decomposition, configures the critical path
+/// against the end-to-end SLO and each detour against its derived sub-SLO.
+///
+/// # Example
+///
+/// ```
+/// use aarc_workflow::{Dag, subpath::decompose};
+///
+/// let mut g = Dag::new();
+/// let a = g.add_node("start");
+/// let b = g.add_node("heavy");
+/// let c = g.add_node("light");
+/// let d = g.add_node("end");
+/// g.add_edge(a, b).unwrap();
+/// g.add_edge(a, c).unwrap();
+/// g.add_edge(b, d).unwrap();
+/// g.add_edge(c, d).unwrap();
+///
+/// let weights = [1.0, 10.0, 2.0, 1.0];
+/// let decomp = decompose(&g, |id| weights[id.index()]);
+/// assert_eq!(decomp.critical.nodes(), &[a, b, d]);
+/// assert_eq!(decomp.subpaths.len(), 1);
+/// assert_eq!(decomp.subpaths[0].interior, vec![c]);
+/// assert_eq!(decomp.covered(), 4);
+/// ```
+pub fn decompose<N>(dag: &Dag<N>, weight: impl Fn(NodeId) -> f64 + Copy) -> PathDecomposition {
+    let critical = critical_path(dag, weight);
+    let subpaths = find_detour_subpaths(dag, critical.nodes(), weight);
+    PathDecomposition { critical, subpaths }
+}
+
+/// Finds the heaviest chain of uncovered nodes that can be anchored on the
+/// covered set (or on workflow entries/exits).
+fn heaviest_anchored_chain<N>(
+    dag: &Dag<N>,
+    is_covered: &[bool],
+    weight: impl Fn(NodeId) -> f64,
+) -> Option<DetourSubpath> {
+    let order = dag.topological_order();
+    let n = dag.len();
+
+    // A node is a valid chain head if it is uncovered and either has no
+    // predecessors at all (workflow entry) or at least one covered
+    // predecessor.
+    let head_ok = |v: NodeId| {
+        !is_covered[v.index()]
+            && (dag.predecessors(v).is_empty()
+                || dag.predecessors(v).iter().any(|p| is_covered[p.index()]))
+    };
+    // Symmetrically for tails.
+    let tail_ok = |v: NodeId| {
+        !is_covered[v.index()]
+            && (dag.successors(v).is_empty()
+                || dag.successors(v).iter().any(|s| is_covered[s.index()]))
+    };
+
+    // Longest-path DP restricted to uncovered nodes, where chains must start
+    // at a valid head.
+    let mut dist = vec![f64::NEG_INFINITY; n];
+    let mut pred: Vec<Option<NodeId>> = vec![None; n];
+    for &v in &order {
+        if is_covered[v.index()] {
+            continue;
+        }
+        let w = weight(v);
+        let mut best = if head_ok(v) { 0.0 } else { f64::NEG_INFINITY };
+        let mut best_pred = None;
+        for &p in dag.predecessors(v) {
+            if is_covered[p.index()] {
+                continue;
+            }
+            let cand = dist[p.index()];
+            if cand > best {
+                best = cand;
+                best_pred = Some(p);
+            }
+        }
+        if best.is_finite() {
+            dist[v.index()] = best + w;
+            pred[v.index()] = best_pred;
+        }
+    }
+
+    // Choose the heaviest valid tail.
+    let mut end: Option<NodeId> = None;
+    for &v in &order {
+        if !tail_ok(v) || !dist[v.index()].is_finite() {
+            continue;
+        }
+        if end.is_none_or(|e| dist[v.index()] > dist[e.index()]) {
+            end = Some(v);
+        }
+    }
+    let end = end?;
+
+    // Backtrack the interior chain.
+    let mut interior = vec![end];
+    let mut cur = end;
+    while let Some(p) = pred[cur.index()] {
+        interior.push(p);
+        cur = p;
+    }
+    interior.reverse();
+
+    let head = interior[0];
+    let start_anchor = dag
+        .predecessors(head)
+        .iter()
+        .copied()
+        .find(|p| is_covered[p.index()]);
+    let end_anchor = dag
+        .successors(end)
+        .iter()
+        .copied()
+        .find(|s| is_covered[s.index()]);
+    let interior_weight = interior.iter().map(|&v| weight(v)).sum();
+    Some(DetourSubpath {
+        start_anchor,
+        end_anchor,
+        interior,
+        interior_weight,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The ML Pipeline-like broadcast DAG from the paper's Fig. 1b:
+    /// start fans out to two branches which rejoin at a combine node.
+    fn broadcast_dag() -> (Dag<&'static str>, Vec<NodeId>) {
+        let mut g = Dag::new();
+        let start = g.add_node("start");
+        let train_pca = g.add_node("train_pca");
+        let tune = g.add_node("param_tune");
+        let test_pca = g.add_node("test_pca");
+        let combine = g.add_node("combine");
+        let end = g.add_node("end");
+        g.add_edge(start, train_pca).unwrap();
+        g.add_edge(train_pca, tune).unwrap();
+        g.add_edge(start, test_pca).unwrap();
+        g.add_edge(tune, combine).unwrap();
+        g.add_edge(test_pca, combine).unwrap();
+        g.add_edge(combine, end).unwrap();
+        (g, vec![start, train_pca, tune, test_pca, combine, end])
+    }
+
+    #[test]
+    fn decompose_covers_all_nodes_broadcast() {
+        let (g, ids) = broadcast_dag();
+        let weights = [5.0, 60.0, 40.0, 20.0, 30.0, 5.0];
+        let d = decompose(&g, |id| weights[id.index()]);
+        assert_eq!(
+            d.critical.nodes(),
+            &[ids[0], ids[1], ids[2], ids[4], ids[5]]
+        );
+        assert_eq!(d.subpaths.len(), 1);
+        assert_eq!(d.subpaths[0].interior, vec![ids[3]]);
+        assert_eq!(d.subpaths[0].start_anchor, Some(ids[0]));
+        assert_eq!(d.subpaths[0].end_anchor, Some(ids[4]));
+        assert_eq!(d.covered(), g.len());
+    }
+
+    #[test]
+    fn multi_node_detour_is_extracted_as_one_chain() {
+        // a -> b -> e (critical), a -> c -> d -> e (detour with two nodes)
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        let e = g.add_node(());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, e).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(c, d).unwrap();
+        g.add_edge(d, e).unwrap();
+        let weights = [1.0, 100.0, 10.0, 10.0, 1.0];
+        let decomp = decompose(&g, |id| weights[id.index()]);
+        assert_eq!(decomp.critical.nodes(), &[a, b, e]);
+        assert_eq!(decomp.subpaths.len(), 1);
+        assert_eq!(decomp.subpaths[0].interior, vec![c, d]);
+        assert_eq!(decomp.subpaths[0].interior_weight, 20.0);
+    }
+
+    #[test]
+    fn nested_detours_are_extracted_level_by_level() {
+        // critical: a -> b -> c; detour1: a -> d -> c; detour2: a -> e -> d
+        // (e anchors on d, which only becomes covered after detour1).
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        let e = g.add_node(());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.add_edge(a, d).unwrap();
+        g.add_edge(d, c).unwrap();
+        g.add_edge(a, e).unwrap();
+        g.add_edge(e, d).unwrap();
+        let weights = [1.0, 100.0, 1.0, 50.0, 10.0];
+        let decomp = decompose(&g, |id| weights[id.index()]);
+        assert_eq!(decomp.critical.nodes(), &[a, b, c]);
+        assert_eq!(decomp.covered(), 5);
+        // d + e are both detours; the decomposition must cover both, either
+        // as one chain (e -> d) or two chained extractions.
+        let interiors: Vec<NodeId> = decomp
+            .subpaths
+            .iter()
+            .flat_map(|sp| sp.interior.iter().copied())
+            .collect();
+        assert!(interiors.contains(&d));
+        assert!(interiors.contains(&e));
+    }
+
+    #[test]
+    fn detour_starting_at_entry_has_no_start_anchor() {
+        // Two entries; the lighter entry chain becomes a detour anchored only
+        // at its end.
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let m = g.add_node(());
+        g.add_edge(a, m).unwrap();
+        g.add_edge(b, m).unwrap();
+        let weights = [50.0, 5.0, 1.0];
+        let decomp = decompose(&g, |id| weights[id.index()]);
+        assert_eq!(decomp.critical.nodes(), &[a, m]);
+        assert_eq!(decomp.subpaths.len(), 1);
+        assert_eq!(decomp.subpaths[0].start_anchor, None);
+        assert_eq!(decomp.subpaths[0].end_anchor, Some(m));
+        assert_eq!(decomp.subpaths[0].interior, vec![b]);
+    }
+
+    #[test]
+    fn detour_ending_at_exit_has_no_end_anchor() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        let weights = [1.0, 50.0, 5.0];
+        let decomp = decompose(&g, |id| weights[id.index()]);
+        assert_eq!(decomp.critical.nodes(), &[a, b]);
+        assert_eq!(decomp.subpaths[0].interior, vec![c]);
+        assert_eq!(decomp.subpaths[0].start_anchor, Some(a));
+        assert_eq!(decomp.subpaths[0].end_anchor, None);
+    }
+
+    #[test]
+    fn chain_has_no_subpaths() {
+        let mut g = Dag::new();
+        let ids: Vec<_> = (0..5).map(|_| g.add_node(())).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        let decomp = decompose(&g, |_| 1.0);
+        assert!(decomp.subpaths.is_empty());
+        assert_eq!(decomp.critical.len(), 5);
+    }
+
+    #[test]
+    fn nodes_with_anchors_includes_anchors_in_order() {
+        let (g, ids) = broadcast_dag();
+        let weights = [5.0, 60.0, 40.0, 20.0, 30.0, 5.0];
+        let decomp = decompose(&g, |id| weights[id.index()]);
+        let sp = &decomp.subpaths[0];
+        assert_eq!(sp.nodes_with_anchors(), vec![ids[0], ids[3], ids[4]]);
+        assert_eq!(sp.len(), 1);
+        assert!(!sp.is_empty());
+    }
+
+    #[test]
+    fn wide_scatter_extracts_each_branch() {
+        // One splitter fanning out to 4 parallel workers joined by a merger,
+        // like the Video Analysis / Chatbot scatter pattern.
+        let mut g = Dag::new();
+        let split = g.add_node(());
+        let workers: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        let merge = g.add_node(());
+        for &w in &workers {
+            g.add_edge(split, w).unwrap();
+            g.add_edge(w, merge).unwrap();
+        }
+        let weight = |id: NodeId| match id.index() {
+            0 => 2.0,
+            5 => 3.0,
+            i => 10.0 + i as f64, // workers get distinct weights
+        };
+        let decomp = decompose(&g, weight);
+        // Critical path goes through the heaviest worker (index 4).
+        assert_eq!(decomp.critical.nodes()[1], workers[3]);
+        // The other three workers each form their own single-node detour.
+        assert_eq!(decomp.subpaths.len(), 3);
+        for sp in &decomp.subpaths {
+            assert_eq!(sp.len(), 1);
+            assert_eq!(sp.start_anchor, Some(split));
+            assert_eq!(sp.end_anchor, Some(merge));
+        }
+        assert_eq!(decomp.covered(), g.len());
+    }
+}

@@ -1,0 +1,168 @@
+//! The [`Workflow`] type: a named DAG of serverless functions with edge
+//! transfer metadata.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dag::{Dag, NodeId};
+use crate::edge::{CommunicationKind, Edge};
+use crate::node::FunctionSpec;
+
+/// A serverless workflow: a DAG of [`FunctionSpec`] nodes plus per-edge
+/// communication metadata.
+///
+/// Workflows are constructed with [`WorkflowBuilder`](crate::WorkflowBuilder)
+/// which validates acyclicity and name uniqueness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workflow {
+    name: String,
+    dag: Dag<FunctionSpec>,
+    edges: Vec<Edge>,
+}
+
+impl Workflow {
+    pub(crate) fn from_parts(name: String, dag: Dag<FunctionSpec>, edges: Vec<Edge>) -> Self {
+        Workflow { name, dag, edges }
+    }
+
+    /// Workflow name, e.g. `"chatbot"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying DAG.
+    pub fn dag(&self) -> &Dag<FunctionSpec> {
+        &self.dag
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.dag.len()
+    }
+
+    /// Returns `true` if the workflow has no functions (never true for built
+    /// workflows).
+    pub fn is_empty(&self) -> bool {
+        self.dag.is_empty()
+    }
+
+    /// The function specification of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this workflow.
+    pub fn function(&self, id: NodeId) -> &FunctionSpec {
+        self.dag.node(id)
+    }
+
+    /// Looks a function up by name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.dag
+            .iter()
+            .find(|(_, spec)| spec.name() == name)
+            .map(|(id, _)| id)
+    }
+
+    /// Iterates over `(NodeId, &FunctionSpec)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &FunctionSpec)> {
+        self.dag.iter()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.dag.node_ids()
+    }
+
+    /// Edge metadata, in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Returns the edge metadata for `from -> to` if that edge exists.
+    pub fn edge(&self, from: NodeId, to: NodeId) -> Option<&Edge> {
+        self.edges.iter().find(|e| e.from == from && e.to == to)
+    }
+
+    /// Entry functions (no predecessors).
+    pub fn entries(&self) -> Vec<NodeId> {
+        self.dag.sources()
+    }
+
+    /// Exit functions (no successors).
+    pub fn exits(&self) -> Vec<NodeId> {
+        self.dag.sinks()
+    }
+
+    /// Topological order of the functions.
+    pub fn topological_order(&self) -> Vec<NodeId> {
+        self.dag.topological_order()
+    }
+
+    /// Map from function name to node id (names are unique by construction).
+    pub fn name_index(&self) -> HashMap<String, NodeId> {
+        self.dag
+            .iter()
+            .map(|(id, spec)| (spec.name().to_owned(), id))
+            .collect()
+    }
+
+    /// Summary of the communication patterns present in the workflow,
+    /// e.g. "scatter" if any scatter edge exists.
+    pub fn communication_kinds(&self) -> Vec<CommunicationKind> {
+        let mut kinds: Vec<CommunicationKind> = self.edges.iter().map(|e| e.kind).collect();
+        kinds.sort_by_key(|k| format!("{k}"));
+        kinds.dedup();
+        kinds
+    }
+}
+
+impl std::fmt::Display for Workflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "workflow `{}` ({} functions, {} edges)",
+            self.name,
+            self.len(),
+            self.edges.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::WorkflowBuilder;
+    use crate::edge::CommunicationKind;
+
+    #[test]
+    fn lookup_and_iteration() {
+        let mut b = WorkflowBuilder::new("wf");
+        let a = b.add_function("start");
+        let c = b.add_function("classify");
+        b.add_edge(a, c).unwrap();
+        let wf = b.build().unwrap();
+
+        assert_eq!(wf.name(), "wf");
+        assert_eq!(wf.len(), 2);
+        assert_eq!(wf.find("classify"), Some(c));
+        assert_eq!(wf.find("missing"), None);
+        assert_eq!(wf.entries(), vec![a]);
+        assert_eq!(wf.exits(), vec![c]);
+        assert_eq!(wf.name_index().len(), 2);
+        assert_eq!(wf.to_string(), "workflow `wf` (2 functions, 1 edges)");
+    }
+
+    #[test]
+    fn edge_metadata_lookup() {
+        let mut b = WorkflowBuilder::new("wf");
+        let a = b.add_function("split");
+        let c = b.add_function("extract");
+        b.add_edge_with(a, c, 16.0, CommunicationKind::Scatter).unwrap();
+        let wf = b.build().unwrap();
+        let e = wf.edge(a, c).unwrap();
+        assert_eq!(e.kind, CommunicationKind::Scatter);
+        assert_eq!(e.payload_mb, 16.0);
+        assert!(wf.edge(c, a).is_none());
+        assert_eq!(wf.communication_kinds(), vec![CommunicationKind::Scatter]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the DAG, critical-path and decomposition
+//! invariants.
+
+use aarc_workflow::critical_path::critical_path;
+use aarc_workflow::subpath::decompose;
+use aarc_workflow::{Dag, NodeId};
+use proptest::prelude::*;
+
+/// Strategy: a random DAG built by only ever adding edges from lower to
+/// higher node indices (guaranteeing acyclicity by construction) plus random
+/// positive node weights.
+fn arb_dag() -> impl Strategy<Value = (Dag<()>, Vec<f64>)> {
+    (2usize..20).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..(n * 3));
+        let weights = proptest::collection::vec(0.1f64..500.0, n);
+        (Just(n), edges, weights).prop_map(|(n, edges, weights)| {
+            let mut dag = Dag::new();
+            for _ in 0..n {
+                dag.add_node(());
+            }
+            for (a, b) in edges {
+                if a < b {
+                    // Ignore duplicates; Dag rejects them.
+                    let _ = dag.add_edge(NodeId::new(a), NodeId::new(b));
+                }
+            }
+            (dag, weights)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The topological order contains every node exactly once and respects
+    /// every edge.
+    #[test]
+    fn topological_order_is_a_valid_permutation((dag, _w) in arb_dag()) {
+        let order = dag.topological_order();
+        prop_assert_eq!(order.len(), dag.len());
+        let mut pos = vec![usize::MAX; dag.len()];
+        for (i, id) in order.iter().enumerate() {
+            pos[id.index()] = i;
+        }
+        prop_assert!(pos.iter().all(|&p| p != usize::MAX));
+        for (from, to) in dag.edges() {
+            prop_assert!(pos[from.index()] < pos[to.index()]);
+        }
+    }
+
+    /// The critical path is a real path (consecutive nodes are connected by
+    /// edges) and its length equals the sum of its member weights.
+    #[test]
+    fn critical_path_is_a_connected_path((dag, w) in arb_dag()) {
+        let cp = critical_path(&dag, |id| w[id.index()]);
+        prop_assert!(!cp.is_empty());
+        for pair in cp.nodes().windows(2) {
+            prop_assert!(dag.successors(pair[0]).contains(&pair[1]));
+        }
+        let sum: f64 = cp.nodes().iter().map(|n| w[n.index()]).sum();
+        prop_assert!((cp.length() - sum).abs() < 1e-6);
+    }
+
+    /// No other source-to-sink chain is heavier than the critical path.
+    /// (Verified against a brute-force DP over the DAG.)
+    #[test]
+    fn critical_path_is_the_longest((dag, w) in arb_dag()) {
+        let cp = critical_path(&dag, |id| w[id.index()]);
+        // Brute-force longest path by DP over topological order.
+        let order = dag.topological_order();
+        let mut dist = vec![0.0f64; dag.len()];
+        let mut best = 0.0f64;
+        for &v in &order {
+            let incoming = dag
+                .predecessors(v)
+                .iter()
+                .map(|p| dist[p.index()])
+                .fold(0.0f64, f64::max);
+            dist[v.index()] = incoming + w[v.index()];
+            best = best.max(dist[v.index()]);
+        }
+        prop_assert!((cp.length() - best).abs() < 1e-6);
+    }
+
+    /// The decomposition covers every node exactly once and detour interiors
+    /// never overlap the critical path.
+    #[test]
+    fn decomposition_partitions_the_dag((dag, w) in arb_dag()) {
+        let d = decompose(&dag, |id| w[id.index()]);
+        let mut seen = vec![0usize; dag.len()];
+        for &n in d.critical.nodes() {
+            seen[n.index()] += 1;
+        }
+        for sp in &d.subpaths {
+            for &n in &sp.interior {
+                seen[n.index()] += 1;
+            }
+        }
+        // Every node covered exactly once.
+        prop_assert!(seen.iter().all(|&c| c == 1), "coverage counts: {:?}", seen);
+        // Interiors are connected chains.
+        for sp in &d.subpaths {
+            for pair in sp.interior.windows(2) {
+                prop_assert!(dag.successors(pair[0]).contains(&pair[1]));
+            }
+        }
+    }
+
+    /// Anchors of every detour are covered before the detour is extracted,
+    /// i.e. they are on the critical path or in an earlier sub-path.
+    #[test]
+    fn detour_anchors_are_previously_covered((dag, w) in arb_dag()) {
+        let d = decompose(&dag, |id| w[id.index()]);
+        let mut covered: Vec<bool> = vec![false; dag.len()];
+        for &n in d.critical.nodes() {
+            covered[n.index()] = true;
+        }
+        for sp in &d.subpaths {
+            if let Some(s) = sp.start_anchor {
+                prop_assert!(covered[s.index()]);
+            }
+            if let Some(e) = sp.end_anchor {
+                prop_assert!(covered[e.index()]);
+            }
+            for &n in &sp.interior {
+                covered[n.index()] = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The Chatbot workflow (paper Fig. 1a).
+//!
+//! The application processes a user utterance, splits the training corpus,
+//! trains two intent classifiers in parallel against remote storage and
+//! aggregates them for real-time intent detection. Its functions are almost
+//! entirely serial and need little memory, which is why the paper finds its
+//! cost optimum at roughly **1 vCPU / 512 MB** (Fig. 2a) — a memory-centric
+//! platform would grossly over-provision memory to obtain one core.
+
+use aarc_simulator::{FunctionProfile, ProfileSet, WorkflowEnvironment};
+use aarc_workflow::{CommunicationKind, ResourceAffinity, WorkflowBuilder};
+
+use crate::workload::Workload;
+
+/// End-to-end SLO the paper assigns to the Chatbot workflow (120 s).
+pub const CHATBOT_SLO_MS: f64 = 120_000.0;
+
+/// Builds the Chatbot workload.
+///
+/// # Panics
+///
+/// Never panics for the fixed topology defined here; the `expect`s guard
+/// against programming errors while constructing the static DAG.
+pub fn chatbot() -> Workload {
+    let mut b = WorkflowBuilder::new("chatbot");
+    let start = b.add_function_with_affinity("start", ResourceAffinity::IoBound);
+    let split = b.add_function_with_affinity("split", ResourceAffinity::CpuBound);
+    let classify_intent = b.add_function_with_affinity("classify_intent", ResourceAffinity::CpuBound);
+    let classify_entity = b.add_function_with_affinity("classify_entity", ResourceAffinity::CpuBound);
+    let aggregate = b.add_function_with_affinity("aggregate", ResourceAffinity::Balanced);
+    let end = b.add_function_with_affinity("end", ResourceAffinity::IoBound);
+
+    b.add_edge_with(start, split, 4.0, CommunicationKind::Direct)
+        .expect("static edge");
+    b.add_edge_with(split, classify_intent, 16.0, CommunicationKind::Scatter)
+        .expect("static edge");
+    b.add_edge_with(split, classify_entity, 16.0, CommunicationKind::Scatter)
+        .expect("static edge");
+    b.add_edge_with(classify_intent, aggregate, 8.0, CommunicationKind::Gather)
+        .expect("static edge");
+    b.add_edge_with(classify_entity, aggregate, 8.0, CommunicationKind::Gather)
+        .expect("static edge");
+    b.add_edge_with(aggregate, end, 2.0, CommunicationKind::Direct)
+        .expect("static edge");
+    let workflow = b.build().expect("chatbot workflow is statically valid");
+
+    let mut profiles = ProfileSet::new();
+    profiles.insert(
+        start,
+        FunctionProfile::builder("start")
+            .serial_ms(1_500.0)
+            .io_ms(500.0)
+            .working_set_mb(192.0)
+            .mem_floor_mb(128.0)
+            .input_sensitivity(0.2)
+            .build(),
+    );
+    profiles.insert(
+        split,
+        FunctionProfile::builder("split")
+            .serial_ms(15_000.0)
+            .parallel_ms(3_000.0)
+            .max_parallelism(2.0)
+            .io_ms(1_000.0)
+            .working_set_mb(384.0)
+            .mem_floor_mb(192.0)
+            .build(),
+    );
+    profiles.insert(
+        classify_intent,
+        FunctionProfile::builder("classify_intent")
+            .serial_ms(32_000.0)
+            .parallel_ms(24_000.0)
+            .max_parallelism(2.0)
+            .io_ms(2_000.0)
+            .working_set_mb(448.0)
+            .mem_floor_mb(256.0)
+            .mem_penalty_factor(3.0)
+            .build(),
+    );
+    profiles.insert(
+        classify_entity,
+        FunctionProfile::builder("classify_entity")
+            .serial_ms(20_000.0)
+            .parallel_ms(14_000.0)
+            .max_parallelism(2.0)
+            .io_ms(1_500.0)
+            .working_set_mb(448.0)
+            .mem_floor_mb(256.0)
+            .mem_penalty_factor(3.0)
+            .build(),
+    );
+    profiles.insert(
+        aggregate,
+        FunctionProfile::builder("aggregate")
+            .serial_ms(18_000.0)
+            .parallel_ms(4_000.0)
+            .max_parallelism(2.0)
+            .io_ms(1_000.0)
+            .working_set_mb(320.0)
+            .mem_floor_mb(192.0)
+            .build(),
+    );
+    profiles.insert(
+        end,
+        FunctionProfile::builder("end")
+            .serial_ms(1_000.0)
+            .io_ms(500.0)
+            .working_set_mb(128.0)
+            .mem_floor_mb(64.0)
+            .input_sensitivity(0.2)
+            .build(),
+    );
+
+    let env = WorkflowEnvironment::builder(workflow, profiles)
+        .seed(17)
+        .build()
+        .expect("chatbot environment is statically valid");
+    Workload::new("chatbot", env, CHATBOT_SLO_MS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarc_simulator::{ConfigMap, ResourceConfig};
+    use aarc_workflow::critical_path::critical_path;
+    use aarc_workflow::subpath::decompose;
+
+    #[test]
+    fn topology_matches_fig_1a() {
+        let wl = chatbot();
+        let wf = wl.env().workflow();
+        assert_eq!(wf.len(), 6);
+        let split = wf.find("split").unwrap();
+        assert_eq!(wf.dag().successors(split).len(), 2, "two parallel classifiers");
+        assert_eq!(wf.entries().len(), 1);
+        assert_eq!(wf.exits().len(), 1);
+    }
+
+    #[test]
+    fn critical_path_goes_through_the_heavier_classifier() {
+        let wl = chatbot();
+        let env = wl.env();
+        let weights =
+            aarc_simulator::profile_workflow(env, &env.base_configs()).unwrap();
+        let cp = critical_path(env.workflow().dag(), weights.weight_fn());
+        assert!(cp.contains(env.workflow().find("classify_intent").unwrap()));
+        assert!(!cp.contains(env.workflow().find("classify_entity").unwrap()));
+        let decomp = decompose(env.workflow().dag(), weights.weight_fn());
+        assert_eq!(decomp.subpaths.len(), 1);
+    }
+
+    #[test]
+    fn paper_optimum_runs_close_to_but_under_the_slo() {
+        let wl = chatbot();
+        let cfg = ConfigMap::uniform(wl.len(), ResourceConfig::new(1.0, 512));
+        let report = wl.env().execute(&cfg).unwrap();
+        assert!(report.meets_slo(wl.slo_ms()));
+        assert!(
+            report.makespan_ms() > 0.6 * wl.slo_ms(),
+            "the 1 vCPU / 512 MB optimum should use most of the SLO budget (got {} ms)",
+            report.makespan_ms()
+        );
+    }
+
+    #[test]
+    fn chatbot_is_cpu_light_memory_light() {
+        // Runtime barely changes when memory grows beyond 512 MB (flat rows
+        // of Fig. 2a) and adding many cores brings little benefit.
+        let wl = chatbot();
+        let small = ConfigMap::uniform(wl.len(), ResourceConfig::new(1.0, 512));
+        let big_mem = ConfigMap::uniform(wl.len(), ResourceConfig::new(1.0, 4096));
+        let big_cpu = ConfigMap::uniform(wl.len(), ResourceConfig::new(8.0, 512));
+        let r_small = wl.env().execute(&small).unwrap().makespan_ms();
+        let r_big_mem = wl.env().execute(&big_mem).unwrap().makespan_ms();
+        let r_big_cpu = wl.env().execute(&big_cpu).unwrap().makespan_ms();
+        assert!((r_small - r_big_mem).abs() / r_small < 0.01);
+        assert!(r_big_cpu > 0.6 * r_small, "8 cores must not even halve the runtime");
+    }
+
+    #[test]
+    fn undersized_memory_ooms() {
+        let wl = chatbot();
+        let cfg = ConfigMap::uniform(wl.len(), ResourceConfig::new(1.0, 128));
+        let report = wl.env().execute(&cfg).unwrap();
+        assert!(report.any_oom());
+    }
+}

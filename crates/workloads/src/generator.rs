@@ -1,0 +1,185 @@
+//! Random workload generation.
+//!
+//! Property tests and ablation benches need workflows beyond the paper's
+//! three applications. The generator produces random layered DAGs with
+//! random (but well-formed) performance profiles, drawn deterministically
+//! from a seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use aarc_simulator::{FunctionProfile, ProfileSet, WorkflowEnvironment};
+use aarc_workflow::{CommunicationKind, WorkflowBuilder};
+
+use crate::workload::Workload;
+
+/// Parameters of the random workload generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWorkloadConfig {
+    /// Number of DAG layers (≥ 1).
+    pub layers: usize,
+    /// Maximum functions per layer (≥ 1); the actual width of each layer is
+    /// drawn uniformly from `1..=max_width`.
+    pub max_width: usize,
+    /// Probability of adding an edge between functions in consecutive
+    /// layers beyond the spanning connection.
+    pub edge_probability: f64,
+    /// Upper bound on a function's total compute at one core, in ms.
+    pub max_compute_ms: f64,
+    /// Upper bound on a function's working set, in MB.
+    pub max_working_set_mb: f64,
+    /// SLO headroom over the base-configuration makespan (e.g. `1.5` sets
+    /// the SLO to 150 % of the profiled makespan).
+    pub slo_headroom: f64,
+}
+
+impl Default for RandomWorkloadConfig {
+    fn default() -> Self {
+        RandomWorkloadConfig {
+            layers: 4,
+            max_width: 3,
+            edge_probability: 0.3,
+            max_compute_ms: 60_000.0,
+            max_working_set_mb: 4_096.0,
+            slo_headroom: 1.5,
+        }
+    }
+}
+
+/// Deterministic random workload generator.
+#[derive(Debug)]
+pub struct RandomWorkloadGenerator {
+    config: RandomWorkloadConfig,
+    rng: StdRng,
+    counter: usize,
+}
+
+impl RandomWorkloadGenerator {
+    /// Creates a generator with the given configuration and seed.
+    pub fn new(config: RandomWorkloadConfig, seed: u64) -> Self {
+        RandomWorkloadGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            counter: 0,
+        }
+    }
+
+    /// Generates the next random workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero layers or zero width (a usage
+    /// error of this test utility).
+    pub fn generate(&mut self) -> Workload {
+        assert!(self.config.layers > 0 && self.config.max_width > 0);
+        self.counter += 1;
+        let name = format!("random-{}", self.counter);
+        let mut b = WorkflowBuilder::new(&name);
+        let mut profiles_todo = Vec::new();
+
+        // Build layered topology.
+        let mut prev_layer = Vec::new();
+        for l in 0..self.config.layers {
+            let width = self.rng.gen_range(1..=self.config.max_width);
+            let mut layer = Vec::with_capacity(width);
+            for w in 0..width {
+                let fname = format!("{name}_l{l}_f{w}");
+                let id = b.add_function(&fname);
+                profiles_todo.push((id, fname));
+                layer.push(id);
+            }
+            if !prev_layer.is_empty() {
+                // Guarantee connectivity: each node gets at least one parent.
+                for (i, &child) in layer.iter().enumerate() {
+                    let parent = prev_layer[i % prev_layer.len()];
+                    b.add_edge_with(parent, child, 4.0, CommunicationKind::Direct)
+                        .expect("layered edges cannot form cycles");
+                }
+                // Extra random edges.
+                for &parent in &prev_layer {
+                    for &child in &layer {
+                        if self.rng.gen::<f64>() < self.config.edge_probability {
+                            // Ignore duplicates.
+                            let _ = b.add_edge_with(parent, child, 4.0, CommunicationKind::Direct);
+                        }
+                    }
+                }
+            }
+            prev_layer = layer;
+        }
+        let workflow = b.build().expect("generated workflow is structurally valid");
+
+        // Random but well-formed profiles.
+        let mut profiles = ProfileSet::new();
+        for (id, fname) in profiles_todo {
+            let compute = self.rng.gen_range(1_000.0..self.config.max_compute_ms);
+            let parallel_share = self.rng.gen_range(0.0..1.0);
+            let working_set = self.rng.gen_range(128.0..self.config.max_working_set_mb);
+            let profile = FunctionProfile::builder(&fname)
+                .serial_ms(compute * (1.0 - parallel_share))
+                .parallel_ms(compute * parallel_share)
+                .max_parallelism(self.rng.gen_range(1.0..8.0))
+                .io_ms(self.rng.gen_range(0.0..2_000.0))
+                .working_set_mb(working_set)
+                .mem_floor_mb(working_set * self.rng.gen_range(0.3..0.7))
+                .mem_penalty_factor(self.rng.gen_range(2.0..6.0))
+                .build();
+            profiles.insert(id, profile);
+        }
+
+        let env = WorkflowEnvironment::builder(workflow, profiles)
+            .seed(self.rng.gen())
+            .build()
+            .expect("generated environment is valid");
+        let base_makespan = env
+            .execute(&env.base_configs())
+            .expect("base configuration always executes")
+            .makespan_ms();
+        let slo = base_makespan * self.config.slo_headroom;
+        Workload::new(name, env, slo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic_for_a_seed() {
+        let mut g1 = RandomWorkloadGenerator::new(RandomWorkloadConfig::default(), 7);
+        let mut g2 = RandomWorkloadGenerator::new(RandomWorkloadConfig::default(), 7);
+        let w1 = g1.generate();
+        let w2 = g2.generate();
+        assert_eq!(w1.len(), w2.len());
+        assert_eq!(w1.slo_ms(), w2.slo_ms());
+    }
+
+    #[test]
+    fn different_seeds_give_different_workloads() {
+        let mut g1 = RandomWorkloadGenerator::new(RandomWorkloadConfig::default(), 1);
+        let mut g2 = RandomWorkloadGenerator::new(RandomWorkloadConfig::default(), 2);
+        let w1 = g1.generate();
+        let w2 = g2.generate();
+        // Either structure or SLO differs with overwhelming probability.
+        assert!(w1.len() != w2.len() || (w1.slo_ms() - w2.slo_ms()).abs() > 1e-9);
+    }
+
+    #[test]
+    fn generated_workloads_meet_their_own_slo_at_base_config() {
+        let mut gen = RandomWorkloadGenerator::new(RandomWorkloadConfig::default(), 42);
+        for _ in 0..5 {
+            let wl = gen.generate();
+            let report = wl.env().execute(&wl.env().base_configs()).unwrap();
+            assert!(report.meets_slo(wl.slo_ms()));
+            assert!(wl.len() >= wl.env().workflow().entries().len());
+        }
+    }
+
+    #[test]
+    fn generator_counts_workloads() {
+        let mut gen = RandomWorkloadGenerator::new(RandomWorkloadConfig::default(), 3);
+        let a = gen.generate();
+        let b = gen.generate();
+        assert_ne!(a.name(), b.name());
+    }
+}

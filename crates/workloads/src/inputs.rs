@@ -1,0 +1,64 @@
+//! Representative inputs for the input-sensitive Video Analysis workload
+//! (§IV-D: light / middle / heavy videos).
+
+use aarc_simulator::{InputClass, InputSpec};
+
+/// Returns the representative input the paper's §IV-D experiment uses for a
+/// given video size class.
+///
+/// * light  — a short, low-bitrate clip (≈ 40 % of the nominal work),
+/// * middle — the nominal profiling input,
+/// * heavy  — a long, high-bitrate video (≈ 2.2× the nominal work).
+pub fn video_input(class: InputClass) -> InputSpec {
+    match class {
+        InputClass::Light => InputSpec::new(0.4, 48.0),
+        InputClass::Middle => InputSpec::new(1.0, 128.0),
+        InputClass::Heavy => InputSpec::new(2.2, 512.0),
+    }
+}
+
+/// A deterministic request mix over the three input classes, cycling
+/// light → middle → heavy, as used by the Fig. 8 experiment (the paper sends
+/// requests "with light, middle, and heavy inputs in sequence").
+pub fn request_sequence(total: usize) -> Vec<(InputClass, InputSpec)> {
+    (0..total)
+        .map(|i| {
+            let class = InputClass::ALL[i % InputClass::ALL.len()];
+            (class, video_input(class))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_map_to_increasing_scales() {
+        let light = video_input(InputClass::Light);
+        let middle = video_input(InputClass::Middle);
+        let heavy = video_input(InputClass::Heavy);
+        assert!(light.scale < middle.scale && middle.scale < heavy.scale);
+        assert!(light.payload_mb < heavy.payload_mb);
+        // Self-consistent with the simulator's classifier.
+        assert_eq!(light.classify(), InputClass::Light);
+        assert_eq!(middle.classify(), InputClass::Middle);
+        assert_eq!(heavy.classify(), InputClass::Heavy);
+    }
+
+    #[test]
+    fn request_sequence_cycles_through_classes() {
+        let seq = request_sequence(7);
+        assert_eq!(seq.len(), 7);
+        assert_eq!(seq[0].0, InputClass::Light);
+        assert_eq!(seq[1].0, InputClass::Middle);
+        assert_eq!(seq[2].0, InputClass::Heavy);
+        assert_eq!(seq[3].0, InputClass::Light);
+        assert_eq!(seq[6].0, InputClass::Light);
+    }
+
+    #[test]
+    fn empty_sequence_is_allowed() {
+        assert!(request_sequence(0).is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Synthetic models of the serverless workflows evaluated in the AARC paper.
+//!
+//! The paper evaluates three applications taken from the Orion benchmark
+//! suite (Fig. 1):
+//!
+//! * **Chatbot** — processes user input, trains intent classifiers in
+//!   parallel and stores them; a *scatter* workflow whose functions are
+//!   mostly serial and light on memory (cost optimum ≈ 1 vCPU / 512 MB).
+//! * **ML Pipeline** — dimensionality reduction, hyper-parameter tuning and
+//!   model testing; a *broadcast* workflow that is strongly CPU-bound and
+//!   light on memory (cost optimum ≈ 4 vCPU / 512 MB).
+//! * **Video Analysis** — splits a video, extracts key frames and classifies
+//!   them; a *scatter* workflow that is both CPU- and memory-hungry and
+//!   input-sensitive (cost optimum ≈ 8 vCPU / 5120 MB).
+//!
+//! We do not have the original application code or its container images, so
+//! each workload is a synthetic model: the same DAG topology and
+//! communication pattern as the paper's Fig. 1, with per-function
+//! performance profiles calibrated so that the qualitative resource
+//! affinities above — and therefore the paper's headline comparisons — are
+//! reproduced (see DESIGN.md §2 for the substitution rationale).
+//!
+//! # Example
+//!
+//! ```
+//! use aarc_workloads::Workload;
+//!
+//! let chatbot = aarc_workloads::chatbot();
+//! assert_eq!(chatbot.name(), "chatbot");
+//! assert_eq!(chatbot.slo_ms(), 120_000.0);
+//! let report = chatbot
+//!     .env()
+//!     .execute(&chatbot.env().base_configs())
+//!     .expect("base configuration always executes");
+//! assert!(report.meets_slo(chatbot.slo_ms()));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chatbot;
+pub mod generator;
+pub mod inputs;
+pub mod ml_pipeline;
+pub mod video_analysis;
+mod workload;
+
+pub use chatbot::chatbot;
+pub use generator::{RandomWorkloadConfig, RandomWorkloadGenerator};
+pub use inputs::video_input;
+pub use ml_pipeline::ml_pipeline;
+pub use video_analysis::video_analysis;
+pub use workload::Workload;
+
+/// All three paper workloads, in the order used by the evaluation figures.
+pub fn paper_workloads() -> Vec<Workload> {
+    vec![chatbot(), ml_pipeline(), video_analysis()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workloads_are_three_and_named() {
+        let all = paper_workloads();
+        let names: Vec<&str> = all.iter().map(Workload::name).collect();
+        assert_eq!(names, vec!["chatbot", "ml-pipeline", "video-analysis"]);
+    }
+
+    #[test]
+    fn all_paper_workloads_meet_their_slo_at_base_config() {
+        for wl in paper_workloads() {
+            let report = wl.env().execute(&wl.env().base_configs()).unwrap();
+            assert!(
+                report.meets_slo(wl.slo_ms()),
+                "{} base config violates SLO: {} > {}",
+                wl.name(),
+                report.makespan_ms(),
+                wl.slo_ms()
+            );
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The ML Pipeline workflow (paper Fig. 1b).
+//!
+//! The application broadcasts the dataset to a training branch (PCA followed
+//! by hyper-parameter tuning) and a testing branch (PCA), then combines the
+//! models and evaluates them. It is the paper's CPU-affine workload: runtime
+//! scales strongly with vCPU while the working sets stay small, so its cost
+//! optimum sits near **4 vCPU / 512 MB** — which is also the paper's
+//! motivating example for decoupling (87.5 % memory reduction against the
+//! coupled allocation that would be needed to obtain 4 cores).
+
+use aarc_simulator::{FunctionProfile, ProfileSet, WorkflowEnvironment};
+use aarc_workflow::{CommunicationKind, ResourceAffinity, WorkflowBuilder};
+
+use crate::workload::Workload;
+
+/// End-to-end SLO the paper assigns to the ML Pipeline workflow (120 s).
+pub const ML_PIPELINE_SLO_MS: f64 = 120_000.0;
+
+/// Builds the ML Pipeline workload.
+///
+/// # Panics
+///
+/// Never panics for the fixed topology defined here.
+pub fn ml_pipeline() -> Workload {
+    let mut b = WorkflowBuilder::new("ml-pipeline");
+    let start = b.add_function_with_affinity("start", ResourceAffinity::IoBound);
+    let train_pca = b.add_function_with_affinity("train_pca", ResourceAffinity::CpuBound);
+    let param_tune = b.add_function_with_affinity("param_tune", ResourceAffinity::CpuBound);
+    let test_pca = b.add_function_with_affinity("test_pca", ResourceAffinity::CpuBound);
+    let combine = b.add_function_with_affinity("combine_models_and_test", ResourceAffinity::CpuBound);
+    let end = b.add_function_with_affinity("end", ResourceAffinity::IoBound);
+
+    b.add_edge_with(start, train_pca, 32.0, CommunicationKind::Broadcast)
+        .expect("static edge");
+    b.add_edge_with(start, test_pca, 32.0, CommunicationKind::Broadcast)
+        .expect("static edge");
+    b.add_edge_with(train_pca, param_tune, 24.0, CommunicationKind::Direct)
+        .expect("static edge");
+    b.add_edge_with(param_tune, combine, 8.0, CommunicationKind::Gather)
+        .expect("static edge");
+    b.add_edge_with(test_pca, combine, 8.0, CommunicationKind::Gather)
+        .expect("static edge");
+    b.add_edge_with(combine, end, 2.0, CommunicationKind::Direct)
+        .expect("static edge");
+    let workflow = b.build().expect("ml pipeline workflow is statically valid");
+
+    let mut profiles = ProfileSet::new();
+    profiles.insert(
+        start,
+        FunctionProfile::builder("start")
+            .serial_ms(1_000.0)
+            .io_ms(500.0)
+            .working_set_mb(192.0)
+            .mem_floor_mb(128.0)
+            .input_sensitivity(0.2)
+            .build(),
+    );
+    profiles.insert(
+        train_pca,
+        FunctionProfile::builder("train_pca")
+            .serial_ms(5_000.0)
+            .parallel_ms(40_000.0)
+            .max_parallelism(6.0)
+            .io_ms(1_000.0)
+            .working_set_mb(512.0)
+            .mem_floor_mb(256.0)
+            .build(),
+    );
+    profiles.insert(
+        param_tune,
+        FunctionProfile::builder("param_tune")
+            .serial_ms(10_000.0)
+            .parallel_ms(120_000.0)
+            .max_parallelism(8.0)
+            .io_ms(1_000.0)
+            .working_set_mb(512.0)
+            .mem_floor_mb(256.0)
+            .build(),
+    );
+    profiles.insert(
+        test_pca,
+        FunctionProfile::builder("test_pca")
+            .serial_ms(3_000.0)
+            .parallel_ms(20_000.0)
+            .max_parallelism(4.0)
+            .io_ms(800.0)
+            .working_set_mb(448.0)
+            .mem_floor_mb(256.0)
+            .build(),
+    );
+    profiles.insert(
+        combine,
+        FunctionProfile::builder("combine_models_and_test")
+            .serial_ms(8_000.0)
+            .parallel_ms(16_000.0)
+            .max_parallelism(4.0)
+            .io_ms(1_000.0)
+            .working_set_mb(512.0)
+            .mem_floor_mb(256.0)
+            .build(),
+    );
+    profiles.insert(
+        end,
+        FunctionProfile::builder("end")
+            .serial_ms(1_000.0)
+            .io_ms(500.0)
+            .working_set_mb(128.0)
+            .mem_floor_mb(64.0)
+            .input_sensitivity(0.2)
+            .build(),
+    );
+
+    let env = WorkflowEnvironment::builder(workflow, profiles)
+        .seed(23)
+        .build()
+        .expect("ml pipeline environment is statically valid");
+    Workload::new("ml-pipeline", env, ML_PIPELINE_SLO_MS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarc_simulator::{ConfigMap, ResourceConfig};
+    use aarc_workflow::critical_path::critical_path;
+
+    #[test]
+    fn topology_matches_fig_1b() {
+        let wl = ml_pipeline();
+        let wf = wl.env().workflow();
+        assert_eq!(wf.len(), 6);
+        let start = wf.find("start").unwrap();
+        let combine = wf.find("combine_models_and_test").unwrap();
+        assert_eq!(wf.dag().successors(start).len(), 2, "broadcast to two branches");
+        assert_eq!(wf.dag().predecessors(combine).len(), 2, "both branches rejoin");
+    }
+
+    #[test]
+    fn workflow_is_cpu_affine() {
+        // More cores keep shrinking runtime up to ~6-8, while memory beyond
+        // 512 MB is wasted (the flat columns of Fig. 2b).
+        let wl = ml_pipeline();
+        let c1 = ConfigMap::uniform(wl.len(), ResourceConfig::new(1.0, 512));
+        let c4 = ConfigMap::uniform(wl.len(), ResourceConfig::new(4.0, 512));
+        let c4_big_mem = ConfigMap::uniform(wl.len(), ResourceConfig::new(4.0, 8192));
+        let r1 = wl.env().execute(&c1).unwrap().makespan_ms();
+        let r4 = wl.env().execute(&c4).unwrap().makespan_ms();
+        let r4m = wl.env().execute(&c4_big_mem).unwrap().makespan_ms();
+        assert!(r4 < 0.5 * r1, "4 cores should at least halve the runtime");
+        assert!((r4 - r4m).abs() / r4 < 0.01, "extra memory gives no speedup");
+    }
+
+    #[test]
+    fn one_core_cannot_meet_the_slo_but_four_can() {
+        let wl = ml_pipeline();
+        let c1 = ConfigMap::uniform(wl.len(), ResourceConfig::new(1.0, 512));
+        let c4 = ConfigMap::uniform(wl.len(), ResourceConfig::new(4.0, 512));
+        assert!(!wl.env().execute(&c1).unwrap().meets_slo(wl.slo_ms()));
+        assert!(wl.env().execute(&c4).unwrap().meets_slo(wl.slo_ms()));
+    }
+
+    #[test]
+    fn decoupled_optimum_is_cheaper_than_coupled_equivalent() {
+        // The paper's motivating number: 4 vCPU / 512 MB decoupled vs the
+        // coupled allocation that would be required to obtain 4 cores
+        // (4 × 1024 MB = 4096 MB): same runtime, much lower cost.
+        let wl = ml_pipeline();
+        let decoupled = ConfigMap::uniform(wl.len(), ResourceConfig::new(4.0, 512));
+        let coupled = ConfigMap::uniform(wl.len(), ResourceConfig::coupled(4096, 1024.0));
+        let rd = wl.env().execute(&decoupled).unwrap();
+        let rc = wl.env().execute(&coupled).unwrap();
+        assert!(rd.meets_slo(wl.slo_ms()));
+        assert!(rd.total_cost() < rc.total_cost());
+        // Memory saving of the decoupled optimum: 1 - 512/4096 = 87.5 %.
+        assert!((1.0_f64 - 512.0 / 4096.0 - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_contains_param_tune() {
+        let wl = ml_pipeline();
+        let env = wl.env();
+        let weights = aarc_simulator::profile_workflow(env, &env.base_configs()).unwrap();
+        let cp = critical_path(env.workflow().dag(), weights.weight_fn());
+        assert!(cp.contains(env.workflow().find("param_tune").unwrap()));
+    }
+}

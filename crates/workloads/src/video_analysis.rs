@@ -1,0 +1,192 @@
+//! The Video Analysis workflow (paper Fig. 1c).
+//!
+//! The application splits an input video into chunks, extracts key frames
+//! from each chunk and classifies them. It is the paper's resource-hungry,
+//! *input-sensitive* workload: both compute and working set grow with the
+//! video size, and the cost optimum at nominal input sits near
+//! **8 vCPU / 5120 MB** (Fig. 2c). The input-aware engine of §IV-D is
+//! evaluated on this workload with light / middle / heavy inputs.
+
+use aarc_simulator::{FunctionProfile, InputClass, ProfileSet, WorkflowEnvironment};
+use aarc_workflow::{CommunicationKind, ResourceAffinity, WorkflowBuilder};
+
+use crate::inputs::video_input;
+use crate::workload::Workload;
+
+/// End-to-end SLO the paper assigns to the Video Analysis workflow (600 s).
+pub const VIDEO_ANALYSIS_SLO_MS: f64 = 600_000.0;
+
+/// Builds the Video Analysis workload.
+///
+/// # Panics
+///
+/// Never panics for the fixed topology defined here.
+pub fn video_analysis() -> Workload {
+    let mut b = WorkflowBuilder::new("video-analysis");
+    let start = b.add_function_with_affinity("start", ResourceAffinity::IoBound);
+    let split = b.add_function_with_affinity("split", ResourceAffinity::Balanced);
+    let extract = b.add_function_with_affinity("extract", ResourceAffinity::MemoryBound);
+    let classify = b.add_function_with_affinity("classify", ResourceAffinity::Balanced);
+    let end = b.add_function_with_affinity("end", ResourceAffinity::IoBound);
+
+    b.add_edge_with(start, split, 128.0, CommunicationKind::Direct)
+        .expect("static edge");
+    b.add_edge_with(split, extract, 256.0, CommunicationKind::Scatter)
+        .expect("static edge");
+    b.add_edge_with(extract, classify, 64.0, CommunicationKind::Direct)
+        .expect("static edge");
+    b.add_edge_with(classify, end, 4.0, CommunicationKind::Direct)
+        .expect("static edge");
+    let workflow = b.build().expect("video analysis workflow is statically valid");
+
+    let mut profiles = ProfileSet::new();
+    profiles.insert(
+        start,
+        FunctionProfile::builder("start")
+            .serial_ms(2_000.0)
+            .io_ms(1_000.0)
+            .working_set_mb(256.0)
+            .mem_floor_mb(128.0)
+            .input_sensitivity(0.3)
+            .build(),
+    );
+    profiles.insert(
+        split,
+        FunctionProfile::builder("split")
+            .serial_ms(6_000.0)
+            .parallel_ms(60_000.0)
+            .max_parallelism(6.0)
+            .io_ms(3_000.0)
+            .working_set_mb(2_048.0)
+            .mem_floor_mb(1_024.0)
+            .mem_penalty_factor(4.0)
+            .input_sensitivity(1.0)
+            .mem_input_sensitivity(0.7)
+            .build(),
+    );
+    profiles.insert(
+        extract,
+        FunctionProfile::builder("extract")
+            .serial_ms(10_000.0)
+            .parallel_ms(640_000.0)
+            .max_parallelism(12.0)
+            .io_ms(4_000.0)
+            .working_set_mb(5_120.0)
+            .mem_floor_mb(2_560.0)
+            .mem_penalty_factor(5.0)
+            .input_sensitivity(1.0)
+            .mem_input_sensitivity(0.7)
+            .build(),
+    );
+    profiles.insert(
+        classify,
+        FunctionProfile::builder("classify")
+            .serial_ms(10_000.0)
+            .parallel_ms(440_000.0)
+            .max_parallelism(10.0)
+            .io_ms(3_000.0)
+            .working_set_mb(4_608.0)
+            .mem_floor_mb(2_048.0)
+            .mem_penalty_factor(4.0)
+            .input_sensitivity(1.0)
+            .mem_input_sensitivity(0.6)
+            .build(),
+    );
+    profiles.insert(
+        end,
+        FunctionProfile::builder("end")
+            .serial_ms(2_000.0)
+            .io_ms(1_000.0)
+            .working_set_mb(256.0)
+            .mem_floor_mb(128.0)
+            .input_sensitivity(0.2)
+            .build(),
+    );
+
+    let env = WorkflowEnvironment::builder(workflow, profiles)
+        .seed(31)
+        .build()
+        .expect("video analysis environment is statically valid");
+    Workload::new("video-analysis", env, VIDEO_ANALYSIS_SLO_MS)
+        .with_input_class(InputClass::Light, video_input(InputClass::Light))
+        .with_input_class(InputClass::Middle, video_input(InputClass::Middle))
+        .with_input_class(InputClass::Heavy, video_input(InputClass::Heavy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarc_simulator::{ConfigMap, InputSpec, ResourceConfig};
+
+    #[test]
+    fn topology_matches_fig_1c() {
+        let wl = video_analysis();
+        let wf = wl.env().workflow();
+        assert_eq!(wf.len(), 5);
+        assert_eq!(wf.entries().len(), 1);
+        assert_eq!(wf.exits().len(), 1);
+        assert!(wl.is_input_sensitive());
+        assert_eq!(wl.input_classes().len(), 3);
+    }
+
+    #[test]
+    fn workflow_needs_both_cpu_and_memory() {
+        let wl = video_analysis();
+        let balanced = ConfigMap::uniform(wl.len(), ResourceConfig::new(8.0, 5_120));
+        let low_mem = ConfigMap::uniform(wl.len(), ResourceConfig::new(8.0, 3_072));
+        let low_cpu = ConfigMap::uniform(wl.len(), ResourceConfig::new(2.0, 5_120));
+        let rb = wl.env().execute(&balanced).unwrap().makespan_ms();
+        let rm = wl.env().execute(&low_mem).unwrap().makespan_ms();
+        let rc = wl.env().execute(&low_cpu).unwrap().makespan_ms();
+        assert!(rm > 1.2 * rb, "memory pressure must slow the workflow down");
+        assert!(rc > 1.8 * rb, "losing cores must slow the workflow down");
+    }
+
+    #[test]
+    fn paper_optimum_meets_the_slo() {
+        let wl = video_analysis();
+        let cfg = ConfigMap::uniform(wl.len(), ResourceConfig::new(8.0, 5_120));
+        let report = wl.env().execute(&cfg).unwrap();
+        assert!(report.meets_slo(wl.slo_ms()));
+    }
+
+    #[test]
+    fn heavy_inputs_increase_runtime_and_memory_demand() {
+        let wl = video_analysis();
+        let cfg = ConfigMap::uniform(wl.len(), ResourceConfig::new(8.0, 5_120));
+        let light = wl
+            .env()
+            .execute_with_input(&cfg, video_input(InputClass::Light))
+            .unwrap();
+        let heavy = wl
+            .env()
+            .execute_with_input(&cfg, video_input(InputClass::Heavy))
+            .unwrap();
+        assert!(heavy.makespan_ms() > 2.0 * light.makespan_ms());
+
+        // A configuration sized for light inputs OOMs on heavy ones.
+        let small = ConfigMap::uniform(wl.len(), ResourceConfig::new(8.0, 3_072));
+        let small_on_heavy = wl
+            .env()
+            .execute_with_input(&small, video_input(InputClass::Heavy))
+            .unwrap();
+        assert!(small_on_heavy.any_oom() || small_on_heavy.makespan_ms() > heavy.makespan_ms());
+    }
+
+    #[test]
+    fn coupled_allocation_is_wasteful_for_video() {
+        // To obtain 8 cores a coupled platform (1 core / 1024 MB) must buy
+        // 8 GB of memory; the decoupled optimum at 5 GB is cheaper.
+        let wl = video_analysis();
+        let decoupled = ConfigMap::uniform(wl.len(), ResourceConfig::new(8.0, 5_120));
+        let coupled = ConfigMap::uniform(wl.len(), ResourceConfig::coupled(8_192, 1024.0));
+        let rd = wl.env().execute(&decoupled).unwrap();
+        let rc = wl.env().execute(&coupled).unwrap();
+        assert!(rd.total_cost() < rc.total_cost());
+    }
+
+    #[test]
+    fn nominal_input_is_middle_class() {
+        assert_eq!(InputSpec::nominal().classify(), aarc_simulator::InputClass::Middle);
+    }
+}

@@ -1,0 +1,107 @@
+//! The [`Workload`] wrapper: a ready-to-search workflow environment with its
+//! SLO and (optionally) input classes.
+
+use std::collections::BTreeMap;
+
+use aarc_simulator::{InputClass, InputSpec, WorkflowEnvironment};
+
+/// A benchmark workload: an executable workflow environment plus the
+/// end-to-end latency SLO the paper assigns to it and, for input-sensitive
+/// workloads, representative inputs per size class.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    name: String,
+    env: WorkflowEnvironment,
+    slo_ms: f64,
+    input_classes: BTreeMap<InputClass, InputSpec>,
+}
+
+impl Workload {
+    /// Creates a workload.
+    pub fn new(name: impl Into<String>, env: WorkflowEnvironment, slo_ms: f64) -> Self {
+        Workload {
+            name: name.into(),
+            env,
+            slo_ms,
+            input_classes: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a representative input for one size class (builder-style).
+    pub fn with_input_class(mut self, class: InputClass, input: InputSpec) -> Self {
+        self.input_classes.insert(class, input);
+        self
+    }
+
+    /// Workload name (matches the paper's figure labels).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The executable environment (workflow, profiles, pricing, cluster).
+    pub fn env(&self) -> &WorkflowEnvironment {
+        &self.env
+    }
+
+    /// End-to-end latency SLO in milliseconds.
+    pub fn slo_ms(&self) -> f64 {
+        self.slo_ms
+    }
+
+    /// Representative inputs per size class (empty for input-insensitive
+    /// workloads).
+    pub fn input_classes(&self) -> &BTreeMap<InputClass, InputSpec> {
+        &self.input_classes
+    }
+
+    /// Whether the workload declares per-class inputs (i.e. is
+    /// input-sensitive in the sense of §IV-D).
+    pub fn is_input_sensitive(&self) -> bool {
+        !self.input_classes.is_empty()
+    }
+
+    /// Number of functions in the workflow.
+    pub fn len(&self) -> usize {
+        self.env.workflow().len()
+    }
+
+    /// Returns `true` if the workflow has no functions (never the case for
+    /// the built-in workloads).
+    pub fn is_empty(&self) -> bool {
+        self.env.workflow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aarc_simulator::{FunctionProfile, ProfileSet};
+    use aarc_workflow::WorkflowBuilder;
+
+    fn tiny_env() -> WorkflowEnvironment {
+        let mut b = WorkflowBuilder::new("tiny");
+        let a = b.add_function("only");
+        let wf = b.build().unwrap();
+        let mut p = ProfileSet::new();
+        p.insert(a, FunctionProfile::builder("only").serial_ms(10.0).build());
+        WorkflowEnvironment::builder(wf, p).build().unwrap()
+    }
+
+    #[test]
+    fn workload_accessors() {
+        let wl = Workload::new("tiny", tiny_env(), 1_000.0)
+            .with_input_class(InputClass::Light, InputSpec::new(0.5, 1.0));
+        assert_eq!(wl.name(), "tiny");
+        assert_eq!(wl.slo_ms(), 1_000.0);
+        assert_eq!(wl.len(), 1);
+        assert!(!wl.is_empty());
+        assert!(wl.is_input_sensitive());
+        assert_eq!(wl.input_classes().len(), 1);
+    }
+
+    #[test]
+    fn workload_without_classes_is_input_insensitive() {
+        let wl = Workload::new("tiny", tiny_env(), 1_000.0);
+        assert!(!wl.is_input_sensitive());
+    }
+}

@@ -1,0 +1,47 @@
+//! SLO sensitivity study on the Chatbot workflow: how the configuration and
+//! its cost change as the end-to-end latency SLO tightens.
+//!
+//! ```text
+//! cargo run --release --example chatbot_slo_tuning
+//! ```
+
+use aarc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = aarc::workloads::chatbot();
+    let env = workload.env();
+    let scheduler = GraphCentricScheduler::new(AarcParams::paper());
+
+    println!("Chatbot workflow: cost of the AARC configuration vs SLO");
+    println!(
+        "{:>10} {:>14} {:>14} {:>10} {:>12}",
+        "SLO (s)", "runtime (s)", "cost", "samples", "meets SLO"
+    );
+
+    // The base configuration needs ~75 s, so SLOs below that are infeasible.
+    for slo_s in [200.0, 150.0, 120.0, 100.0, 90.0] {
+        let slo_ms = slo_s * 1_000.0;
+        match scheduler.search(env, slo_ms) {
+            Ok(outcome) => {
+                println!(
+                    "{:>10.0} {:>14.1} {:>14.1} {:>10} {:>12}",
+                    slo_s,
+                    outcome.final_report.makespan_ms() / 1_000.0,
+                    outcome.final_report.total_cost(),
+                    outcome.trace.sample_count(),
+                    outcome.final_report.meets_slo(slo_ms)
+                );
+            }
+            Err(e) => println!("{slo_s:>10.0} infeasible: {e}"),
+        }
+    }
+
+    // An SLO tighter than the base-configuration runtime is rejected
+    // up-front rather than silently violated.
+    let impossible = scheduler.search(env, 30_000.0);
+    println!("\n30 s SLO: {}", match impossible {
+        Err(e) => format!("rejected as expected ({e})"),
+        Ok(_) => "unexpectedly accepted".to_owned(),
+    });
+    Ok(())
+}

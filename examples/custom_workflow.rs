@@ -1,0 +1,98 @@
+//! Bring your own workflow: build a custom DAG, describe each function's
+//! performance behaviour, and let AARC find a decoupled configuration.
+//!
+//! The example models a small document-processing pipeline: an OCR stage
+//! fans out to a CPU-hungry language-model scoring stage and a memory-hungry
+//! indexing stage, which rejoin in a publishing step.
+//!
+//! ```text
+//! cargo run --release --example custom_workflow
+//! ```
+
+use aarc::prelude::*;
+use aarc_core::affinity::classify_workflow;
+use aarc_core::ConfigurationReport;
+use aarc_workflow::CommunicationKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The DAG.
+    let mut builder = WorkflowBuilder::new("doc-pipeline");
+    let ingest = builder.add_function("ingest");
+    let ocr = builder.add_function("ocr");
+    let score = builder.add_function("score");
+    let index = builder.add_function("index");
+    let publish = builder.add_function("publish");
+    builder.add_edge_with(ingest, ocr, 32.0, CommunicationKind::Direct)?;
+    builder.add_edge_with(ocr, score, 8.0, CommunicationKind::Scatter)?;
+    builder.add_edge_with(ocr, index, 8.0, CommunicationKind::Scatter)?;
+    builder.add_edge_with(score, publish, 2.0, CommunicationKind::Gather)?;
+    builder.add_edge_with(index, publish, 2.0, CommunicationKind::Gather)?;
+    let workflow = builder.build()?;
+
+    // 2. Per-function performance profiles (what a profiling run would
+    //    estimate on a real platform).
+    let mut profiles = ProfileSet::new();
+    profiles.insert(
+        ingest,
+        FunctionProfile::builder("ingest").serial_ms(800.0).io_ms(400.0).build(),
+    );
+    profiles.insert(
+        ocr,
+        FunctionProfile::builder("ocr")
+            .serial_ms(3_000.0)
+            .parallel_ms(24_000.0)
+            .max_parallelism(6.0)
+            .working_set_mb(1_024.0)
+            .mem_floor_mb(512.0)
+            .build(),
+    );
+    profiles.insert(
+        score,
+        FunctionProfile::builder("score")
+            .serial_ms(2_000.0)
+            .parallel_ms(40_000.0)
+            .max_parallelism(8.0)
+            .working_set_mb(768.0)
+            .mem_floor_mb(384.0)
+            .build(),
+    );
+    profiles.insert(
+        index,
+        FunctionProfile::builder("index")
+            .serial_ms(9_000.0)
+            .working_set_mb(6_144.0)
+            .mem_floor_mb(3_072.0)
+            .mem_penalty_factor(5.0)
+            .build(),
+    );
+    profiles.insert(
+        publish,
+        FunctionProfile::builder("publish").serial_ms(1_200.0).io_ms(600.0).build(),
+    );
+
+    // 3. The environment: paper pricing, paper testbed, paper resource grid.
+    let env = WorkflowEnvironment::builder(workflow, profiles).build()?;
+
+    // 4. Affinity analysis — the "affinity-aware" part of AARC.
+    println!("per-function resource affinities:");
+    for report in classify_workflow(&env) {
+        println!(
+            "  {:<10} {:>12}   (cpu sensitivity {:.2}, mem sensitivity {:.2})",
+            env.workflow().function(report.node).name(),
+            report.affinity.to_string(),
+            report.cpu_sensitivity,
+            report.mem_sensitivity
+        );
+    }
+
+    // 5. Configure against a 90 s SLO and print the result.
+    let slo_ms = 90_000.0;
+    let scheduler = GraphCentricScheduler::new(AarcParams::paper());
+    let outcome = scheduler.search(&env, slo_ms)?;
+    println!();
+    println!(
+        "{}",
+        ConfigurationReport::new(&env, &outcome.best_configs, &outcome.final_report, Some(slo_ms))
+    );
+    Ok(())
+}

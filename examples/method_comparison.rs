@@ -1,0 +1,39 @@
+//! Head-to-head comparison of AARC against the two baselines (Bayesian
+//! optimization and MAFF) on all three paper workloads — a miniature version
+//! of the paper's Figs. 5–7 and Table II.
+//!
+//! ```text
+//! cargo run --release --example method_comparison
+//! ```
+
+use aarc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let methods: Vec<Box<dyn ConfigurationSearch>> = vec![
+        Box::new(GraphCentricScheduler::new(AarcParams::paper())),
+        Box::new(BayesianOptimization::new(BoParams::default())),
+        Box::new(MaffGradientDescent::new(MaffParams::default())),
+    ];
+
+    println!(
+        "{:<16} {:<6} {:>8} {:>18} {:>16} {:>14} {:>10}",
+        "workload", "method", "samples", "search runtime (s)", "final cost", "runtime (s)", "SLO met"
+    );
+    for workload in aarc::workloads::paper_workloads() {
+        for method in &methods {
+            let outcome = method.search(workload.env(), workload.slo_ms())?;
+            println!(
+                "{:<16} {:<6} {:>8} {:>18.1} {:>16.1} {:>14.1} {:>10}",
+                workload.name(),
+                method.name(),
+                outcome.trace.sample_count(),
+                outcome.trace.total_runtime_ms() / 1_000.0,
+                outcome.final_report.total_cost(),
+                outcome.final_report.makespan_ms() / 1_000.0,
+                outcome.final_report.meets_slo(workload.slo_ms())
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

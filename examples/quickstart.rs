@@ -1,0 +1,43 @@
+//! Quickstart: configure one of the paper's workloads with AARC and print
+//! the resulting per-function configuration.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use aarc::prelude::*;
+use aarc_core::ConfigurationReport;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a workload. `chatbot()` bundles the workflow DAG, per-function
+    //    performance profiles, pricing and the 120 s SLO the paper uses.
+    let workload = aarc::workloads::chatbot();
+    let env = workload.env();
+    println!(
+        "workload `{}`: {} functions, SLO {:.0} s",
+        workload.name(),
+        workload.len(),
+        workload.slo_ms() / 1_000.0
+    );
+
+    // 2. Run the Graph-Centric Scheduler (Algorithm 1 + Algorithm 2).
+    let scheduler = GraphCentricScheduler::new(AarcParams::paper());
+    let outcome = scheduler.search(env, workload.slo_ms())?;
+
+    // 3. Inspect the result.
+    println!(
+        "search used {} samples ({:.1} s of sampled execution time)",
+        outcome.trace.sample_count(),
+        outcome.trace.total_runtime_ms() / 1_000.0
+    );
+    let report = ConfigurationReport::new(env, &outcome.best_configs, &outcome.final_report, Some(workload.slo_ms()));
+    println!("{report}");
+
+    // 4. Compare against the naive over-provisioned base configuration.
+    let base = env.execute(&env.base_configs())?;
+    println!(
+        "cost saving vs over-provisioned base: {:.1} %",
+        (1.0 - outcome.final_report.total_cost() / base.total_cost()) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! AARC — Automated Affinity-aware Resource Configuration for Serverless
+//! Workflows (DAC 2025 reproduction).
+//!
+//! This facade crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`workflow`] — the serverless workflow DAG model (critical path, detour
+//!   sub-paths, topology builders).
+//! * [`simulator`] — the deterministic serverless-platform simulator
+//!   (performance model, pricing, cluster, discrete-event executor).
+//! * [`workloads`] — the paper's three benchmark applications (Chatbot, ML
+//!   Pipeline, Video Analysis) plus a random workload generator.
+//! * [`core`] — the paper's contribution: the Graph-Centric Scheduler
+//!   (Algorithm 1), the Priority Configurator (Algorithm 2), affinity
+//!   analysis and the input-aware configuration engine.
+//! * [`baselines`] — the comparison methods: workflow-level Bayesian
+//!   optimization and MAFF coupled gradient descent.
+//!
+//! # Quick start
+//!
+//! ```
+//! use aarc::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Pick one of the paper's workloads and let AARC configure it.
+//! let workload = aarc::workloads::chatbot();
+//! let scheduler = GraphCentricScheduler::new(AarcParams::paper());
+//! let outcome = scheduler.search(workload.env(), workload.slo_ms())?;
+//!
+//! assert!(outcome.final_report.meets_slo(workload.slo_ms()));
+//! println!(
+//!     "configured {} functions, cost {:.1}",
+//!     outcome.best_configs.len(),
+//!     outcome.final_report.total_cost()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use aarc_baselines as baselines;
+pub use aarc_core as core;
+pub use aarc_simulator as simulator;
+pub use aarc_workflow as workflow;
+pub use aarc_workloads as workloads;
+
+/// The most commonly used items from every sub-crate.
+pub mod prelude {
+    pub use aarc_baselines::{BayesianOptimization, BoParams, MaffGradientDescent, MaffParams};
+    pub use aarc_core::prelude::*;
+    pub use aarc_core::{AarcParams, ConfigurationSearch, GraphCentricScheduler, InputAwareEngine};
+    pub use aarc_simulator::prelude::*;
+    pub use aarc_workflow::{Workflow, WorkflowBuilder};
+    pub use aarc_workloads::Workload;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile_and_link() {
+        let workload = crate::workloads::chatbot();
+        assert_eq!(workload.env().workflow().len(), 6);
+    }
+}

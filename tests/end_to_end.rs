@@ -1,0 +1,177 @@
+//! Integration tests spanning all crates: the full AARC pipeline and both
+//! baselines on the paper workloads, asserting the headline orderings of the
+//! paper's evaluation.
+
+use aarc::prelude::*;
+use aarc::workloads::{chatbot, ml_pipeline, paper_workloads, video_analysis};
+
+fn aarc_scheduler() -> GraphCentricScheduler {
+    GraphCentricScheduler::new(AarcParams::paper())
+}
+
+#[test]
+fn aarc_meets_the_slo_on_every_paper_workload() {
+    let scheduler = aarc_scheduler();
+    for workload in paper_workloads() {
+        let outcome = scheduler
+            .search(workload.env(), workload.slo_ms())
+            .expect("AARC search succeeds");
+        assert!(
+            outcome.final_report.meets_slo(workload.slo_ms()),
+            "{}: {} ms exceeds the SLO of {} ms",
+            workload.name(),
+            outcome.final_report.makespan_ms(),
+            workload.slo_ms()
+        );
+        assert!(!outcome.final_report.any_oom());
+    }
+}
+
+#[test]
+fn aarc_reduces_cost_substantially_versus_the_base_configuration() {
+    let scheduler = aarc_scheduler();
+    for workload in paper_workloads() {
+        let env = workload.env();
+        let base_cost = env
+            .execute(&env.base_configs())
+            .expect("base executes")
+            .total_cost();
+        let outcome = scheduler
+            .search(env, workload.slo_ms())
+            .expect("AARC search succeeds");
+        assert!(
+            outcome.final_report.total_cost() < 0.7 * base_cost,
+            "{}: expected at least 30% savings, got {} vs base {}",
+            workload.name(),
+            outcome.final_report.total_cost(),
+            base_cost
+        );
+    }
+}
+
+#[test]
+fn aarc_configurations_are_cheaper_than_both_baselines_on_all_workloads() {
+    // The Table II headline: AARC's found configuration costs less than the
+    // configurations found by BO and MAFF, while all methods meet the SLO.
+    let methods: Vec<Box<dyn ConfigurationSearch>> = vec![
+        Box::new(aarc_scheduler()),
+        Box::new(BayesianOptimization::new(BoParams::default())),
+        Box::new(MaffGradientDescent::new(MaffParams::default())),
+    ];
+    for workload in paper_workloads() {
+        let mut costs = Vec::new();
+        for method in &methods {
+            let outcome = method
+                .search(workload.env(), workload.slo_ms())
+                .expect("search succeeds");
+            assert!(
+                outcome.final_report.meets_slo(workload.slo_ms()),
+                "{} violates the SLO on {}",
+                method.name(),
+                workload.name()
+            );
+            costs.push((method.name().to_owned(), outcome.final_report.total_cost()));
+        }
+        let aarc_cost = costs[0].1;
+        for (name, cost) in &costs[1..] {
+            assert!(
+                aarc_cost < *cost,
+                "{}: AARC ({aarc_cost:.1}) should undercut {name} ({cost:.1})",
+                workload.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn aarc_search_is_cheaper_and_faster_than_bo_on_the_heavy_workload() {
+    // The Fig. 5 headline is strongest on Video Analysis: AARC needs far
+    // less total sampling runtime and cost than workflow-level BO.
+    let workload = video_analysis();
+    let aarc = aarc_scheduler()
+        .search(workload.env(), workload.slo_ms())
+        .expect("AARC succeeds");
+    let bo = BayesianOptimization::new(BoParams::default())
+        .search(workload.env(), workload.slo_ms())
+        .expect("BO succeeds");
+    assert!(
+        aarc.trace.total_runtime_ms() < 0.6 * bo.trace.total_runtime_ms(),
+        "AARC search runtime {} should be well below BO's {}",
+        aarc.trace.total_runtime_ms(),
+        bo.trace.total_runtime_ms()
+    );
+    assert!(aarc.trace.total_cost() < 0.7 * bo.trace.total_cost());
+}
+
+#[test]
+fn maff_gets_stuck_in_a_coupled_local_optimum_on_the_cpu_bound_workload() {
+    // The paper's explanation for Fig. 7b: the ML Pipeline needs many cores
+    // but little memory, which a coupled search cannot express.
+    let workload = ml_pipeline();
+    let aarc = aarc_scheduler()
+        .search(workload.env(), workload.slo_ms())
+        .expect("AARC succeeds");
+    let maff = MaffGradientDescent::new(MaffParams::default())
+        .search(workload.env(), workload.slo_ms())
+        .expect("MAFF succeeds");
+    assert!(
+        aarc.final_report.total_cost() < 0.7 * maff.final_report.total_cost(),
+        "AARC ({}) should save well over 30% against MAFF ({}) on the ML Pipeline",
+        aarc.final_report.total_cost(),
+        maff.final_report.total_cost()
+    );
+}
+
+#[test]
+fn aarc_uses_a_modest_number_of_samples() {
+    // Sample counts reported in §IV-B are a few dozen per workflow.
+    let scheduler = aarc_scheduler();
+    for workload in paper_workloads() {
+        let outcome = scheduler
+            .search(workload.env(), workload.slo_ms())
+            .expect("AARC succeeds");
+        let samples = outcome.trace.sample_count();
+        assert!(
+            (10..=160).contains(&samples),
+            "{}: unexpected sample count {}",
+            workload.name(),
+            samples
+        );
+    }
+}
+
+#[test]
+fn found_configurations_are_decoupled_not_memory_proportional() {
+    // The core premise: AARC's configurations are genuinely decoupled — at
+    // least one function gets a CPU:memory ratio far away from the 1 core /
+    // 1024 MB coupling.
+    let workload = chatbot();
+    let outcome = aarc_scheduler()
+        .search(workload.env(), workload.slo_ms())
+        .expect("AARC succeeds");
+    let decoupled = outcome.best_configs.iter().any(|(_, cfg)| {
+        let coupled_cpu = f64::from(cfg.memory.get()) / 1_024.0;
+        (cfg.vcpu.get() - coupled_cpu).abs() > 0.5
+    });
+    assert!(decoupled, "expected at least one clearly decoupled allocation");
+}
+
+#[test]
+fn input_aware_engine_protects_the_slo_across_input_classes() {
+    let workload = video_analysis();
+    let scheduler = GraphCentricScheduler::new(AarcParams::fast());
+    let engine = InputAwareEngine::build(
+        &scheduler,
+        workload.env(),
+        workload.slo_ms(),
+        workload.input_classes(),
+    )
+    .expect("engine builds");
+    for (&class, &input) in workload.input_classes() {
+        let report = engine.serve(workload.env(), input).expect("request served");
+        assert!(
+            report.meets_slo(workload.slo_ms()),
+            "class {class} violates the SLO"
+        );
+    }
+}
