@@ -27,7 +27,10 @@ impl GaussianProcess {
         assert_eq!(x.len(), y.len(), "x and y must have the same length");
         assert!(!x.is_empty(), "cannot fit a GP to zero observations");
         let dim = x[0].len();
-        assert!(x.iter().all(|p| p.len() == dim), "inconsistent dimensionality");
+        assert!(
+            x.iter().all(|p| p.len() == dim),
+            "inconsistent dimensionality"
+        );
 
         let y_mean = y.iter().sum::<f64>() / y.len() as f64;
         let centred: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
@@ -45,7 +48,11 @@ impl GaussianProcess {
 
     /// Posterior mean and variance at `point`.
     pub fn predict(&self, point: &[f64]) -> (f64, f64) {
-        let k_star: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, point)).collect();
+        let k_star: Vec<f64> = self
+            .x
+            .iter()
+            .map(|xi| self.kernel.eval(xi, point))
+            .collect();
         let mean = self.y_mean
             + k_star
                 .iter()
@@ -79,8 +86,8 @@ fn cholesky(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
     for i in 0..n {
         for j in 0..=i {
             let mut sum = a[i][j];
-            for k in 0..j {
-                sum -= l[i][k] * l[j][k];
+            for (lik, ljk) in l[i][..j].iter().zip(&l[j][..j]) {
+                sum -= lik * ljk;
             }
             if i == j {
                 l[i][j] = sum.max(1e-10).sqrt();

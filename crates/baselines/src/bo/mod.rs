@@ -95,10 +95,11 @@ impl BayesianOptimization {
         for f in 0..n {
             let cpu_norm = point[2 * f].clamp(0.0, 1.0);
             let mem_norm = point[2 * f + 1].clamp(0.0, 1.0);
-            let vcpu = space.snap_vcpu(space.min_vcpu + cpu_norm * (space.max_vcpu - space.min_vcpu));
+            let vcpu =
+                space.snap_vcpu(space.min_vcpu + cpu_norm * (space.max_vcpu - space.min_vcpu));
             let mem_range = f64::from(space.max_memory_mb - space.min_memory_mb);
-            let mem = space
-                .snap_memory(space.min_memory_mb + (mem_norm * mem_range).round() as u32);
+            let mem =
+                space.snap_memory(space.min_memory_mb + (mem_norm * mem_range).round() as u32);
             configs.push(ResourceConfig::new(vcpu, mem));
         }
         ConfigMap::from_vec(configs)
@@ -308,7 +309,9 @@ mod tests {
     #[test]
     fn different_seeds_explore_differently() {
         let env = small_env();
-        let a = BayesianOptimization::new(fast_params()).search(&env, 60_000.0).unwrap();
+        let a = BayesianOptimization::new(fast_params())
+            .search(&env, 60_000.0)
+            .unwrap();
         let b = BayesianOptimization::new(BoParams {
             seed: 999,
             ..fast_params()
@@ -322,7 +325,10 @@ mod tests {
     fn bo_rejects_invalid_and_impossible_slos() {
         let env = small_env();
         let bo = BayesianOptimization::new(fast_params());
-        assert!(matches!(bo.search(&env, f64::NAN), Err(AarcError::InvalidSlo(_))));
+        assert!(matches!(
+            bo.search(&env, f64::NAN),
+            Err(AarcError::InvalidSlo(_))
+        ));
         assert!(matches!(
             bo.search(&env, 1.0),
             Err(AarcError::BaseConfigurationViolatesSlo { .. })
@@ -343,7 +349,9 @@ mod tests {
         }
         // Out-of-range coordinates are clamped rather than panicking.
         let clamped = bo.decode(&env, &[-3.0, 7.0, 0.5, 0.5]);
-        assert!(env.space().contains(clamped.get(aarc_workflow::NodeId::new(0))));
+        assert!(env
+            .space()
+            .contains(clamped.get(aarc_workflow::NodeId::new(0))));
     }
 
     #[test]

@@ -81,12 +81,8 @@ impl ConfigurationSearch for MaffGradientDescent {
 
         // Initial coupled, over-provisioned configuration.
         let mut memories: Vec<u32> = vec![self.params.initial_memory_mb; n];
-        let mut configs = ConfigMap::from_vec(
-            memories
-                .iter()
-                .map(|&m| self.coupled(env, m))
-                .collect(),
-        );
+        let mut configs =
+            ConfigMap::from_vec(memories.iter().map(|&m| self.coupled(env, m)).collect());
         let best_report = env.execute(&configs)?;
         trace.record(&best_report, true, "coupled base configuration");
         if best_report.any_oom() {
@@ -112,7 +108,9 @@ impl ConfigurationSearch for MaffGradientDescent {
                 if current_mem <= env.space().min_memory_mb {
                     continue;
                 }
-                let candidate_mem = current_mem.saturating_sub(step).max(env.space().min_memory_mb);
+                let candidate_mem = current_mem
+                    .saturating_sub(step)
+                    .max(env.space().min_memory_mb);
                 if candidate_mem == current_mem {
                     continue;
                 }
@@ -209,9 +207,7 @@ mod tests {
         let outcome = maff.search(&env, slo).unwrap();
         assert!(outcome.final_report.meets_slo(slo));
         for (_, cfg) in outcome.best_configs.iter() {
-            let expected_vcpu = env
-                .space()
-                .snap_vcpu(f64::from(cfg.memory.get()) / 1_024.0);
+            let expected_vcpu = env.space().snap_vcpu(f64::from(cfg.memory.get()) / 1_024.0);
             assert!(
                 (cfg.vcpu.get() - expected_vcpu).abs() < 1e-9,
                 "MAFF configs must stay coupled: {cfg}"
@@ -224,7 +220,10 @@ mod tests {
         let env = cpu_heavy_env();
         let maff = MaffGradientDescent::default();
         let outcome = maff.search(&env, 60_000.0).unwrap();
-        let base = ConfigMap::uniform(env.workflow().len(), ResourceConfig::coupled(10_240, 1_024.0));
+        let base = ConfigMap::uniform(
+            env.workflow().len(),
+            ResourceConfig::coupled(10_240, 1_024.0),
+        );
         let base_cost = env.execute(&base).unwrap().total_cost();
         assert!(outcome.best_cost() < base_cost);
     }

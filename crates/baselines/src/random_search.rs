@@ -73,16 +73,19 @@ impl ConfigurationSearch for RandomSearch {
                 (0..env.workflow().len())
                     .map(|_| {
                         let vcpu = space.snap_vcpu(rng.gen_range(space.min_vcpu..=space.max_vcpu));
-                        let mem = space.snap_memory(
-                            rng.gen_range(space.min_memory_mb..=space.max_memory_mb),
-                        );
+                        let mem = space
+                            .snap_memory(rng.gen_range(space.min_memory_mb..=space.max_memory_mb));
                         ResourceConfig::new(vcpu, mem)
                     })
                     .collect(),
             );
             let report = env.execute(&configs)?;
             let feasible = report.meets_slo(slo_ms) && !report.any_oom();
-            trace.record(&report, feasible, format!("random sample {}", trace.sample_count() + 1));
+            trace.record(
+                &report,
+                feasible,
+                format!("random sample {}", trace.sample_count() + 1),
+            );
             if feasible && report.total_cost() < best_cost {
                 best_cost = report.total_cost();
                 best_configs = configs;

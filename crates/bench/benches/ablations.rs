@@ -12,7 +12,9 @@ fn bench_ablations(c: &mut Criterion) {
     let workload = chatbot();
     for (label, params) in variants() {
         group.bench_with_input(BenchmarkId::new("variant", label), &params, |b, &p| {
-            b.iter(|| std::hint::black_box(run_variant(&workload, label, p).expect("variant runs")));
+            b.iter(|| {
+                std::hint::black_box(run_variant(&workload, label, p).expect("variant runs"))
+            });
         });
     }
     group.finish();

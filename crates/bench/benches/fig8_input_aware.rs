@@ -39,7 +39,11 @@ fn bench_fig8(c: &mut Criterion) {
     group.bench_function("serve_9_requests", |b| {
         b.iter(|| {
             for (_, input) in &requests {
-                std::hint::black_box(engine.serve(workload.env(), *input).expect("request served"));
+                std::hint::black_box(
+                    engine
+                        .serve(workload.env(), *input)
+                        .expect("request served"),
+                );
             }
         });
     });

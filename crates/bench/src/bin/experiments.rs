@@ -13,7 +13,9 @@ use std::env;
 
 use aarc_bench::fig5_search_efficiency::{reduction, run_all as run_fig5};
 use aarc_bench::methods::MethodName;
-use aarc_bench::{ablations, fig2_decoupling, fig3_bo_motivation, fig8_input_aware, fmt_thousands, table2_optimal};
+use aarc_bench::{
+    ablations, fig2_decoupling, fig3_bo_motivation, fig8_input_aware, fmt_thousands, table2_optimal,
+};
 use aarc_workloads::paper_workloads;
 
 fn main() {
@@ -34,7 +36,7 @@ fn main() {
         fig3(quick);
     }
     if run("fig5") || run("fig6") || run("fig7") {
-        fig5_6_7(run("fig5") || which == "all", run("fig6") || which == "all", run("fig7") || which == "all");
+        fig5_6_7(run("fig5"), run("fig6"), run("fig7"));
     }
     if run("table2") {
         table2(quick);
@@ -56,7 +58,10 @@ fn fig2() {
     for workload in paper_workloads() {
         let heatmap = fig2_decoupling::sweep(&workload);
         println!("\nworkload: {}", workload.name());
-        println!("{:>6} {:>9} {:>14} {:>16}", "vCPU", "mem (MB)", "runtime (ms)", "cost");
+        println!(
+            "{:>6} {:>9} {:>14} {:>16}",
+            "vCPU", "mem (MB)", "runtime (ms)", "cost"
+        );
         for cell in &heatmap.cells {
             match (cell.runtime_ms, cell.cost) {
                 (Some(rt), Some(cost)) => println!(
@@ -66,7 +71,10 @@ fn fig2() {
                     rt,
                     fmt_thousands(cost)
                 ),
-                _ => println!("{:>6.1} {:>9} {:>14} {:>16}", cell.vcpu, cell.memory_mb, "OOM", "-"),
+                _ => println!(
+                    "{:>6.1} {:>9} {:>14} {:>16}",
+                    cell.vcpu, cell.memory_mb, "OOM", "-"
+                ),
             }
         }
         if let Some(best) = heatmap.cheapest_within_slo(workload.slo_ms()) {
@@ -78,7 +86,10 @@ fn fig2() {
             );
         }
         if let Some(saving) = fig2_decoupling::decoupling_memory_saving(&heatmap, 1_024.0) {
-            println!("memory saving vs coupled allocation: {:.1} %", saving * 100.0);
+            println!(
+                "memory saving vs coupled allocation: {:.1} %",
+                saving * 100.0
+            );
         }
     }
 }
@@ -89,8 +100,14 @@ fn fig3(quick: bool) {
     match fig3_bo_motivation::run(rounds) {
         Ok(result) => {
             println!("rounds: {rounds}");
-            println!("total sampling runtime: {:.2} h", result.total_runtime_hours);
-            println!("cost reduction of best feasible sample: {:.1} %", result.cost_reduction * 100.0);
+            println!(
+                "total sampling runtime: {:.2} h",
+                result.total_runtime_hours
+            );
+            println!(
+                "cost reduction of best feasible sample: {:.1} %",
+                result.cost_reduction * 100.0
+            );
             println!(
                 "average fluctuation amplitude: {:.1} % of the mean cost",
                 result.fluctuation_amplitude * 100.0
@@ -141,10 +158,16 @@ fn fig5_6_7(print5: bool, print6: bool, print7: bool) {
         }
         // Headline reductions (AARC vs each baseline, per workload).
         for workload in ["chatbot", "ml-pipeline", "video-analysis"] {
-            let find = |m: MethodName| results.iter().find(|r| r.workload == workload && r.method == m);
-            if let (Some(aarc), Some(bo), Some(maff)) =
-                (find(MethodName::Aarc), find(MethodName::Bo), find(MethodName::Maff))
-            {
+            let find = |m: MethodName| {
+                results
+                    .iter()
+                    .find(|r| r.workload == workload && r.method == m)
+            };
+            if let (Some(aarc), Some(bo), Some(maff)) = (
+                find(MethodName::Aarc),
+                find(MethodName::Bo),
+                find(MethodName::Maff),
+            ) {
                 println!(
                     "{workload}: AARC search runtime {:.1}% vs BO, {:.1}% vs MAFF; search cost {:.1}% vs BO, {:.1}% vs MAFF (positive = AARC lower)",
                     reduction(aarc.total_runtime_s, bo.total_runtime_s) * 100.0,

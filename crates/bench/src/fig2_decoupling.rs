@@ -32,11 +32,7 @@ impl DecouplingHeatmap {
         self.cells
             .iter()
             .filter(|c| c.cost.is_some())
-            .min_by(|a, b| {
-                a.cost
-                    .partial_cmp(&b.cost)
-                    .expect("costs are finite")
-            })
+            .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("costs are finite"))
             .copied()
     }
 
@@ -141,14 +137,20 @@ mod tests {
         assert!(row.len() >= 3);
         let min = row.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!((max - min) / min < 0.02, "chatbot runtime should be flat in memory");
+        assert!(
+            (max - min) / min < 0.02,
+            "chatbot runtime should be flat in memory"
+        );
     }
 
     #[test]
     fn chatbot_cost_optimum_is_low_cpu_low_memory() {
         let hm = sweep(&chatbot());
         let best = hm.cheapest_within_slo(120_000.0).unwrap();
-        assert!(best.vcpu <= 1.0, "chatbot optimum should need at most 1 vCPU");
+        assert!(
+            best.vcpu <= 1.0,
+            "chatbot optimum should need at most 1 vCPU"
+        );
         assert_eq!(best.memory_mb, 512);
     }
 
@@ -178,7 +180,10 @@ mod tests {
         let wl = video_analysis();
         let hm = sweep_grid(&wl, &[4.0], &[1_024]);
         assert_eq!(hm.cells.len(), 1);
-        assert!(hm.cells[0].cost.is_none(), "1 GB must OOM the video workload");
+        assert!(
+            hm.cells[0].cost.is_none(),
+            "1 GB must OOM the video workload"
+        );
         assert!(hm.cheapest().is_none());
     }
 }

@@ -55,10 +55,7 @@ pub fn run(rounds: usize) -> Result<BoMotivation, AarcError> {
     } else {
         0.0
     };
-    let increases = cost_series
-        .windows(2)
-        .filter(|w| w[1] > w[0])
-        .count();
+    let increases = cost_series.windows(2).filter(|w| w[1] > w[0]).count();
     let increase_fraction = if cost_series.len() > 1 {
         increases as f64 / (cost_series.len() - 1) as f64
     } else {
@@ -93,6 +90,9 @@ mod tests {
             "BO cost series should fluctuate noticeably, got {}",
             result.fluctuation_amplitude
         );
-        assert!(result.increase_fraction > 0.2, "many changes should be increases");
+        assert!(
+            result.increase_fraction > 0.2,
+            "many changes should be increases"
+        );
     }
 }

@@ -94,13 +94,22 @@ pub fn run(total_requests: usize) -> Result<Vec<InputAwareResult>, AarcError> {
             met_slo: report.meets_slo(slo),
         });
     }
-    results.push(InputAwareResult::from_requests(MethodName::Aarc, aarc_requests));
+    results.push(InputAwareResult::from_requests(
+        MethodName::Aarc,
+        aarc_requests,
+    ));
 
     // Static baselines: one configuration for all inputs.
     for method in [MethodName::Bo, MethodName::Maff] {
         let search = build_method(method);
         let outcome = search.search(env, slo)?;
-        results.push(serve_static(method, &outcome.best_configs, &requests, slo, env)?);
+        results.push(serve_static(
+            method,
+            &outcome.best_configs,
+            &requests,
+            slo,
+            env,
+        )?);
     }
     Ok(results)
 }
@@ -138,7 +147,10 @@ mod tests {
         assert_eq!(results.len(), 3);
         let aarc = &results[0];
         assert_eq!(aarc.method, MethodName::Aarc);
-        assert_eq!(aarc.slo_violations, 0, "input-aware AARC must stay within the SLO");
+        assert_eq!(
+            aarc.slo_violations, 0,
+            "input-aware AARC must stay within the SLO"
+        );
 
         let light_cost_aarc = aarc.avg_cost_per_class[&InputClass::Light];
         for baseline in &results[1..] {

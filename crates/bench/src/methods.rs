@@ -67,7 +67,10 @@ mod tests {
     #[test]
     fn three_methods_in_order() {
         let names: Vec<MethodName> = default_methods().into_iter().map(|(n, _)| n).collect();
-        assert_eq!(names, vec![MethodName::Aarc, MethodName::Bo, MethodName::Maff]);
+        assert_eq!(
+            names,
+            vec![MethodName::Aarc, MethodName::Bo, MethodName::Maff]
+        );
         assert_eq!(MethodName::Aarc.to_string(), "AARC");
     }
 }

@@ -52,14 +52,15 @@ pub fn evaluate_config(
             // Rebuild a jittered environment sharing the same workflow and
             // profiles; seeds vary per repetition.
             let env = env.clone();
-            let jittered = WorkflowEnvironment::builder(env.workflow().clone(), env.profiles().clone())
-                .pricing(*env.pricing())
-                .cluster(noisy_env_cluster)
-                .space(*env.space())
-                .input(env.input())
-                .base_config(env.base_config())
-                .seed(1_000 + rep as u64)
-                .build()?;
+            let jittered =
+                WorkflowEnvironment::builder(env.workflow().clone(), env.profiles().clone())
+                    .pricing(*env.pricing())
+                    .cluster(noisy_env_cluster)
+                    .space(*env.space())
+                    .input(env.input())
+                    .base_config(env.base_config())
+                    .seed(1_000 + rep as u64)
+                    .build()?;
             jittered.execute(configs)?
         };
         if !report.meets_slo(slo_ms) {
@@ -126,9 +127,15 @@ mod tests {
         let wl = chatbot();
         let row = measure(&wl, MethodName::Aarc, 10).unwrap();
         assert_eq!(row.repetitions, 10);
-        assert_eq!(row.slo_violations, 0, "AARC configurations must stay within the SLO");
+        assert_eq!(
+            row.slo_violations, 0,
+            "AARC configurations must stay within the SLO"
+        );
         assert!(row.runtime_mean_s > 0.0);
-        assert!(row.runtime_std_s < 0.1 * row.runtime_mean_s, "jitter is only a few percent");
+        assert!(
+            row.runtime_std_s < 0.1 * row.runtime_mean_s,
+            "jitter is only a few percent"
+        );
         assert!(row.cost_mean > 0.0);
     }
 

@@ -1,0 +1,105 @@
+//! Minimal flag parser: `--flag value` pairs plus positional arguments.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments after the subcommand.
+#[derive(Debug, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parses `--name value` pairs and positionals; `known` lists the
+    /// accepted flag names (without `--`).
+    pub fn parse(argv: &[String], known: &[&str]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if !known.contains(&name) {
+                    return Err(format!(
+                        "unknown flag `--{name}` (accepted: {})",
+                        known
+                            .iter()
+                            .map(|k| format!("--{k}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ));
+                }
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag `--{name}` needs a value"))?;
+                if args.flags.insert(name.to_owned(), value.clone()).is_some() {
+                    return Err(format!("flag `--{name}` given twice"));
+                }
+            } else {
+                args.positional.push(a.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    /// A string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag `--{name}`"))
+    }
+
+    /// A flag parsed into any `FromStr` type.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("flag `--{name}`: cannot parse `{raw}`")),
+        }
+    }
+
+    /// The positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = Args::parse(
+            &argv(&["--spec", "x.yaml", "pos1", "--method", "bo"]),
+            &["spec", "method"],
+        )
+        .unwrap();
+        assert_eq!(a.get("spec"), Some("x.yaml"));
+        assert_eq!(a.get("method"), Some("bo"));
+        assert_eq!(a.positional(), &["pos1".to_string()]);
+        assert_eq!(a.get_parsed::<f64>("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_unknown_duplicate_and_valueless_flags() {
+        assert!(Args::parse(&argv(&["--nope", "1"]), &["spec"]).is_err());
+        assert!(Args::parse(&argv(&["--spec", "a", "--spec", "b"]), &["spec"]).is_err());
+        assert!(Args::parse(&argv(&["--spec"]), &["spec"]).is_err());
+    }
+
+    #[test]
+    fn parse_errors_mention_the_flag() {
+        let a = Args::parse(&argv(&["--slo", "abc"]), &["slo"]).unwrap();
+        let err = a.get_parsed::<f64>("slo").unwrap_err();
+        assert!(err.contains("--slo") && err.contains("abc"));
+    }
+}

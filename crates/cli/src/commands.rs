@@ -1,0 +1,212 @@
+//! Subcommand implementations.
+
+use std::path::{Path, PathBuf};
+
+use aarc_core::report::ConfigurationReport;
+use aarc_spec::{compile, load, validate, SpecFormat, SynthParams};
+
+use crate::args::Args;
+use crate::methods;
+use crate::report::CompareReport;
+
+const USAGE: &str = "\
+aarc — declarative scenario runner for the AARC reproduction
+
+USAGE:
+    aarc validate <spec>...                     check scenario files
+    aarc run --spec FILE [--method NAME]        search one scenario
+             [--slo MS] [--format text|json] [--out FILE]
+    aarc compare --spec FILE [--format json|csv|table] [--out FILE]
+                                                all methods on one scenario
+    aarc export-builtin [--dir DIR] [--format yaml|json]
+                                                write the three paper workloads as specs
+    aarc generate --seed N [--layers N] [--max-width N] [--edge-prob P]
+                  [--headroom H] --out FILE     mint a synthetic scenario spec
+
+METHODS: aarc (graph-centric scheduler), bo (Bayesian optimization),
+         maff (coupled gradient descent), random (uniform sampling)
+";
+
+/// Runs the subcommand named by `argv[0]`.
+///
+/// # Errors
+///
+/// Returns a user-facing message; `main` prints it and exits non-zero.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    match argv.first().map(String::as_str) {
+        Some("validate") => cmd_validate(&argv[1..]),
+        Some("run") => cmd_run(&argv[1..]),
+        Some("compare") => cmd_compare(&argv[1..]),
+        Some("export-builtin") => cmd_export_builtin(&argv[1..]),
+        Some("generate") => cmd_generate(&argv[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn write_or_print(text: &str, out: Option<&str>) -> Result<(), String> {
+    match out {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("{path}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_validate(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    if args.positional().is_empty() {
+        return Err("validate needs at least one spec file".to_string());
+    }
+    let mut failures = 0usize;
+    for path in args.positional() {
+        match load(path).and_then(|spec| validate(&spec).map(|()| spec)) {
+            Ok(spec) => {
+                println!(
+                    "{path}: ok ({} functions, {} edges, slo {:.1} ms)",
+                    spec.functions.len(),
+                    spec.edges.len(),
+                    spec.slo_ms
+                );
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("{path}: {e}");
+            }
+        }
+    }
+    if failures > 0 {
+        Err(format!(
+            "{failures} of {} spec(s) invalid",
+            args.positional().len()
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["spec", "method", "slo", "format", "out"])?;
+    let spec = load(args.require("spec")?).map_err(|e| e.to_string())?;
+    let scenario = compile(&spec).map_err(|e| e.to_string())?;
+    let workload = scenario.workload();
+    let slo_ms = args
+        .get_parsed::<f64>("slo")?
+        .unwrap_or_else(|| workload.slo_ms());
+    let method = methods::build(args.get("method").unwrap_or("aarc"))?;
+
+    let outcome = method
+        .search(workload.env(), slo_ms)
+        .map_err(|e| format!("search failed: {e}"))?;
+    let report = ConfigurationReport::new(
+        workload.env(),
+        &outcome.best_configs,
+        &outcome.final_report,
+        Some(slo_ms),
+    );
+    let text = match args.get("format").unwrap_or("text") {
+        "text" => format!(
+            "{report}\nsearch: {} samples, total cost {:.1}, total runtime {:.1} ms\n",
+            outcome.trace.sample_count(),
+            outcome.trace.total_cost(),
+            outcome.trace.total_runtime_ms()
+        ),
+        "json" => {
+            let mut s =
+                serde_json::to_string_pretty(&report).expect("report serialization is infallible");
+            s.push('\n');
+            s
+        }
+        other => return Err(format!("unknown format `{other}` (accepted: text, json)")),
+    };
+    write_or_print(&text, args.get("out"))
+}
+
+fn cmd_compare(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["spec", "slo", "format", "out"])?;
+    let spec = load(args.require("spec")?).map_err(|e| e.to_string())?;
+    let scenario = compile(&spec).map_err(|e| e.to_string())?;
+    let workload = scenario.workload();
+    let slo_ms = args
+        .get_parsed::<f64>("slo")?
+        .unwrap_or_else(|| workload.slo_ms());
+
+    let report = CompareReport::run(workload, methods::all(), slo_ms)
+        .map_err(|e| format!("comparison failed: {e}"))?;
+    let text = match args.get("format").unwrap_or("json") {
+        "json" => {
+            let mut s =
+                serde_json::to_string_pretty(&report).expect("report serialization is infallible");
+            s.push('\n');
+            s
+        }
+        "csv" => report.to_csv(),
+        "table" => report.to_table(),
+        other => {
+            return Err(format!(
+                "unknown format `{other}` (accepted: json, csv, table)"
+            ))
+        }
+    };
+    write_or_print(&text, args.get("out"))
+}
+
+fn cmd_export_builtin(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["dir", "format"])?;
+    let dir = PathBuf::from(args.get("dir").unwrap_or("specs"));
+    let format = match args.get("format").unwrap_or("yaml") {
+        "yaml" => SpecFormat::Yaml,
+        "json" => SpecFormat::Json,
+        other => return Err(format!("unknown format `{other}` (accepted: yaml, json)")),
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for (name, spec) in aarc_spec::builtin_specs() {
+        let path = dir.join(format!("{name}.{}", format.extension()));
+        aarc_spec::save(&spec, &path).map_err(|e| e.to_string())?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn cmd_generate(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        argv,
+        &[
+            "seed",
+            "layers",
+            "max-width",
+            "edge-prob",
+            "headroom",
+            "out",
+        ],
+    )?;
+    let defaults = SynthParams::default();
+    let params = SynthParams {
+        seed: args.get_parsed("seed")?.unwrap_or(defaults.seed),
+        layers: args.get_parsed("layers")?.unwrap_or(defaults.layers),
+        max_width: args.get_parsed("max-width")?.unwrap_or(defaults.max_width),
+        edge_probability: args
+            .get_parsed("edge-prob")?
+            .unwrap_or(defaults.edge_probability),
+        slo_headroom: args
+            .get_parsed("headroom")?
+            .unwrap_or(defaults.slo_headroom),
+    };
+    if params.layers == 0 || params.max_width == 0 {
+        return Err("--layers and --max-width must be at least 1".to_string());
+    }
+    let spec = aarc_spec::synthetic_spec(params);
+    let out = args.require("out")?;
+    aarc_spec::save(&spec, Path::new(out)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out} ({} functions, {} edges, slo {:.1} ms)",
+        spec.functions.len(),
+        spec.edges.len(),
+        spec.slo_ms
+    );
+    Ok(())
+}

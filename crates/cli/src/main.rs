@@ -1,0 +1,33 @@
+//! `aarc` — command-line front end of the declarative scenario subsystem.
+//!
+//! ```text
+//! aarc validate <spec>...
+//! aarc run --spec FILE [--method aarc|bo|maff|random] [--slo MS] [--format text|json]
+//! aarc compare --spec FILE [--out FILE] [--format json|csv]
+//! aarc export-builtin [--dir DIR] [--format yaml|json]
+//! aarc generate --seed N [--layers N] [--max-width N] [--out FILE]
+//! ```
+//!
+//! Argument parsing is hand-rolled: the offline build environment has no
+//! crates.io access, and the flag surface is small enough that a vendored
+//! clap shim would cost more than it saves.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+mod methods;
+mod report;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

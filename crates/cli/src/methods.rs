@@ -1,0 +1,47 @@
+//! The search methods the CLI can drive, behind the engine's common
+//! [`ConfigurationSearch`] trait.
+
+use aarc_baselines::{
+    BayesianOptimization, BoParams, MaffGradientDescent, MaffParams, RandomSearch,
+    RandomSearchParams,
+};
+use aarc_core::{AarcParams, ConfigurationSearch, GraphCentricScheduler};
+
+/// The method names accepted by `--method`, in display order.
+pub const METHOD_NAMES: [&str; 4] = ["aarc", "bo", "maff", "random"];
+
+/// Builds a boxed search method from its CLI name.
+pub fn build(name: &str) -> Result<Box<dyn ConfigurationSearch>, String> {
+    match name {
+        "aarc" => Ok(Box::new(GraphCentricScheduler::new(AarcParams::paper()))),
+        "bo" => Ok(Box::new(BayesianOptimization::new(BoParams::default()))),
+        "maff" => Ok(Box::new(MaffGradientDescent::new(MaffParams::default()))),
+        "random" => Ok(Box::new(RandomSearch::new(RandomSearchParams::default()))),
+        other => Err(format!(
+            "unknown method `{other}` (accepted: {})",
+            METHOD_NAMES.join(", ")
+        )),
+    }
+}
+
+/// All comparable methods, as `(cli_name, method)` pairs.
+pub fn all() -> Vec<(&'static str, Box<dyn ConfigurationSearch>)> {
+    METHOD_NAMES
+        .iter()
+        .map(|&name| (name, build(name).expect("static names build")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_builds_and_unknown_fails() {
+        for name in METHOD_NAMES {
+            assert!(build(name).is_ok(), "{name}");
+        }
+        assert!(build("simulated-annealing").is_err());
+        assert_eq!(all().len(), 4);
+    }
+}

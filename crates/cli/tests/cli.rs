@@ -1,0 +1,213 @@
+//! End-to-end tests driving the compiled `aarc` binary, covering the
+//! acceptance path: `validate` and `compare` succeed on every spec under
+//! `specs/`, and `compare` emits a JSON report with cost and SLO attainment
+//! per method.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_aarc"))
+}
+
+fn specs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("specs")
+}
+
+fn all_spec_paths() -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(specs_dir())
+        .expect("specs/ exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("yaml"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 5,
+        "expected the three paper workloads plus at least two synthetic scenarios, found {}",
+        paths.len()
+    );
+    paths
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+#[test]
+fn validate_succeeds_on_every_committed_spec() {
+    let paths = all_spec_paths();
+    let out = run_ok(bin().arg("validate").args(&paths));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for p in &paths {
+        assert!(
+            stdout.contains(&format!("{}: ok", p.display())),
+            "missing ok line for {}\n{stdout}",
+            p.display()
+        );
+    }
+}
+
+#[test]
+fn compare_emits_cost_and_slo_attainment_per_method_on_every_spec() {
+    for path in all_spec_paths() {
+        let out = run_ok(
+            bin()
+                .args(["compare", "--format", "json", "--spec"])
+                .arg(&path),
+        );
+        let json = String::from_utf8_lossy(&out.stdout);
+        let report = serde_json::parse(&json)
+            .unwrap_or_else(|e| panic!("{}: invalid JSON: {e}", path.display()));
+        let methods = report
+            .get("methods")
+            .and_then(|m| m.as_seq())
+            .unwrap_or_else(|| panic!("{}: no methods array", path.display()));
+        assert_eq!(methods.len(), 4, "{}", path.display());
+        for entry in methods {
+            for field in [
+                "method",
+                "final_cost",
+                "meets_slo",
+                "search_cost",
+                "configuration",
+            ] {
+                assert!(
+                    entry.get(field).is_some(),
+                    "{}: method entry lacks `{field}`: {json}",
+                    path.display()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compare_csv_has_one_row_per_method() {
+    let spec = specs_dir().join("synthetic_dense.yaml");
+    let out = run_ok(
+        bin()
+            .args(["compare", "--format", "csv", "--spec"])
+            .arg(&spec),
+    );
+    let csv = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 5, "{csv}");
+    assert!(lines[0].starts_with("scenario,method,final_cost"));
+    for method in ["aarc", "bo", "maff", "random"] {
+        assert!(
+            lines.iter().any(|l| l.contains(&format!(",{method},"))),
+            "{csv}"
+        );
+    }
+}
+
+#[test]
+fn run_produces_a_report_and_honours_method_and_format() {
+    let spec = specs_dir().join("chatbot.yaml");
+    let text = run_ok(bin().args(["run", "--method", "maff", "--spec"]).arg(&spec));
+    let stdout = String::from_utf8_lossy(&text.stdout);
+    assert!(
+        stdout.contains("configuration for workflow `chatbot`"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("search:"), "{stdout}");
+
+    let json_out = run_ok(
+        bin()
+            .args(["run", "--method", "aarc", "--format", "json", "--spec"])
+            .arg(&spec),
+    );
+    let report = serde_json::parse(&String::from_utf8_lossy(&json_out.stdout)).unwrap();
+    assert!(report
+        .get("rows")
+        .and_then(|r| r.as_seq())
+        .is_some_and(|r| r.len() == 6));
+    assert!(report.get("total_cost").is_some());
+}
+
+#[test]
+fn validate_rejects_broken_specs_with_nonzero_exit() {
+    let dir = std::env::temp_dir().join("aarc-cli-test-invalid");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.yaml");
+    std::fs::write(
+        &path,
+        "version: 1\nname: broken\nslo_ms: -5.0\nfunctions:\n  - name: a\n    profile:\n      serial_ms: 1.0\nedges:\n  - from: a\n    to: ghost\n",
+    )
+    .unwrap();
+    let out = bin().arg("validate").arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("slo_ms"), "{stderr}");
+    assert!(stderr.contains("ghost"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn export_builtin_reproduces_the_committed_golden_specs() {
+    let dir = std::env::temp_dir().join("aarc-cli-test-export");
+    std::fs::remove_dir_all(&dir).ok();
+    run_ok(bin().args(["export-builtin", "--dir"]).arg(&dir));
+    for name in ["chatbot", "ml_pipeline", "video_analysis"] {
+        let exported = std::fs::read_to_string(dir.join(format!("{name}.yaml"))).unwrap();
+        let committed = std::fs::read_to_string(specs_dir().join(format!("{name}.yaml"))).unwrap();
+        assert_eq!(
+            exported, committed,
+            "{name} drifted from the committed spec"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generate_mints_a_spec_that_validates_and_compares() {
+    let dir = std::env::temp_dir().join("aarc-cli-test-generate");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("minted.yaml");
+    run_ok(
+        bin()
+            .args([
+                "generate",
+                "--seed",
+                "7",
+                "--layers",
+                "2",
+                "--max-width",
+                "2",
+                "--out",
+            ])
+            .arg(&path),
+    );
+    run_ok(bin().arg("validate").arg(&path));
+    let out = run_ok(
+        bin()
+            .args(["compare", "--format", "table", "--spec"])
+            .arg(&path),
+    );
+    let table = String::from_utf8_lossy(&out.stdout);
+    assert!(table.contains("synthetic-7"), "{table}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_subcommands_and_flags_fail_cleanly() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+
+    let out = bin().args(["run", "--nope", "x"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--nope"));
+
+    let help = run_ok(bin().arg("help"));
+    assert!(String::from_utf8_lossy(&help.stdout).contains("USAGE"));
+}

@@ -43,14 +43,8 @@ pub fn classify_affinity(env: &WorkflowEnvironment, node: NodeId) -> Option<Affi
     let space = env.space();
     let base_runtime = profile.runtime_ms(base)?;
 
-    let half_cpu = ResourceConfig::new(
-        space.snap_vcpu(base.vcpu.get() / 2.0),
-        base.memory.get(),
-    );
-    let half_mem = ResourceConfig::new(
-        base.vcpu.get(),
-        space.snap_memory(base.memory.get() / 2),
-    );
+    let half_cpu = ResourceConfig::new(space.snap_vcpu(base.vcpu.get() / 2.0), base.memory.get());
+    let half_mem = ResourceConfig::new(base.vcpu.get(), space.snap_memory(base.memory.get() / 2));
 
     // OOM on the halved-memory probe counts as maximal memory sensitivity.
     let cpu_runtime = profile.runtime_ms(half_cpu).unwrap_or(f64::INFINITY);
@@ -103,7 +97,7 @@ mod tests {
         let ids: Vec<NodeId> = profiles.iter().map(|(n, _)| b.add_function(*n)).collect();
         let wf = b.build().unwrap();
         let mut set = ProfileSet::new();
-        for (id, (_, p)) in ids.iter().zip(profiles.into_iter()) {
+        for (id, (_, p)) in ids.iter().zip(profiles) {
             set.insert(*id, p);
         }
         let env = WorkflowEnvironment::builder(wf, set).build().unwrap();

@@ -173,7 +173,10 @@ impl PriorityConfigurator {
                     | (None, _) => PRIORITY_FRESH_PREFERRED,
                     _ => PRIORITY_FRESH_OTHER,
                 };
-                queue.push(Operation::new(node, op_type, step, self.params.func_trials), priority);
+                queue.push(
+                    Operation::new(node, op_type, step, self.params.func_trials),
+                    priority,
+                );
             }
         }
         queue
@@ -213,9 +216,7 @@ impl PriorityConfigurator {
 /// compared against the (sub-)SLO, since functions on a path execute
 /// sequentially.
 fn path_runtime(report: &ExecutionReport, path: &[NodeId]) -> f64 {
-    path.iter()
-        .filter_map(|&n| report.runtime_of(n))
-        .sum()
+    path.iter().filter_map(|&n| report.runtime_of(n)).sum()
 }
 
 /// Sum of the billed costs of the path's functions.
@@ -262,7 +263,12 @@ mod tests {
     fn run_configurator(
         params: AarcParams,
         budget_ms: f64,
-    ) -> (WorkflowEnvironment, ConfigMap, SearchTrace, PathConfiguration) {
+    ) -> (
+        WorkflowEnvironment,
+        ConfigMap,
+        SearchTrace,
+        PathConfiguration,
+    ) {
         let (env, path) = chain_env();
         let mut configs = env.base_configs();
         let baseline = env.execute(&configs).unwrap();
@@ -327,7 +333,15 @@ mod tests {
         let mut trace = SearchTrace::new();
         let configurator = PriorityConfigurator::new(AarcParams::paper());
         configurator
-            .configure_path(&env, &mut configs, &path, budget, budget, &baseline, &mut trace)
+            .configure_path(
+                &env,
+                &mut configs,
+                &path,
+                budget,
+                budget,
+                &baseline,
+                &mut trace,
+            )
             .unwrap();
         let final_report = env.execute(&configs).unwrap();
         assert!(final_report.makespan_ms() <= budget);
@@ -342,10 +356,26 @@ mod tests {
         let mut trace = SearchTrace::new();
         let configurator = PriorityConfigurator::new(AarcParams::paper());
         let r1 = configurator
-            .configure_path(&env, &mut configs, &[], 60_000.0, 60_000.0, &baseline, &mut trace)
+            .configure_path(
+                &env,
+                &mut configs,
+                &[],
+                60_000.0,
+                60_000.0,
+                &baseline,
+                &mut trace,
+            )
             .unwrap();
         let r2 = configurator
-            .configure_path(&env, &mut configs, &path, 0.0, 60_000.0, &baseline, &mut trace)
+            .configure_path(
+                &env,
+                &mut configs,
+                &path,
+                0.0,
+                60_000.0,
+                &baseline,
+                &mut trace,
+            )
             .unwrap();
         assert_eq!(r1.samples_used, 0);
         assert_eq!(r2.samples_used, 0);

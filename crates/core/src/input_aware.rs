@@ -204,7 +204,11 @@ mod tests {
         let engine = InputAwareEngine::build(&scheduler, &env, slo, &class_inputs()).unwrap();
         for (_, &input) in class_inputs().iter() {
             let report = engine.serve(&env, input).unwrap();
-            assert!(report.meets_slo(slo), "class {:?} violates slo", input.classify());
+            assert!(
+                report.meets_slo(slo),
+                "class {:?} violates slo",
+                input.classify()
+            );
         }
     }
 
@@ -221,7 +225,10 @@ mod tests {
     fn unknown_class_falls_back_to_heaviest() {
         let env = input_sensitive_env();
         let heavy_cfg = ConfigMap::uniform(env.workflow().len(), ResourceConfig::new(8.0, 4_096));
-        let engine = InputAwareEngine::from_configs(BTreeMap::from([(InputClass::Heavy, heavy_cfg.clone())]));
+        let engine = InputAwareEngine::from_configs(BTreeMap::from([(
+            InputClass::Heavy,
+            heavy_cfg.clone(),
+        )]));
         // A light input has no dedicated configuration; the heavy one is
         // used as fallback.
         let dispatched = engine.dispatch(InputSpec::new(0.3, 1.0)).unwrap();

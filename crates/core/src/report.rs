@@ -7,10 +7,12 @@
 
 use std::fmt;
 
+use serde::Serialize;
+
 use aarc_simulator::{ConfigMap, ExecutionReport, WorkflowEnvironment};
 
 /// A per-function summary of a configuration and its measured behaviour.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct FunctionRow {
     /// Function name.
     pub name: String,
@@ -25,7 +27,7 @@ pub struct FunctionRow {
 }
 
 /// A pretty-printable summary of a full workflow configuration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ConfigurationReport {
     workflow_name: String,
     rows: Vec<FunctionRow>,
@@ -112,7 +114,11 @@ impl fmt::Display for ConfigurationReport {
                 f,
                 " (slo {:.1} ms: {})",
                 slo,
-                if self.makespan_ms <= slo { "met" } else { "VIOLATED" }
+                if self.makespan_ms <= slo {
+                    "met"
+                } else {
+                    "VIOLATED"
+                }
             )?;
         }
         Ok(())
@@ -132,7 +138,10 @@ mod tests {
         b.add_edge(a, c).unwrap();
         let wf = b.build().unwrap();
         let mut p = ProfileSet::new();
-        p.insert(a, FunctionProfile::builder("alpha").serial_ms(100.0).build());
+        p.insert(
+            a,
+            FunctionProfile::builder("alpha").serial_ms(100.0).build(),
+        );
         p.insert(c, FunctionProfile::builder("beta").serial_ms(200.0).build());
         WorkflowEnvironment::builder(wf, p).build().unwrap()
     }

@@ -152,7 +152,10 @@ impl ConfigurationSearch for GraphCentricScheduler {
             trace.record(
                 &current_report,
                 true,
-                format!("sub-path of {} functions configured", subpath.interior.len()),
+                format!(
+                    "sub-path of {} functions configured",
+                    subpath.interior.len()
+                ),
             );
         }
 
@@ -228,7 +231,10 @@ mod tests {
                 .mem_floor_mb(256.0)
                 .build(),
         );
-        p.insert(end, FunctionProfile::builder("end").serial_ms(1_000.0).build());
+        p.insert(
+            end,
+            FunctionProfile::builder("end").serial_ms(1_000.0).build(),
+        );
         WorkflowEnvironment::builder(wf, p).build().unwrap()
     }
 
@@ -240,7 +246,10 @@ mod tests {
         let outcome = scheduler.search(&env, slo).unwrap();
         let base_cost = env.execute(&env.base_configs()).unwrap().total_cost();
         assert!(outcome.final_report.meets_slo(slo));
-        assert!(outcome.best_cost() < 0.5 * base_cost, "expect large savings");
+        assert!(
+            outcome.best_cost() < 0.5 * base_cost,
+            "expect large savings"
+        );
         assert!(outcome.trace.sample_count() > 2);
     }
 
@@ -251,7 +260,10 @@ mod tests {
         let outcome = scheduler.search(&env, 60_000.0).unwrap();
         assert_eq!(outcome.best_configs.len(), env.workflow().len());
         for (_, cfg) in outcome.best_configs.iter() {
-            assert!(env.space().contains(cfg), "{cfg} outside the resource space");
+            assert!(
+                env.space().contains(cfg),
+                "{cfg} outside the resource space"
+            );
         }
     }
 
@@ -292,7 +304,10 @@ mod tests {
         let env = diamond_env();
         let scheduler = GraphCentricScheduler::default();
         let err = scheduler.search(&env, 10.0).unwrap_err();
-        assert!(matches!(err, AarcError::BaseConfigurationViolatesSlo { .. }));
+        assert!(matches!(
+            err,
+            AarcError::BaseConfigurationViolatesSlo { .. }
+        ));
     }
 
     #[test]

@@ -205,7 +205,9 @@ mod tests {
         assert_eq!(trace.sample_count(), 2);
         assert_eq!(trace.samples()[0].index, 1);
         assert_eq!(trace.samples()[1].index, 2);
-        assert!((trace.total_runtime_ms() - (big.makespan_ms() + small.makespan_ms())).abs() < 1e-9);
+        assert!(
+            (trace.total_runtime_ms() - (big.makespan_ms() + small.makespan_ms())).abs() < 1e-9
+        );
         assert!((trace.total_cost() - (big.total_cost() + small.total_cost())).abs() < 1e-9);
         assert_eq!(trace.runtime_series().len(), 2);
         assert_eq!(trace.cost_series().len(), 2);

@@ -48,7 +48,8 @@ impl PricingModel {
     /// for `runtime_ms` milliseconds.
     pub fn invocation_cost(&self, config: ResourceConfig, runtime_ms: f64) -> f64 {
         runtime_ms
-            * (self.per_vcpu_ms * config.vcpu.get() + self.per_mb_ms * f64::from(config.memory.get()))
+            * (self.per_vcpu_ms * config.vcpu.get()
+                + self.per_mb_ms * f64::from(config.memory.get()))
             + self.per_request
     }
 

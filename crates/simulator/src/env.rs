@@ -158,6 +158,11 @@ impl WorkflowEnvironment {
         self.base_config
     }
 
+    /// The RNG seed used for jittered executions.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// A [`ConfigMap`] assigning the base configuration to every function.
     pub fn base_configs(&self) -> ConfigMap {
         ConfigMap::uniform(self.workflow.len(), self.base_config)
@@ -305,7 +310,10 @@ mod tests {
         b.add_edge(a, c).unwrap();
         let wf = b.build().unwrap();
         let mut profiles = ProfileSet::new();
-        profiles.insert(a, FunctionProfile::builder("a").parallel_ms(4_000.0).build());
+        profiles.insert(
+            a,
+            FunctionProfile::builder("a").parallel_ms(4_000.0).build(),
+        );
         profiles.insert(c, FunctionProfile::builder("b").serial_ms(1_000.0).build());
         WorkflowEnvironment::builder(wf, profiles).build().unwrap()
     }

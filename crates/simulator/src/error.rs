@@ -85,13 +85,17 @@ mod tests {
                 node: NodeId::new(1),
                 name: "f".into(),
             },
-            SimulatorError::MissingConfig { node: NodeId::new(2) },
+            SimulatorError::MissingConfig {
+                node: NodeId::new(2),
+            },
             SimulatorError::InvalidConfig {
                 node: NodeId::new(3),
                 reason: "memory below 128 MB".into(),
             },
             SimulatorError::Workflow(WorkflowError::Empty),
-            SimulatorError::Unplaceable { node: NodeId::new(4) },
+            SimulatorError::Unplaceable {
+                node: NodeId::new(4),
+            },
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());

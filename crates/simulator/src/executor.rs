@@ -175,13 +175,13 @@ pub fn execute_workflow(
 
     // Starts `node` at `now` if a host has capacity; returns true on success.
     let start_fn = |node: NodeId,
-                        now_ticks: u64,
-                        cluster_state: &mut ClusterState,
-                        queue: &mut EventQueue,
-                        trace: &mut ExecutionTrace,
-                        executions: &mut Vec<Option<FunctionExecution>>,
-                        states: &mut Vec<NodeRuntimeState>,
-                        rng: &mut StdRng|
+                    now_ticks: u64,
+                    cluster_state: &mut ClusterState,
+                    queue: &mut EventQueue,
+                    trace: &mut ExecutionTrace,
+                    executions: &mut Vec<Option<FunctionExecution>>,
+                    states: &mut Vec<NodeRuntimeState>,
+                    rng: &mut StdRng|
      -> bool {
         let config = configs.get(node);
         let Some(host) = cluster_state.try_place(config) else {
@@ -375,7 +375,9 @@ mod tests {
         );
         profiles.insert(
             c,
-            FunctionProfile::builder("second").serial_ms(2_000.0).build(),
+            FunctionProfile::builder("second")
+                .serial_ms(2_000.0)
+                .build(),
         );
         (wf, profiles)
     }
@@ -429,7 +431,9 @@ mod tests {
         for (id, spec) in wf.iter() {
             profiles.insert(
                 id,
-                FunctionProfile::builder(spec.name()).serial_ms(1_000.0).build(),
+                FunctionProfile::builder(spec.name())
+                    .serial_ms(1_000.0)
+                    .build(),
             );
         }
         let configs = ConfigMap::uniform(wf.len(), ResourceConfig::new(1.0, 512));
@@ -451,7 +455,9 @@ mod tests {
         for (id, spec) in wf.iter() {
             profiles.insert(
                 id,
-                FunctionProfile::builder(spec.name()).serial_ms(1_000.0).build(),
+                FunctionProfile::builder(spec.name())
+                    .serial_ms(1_000.0)
+                    .build(),
             );
         }
         let tiny_cluster = ClusterSpec {
@@ -519,7 +525,10 @@ mod tests {
         b.add_edge(a, c).unwrap();
         let wf = b.build().unwrap();
         let mut profiles = ProfileSet::new();
-        profiles.insert(a, FunctionProfile::builder("present").serial_ms(10.0).build());
+        profiles.insert(
+            a,
+            FunctionProfile::builder("present").serial_ms(10.0).build(),
+        );
         let configs = ConfigMap::uniform(wf.len(), ResourceConfig::new(1.0, 512));
         let err = execute_workflow(
             &wf,

@@ -80,11 +80,8 @@ pub fn fluctuation_amplitude(values: &[f64]) -> f64 {
     if mean.abs() < f64::EPSILON {
         return 0.0;
     }
-    let mad = values
-        .windows(2)
-        .map(|w| (w[1] - w[0]).abs())
-        .sum::<f64>()
-        / (values.len() - 1) as f64;
+    let mad =
+        values.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (values.len() - 1) as f64;
     mad / mean
 }
 

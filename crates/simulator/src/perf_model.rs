@@ -109,9 +109,25 @@ impl FunctionProfile {
         self.mem_floor_mb
     }
 
+    /// Resource-insensitive I/O component, in milliseconds.
+    pub fn io_ms(&self) -> f64 {
+        self.io_ms
+    }
+
+    /// Slowdown factor applied when memory sits at the OOM floor.
+    pub fn mem_penalty_factor(&self) -> f64 {
+        self.mem_penalty_factor
+    }
+
     /// Exponent with which compute scales with the input scale factor.
     pub fn input_sensitivity(&self) -> f64 {
         self.input_sensitivity
+    }
+
+    /// Exponent with which the working set and floor scale with the input
+    /// scale factor.
+    pub fn mem_input_sensitivity(&self) -> f64 {
+        self.mem_input_sensitivity
     }
 
     /// Evaluates the model for one invocation.
@@ -146,8 +162,11 @@ impl FunctionProfile {
             1.0 + (self.mem_penalty_factor - 1.0) * deficit.clamp(0.0, 1.0)
         };
 
-        let runtime = (serial_time + parallel_time) * pressure + self.io_ms * compute_scale.max(1.0).sqrt();
-        InvocationOutcome::Completed { runtime_ms: runtime.max(0.1) }
+        let runtime =
+            (serial_time + parallel_time) * pressure + self.io_ms * compute_scale.max(1.0).sqrt();
+        InvocationOutcome::Completed {
+            runtime_ms: runtime.max(0.1),
+        }
     }
 
     /// Convenience wrapper returning the runtime at nominal input or `None`
@@ -365,7 +384,10 @@ mod tests {
         let p = cpu_bound();
         let full = p.runtime_ms(ResourceConfig::new(1.0, 1024)).unwrap();
         let half = p.runtime_ms(ResourceConfig::new(0.5, 1024)).unwrap();
-        assert!(half > 1.9 * full, "half a core should roughly double runtime");
+        assert!(
+            half > 1.9 * full,
+            "half a core should roughly double runtime"
+        );
     }
 
     #[test]

@@ -91,7 +91,10 @@ mod tests {
         let wf = b.build().unwrap();
         let mut profiles = ProfileSet::new();
         profiles.insert(a, FunctionProfile::builder("fast").serial_ms(100.0).build());
-        profiles.insert(c, FunctionProfile::builder("slow").serial_ms(5_000.0).build());
+        profiles.insert(
+            c,
+            FunctionProfile::builder("slow").serial_ms(5_000.0).build(),
+        );
         profiles.insert(d, FunctionProfile::builder("sink").serial_ms(50.0).build());
         WorkflowEnvironment::builder(wf, profiles).build().unwrap()
     }
@@ -114,7 +117,10 @@ mod tests {
         let weights = profile_workflow(&env, &env.base_configs()).unwrap();
         let cp = critical_path(env.workflow().dag(), weights.weight_fn());
         let slow = env.workflow().find("slow").unwrap();
-        assert!(cp.contains(slow), "critical path must include the slow branch");
+        assert!(
+            cp.contains(slow),
+            "critical path must include the slow branch"
+        );
     }
 
     #[test]

@@ -133,7 +133,10 @@ impl ResourceSpace {
 
     /// Clamps a configuration into the space and snaps it onto the grid.
     pub fn clamp(&self, config: ResourceConfig) -> ResourceConfig {
-        ResourceConfig::new(self.snap_vcpu(config.vcpu.get()), self.snap_memory(config.memory.get()))
+        ResourceConfig::new(
+            self.snap_vcpu(config.vcpu.get()),
+            self.snap_memory(config.memory.get()),
+        )
     }
 
     /// Snaps a vCPU value onto the grid (rounding to the nearest step) and
@@ -229,7 +232,7 @@ mod tests {
     fn snap_vcpu_rounds_to_grid() {
         let s = ResourceSpace::paper();
         assert!((s.snap_vcpu(0.0) - 0.1).abs() < 1e-9);
-        assert!((s.snap_vcpu(3.14) - 3.1).abs() < 1e-9);
+        assert!((s.snap_vcpu(3.16) - 3.2).abs() < 1e-9);
         assert!((s.snap_vcpu(99.0) - 10.0).abs() < 1e-9);
         // 0.25 is equidistant between grid points; either neighbour is an
         // acceptable snap.
@@ -266,7 +269,10 @@ mod tests {
 
     #[test]
     fn default_config_is_base_overprovisioned() {
-        assert_eq!(ResourceConfig::default(), ResourceSpace::paper().max_config());
+        assert_eq!(
+            ResourceConfig::default(),
+            ResourceSpace::paper().max_config()
+        );
     }
 
     #[test]

@@ -9,12 +9,12 @@ use proptest::prelude::*;
 /// Strategy for a plausible function profile.
 fn arb_profile() -> impl Strategy<Value = FunctionProfile> {
     (
-        0.0f64..30_000.0,   // serial
-        0.0f64..120_000.0,  // parallel
-        1.0f64..12.0,       // max parallelism
-        0.0f64..5_000.0,    // io
-        128.0f64..6_144.0,  // working set
-        1.0f64..6.0,        // penalty factor
+        0.0f64..30_000.0,  // serial
+        0.0f64..120_000.0, // parallel
+        1.0f64..12.0,      // max parallelism
+        0.0f64..5_000.0,   // io
+        128.0f64..6_144.0, // working set
+        1.0f64..6.0,       // penalty factor
     )
         .prop_map(|(serial, parallel, par, io, ws, penalty)| {
             FunctionProfile::builder("f")

@@ -1,0 +1,269 @@
+//! Compiler from a validated [`ScenarioSpec`] into the engine's executable
+//! types: `aarc_workflow::Workflow`, `aarc_simulator::WorkflowEnvironment`
+//! and the `aarc_workloads::Workload` bundle.
+
+use aarc_simulator::{
+    ClusterSpec, FunctionProfile, InputSpec, PricingModel, ProfileSet, ResourceConfig,
+    ResourceSpace, WorkflowEnvironment,
+};
+use aarc_workflow::{NodeId, Workflow, WorkflowBuilder};
+use aarc_workloads::Workload;
+
+use crate::error::SpecError;
+use crate::schema::{ProfileDecl, ScenarioSpec, DEFAULT_PAYLOAD_MB};
+use crate::validate::validate;
+
+pub use aarc_simulator::InputClass as EngineInputClass;
+
+/// A compiled scenario: the executable workload plus the request-mix
+/// weights of its input-size distribution (which the engine types do not
+/// carry, but the exporter must preserve).
+#[derive(Debug, Clone)]
+pub struct CompiledScenario {
+    workload: Workload,
+    input_mix: Vec<(EngineInputClass, f64)>,
+}
+
+impl CompiledScenario {
+    /// The executable workload (environment + SLO + input classes).
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Consumes the scenario, returning the workload.
+    pub fn into_workload(self) -> Workload {
+        self.workload
+    }
+
+    /// Request-mix weights per declared input class, in declaration order.
+    pub fn input_mix(&self) -> &[(EngineInputClass, f64)] {
+        &self.input_mix
+    }
+
+    /// Wraps an engine workload (e.g. a built-in one) so it can be
+    /// exported; every declared input class gets weight 1.
+    pub fn from_workload(workload: Workload) -> Self {
+        let input_mix = workload
+            .input_classes()
+            .keys()
+            .map(|&class| (class, 1.0))
+            .collect();
+        CompiledScenario {
+            workload,
+            input_mix,
+        }
+    }
+}
+
+fn build_profile(name: &str, p: &ProfileDecl) -> FunctionProfile {
+    let mut b = FunctionProfile::builder(name)
+        .serial_ms(p.serial_ms)
+        .parallel_ms(p.parallel_ms)
+        .io_ms(p.io_ms)
+        .mem_input_sensitivity(p.mem_input_sensitivity);
+    if let Some(v) = p.max_parallelism {
+        b = b.max_parallelism(v);
+    }
+    if let Some(v) = p.working_set_mb {
+        b = b.working_set_mb(v);
+    }
+    if let Some(v) = p.mem_floor_mb {
+        b = b.mem_floor_mb(v);
+    }
+    if let Some(v) = p.mem_penalty_factor {
+        b = b.mem_penalty_factor(v);
+    }
+    if let Some(v) = p.input_sensitivity {
+        b = b.input_sensitivity(v);
+    }
+    b.build()
+}
+
+/// Compiles a spec into an executable scenario, validating it first.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Invalid`] for semantic problems and
+/// [`SpecError::Compile`] if the engine rejects the (validated) spec — the
+/// latter indicates a validator gap.
+pub fn compile(spec: &ScenarioSpec) -> Result<CompiledScenario, SpecError> {
+    validate(spec)?;
+
+    // Workflow topology.
+    let mut builder = WorkflowBuilder::new(&spec.name);
+    let ids: Vec<NodeId> = spec
+        .functions
+        .iter()
+        .map(|f| builder.add_function_with_affinity(&f.name, f.affinity.into()))
+        .collect();
+    let index = |name: &str| -> NodeId {
+        let pos = spec
+            .functions
+            .iter()
+            .position(|f| f.name == name)
+            .expect("validated edge endpoints exist");
+        ids[pos]
+    };
+    for e in &spec.edges {
+        builder
+            .add_edge_with(
+                index(&e.from),
+                index(&e.to),
+                e.payload_mb.unwrap_or(DEFAULT_PAYLOAD_MB),
+                e.kind.into(),
+            )
+            .map_err(|err| SpecError::Compile(err.to_string()))?;
+    }
+    let workflow: Workflow = builder
+        .build()
+        .map_err(|err| SpecError::Compile(err.to_string()))?;
+
+    // Profiles.
+    let mut profiles = ProfileSet::new();
+    for (id, f) in ids.iter().zip(&spec.functions) {
+        profiles.insert(*id, build_profile(&f.name, &f.profile));
+    }
+
+    // Environment.
+    let space = spec
+        .resource_space
+        .as_ref()
+        .map(|s| s.to_engine())
+        .unwrap_or_else(ResourceSpace::paper);
+    let mut env_builder = WorkflowEnvironment::builder(workflow, profiles)
+        .cluster(
+            spec.cluster
+                .as_ref()
+                .map(|c| c.to_engine())
+                .unwrap_or_else(ClusterSpec::paper_testbed),
+        )
+        .pricing(
+            spec.pricing
+                .as_ref()
+                .map(|p| p.to_engine())
+                .unwrap_or_else(PricingModel::paper),
+        )
+        .space(space)
+        .base_config(
+            spec.base_config
+                .as_ref()
+                .map(|b| ResourceConfig::new(b.vcpu, b.memory_mb))
+                .unwrap_or_else(|| space.max_config()),
+        )
+        .seed(spec.seed);
+    if let Some(input) = &spec.input {
+        env_builder = env_builder.input(InputSpec::new(input.scale, input.payload_mb));
+    }
+    let env: WorkflowEnvironment = env_builder
+        .build()
+        .map_err(|err| SpecError::Compile(err.to_string()))?;
+
+    // Workload with the declared input-size distribution.
+    let mut workload = Workload::new(&spec.name, env, spec.slo_ms);
+    let mut input_mix = Vec::with_capacity(spec.input_classes.len());
+    for entry in &spec.input_classes {
+        let class: EngineInputClass = entry.class.into();
+        workload = workload.with_input_class(
+            class,
+            InputSpec::new(entry.input.scale, entry.input.payload_mb),
+        );
+        input_mix.push((class, entry.weight.unwrap_or(1.0)));
+    }
+
+    Ok(CompiledScenario {
+        workload,
+        input_mix,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::from_yaml_str;
+
+    const CHAIN: &str = "\
+version: 1
+name: chain
+slo_ms: 60000.0
+seed: 5
+functions:
+  - name: crunch
+    affinity: cpu-bound
+    profile:
+      parallel_ms: 30000.0
+      max_parallelism: 4.0
+  - name: store
+    affinity: io-bound
+    profile:
+      serial_ms: 2000.0
+      io_ms: 500.0
+edges:
+  - from: crunch
+    to: store
+    payload_mb: 16.0
+    kind: direct
+input_classes:
+  - class: light
+    input:
+      scale: 0.5
+      payload_mb: 2.0
+    weight: 3.0
+  - class: heavy
+    input:
+      scale: 2.0
+      payload_mb: 64.0
+";
+
+    #[test]
+    fn compiles_and_executes() {
+        let spec = from_yaml_str(CHAIN).unwrap();
+        let scenario = compile(&spec).unwrap();
+        let wl = scenario.workload();
+        assert_eq!(wl.name(), "chain");
+        assert_eq!(wl.len(), 2);
+        assert_eq!(wl.slo_ms(), 60_000.0);
+        assert_eq!(wl.env().seed(), 5);
+        let report = wl.env().execute(&wl.env().base_configs()).unwrap();
+        assert!(report.makespan_ms() > 0.0);
+        assert!(wl.is_input_sensitive());
+        assert_eq!(scenario.input_mix().len(), 2);
+        assert_eq!(scenario.input_mix()[0].1, 3.0);
+        assert_eq!(scenario.input_mix()[1].1, 1.0);
+    }
+
+    #[test]
+    fn affinity_and_edges_survive_compilation() {
+        let spec = from_yaml_str(CHAIN).unwrap();
+        let scenario = compile(&spec).unwrap();
+        let wf = scenario.workload().env().workflow();
+        let crunch = wf.find("crunch").unwrap();
+        assert_eq!(
+            wf.function(crunch).affinity(),
+            aarc_workflow::ResourceAffinity::CpuBound
+        );
+        let store = wf.find("store").unwrap();
+        let edge = wf.edge(crunch, store).unwrap();
+        assert_eq!(edge.payload_mb, 16.0);
+    }
+
+    #[test]
+    fn invalid_specs_do_not_compile() {
+        let mut spec = from_yaml_str(CHAIN).unwrap();
+        spec.slo_ms = -1.0;
+        assert!(matches!(compile(&spec), Err(SpecError::Invalid(_))));
+    }
+
+    #[test]
+    fn profile_defaults_match_the_builder() {
+        let spec = from_yaml_str(
+            "version: 1\nname: one\nslo_ms: 1000.0\nfunctions:\n  - name: f\n    profile:\n      serial_ms: 100.0\nedges: []\n",
+        )
+        .unwrap();
+        let scenario = compile(&spec).unwrap();
+        let env = scenario.workload().env();
+        let id = env.workflow().find("f").unwrap();
+        let profile = env.profiles().get(id).unwrap();
+        let reference = FunctionProfile::builder("f").serial_ms(100.0).build();
+        assert_eq!(profile, &reference);
+    }
+}

@@ -1,0 +1,172 @@
+//! Exporters: turn executable scenarios back into normalized specs.
+//!
+//! "Normalized" means every optional section is written explicitly with the
+//! engine's effective values, so `compile(export(x))` is the identity on
+//! behaviour and `export(compile(s))` is the identity on normalized specs.
+//! The three built-in paper workloads are exported through the same path,
+//! which is what pins their golden files.
+
+use aarc_workloads::{chatbot, ml_pipeline, video_analysis};
+
+use crate::compile::CompiledScenario;
+use crate::schema::{
+    ClusterDecl, ConfigDecl, EdgeDecl, FunctionDecl, InputClassDecl, InputDecl, PricingDecl,
+    ProfileDecl, ScenarioSpec, SpaceDecl, SPEC_VERSION,
+};
+
+/// Exports a compiled scenario as a normalized spec.
+pub fn export(scenario: &CompiledScenario) -> ScenarioSpec {
+    let workload = scenario.workload();
+    let env = workload.env();
+    let workflow = env.workflow();
+
+    let functions = workflow
+        .node_ids()
+        .map(|id| {
+            let spec = workflow.function(id);
+            let profile = env
+                .profiles()
+                .get(id)
+                .expect("environments guarantee profile coverage");
+            FunctionDecl {
+                name: spec.name().to_owned(),
+                affinity: spec.affinity().into(),
+                profile: ProfileDecl {
+                    serial_ms: profile.serial_ms(),
+                    parallel_ms: profile.parallel_ms(),
+                    max_parallelism: Some(profile.max_parallelism()),
+                    io_ms: profile.io_ms(),
+                    working_set_mb: Some(profile.working_set_mb()),
+                    mem_floor_mb: Some(profile.mem_floor_mb()),
+                    mem_penalty_factor: Some(profile.mem_penalty_factor()),
+                    input_sensitivity: Some(profile.input_sensitivity()),
+                    mem_input_sensitivity: profile.mem_input_sensitivity(),
+                },
+            }
+        })
+        .collect();
+
+    let edges = workflow
+        .edges()
+        .iter()
+        .map(|e| EdgeDecl {
+            from: workflow.function(e.from).name().to_owned(),
+            to: workflow.function(e.to).name().to_owned(),
+            payload_mb: Some(e.payload_mb),
+            kind: e.kind.into(),
+        })
+        .collect();
+
+    let input_classes = scenario
+        .input_mix()
+        .iter()
+        .map(|&(class, weight)| {
+            let input = workload.input_classes()[&class];
+            InputClassDecl {
+                class: class.into(),
+                input: InputDecl {
+                    scale: input.scale,
+                    payload_mb: input.payload_mb,
+                },
+                weight: Some(weight),
+            }
+        })
+        .collect();
+
+    ScenarioSpec {
+        version: SPEC_VERSION,
+        name: workload.name().to_owned(),
+        slo_ms: workload.slo_ms(),
+        seed: env.seed(),
+        functions,
+        edges,
+        cluster: Some(ClusterDecl::from_engine(env.cluster())),
+        pricing: Some(PricingDecl::from_engine(env.pricing())),
+        resource_space: Some(SpaceDecl::from_engine(env.space())),
+        base_config: Some(ConfigDecl {
+            vcpu: env.base_config().vcpu.get(),
+            memory_mb: env.base_config().memory.get(),
+        }),
+        input: Some(InputDecl {
+            scale: env.input().scale,
+            payload_mb: env.input().payload_mb,
+        }),
+        input_classes,
+    }
+}
+
+/// The file-stem names of the built-in paper workloads, in figure order.
+pub const BUILTIN_NAMES: [&str; 3] = ["chatbot", "ml_pipeline", "video_analysis"];
+
+/// Exports the three built-in paper workloads as normalized specs, keyed by
+/// their file-stem name ([`BUILTIN_NAMES`] order).
+pub fn builtin_specs() -> Vec<(&'static str, ScenarioSpec)> {
+    vec![
+        (
+            "chatbot",
+            export(&CompiledScenario::from_workload(chatbot())),
+        ),
+        (
+            "ml_pipeline",
+            export(&CompiledScenario::from_workload(ml_pipeline())),
+        ),
+        (
+            "video_analysis",
+            export(&CompiledScenario::from_workload(video_analysis())),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::validate::validate;
+
+    #[test]
+    fn builtin_specs_validate_and_recompile() {
+        for (name, spec) in builtin_specs() {
+            validate(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let scenario = compile(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(scenario.workload().name(), spec.name);
+        }
+    }
+
+    #[test]
+    fn exported_builtin_behaves_like_the_original() {
+        let original = chatbot();
+        let spec = export(&CompiledScenario::from_workload(original.clone()));
+        let rebuilt = compile(&spec).unwrap().into_workload();
+        let base_original = original
+            .env()
+            .execute(&original.env().base_configs())
+            .unwrap();
+        let base_rebuilt = rebuilt
+            .env()
+            .execute(&rebuilt.env().base_configs())
+            .unwrap();
+        assert_eq!(base_original.makespan_ms(), base_rebuilt.makespan_ms());
+        assert_eq!(base_original.total_cost(), base_rebuilt.total_cost());
+        assert_eq!(original.slo_ms(), rebuilt.slo_ms());
+    }
+
+    #[test]
+    fn export_after_compile_is_identity_on_normalized_specs() {
+        for (name, spec) in builtin_specs() {
+            let again = export(&compile(&spec).unwrap());
+            assert_eq!(spec, again, "{name} changed across compile/export");
+        }
+    }
+
+    #[test]
+    fn video_analysis_exports_its_input_distribution() {
+        let (_, spec) = builtin_specs().into_iter().nth(2).unwrap();
+        assert_eq!(spec.input_classes.len(), 3);
+        let classes: Vec<String> = spec
+            .input_classes
+            .iter()
+            .map(|e| e.class.to_string())
+            .collect();
+        assert_eq!(classes, vec!["light", "middle", "heavy"]);
+    }
+}

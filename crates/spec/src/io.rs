@@ -1,0 +1,165 @@
+//! Reading and writing scenario specs as YAML or JSON text and files.
+
+use std::path::Path;
+
+use serde::Serialize;
+
+use crate::error::SpecError;
+use crate::schema::ScenarioSpec;
+
+/// Serialization format of a scenario file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecFormat {
+    /// Block-style YAML (the default, human-friendly form).
+    Yaml,
+    /// Pretty-printed JSON.
+    Json,
+}
+
+impl SpecFormat {
+    /// Picks the format for a path from its extension (`.json` is JSON,
+    /// everything else YAML).
+    pub fn for_path(path: &Path) -> Self {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("json") => SpecFormat::Json,
+            _ => SpecFormat::Yaml,
+        }
+    }
+
+    /// Canonical file extension.
+    pub fn extension(&self) -> &'static str {
+        match self {
+            SpecFormat::Yaml => "yaml",
+            SpecFormat::Json => "json",
+        }
+    }
+}
+
+/// Parses a spec from YAML text.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Parse`] on malformed text or schema mismatches.
+pub fn from_yaml_str(text: &str) -> Result<ScenarioSpec, SpecError> {
+    serde_yaml::from_str(text).map_err(|e| SpecError::Parse(e.to_string()))
+}
+
+/// Parses a spec from JSON text.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Parse`] on malformed text or schema mismatches.
+pub fn from_json_str(text: &str) -> Result<ScenarioSpec, SpecError> {
+    serde_json::from_str(text).map_err(|e| SpecError::Parse(e.to_string()))
+}
+
+/// Serializes a spec in the given format.
+pub fn to_string(spec: &ScenarioSpec, format: SpecFormat) -> String {
+    match format {
+        SpecFormat::Yaml => serde_yaml::to_string(spec).expect("YAML emit is infallible"),
+        SpecFormat::Json => {
+            let mut s = serde_json::to_string_pretty(spec).expect("JSON emit is infallible");
+            s.push('\n');
+            s
+        }
+    }
+}
+
+/// Serializes any serde value in the given format (used by the CLI for
+/// reports).
+pub fn value_to_string<T: Serialize>(value: &T, format: SpecFormat) -> String {
+    match format {
+        SpecFormat::Yaml => serde_yaml::to_string(value).expect("YAML emit is infallible"),
+        SpecFormat::Json => {
+            let mut s = serde_json::to_string_pretty(value).expect("JSON emit is infallible");
+            s.push('\n');
+            s
+        }
+    }
+}
+
+/// Loads a spec from a file, picking the format from the extension.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Io`] when the file cannot be read and
+/// [`SpecError::Parse`] when its content is malformed.
+pub fn load(path: impl AsRef<Path>) -> Result<ScenarioSpec, SpecError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| SpecError::Io(format!("{}: {e}", path.display())))?;
+    match SpecFormat::for_path(path) {
+        SpecFormat::Yaml => from_yaml_str(&text),
+        SpecFormat::Json => from_json_str(&text),
+    }
+    .map_err(|e| match e {
+        SpecError::Parse(msg) => SpecError::Parse(format!("{}: {msg}", path.display())),
+        other => other,
+    })
+}
+
+/// Writes a spec to a file in the format implied by the extension.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Io`] when the file cannot be written.
+pub fn save(spec: &ScenarioSpec, path: impl AsRef<Path>) -> Result<(), SpecError> {
+    let path = path.as_ref();
+    let text = to_string(spec, SpecFormat::for_path(path));
+    std::fs::write(path, text).map_err(|e| SpecError::Io(format!("{}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::builtin_specs;
+
+    #[test]
+    fn yaml_and_json_round_trip_builtin_specs() {
+        for (name, spec) in builtin_specs() {
+            let yaml = to_string(&spec, SpecFormat::Yaml);
+            let from_yaml = from_yaml_str(&yaml).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(from_yaml, spec, "{name} YAML round trip");
+            let json = to_string(&spec, SpecFormat::Json);
+            let from_json = from_json_str(&json).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(from_json, spec, "{name} JSON round trip");
+        }
+    }
+
+    #[test]
+    fn format_detection_follows_extension() {
+        assert_eq!(SpecFormat::for_path(Path::new("x.yaml")), SpecFormat::Yaml);
+        assert_eq!(SpecFormat::for_path(Path::new("x.yml")), SpecFormat::Yaml);
+        assert_eq!(SpecFormat::for_path(Path::new("x.json")), SpecFormat::Json);
+        assert_eq!(SpecFormat::for_path(Path::new("noext")), SpecFormat::Yaml);
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_with_context() {
+        let err = from_yaml_str(
+            "version: 1\nname: t\nslo_ms: 1.0\nfunctions: []\nedges: []\ntypo_field: 3\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("typo_field"), "{err}");
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        let err = from_yaml_str("version: 1\nname: t\n").unwrap_err();
+        assert!(err.to_string().contains("slo_ms"), "{err}");
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("aarc-spec-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, spec) in builtin_specs() {
+            for format in [SpecFormat::Yaml, SpecFormat::Json] {
+                let path = dir.join(format!("{name}.{}", format.extension()));
+                save(&spec, &path).unwrap();
+                assert_eq!(load(&path).unwrap(), spec);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,672 @@
+//! Semantic validation of scenario specs.
+//!
+//! Parsing already guarantees shape (required fields, types, known enum
+//! spellings, unknown-key rejection); this module checks the semantics the
+//! engine assumes: DAG acyclicity, edge references, profile sanity,
+//! platform plausibility and SLO validity. All problems are collected and
+//! reported together.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::error::{SpecError, ValidationIssue};
+use crate::schema::{ProfileDecl, ScenarioSpec, SPEC_VERSION};
+
+/// Validates `spec`, returning every problem found.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Invalid`] with the full issue list when anything is
+/// wrong.
+pub fn validate(spec: &ScenarioSpec) -> Result<(), SpecError> {
+    let issues = collect_issues(spec);
+    if issues.is_empty() {
+        Ok(())
+    } else {
+        Err(SpecError::Invalid(issues))
+    }
+}
+
+fn finite(x: f64) -> bool {
+    x.is_finite()
+}
+
+fn note(issues: &mut Vec<ValidationIssue>, path: &str, msg: String) {
+    issues.push(ValidationIssue::new(path, msg));
+}
+
+fn collect_issues(spec: &ScenarioSpec) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+
+    if spec.version != SPEC_VERSION {
+        note(
+            &mut issues,
+            "version",
+            format!(
+                "unsupported version {} (this build reads {SPEC_VERSION})",
+                spec.version
+            ),
+        );
+    }
+    if spec.name.trim().is_empty() {
+        note(&mut issues, "name", "must not be empty".to_string());
+    }
+    if !finite(spec.slo_ms) || spec.slo_ms <= 0.0 {
+        note(
+            &mut issues,
+            "slo_ms",
+            format!("must be a positive finite number, got {}", spec.slo_ms),
+        );
+    }
+
+    // Functions: unique non-empty names, sane profiles.
+    if spec.functions.is_empty() {
+        note(
+            &mut issues,
+            "functions",
+            "a workflow needs at least one function".to_string(),
+        );
+    }
+    let mut names: HashMap<&str, usize> = HashMap::new();
+    for (i, f) in spec.functions.iter().enumerate() {
+        let path = format!("functions[{i}]");
+        if f.name.trim().is_empty() {
+            note(
+                &mut issues,
+                &path,
+                "function name must not be empty".to_string(),
+            );
+        }
+        if let Some(first) = names.insert(f.name.as_str(), i) {
+            note(
+                &mut issues,
+                &path,
+                format!(
+                    "duplicate function name `{}` (first declared at functions[{first}])",
+                    f.name
+                ),
+            );
+        }
+        profile_issues(&f.profile, &format!("{path}.profile"), &mut issues);
+    }
+
+    // Edges: known endpoints, no self-loops or duplicates, acyclic.
+    let index: HashMap<&str, usize> = spec
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), i))
+        .collect();
+    let mut seen_edges = HashSet::new();
+    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); spec.functions.len()];
+    for (i, e) in spec.edges.iter().enumerate() {
+        let path = format!("edges[{i}]");
+        let from = index.get(e.from.as_str()).copied();
+        let to = index.get(e.to.as_str()).copied();
+        if from.is_none() {
+            note(
+                &mut issues,
+                &path,
+                format!("`from` references unknown function `{}`", e.from),
+            );
+        }
+        if to.is_none() {
+            note(
+                &mut issues,
+                &path,
+                format!("`to` references unknown function `{}`", e.to),
+            );
+        }
+        if e.from == e.to {
+            note(&mut issues, &path, format!("self-loop on `{}`", e.from));
+        }
+        if !seen_edges.insert((e.from.as_str(), e.to.as_str())) {
+            note(
+                &mut issues,
+                &path,
+                format!("duplicate edge `{}` -> `{}`", e.from, e.to),
+            );
+        }
+        if let Some(p) = e.payload_mb {
+            if !finite(p) || p < 0.0 {
+                note(
+                    &mut issues,
+                    &path,
+                    format!("payload_mb must be non-negative and finite, got {p}"),
+                );
+            }
+        }
+        if let (Some(a), Some(b)) = (from, to) {
+            if a != b {
+                adjacency[a].push(b);
+            }
+        }
+    }
+    if let Some(cycle) = find_cycle(&adjacency) {
+        let names: Vec<&str> = cycle
+            .iter()
+            .map(|&i| spec.functions[i].name.as_str())
+            .collect();
+        note(
+            &mut issues,
+            "edges",
+            format!("workflow contains a cycle: {}", names.join(" -> ")),
+        );
+    }
+
+    // Platform sections.
+    if let Some(c) = &spec.cluster {
+        if c.hosts == 0 {
+            note(
+                &mut issues,
+                "cluster.hosts",
+                "must be at least 1".to_string(),
+            );
+        }
+        if !finite(c.vcpus_per_host) || c.vcpus_per_host <= 0.0 {
+            note(
+                &mut issues,
+                "cluster.vcpus_per_host",
+                format!("must be positive, got {}", c.vcpus_per_host),
+            );
+        }
+        if c.memory_mb_per_host == 0 {
+            note(
+                &mut issues,
+                "cluster.memory_mb_per_host",
+                "must be positive".to_string(),
+            );
+        }
+        if !finite(c.network_mb_per_s) || c.network_mb_per_s < 0.0 {
+            note(
+                &mut issues,
+                "cluster.network_mb_per_s",
+                format!("must be non-negative, got {}", c.network_mb_per_s),
+            );
+        }
+        if !finite(c.runtime_jitter) || !(0.0..1.0).contains(&c.runtime_jitter) {
+            note(
+                &mut issues,
+                "cluster.runtime_jitter",
+                format!("must be in [0, 1), got {}", c.runtime_jitter),
+            );
+        }
+        if let Some(cs) = &c.cold_start {
+            if !finite(cs.base_ms)
+                || cs.base_ms < 0.0
+                || !finite(cs.per_gb_ms)
+                || cs.per_gb_ms < 0.0
+            {
+                note(
+                    &mut issues,
+                    "cluster.cold_start",
+                    "latencies must be non-negative and finite".to_string(),
+                );
+            }
+        }
+    }
+    if let Some(p) = &spec.pricing {
+        for (field, v) in [
+            ("per_vcpu_ms", p.per_vcpu_ms),
+            ("per_mb_ms", p.per_mb_ms),
+            ("per_request", p.per_request),
+        ] {
+            if !finite(v) || v < 0.0 {
+                note(
+                    &mut issues,
+                    &format!("pricing.{field}"),
+                    format!("must be non-negative and finite, got {v}"),
+                );
+            }
+        }
+    }
+    if let Some(s) = &spec.resource_space {
+        if !finite(s.min_vcpu)
+            || !finite(s.max_vcpu)
+            || s.min_vcpu <= 0.0
+            || s.max_vcpu < s.min_vcpu
+        {
+            note(
+                &mut issues,
+                "resource_space",
+                format!("vCPU bounds invalid: min {} max {}", s.min_vcpu, s.max_vcpu),
+            );
+        }
+        if !finite(s.vcpu_step) || s.vcpu_step <= 0.0 {
+            note(
+                &mut issues,
+                "resource_space.vcpu_step",
+                format!("must be positive, got {}", s.vcpu_step),
+            );
+        }
+        if s.min_memory_mb == 0 || s.max_memory_mb < s.min_memory_mb {
+            note(
+                &mut issues,
+                "resource_space",
+                format!(
+                    "memory bounds invalid: min {} max {}",
+                    s.min_memory_mb, s.max_memory_mb
+                ),
+            );
+        }
+        if s.memory_step_mb == 0 {
+            note(
+                &mut issues,
+                "resource_space.memory_step_mb",
+                "must be positive".to_string(),
+            );
+        }
+    }
+    if let Some(b) = &spec.base_config {
+        if !finite(b.vcpu) || b.vcpu <= 0.0 {
+            note(
+                &mut issues,
+                "base_config.vcpu",
+                format!("must be positive, got {}", b.vcpu),
+            );
+        }
+        if b.memory_mb == 0 {
+            note(
+                &mut issues,
+                "base_config.memory_mb",
+                "must be positive".to_string(),
+            );
+        }
+        // The base configuration must lie inside the declared (or default)
+        // resource space — the engine guarantees every returned
+        // configuration stays inside the space, and an out-of-space base
+        // would break that invariant from the start.
+        let space = spec
+            .resource_space
+            .as_ref()
+            .map(|s| s.to_engine())
+            .unwrap_or_else(aarc_simulator::ResourceSpace::paper);
+        if finite(b.vcpu)
+            && b.vcpu > 0.0
+            && b.memory_mb > 0
+            && !space.contains(aarc_simulator::ResourceConfig::new(b.vcpu, b.memory_mb))
+        {
+            note(
+                &mut issues,
+                "base_config",
+                format!(
+                    "{} vCPU / {} MB lies outside the resource space ([{}, {}] vCPU, [{}, {}] MB)",
+                    b.vcpu,
+                    b.memory_mb,
+                    space.min_vcpu,
+                    space.max_vcpu,
+                    space.min_memory_mb,
+                    space.max_memory_mb
+                ),
+            );
+        }
+        // ... and fit the cluster it will run on.
+        let cluster = spec
+            .cluster
+            .as_ref()
+            .map(|c| c.to_engine())
+            .unwrap_or_else(aarc_simulator::ClusterSpec::paper_testbed);
+        if b.vcpu > cluster.vcpus_per_host || b.memory_mb > cluster.memory_mb_per_host {
+            note(
+                &mut issues,
+                "base_config",
+                format!(
+                    "{} vCPU / {} MB exceeds the cluster host capacity ({} vCPU / {} MB)",
+                    b.vcpu, b.memory_mb, cluster.vcpus_per_host, cluster.memory_mb_per_host
+                ),
+            );
+        }
+    }
+    if let Some(input) = &spec.input {
+        if !finite(input.scale) || input.scale <= 0.0 {
+            note(
+                &mut issues,
+                "input.scale",
+                format!("must be positive, got {}", input.scale),
+            );
+        }
+        if !finite(input.payload_mb) || input.payload_mb < 0.0 {
+            note(
+                &mut issues,
+                "input.payload_mb",
+                format!("must be non-negative, got {}", input.payload_mb),
+            );
+        }
+    }
+
+    // Input distribution (§IV-D).
+    let mut classes = HashSet::new();
+    for (i, entry) in spec.input_classes.iter().enumerate() {
+        let path = format!("input_classes[{i}]");
+        if !classes.insert(entry.class) {
+            note(
+                &mut issues,
+                &path,
+                format!("duplicate class `{}`", entry.class),
+            );
+        }
+        if !finite(entry.input.scale) || entry.input.scale <= 0.0 {
+            note(
+                &mut issues,
+                &path,
+                format!("input.scale must be positive, got {}", entry.input.scale),
+            );
+        }
+        if !finite(entry.input.payload_mb) || entry.input.payload_mb < 0.0 {
+            note(
+                &mut issues,
+                &path,
+                format!(
+                    "input.payload_mb must be non-negative, got {}",
+                    entry.input.payload_mb
+                ),
+            );
+        }
+        if let Some(w) = entry.weight {
+            if !finite(w) || w <= 0.0 {
+                note(
+                    &mut issues,
+                    &path,
+                    format!("weight must be positive, got {w}"),
+                );
+            }
+        }
+    }
+
+    issues
+}
+
+fn profile_issues(p: &ProfileDecl, path: &str, issues: &mut Vec<ValidationIssue>) {
+    let mut push = |msg: String| issues.push(ValidationIssue::new(path, msg));
+    for (field, v) in [
+        ("serial_ms", p.serial_ms),
+        ("parallel_ms", p.parallel_ms),
+        ("io_ms", p.io_ms),
+    ] {
+        if !finite(v) || v < 0.0 {
+            push(format!("{field} must be non-negative and finite, got {v}"));
+        }
+    }
+    if let Some(mp) = p.max_parallelism {
+        if !finite(mp) || mp < 1.0 {
+            push(format!("max_parallelism must be >= 1, got {mp}"));
+        }
+    }
+    let working_set = p.working_set_mb.unwrap_or(128.0);
+    if let Some(ws) = p.working_set_mb {
+        if !finite(ws) || ws <= 0.0 {
+            push(format!("working_set_mb must be positive, got {ws}"));
+        }
+    }
+    if let Some(floor) = p.mem_floor_mb {
+        if !finite(floor) || floor < 0.0 {
+            push(format!("mem_floor_mb must be non-negative, got {floor}"));
+        } else if floor > working_set {
+            push(format!(
+                "mem_floor_mb ({floor}) exceeds working_set_mb ({working_set}); the engine would silently clamp it"
+            ));
+        }
+    }
+    if let Some(pen) = p.mem_penalty_factor {
+        if !finite(pen) || pen < 1.0 {
+            push(format!("mem_penalty_factor must be >= 1, got {pen}"));
+        }
+    }
+    if let Some(s) = p.input_sensitivity {
+        if !finite(s) || s < 0.0 {
+            push(format!("input_sensitivity must be non-negative, got {s}"));
+        }
+    }
+    if !finite(p.mem_input_sensitivity) || p.mem_input_sensitivity < 0.0 {
+        push(format!(
+            "mem_input_sensitivity must be non-negative, got {}",
+            p.mem_input_sensitivity
+        ));
+    }
+}
+
+/// Kahn's algorithm; returns one cycle's node indices when the graph is
+/// cyclic.
+fn find_cycle(adjacency: &[Vec<usize>]) -> Option<Vec<usize>> {
+    let n = adjacency.len();
+    let mut indegree = vec![0usize; n];
+    for succs in adjacency {
+        for &s in succs {
+            indegree[s] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut removed = 0usize;
+    while let Some(v) = queue.pop() {
+        removed += 1;
+        for &s in &adjacency[v] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    if removed == n {
+        return None;
+    }
+    // Walk the residual graph to present one concrete cycle.
+    let residual: Vec<usize> = (0..n).filter(|&i| indegree[i] > 0).collect();
+    let start = residual[0];
+    let mut path = vec![start];
+    let mut current = start;
+    loop {
+        let next = adjacency[current]
+            .iter()
+            .copied()
+            .find(|s| indegree[*s] > 0)
+            .expect("residual nodes keep a successor in the residual graph");
+        if let Some(pos) = path.iter().position(|&v| v == next) {
+            path.push(next);
+            return Some(path[pos..].to_vec());
+        }
+        path.push(next);
+        current = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ClassDecl, EdgeDecl, FunctionDecl, InputClassDecl, InputDecl};
+
+    fn minimal() -> ScenarioSpec {
+        crate::io::from_yaml_str(
+            "version: 1\nname: t\nslo_ms: 1000.0\nfunctions:\n  - name: a\n    profile:\n      serial_ms: 10.0\n  - name: b\n    profile:\n      serial_ms: 10.0\nedges:\n  - from: a\n    to: b\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn minimal_spec_is_valid() {
+        validate(&minimal()).unwrap();
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut s = minimal();
+        s.version = 99;
+        let err = validate(&s).unwrap_err();
+        assert!(err.to_string().contains("unsupported version"));
+    }
+
+    #[test]
+    fn dangling_edges_are_reported_with_paths() {
+        let mut s = minimal();
+        s.edges.push(EdgeDecl {
+            from: "a".into(),
+            to: "ghost".into(),
+            payload_mb: None,
+            kind: Default::default(),
+        });
+        match validate(&s).unwrap_err() {
+            SpecError::Invalid(issues) => {
+                assert!(issues
+                    .iter()
+                    .any(|i| i.path == "edges[1]" && i.message.contains("ghost")));
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycles_are_detected_and_named() {
+        let mut s = minimal();
+        s.edges.push(EdgeDecl {
+            from: "b".into(),
+            to: "a".into(),
+            payload_mb: None,
+            kind: Default::default(),
+        });
+        let err = validate(&s).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("cycle"), "missing cycle report: {text}");
+        assert!(
+            text.contains("a -> b") || text.contains("b -> a"),
+            "cycle not named: {text}"
+        );
+    }
+
+    #[test]
+    fn duplicate_functions_and_edges_are_rejected() {
+        let mut s = minimal();
+        s.functions.push(FunctionDecl {
+            name: "a".into(),
+            affinity: Default::default(),
+            profile: s.functions[0].profile.clone(),
+        });
+        s.edges.push(s.edges[0].clone());
+        match validate(&s).unwrap_err() {
+            SpecError::Invalid(issues) => {
+                assert!(issues
+                    .iter()
+                    .any(|i| i.message.contains("duplicate function name")));
+                assert!(issues.iter().any(|i| i.message.contains("duplicate edge")));
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn profile_bounds_are_checked() {
+        let mut s = minimal();
+        s.functions[0].profile.serial_ms = -5.0;
+        s.functions[0].profile.max_parallelism = Some(0.5);
+        s.functions[0].profile.working_set_mb = Some(100.0);
+        s.functions[0].profile.mem_floor_mb = Some(200.0);
+        match validate(&s).unwrap_err() {
+            SpecError::Invalid(issues) => {
+                let text: Vec<String> = issues.iter().map(ToString::to_string).collect();
+                assert!(text.iter().any(|t| t.contains("serial_ms")), "{text:?}");
+                assert!(
+                    text.iter().any(|t| t.contains("max_parallelism")),
+                    "{text:?}"
+                );
+                assert!(
+                    text.iter().any(|t| t.contains("exceeds working_set_mb")),
+                    "{text:?}"
+                );
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slo_and_distribution_are_checked() {
+        let mut s = minimal();
+        s.slo_ms = 0.0;
+        s.input_classes = vec![
+            InputClassDecl {
+                class: ClassDecl::Light,
+                input: InputDecl {
+                    scale: 0.5,
+                    payload_mb: 1.0,
+                },
+                weight: Some(1.0),
+            },
+            InputClassDecl {
+                class: ClassDecl::Light,
+                input: InputDecl {
+                    scale: -1.0,
+                    payload_mb: 1.0,
+                },
+                weight: Some(0.0),
+            },
+        ];
+        match validate(&s).unwrap_err() {
+            SpecError::Invalid(issues) => {
+                let text: Vec<String> = issues.iter().map(ToString::to_string).collect();
+                assert!(text.iter().any(|t| t.contains("slo_ms")), "{text:?}");
+                assert!(
+                    text.iter().any(|t| t.contains("duplicate class")),
+                    "{text:?}"
+                );
+                assert!(text.iter().any(|t| t.contains("weight")), "{text:?}");
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_space_bounds_are_rejected() {
+        let mut s = minimal();
+        s.resource_space = Some(crate::schema::SpaceDecl {
+            min_vcpu: 0.1,
+            max_vcpu: f64::NAN,
+            vcpu_step: 0.1,
+            min_memory_mb: 128,
+            max_memory_mb: 10_240,
+            memory_step_mb: 64,
+        });
+        let err = validate(&s).unwrap_err();
+        assert!(err.to_string().contains("vCPU bounds invalid"), "{err}");
+        s = minimal();
+        s.resource_space = Some(crate::schema::SpaceDecl {
+            min_vcpu: 0.1,
+            max_vcpu: f64::INFINITY,
+            vcpu_step: 0.1,
+            min_memory_mb: 128,
+            max_memory_mb: 10_240,
+            memory_step_mb: 64,
+        });
+        assert!(validate(&s).is_err());
+    }
+
+    #[test]
+    fn base_config_outside_the_resource_space_is_rejected() {
+        let mut s = minimal();
+        s.resource_space = Some(crate::schema::SpaceDecl {
+            min_vcpu: 0.1,
+            max_vcpu: 2.0,
+            vcpu_step: 0.1,
+            min_memory_mb: 128,
+            max_memory_mb: 4_096,
+            memory_step_mb: 64,
+        });
+        s.base_config = Some(crate::schema::ConfigDecl {
+            vcpu: 8.0,
+            memory_mb: 512,
+        });
+        let err = validate(&s).unwrap_err();
+        assert!(
+            err.to_string().contains("outside the resource space"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn oversized_base_config_is_rejected() {
+        let mut s = minimal();
+        s.base_config = Some(crate::schema::ConfigDecl {
+            vcpu: 200.0,
+            memory_mb: 1024,
+        });
+        let err = validate(&s).unwrap_err();
+        assert!(err
+            .to_string()
+            .contains("exceeds the cluster host capacity"));
+    }
+}

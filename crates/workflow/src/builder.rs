@@ -55,7 +55,8 @@ impl WorkflowBuilder {
         name: impl Into<String>,
         affinity: ResourceAffinity,
     ) -> NodeId {
-        self.dag.add_node(FunctionSpec::with_affinity(name, affinity))
+        self.dag
+            .add_node(FunctionSpec::with_affinity(name, affinity))
     }
 
     /// Adds a plain dependency edge with a 1 MB direct payload.

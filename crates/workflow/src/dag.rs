@@ -262,8 +262,14 @@ mod tests {
         assert_eq!(g.edge_count(), 4);
         assert_eq!(g.sources(), vec![NodeId::new(0)]);
         assert_eq!(g.sinks(), vec![NodeId::new(3)]);
-        assert_eq!(g.successors(NodeId::new(0)), &[NodeId::new(1), NodeId::new(2)]);
-        assert_eq!(g.predecessors(NodeId::new(3)), &[NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(
+            g.successors(NodeId::new(0)),
+            &[NodeId::new(1), NodeId::new(2)]
+        );
+        assert_eq!(
+            g.predecessors(NodeId::new(3)),
+            &[NodeId::new(1), NodeId::new(2)]
+        );
     }
 
     #[test]

@@ -80,7 +80,12 @@ mod tests {
         let e = Edge::new(NodeId::new(0), NodeId::new(1), 4.0);
         assert_eq!(e.kind, CommunicationKind::Direct);
         assert_eq!(e.payload_mb, 4.0);
-        let e2 = Edge::with_kind(NodeId::new(0), NodeId::new(1), 2.0, CommunicationKind::Scatter);
+        let e2 = Edge::with_kind(
+            NodeId::new(0),
+            NodeId::new(1),
+            2.0,
+            CommunicationKind::Scatter,
+        );
         assert_eq!(e2.kind, CommunicationKind::Scatter);
     }
 

@@ -47,12 +47,9 @@ impl fmt::Display for WorkflowError {
                 from.index(),
                 to.index()
             ),
-            WorkflowError::DuplicateEdge { from, to } => write!(
-                f,
-                "edge {} -> {} already exists",
-                from.index(),
-                to.index()
-            ),
+            WorkflowError::DuplicateEdge { from, to } => {
+                write!(f, "edge {} -> {} already exists", from.index(), to.index())
+            }
             WorkflowError::SelfLoop(id) => {
                 write!(f, "self-loop on node {} is not allowed", id.index())
             }
@@ -74,7 +71,10 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_informative() {
         let cases: Vec<(WorkflowError, &str)> = vec![
-            (WorkflowError::UnknownNode(NodeId::new(3)), "unknown node id 3"),
+            (
+                WorkflowError::UnknownNode(NodeId::new(3)),
+                "unknown node id 3",
+            ),
             (
                 WorkflowError::CycleDetected {
                     from: NodeId::new(1),
@@ -89,7 +89,10 @@ mod tests {
                 },
                 "edge 0 -> 1 already exists",
             ),
-            (WorkflowError::SelfLoop(NodeId::new(2)), "self-loop on node 2 is not allowed"),
+            (
+                WorkflowError::SelfLoop(NodeId::new(2)),
+                "self-loop on node 2 is not allowed",
+            ),
             (WorkflowError::Empty, "workflow contains no functions"),
             (
                 WorkflowError::DuplicateFunctionName("f".into()),

@@ -20,7 +20,9 @@ use crate::workflow::Workflow;
 /// Returns an error if `n == 0`.
 pub fn chain(name: &str, n: usize) -> Result<Workflow, WorkflowError> {
     let mut b = WorkflowBuilder::new(name);
-    let ids: Vec<NodeId> = (0..n).map(|i| b.add_function(format!("{name}_f{i}"))).collect();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| b.add_function(format!("{name}_f{i}")))
+        .collect();
     b.chain(&ids)?;
     b.build()
 }

@@ -94,16 +94,11 @@ pub fn find_detour_subpaths<N>(
         is_covered[c.index()] = true;
     }
     let mut out = Vec::new();
-    loop {
-        match heaviest_anchored_chain(dag, &is_covered, weight) {
-            Some(sp) => {
-                for &n in &sp.interior {
-                    is_covered[n.index()] = true;
-                }
-                out.push(sp);
-            }
-            None => break,
+    while let Some(sp) = heaviest_anchored_chain(dag, &is_covered, weight) {
+        for &n in &sp.interior {
+            is_covered[n.index()] = true;
         }
+        out.push(sp);
     }
     out
 }

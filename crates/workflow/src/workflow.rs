@@ -157,7 +157,8 @@ mod tests {
         let mut b = WorkflowBuilder::new("wf");
         let a = b.add_function("split");
         let c = b.add_function("extract");
-        b.add_edge_with(a, c, 16.0, CommunicationKind::Scatter).unwrap();
+        b.add_edge_with(a, c, 16.0, CommunicationKind::Scatter)
+            .unwrap();
         let wf = b.build().unwrap();
         let e = wf.edge(a, c).unwrap();
         assert_eq!(e.kind, CommunicationKind::Scatter);

@@ -25,8 +25,10 @@ pub fn chatbot() -> Workload {
     let mut b = WorkflowBuilder::new("chatbot");
     let start = b.add_function_with_affinity("start", ResourceAffinity::IoBound);
     let split = b.add_function_with_affinity("split", ResourceAffinity::CpuBound);
-    let classify_intent = b.add_function_with_affinity("classify_intent", ResourceAffinity::CpuBound);
-    let classify_entity = b.add_function_with_affinity("classify_entity", ResourceAffinity::CpuBound);
+    let classify_intent =
+        b.add_function_with_affinity("classify_intent", ResourceAffinity::CpuBound);
+    let classify_entity =
+        b.add_function_with_affinity("classify_entity", ResourceAffinity::CpuBound);
     let aggregate = b.add_function_with_affinity("aggregate", ResourceAffinity::Balanced);
     let end = b.add_function_with_affinity("end", ResourceAffinity::IoBound);
 
@@ -132,7 +134,11 @@ mod tests {
         let wf = wl.env().workflow();
         assert_eq!(wf.len(), 6);
         let split = wf.find("split").unwrap();
-        assert_eq!(wf.dag().successors(split).len(), 2, "two parallel classifiers");
+        assert_eq!(
+            wf.dag().successors(split).len(),
+            2,
+            "two parallel classifiers"
+        );
         assert_eq!(wf.entries().len(), 1);
         assert_eq!(wf.exits().len(), 1);
     }
@@ -141,8 +147,7 @@ mod tests {
     fn critical_path_goes_through_the_heavier_classifier() {
         let wl = chatbot();
         let env = wl.env();
-        let weights =
-            aarc_simulator::profile_workflow(env, &env.base_configs()).unwrap();
+        let weights = aarc_simulator::profile_workflow(env, &env.base_configs()).unwrap();
         let cp = critical_path(env.workflow().dag(), weights.weight_fn());
         assert!(cp.contains(env.workflow().find("classify_intent").unwrap()));
         assert!(!cp.contains(env.workflow().find("classify_entity").unwrap()));
@@ -175,7 +180,10 @@ mod tests {
         let r_big_mem = wl.env().execute(&big_mem).unwrap().makespan_ms();
         let r_big_cpu = wl.env().execute(&big_cpu).unwrap().makespan_ms();
         assert!((r_small - r_big_mem).abs() / r_small < 0.01);
-        assert!(r_big_cpu > 0.6 * r_small, "8 cores must not even halve the runtime");
+        assert!(
+            r_big_cpu > 0.6 * r_small,
+            "8 cores must not even halve the runtime"
+        );
     }
 
     #[test]

@@ -27,7 +27,8 @@ pub fn ml_pipeline() -> Workload {
     let train_pca = b.add_function_with_affinity("train_pca", ResourceAffinity::CpuBound);
     let param_tune = b.add_function_with_affinity("param_tune", ResourceAffinity::CpuBound);
     let test_pca = b.add_function_with_affinity("test_pca", ResourceAffinity::CpuBound);
-    let combine = b.add_function_with_affinity("combine_models_and_test", ResourceAffinity::CpuBound);
+    let combine =
+        b.add_function_with_affinity("combine_models_and_test", ResourceAffinity::CpuBound);
     let end = b.add_function_with_affinity("end", ResourceAffinity::IoBound);
 
     b.add_edge_with(start, train_pca, 32.0, CommunicationKind::Broadcast)
@@ -130,8 +131,16 @@ mod tests {
         assert_eq!(wf.len(), 6);
         let start = wf.find("start").unwrap();
         let combine = wf.find("combine_models_and_test").unwrap();
-        assert_eq!(wf.dag().successors(start).len(), 2, "broadcast to two branches");
-        assert_eq!(wf.dag().predecessors(combine).len(), 2, "both branches rejoin");
+        assert_eq!(
+            wf.dag().successors(start).len(),
+            2,
+            "broadcast to two branches"
+        );
+        assert_eq!(
+            wf.dag().predecessors(combine).len(),
+            2,
+            "both branches rejoin"
+        );
     }
 
     #[test]
@@ -146,7 +155,10 @@ mod tests {
         let r4 = wl.env().execute(&c4).unwrap().makespan_ms();
         let r4m = wl.env().execute(&c4_big_mem).unwrap().makespan_ms();
         assert!(r4 < 0.5 * r1, "4 cores should at least halve the runtime");
-        assert!((r4 - r4m).abs() / r4 < 0.01, "extra memory gives no speedup");
+        assert!(
+            (r4 - r4m).abs() / r4 < 0.01,
+            "extra memory gives no speedup"
+        );
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub fn video_analysis() -> Workload {
         .expect("static edge");
     b.add_edge_with(classify, end, 4.0, CommunicationKind::Direct)
         .expect("static edge");
-    let workflow = b.build().expect("video analysis workflow is statically valid");
+    let workflow = b
+        .build()
+        .expect("video analysis workflow is statically valid");
 
     let mut profiles = ProfileSet::new();
     profiles.insert(
@@ -187,6 +189,9 @@ mod tests {
 
     #[test]
     fn nominal_input_is_middle_class() {
-        assert_eq!(InputSpec::nominal().classify(), aarc_simulator::InputClass::Middle);
+        assert_eq!(
+            InputSpec::nominal().classify(),
+            aarc_simulator::InputClass::Middle
+        );
     }
 }

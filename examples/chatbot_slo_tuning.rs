@@ -39,9 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An SLO tighter than the base-configuration runtime is rejected
     // up-front rather than silently violated.
     let impossible = scheduler.search(env, 30_000.0);
-    println!("\n30 s SLO: {}", match impossible {
-        Err(e) => format!("rejected as expected ({e})"),
-        Ok(_) => "unexpectedly accepted".to_owned(),
-    });
+    println!(
+        "\n30 s SLO: {}",
+        match impossible {
+            Err(e) => format!("rejected as expected ({e})"),
+            Ok(_) => "unexpectedly accepted".to_owned(),
+        }
+    );
     Ok(())
 }

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut profiles = ProfileSet::new();
     profiles.insert(
         ingest,
-        FunctionProfile::builder("ingest").serial_ms(800.0).io_ms(400.0).build(),
+        FunctionProfile::builder("ingest")
+            .serial_ms(800.0)
+            .io_ms(400.0)
+            .build(),
     );
     profiles.insert(
         ocr,
@@ -67,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     profiles.insert(
         publish,
-        FunctionProfile::builder("publish").serial_ms(1_200.0).io_ms(600.0).build(),
+        FunctionProfile::builder("publish")
+            .serial_ms(1_200.0)
+            .io_ms(600.0)
+            .build(),
     );
 
     // 3. The environment: paper pricing, paper testbed, paper resource grid.
@@ -92,7 +98,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!(
         "{}",
-        ConfigurationReport::new(&env, &outcome.best_configs, &outcome.final_report, Some(slo_ms))
+        ConfigurationReport::new(
+            &env,
+            &outcome.best_configs,
+            &outcome.final_report,
+            Some(slo_ms)
+        )
     );
     Ok(())
 }

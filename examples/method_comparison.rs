@@ -17,7 +17,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "{:<16} {:<6} {:>8} {:>18} {:>16} {:>14} {:>10}",
-        "workload", "method", "samples", "search runtime (s)", "final cost", "runtime (s)", "SLO met"
+        "workload",
+        "method",
+        "samples",
+        "search runtime (s)",
+        "final cost",
+        "runtime (s)",
+        "SLO met"
     );
     for workload in aarc::workloads::paper_workloads() {
         for method in &methods {

@@ -30,7 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.trace.sample_count(),
         outcome.trace.total_runtime_ms() / 1_000.0
     );
-    let report = ConfigurationReport::new(env, &outcome.best_configs, &outcome.final_report, Some(workload.slo_ms()));
+    let report = ConfigurationReport::new(
+        env,
+        &outcome.best_configs,
+        &outcome.final_report,
+        Some(workload.slo_ms()),
+    );
     println!("{report}");
 
     // 4. Compare against the naive over-provisioned base configuration.

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Serve a request mix cycling light -> middle -> heavy, as in Fig. 8.
     println!("\nserving 12 requests (light/middle/heavy round-robin):");
-    println!("{:>8} {:>8} {:>14} {:>14} {:>10}", "request", "class", "runtime (s)", "cost", "SLO met");
+    println!(
+        "{:>8} {:>8} {:>14} {:>14} {:>10}",
+        "request", "class", "runtime (s)", "cost", "SLO met"
+    );
     let mut violations = 0;
     for (i, (class, input)) in request_sequence(12).into_iter().enumerate() {
         let report = engine.serve(env, input)?;

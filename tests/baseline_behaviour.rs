@@ -65,7 +65,10 @@ fn maff_terminates_quickly_after_its_first_slo_violation() {
         .iter()
         .filter(|s| s.makespan_ms > workload.slo_ms() || s.oom)
         .count();
-    assert!(violating <= 1, "found {violating} violating samples in a MAFF trace");
+    assert!(
+        violating <= 1,
+        "found {violating} violating samples in a MAFF trace"
+    );
 }
 
 #[test]

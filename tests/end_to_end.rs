@@ -153,7 +153,10 @@ fn found_configurations_are_decoupled_not_memory_proportional() {
         let coupled_cpu = f64::from(cfg.memory.get()) / 1_024.0;
         (cfg.vcpu.get() - coupled_cpu).abs() > 0.5
     });
-    assert!(decoupled, "expected at least one clearly decoupled allocation");
+    assert!(
+        decoupled,
+        "expected at least one clearly decoupled allocation"
+    );
 }
 
 #[test]

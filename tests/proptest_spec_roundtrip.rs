@@ -1,0 +1,230 @@
+//! Property tests of the scenario subsystem's central contract: for any
+//! normalized spec, `compile` then `export` is the identity, and both text
+//! formats (YAML and JSON) round-trip the spec losslessly — including
+//! float-exact profile values and names that need YAML quoting.
+
+use aarc_spec::{
+    compile, export, from_json_str, from_yaml_str, to_string, validate, AffinityDecl, ClassDecl,
+    ClusterDecl, ColdStartDecl, ConfigDecl, EdgeDecl, FunctionDecl, InputClassDecl, InputDecl,
+    KindDecl, PricingDecl, ProfileDecl, ScenarioSpec, SpaceDecl, SpecFormat, SPEC_VERSION,
+};
+use proptest::prelude::*;
+
+const AFFINITIES: [AffinityDecl; 4] = [
+    AffinityDecl::CpuBound,
+    AffinityDecl::MemoryBound,
+    AffinityDecl::IoBound,
+    AffinityDecl::Balanced,
+];
+const KINDS: [KindDecl; 4] = [
+    KindDecl::Direct,
+    KindDecl::Scatter,
+    KindDecl::Broadcast,
+    KindDecl::Gather,
+];
+const CLASSES: [ClassDecl; 3] = [ClassDecl::Light, ClassDecl::Middle, ClassDecl::Heavy];
+
+fn arb_profile() -> impl Strategy<Value = ProfileDecl> {
+    (
+        (
+            0.0f64..20_000.0,
+            0.0f64..60_000.0,
+            1.0f64..8.0,
+            0.0f64..2_000.0,
+        ),
+        (
+            128.0f64..4_096.0,
+            0.0f64..1.0,
+            1.0f64..6.0,
+            0.0f64..2.0,
+            0.0f64..1.0,
+        ),
+    )
+        .prop_map(
+            |((serial, parallel, par, io), (ws, floor_frac, penalty, sens, mem_sens))| {
+                ProfileDecl {
+                    serial_ms: serial,
+                    parallel_ms: parallel,
+                    max_parallelism: Some(par),
+                    io_ms: io,
+                    working_set_mb: Some(ws),
+                    mem_floor_mb: Some(ws * floor_frac),
+                    mem_penalty_factor: Some(penalty),
+                    input_sensitivity: Some(sens),
+                    mem_input_sensitivity: mem_sens,
+                }
+            },
+        )
+}
+
+/// A normalized spec: every optional section explicit, exactly what the
+/// exporter emits — the domain on which `export ∘ compile` must be the
+/// identity.
+fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
+    let functions = (2usize..7).prop_flat_map(|n| {
+        proptest::collection::vec((arb_profile(), 0usize..4), n).prop_map(|profiles| {
+            profiles
+                .into_iter()
+                .enumerate()
+                .map(|(i, (profile, aff))| FunctionDecl {
+                    // Exercise YAML quoting: every third name needs quotes.
+                    name: if i % 3 == 2 {
+                        format!("fn {i}: tricky #name")
+                    } else {
+                        format!("fn_{i}")
+                    },
+                    affinity: AFFINITIES[aff],
+                    profile,
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    (
+        functions,
+        proptest::collection::vec((0usize..6, 0usize..6, 0.0f64..64.0, 0usize..4), 0..12),
+        (1_000.0f64..600_000.0, 0u64..u64::MAX),
+        (
+            (1usize..4, 16.0f64..128.0, 65_536u32..524_288),
+            (100.0f64..2_000.0, 0.0f64..0.5),
+        ),
+        (0.0f64..1.0, 0.0f64..0.01, 0.0f64..10.0),
+        ((0.1f64..2.0, 128u32..2_048), (0.1f64..3.0, 1.0f64..128.0)),
+        proptest::collection::vec((0usize..3, 0.1f64..3.0, 1.0f64..256.0, 0.1f64..5.0), 0..4),
+    )
+        .prop_map(
+            |(
+                functions,
+                raw_edges,
+                (slo_ms, seed),
+                ((hosts, vcpus, mem), (network, jitter)),
+                (per_vcpu, per_mb, per_request),
+                ((base_vcpu, base_mem), (in_scale, in_payload)),
+                raw_classes,
+            )| {
+                let n = functions.len();
+                let mut seen = std::collections::HashSet::new();
+                let edges = raw_edges
+                    .into_iter()
+                    .filter_map(|(a, b, payload, kind)| {
+                        let (a, b) = (a % n, b % n);
+                        if a < b && seen.insert((a, b)) {
+                            Some(EdgeDecl {
+                                from: functions[a].name.clone(),
+                                to: functions[b].name.clone(),
+                                payload_mb: Some(payload),
+                                kind: KINDS[kind],
+                            })
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                let mut class_seen = std::collections::HashSet::new();
+                let input_classes = raw_classes
+                    .into_iter()
+                    .filter_map(|(c, scale, payload, weight)| {
+                        let class = CLASSES[c];
+                        class_seen.insert(class).then_some(InputClassDecl {
+                            class,
+                            input: InputDecl {
+                                scale,
+                                payload_mb: payload,
+                            },
+                            weight: Some(weight),
+                        })
+                    })
+                    .collect();
+                ScenarioSpec {
+                    version: SPEC_VERSION,
+                    name: "prop scenario: quoted #name".to_string(),
+                    slo_ms,
+                    seed,
+                    functions,
+                    edges,
+                    cluster: Some(ClusterDecl {
+                        hosts,
+                        vcpus_per_host: vcpus,
+                        memory_mb_per_host: mem,
+                        network_mb_per_s: network,
+                        runtime_jitter: jitter,
+                        cold_start: Some(ColdStartDecl {
+                            enabled: jitter > 0.25,
+                            base_ms: 250.0,
+                            per_gb_ms: 50.0,
+                        }),
+                    }),
+                    pricing: Some(PricingDecl {
+                        per_vcpu_ms: per_vcpu,
+                        per_mb_ms: per_mb,
+                        per_request,
+                    }),
+                    resource_space: Some(SpaceDecl {
+                        min_vcpu: 0.1,
+                        max_vcpu: 10.0,
+                        vcpu_step: 0.1,
+                        min_memory_mb: 128,
+                        max_memory_mb: 10_240,
+                        memory_step_mb: 64,
+                    }),
+                    base_config: Some(ConfigDecl {
+                        vcpu: base_vcpu,
+                        memory_mb: base_mem,
+                    }),
+                    input: Some(InputDecl {
+                        scale: in_scale,
+                        payload_mb: in_payload,
+                    }),
+                    input_classes,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// YAML text round-trips any normalized spec exactly.
+    #[test]
+    fn yaml_round_trip_is_lossless(spec in arb_spec()) {
+        let text = to_string(&spec, SpecFormat::Yaml);
+        let back = from_yaml_str(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        prop_assert_eq!(back, spec);
+    }
+
+    /// JSON text round-trips any normalized spec exactly.
+    #[test]
+    fn json_round_trip_is_lossless(spec in arb_spec()) {
+        let text = to_string(&spec, SpecFormat::Json);
+        let back = from_json_str(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        prop_assert_eq!(back, spec);
+    }
+
+    /// `export(compile(spec))` is the identity on normalized specs, and the
+    /// exported YAML reparses to the same spec (the ISSUE's
+    /// spec → compile → export → reparse chain).
+    #[test]
+    fn compile_export_reparse_is_identity(spec in arb_spec()) {
+        validate(&spec).expect("generated specs are valid");
+        let scenario = compile(&spec).expect("generated specs compile");
+        let exported = export(&scenario);
+        prop_assert_eq!(&exported, &spec, "compile/export changed the spec");
+        let text = to_string(&exported, SpecFormat::Yaml);
+        let reparsed = from_yaml_str(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        prop_assert_eq!(reparsed, spec);
+    }
+
+    /// Compiled scenarios actually execute and respect the declared shape.
+    #[test]
+    fn compiled_scenarios_execute(spec in arb_spec()) {
+        let scenario = compile(&spec).expect("generated specs compile");
+        let wl = scenario.workload();
+        prop_assert_eq!(wl.len(), spec.functions.len());
+        prop_assert_eq!(wl.env().workflow().edges().len(), spec.edges.len());
+        let report = wl.env().execute(&wl.env().base_configs()).expect("base executes");
+        prop_assert!(report.makespan_ms() > 0.0);
+        prop_assert!(report.total_cost() >= 0.0);
+    }
+}

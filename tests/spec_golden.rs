@@ -1,0 +1,97 @@
+//! Golden-file tests: the specs exported for the three built-in paper
+//! workloads must stay byte-identical to the files committed under
+//! `specs/`. A diff here means either the workload definitions or the
+//! export/serialization path changed — both must be deliberate; regenerate
+//! with `cargo run -p aarc-cli -- export-builtin --dir specs`.
+
+use std::path::PathBuf;
+
+use aarc_spec::{builtin_specs, to_string, SpecFormat};
+
+fn specs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("specs")
+}
+
+#[test]
+fn exported_builtin_specs_match_the_golden_files() {
+    for (name, spec) in builtin_specs() {
+        let path = specs_dir().join(format!("{name}.yaml"));
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read golden file {}: {e}", path.display()));
+        let exported = to_string(&spec, SpecFormat::Yaml);
+        assert_eq!(
+            exported,
+            golden,
+            "{name}: exported spec drifted from {} — if intentional, regenerate with \
+             `cargo run -p aarc-cli -- export-builtin --dir specs`",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn golden_files_parse_validate_and_recompile() {
+    for name in aarc_spec::BUILTIN_NAMES {
+        let path = specs_dir().join(format!("{name}.yaml"));
+        let spec = aarc_spec::load(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+        aarc_spec::validate(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let scenario = aarc_spec::compile(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+        // The compiled workload behaves like the Rust-defined original.
+        let rebuilt = scenario.workload();
+        let report = rebuilt
+            .env()
+            .execute(&rebuilt.env().base_configs())
+            .expect("base config executes");
+        assert!(
+            report.meets_slo(rebuilt.slo_ms()),
+            "{name} violates its own SLO"
+        );
+    }
+}
+
+#[test]
+fn committed_synthetic_specs_validate_and_compile() {
+    let mut synthetic = 0usize;
+    for entry in std::fs::read_dir(specs_dir()).expect("specs/ exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("yaml") {
+            continue;
+        }
+        let stem = path.file_stem().unwrap().to_str().unwrap();
+        if !stem.starts_with("synthetic") {
+            continue;
+        }
+        synthetic += 1;
+        let spec = aarc_spec::load(&path).unwrap_or_else(|e| panic!("{stem}: {e}"));
+        aarc_spec::compile(&spec).unwrap_or_else(|e| panic!("{stem}: {e}"));
+    }
+    assert!(
+        synthetic >= 2,
+        "expected at least two synthetic scenarios in specs/, found {synthetic}"
+    );
+}
+
+#[test]
+fn builtin_exports_match_their_rust_twins_behaviourally() {
+    use aarc::workloads::{chatbot, ml_pipeline, video_analysis};
+    let twins = [chatbot(), ml_pipeline(), video_analysis()];
+    for ((name, spec), original) in builtin_specs().into_iter().zip(twins) {
+        let rebuilt = aarc_spec::compile(&spec).unwrap().into_workload();
+        let base_a = original
+            .env()
+            .execute(&original.env().base_configs())
+            .unwrap();
+        let base_b = rebuilt
+            .env()
+            .execute(&rebuilt.env().base_configs())
+            .unwrap();
+        assert_eq!(base_a.makespan_ms(), base_b.makespan_ms(), "{name}");
+        assert_eq!(base_a.total_cost(), base_b.total_cost(), "{name}");
+        assert_eq!(original.slo_ms(), rebuilt.slo_ms(), "{name}");
+        assert_eq!(
+            original.input_classes().len(),
+            rebuilt.input_classes().len(),
+            "{name}"
+        );
+    }
+}

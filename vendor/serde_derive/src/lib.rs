@@ -1,0 +1,556 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! `syn`/`quote` are unavailable offline, so this crate parses the item's
+//! token stream by hand and emits impls via string-built token streams. It
+//! supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields (including generics and the `#[serde(skip)]`
+//!   and `#[serde(default)]` field attributes),
+//! * tuple structs (one-field newtypes serialize transparently, wider
+//!   tuples as sequences),
+//! * unit structs,
+//! * enums with unit variants, struct variants and one-field tuple
+//!   variants (externally tagged, like real serde).
+//!
+//! Derived `Deserialize` impls reject unknown map keys so typos in scenario
+//! files fail loudly instead of being silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Newtype,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    kind: ItemKind,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Consumes `#[...]` attributes, returning (skip, default) flags found in
+    /// any `#[serde(...)]` among them.
+    fn skip_attributes(&mut self) -> (bool, bool) {
+        let mut skip = false;
+        let mut default = false;
+        while self.is_punct('#') {
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(first)) = inner.first() {
+                        if first.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                for t in args.stream() {
+                                    if let TokenTree::Ident(i) = t {
+                                        match i.to_string().as_str() {
+                                            "skip" | "skip_serializing" => skip = true,
+                                            "default" => default = true,
+                                            other => panic!(
+                                                "serde_derive shim: unsupported serde attribute `{other}`"
+                                            ),
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                other => panic!("serde_derive: malformed attribute, got {other:?}"),
+            }
+        }
+        (skip, default)
+    }
+
+    fn skip_visibility(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+
+    /// Parses `<...>` generics, returning the type parameter names.
+    fn parse_generics(&mut self) -> Vec<String> {
+        let mut params = Vec::new();
+        if !self.is_punct('<') {
+            return params;
+        }
+        self.next();
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        while depth > 0 {
+            match self.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 1 => expect_param = true,
+                    ':' | '=' if depth == 1 => expect_param = false,
+                    '\''
+                        // Lifetime: consume its identifier, not a type param.
+                        if depth == 1 => {
+                            expect_param = false;
+                        }
+                    _ => {}
+                },
+                Some(TokenTree::Ident(i)) => {
+                    if depth == 1 && expect_param {
+                        params.push(i.to_string());
+                        expect_param = false;
+                    }
+                }
+                Some(_) => {}
+                None => panic!("serde_derive: unterminated generics"),
+            }
+        }
+        params
+    }
+
+    /// Skips a field's type: everything up to a top-level `,` (angle-depth
+    /// aware) or the end of the stream.
+    fn skip_type(&mut self) {
+        let mut angle = 0usize;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(group);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let (skip, default) = cur.skip_attributes();
+        cur.skip_visibility();
+        let name = cur.expect_ident();
+        assert!(
+            cur.is_punct(':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        cur.next();
+        cur.skip_type();
+        if cur.is_punct(',') {
+            cur.next();
+        }
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut cur = Cursor::new(group);
+    let mut count = 0usize;
+    let mut saw_any = false;
+    let mut angle = 0usize;
+    while let Some(t) = cur.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_any = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute on a tuple field: skip the bracket group.
+                cur.next();
+            }
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(group);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        cur.skip_attributes();
+        let name = cur.expect_ident();
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                assert!(
+                    n == 1,
+                    "serde_derive shim: only one-field tuple variants are supported (variant `{name}` has {n})"
+                );
+                cur.next();
+                VariantKind::Newtype
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a possible discriminant and the trailing comma.
+        while cur.peek().is_some() && !cur.is_punct(',') {
+            cur.next();
+        }
+        if cur.is_punct(',') {
+            cur.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.skip_attributes();
+    cur.skip_visibility();
+    let keyword = cur.expect_ident();
+    let name = cur.expect_ident();
+    let generics = cur.parse_generics();
+    match keyword.as_str() {
+        "struct" => match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                Item {
+                    name,
+                    generics,
+                    kind: ItemKind::NamedStruct(fields),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                Item {
+                    name,
+                    generics,
+                    kind: ItemKind::TupleStruct(n),
+                }
+            }
+            _ => Item {
+                name,
+                generics,
+                kind: ItemKind::UnitStruct,
+            },
+        },
+        "enum" => match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream());
+                Item {
+                    name,
+                    generics,
+                    kind: ItemKind::Enum(variants),
+                }
+            }
+            other => panic!("serde_derive: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_path: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl {trait_path} for {}", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {trait_path}"))
+            .collect();
+        format!(
+            "impl<{}> {trait_path} for {}<{}>",
+            bounded.join(", "),
+            item.name,
+            item.generics.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let header = impl_header(item, "::serde::Serialize");
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if live.is_empty() {
+                "::serde::Value::Map(::std::vec::Vec::new())".to_string()
+            } else {
+                let mut s = String::from(
+                    "{ let mut m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();",
+                );
+                for f in live {
+                    s.push_str(&format!(
+                        "m.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));",
+                        f.name
+                    ));
+                }
+                s.push_str("::serde::Value::Map(m) }");
+                s
+            }
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{0}::{1} => ::serde::Value::Str(::std::string::String::from(\"{1}\")),",
+                        item.name, v.name
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{0}::{1}(x0) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{1}\"), ::serde::Serialize::to_value(x0))]),",
+                        item.name, v.name
+                    )),
+                    VariantKind::Named(fields) => {
+                        let names: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "inner.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0})));",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{0}::{1} {{ {2} }} => {{ \
+                               let mut inner: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new(); \
+                               {3} \
+                               ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{1}\"), ::serde::Value::Map(inner))]) \
+                             }},",
+                            item.name,
+                            v.name,
+                            names.join(", "),
+                            pushes
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] {header} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_named_fields_reader(owner: &str, constructor: &str, fields: &[Field], src: &str) -> String {
+    // `src` is an expression of type `&::serde::Value` expected to be a map.
+    let known: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| format!("\"{}\"", f.name))
+        .collect();
+    let key_check = if known.is_empty() {
+        format!(
+            "for (k, _) in m {{ return ::core::result::Result::Err(::serde::DeError::custom(::std::format!(\"unknown field `{{}}` in {owner}\", k))); }}"
+        )
+    } else {
+        format!(
+            "for (k, _) in m {{ match k.as_str() {{ {} => (), other => return ::core::result::Result::Err(::serde::DeError::custom(::std::format!(\"unknown field `{{}}` in {owner}\", other))) }} }}",
+            known.join(" | ")
+        )
+    };
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!("{}: ::core::default::Default::default(),", f.name));
+        } else if f.default {
+            inits.push_str(&format!(
+                "{0}: match ::serde::Value::get({src}, \"{0}\") {{ \
+                   ::core::option::Option::Some(v) => ::serde::Deserialize::from_value(v).map_err(|e| e.in_field(\"{0}\"))?, \
+                   ::core::option::Option::None => ::core::default::Default::default() }},",
+                f.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{0}: match ::serde::Value::get({src}, \"{0}\") {{ \
+                   ::core::option::Option::Some(v) => ::serde::Deserialize::from_value(v).map_err(|e| e.in_field(\"{0}\"))?, \
+                   ::core::option::Option::None => ::serde::Deserialize::from_missing(\"{owner}.{0}\")? }},",
+                f.name
+            ));
+        }
+    }
+    format!(
+        "{{ let m = ::serde::Value::as_map({src}).ok_or_else(|| ::serde::DeError::expected(\"map for {owner}\", {src}))?; \
+           {key_check} \
+           ::core::result::Result::Ok({constructor} {{ {inits} }}) }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let header = impl_header(item, "::serde::Deserialize");
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            gen_named_fields_reader(&item.name, &item.name, fields, "value")
+        }
+        ItemKind::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({}(::serde::Deserialize::from_value(value)?))",
+            item.name
+        ),
+        ItemKind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let items = ::serde::Value::as_seq(value).ok_or_else(|| ::serde::DeError::expected(\"sequence for {0}\", value))?; \
+                   if items.len() != {n} {{ return ::core::result::Result::Err(::serde::DeError::custom(::std::format!(\"expected {n} elements for {0}, got {{}}\", items.len()))); }} \
+                   ::core::result::Result::Ok({0}({1})) }}",
+                item.name,
+                elems.join(", ")
+            )
+        }
+        ItemKind::UnitStruct => format!("::core::result::Result::Ok({})", item.name),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{1}\" => ::core::result::Result::Ok({0}::{1}),",
+                        item.name, v.name
+                    )),
+                    VariantKind::Newtype => tagged_arms.push_str(&format!(
+                        "\"{1}\" => ::core::result::Result::Ok({0}::{1}(::serde::Deserialize::from_value(inner)?)),",
+                        item.name, v.name
+                    )),
+                    VariantKind::Named(fields) => {
+                        let reader = gen_named_fields_reader(
+                            &format!("{}::{}", item.name, v.name),
+                            &format!("{}::{}", item.name, v.name),
+                            fields,
+                            "inner",
+                        );
+                        tagged_arms
+                            .push_str(&format!("\"{}\" => {reader},", v.name));
+                    }
+                }
+            }
+            format!(
+                "match value {{ \
+                   ::serde::Value::Str(s) => match s.as_str() {{ \
+                     {unit_arms} \
+                     other => ::core::result::Result::Err(::serde::DeError::custom(::std::format!(\"unknown variant `{{}}` of {0}\", other))) \
+                   }}, \
+                   ::serde::Value::Map(m) if m.len() == 1 => {{ \
+                     let (tag, inner) = &m[0]; \
+                     match tag.as_str() {{ \
+                       {tagged_arms} \
+                       other => ::core::result::Result::Err(::serde::DeError::custom(::std::format!(\"unknown variant `{{}}` of {0}\", other))) \
+                     }} \
+                   }}, \
+                   other => ::core::result::Result::Err(::serde::DeError::expected(\"variant of {0}\", other)) \
+                 }}",
+                item.name
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] {header} {{ \
+           fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}

@@ -1,0 +1,741 @@
+//! Offline YAML reader/writer over the vendored `serde` shim's [`Value`]
+//! data model.
+//!
+//! Supports the block-style subset the `aarc-spec` scenario files use:
+//! nested mappings and sequences, plain and double-quoted scalars,
+//! `#` comments, a leading `---` document marker and empty flow
+//! collections (`[]` / `{}`), plus simple one-level flow sequences of
+//! scalars. Anchors, aliases, multi-document streams and block scalars
+//! (`|`/`>`) are out of scope.
+//!
+//! The emitter is deterministic: mappings keep the order of the `Value`
+//! tree, strings are double-quoted exactly when a plain scalar would be
+//! ambiguous, and integral floats are rendered with a trailing `.0` so
+//! number types survive a round-trip.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Error raised while parsing or printing YAML.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Emitting
+// ---------------------------------------------------------------------------
+
+fn format_f64(x: f64) -> String {
+    if x.is_nan() {
+        return ".nan".to_string();
+    }
+    if x.is_infinite() {
+        return if x > 0.0 { ".inf" } else { "-.inf" }.to_string();
+    }
+    let s = format!("{x}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn looks_like_number(s: &str) -> bool {
+    s.parse::<i64>().is_ok() || s.parse::<f64>().is_ok()
+}
+
+fn needs_quotes(s: &str) -> bool {
+    if s.is_empty() {
+        return true;
+    }
+    let first = s.chars().next().unwrap();
+    if s != s.trim() {
+        return true;
+    }
+    if matches!(
+        first,
+        '-' | '?'
+            | ':'
+            | ','
+            | '['
+            | ']'
+            | '{'
+            | '}'
+            | '#'
+            | '&'
+            | '*'
+            | '!'
+            | '|'
+            | '>'
+            | '\''
+            | '"'
+            | '%'
+            | '@'
+            | '`'
+    ) {
+        return true;
+    }
+    if matches!(
+        s,
+        "true" | "false" | "True" | "False" | "null" | "Null" | "~" | "yes" | "no" | "on" | "off"
+    ) {
+        return true;
+    }
+    if looks_like_number(s) || s.starts_with(".inf") || s.starts_with(".nan") {
+        return true;
+    }
+    s.chars().any(|c| c.is_control())
+        || s.contains(": ")
+        || s.ends_with(':')
+        || s.contains(" #")
+        || s.contains('\t')
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn scalar(s: &str) -> String {
+    if needs_quotes(s) {
+        quote(s)
+    } else {
+        s.to_string()
+    }
+}
+
+fn emit_scalar(v: &Value) -> Option<String> {
+    match v {
+        Value::Null => Some("null".to_string()),
+        Value::Bool(b) => Some(if *b { "true" } else { "false" }.to_string()),
+        Value::Int(i) => Some(i.to_string()),
+        Value::UInt(u) => Some(u.to_string()),
+        Value::Float(f) => Some(format_f64(*f)),
+        Value::Str(s) => Some(scalar(s)),
+        Value::Seq(items) if items.is_empty() => Some("[]".to_string()),
+        Value::Map(entries) if entries.is_empty() => Some("{}".to_string()),
+        _ => None,
+    }
+}
+
+fn emit_block(v: &Value, out: &mut String, indent: usize) {
+    let pad = "  ".repeat(indent);
+    match v {
+        Value::Seq(items) => {
+            for item in items {
+                if let Some(s) = emit_scalar(item) {
+                    out.push_str(&format!("{pad}- {s}\n"));
+                } else if let Value::Map(entries) = item {
+                    // Compact form: first key on the dash line, the rest
+                    // indented to align with it.
+                    let mut first = true;
+                    for (k, val) in entries {
+                        let lead = if first {
+                            format!("{pad}- ")
+                        } else {
+                            format!("{pad}  ")
+                        };
+                        first = false;
+                        // Keys sit one level in from the dash, so their
+                        // nested blocks start two levels in.
+                        emit_entry(k, val, &lead, indent + 2, out);
+                    }
+                } else {
+                    out.push_str(&format!("{pad}-\n"));
+                    emit_block(item, out, indent + 1);
+                }
+            }
+        }
+        Value::Map(entries) => {
+            for (k, val) in entries {
+                emit_entry(k, val, &pad, indent + 1, out);
+            }
+        }
+        other => {
+            // A bare scalar document.
+            out.push_str(&format!(
+                "{pad}{}\n",
+                emit_scalar(other).expect("scalar emit cannot fail")
+            ));
+        }
+    }
+}
+
+fn emit_entry(key: &str, val: &Value, lead: &str, child_indent: usize, out: &mut String) {
+    let k = scalar(key);
+    if let Some(s) = emit_scalar(val) {
+        out.push_str(&format!("{lead}{k}: {s}\n"));
+    } else {
+        out.push_str(&format!("{lead}{k}:\n"));
+        emit_block(val, out, child_indent);
+    }
+}
+
+/// Serializes a value as block-style YAML (with a leading `---`-free body).
+///
+/// # Errors
+///
+/// Infallible for the shim's data model; kept fallible for API parity.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    emit_block(&value.to_value(), &mut out, 0);
+    if out.is_empty() {
+        out.push_str("{}\n");
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Line {
+    indent: usize,
+    /// Content with indentation stripped; never empty.
+    text: String,
+    number: usize,
+}
+
+/// Splits source text into indexed content lines, dropping blanks, comment
+/// lines and a leading `---` document marker.
+fn lines_of(src: &str) -> Result<Vec<Line>, Error> {
+    let mut lines = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let trimmed_end = raw.trim_end();
+        if trimmed_end.is_empty() {
+            continue;
+        }
+        let indent_chars = trimmed_end.len() - trimmed_end.trim_start().len();
+        let body = &trimmed_end[indent_chars..];
+        if body.starts_with('#') {
+            continue;
+        }
+        if i == 0 && body == "---" {
+            continue;
+        }
+        if raw[..indent_chars].contains('\t') {
+            return Err(Error::new(format!("line {}: tabs in indentation", i + 1)));
+        }
+        lines.push(Line {
+            indent: indent_chars,
+            text: body.to_string(),
+            number: i + 1,
+        });
+    }
+    Ok(lines)
+}
+
+/// Finds the byte position of a top-level `: ` (or trailing `:`) separator
+/// in a mapping line, skipping a leading quoted key.
+fn key_split(text: &str) -> Option<(String, &str)> {
+    if let Some(rest) = text.strip_prefix('"') {
+        // Quoted key: scan to the closing quote.
+        let mut escaped = false;
+        for (i, c) in rest.char_indices() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' => escaped = true,
+                '"' => {
+                    let key = parse_quoted(&text[..i + 2]).ok()?;
+                    let after = &rest[i + 1..];
+                    let after = after.trim_start();
+                    let after = after.strip_prefix(':')?;
+                    return Some((key, after.trim_start()));
+                }
+                _ => {}
+            }
+        }
+        None
+    } else {
+        let bytes = text.as_bytes();
+        for i in 0..bytes.len() {
+            if bytes[i] == b':' && (i + 1 == bytes.len() || bytes[i + 1] == b' ') {
+                let key = text[..i].trim().to_string();
+                let rest = if i + 1 >= bytes.len() {
+                    ""
+                } else {
+                    text[i + 1..].trim_start()
+                };
+                return Some((key, rest));
+            }
+        }
+        None
+    }
+}
+
+fn parse_quoted(s: &str) -> Result<String, Error> {
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| Error::new(format!("malformed quoted scalar: {s}")))?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| Error::new(format!("invalid \\u escape in {s}")))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| Error::new("invalid unicode scalar".to_string()))?,
+                );
+            }
+            other => return Err(Error::new(format!("invalid escape \\{other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+/// Strips a trailing ` # comment` from a plain (unquoted) scalar tail.
+fn strip_plain_comment(s: &str) -> &str {
+    match s.find(" #") {
+        Some(pos) => s[..pos].trim_end(),
+        None => s,
+    }
+}
+
+fn parse_scalar_text(s: &str) -> Result<Value, Error> {
+    if let Some(body) = s.strip_prefix('"') {
+        // A quoted scalar may carry a trailing comment after the close quote.
+        let mut escaped = false;
+        for (i, c) in body.char_indices() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' => escaped = true,
+                '"' => {
+                    let lit = &s[..i + 2];
+                    let rest = s[i + 2..].trim();
+                    if !rest.is_empty() && !rest.starts_with('#') {
+                        return Err(Error::new(format!("trailing characters after scalar: {s}")));
+                    }
+                    return Ok(Value::Str(parse_quoted(lit)?));
+                }
+                _ => {}
+            }
+        }
+        return Err(Error::new(format!("unterminated quoted scalar: {s}")));
+    }
+    if s.starts_with('[') || s.starts_with('{') {
+        return parse_flow(s);
+    }
+    let s = strip_plain_comment(s).trim();
+    match s {
+        "" | "~" | "null" | "Null" => return Ok(Value::Null),
+        "true" | "True" => return Ok(Value::Bool(true)),
+        "false" | "False" => return Ok(Value::Bool(false)),
+        ".inf" | "+.inf" => return Ok(Value::Float(f64::INFINITY)),
+        "-.inf" => return Ok(Value::Float(f64::NEG_INFINITY)),
+        ".nan" => return Ok(Value::Float(f64::NAN)),
+        _ => {}
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if s.chars().all(|c| c.is_ascii_digit()) {
+        if let Ok(u) = s.parse::<u64>() {
+            return Ok(Value::UInt(u));
+        }
+    }
+    if (s.contains('.') || s.contains('e') || s.contains('E')) && !s.ends_with('.') {
+        if let Ok(f) = s.parse::<f64>() {
+            return Ok(Value::Float(f));
+        }
+    }
+    Ok(Value::Str(s.to_string()))
+}
+
+/// Parses a one-level flow collection: `[a, b]`, `{}`, `{k: v}`.
+fn parse_flow(s: &str) -> Result<Value, Error> {
+    let s = strip_plain_comment(s).trim();
+    if s == "[]" {
+        return Ok(Value::Seq(Vec::new()));
+    }
+    if s == "{}" {
+        return Ok(Value::Map(Vec::new()));
+    }
+    if let Some(inner) = s.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in split_flow(inner)? {
+            items.push(parse_scalar_text(part.trim())?);
+        }
+        return Ok(Value::Seq(items));
+    }
+    if let Some(inner) = s.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+        let mut entries = Vec::new();
+        for part in split_flow(inner)? {
+            let (k, rest) = key_split(part.trim())
+                .ok_or_else(|| Error::new(format!("malformed flow map entry: {part}")))?;
+            entries.push((k, parse_scalar_text(rest)?));
+        }
+        return Ok(Value::Map(entries));
+    }
+    Err(Error::new(format!("unsupported flow collection: {s}")))
+}
+
+/// Splits flow-collection content on top-level commas (quote-aware).
+fn split_flow(inner: &str) -> Result<Vec<&str>, Error> {
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    let mut depth = 0i32;
+    for (i, c) in inner.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '[' | '{' if !in_quotes => depth += 1,
+            ']' | '}' if !in_quotes => depth -= 1,
+            ',' if !in_quotes && depth == 0 => {
+                parts.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_quotes {
+        return Err(Error::new(format!("unterminated quote in flow: {inner}")));
+    }
+    if !inner[start..].trim().is_empty() || !parts.is_empty() {
+        parts.push(&inner[start..]);
+    }
+    Ok(parts)
+}
+
+struct BlockParser {
+    lines: Vec<Line>,
+    pos: usize,
+}
+
+impl BlockParser {
+    fn peek(&self) -> Option<&Line> {
+        self.lines.get(self.pos)
+    }
+
+    fn parse_block(&mut self, min_indent: usize) -> Result<Value, Error> {
+        let first = match self.peek() {
+            Some(l) if l.indent >= min_indent => l,
+            _ => return Ok(Value::Null),
+        };
+        let indent = first.indent;
+        if first.text == "-" || first.text.starts_with("- ") {
+            self.parse_seq(indent)
+        } else if key_split(&first.text).is_some() {
+            self.parse_map(indent)
+        } else {
+            // A scalar document / nested scalar line.
+            let line = self.lines.get(self.pos).unwrap();
+            let v = parse_scalar_text(&line.text)?;
+            self.pos += 1;
+            Ok(v)
+        }
+    }
+
+    fn parse_seq(&mut self, indent: usize) -> Result<Value, Error> {
+        let mut items = Vec::new();
+        while let Some(line) = self.peek() {
+            if line.indent != indent || !(line.text == "-" || line.text.starts_with("- ")) {
+                if line.indent > indent {
+                    return Err(Error::new(format!(
+                        "line {}: unexpected indentation inside sequence",
+                        line.number
+                    )));
+                }
+                break;
+            }
+            let number = line.number;
+            let rest = if line.text == "-" {
+                String::new()
+            } else {
+                line.text[2..].trim_start().to_string()
+            };
+            self.pos += 1;
+            if rest.is_empty() || rest.starts_with('#') {
+                // Nested block on the following lines.
+                items.push(self.parse_block(indent + 1)?);
+            } else if rest.starts_with('{') || rest.starts_with('[') {
+                // Flow collections are never compact block mappings.
+                items.push(parse_scalar_text(&rest)?);
+            } else if key_split(&rest).is_some() {
+                // Compact mapping: first entry lives on the dash line. Treat
+                // the dash line's remainder as a virtual line at indent+2 and
+                // merge the following deeper lines.
+                let virtual_indent = indent + 2;
+                self.lines.insert(
+                    self.pos,
+                    Line {
+                        indent: virtual_indent,
+                        text: rest,
+                        number,
+                    },
+                );
+                items.push(self.parse_map(virtual_indent)?);
+            } else {
+                items.push(parse_scalar_text(&rest)?);
+            }
+        }
+        Ok(Value::Seq(items))
+    }
+
+    fn parse_map(&mut self, indent: usize) -> Result<Value, Error> {
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        while let Some(line) = self.peek() {
+            if line.indent < indent {
+                break;
+            }
+            if line.indent > indent {
+                return Err(Error::new(format!(
+                    "line {}: unexpected indentation inside mapping",
+                    line.number
+                )));
+            }
+            if line.text == "-" || line.text.starts_with("- ") {
+                break;
+            }
+            let number = line.number;
+            let (key, rest) = key_split(&line.text)
+                .ok_or_else(|| Error::new(format!("line {number}: expected `key: value`")))?;
+            if entries.iter().any(|(k, _)| *k == key) {
+                return Err(Error::new(format!("line {number}: duplicate key `{key}`")));
+            }
+            let rest = rest.to_string();
+            self.pos += 1;
+            let value = if rest.is_empty() || rest.starts_with('#') {
+                match self.peek() {
+                    Some(next) if next.indent > indent => self.parse_block(indent + 1)?,
+                    Some(next)
+                        if next.indent == indent
+                            && (next.text == "-" || next.text.starts_with("- ")) =>
+                    {
+                        // Sequences are commonly indented at the key's level.
+                        self.parse_seq(indent)?
+                    }
+                    _ => Value::Null,
+                }
+            } else {
+                parse_scalar_text(&rest)?
+            };
+            entries.push((key, value));
+        }
+        Ok(Value::Map(entries))
+    }
+}
+
+/// Parses YAML text into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an error on malformed YAML or constructs outside the supported
+/// subset.
+pub fn parse(src: &str) -> Result<Value, Error> {
+    let lines = lines_of(src)?;
+    if lines.is_empty() {
+        return Ok(Value::Null);
+    }
+    let mut p = BlockParser { lines, pos: 0 };
+    let v = p.parse_block(0)?;
+    if let Some(line) = p.peek() {
+        return Err(Error::new(format!(
+            "line {}: trailing content after document",
+            line.number
+        )));
+    }
+    Ok(v)
+}
+
+/// Deserializes a value from YAML text.
+///
+/// # Errors
+///
+/// Returns an error on malformed YAML or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    Ok(T::from_value(&parse(s)?)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) {
+        let text = to_string(v).unwrap();
+        let back = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        assert_eq!(&back, v, "round trip mismatch for:\n{text}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(&Value::Int(42));
+        round_trip(&Value::Float(1.5));
+        round_trip(&Value::Float(2.0));
+        round_trip(&Value::Bool(true));
+        round_trip(&Value::Null);
+        round_trip(&Value::Str("plain".into()));
+        round_trip(&Value::Str("needs: quoting".into()));
+        round_trip(&Value::Str("- leading dash".into()));
+        round_trip(&Value::Str("123".into()));
+        round_trip(&Value::Str("".into()));
+        round_trip(&Value::Str("line\nbreak\tand \"quotes\"".into()));
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Value::Map(vec![
+            ("name".into(), Value::Str("demo".into())),
+            (
+                "functions".into(),
+                Value::Seq(vec![
+                    Value::Map(vec![
+                        ("id".into(), Value::Str("f1".into())),
+                        ("ms".into(), Value::Float(1500.0)),
+                        ("deep".into(), Value::Map(vec![("x".into(), Value::Int(1))])),
+                    ]),
+                    Value::Map(vec![("id".into(), Value::Str("f2".into()))]),
+                ]),
+            ),
+            ("empty_seq".into(), Value::Seq(vec![])),
+            ("empty_map".into(), Value::Map(vec![])),
+            (
+                "scalars".into(),
+                Value::Seq(vec![Value::Int(1), Value::Str("two".into()), Value::Null]),
+            ),
+        ]);
+        round_trip(&v);
+    }
+
+    #[test]
+    fn flow_maps_as_sequence_items_parse() {
+        let v = parse("edges:\n  - {from: a, to: b}\n  - {from: b, to: c}\n").unwrap();
+        assert_eq!(
+            v.get("edges"),
+            Some(&Value::Seq(vec![
+                Value::Map(vec![
+                    ("from".into(), Value::Str("a".into())),
+                    ("to".into(), Value::Str("b".into())),
+                ]),
+                Value::Map(vec![
+                    ("from".into(), Value::Str("b".into())),
+                    ("to".into(), Value::Str("c".into())),
+                ]),
+            ]))
+        );
+    }
+
+    #[test]
+    fn comments_and_document_marker_are_ignored() {
+        let text =
+            "---\n# header comment\na: 1 # trailing\n# interleaved\nb:\n  - x # seq comment\n";
+        let v = parse(text).unwrap();
+        assert_eq!(v.get("a"), Some(&Value::Int(1)));
+        assert_eq!(v.get("b"), Some(&Value::Seq(vec![Value::Str("x".into())])));
+    }
+
+    #[test]
+    fn sequence_indented_under_key_is_accepted() {
+        // Both the aligned and the indented sequence style parse.
+        let aligned = "items:\n- 1\n- 2\n";
+        let indented = "items:\n  - 1\n  - 2\n";
+        let expected = Value::Map(vec![(
+            "items".into(),
+            Value::Seq(vec![Value::Int(1), Value::Int(2)]),
+        )]);
+        assert_eq!(parse(aligned).unwrap(), expected);
+        assert_eq!(parse(indented).unwrap(), expected);
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        assert!(parse("a: 1\na: 2\n").is_err());
+    }
+
+    #[test]
+    fn quoted_keys_work() {
+        let v = Value::Map(vec![("weird: key".into(), Value::Int(1))]);
+        round_trip(&v);
+    }
+
+    #[test]
+    fn flow_sequences_parse() {
+        let v = parse("xs: [1, 2.5, \"a, b\"]\n").unwrap();
+        assert_eq!(
+            v.get("xs"),
+            Some(&Value::Seq(vec![
+                Value::Int(1),
+                Value::Float(2.5),
+                Value::Str("a, b".into())
+            ]))
+        );
+    }
+
+    #[test]
+    fn nested_seq_of_seqs_round_trips() {
+        let v = Value::Seq(vec![
+            Value::Seq(vec![Value::Int(1), Value::Int(2)]),
+            Value::Seq(vec![]),
+        ]);
+        round_trip(&v);
+    }
+
+    #[test]
+    fn special_floats_round_trip() {
+        round_trip(&Value::Float(f64::INFINITY));
+        round_trip(&Value::Float(f64::NEG_INFINITY));
+        let text = to_string(&Value::Float(f64::NAN)).unwrap();
+        assert!(matches!(parse(&text).unwrap(), Value::Float(f) if f.is_nan()));
+    }
+}
