@@ -20,7 +20,7 @@ use rand::{Rng, SeedableRng};
 
 use aarc_core::search::{validate_slo, ConfigurationSearch, SearchOutcome, SearchTrace};
 use aarc_core::AarcError;
-use aarc_simulator::{ConfigMap, ResourceConfig, WorkflowEnvironment};
+use aarc_simulator::{ConfigMap, EvalEngine, ResourceConfig, WorkflowEnvironment};
 
 use self::acquisition::expected_improvement;
 use self::gp::GaussianProcess;
@@ -128,7 +128,8 @@ impl ConfigurationSearch for BayesianOptimization {
         "BO"
     }
 
-    fn search(&self, env: &WorkflowEnvironment, slo_ms: f64) -> Result<SearchOutcome, AarcError> {
+    fn search_with(&self, engine: &EvalEngine, slo_ms: f64) -> Result<SearchOutcome, AarcError> {
+        let env = engine.env();
         validate_slo(slo_ms)?;
         let mut rng = StdRng::seed_from_u64(self.params.seed);
         let mut trace = SearchTrace::new();
@@ -136,7 +137,7 @@ impl ConfigurationSearch for BayesianOptimization {
 
         // Reference execution with the over-provisioned base configuration.
         let base_configs = env.base_configs();
-        let base_report = env.execute(&base_configs)?;
+        let base_report = engine.evaluate(&base_configs)?;
         trace.record(&base_report, true, "base configuration");
         if base_report.any_oom() {
             return Err(AarcError::BaseConfigurationOom);
@@ -159,18 +160,60 @@ impl ConfigurationSearch for BayesianOptimization {
         )];
         let mut best_feasible_cost = base_cost;
         let mut best_configs = base_configs;
+        // The outcome carries the report of the winning sample itself: under
+        // runtime jitter the batched initial design runs with per-candidate
+        // derived seeds, so re-simulating the winner under a different seed
+        // could contradict the feasibility decision that selected it.
+        let mut best_report = base_report;
 
         let kernel = RbfKernel::new(1.0, self.params.length_scale, 1e-6);
         let total_budget = self.params.iterations.max(2);
 
+        // Initial space-filling design: uniform random points. They are
+        // independent of any observation, so they are drawn up front (the
+        // RNG stream is identical to a sequential loop, which never consumed
+        // randomness between draws) and evaluated as one engine batch.
+        let n_init = total_budget
+            .min(self.params.initial_samples)
+            .saturating_sub(1);
+        let init_points: Vec<Vec<f64>> = (0..n_init)
+            .map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        let init_configs: Vec<ConfigMap> =
+            init_points.iter().map(|p| self.decode(env, p)).collect();
+        let init_reports = engine.evaluate_batch(&init_configs)?;
+        for ((point, configs), report) in
+            init_points.into_iter().zip(init_configs).zip(init_reports)
+        {
+            let feasible = report.meets_slo(slo_ms) && !report.any_oom();
+            trace.record(
+                &report,
+                feasible,
+                format!("bo sample {}", trace.sample_count() + 1),
+            );
+            let obj = Self::objective(
+                report.total_cost(),
+                report.makespan_ms(),
+                report.any_oom(),
+                slo_ms,
+                base_cost,
+            );
+            xs.push(point);
+            ys.push(obj);
+            if feasible && report.total_cost() < best_feasible_cost {
+                best_feasible_cost = report.total_cost();
+                best_configs = configs;
+                best_report = report;
+            }
+        }
+
+        // Surrogate-guided phase: every point depends on all previous
+        // observations, so candidates go through the engine one at a time
+        // (re-visited configurations are answered from the memo-cache).
         while trace.sample_count() < total_budget {
-            let point: Vec<f64> = if trace.sample_count() < self.params.initial_samples {
-                // Initial space-filling design: uniform random points.
-                (0..dim).map(|_| rng.gen::<f64>()).collect()
-            } else {
-                // Surrogate-guided: maximise expected improvement over a
-                // random candidate pool (normalising the objective keeps the
-                // GP well-conditioned).
+            let point: Vec<f64> = {
+                // Maximise expected improvement over a random candidate pool
+                // (normalising the objective keeps the GP well-conditioned).
                 let y_scale = ys.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
                 let ys_norm: Vec<f64> = ys.iter().map(|y| y / y_scale).collect();
                 let gp = GaussianProcess::fit(kernel, xs.clone(), &ys_norm);
@@ -205,7 +248,7 @@ impl ConfigurationSearch for BayesianOptimization {
             };
 
             let configs = self.decode(env, &point);
-            let report = env.execute(&configs)?;
+            let report = engine.evaluate(&configs)?;
             let feasible = report.meets_slo(slo_ms) && !report.any_oom();
             trace.record(
                 &report,
@@ -224,13 +267,13 @@ impl ConfigurationSearch for BayesianOptimization {
             if feasible && report.total_cost() < best_feasible_cost {
                 best_feasible_cost = report.total_cost();
                 best_configs = configs;
+                best_report = report;
             }
         }
 
-        let final_report = env.execute(&best_configs)?;
         Ok(SearchOutcome {
             best_configs,
-            final_report,
+            final_report: best_report,
             trace,
         })
     }

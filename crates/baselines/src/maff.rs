@@ -12,7 +12,7 @@
 
 use aarc_core::search::{validate_slo, ConfigurationSearch, SearchOutcome, SearchTrace};
 use aarc_core::AarcError;
-use aarc_simulator::{ConfigMap, ResourceConfig, WorkflowEnvironment};
+use aarc_simulator::{ConfigMap, EvalEngine, ResourceConfig, WorkflowEnvironment};
 
 /// Parameters of the MAFF baseline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,7 +74,8 @@ impl ConfigurationSearch for MaffGradientDescent {
         "MAFF"
     }
 
-    fn search(&self, env: &WorkflowEnvironment, slo_ms: f64) -> Result<SearchOutcome, AarcError> {
+    fn search_with(&self, engine: &EvalEngine, slo_ms: f64) -> Result<SearchOutcome, AarcError> {
+        let env = engine.env();
         validate_slo(slo_ms)?;
         let n = env.workflow().len();
         let mut trace = SearchTrace::new();
@@ -83,7 +84,7 @@ impl ConfigurationSearch for MaffGradientDescent {
         let mut memories: Vec<u32> = vec![self.params.initial_memory_mb; n];
         let mut configs =
             ConfigMap::from_vec(memories.iter().map(|&m| self.coupled(env, m)).collect());
-        let best_report = env.execute(&configs)?;
+        let best_report = engine.evaluate(&configs)?;
         trace.record(&best_report, true, "coupled base configuration");
         if best_report.any_oom() {
             return Err(AarcError::BaseConfigurationOom);
@@ -117,7 +118,7 @@ impl ConfigurationSearch for MaffGradientDescent {
                 let previous = configs.get(node);
                 let candidate = self.coupled(env, candidate_mem);
                 configs.set(node, candidate);
-                let report = env.execute(&configs)?;
+                let report = engine.evaluate(&configs)?;
                 let label = format!(
                     "{}: {} -> {}",
                     env.workflow().function(node).name(),
@@ -148,7 +149,7 @@ impl ConfigurationSearch for MaffGradientDescent {
             }
         }
 
-        let final_report = env.execute(&configs)?;
+        let final_report = engine.evaluate(&configs)?;
         Ok(SearchOutcome {
             best_configs: configs,
             final_report,

@@ -9,7 +9,7 @@ use rand::{Rng, SeedableRng};
 
 use aarc_core::search::{validate_slo, ConfigurationSearch, SearchOutcome, SearchTrace};
 use aarc_core::AarcError;
-use aarc_simulator::{ConfigMap, ResourceConfig, WorkflowEnvironment};
+use aarc_simulator::{ConfigMap, EvalEngine, ResourceConfig};
 
 /// Parameters of the random-search control.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,14 +47,15 @@ impl ConfigurationSearch for RandomSearch {
         "Random"
     }
 
-    fn search(&self, env: &WorkflowEnvironment, slo_ms: f64) -> Result<SearchOutcome, AarcError> {
+    fn search_with(&self, engine: &EvalEngine, slo_ms: f64) -> Result<SearchOutcome, AarcError> {
+        let env = engine.env();
         validate_slo(slo_ms)?;
         let mut rng = StdRng::seed_from_u64(self.params.seed);
         let mut trace = SearchTrace::new();
         let space = *env.space();
 
         let base_configs = env.base_configs();
-        let base_report = env.execute(&base_configs)?;
+        let base_report = engine.evaluate(&base_configs)?;
         trace.record(&base_report, true, "base configuration");
         if base_report.any_oom() {
             return Err(AarcError::BaseConfigurationOom);
@@ -66,20 +67,37 @@ impl ConfigurationSearch for RandomSearch {
             });
         }
 
+        // Every sample is independent, so the whole design can be drawn up
+        // front (same RNG stream as a sequential loop) and submitted as one
+        // engine batch: candidates fan out over the worker pool with seeds
+        // derived from their index, keeping results thread-count invariant.
+        let remaining = self.params.iterations.max(2) - 1;
+        let candidates: Vec<ConfigMap> = (0..remaining)
+            .map(|_| {
+                ConfigMap::from_vec(
+                    (0..env.workflow().len())
+                        .map(|_| {
+                            let vcpu =
+                                space.snap_vcpu(rng.gen_range(space.min_vcpu..=space.max_vcpu));
+                            let mem = space.snap_memory(
+                                rng.gen_range(space.min_memory_mb..=space.max_memory_mb),
+                            );
+                            ResourceConfig::new(vcpu, mem)
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let reports = engine.evaluate_batch(&candidates)?;
+
         let mut best_cost = base_report.total_cost();
         let mut best_configs = base_configs;
-        while trace.sample_count() < self.params.iterations.max(2) {
-            let configs = ConfigMap::from_vec(
-                (0..env.workflow().len())
-                    .map(|_| {
-                        let vcpu = space.snap_vcpu(rng.gen_range(space.min_vcpu..=space.max_vcpu));
-                        let mem = space
-                            .snap_memory(rng.gen_range(space.min_memory_mb..=space.max_memory_mb));
-                        ResourceConfig::new(vcpu, mem)
-                    })
-                    .collect(),
-            );
-            let report = env.execute(&configs)?;
+        // The outcome carries the report of the winning sample itself: under
+        // runtime jitter every batched candidate ran with its own derived
+        // seed, so re-simulating the winner under a different seed could
+        // contradict the feasibility decision that selected it.
+        let mut best_report = base_report;
+        for (configs, report) in candidates.into_iter().zip(reports) {
             let feasible = report.meets_slo(slo_ms) && !report.any_oom();
             trace.record(
                 &report,
@@ -89,13 +107,13 @@ impl ConfigurationSearch for RandomSearch {
             if feasible && report.total_cost() < best_cost {
                 best_cost = report.total_cost();
                 best_configs = configs;
+                best_report = report;
             }
         }
 
-        let final_report = env.execute(&best_configs)?;
         Ok(SearchOutcome {
             best_configs,
-            final_report,
+            final_report: best_report,
             trace,
         })
     }
@@ -110,7 +128,7 @@ impl Default for RandomSearch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aarc_simulator::{FunctionProfile, ProfileSet};
+    use aarc_simulator::{FunctionProfile, ProfileSet, WorkflowEnvironment};
     use aarc_workflow::WorkflowBuilder;
 
     fn env() -> WorkflowEnvironment {
@@ -156,5 +174,34 @@ mod tests {
     #[test]
     fn random_search_name() {
         assert_eq!(RandomSearch::default().name(), "Random");
+    }
+
+    #[test]
+    fn final_report_is_the_winning_sample_even_under_jitter() {
+        // With runtime jitter every batched candidate runs under its own
+        // derived seed, so the outcome must carry the winning sample's
+        // report verbatim — re-simulating under another seed could flip the
+        // feasibility decision that selected it.
+        let base = env();
+        let jittery =
+            WorkflowEnvironment::builder(base.workflow().clone(), base.profiles().clone())
+                .cluster(aarc_simulator::ClusterSpec::paper_testbed_with_jitter(0.2))
+                .build()
+                .unwrap();
+        let slo = 30_000.0;
+        let rs = RandomSearch::new(RandomSearchParams {
+            iterations: 20,
+            seed: 11,
+        });
+        let outcome = rs.search(&jittery, slo).unwrap();
+        let best_accepted_cost = outcome
+            .trace
+            .samples()
+            .iter()
+            .filter(|s| s.accepted)
+            .map(|s| s.cost)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(outcome.final_report.total_cost(), best_accepted_cost);
+        assert!(outcome.final_report.meets_slo(slo));
     }
 }

@@ -96,12 +96,15 @@ mod tests {
         // quality of the found configuration. The large search-runtime gap
         // of the paper shows up on Video Analysis (see the end-to-end test
         // `aarc_search_is_cheaper_and_faster_than_bo_on_the_heavy_workload`).
-        // The exact ratio depends on the RNG stream driving BO's sampling
-        // (the vendored offline `rand` shim draws a different sequence than
-        // crates.io rand), so the tolerance is loose; "same order of
-        // magnitude" is the property that matters here.
+        // The ratio is fully deterministic: executions carry per-candidate
+        // seeds derived from the sample index (see
+        // `aarc_simulator::derive_seed`), so the measurement no longer
+        // depends on RNG stream order or thread count — only on the fixed
+        // candidate sequence BO's vendored-rand stream draws (ratio 1.813 at
+        // the time of writing, vs 1.6 with crates.io rand). The bound keeps
+        // a small margin over that pinned value.
         assert!(
-            aarc.total_runtime_s < 2.5 * bo.total_runtime_s,
+            aarc.total_runtime_s < 1.9 * bo.total_runtime_s,
             "AARC search effort should stay comparable to BO ({} vs {})",
             aarc.total_runtime_s,
             bo.total_runtime_s

@@ -1,0 +1,363 @@
+//! `aarc bench` — the machine-readable performance benchmark behind the CI
+//! perf-regression gate.
+//!
+//! For every spec the harness measures two things through the
+//! [`EvalEngine`]:
+//!
+//! 1. **Raw simulation throughput** — a deterministic batch of candidate
+//!    configurations (derived from the spec fingerprint, so the workload is
+//!    identical across machines and runs) evaluated once at 1 thread and
+//!    once at the requested thread count, yielding `sims_per_sec` and the
+//!    parallel `speedup`.
+//! 2. **Search wall-clock** — all four search methods run through one
+//!    shared memoising engine (exactly what `aarc compare` does), yielding
+//!    `wall_ms`, sample counts and the cache hit rate.
+//!
+//! The result serializes as `BENCH_*.json` (see README for the schema). In
+//! gate mode the harness compares itself against a committed baseline and
+//! fails on >`max_regress` regressions of search wall-clock or multi-thread
+//! throughput, on parallel speedup below `--min-speedup`, or on a zero
+//! cache hit rate.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use aarc_simulator::{ConfigMap, EvalEngine, EvalOptions, ResourceConfig};
+use aarc_workloads::Workload;
+
+use crate::methods;
+
+/// Version stamp of the `BENCH_*.json` schema.
+pub const BENCH_VERSION: u32 = 1;
+
+/// One timed batch evaluation at a fixed thread count.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ThroughputPhase {
+    /// Wall-clock time of the batch, ms.
+    pub wall_ms: f64,
+    /// Simulations executed.
+    pub simulations: u64,
+    /// Simulations per second.
+    pub sims_per_sec: f64,
+}
+
+/// One timed all-methods search run through a shared memoising engine.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SearchPhase {
+    /// Wall-clock time of all four searches, ms.
+    pub wall_ms: f64,
+    /// Search samples recorded across all methods.
+    pub samples: u64,
+    /// Simulations actually executed (cache misses).
+    pub simulations: u64,
+    /// Evaluations answered from the memo-cache.
+    pub cache_hits: u64,
+    /// Evaluations that required a simulation.
+    pub cache_misses: u64,
+    /// Fraction of evaluations served from the cache.
+    pub cache_hit_rate: f64,
+}
+
+/// Benchmark results of one scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchScenario {
+    /// Scenario name (from the spec).
+    pub scenario: String,
+    /// Fingerprint of the spec the candidate batch was derived from.
+    pub spec_fingerprint: u64,
+    /// Number of workflow functions.
+    pub functions: usize,
+    /// Throughput of the candidate batch at 1 thread.
+    pub single_thread: ThroughputPhase,
+    /// Throughput of the same batch at the requested thread count.
+    pub multi_thread: ThroughputPhase,
+    /// `multi_thread.sims_per_sec / single_thread.sims_per_sec`.
+    pub speedup: f64,
+    /// The all-methods search phase.
+    pub search: SearchPhase,
+}
+
+/// The complete `BENCH_*.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema version ([`BENCH_VERSION`]).
+    pub version: u32,
+    /// Worker threads used for the multi-thread phases.
+    pub threads: usize,
+    /// Candidates per throughput batch.
+    pub batch: usize,
+    /// One entry per benched spec, in argument order.
+    pub scenarios: Vec<BenchScenario>,
+    /// Sum of the per-scenario search wall-clocks, ms.
+    pub total_search_wall_ms: f64,
+    /// Geometric mean of the per-scenario parallel speedups.
+    pub mean_speedup: f64,
+}
+
+/// Deterministic candidate batch for one workload: `batch` configuration
+/// maps drawn from an RNG seeded with the spec fingerprint, snapped onto the
+/// scenario's resource grid.
+fn candidate_batch(workload: &Workload, fingerprint: u64, batch: usize) -> Vec<ConfigMap> {
+    let env = workload.env();
+    let space = *env.space();
+    let n = env.workflow().len();
+    let mut rng = StdRng::seed_from_u64(fingerprint);
+    (0..batch)
+        .map(|_| {
+            ConfigMap::from_vec(
+                (0..n)
+                    .map(|_| {
+                        let vcpu = space.snap_vcpu(rng.gen_range(space.min_vcpu..=space.max_vcpu));
+                        let mem = space
+                            .snap_memory(rng.gen_range(space.min_memory_mb..=space.max_memory_mb));
+                        ResourceConfig::new(vcpu, mem)
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Times one batch evaluation on a fresh, cache-less engine with `threads`
+/// workers.
+fn time_batch(
+    workload: &Workload,
+    candidates: &[ConfigMap],
+    threads: usize,
+) -> Result<ThroughputPhase, String> {
+    // The cache is disabled so the phase times raw simulation throughput,
+    // not memoisation.
+    let engine = EvalEngine::new(
+        workload.env().clone(),
+        EvalOptions {
+            threads,
+            cache_capacity: 0,
+        },
+    );
+    let start = Instant::now();
+    engine
+        .evaluate_batch(candidates)
+        .map_err(|e| format!("batch evaluation failed: {e}"))?;
+    let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    let simulations = engine.stats().simulations();
+    Ok(ThroughputPhase {
+        wall_ms,
+        simulations,
+        sims_per_sec: if wall_ms > 0.0 {
+            simulations as f64 / (wall_ms / 1_000.0)
+        } else {
+            f64::INFINITY
+        },
+    })
+}
+
+/// Runs all four search methods through one shared memoising engine and
+/// times the whole sweep.
+fn time_search(workload: &Workload, threads: usize) -> Result<SearchPhase, String> {
+    let engine = EvalEngine::with_threads(workload.env().clone(), threads);
+    let mut samples = 0u64;
+    let start = Instant::now();
+    for (name, method) in methods::all() {
+        let outcome = method
+            .search_with(&engine, workload.slo_ms())
+            .map_err(|e| format!("method `{name}` failed: {e}"))?;
+        samples += outcome.trace.sample_count() as u64;
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    let stats = engine.stats();
+    Ok(SearchPhase {
+        wall_ms,
+        samples,
+        simulations: stats.simulations(),
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        cache_hit_rate: stats.hit_rate(),
+    })
+}
+
+/// Benchmarks every spec and assembles the report.
+///
+/// # Errors
+///
+/// Returns a user-facing message if a spec fails to load/compile or a
+/// search fails.
+pub fn run_bench(
+    spec_paths: &[String],
+    threads: usize,
+    batch: usize,
+) -> Result<BenchReport, String> {
+    let mut scenarios = Vec::with_capacity(spec_paths.len());
+    for path in spec_paths {
+        let spec = aarc_spec::load(path).map_err(|e| format!("{path}: {e}"))?;
+        let fingerprint = spec.fingerprint();
+        let workload = aarc_spec::compile(&spec)
+            .map_err(|e| format!("{path}: {e}"))?
+            .into_workload();
+        let candidates = candidate_batch(&workload, fingerprint, batch);
+        let single_thread = time_batch(&workload, &candidates, 1)?;
+        let multi_thread = time_batch(&workload, &candidates, threads)?;
+        let search = time_search(&workload, threads)?;
+        scenarios.push(BenchScenario {
+            scenario: workload.name().to_owned(),
+            spec_fingerprint: fingerprint,
+            functions: workload.len(),
+            speedup: multi_thread.sims_per_sec / single_thread.sims_per_sec,
+            single_thread,
+            multi_thread,
+            search,
+        });
+    }
+    let total_search_wall_ms = scenarios.iter().map(|s| s.search.wall_ms).sum();
+    let mean_speedup = if scenarios.is_empty() {
+        0.0
+    } else {
+        let log_sum: f64 = scenarios.iter().map(|s| s.speedup.ln()).sum();
+        (log_sum / scenarios.len() as f64).exp()
+    };
+    Ok(BenchReport {
+        version: BENCH_VERSION,
+        threads,
+        batch,
+        scenarios,
+        total_search_wall_ms,
+        mean_speedup,
+    })
+}
+
+/// Gate checks: regression vs a committed baseline, minimum parallel
+/// speedup and a nonzero cache hit rate. Returns all failures (empty =
+/// gate passes).
+pub fn gate_failures(
+    current: &BenchReport,
+    baseline: Option<&BenchReport>,
+    max_regress: f64,
+    min_speedup: Option<f64>,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    if let Some(base) = baseline {
+        for base_scenario in &base.scenarios {
+            let Some(cur) = current
+                .scenarios
+                .iter()
+                .find(|s| s.scenario == base_scenario.scenario)
+            else {
+                failures.push(format!(
+                    "scenario `{}` present in baseline but not benched",
+                    base_scenario.scenario
+                ));
+                continue;
+            };
+            let wall_limit = base_scenario.search.wall_ms * (1.0 + max_regress);
+            if cur.search.wall_ms > wall_limit {
+                failures.push(format!(
+                    "`{}`: search wall-clock regressed {:.1} ms -> {:.1} ms (limit {:.1} ms, +{:.0}%)",
+                    cur.scenario,
+                    base_scenario.search.wall_ms,
+                    cur.search.wall_ms,
+                    wall_limit,
+                    max_regress * 100.0
+                ));
+            }
+            let sims_floor = base_scenario.multi_thread.sims_per_sec * (1.0 - max_regress);
+            if cur.multi_thread.sims_per_sec < sims_floor {
+                failures.push(format!(
+                    "`{}`: simulations/sec regressed {:.0} -> {:.0} (floor {:.0}, -{:.0}%)",
+                    cur.scenario,
+                    base_scenario.multi_thread.sims_per_sec,
+                    cur.multi_thread.sims_per_sec,
+                    sims_floor,
+                    max_regress * 100.0
+                ));
+            }
+        }
+    }
+    if let Some(min) = min_speedup {
+        for s in &current.scenarios {
+            if s.speedup < min {
+                failures.push(format!(
+                    "`{}`: parallel speedup {:.2}x below the required {min:.2}x at {} threads",
+                    s.scenario, s.speedup, current.threads
+                ));
+            }
+        }
+    }
+    if baseline.is_some() || min_speedup.is_some() {
+        for s in &current.scenarios {
+            if s.search.cache_hit_rate <= 0.0 {
+                failures.push(format!(
+                    "`{}`: memo-cache hit rate is zero — the engine is not amortising repeated simulations",
+                    s.scenario
+                ));
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec_path() -> String {
+        let dir = std::env::temp_dir().join("aarc-bench-mod-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.yaml");
+        let spec = aarc_spec::synthetic_spec(aarc_spec::SynthParams {
+            seed: 5,
+            layers: 2,
+            max_width: 2,
+            ..aarc_spec::SynthParams::default()
+        });
+        aarc_spec::save(&spec, &path).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn bench_produces_consistent_scenarios_and_roundtrips_as_json() {
+        let path = tiny_spec_path();
+        let report = run_bench(&[path], 2, 32).unwrap();
+        assert_eq!(report.version, BENCH_VERSION);
+        assert_eq!(report.scenarios.len(), 1);
+        let s = &report.scenarios[0];
+        assert_eq!(s.single_thread.simulations, 32);
+        assert_eq!(s.multi_thread.simulations, 32);
+        assert!(s.search.samples > 0);
+        assert!(
+            s.search.cache_hit_rate > 0.0,
+            "shared engine must produce cache hits across methods"
+        );
+        assert!(s.speedup > 0.0);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let parsed: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.scenarios[0].scenario, s.scenario);
+        assert_eq!(parsed.scenarios[0].spec_fingerprint, s.spec_fingerprint);
+    }
+
+    #[test]
+    fn gate_flags_regressions_and_weak_speedup() {
+        let path = tiny_spec_path();
+        let report = run_bench(&[path], 1, 16).unwrap();
+        // Identical runs never regress against themselves.
+        assert!(gate_failures(&report, Some(&report), 0.2, None).is_empty());
+
+        // A baseline that was 10x faster trips both regression checks.
+        let mut fast = report.clone();
+        fast.scenarios[0].search.wall_ms /= 10.0;
+        fast.scenarios[0].multi_thread.sims_per_sec *= 10.0;
+        let failures = gate_failures(&report, Some(&fast), 0.2, None);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+
+        // An unreachable speedup requirement fails.
+        let failures = gate_failures(&report, None, 0.2, Some(1_000.0));
+        assert!(!failures.is_empty());
+
+        // A baseline scenario that was never benched fails.
+        let mut renamed = report.clone();
+        renamed.scenarios[0].scenario = "ghost".into();
+        let failures = gate_failures(&report, Some(&renamed), 0.2, None);
+        assert!(failures.iter().any(|f| f.contains("ghost")));
+    }
+}

@@ -3,9 +3,11 @@
 use std::path::{Path, PathBuf};
 
 use aarc_core::report::ConfigurationReport;
+use aarc_simulator::EvalEngine;
 use aarc_spec::{compile, load, validate, SpecFormat, SynthParams};
 
 use crate::args::Args;
+use crate::bench;
 use crate::methods;
 use crate::report::CompareReport;
 
@@ -15,9 +17,13 @@ aarc — declarative scenario runner for the AARC reproduction
 USAGE:
     aarc validate <spec>...                     check scenario files
     aarc run --spec FILE [--method NAME]        search one scenario
-             [--slo MS] [--format text|json] [--out FILE]
-    aarc compare --spec FILE [--format json|csv|table] [--out FILE]
-                                                all methods on one scenario
+             [--slo MS] [--threads N] [--format text|json] [--out FILE]
+    aarc compare --spec FILE [--threads N] [--format json|csv|table]
+                 [--out FILE]                   all methods on one scenario
+    aarc bench <spec>... [--threads N] [--batch N] [--out FILE]
+               [--baseline FILE] [--max-regress F] [--min-speedup X]
+                                                emit BENCH_*.json perf measurements
+                                                and gate against a committed baseline
     aarc export-builtin [--dir DIR] [--format yaml|json]
                                                 write the three paper workloads as specs
     aarc generate --seed N [--layers N] [--max-width N] [--edge-prob P]
@@ -25,6 +31,10 @@ USAGE:
 
 METHODS: aarc (graph-centric scheduler), bo (Bayesian optimization),
          maff (coupled gradient descent), random (uniform sampling)
+
+Candidate executions go through the evaluation engine: --threads N fans
+batches out over N workers (results are bit-identical for any N) and a
+memo-cache short-circuits repeated simulations.
 ";
 
 /// Runs the subcommand named by `argv[0]`.
@@ -37,6 +47,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("validate") => cmd_validate(&argv[1..]),
         Some("run") => cmd_run(&argv[1..]),
         Some("compare") => cmd_compare(&argv[1..]),
+        Some("bench") => cmd_bench(&argv[1..]),
         Some("export-builtin") => cmd_export_builtin(&argv[1..]),
         Some("generate") => cmd_generate(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -89,18 +100,29 @@ fn cmd_validate(argv: &[String]) -> Result<(), String> {
     }
 }
 
+/// Parses `--threads` (default 1, must be at least 1).
+fn parse_threads(args: &Args) -> Result<usize, String> {
+    let threads = args.get_parsed::<usize>("threads")?.unwrap_or(1);
+    if threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
+    Ok(threads)
+}
+
 fn cmd_run(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["spec", "method", "slo", "format", "out"])?;
+    let args = Args::parse(argv, &["spec", "method", "slo", "threads", "format", "out"])?;
     let spec = load(args.require("spec")?).map_err(|e| e.to_string())?;
     let scenario = compile(&spec).map_err(|e| e.to_string())?;
     let workload = scenario.workload();
     let slo_ms = args
         .get_parsed::<f64>("slo")?
         .unwrap_or_else(|| workload.slo_ms());
+    let threads = parse_threads(&args)?;
     let method = methods::build(args.get("method").unwrap_or("aarc"))?;
 
+    let engine = EvalEngine::with_threads(workload.env().clone(), threads);
     let outcome = method
-        .search(workload.env(), slo_ms)
+        .search_with(&engine, slo_ms)
         .map_err(|e| format!("search failed: {e}"))?;
     let report = ConfigurationReport::new(
         workload.env(),
@@ -108,12 +130,16 @@ fn cmd_run(argv: &[String]) -> Result<(), String> {
         &outcome.final_report,
         Some(slo_ms),
     );
+    let stats = engine.stats();
     let text = match args.get("format").unwrap_or("text") {
         "text" => format!(
-            "{report}\nsearch: {} samples, total cost {:.1}, total runtime {:.1} ms\n",
+            "{report}\nsearch: {} samples, total cost {:.1}, total runtime {:.1} ms\neval: {} simulations, {} cache hits ({:.1}% hit rate)\n",
             outcome.trace.sample_count(),
             outcome.trace.total_cost(),
-            outcome.trace.total_runtime_ms()
+            outcome.trace.total_runtime_ms(),
+            stats.simulations(),
+            stats.cache_hits,
+            stats.hit_rate() * 100.0
         ),
         "json" => {
             let mut s =
@@ -127,15 +153,16 @@ fn cmd_run(argv: &[String]) -> Result<(), String> {
 }
 
 fn cmd_compare(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["spec", "slo", "format", "out"])?;
+    let args = Args::parse(argv, &["spec", "slo", "threads", "format", "out"])?;
     let spec = load(args.require("spec")?).map_err(|e| e.to_string())?;
     let scenario = compile(&spec).map_err(|e| e.to_string())?;
     let workload = scenario.workload();
     let slo_ms = args
         .get_parsed::<f64>("slo")?
         .unwrap_or_else(|| workload.slo_ms());
+    let threads = parse_threads(&args)?;
 
-    let report = CompareReport::run(workload, methods::all(), slo_ms)
+    let report = CompareReport::run(workload, methods::all(), slo_ms, threads)
         .map_err(|e| format!("comparison failed: {e}"))?;
     let text = match args.get("format").unwrap_or("json") {
         "json" => {
@@ -153,6 +180,76 @@ fn cmd_compare(argv: &[String]) -> Result<(), String> {
         }
     };
     write_or_print(&text, args.get("out"))
+}
+
+fn cmd_bench(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        argv,
+        &[
+            "threads",
+            "batch",
+            "out",
+            "baseline",
+            "max-regress",
+            "min-speedup",
+        ],
+    )?;
+    if args.positional().is_empty() {
+        return Err("bench needs at least one spec file".to_string());
+    }
+    let threads = parse_threads(&args)?;
+    let batch = args.get_parsed::<usize>("batch")?.unwrap_or(1_024);
+    if batch == 0 {
+        return Err("--batch must be at least 1".to_string());
+    }
+    let max_regress = args.get_parsed::<f64>("max-regress")?.unwrap_or(0.20);
+    if !(0.0..10.0).contains(&max_regress) {
+        return Err(format!("--max-regress {max_regress} out of range"));
+    }
+    let min_speedup = args.get_parsed::<f64>("min-speedup")?;
+
+    let report = bench::run_bench(args.positional(), threads, batch)?;
+    let mut json = serde_json::to_string_pretty(&report)
+        .map_err(|e| format!("bench serialization failed: {e}"))?;
+    json.push('\n');
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    // The human-readable summary goes to stderr so stdout stays pure JSON
+    // (pipeable into jq) when --out is omitted.
+    for s in &report.scenarios {
+        eprintln!(
+            "{}: {:.0} sims/s @1t, {:.0} sims/s @{}t (speedup {:.2}x), search {:.1} ms, cache hit rate {:.1}%",
+            s.scenario,
+            s.single_thread.sims_per_sec,
+            s.multi_thread.sims_per_sec,
+            report.threads,
+            s.speedup,
+            s.search.wall_ms,
+            s.search.cache_hit_rate * 100.0
+        );
+    }
+
+    let baseline = match args.get("baseline") {
+        Some(path) => {
+            let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(
+                serde_json::from_str::<bench::BenchReport>(&raw)
+                    .map_err(|e| format!("{path}: invalid baseline: {e}"))?,
+            )
+        }
+        None => None,
+    };
+    let failures = bench::gate_failures(&report, baseline.as_ref(), max_regress, min_speedup);
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("perf gate failed:\n  {}", failures.join("\n  ")))
+    }
 }
 
 fn cmd_export_builtin(argv: &[String]) -> Result<(), String> {

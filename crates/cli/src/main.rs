@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! aarc validate <spec>...
-//! aarc run --spec FILE [--method aarc|bo|maff|random] [--slo MS] [--format text|json]
-//! aarc compare --spec FILE [--out FILE] [--format json|csv]
+//! aarc run --spec FILE [--method aarc|bo|maff|random] [--slo MS] [--threads N] [--format text|json]
+//! aarc compare --spec FILE [--threads N] [--out FILE] [--format json|csv]
+//! aarc bench <spec>... [--threads N] [--batch N] [--out FILE] [--baseline FILE]
 //! aarc export-builtin [--dir DIR] [--format yaml|json]
 //! aarc generate --seed N [--layers N] [--max-width N] [--out FILE]
 //! ```
@@ -17,6 +18,7 @@
 use std::process::ExitCode;
 
 mod args;
+mod bench;
 mod commands;
 mod methods;
 mod report;

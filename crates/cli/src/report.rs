@@ -6,6 +6,7 @@ use serde::Serialize;
 
 use aarc_core::report::ConfigurationReport;
 use aarc_core::{AarcError, ConfigurationSearch};
+use aarc_simulator::{EvalEngine, EvalStats};
 use aarc_workloads::Workload;
 
 /// RFC 4180 quoting for a CSV field: wrap in quotes when the value contains
@@ -41,6 +42,36 @@ pub struct MethodResult {
     pub configuration: ConfigurationReport,
 }
 
+/// Evaluation-engine statistics of one comparison run, accumulated across
+/// all methods (they share one engine, so e.g. the base configuration is
+/// simulated once and answered from the cache three times).
+///
+/// Deliberately excludes the thread count: the numbers are invariant under
+/// it, which is what keeps `aarc compare` output byte-identical for
+/// `--threads 1` and `--threads 8`.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct EvalSummary {
+    /// Simulations actually executed (cache misses).
+    pub simulations: u64,
+    /// Candidate evaluations answered from the memo-cache.
+    pub cache_hits: u64,
+    /// Candidate evaluations that required a simulation.
+    pub cache_misses: u64,
+    /// Fraction of evaluations served from the cache.
+    pub cache_hit_rate: f64,
+}
+
+impl From<EvalStats> for EvalSummary {
+    fn from(stats: EvalStats) -> Self {
+        EvalSummary {
+            simulations: stats.simulations(),
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            cache_hit_rate: stats.hit_rate(),
+        }
+    }
+}
+
 /// The full comparison of every method on one scenario.
 #[derive(Debug, Clone, Serialize)]
 pub struct CompareReport {
@@ -50,12 +81,16 @@ pub struct CompareReport {
     pub slo_ms: f64,
     /// Number of workflow functions.
     pub functions: usize,
+    /// Shared evaluation-engine statistics over the whole comparison.
+    pub eval: EvalSummary,
     /// One entry per method, in [`crate::methods::METHOD_NAMES`] order.
     pub methods: Vec<MethodResult>,
 }
 
 impl CompareReport {
-    /// Runs every `(name, method)` pair on the workload.
+    /// Runs every `(name, method)` pair on the workload, sharing one
+    /// [`EvalEngine`] with `threads` workers across all methods so repeated
+    /// candidate simulations are answered from the memo-cache.
     ///
     /// # Errors
     ///
@@ -64,11 +99,13 @@ impl CompareReport {
         workload: &Workload,
         methods: Vec<(&'static str, Box<dyn ConfigurationSearch>)>,
         slo_ms: f64,
+        threads: usize,
     ) -> Result<Self, AarcError> {
-        let env = workload.env();
+        let engine = EvalEngine::with_threads(workload.env().clone(), threads);
+        let env = engine.env();
         let mut results = Vec::with_capacity(methods.len());
         for (cli_name, method) in methods {
-            let outcome = method.search(env, slo_ms)?;
+            let outcome = method.search_with(&engine, slo_ms)?;
             results.push(MethodResult {
                 method: cli_name.to_owned(),
                 display_name: method.name().to_owned(),
@@ -90,6 +127,7 @@ impl CompareReport {
             scenario: workload.name().to_owned(),
             slo_ms,
             functions: workload.len(),
+            eval: engine.stats().into(),
             methods: results,
         })
     }
@@ -132,6 +170,12 @@ impl CompareReport {
                 m.search_cost
             ));
         }
+        out.push_str(&format!(
+            "eval: {} simulations, {} cache hits ({:.1}% hit rate)\n",
+            self.eval.simulations,
+            self.eval.cache_hits,
+            self.eval.cache_hit_rate * 100.0
+        ));
         out
     }
 }
@@ -158,15 +202,21 @@ mod tests {
             ..aarc_spec::SynthParams::default()
         });
         let workload = aarc_spec::compile(&spec).unwrap().into_workload();
-        let report = CompareReport::run(&workload, methods::all(), workload.slo_ms()).unwrap();
+        let report = CompareReport::run(&workload, methods::all(), workload.slo_ms(), 1).unwrap();
         assert_eq!(report.methods.len(), 4);
         for m in &report.methods {
             assert!(m.final_cost > 0.0);
             assert!(m.samples > 0);
         }
+        // The four methods share one engine: at minimum, the base
+        // configuration re-executions of the later methods hit the cache.
+        assert!(report.eval.cache_hits > 0);
+        assert!(report.eval.simulations > 0);
+        assert!(report.eval.cache_hit_rate > 0.0);
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("\"final_cost\""));
         assert!(json.contains("\"meets_slo\""));
+        assert!(json.contains("\"cache_hits\""));
         let csv = report.to_csv();
         assert_eq!(csv.lines().count(), 5);
         assert!(csv.starts_with("scenario,method"));

@@ -10,6 +10,17 @@ fn bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_aarc"))
 }
 
+/// Numeric coercion over the shim's JSON value model (ints, unsigned ints
+/// and floats all count as numbers).
+fn as_num(v: &serde::Value) -> Option<f64> {
+    match v {
+        serde::Value::Int(i) => Some(*i as f64),
+        serde::Value::UInt(u) => Some(*u as f64),
+        serde::Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
 fn specs_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -196,6 +207,131 @@ fn generate_mints_a_spec_that_validates_and_compares() {
     let table = String::from_utf8_lossy(&out.stdout);
     assert!(table.contains("synthetic-7"), "{table}");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compare_reports_shared_engine_cache_stats() {
+    let spec = specs_dir().join("chatbot.yaml");
+    let out = run_ok(
+        bin()
+            .args(["compare", "--threads", "2", "--format", "json", "--spec"])
+            .arg(&spec),
+    );
+    let report = serde_json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    let eval = report.get("eval").expect("report carries eval stats");
+    for field in [
+        "simulations",
+        "cache_hits",
+        "cache_misses",
+        "cache_hit_rate",
+    ] {
+        assert!(eval.get(field).is_some(), "eval lacks `{field}`");
+    }
+    // All four methods execute the same base configuration; the engine must
+    // have answered at least the three re-executions from the cache.
+    let hits = eval.get("cache_hits").and_then(as_num).unwrap();
+    assert!(hits >= 3.0, "expected cross-method cache hits, got {hits}");
+}
+
+#[test]
+fn bench_emits_schema_and_gates_against_itself() {
+    let dir = std::env::temp_dir().join("aarc-cli-test-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("baseline.json");
+    let current = dir.join("BENCH_pr.json");
+    let spec = specs_dir().join("chatbot.yaml");
+
+    // First run writes the baseline.
+    run_ok(
+        bin()
+            .args(["bench"])
+            .arg(&spec)
+            .args(["--threads", "2", "--batch", "64", "--out"])
+            .arg(&baseline),
+    );
+    let report =
+        serde_json::parse(&std::fs::read_to_string(&baseline).unwrap()).expect("valid JSON");
+    assert_eq!(
+        report.get("version").and_then(as_num),
+        Some(1.0),
+        "BENCH schema version"
+    );
+    let scenarios = report.get("scenarios").and_then(|s| s.as_seq()).unwrap();
+    assert_eq!(scenarios.len(), 1);
+    for field in [
+        "scenario",
+        "spec_fingerprint",
+        "single_thread",
+        "multi_thread",
+        "speedup",
+        "search",
+    ] {
+        assert!(
+            scenarios[0].get(field).is_some(),
+            "scenario lacks `{field}`"
+        );
+    }
+    let search = scenarios[0].get("search").unwrap();
+    let hit_rate = search.get("cache_hit_rate").and_then(as_num).unwrap();
+    assert!(hit_rate > 0.0, "search phase must produce cache hits");
+
+    // Second run gates against the first: identical workloads on the same
+    // machine cannot regress by 900% (huge tolerance keeps this timing-noise
+    // proof — the tight 20% gate runs in CI against the committed baseline).
+    run_ok(
+        bin()
+            .args(["bench"])
+            .arg(&spec)
+            .args([
+                "--threads",
+                "2",
+                "--batch",
+                "64",
+                "--max-regress",
+                "9.0",
+                "--baseline",
+            ])
+            .arg(&baseline)
+            .args(["--out"])
+            .arg(&current),
+    );
+
+    // An unreachable speedup requirement must fail the gate.
+    let out = bin()
+        .args(["bench"])
+        .arg(&spec)
+        .args(["--threads", "2", "--batch", "64", "--min-speedup", "1000"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("speedup"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_honours_threads_and_reports_eval_stats() {
+    let spec = specs_dir().join("chatbot.yaml");
+    let out_1t = run_ok(bin().args(["run", "--threads", "1", "--spec"]).arg(&spec));
+    let out_4t = run_ok(bin().args(["run", "--threads", "4", "--spec"]).arg(&spec));
+    assert_eq!(
+        out_1t.stdout, out_4t.stdout,
+        "run output must not depend on threads"
+    );
+    let text = String::from_utf8_lossy(&out_1t.stdout);
+    assert!(text.contains("eval:"), "{text}");
+    assert!(text.contains("hit rate"), "{text}");
+
+    let bad = bin()
+        .args(["run", "--threads", "0", "--spec"])
+        .arg(&spec)
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("--threads"));
 }
 
 #[test]

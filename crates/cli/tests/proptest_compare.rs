@@ -1,0 +1,72 @@
+//! Property test pinning the evaluation engine's determinism guarantee at
+//! the CLI boundary: for any synthetic scenario, `aarc compare` must emit
+//! byte-identical reports for `--threads 1` and `--threads 8`.
+//!
+//! This is the end-to-end version of the engine-level unit tests — it
+//! covers the whole stack (spec compilation, all four search methods, the
+//! shared memo-cache, report serialization) through the real binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use proptest::prelude::*;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_aarc"))
+}
+
+fn compare_bytes(spec: &PathBuf, threads: &str, format: &str) -> Vec<u8> {
+    let out = bin()
+        .args([
+            "compare",
+            "--threads",
+            threads,
+            "--format",
+            format,
+            "--spec",
+        ])
+        .arg(spec)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "compare --threads {threads} failed on {}\nstderr: {}",
+        spec.display(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Whatever the scenario shape, the compare report (JSON and CSV) is
+    /// byte-identical regardless of the worker-thread count.
+    #[test]
+    fn compare_is_byte_identical_across_thread_counts(
+        seed in 0u64..100_000,
+        layers in 1usize..3,
+        max_width in 1usize..3,
+    ) {
+        let dir = std::env::temp_dir().join("aarc-proptest-compare");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join(format!("case-{seed}-{layers}-{max_width}.yaml"));
+        let spec = aarc_spec::synthetic_spec(aarc_spec::SynthParams {
+            seed,
+            layers,
+            max_width,
+            ..aarc_spec::SynthParams::default()
+        });
+        aarc_spec::save(&spec, &spec_path).unwrap();
+
+        let json_1t = compare_bytes(&spec_path, "1", "json");
+        let json_8t = compare_bytes(&spec_path, "8", "json");
+        prop_assert_eq!(&json_1t, &json_8t, "JSON diverged for {}", spec_path.display());
+
+        let csv_1t = compare_bytes(&spec_path, "1", "csv");
+        let csv_8t = compare_bytes(&spec_path, "8", "csv");
+        prop_assert_eq!(&csv_1t, &csv_8t, "CSV diverged for {}", spec_path.display());
+
+        std::fs::remove_file(&spec_path).ok();
+    }
+}

@@ -1,6 +1,6 @@
 //! The Priority Configurator (Algorithm 2).
 
-use aarc_simulator::{ConfigMap, ExecutionReport, ResourceConfig, WorkflowEnvironment};
+use aarc_simulator::{ConfigMap, EvalEngine, ExecutionReport, ResourceConfig, WorkflowEnvironment};
 use aarc_workflow::{NodeId, ResourceAffinity};
 
 use crate::affinity::classify_affinity;
@@ -67,7 +67,9 @@ impl PriorityConfigurator {
     /// `configs` is updated in place; every sampled execution is appended to
     /// `trace`. `baseline` must be a report of the workflow under the
     /// current `configs` (the scheduler always has one at hand), so the
-    /// configurator itself only executes candidate configurations.
+    /// configurator itself only executes candidate configurations. Each
+    /// candidate is submitted through `engine`, so re-visited configurations
+    /// (e.g. after a revert) are answered from the memo-cache.
     ///
     /// # Errors
     ///
@@ -75,7 +77,7 @@ impl PriorityConfigurator {
     #[allow(clippy::too_many_arguments)]
     pub fn configure_path(
         &self,
-        env: &WorkflowEnvironment,
+        engine: &EvalEngine,
         configs: &mut ConfigMap,
         path: &[NodeId],
         path_budget_ms: f64,
@@ -83,6 +85,7 @@ impl PriorityConfigurator {
         baseline: &ExecutionReport,
         trace: &mut SearchTrace,
     ) -> Result<PathConfiguration, AarcError> {
+        let env = engine.env();
         let mut result = PathConfiguration {
             samples_used: 0,
             accepted_reductions: 0,
@@ -108,7 +111,7 @@ impl PriorityConfigurator {
             };
 
             configs.set(op.node, candidate);
-            let report = env.execute(configs)?;
+            let report = engine.evaluate(configs)?;
             result.samples_used += 1;
 
             let new_path_runtime = path_runtime(&report, path);
@@ -270,13 +273,14 @@ mod tests {
         PathConfiguration,
     ) {
         let (env, path) = chain_env();
+        let engine = EvalEngine::single_threaded(env.clone());
         let mut configs = env.base_configs();
         let baseline = env.execute(&configs).unwrap();
         let mut trace = SearchTrace::new();
         let configurator = PriorityConfigurator::new(params);
         let result = configurator
             .configure_path(
-                &env,
+                &engine,
                 &mut configs,
                 &path,
                 budget_ms,
@@ -327,6 +331,7 @@ mod tests {
         // A budget barely above the base runtime leaves almost no room to
         // shrink; whatever is accepted must still satisfy it.
         let (env, path) = chain_env();
+        let engine = EvalEngine::single_threaded(env.clone());
         let mut configs = env.base_configs();
         let baseline = env.execute(&configs).unwrap();
         let budget = baseline.makespan_ms() * 1.01;
@@ -334,7 +339,7 @@ mod tests {
         let configurator = PriorityConfigurator::new(AarcParams::paper());
         configurator
             .configure_path(
-                &env,
+                &engine,
                 &mut configs,
                 &path,
                 budget,
@@ -351,13 +356,14 @@ mod tests {
     #[test]
     fn empty_path_or_zero_budget_is_a_no_op() {
         let (env, path) = chain_env();
+        let engine = EvalEngine::single_threaded(env.clone());
         let mut configs = env.base_configs();
         let baseline = env.execute(&configs).unwrap();
         let mut trace = SearchTrace::new();
         let configurator = PriorityConfigurator::new(AarcParams::paper());
         let r1 = configurator
             .configure_path(
-                &env,
+                &engine,
                 &mut configs,
                 &[],
                 60_000.0,
@@ -368,7 +374,7 @@ mod tests {
             .unwrap();
         let r2 = configurator
             .configure_path(
-                &env,
+                &engine,
                 &mut configs,
                 &path,
                 0.0,

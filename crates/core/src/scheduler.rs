@@ -1,6 +1,8 @@
 //! The Graph-Centric Scheduler (Algorithm 1).
 
-use aarc_simulator::{profile_workflow, ConfigMap, ExecutionReport, WorkflowEnvironment};
+use aarc_simulator::{
+    profile_workflow, ConfigMap, EvalEngine, ExecutionReport, WorkflowEnvironment,
+};
 use aarc_workflow::subpath::{decompose, DetourSubpath, PathDecomposition};
 
 use crate::configurator::PriorityConfigurator;
@@ -93,14 +95,15 @@ impl ConfigurationSearch for GraphCentricScheduler {
         "AARC"
     }
 
-    fn search(&self, env: &WorkflowEnvironment, slo_ms: f64) -> Result<SearchOutcome, AarcError> {
+    fn search_with(&self, engine: &EvalEngine, slo_ms: f64) -> Result<SearchOutcome, AarcError> {
+        let env = engine.env();
         validate_slo(slo_ms)?;
         let mut trace = SearchTrace::new();
 
         // Lines 2-5: assign the over-provisioned base configuration and
         // execute once to profile the workflow.
         let mut configs: ConfigMap = env.base_configs();
-        let base_report = env.execute(&configs)?;
+        let base_report = engine.evaluate(&configs)?;
         trace.record(&base_report, true, "base configuration");
         if base_report.any_oom() {
             return Err(AarcError::BaseConfigurationOom);
@@ -119,7 +122,7 @@ impl ConfigurationSearch for GraphCentricScheduler {
 
         // Lines 7-9: configure the critical path against the end-to-end SLO.
         self.configurator.configure_path(
-            env,
+            engine,
             &mut configs,
             decomposition.critical.nodes(),
             slo_ms,
@@ -129,8 +132,9 @@ impl ConfigurationSearch for GraphCentricScheduler {
         )?;
 
         // Re-execute so sub-SLO windows reflect the *configured* critical
-        // path (step ❺ of the paper's architecture figure).
-        let mut current_report = env.execute(&configs)?;
+        // path (step ❺ of the paper's architecture figure). The last
+        // accepted candidate is still memoised, so this is a cache hit.
+        let mut current_report = engine.evaluate(&configs)?;
         trace.record(&current_report, true, "critical path configured");
 
         // Lines 11-21: configure every detour sub-path within its window.
@@ -140,7 +144,7 @@ impl ConfigurationSearch for GraphCentricScheduler {
                 continue;
             }
             self.configurator.configure_path(
-                env,
+                engine,
                 &mut configs,
                 &subpath.interior,
                 budget,
@@ -148,7 +152,7 @@ impl ConfigurationSearch for GraphCentricScheduler {
                 &current_report,
                 &mut trace,
             )?;
-            current_report = env.execute(&configs)?;
+            current_report = engine.evaluate(&configs)?;
             trace.record(
                 &current_report,
                 true,
@@ -171,7 +175,7 @@ impl ConfigurationSearch for GraphCentricScheduler {
                     configs.set(node, env.base_config());
                 }
             }
-            final_report = env.execute(&configs)?;
+            final_report = engine.evaluate(&configs)?;
             trace.record(&final_report, true, "slo guard: detours reverted to base");
         }
 

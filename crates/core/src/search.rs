@@ -4,7 +4,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use aarc_simulator::{ConfigMap, ExecutionReport, WorkflowEnvironment};
+use aarc_simulator::{ConfigMap, EvalEngine, ExecutionReport, WorkflowEnvironment};
 
 use crate::error::AarcError;
 
@@ -122,8 +122,10 @@ impl SearchTrace {
 pub struct SearchOutcome {
     /// The best configuration found.
     pub best_configs: ConfigMap,
-    /// Execution report of the best configuration (deterministic
-    /// verification run).
+    /// Execution report of the best configuration, exactly as the search
+    /// observed it (under runtime jitter this is the winning sample's own
+    /// report — re-simulating under a different seed could contradict the
+    /// feasibility decision that selected it).
     pub final_report: ExecutionReport,
     /// The chronological sample trace of the search.
     pub trace: SearchTrace,
@@ -151,14 +153,32 @@ pub trait ConfigurationSearch {
     /// Short method name used in figures ("AARC", "BO", "MAFF").
     fn name(&self) -> &str;
 
-    /// Runs the search.
+    /// Runs the search, submitting every candidate execution through
+    /// `engine` — the shared [`EvalEngine`] that memoises repeated
+    /// simulations and fans batches out over its worker pool.
+    ///
+    /// Implementations must stay deterministic with respect to the engine's
+    /// thread count: batch submissions derive per-candidate seeds from the
+    /// candidate index (see [`aarc_simulator::derive_seed`]), never from
+    /// evaluation order.
     ///
     /// # Errors
     ///
     /// Implementations return an error if the SLO is invalid, the base
     /// configuration already violates it, or the platform rejects an
     /// execution.
-    fn search(&self, env: &WorkflowEnvironment, slo_ms: f64) -> Result<SearchOutcome, AarcError>;
+    fn search_with(&self, engine: &EvalEngine, slo_ms: f64) -> Result<SearchOutcome, AarcError>;
+
+    /// Runs the search on a private single-threaded engine over a copy of
+    /// `env` — the convenience entry point for callers that do not share an
+    /// engine across methods.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigurationSearch::search_with`].
+    fn search(&self, env: &WorkflowEnvironment, slo_ms: f64) -> Result<SearchOutcome, AarcError> {
+        self.search_with(&EvalEngine::single_threaded(env.clone()), slo_ms)
+    }
 }
 
 /// Validates an SLO value (positive, finite).

@@ -4,7 +4,7 @@
 use aarc_core::configurator::PriorityConfigurator;
 use aarc_core::search::SearchTrace;
 use aarc_core::AarcParams;
-use aarc_simulator::{FunctionProfile, ProfileSet, WorkflowEnvironment};
+use aarc_simulator::{EvalEngine, FunctionProfile, ProfileSet, WorkflowEnvironment};
 use aarc_workflow::{NodeId, WorkflowBuilder};
 use proptest::prelude::*;
 
@@ -56,6 +56,7 @@ proptest! {
         max_trials in 5usize..60,
     ) {
         let (env, path) = chain_env(serial_a, parallel_a, ws_b);
+        let engine = EvalEngine::single_threaded(env.clone());
         let mut configs = env.base_configs();
         let baseline = env.execute(&configs).unwrap();
         let budget = baseline.makespan_ms() * headroom;
@@ -66,7 +67,7 @@ proptest! {
         let configurator = PriorityConfigurator::new(params);
         let mut trace = SearchTrace::new();
         let result = configurator
-            .configure_path(&env, &mut configs, &path, budget, budget, &baseline, &mut trace)
+            .configure_path(&engine, &mut configs, &path, budget, budget, &baseline, &mut trace)
             .unwrap();
 
         prop_assert!(result.samples_used <= max_trials);

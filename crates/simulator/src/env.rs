@@ -168,6 +168,33 @@ impl WorkflowEnvironment {
         ConfigMap::uniform(self.workflow.len(), self.base_config)
     }
 
+    /// A stable 64-bit fingerprint of the whole scenario (workflow
+    /// structure, profiles, pricing, cluster, space, default input and
+    /// seed), used as the scenario component of the
+    /// [`EvalEngine`](crate::eval::EvalEngine) cache key. FNV-1a over a
+    /// canonical rendering — per-function profiles are walked in node order,
+    /// not map order, so two identical environments always agree. Any change
+    /// to any field changes the fingerprint, so memoised reports can never
+    /// leak across scenarios.
+    pub fn fingerprint(&self) -> u64 {
+        use std::fmt::Write;
+        let mut rendered = format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{}",
+            self.workflow,
+            self.pricing,
+            self.cluster,
+            self.space,
+            self.input,
+            self.base_config,
+            self.seed
+        );
+        for id in self.workflow.node_ids() {
+            write!(rendered, "|{:?}:{:?}", id, self.profiles.get(id))
+                .expect("writing to a String is infallible");
+        }
+        crate::eval::fnv1a_64(rendered.bytes())
+    }
+
     /// Executes the workflow once under `configs` with the environment's
     /// default input and seed.
     ///

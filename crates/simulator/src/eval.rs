@@ -1,0 +1,691 @@
+//! [`EvalEngine`]: the candidate-evaluation layer between the configuration
+//! searchers and the discrete-event executor.
+//!
+//! Every search method (AARC's Graph-Centric Scheduler, Bayesian
+//! optimization, MAFF, random search) spends nearly all of its wall-clock
+//! re-simulating candidate configurations, many of which repeat across
+//! search steps and across methods (the over-provisioned base configuration
+//! alone is executed by every method). The engine amortises and parallelises
+//! that hot path:
+//!
+//! * a **deterministic fork-join worker pool** (`std::thread::scope`) that
+//!   evaluates batches of candidates in parallel. Each candidate's RNG seed
+//!   is derived from its *batch index* (see [`derive_seed`]), never from the
+//!   thread that happens to run it, so results are bit-identical regardless
+//!   of the thread count;
+//! * a **sharded memo-cache** keyed by `(scenario fingerprint,
+//!   configuration, input bucket, seed)` that short-circuits repeated
+//!   simulations, with hit/miss/eviction statistics surfaced in reports.
+//!
+//! Cache bookkeeping (lookup, hit/miss accounting, insertion, eviction)
+//! always happens on the submitting thread in candidate order; worker
+//! threads only ever run the pure simulation. This keeps the statistics —
+//! and therefore any report that embeds them — identical for `--threads 1`
+//! and `--threads 8`.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::env::{ConfigMap, WorkflowEnvironment};
+use crate::error::SimulatorError;
+use crate::executor::ExecutionReport;
+use crate::input::InputSpec;
+
+/// Number of independent cache shards (a power of two; the shard is chosen
+/// by key hash, so concurrent submitters contend on different locks).
+const SHARD_COUNT: usize = 16;
+
+/// FNV-1a over a byte stream: the stable 64-bit content hash used for
+/// scenario fingerprints (environment and spec level — see
+/// [`WorkflowEnvironment::fingerprint`]).
+pub fn fnv1a_64(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Derives the RNG seed of the candidate at `index` within a batch from the
+/// engine's base seed (SplitMix64 finalizer over `base ^ index`).
+///
+/// Seeds depend only on the *position* of a candidate, never on the worker
+/// thread that evaluates it or on any shared RNG stream, which is what
+/// decouples batch results from evaluation order and thread count.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Tuning knobs of an [`EvalEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Worker threads used for batch evaluation (1 = fully sequential).
+    pub threads: usize,
+    /// Maximum number of memoised execution reports kept across all shards.
+    /// Eviction is FIFO per shard and can only cost future cache hits — a
+    /// recomputed report is always identical to the evicted one.
+    pub cache_capacity: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            threads: 1,
+            cache_capacity: 8_192,
+        }
+    }
+}
+
+/// Cumulative counters of one engine, surfaced in CLI reports and
+/// `BENCH_*.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalStats {
+    /// Worker threads the engine was configured with.
+    pub threads: usize,
+    /// Candidate evaluations requested (hits + misses).
+    pub requests: u64,
+    /// Requests answered from the memo-cache (including duplicates within
+    /// one batch, which are simulated only once).
+    pub cache_hits: u64,
+    /// Requests that required an actual simulation.
+    pub cache_misses: u64,
+    /// Reports dropped by FIFO eviction after the cache filled up.
+    pub evictions: u64,
+}
+
+impl EvalStats {
+    /// Fraction of requests served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Number of simulations actually executed (= cache misses).
+    pub fn simulations(&self) -> u64 {
+        self.cache_misses
+    }
+}
+
+/// Exact-equality cache key of one candidate evaluation.
+///
+/// The *input bucket* is the bit pattern of the input's scale and payload:
+/// two inputs fall into the same bucket iff they are numerically identical,
+/// so a cache hit can never return the report of a different input. The
+/// seed is normalised to 0 when the cluster models no runtime jitter
+/// (reports are then seed-independent), which lets different search methods
+/// share entries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    fingerprint: u64,
+    input_bucket: (u64, u64),
+    seed: u64,
+    configs: Box<[(u64, u32)]>,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<CacheKey, ExecutionReport>,
+    order: VecDeque<CacheKey>,
+}
+
+/// The candidate-evaluation engine: a [`WorkflowEnvironment`] wrapped in a
+/// deterministic worker pool and a sharded memo-cache.
+///
+/// Searchers submit candidates through [`evaluate`](EvalEngine::evaluate) /
+/// [`evaluate_batch`](EvalEngine::evaluate_batch) instead of calling
+/// [`WorkflowEnvironment::execute`] directly; the engine short-circuits
+/// repeated simulations and fans independent candidates out over its worker
+/// threads.
+#[derive(Debug)]
+pub struct EvalEngine {
+    env: WorkflowEnvironment,
+    options: EvalOptions,
+    fingerprint: u64,
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl EvalEngine {
+    /// Creates an engine over `env` with the given options.
+    pub fn new(env: WorkflowEnvironment, options: EvalOptions) -> Self {
+        let fingerprint = env.fingerprint();
+        EvalEngine {
+            env,
+            options: EvalOptions {
+                threads: options.threads.max(1),
+                cache_capacity: options.cache_capacity,
+            },
+            fingerprint,
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A sequential engine with the default cache (the drop-in replacement
+    /// for calling the executor directly).
+    pub fn single_threaded(env: WorkflowEnvironment) -> Self {
+        EvalEngine::new(env, EvalOptions::default())
+    }
+
+    /// An engine with `threads` workers and the default cache.
+    pub fn with_threads(env: WorkflowEnvironment, threads: usize) -> Self {
+        EvalEngine::new(
+            env,
+            EvalOptions {
+                threads,
+                ..EvalOptions::default()
+            },
+        )
+    }
+
+    /// The wrapped environment (workflow, profiles, space, pricing, ...).
+    pub fn env(&self) -> &WorkflowEnvironment {
+        &self.env
+    }
+
+    /// The engine's options.
+    pub fn options(&self) -> EvalOptions {
+        self.options
+    }
+
+    /// Worker threads used for batch evaluation.
+    pub fn threads(&self) -> usize {
+        self.options.threads
+    }
+
+    /// The scenario fingerprint baked into every cache key.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Evaluates one candidate with the environment's default input and
+    /// seed, consulting the memo-cache first.
+    ///
+    /// # Errors
+    ///
+    /// See [`WorkflowEnvironment::execute`].
+    pub fn evaluate(&self, configs: &ConfigMap) -> Result<ExecutionReport, SimulatorError> {
+        self.evaluate_with(configs, self.env.input(), self.env.seed())
+    }
+
+    /// Evaluates one candidate with full control over input and seed,
+    /// consulting the memo-cache first.
+    ///
+    /// # Errors
+    ///
+    /// See [`WorkflowEnvironment::execute_with`].
+    pub fn evaluate_with(
+        &self,
+        configs: &ConfigMap,
+        input: InputSpec,
+        seed: u64,
+    ) -> Result<ExecutionReport, SimulatorError> {
+        let key = self.key(configs, input, seed);
+        if let Some(report) = self.cache_get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(report);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let report = self.env.execute_with(configs, input, seed)?;
+        self.cache_insert(key, report.clone());
+        Ok(report)
+    }
+
+    /// Evaluates a batch of candidates with the environment's default input.
+    ///
+    /// Candidate `i` runs with the derived seed `derive_seed(env.seed(), i)`
+    /// — a function of its index only — and duplicates within the batch are
+    /// simulated once, so the returned reports (and the cache statistics)
+    /// are bit-identical regardless of the engine's thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in candidate order.
+    pub fn evaluate_batch(
+        &self,
+        candidates: &[ConfigMap],
+    ) -> Result<Vec<ExecutionReport>, SimulatorError> {
+        self.evaluate_batch_with(candidates, self.env.input())
+    }
+
+    /// [`evaluate_batch`](EvalEngine::evaluate_batch) with an explicit
+    /// input.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in candidate order.
+    pub fn evaluate_batch_with(
+        &self,
+        candidates: &[ConfigMap],
+        input: InputSpec,
+    ) -> Result<Vec<ExecutionReport>, SimulatorError> {
+        let n = candidates.len();
+        let mut results: Vec<Option<ExecutionReport>> = vec![None; n];
+        // Sequential cache pre-pass in candidate order: resolve hits, claim
+        // the first occurrence of every distinct missing key and remember
+        // intra-batch duplicates. Counting duplicates as hits matches the
+        // sequential (1-thread) semantics exactly.
+        let mut claimed: HashMap<CacheKey, usize> = HashMap::new();
+        let mut pending: Vec<(usize, CacheKey, u64)> = Vec::new();
+        let mut duplicates: Vec<(usize, usize)> = Vec::new();
+        for (i, configs) in candidates.iter().enumerate() {
+            let seed = derive_seed(self.env.seed(), i as u64);
+            let key = self.key(configs, input, seed);
+            if let Some(report) = self.cache_get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                results[i] = Some(report);
+            } else if let Some(&p) = claimed.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                duplicates.push((i, p));
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                claimed.insert(key.clone(), pending.len());
+                pending.push((i, key, seed));
+            }
+        }
+
+        // Simulate all distinct misses on the worker pool.
+        let computed = self.run_pool(candidates, input, &pending);
+
+        // Insert in candidate order (deterministic eviction), then resolve
+        // duplicates from the freshly computed reports.
+        let mut fresh: Vec<Option<ExecutionReport>> = Vec::with_capacity(pending.len());
+        for ((i, key, _seed), outcome) in pending.iter().zip(computed) {
+            let report = outcome?;
+            self.cache_insert(key.clone(), report.clone());
+            results[*i] = Some(report.clone());
+            fresh.push(Some(report));
+        }
+        for (i, p) in duplicates {
+            results[i] = fresh[p].clone();
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every candidate resolved"))
+            .collect())
+    }
+
+    /// The engine's cumulative statistics.
+    pub fn stats(&self) -> EvalStats {
+        let hits = self.hits.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        EvalStats {
+            threads: self.options.threads,
+            requests: hits + misses,
+            cache_hits: hits,
+            cache_misses: misses,
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of reports currently memoised across all shards.
+    pub fn cached_entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Drops every memoised report (statistics are kept). Used by the bench
+    /// harness to time cold batches.
+    pub fn clear_cache(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock().expect("cache shard poisoned");
+            s.map.clear();
+            s.order.clear();
+        }
+    }
+
+    /// Runs the distinct misses of a batch on the worker pool, returning
+    /// outcomes in `pending` order. With one worker (or one job) everything
+    /// runs on the calling thread.
+    fn run_pool(
+        &self,
+        candidates: &[ConfigMap],
+        input: InputSpec,
+        pending: &[(usize, CacheKey, u64)],
+    ) -> Vec<Result<ExecutionReport, SimulatorError>> {
+        let threads = self.options.threads.min(pending.len()).max(1);
+        if threads <= 1 {
+            return pending
+                .iter()
+                .map(|(i, _, seed)| self.env.execute_with(&candidates[*i], input, *seed))
+                .collect();
+        }
+        let chunk = pending.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = pending
+                .chunks(chunk)
+                .map(|jobs| {
+                    scope.spawn(move || {
+                        jobs.iter()
+                            .map(|(i, _, seed)| {
+                                self.env.execute_with(&candidates[*i], input, *seed)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("evaluation worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Builds the exact cache key of one evaluation. The seed is dropped
+    /// from the key when the cluster models no jitter, because the report is
+    /// then seed-independent.
+    fn key(&self, configs: &ConfigMap, input: InputSpec, seed: u64) -> CacheKey {
+        let key_seed = if self.env.cluster().runtime_jitter > 0.0 {
+            seed
+        } else {
+            0
+        };
+        CacheKey {
+            fingerprint: self.fingerprint,
+            input_bucket: (input.scale.to_bits(), input.payload_mb.to_bits()),
+            seed: key_seed,
+            configs: configs
+                .as_slice()
+                .iter()
+                .map(|c| (c.vcpu.get().to_bits(), c.memory.get()))
+                .collect(),
+        }
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARD_COUNT]
+    }
+
+    fn cache_get(&self, key: &CacheKey) -> Option<ExecutionReport> {
+        if self.options.cache_capacity == 0 {
+            return None;
+        }
+        self.shard_of(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .map
+            .get(key)
+            .cloned()
+    }
+
+    fn cache_insert(&self, key: CacheKey, report: ExecutionReport) {
+        if self.options.cache_capacity == 0 {
+            return;
+        }
+        let per_shard = (self.options.cache_capacity / SHARD_COUNT).max(1);
+        let mut shard = self.shard_of(&key).lock().expect("cache shard poisoned");
+        if shard.map.insert(key.clone(), report).is_none() {
+            shard.order.push_back(key);
+            while shard.map.len() > per_shard {
+                let oldest = shard.order.pop_front().expect("order tracks map");
+                shard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+// The worker pool shares `&WorkflowEnvironment` across threads.
+const _: () = {
+    const fn assert_sync<T: Sync + Send>() {}
+    assert_sync::<WorkflowEnvironment>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use crate::perf_model::{FunctionProfile, ProfileSet};
+    use crate::resources::ResourceConfig;
+    use aarc_workflow::WorkflowBuilder;
+
+    fn env() -> WorkflowEnvironment {
+        let mut b = WorkflowBuilder::new("eval-test");
+        let a = b.add_function("a");
+        let c = b.add_function("b");
+        b.add_edge(a, c).unwrap();
+        let wf = b.build().unwrap();
+        let mut p = ProfileSet::new();
+        p.insert(
+            a,
+            FunctionProfile::builder("a")
+                .serial_ms(1_000.0)
+                .parallel_ms(4_000.0)
+                .max_parallelism(4.0)
+                .working_set_mb(512.0)
+                .mem_floor_mb(256.0)
+                .build(),
+        );
+        p.insert(c, FunctionProfile::builder("b").serial_ms(500.0).build());
+        WorkflowEnvironment::builder(wf, p).build().unwrap()
+    }
+
+    fn jittery_env() -> WorkflowEnvironment {
+        let base = env();
+        WorkflowEnvironment::builder(base.workflow().clone(), base.profiles().clone())
+            .cluster(ClusterSpec::paper_testbed_with_jitter(0.05))
+            .build()
+            .unwrap()
+    }
+
+    fn candidates(n: usize) -> Vec<ConfigMap> {
+        (0..n)
+            .map(|i| {
+                ConfigMap::uniform(
+                    2,
+                    ResourceConfig::new(1.0 + (i % 7) as f64, 512 + 64 * (i as u32 % 9)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_evaluation_matches_direct_execution() {
+        let e = env();
+        let engine = EvalEngine::single_threaded(e.clone());
+        let cfg = e.base_configs();
+        let direct = e.execute(&cfg).unwrap();
+        let via_engine = engine.evaluate(&cfg).unwrap();
+        assert_eq!(direct, via_engine);
+    }
+
+    #[test]
+    fn repeated_evaluations_hit_the_cache() {
+        let engine = EvalEngine::single_threaded(env());
+        let cfg = engine.env().base_configs();
+        let first = engine.evaluate(&cfg).unwrap();
+        let second = engine.evaluate(&cfg).unwrap();
+        assert_eq!(first, second);
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.simulations(), 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seed_is_normalised_out_of_the_key_without_jitter() {
+        let engine = EvalEngine::single_threaded(env());
+        let cfg = engine.env().base_configs();
+        engine.evaluate_with(&cfg, InputSpec::nominal(), 1).unwrap();
+        engine.evaluate_with(&cfg, InputSpec::nominal(), 2).unwrap();
+        assert_eq!(
+            engine.stats().cache_hits,
+            1,
+            "seed-independent reports must share entries"
+        );
+
+        let jittered = EvalEngine::single_threaded(jittery_env());
+        let cfg = jittered.env().base_configs();
+        let a = jittered
+            .evaluate_with(&cfg, InputSpec::nominal(), 1)
+            .unwrap();
+        let b = jittered
+            .evaluate_with(&cfg, InputSpec::nominal(), 2)
+            .unwrap();
+        assert_eq!(
+            jittered.stats().cache_hits,
+            0,
+            "jittered reports are seed-specific"
+        );
+        assert_ne!(a.makespan_ms(), b.makespan_ms());
+    }
+
+    #[test]
+    fn different_inputs_use_different_buckets() {
+        let engine = EvalEngine::single_threaded(env());
+        let cfg = engine.env().base_configs();
+        let heavy = engine
+            .evaluate_with(&cfg, InputSpec::new(2.0, 64.0), 0)
+            .unwrap();
+        let light = engine
+            .evaluate_with(&cfg, InputSpec::new(0.5, 2.0), 0)
+            .unwrap();
+        assert_eq!(engine.stats().cache_hits, 0);
+        assert!(heavy.makespan_ms() > light.makespan_ms());
+    }
+
+    #[test]
+    fn batch_results_are_identical_across_thread_counts() {
+        let cfgs = candidates(40);
+        let sequential = EvalEngine::with_threads(env(), 1);
+        let parallel = EvalEngine::with_threads(env(), 8);
+        let a = sequential.evaluate_batch(&cfgs).unwrap();
+        let b = parallel.evaluate_batch(&cfgs).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(sequential.stats().cache_hits, parallel.stats().cache_hits);
+        assert_eq!(
+            sequential.stats().cache_misses,
+            parallel.stats().cache_misses
+        );
+    }
+
+    #[test]
+    fn jittered_batches_are_identical_across_thread_counts() {
+        let cfgs = candidates(24);
+        let sequential = EvalEngine::with_threads(jittery_env(), 1);
+        let parallel = EvalEngine::with_threads(jittery_env(), 5);
+        let a = sequential.evaluate_batch(&cfgs).unwrap();
+        let b = parallel.evaluate_batch(&cfgs).unwrap();
+        assert_eq!(
+            a, b,
+            "derived per-candidate seeds must decouple results from threads"
+        );
+    }
+
+    #[test]
+    fn batch_duplicates_are_simulated_once_and_counted_as_hits() {
+        let one = ConfigMap::uniform(2, ResourceConfig::new(2.0, 1_024));
+        let cfgs = vec![one.clone(), one.clone(), one.clone(), one];
+        let engine = EvalEngine::with_threads(env(), 4);
+        let reports = engine.evaluate_batch(&cfgs).unwrap();
+        assert_eq!(reports.len(), 4);
+        assert!(reports.windows(2).all(|w| w[0] == w[1]));
+        let stats = engine.stats();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 3);
+    }
+
+    #[test]
+    fn eviction_never_changes_results() {
+        let tiny = EvalEngine::new(
+            env(),
+            EvalOptions {
+                threads: 1,
+                cache_capacity: SHARD_COUNT, // one entry per shard
+            },
+        );
+        let reference = EvalEngine::new(
+            env(),
+            EvalOptions {
+                threads: 1,
+                cache_capacity: 0, // memoisation disabled entirely
+            },
+        );
+        let cfgs = candidates(60);
+        // Fill way past capacity, then walk the set again: many entries have
+        // been evicted and recomputed, but every report must match the
+        // uncached reference.
+        let first = tiny.evaluate_batch(&cfgs).unwrap();
+        let second = tiny.evaluate_batch(&cfgs).unwrap();
+        let fresh = reference.evaluate_batch(&cfgs).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(first, fresh);
+        assert!(tiny.stats().evictions > 0, "capacity pressure must evict");
+        assert!(tiny.cached_entries() <= SHARD_COUNT);
+        assert_eq!(reference.cached_entries(), 0);
+        assert_eq!(reference.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let engine = EvalEngine::single_threaded(env());
+        assert!(engine.evaluate_batch(&[]).unwrap().is_empty());
+        assert_eq!(engine.stats().requests, 0);
+    }
+
+    #[test]
+    fn batch_errors_propagate_deterministically() {
+        let mut bad = candidates(6);
+        bad[3] = ConfigMap::uniform(2, ResourceConfig::new(500.0, 512)); // unplaceable
+        let sequential = EvalEngine::with_threads(env(), 1);
+        let parallel = EvalEngine::with_threads(env(), 4);
+        let a = sequential.evaluate_batch(&bad).unwrap_err();
+        let b = parallel.evaluate_batch(&bad).unwrap_err();
+        assert_eq!(format!("{a}"), format!("{b}"));
+    }
+
+    #[test]
+    fn clear_cache_forgets_entries_but_keeps_stats() {
+        let engine = EvalEngine::single_threaded(env());
+        let cfg = engine.env().base_configs();
+        engine.evaluate(&cfg).unwrap();
+        assert_eq!(engine.cached_entries(), 1);
+        engine.clear_cache();
+        assert_eq!(engine.cached_entries(), 0);
+        assert_eq!(engine.stats().cache_misses, 1);
+        engine.evaluate(&cfg).unwrap();
+        assert_eq!(engine.stats().cache_misses, 2, "cleared entries recompute");
+    }
+
+    #[test]
+    fn derive_seed_is_index_sensitive_and_stable() {
+        assert_eq!(derive_seed(42, 0), derive_seed(42, 0));
+        assert_ne!(derive_seed(42, 0), derive_seed(42, 1));
+        assert_ne!(derive_seed(42, 0), derive_seed(43, 0));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_environments() {
+        let a = EvalEngine::single_threaded(env());
+        let b = EvalEngine::single_threaded(env());
+        let c = EvalEngine::single_threaded(jittery_env());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+}

@@ -24,6 +24,9 @@
 //!   weights consumed by the Graph-Centric Scheduler.
 //! * [`env`](mod@crate::env) — [`WorkflowEnvironment`], the bundle (workflow
 //!   + profiles + pricing + cluster + input) that search methods sample.
+//! * [`eval`](mod@crate::eval) — [`EvalEngine`], the candidate-evaluation
+//!   layer the searchers submit through: a deterministic worker pool plus a
+//!   sharded memo-cache that short-circuits repeated simulations.
 //!
 //! # Example
 //!
@@ -56,6 +59,7 @@ pub mod cluster;
 pub mod cost;
 pub mod env;
 pub mod error;
+pub mod eval;
 pub mod event;
 pub mod executor;
 pub mod input;
@@ -69,6 +73,7 @@ pub use cluster::{ClusterSpec, ColdStartModel};
 pub use cost::PricingModel;
 pub use env::{ConfigMap, WorkflowEnvironment, WorkflowEnvironmentBuilder};
 pub use error::SimulatorError;
+pub use eval::{derive_seed, EvalEngine, EvalOptions, EvalStats};
 pub use executor::{ExecutionReport, FunctionExecution};
 pub use input::{InputClass, InputSpec};
 pub use perf_model::{FunctionProfile, FunctionProfileBuilder, ProfileSet};
@@ -81,6 +86,7 @@ pub mod prelude {
     pub use crate::cost::PricingModel;
     pub use crate::env::{ConfigMap, WorkflowEnvironment};
     pub use crate::error::SimulatorError;
+    pub use crate::eval::{EvalEngine, EvalOptions, EvalStats};
     pub use crate::executor::ExecutionReport;
     pub use crate::input::{InputClass, InputSpec};
     pub use crate::perf_model::{FunctionProfile, ProfileSet};

@@ -50,6 +50,17 @@ pub struct ScenarioSpec {
     pub input_classes: Vec<InputClassDecl>,
 }
 
+impl ScenarioSpec {
+    /// A stable 64-bit fingerprint of the scenario (FNV-1a over the
+    /// canonical JSON rendering). Used by the bench harness to derive
+    /// per-scenario candidate RNG seeds and surfaced next to cache
+    /// statistics in `BENCH_*.json`; any edit to the spec changes it.
+    pub fn fingerprint(&self) -> u64 {
+        let canonical = crate::io::to_string(self, crate::io::SpecFormat::Json);
+        aarc_simulator::eval::fnv1a_64(canonical.bytes())
+    }
+}
+
 /// One serverless function: identity, advisory affinity and profile.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FunctionDecl {
