@@ -1,0 +1,62 @@
+//! Bare simulation-kernel bench: one simulation per iteration, no search,
+//! no memo-cache — the denominator behind every sims/sec number the `aarc
+//! bench` perf gate tracks. Measures the three paper workloads through
+//! both kernel paths:
+//!
+//! * `simulate` — the hot path (lean `SimResult`, reused `SimScratch`);
+//! * `materialize` — the cold path (full `ExecutionReport` with trace),
+//!   for comparison of what trace recording and name cloning cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aarc_simulator::kernel::{CompiledScenario, SimScratch};
+use aarc_simulator::InputSpec;
+use aarc_workloads::paper_workloads;
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_single_simulation");
+    group.sample_size(50);
+    for workload in paper_workloads() {
+        let env = workload.env().clone();
+        let scenario = CompiledScenario::compile(
+            env.workflow(),
+            env.profiles(),
+            *env.cluster(),
+            *env.pricing(),
+        )
+        .expect("paper workloads compile");
+        let configs = env.base_configs();
+        let mut scratch = SimScratch::new();
+
+        group.bench_with_input(
+            BenchmarkId::new("simulate", workload.name()),
+            &configs,
+            |b, cfg| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        scenario
+                            .simulate(&mut scratch, cfg, InputSpec::nominal(), 0)
+                            .expect("base config simulates"),
+                    )
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("materialize", workload.name()),
+            &configs,
+            |b, cfg| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        scenario
+                            .simulate_report(&mut scratch, cfg, InputSpec::nominal(), 0)
+                            .expect("base config simulates"),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

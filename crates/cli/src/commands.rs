@@ -132,15 +132,24 @@ fn cmd_run(argv: &[String]) -> Result<(), String> {
     );
     let stats = engine.stats();
     let text = match args.get("format").unwrap_or("text") {
-        "text" => format!(
-            "{report}\nsearch: {} samples, total cost {:.1}, total runtime {:.1} ms\neval: {} simulations, {} cache hits ({:.1}% hit rate)\n",
-            outcome.trace.sample_count(),
-            outcome.trace.total_cost(),
-            outcome.trace.total_runtime_ms(),
-            stats.simulations(),
-            stats.cache_hits,
-            stats.hit_rate() * 100.0
-        ),
+        "text" => {
+            // The search itself only ever sees lean `SimResult`s; the full
+            // report with the event trace is materialised here, once, for
+            // the winner.
+            let full = outcome
+                .materialize_report(&engine)
+                .map_err(|e| format!("materialising the winning report failed: {e}"))?;
+            format!(
+                "{report}\nsearch: {} samples, total cost {:.1}, total runtime {:.1} ms\neval: {} simulations, {} cache hits ({:.1}% hit rate)\ntrace: {} events recorded for the winning execution\n",
+                outcome.trace.sample_count(),
+                outcome.trace.total_cost(),
+                outcome.trace.total_runtime_ms(),
+                stats.simulations(),
+                stats.cache_hits,
+                stats.hit_rate() * 100.0,
+                full.trace().len()
+            )
+        }
         "json" => {
             let mut s =
                 serde_json::to_string_pretty(&report).expect("report serialization is infallible");

@@ -1,0 +1,73 @@
+//! Pre-refactor compare goldens: `aarc compare` on the three paper
+//! workloads must keep printing the exact per-method cost and makespan the
+//! pre-kernel executor produced (the full-precision JSON renderings below
+//! were captured before the zero-allocation kernel landed). Together with
+//! the CI `cmp` step (threads 1 vs 4) this pins the kernel's bit-exactness
+//! end to end: spec compilation, all four search methods, the memo-cache
+//! and report serialization.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn spec(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("specs")
+        .join(format!("{name}.yaml"))
+}
+
+/// `(spec, [(method, final_cost JSON, final_makespan_ms JSON); 4])`,
+/// rendered exactly as the JSON report prints them.
+#[allow(clippy::type_complexity)]
+const GOLDENS: [(&str, [(&str, &str, &str); 4]); 3] = [
+    (
+        "chatbot",
+        [
+            ("aarc", "158574.93333333335", "104184.66666666667"),
+            ("bo", "522803.1999999999", "88018.0"),
+            ("maff", "213504.0", "103518.0"),
+            ("random", "584146.8235294118", "88018.0"),
+        ],
+    ),
+    (
+        "ml_pipeline",
+        [
+            ("aarc", "205722.69714285716", "93347.71366666668"),
+            ("bo", "359315.2", "57895.334"),
+            ("maff", "399513.6", "117062.0"),
+            ("random", "413416.96", "54728.667"),
+        ],
+    ),
+    (
+        "video_analysis",
+        [
+            ("aarc", "1481786.1818181819", "161361.091"),
+            ("bo", "1782734.7830985917", "200648.4"),
+            ("maff", "1983129.6000000003", "304229.778"),
+            ("random", "1741199.8411023999", "207336.772"),
+        ],
+    ),
+];
+
+#[test]
+fn compare_output_matches_pre_refactor_goldens() {
+    for (name, methods) in GOLDENS {
+        let out = Command::new(env!("CARGO_BIN_EXE_aarc"))
+            .args(["compare", "--format", "json", "--spec"])
+            .arg(spec(name))
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "compare failed on {name}");
+        let json = String::from_utf8_lossy(&out.stdout);
+        for (method, cost, makespan) in methods {
+            assert!(
+                json.contains(&format!("\"final_cost\": {cost}")),
+                "{name}/{method}: final_cost drifted from the pre-refactor golden {cost}\n{json}"
+            );
+            assert!(
+                json.contains(&format!("\"final_makespan_ms\": {makespan}")),
+                "{name}/{method}: final_makespan_ms drifted from the pre-refactor golden {makespan}\n{json}"
+            );
+        }
+    }
+}

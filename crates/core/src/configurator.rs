@@ -1,6 +1,6 @@
 //! The Priority Configurator (Algorithm 2).
 
-use aarc_simulator::{ConfigMap, EvalEngine, ExecutionReport, ResourceConfig, WorkflowEnvironment};
+use aarc_simulator::{ConfigMap, EvalEngine, ResourceConfig, SimResult, WorkflowEnvironment};
 use aarc_workflow::{NodeId, ResourceAffinity};
 
 use crate::affinity::classify_affinity;
@@ -82,7 +82,7 @@ impl PriorityConfigurator {
         path: &[NodeId],
         path_budget_ms: f64,
         end_to_end_slo_ms: f64,
-        baseline: &ExecutionReport,
+        baseline: &SimResult,
         trace: &mut SearchTrace,
     ) -> Result<PathConfiguration, AarcError> {
         let env = engine.env();
@@ -218,13 +218,13 @@ impl PriorityConfigurator {
 /// Sum of the billed runtimes of the path's functions — the quantity
 /// compared against the (sub-)SLO, since functions on a path execute
 /// sequentially.
-fn path_runtime(report: &ExecutionReport, path: &[NodeId]) -> f64 {
-    path.iter().filter_map(|&n| report.runtime_of(n)).sum()
+fn path_runtime(result: &SimResult, path: &[NodeId]) -> f64 {
+    path.iter().filter_map(|&n| result.runtime_of(n)).sum()
 }
 
 /// Sum of the billed costs of the path's functions.
-fn path_cost(report: &ExecutionReport, path: &[NodeId]) -> f64 {
-    path.iter().filter_map(|&n| report.cost_of(n)).sum()
+fn path_cost(result: &SimResult, path: &[NodeId]) -> f64 {
+    path.iter().filter_map(|&n| result.cost_of(n)).sum()
 }
 
 #[cfg(test)]
@@ -275,7 +275,7 @@ mod tests {
         let (env, path) = chain_env();
         let engine = EvalEngine::single_threaded(env.clone());
         let mut configs = env.base_configs();
-        let baseline = env.execute(&configs).unwrap();
+        let baseline = engine.evaluate(&configs).unwrap();
         let mut trace = SearchTrace::new();
         let configurator = PriorityConfigurator::new(params);
         let result = configurator
@@ -333,7 +333,7 @@ mod tests {
         let (env, path) = chain_env();
         let engine = EvalEngine::single_threaded(env.clone());
         let mut configs = env.base_configs();
-        let baseline = env.execute(&configs).unwrap();
+        let baseline = engine.evaluate(&configs).unwrap();
         let budget = baseline.makespan_ms() * 1.01;
         let mut trace = SearchTrace::new();
         let configurator = PriorityConfigurator::new(AarcParams::paper());
@@ -358,7 +358,7 @@ mod tests {
         let (env, path) = chain_env();
         let engine = EvalEngine::single_threaded(env.clone());
         let mut configs = env.base_configs();
-        let baseline = env.execute(&configs).unwrap();
+        let baseline = engine.evaluate(&configs).unwrap();
         let mut trace = SearchTrace::new();
         let configurator = PriorityConfigurator::new(AarcParams::paper());
         let r1 = configurator

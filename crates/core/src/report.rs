@@ -9,7 +9,7 @@ use std::fmt;
 
 use serde::Serialize;
 
-use aarc_simulator::{ConfigMap, ExecutionReport, WorkflowEnvironment};
+use aarc_simulator::{ConfigMap, SimResult, WorkflowEnvironment};
 
 /// A per-function summary of a configuration and its measured behaviour.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -37,11 +37,12 @@ pub struct ConfigurationReport {
 }
 
 impl ConfigurationReport {
-    /// Builds a report from a configuration and a matching execution report.
+    /// Builds a report from a configuration and a matching simulation
+    /// result.
     pub fn new(
         env: &WorkflowEnvironment,
         configs: &ConfigMap,
-        execution: &ExecutionReport,
+        execution: &SimResult,
         slo_ms: Option<f64>,
     ) -> Self {
         let rows = env
@@ -150,7 +151,9 @@ mod tests {
     fn report_contains_all_functions_and_totals() {
         let env = env();
         let configs = ConfigMap::uniform(2, ResourceConfig::new(1.0, 512));
-        let execution = env.execute(&configs).unwrap();
+        let execution = aarc_simulator::EvalEngine::single_threaded(env.clone())
+            .evaluate(&configs)
+            .unwrap();
         let report = ConfigurationReport::new(&env, &configs, &execution, Some(10_000.0));
         assert_eq!(report.rows().len(), 2);
         assert_eq!(report.meets_slo(), Some(true));
@@ -165,7 +168,9 @@ mod tests {
     fn violated_slo_is_flagged() {
         let env = env();
         let configs = ConfigMap::uniform(2, ResourceConfig::new(1.0, 512));
-        let execution = env.execute(&configs).unwrap();
+        let execution = aarc_simulator::EvalEngine::single_threaded(env.clone())
+            .evaluate(&configs)
+            .unwrap();
         let report = ConfigurationReport::new(&env, &configs, &execution, Some(1.0));
         assert_eq!(report.meets_slo(), Some(false));
         assert!(report.to_string().contains("VIOLATED"));
@@ -175,7 +180,9 @@ mod tests {
     fn report_without_slo_has_no_verdict() {
         let env = env();
         let configs = ConfigMap::uniform(2, ResourceConfig::new(1.0, 512));
-        let execution = env.execute(&configs).unwrap();
+        let execution = aarc_simulator::EvalEngine::single_threaded(env.clone())
+            .evaluate(&configs)
+            .unwrap();
         let report = ConfigurationReport::new(&env, &configs, &execution, None);
         assert_eq!(report.meets_slo(), None);
         assert!(!report.to_string().contains("slo"));

@@ -1,8 +1,6 @@
 //! The Graph-Centric Scheduler (Algorithm 1).
 
-use aarc_simulator::{
-    profile_workflow, ConfigMap, EvalEngine, ExecutionReport, WorkflowEnvironment,
-};
+use aarc_simulator::{profile_workflow, ConfigMap, EvalEngine, SimResult, WorkflowEnvironment};
 use aarc_workflow::subpath::{decompose, DetourSubpath, PathDecomposition};
 
 use crate::configurator::PriorityConfigurator;
@@ -65,7 +63,7 @@ impl GraphCentricScheduler {
     fn subpath_budget_ms(
         &self,
         env: &WorkflowEnvironment,
-        report: &ExecutionReport,
+        report: &SimResult,
         subpath: &DetourSubpath,
         slo_ms: f64,
     ) -> f64 {
@@ -117,7 +115,7 @@ impl ConfigurationSearch for GraphCentricScheduler {
 
         // Lines 6, 10: weighted-DAG decomposition into the critical path and
         // its detour sub-paths.
-        let weights = aarc_simulator::ProfiledWeights::from_report(&base_report);
+        let weights = aarc_simulator::ProfiledWeights::from_result(&base_report);
         let decomposition = decompose(env.workflow().dag(), weights.weight_fn());
 
         // Lines 7-9: configure the critical path against the end-to-end SLO.

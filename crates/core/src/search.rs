@@ -4,7 +4,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use aarc_simulator::{ConfigMap, EvalEngine, ExecutionReport, WorkflowEnvironment};
+use aarc_simulator::{ConfigMap, EvalEngine, ExecutionReport, SimResult, WorkflowEnvironment};
 
 use crate::error::AarcError;
 
@@ -45,12 +45,12 @@ impl SearchTrace {
     }
 
     /// Records one sample, assigning it the next index.
-    pub fn record(&mut self, report: &ExecutionReport, accepted: bool, label: impl Into<String>) {
+    pub fn record(&mut self, result: &SimResult, accepted: bool, label: impl Into<String>) {
         self.push(SearchSample {
             index: 0,
-            makespan_ms: report.makespan_ms(),
-            cost: report.total_cost(),
-            oom: report.any_oom(),
+            makespan_ms: result.makespan_ms(),
+            cost: result.total_cost(),
+            oom: result.any_oom(),
             accepted,
             label: label.into(),
         });
@@ -122,11 +122,14 @@ impl SearchTrace {
 pub struct SearchOutcome {
     /// The best configuration found.
     pub best_configs: ConfigMap,
-    /// Execution report of the best configuration, exactly as the search
+    /// Simulation result of the best configuration, exactly as the search
     /// observed it (under runtime jitter this is the winning sample's own
-    /// report — re-simulating under a different seed could contradict the
-    /// feasibility decision that selected it).
-    pub final_report: ExecutionReport,
+    /// result — re-simulating under a different seed could contradict the
+    /// feasibility decision that selected it). The lean [`SimResult`]
+    /// carries everything the reports need; the full trace-bearing
+    /// [`ExecutionReport`] is materialised on demand via
+    /// [`SearchOutcome::materialize_report`].
+    pub final_report: SimResult,
     /// The chronological sample trace of the search.
     pub trace: SearchTrace,
 }
@@ -140,6 +143,19 @@ impl SearchOutcome {
     /// Runtime of the best configuration, in ms.
     pub fn best_runtime_ms(&self) -> f64 {
         self.final_report.makespan_ms()
+    }
+
+    /// Materialises the full [`ExecutionReport`] (names + event trace) of
+    /// the winning configuration, re-running it under the exact `(input,
+    /// seed)` the search observed so the report is bit-identical to
+    /// [`final_report`](SearchOutcome::final_report).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (none are expected for a configuration
+    /// the search already executed).
+    pub fn materialize_report(&self, engine: &EvalEngine) -> Result<ExecutionReport, AarcError> {
+        Ok(engine.materialize_result(&self.best_configs, &self.final_report)?)
     }
 }
 
@@ -213,12 +229,13 @@ mod tests {
     #[test]
     fn trace_accumulates_totals_and_series() {
         let env = tiny_env();
+        let engine = EvalEngine::single_threaded(env);
         let mut trace = SearchTrace::new();
-        let big = env
-            .execute(&ConfigMap::uniform(1, ResourceConfig::new(2.0, 1024)))
+        let big = engine
+            .evaluate(&ConfigMap::uniform(1, ResourceConfig::new(2.0, 1024)))
             .unwrap();
-        let small = env
-            .execute(&ConfigMap::uniform(1, ResourceConfig::new(1.0, 512)))
+        let small = engine
+            .evaluate(&ConfigMap::uniform(1, ResourceConfig::new(1.0, 512)))
             .unwrap();
         trace.record(&big, true, "base");
         trace.record(&small, true, "shrunk");

@@ -58,7 +58,7 @@ proptest! {
         let (env, path) = chain_env(serial_a, parallel_a, ws_b);
         let engine = EvalEngine::single_threaded(env.clone());
         let mut configs = env.base_configs();
-        let baseline = env.execute(&configs).unwrap();
+        let baseline = engine.evaluate(&configs).unwrap();
         let budget = baseline.makespan_ms() * headroom;
         let params = AarcParams {
             max_trials_per_path: max_trials,

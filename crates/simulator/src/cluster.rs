@@ -129,21 +129,21 @@ pub(crate) struct HostState {
 }
 
 /// Mutable cluster state used by the executor for placement decisions.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct ClusterState {
     hosts: Vec<HostState>,
 }
 
 impl ClusterState {
-    pub fn new(spec: &ClusterSpec) -> Self {
-        ClusterState {
-            hosts: (0..spec.hosts.max(1))
-                .map(|_| HostState {
-                    free_vcpu: spec.vcpus_per_host,
-                    free_memory_mb: f64::from(spec.memory_mb_per_host),
-                })
-                .collect(),
-        }
+    /// Restores every host to the full free capacity of `spec`, reusing the
+    /// existing allocation. A reset state is indistinguishable from a
+    /// freshly constructed one.
+    pub fn reset(&mut self, spec: &ClusterSpec) {
+        self.hosts.clear();
+        self.hosts.extend((0..spec.hosts.max(1)).map(|_| HostState {
+            free_vcpu: spec.vcpus_per_host,
+            free_memory_mb: f64::from(spec.memory_mb_per_host),
+        }));
     }
 
     /// First-fit placement. Returns the host index if a host has room.
@@ -211,7 +211,8 @@ mod tests {
             memory_mb_per_host: 4096,
             ..ClusterSpec::paper_testbed()
         };
-        let mut state = ClusterState::new(&spec);
+        let mut state = ClusterState::default();
+        state.reset(&spec);
         let big = ResourceConfig::new(3.0, 3072);
         let h0 = state.try_place(big).unwrap();
         assert_eq!(h0, 0);

@@ -21,6 +21,14 @@ pub enum SimulatorError {
         /// The function without a configuration.
         node: NodeId,
     },
+    /// The configuration map does not cover every workflow function (its
+    /// length differs from the workflow's node count).
+    ConfigCountMismatch {
+        /// Number of functions in the workflow.
+        expected: usize,
+        /// Number of configurations actually provided.
+        got: usize,
+    },
     /// A resource configuration is outside the platform's allowed space.
     InvalidConfig {
         /// The offending function.
@@ -46,6 +54,12 @@ impl fmt::Display for SimulatorError {
             }
             SimulatorError::MissingConfig { node } => {
                 write!(f, "function {node} has no resource configuration")
+            }
+            SimulatorError::ConfigCountMismatch { expected, got } => {
+                write!(
+                    f,
+                    "configuration map covers {got} function(s) but the workflow has {expected}"
+                )
             }
             SimulatorError::InvalidConfig { node, reason } => {
                 write!(f, "invalid configuration for function {node}: {reason}")
@@ -87,6 +101,10 @@ mod tests {
             },
             SimulatorError::MissingConfig {
                 node: NodeId::new(2),
+            },
+            SimulatorError::ConfigCountMismatch {
+                expected: 4,
+                got: 2,
             },
             SimulatorError::InvalidConfig {
                 node: NodeId::new(3),

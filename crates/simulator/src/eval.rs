@@ -22,6 +22,14 @@
 //! threads only ever run the pure simulation. This keeps the statistics —
 //! and therefore any report that embeds them — identical for `--threads 1`
 //! and `--threads 8`.
+//!
+//! Since the kernel refactor the engine evaluates candidates through a
+//! [`CompiledScenario`] built once at construction and a pool of reusable
+//! [`SimScratch`] arenas (one per active worker), and both the cache and
+//! the searchers traffic in the lean [`SimResult`] — cache hits clone an
+//! `Arc`, not a report full of `String`s. The full
+//! [`ExecutionReport`](crate::executor::ExecutionReport) is only
+//! materialised on demand via [`EvalEngine::materialize`].
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
@@ -35,6 +43,7 @@ use crate::env::{ConfigMap, WorkflowEnvironment};
 use crate::error::SimulatorError;
 use crate::executor::ExecutionReport;
 use crate::input::InputSpec;
+use crate::kernel::{CompiledScenario, SimResult, SimScratch};
 
 /// Number of independent cache shards (a power of two; the shard is chosen
 /// by key hash, so concurrent submitters contend on different locks).
@@ -138,7 +147,7 @@ struct CacheKey {
 
 #[derive(Debug, Default)]
 struct Shard {
-    map: HashMap<CacheKey, ExecutionReport>,
+    map: HashMap<CacheKey, SimResult>,
     order: VecDeque<CacheKey>,
 }
 
@@ -153,9 +162,11 @@ struct Shard {
 #[derive(Debug)]
 pub struct EvalEngine {
     env: WorkflowEnvironment,
+    scenario: CompiledScenario,
     options: EvalOptions,
     fingerprint: u64,
     shards: Vec<Mutex<Shard>>,
+    scratch_pool: Mutex<Vec<SimScratch>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -165,8 +176,16 @@ impl EvalEngine {
     /// Creates an engine over `env` with the given options.
     pub fn new(env: WorkflowEnvironment, options: EvalOptions) -> Self {
         let fingerprint = env.fingerprint();
+        let scenario = CompiledScenario::compile(
+            env.workflow(),
+            env.profiles(),
+            *env.cluster(),
+            *env.pricing(),
+        )
+        .expect("environment profiles are validated at build time");
         EvalEngine {
             env,
+            scenario,
             options: EvalOptions {
                 threads: options.threads.max(1),
                 cache_capacity: options.cache_capacity,
@@ -175,6 +194,7 @@ impl EvalEngine {
             shards: (0..SHARD_COUNT)
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
+            scratch_pool: Mutex::new(Vec::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -203,6 +223,11 @@ impl EvalEngine {
         &self.env
     }
 
+    /// The compiled scenario every evaluation runs against.
+    pub fn scenario(&self) -> &CompiledScenario {
+        &self.scenario
+    }
+
     /// The engine's options.
     pub fn options(&self) -> EvalOptions {
         self.options
@@ -223,8 +248,8 @@ impl EvalEngine {
     ///
     /// # Errors
     ///
-    /// See [`WorkflowEnvironment::execute`].
-    pub fn evaluate(&self, configs: &ConfigMap) -> Result<ExecutionReport, SimulatorError> {
+    /// See [`CompiledScenario::simulate`].
+    pub fn evaluate(&self, configs: &ConfigMap) -> Result<SimResult, SimulatorError> {
         self.evaluate_with(configs, self.env.input(), self.env.seed())
     }
 
@@ -233,22 +258,61 @@ impl EvalEngine {
     ///
     /// # Errors
     ///
-    /// See [`WorkflowEnvironment::execute_with`].
+    /// See [`CompiledScenario::simulate`].
     pub fn evaluate_with(
         &self,
         configs: &ConfigMap,
         input: InputSpec,
         seed: u64,
-    ) -> Result<ExecutionReport, SimulatorError> {
+    ) -> Result<SimResult, SimulatorError> {
         let key = self.key(configs, input, seed);
-        if let Some(report) = self.cache_get(&key) {
+        if let Some(result) = self.cache_get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(report);
+            return Ok(result);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let report = self.env.execute_with(configs, input, seed)?;
-        self.cache_insert(key, report.clone());
-        Ok(report)
+        let result = self.simulate(configs, input, seed)?;
+        self.cache_insert(key, result.clone());
+        Ok(result)
+    }
+
+    /// Materialises the full [`ExecutionReport`] (per-function names and the
+    /// complete event trace) of one candidate. This deliberately bypasses
+    /// the memo-cache — reports are only produced for search winners and
+    /// CLI `run` output, never on the hot path — and is bit-identical to
+    /// the [`SimResult`] of the same `(configs, input, seed)` triple.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledScenario::simulate_report`].
+    pub fn materialize(
+        &self,
+        configs: &ConfigMap,
+        input: InputSpec,
+        seed: u64,
+    ) -> Result<ExecutionReport, SimulatorError> {
+        let mut scratch = self.take_scratch();
+        let report = self
+            .scenario
+            .simulate_report(&mut scratch, configs, input, seed);
+        self.put_scratch(scratch);
+        report
+    }
+
+    /// [`materialize`](EvalEngine::materialize) for the exact `(input,
+    /// seed)` a [`SimResult`] was produced under — the way a search winner's
+    /// full report is recovered without risking a contradictory re-roll
+    /// under runtime jitter.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledScenario::simulate_report`].
+    pub fn materialize_result(
+        &self,
+        configs: &ConfigMap,
+        result: &SimResult,
+    ) -> Result<ExecutionReport, SimulatorError> {
+        self.materialize(configs, result.input(), result.seed())
     }
 
     /// Evaluates a batch of candidates with the environment's default input.
@@ -264,7 +328,7 @@ impl EvalEngine {
     pub fn evaluate_batch(
         &self,
         candidates: &[ConfigMap],
-    ) -> Result<Vec<ExecutionReport>, SimulatorError> {
+    ) -> Result<Vec<SimResult>, SimulatorError> {
         self.evaluate_batch_with(candidates, self.env.input())
     }
 
@@ -278,9 +342,9 @@ impl EvalEngine {
         &self,
         candidates: &[ConfigMap],
         input: InputSpec,
-    ) -> Result<Vec<ExecutionReport>, SimulatorError> {
+    ) -> Result<Vec<SimResult>, SimulatorError> {
         let n = candidates.len();
-        let mut results: Vec<Option<ExecutionReport>> = vec![None; n];
+        let mut results: Vec<Option<SimResult>> = vec![None; n];
         // Sequential cache pre-pass in candidate order: resolve hits, claim
         // the first occurrence of every distinct missing key and remember
         // intra-batch duplicates. Counting duplicates as hits matches the
@@ -308,8 +372,8 @@ impl EvalEngine {
         let computed = self.run_pool(candidates, input, &pending);
 
         // Insert in candidate order (deterministic eviction), then resolve
-        // duplicates from the freshly computed reports.
-        let mut fresh: Vec<Option<ExecutionReport>> = Vec::with_capacity(pending.len());
+        // duplicates from the freshly computed results.
+        let mut fresh: Vec<Option<SimResult>> = Vec::with_capacity(pending.len());
         for ((i, key, _seed), outcome) in pending.iter().zip(computed) {
             let report = outcome?;
             self.cache_insert(key.clone(), report.clone());
@@ -356,21 +420,59 @@ impl EvalEngine {
         }
     }
 
+    /// Runs one uncached simulation on a pooled scratch.
+    fn simulate(
+        &self,
+        configs: &ConfigMap,
+        input: InputSpec,
+        seed: u64,
+    ) -> Result<SimResult, SimulatorError> {
+        let mut scratch = self.take_scratch();
+        let result = self.scenario.simulate(&mut scratch, configs, input, seed);
+        self.put_scratch(scratch);
+        result
+    }
+
+    /// Borrows a scratch arena from the pool (or creates one on first use).
+    fn take_scratch(&self) -> SimScratch {
+        self.scratch_pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a scratch arena to the pool for the next evaluation.
+    fn put_scratch(&self, scratch: SimScratch) {
+        self.scratch_pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(scratch);
+    }
+
     /// Runs the distinct misses of a batch on the worker pool, returning
     /// outcomes in `pending` order. With one worker (or one job) everything
-    /// runs on the calling thread.
+    /// runs on the calling thread. Each worker borrows one scratch arena
+    /// for its whole chunk, so a batch of `k` candidates on `t` threads
+    /// performs `O(t)` arena (re)uses, not `O(k)` allocations.
     fn run_pool(
         &self,
         candidates: &[ConfigMap],
         input: InputSpec,
         pending: &[(usize, CacheKey, u64)],
-    ) -> Vec<Result<ExecutionReport, SimulatorError>> {
+    ) -> Vec<Result<SimResult, SimulatorError>> {
         let threads = self.options.threads.min(pending.len()).max(1);
         if threads <= 1 {
-            return pending
+            let mut scratch = self.take_scratch();
+            let results = pending
                 .iter()
-                .map(|(i, _, seed)| self.env.execute_with(&candidates[*i], input, *seed))
+                .map(|(i, _, seed)| {
+                    self.scenario
+                        .simulate(&mut scratch, &candidates[*i], input, *seed)
+                })
                 .collect();
+            self.put_scratch(scratch);
+            return results;
         }
         let chunk = pending.len().div_ceil(threads);
         std::thread::scope(|scope| {
@@ -378,11 +480,16 @@ impl EvalEngine {
                 .chunks(chunk)
                 .map(|jobs| {
                     scope.spawn(move || {
-                        jobs.iter()
+                        let mut scratch = self.take_scratch();
+                        let results = jobs
+                            .iter()
                             .map(|(i, _, seed)| {
-                                self.env.execute_with(&candidates[*i], input, *seed)
+                                self.scenario
+                                    .simulate(&mut scratch, &candidates[*i], input, *seed)
                             })
-                            .collect::<Vec<_>>()
+                            .collect::<Vec<_>>();
+                        self.put_scratch(scratch);
+                        results
                     })
                 })
                 .collect();
@@ -420,7 +527,7 @@ impl EvalEngine {
         &self.shards[(hasher.finish() as usize) % SHARD_COUNT]
     }
 
-    fn cache_get(&self, key: &CacheKey) -> Option<ExecutionReport> {
+    fn cache_get(&self, key: &CacheKey) -> Option<SimResult> {
         if self.options.cache_capacity == 0 {
             return None;
         }
@@ -432,13 +539,13 @@ impl EvalEngine {
             .cloned()
     }
 
-    fn cache_insert(&self, key: CacheKey, report: ExecutionReport) {
+    fn cache_insert(&self, key: CacheKey, result: SimResult) {
         if self.options.cache_capacity == 0 {
             return;
         }
         let per_shard = (self.options.cache_capacity / SHARD_COUNT).max(1);
         let mut shard = self.shard_of(&key).lock().expect("cache shard poisoned");
-        if shard.map.insert(key.clone(), report).is_none() {
+        if shard.map.insert(key.clone(), result).is_none() {
             shard.order.push_back(key);
             while shard.map.len() > per_shard {
                 let oldest = shard.order.pop_front().expect("order tracks map");
@@ -510,7 +617,21 @@ mod tests {
         let cfg = e.base_configs();
         let direct = e.execute(&cfg).unwrap();
         let via_engine = engine.evaluate(&cfg).unwrap();
-        assert_eq!(direct, via_engine);
+        assert_eq!(direct.makespan_ms(), via_engine.makespan_ms());
+        assert_eq!(direct.total_cost(), via_engine.total_cost());
+        assert_eq!(direct.any_oom(), via_engine.any_oom());
+        for exec in direct.executions() {
+            assert_eq!(
+                via_engine.runtime_of(exec.node),
+                Some(exec.runtime_ms),
+                "{}",
+                exec.node
+            );
+            assert_eq!(via_engine.cost_of(exec.node), Some(exec.cost));
+        }
+        // Materialising the winner recovers the identical full report.
+        let materialised = engine.materialize_result(&cfg, &via_engine).unwrap();
+        assert_eq!(direct, materialised);
     }
 
     #[test]

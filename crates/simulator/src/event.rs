@@ -76,6 +76,16 @@ impl EventQueue {
         self.heap.pop().map(|Reverse(s)| (s.time, s.event))
     }
 
+    /// Drops all pending events and restarts the tie-breaking sequence
+    /// counter, keeping the heap's allocation. A cleared queue behaves
+    /// exactly like a freshly constructed one, which is what lets
+    /// [`SimScratch`](crate::kernel::SimScratch) reuse it across
+    /// simulations without perturbing event order.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -121,6 +131,26 @@ mod tests {
         assert_eq!(ms_to_ticks(1.5), 1500);
         assert_eq!(ticks_to_ms(1500), 1.5);
         assert_eq!(ms_to_ticks(-3.0), 0);
+    }
+
+    #[test]
+    fn clear_resets_events_and_tie_breaking() {
+        let mut q = EventQueue::new();
+        q.push(10, Event::FunctionReady(NodeId::new(0)));
+        q.push(10, Event::FunctionReady(NodeId::new(1)));
+        q.clear();
+        assert!(q.is_empty());
+        // After a clear, insertion-order tie breaking restarts from scratch:
+        // the queue is indistinguishable from a new one.
+        q.push(5, Event::FunctionReady(NodeId::new(2)));
+        q.push(5, Event::FunctionReady(NodeId::new(1)));
+        let nodes: Vec<usize> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                Event::FunctionReady(n) | Event::FunctionFinished(n) => n.index(),
+            })
+        })
+        .collect();
+        assert_eq!(nodes, vec![2, 1]);
     }
 
     #[test]

@@ -1,25 +1,33 @@
 //! Discrete-event execution of a workflow DAG under a resource
 //! configuration.
+//!
+//! Since the kernel refactor this module owns the *materialised* side of a
+//! simulation: the [`ExecutionReport`] with per-function names and the full
+//! event trace. The discrete-event loop itself lives in
+//! [`kernel`](crate::kernel) — [`execute_workflow`] compiles the scenario,
+//! runs the kernel once with trace recording on, and hands back the full
+//! report. Hot paths (the search methods, via
+//! [`EvalEngine`](crate::eval::EvalEngine)) use the kernel's lean
+//! [`SimResult`](crate::kernel::SimResult) instead and only materialise an
+//! `ExecutionReport` for winners.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use aarc_workflow::{CommunicationKind, NodeId, Workflow};
+use aarc_workflow::{NodeId, Workflow};
 
-use crate::cluster::{ClusterSpec, ClusterState};
+use crate::cluster::ClusterSpec;
 use crate::cost::PricingModel;
 use crate::env::ConfigMap;
 use crate::error::SimulatorError;
-use crate::event::{ms_to_ticks, ticks_to_ms, Event, EventQueue};
 use crate::input::InputSpec;
-use crate::perf_model::{InvocationOutcome, ProfileSet};
+use crate::kernel::{CompiledScenario, SimScratch};
+use crate::perf_model::ProfileSet;
 use crate::resources::ResourceConfig;
-use crate::trace::{ExecutionTrace, TraceEvent};
+use crate::trace::ExecutionTrace;
 
 /// Billed runtime charged for an invocation that is killed by the OOM
 /// supervisor (detection and teardown time).
-const OOM_KILL_MS: f64 = 50.0;
+pub(crate) const OOM_KILL_MS: f64 = 50.0;
 
 /// Per-function outcome of one simulated workflow execution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -60,6 +68,24 @@ pub struct ExecutionReport {
 }
 
 impl ExecutionReport {
+    /// Assembles a report from kernel output (crate-internal: reports are
+    /// only ever produced by a simulation).
+    pub(crate) fn from_parts(
+        executions: Vec<FunctionExecution>,
+        makespan_ms: f64,
+        total_cost: f64,
+        any_oom: bool,
+        trace: ExecutionTrace,
+    ) -> Self {
+        ExecutionReport {
+            executions,
+            makespan_ms,
+            total_cost,
+            any_oom,
+            trace,
+        }
+    }
+
     /// End-to-end latency of the workflow in milliseconds.
     pub fn makespan_ms(&self) -> f64 {
         self.makespan_ms
@@ -86,8 +112,17 @@ impl ExecutionReport {
     }
 
     /// The outcome of one function.
+    ///
+    /// Executions are stored densely ordered by node index, so the common
+    /// case is a direct O(1) index (callers like
+    /// [`runtime_of`](ExecutionReport::runtime_of) hit this in loops); a
+    /// linear scan backs it up for reports that arrived in a different
+    /// order (e.g. hand-edited deserialized JSON).
     pub fn execution(&self, node: NodeId) -> Option<&FunctionExecution> {
-        self.executions.iter().find(|e| e.node == node)
+        match self.executions.get(node.index()) {
+            Some(e) if e.node == node => Some(e),
+            _ => self.executions.iter().find(|e| e.node == node),
+        }
     }
 
     /// Billed runtime of one function, if it ran.
@@ -106,18 +141,15 @@ impl ExecutionReport {
     }
 }
 
-struct NodeRuntimeState {
-    remaining_preds: usize,
-    ready_at_ticks: u64,
-    started: bool,
-    finished: bool,
-}
-
-/// Executes `workflow` once under `configs`.
+/// Executes `workflow` once under `configs`, materialising the full report
+/// (per-function names and the complete event trace).
 ///
 /// This is the low-level entry point; most callers use
 /// [`WorkflowEnvironment::execute`](crate::env::WorkflowEnvironment::execute)
-/// which bundles the static arguments.
+/// which bundles the static arguments, and the search methods go through
+/// [`EvalEngine`](crate::eval::EvalEngine), which compiles the scenario once
+/// and reuses a [`SimScratch`] per worker instead of paying the per-call
+/// compilation this wrapper does.
 ///
 /// # Errors
 ///
@@ -135,10 +167,14 @@ pub fn execute_workflow(
 ) -> Result<ExecutionReport, SimulatorError> {
     let n = workflow.len();
     if configs.len() != n {
-        return Err(SimulatorError::MissingConfig {
-            node: NodeId::new(configs.len().min(n)),
+        return Err(SimulatorError::ConfigCountMismatch {
+            expected: n,
+            got: configs.len(),
         });
     }
+    // Validate in the order this function always has (per node: profile,
+    // then placeability) so error reporting is unchanged even though the
+    // kernel re-checks placement itself.
     for id in workflow.node_ids() {
         if profiles.get(id).is_none() {
             return Err(SimulatorError::MissingProfile {
@@ -151,208 +187,8 @@ pub fn execute_workflow(
         }
     }
 
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut queue = EventQueue::new();
-    let mut cluster_state = ClusterState::new(cluster);
-    let mut trace = ExecutionTrace::new();
-    let mut waiting: Vec<NodeId> = Vec::new();
-    let mut states: Vec<NodeRuntimeState> = workflow
-        .node_ids()
-        .map(|id| NodeRuntimeState {
-            remaining_preds: workflow.dag().predecessors(id).len(),
-            ready_at_ticks: 0,
-            started: false,
-            finished: false,
-        })
-        .collect();
-    let mut executions: Vec<Option<FunctionExecution>> = (0..n).map(|_| None).collect();
-
-    // Entry functions become ready immediately (the request payload arrives
-    // with the trigger).
-    for id in workflow.entries() {
-        queue.push(0, Event::FunctionReady(id));
-    }
-
-    // Starts `node` at `now` if a host has capacity; returns true on success.
-    let start_fn = |node: NodeId,
-                    now_ticks: u64,
-                    cluster_state: &mut ClusterState,
-                    queue: &mut EventQueue,
-                    trace: &mut ExecutionTrace,
-                    executions: &mut Vec<Option<FunctionExecution>>,
-                    states: &mut Vec<NodeRuntimeState>,
-                    rng: &mut StdRng|
-     -> bool {
-        let config = configs.get(node);
-        let Some(host) = cluster_state.try_place(config) else {
-            return false;
-        };
-        let profile = profiles.get(node).expect("validated above");
-        let cold_start_ms = cluster.cold_start.latency_ms(config);
-        let outcome = profile.evaluate(config, input);
-        let (runtime_ms, oom) = match outcome {
-            InvocationOutcome::Completed { runtime_ms } => {
-                let jitter = if cluster.runtime_jitter > 0.0 {
-                    1.0 + cluster.runtime_jitter * (rng.gen::<f64>() * 2.0 - 1.0)
-                } else {
-                    1.0
-                };
-                (runtime_ms * jitter, false)
-            }
-            InvocationOutcome::OutOfMemory { required_mb } => {
-                trace.push(TraceEvent::OomKilled {
-                    at_ms: ticks_to_ms(now_ticks),
-                    node,
-                    required_mb,
-                });
-                (OOM_KILL_MS, true)
-            }
-        };
-        let start_ms = ticks_to_ms(now_ticks);
-        let end_ms = start_ms + cold_start_ms + runtime_ms;
-        trace.push(TraceEvent::Started {
-            at_ms: start_ms,
-            node,
-            host,
-            cold_start_ms,
-        });
-        executions[node.index()] = Some(FunctionExecution {
-            node,
-            name: workflow.function(node).name().to_owned(),
-            config,
-            host,
-            ready_ms: ticks_to_ms(states[node.index()].ready_at_ticks),
-            start_ms,
-            end_ms,
-            runtime_ms,
-            cold_start_ms,
-            cost: pricing.invocation_cost(config, runtime_ms),
-            oom,
-        });
-        states[node.index()].started = true;
-        queue.push(ms_to_ticks(end_ms), Event::FunctionFinished(node));
-        true
-    };
-
-    while let Some((now, event)) = queue.pop() {
-        match event {
-            Event::FunctionReady(node) => {
-                if states[node.index()].started {
-                    continue;
-                }
-                states[node.index()].ready_at_ticks = now;
-                trace.push(TraceEvent::Ready {
-                    at_ms: ticks_to_ms(now),
-                    node,
-                });
-                let started = start_fn(
-                    node,
-                    now,
-                    &mut cluster_state,
-                    &mut queue,
-                    &mut trace,
-                    &mut executions,
-                    &mut states,
-                    &mut rng,
-                );
-                if !started {
-                    trace.push(TraceEvent::QueuedForCapacity {
-                        at_ms: ticks_to_ms(now),
-                        node,
-                    });
-                    waiting.push(node);
-                }
-            }
-            Event::FunctionFinished(node) => {
-                if states[node.index()].finished {
-                    continue;
-                }
-                states[node.index()].finished = true;
-                let exec = executions[node.index()]
-                    .as_ref()
-                    .expect("finished functions have an execution record");
-                let finish_ms = exec.end_ms;
-                let config = exec.config;
-                trace.push(TraceEvent::Finished {
-                    at_ms: finish_ms,
-                    node,
-                    runtime_ms: exec.runtime_ms,
-                });
-                cluster_state.release(exec.host, config);
-
-                // Wake up successors whose dependencies are now satisfied.
-                for &succ in workflow.dag().successors(node) {
-                    let transfer_ms = edge_transfer_ms(workflow, cluster, input, node, succ);
-                    let arrive = ms_to_ticks(finish_ms + transfer_ms);
-                    let st = &mut states[succ.index()];
-                    st.ready_at_ticks = st.ready_at_ticks.max(arrive);
-                    st.remaining_preds -= 1;
-                    if st.remaining_preds == 0 {
-                        queue.push(st.ready_at_ticks, Event::FunctionReady(succ));
-                    }
-                }
-
-                // Capacity was released: retry queued functions in FIFO
-                // order at the current time.
-                let mut still_waiting = Vec::new();
-                for waiting_node in waiting.drain(..) {
-                    let started = start_fn(
-                        waiting_node,
-                        now,
-                        &mut cluster_state,
-                        &mut queue,
-                        &mut trace,
-                        &mut executions,
-                        &mut states,
-                        &mut rng,
-                    );
-                    if !started {
-                        still_waiting.push(waiting_node);
-                    }
-                }
-                waiting = still_waiting;
-            }
-        }
-    }
-
-    let executions: Vec<FunctionExecution> = executions.into_iter().flatten().collect();
-    debug_assert_eq!(
-        executions.len(),
-        n,
-        "every function of an acyclic workflow must eventually run"
-    );
-    let makespan_ms = executions.iter().map(|e| e.end_ms).fold(0.0, f64::max);
-    let total_cost = executions.iter().map(|e| e.cost).sum();
-    let any_oom = executions.iter().any(|e| e.oom);
-    Ok(ExecutionReport {
-        executions,
-        makespan_ms,
-        total_cost,
-        any_oom,
-        trace,
-    })
-}
-
-/// Latency of moving the edge payload from `from` to `to`, taking the
-/// communication pattern into account.
-fn edge_transfer_ms(
-    workflow: &Workflow,
-    cluster: &ClusterSpec,
-    input: InputSpec,
-    from: NodeId,
-    to: NodeId,
-) -> f64 {
-    let Some(edge) = workflow.edge(from, to) else {
-        return 0.0;
-    };
-    let fanout = workflow.dag().successors(from).len().max(1) as f64;
-    let fanin = workflow.dag().predecessors(to).len().max(1) as f64;
-    let effective_mb = match edge.kind {
-        CommunicationKind::Direct | CommunicationKind::Broadcast => edge.payload_mb,
-        CommunicationKind::Scatter => edge.payload_mb / fanout,
-        CommunicationKind::Gather => edge.payload_mb / fanin,
-    };
-    cluster.transfer_ms(effective_mb * input.scale.max(0.0))
+    let scenario = CompiledScenario::compile(workflow, profiles, *cluster, *pricing)?;
+    scenario.simulate_report(&mut SimScratch::new(), configs, input, seed)
 }
 
 #[cfg(test)]
@@ -360,6 +196,7 @@ mod tests {
     use super::*;
     use crate::env::ConfigMap;
     use crate::perf_model::FunctionProfile;
+    use crate::trace::TraceEvent;
     use aarc_workflow::WorkflowBuilder;
 
     fn two_step_workflow() -> (Workflow, ProfileSet) {
@@ -557,7 +394,13 @@ mod tests {
             0,
         )
         .unwrap_err();
-        assert!(matches!(err, SimulatorError::MissingConfig { .. }));
+        assert!(matches!(
+            err,
+            SimulatorError::ConfigCountMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
     }
 
     #[test]

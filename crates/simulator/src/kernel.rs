@@ -1,0 +1,803 @@
+//! The zero-allocation simulation kernel.
+//!
+//! PR 2's `EvalEngine` made candidate evaluation parallel and memoised;
+//! profiling showed the remaining per-simulation cost was dominated by
+//! avoidable allocation, not modelling: every `execute_workflow` call cloned
+//! a `String` name per function, scanned the workflow's edge list linearly
+//! per successor wake-up, recorded a trace nobody read, and rebuilt its
+//! event heap and state vectors from scratch — and the memo-cache then
+//! cloned the full report (names, trace and all) on every hit. This module
+//! splits the simulation path into three pieces that eliminate all of that:
+//!
+//! * [`CompiledScenario`] — everything static about a
+//!   [`WorkflowEnvironment`](crate::env::WorkflowEnvironment), precomputed
+//!   once: CSR-style successor adjacency over dense `u32` node indices,
+//!   per-edge pre-resolved transfer payloads (so edge transfer latency is a
+//!   table lookup instead of an `O(E)` scan), flat node-indexed profile and
+//!   predecessor-count tables, and function names interned once (read only
+//!   when a full report is materialised).
+//! * [`SimScratch`] — the reusable per-worker arena: event queue, node
+//!   states, execution records, cluster placement state and the capacity
+//!   wait queue. A worker resets it between candidates instead of
+//!   reallocating; after warm-up a simulation performs no heap allocation
+//!   beyond the one `Arc` that carries its result out.
+//! * [`SimResult`] — the lean searcher-facing result: makespan, cost, OOM
+//!   flag and per-node timings behind an `Arc`, so the memo-cache clones it
+//!   with a reference-count bump. No `String`s, no trace. The full
+//!   [`ExecutionReport`](crate::executor::ExecutionReport) (names + trace)
+//!   is materialised on demand — only for search winners and CLI `run`
+//!   output — via [`CompiledScenario::simulate_report`].
+//!
+//! The kernel is bit-identical to the pre-compiled executor at every seed
+//! and thread count: it performs the same floating-point operations in the
+//! same order, drives the same event queue with the same tie-breaking, and
+//! draws jitter from the same RNG stream (one draw per started,
+//! non-OOM-killed function, in start order). The equivalence proptest in
+//! `tests/proptest_kernel.rs` and the pinned CLI compare goldens enforce
+//! this.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use aarc_workflow::{CommunicationKind, NodeId, Workflow};
+
+use crate::cluster::{ClusterSpec, ClusterState};
+use crate::cost::PricingModel;
+use crate::env::ConfigMap;
+use crate::error::SimulatorError;
+use crate::event::{ms_to_ticks, ticks_to_ms, Event, EventQueue, SimTime};
+use crate::executor::{ExecutionReport, FunctionExecution, OOM_KILL_MS};
+use crate::input::InputSpec;
+use crate::perf_model::{FunctionProfile, InvocationOutcome, ProfileSet};
+use crate::resources::ResourceConfig;
+use crate::trace::{ExecutionTrace, TraceEvent};
+
+/// Per-node outcome of one simulation, as observed by the searchers.
+///
+/// This is the `Copy` row of a [`SimResult`]: only the quantities the
+/// search methods actually consume (path budgets, path costs, profiled
+/// weights and report rows). Host placement, cold-start latency and the
+/// ready timestamp live only in the materialised
+/// [`ExecutionReport`](crate::executor::ExecutionReport).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSimOutcome {
+    /// Time the container started, ms.
+    pub start_ms: f64,
+    /// Time the function finished, ms.
+    pub end_ms: f64,
+    /// Billed runtime (excludes queueing and cold start), ms.
+    pub runtime_ms: f64,
+    /// Billed cost of this invocation.
+    pub cost: f64,
+    /// Whether the invocation was killed out-of-memory.
+    pub oom: bool,
+}
+
+/// The lean result of one simulation: what the searchers observe and what
+/// the [`EvalEngine`](crate::eval::EvalEngine) memo-cache stores.
+///
+/// Cloning is a reference-count bump plus a handful of scalars — no
+/// `String`s, no trace, no per-node reallocation — which is what makes
+/// cache hits nearly free. The result remembers the `(input, seed)` it was
+/// produced under so the matching full
+/// [`ExecutionReport`](crate::executor::ExecutionReport) can be
+/// re-materialised on demand (see
+/// [`EvalEngine::materialize_result`](crate::eval::EvalEngine::materialize_result)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    nodes: Arc<[NodeSimOutcome]>,
+    makespan_ms: f64,
+    total_cost: f64,
+    any_oom: bool,
+    input: InputSpec,
+    seed: u64,
+}
+
+impl SimResult {
+    /// End-to-end latency of the workflow in milliseconds.
+    pub fn makespan_ms(&self) -> f64 {
+        self.makespan_ms
+    }
+
+    /// Total billed cost over all function invocations.
+    pub fn total_cost(&self) -> f64 {
+        self.total_cost
+    }
+
+    /// Whether any function was OOM-killed.
+    pub fn any_oom(&self) -> bool {
+        self.any_oom
+    }
+
+    /// `true` when no function failed and the makespan is within `slo_ms`.
+    pub fn meets_slo(&self, slo_ms: f64) -> bool {
+        !self.any_oom && self.makespan_ms <= slo_ms
+    }
+
+    /// Per-function outcomes, indexed by node index.
+    pub fn executions(&self) -> &[NodeSimOutcome] {
+        &self.nodes
+    }
+
+    /// The outcome of one function (O(1) — nodes are stored densely).
+    pub fn execution(&self, node: NodeId) -> Option<NodeSimOutcome> {
+        self.nodes.get(node.index()).copied()
+    }
+
+    /// Billed runtime of one function, if it ran.
+    pub fn runtime_of(&self, node: NodeId) -> Option<f64> {
+        self.execution(node).map(|e| e.runtime_ms)
+    }
+
+    /// Billed cost of one function, if it ran.
+    pub fn cost_of(&self, node: NodeId) -> Option<f64> {
+        self.execution(node).map(|e| e.cost)
+    }
+
+    /// Number of functions that ran.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the result covers no functions.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The input the simulation ran with.
+    pub fn input(&self) -> InputSpec {
+        self.input
+    }
+
+    /// The RNG seed the simulation ran with (only meaningful under runtime
+    /// jitter; jitter-free results are seed-independent).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Per-node mutable simulation state, reset between runs.
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeState {
+    remaining_preds: u32,
+    ready_at_ticks: SimTime,
+    started: bool,
+    finished: bool,
+}
+
+/// Full per-node record of one run: everything needed to materialise a
+/// [`FunctionExecution`] without re-deriving anything.
+#[derive(Debug, Clone, Copy)]
+struct NodeRecord {
+    config: ResourceConfig,
+    host: usize,
+    ready_ms: f64,
+    start_ms: f64,
+    end_ms: f64,
+    runtime_ms: f64,
+    cold_start_ms: f64,
+    cost: f64,
+    oom: bool,
+}
+
+impl NodeRecord {
+    const EMPTY: NodeRecord = NodeRecord {
+        config: ResourceConfig {
+            vcpu: crate::resources::Vcpu(0.0),
+            memory: crate::resources::MemoryMb(0),
+        },
+        host: 0,
+        ready_ms: 0.0,
+        start_ms: 0.0,
+        end_ms: 0.0,
+        runtime_ms: 0.0,
+        cold_start_ms: 0.0,
+        cost: 0.0,
+        oom: false,
+    };
+}
+
+/// The reusable per-worker simulation arena.
+///
+/// Owns every growable buffer a simulation needs — the event heap, node
+/// states, execution records, cluster placement state and the capacity wait
+/// queue — so that repeated simulations reuse their allocations instead of
+/// rebuilding them. One scratch serves one simulation at a time; the
+/// [`EvalEngine`](crate::eval::EvalEngine) keeps a pool of them, one per
+/// active worker.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    queue: EventQueue,
+    states: Vec<NodeState>,
+    records: Vec<NodeRecord>,
+    cluster: ClusterState,
+    waiting: Vec<NodeId>,
+    waiting_swap: Vec<NodeId>,
+}
+
+impl SimScratch {
+    /// Creates an empty scratch; buffers grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        SimScratch::default()
+    }
+
+    /// Prepares the scratch for one run of `scenario`, reusing every
+    /// allocation.
+    fn reset(&mut self, scenario: &CompiledScenario) {
+        self.queue.clear();
+        self.states.clear();
+        self.states
+            .extend(scenario.pred_counts.iter().map(|&p| NodeState {
+                remaining_preds: p,
+                ..NodeState::default()
+            }));
+        self.records.clear();
+        self.records.resize(scenario.n, NodeRecord::EMPTY);
+        self.cluster.reset(&scenario.cluster);
+        self.waiting.clear();
+        self.waiting_swap.clear();
+    }
+}
+
+/// A [`WorkflowEnvironment`](crate::env::WorkflowEnvironment) compiled for
+/// repeated simulation: static structure precomputed once, hot loops free of
+/// hashing, edge-list scans and `String` traffic.
+#[derive(Debug, Clone)]
+pub struct CompiledScenario {
+    n: usize,
+    /// CSR offsets into `succ_targets` / `succ_effective_mb`, length `n+1`.
+    succ_offsets: Vec<u32>,
+    /// Flattened successor lists, in the DAG's insertion order (the order
+    /// the executor has always walked them, which fixes event tie-breaking).
+    succ_targets: Vec<u32>,
+    /// Per-edge pre-resolved transfer payload: the edge payload already
+    /// divided by fan-out (scatter) or fan-in (gather), so runtime transfer
+    /// latency is `transfer_ms(effective_mb * input_scale)`.
+    succ_effective_mb: Vec<f64>,
+    pred_counts: Vec<u32>,
+    entries: Vec<u32>,
+    /// Flat node-indexed profile table (replaces the per-start `HashMap`
+    /// lookup).
+    profiles: Vec<FunctionProfile>,
+    /// Function names, interned once; only read when a full report is
+    /// materialised.
+    names: Vec<String>,
+    cluster: ClusterSpec,
+    pricing: PricingModel,
+}
+
+impl CompiledScenario {
+    /// Compiles the static half of a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulatorError::MissingProfile`] if any function lacks a
+    /// performance profile (environments built through
+    /// [`WorkflowEnvironment::builder`](crate::env::WorkflowEnvironment::builder)
+    /// have already validated this).
+    pub fn compile(
+        workflow: &Workflow,
+        profiles: &ProfileSet,
+        cluster: ClusterSpec,
+        pricing: PricingModel,
+    ) -> Result<Self, SimulatorError> {
+        let n = workflow.len();
+        let dag = workflow.dag();
+
+        let mut flat_profiles = Vec::with_capacity(n);
+        let mut names = Vec::with_capacity(n);
+        for id in workflow.node_ids() {
+            let Some(profile) = profiles.get(id) else {
+                return Err(SimulatorError::MissingProfile {
+                    node: id,
+                    name: workflow.function(id).name().to_owned(),
+                });
+            };
+            flat_profiles.push(profile.clone());
+            names.push(workflow.function(id).name().to_owned());
+        }
+
+        let mut succ_offsets = Vec::with_capacity(n + 1);
+        let mut succ_targets = Vec::with_capacity(dag.edge_count());
+        let mut succ_effective_mb = Vec::with_capacity(dag.edge_count());
+        succ_offsets.push(0u32);
+        for id in workflow.node_ids() {
+            let fanout = dag.successors(id).len().max(1) as f64;
+            for &succ in dag.successors(id) {
+                // Pre-resolve the communication pattern exactly as
+                // `edge_transfer_ms` always has; a DAG edge without metadata
+                // contributes a zero payload (and therefore zero latency).
+                let effective_mb = match workflow.edge(id, succ) {
+                    None => 0.0,
+                    Some(edge) => {
+                        let fanin = dag.predecessors(succ).len().max(1) as f64;
+                        match edge.kind {
+                            CommunicationKind::Direct | CommunicationKind::Broadcast => {
+                                edge.payload_mb
+                            }
+                            CommunicationKind::Scatter => edge.payload_mb / fanout,
+                            CommunicationKind::Gather => edge.payload_mb / fanin,
+                        }
+                    }
+                };
+                succ_targets.push(succ.index() as u32);
+                succ_effective_mb.push(effective_mb);
+            }
+            succ_offsets.push(succ_targets.len() as u32);
+        }
+
+        Ok(CompiledScenario {
+            n,
+            succ_offsets,
+            succ_targets,
+            succ_effective_mb,
+            pred_counts: workflow
+                .node_ids()
+                .map(|id| dag.predecessors(id).len() as u32)
+                .collect(),
+            entries: dag.sources().iter().map(|id| id.index() as u32).collect(),
+            profiles: flat_profiles,
+            names,
+            cluster,
+            pricing,
+        })
+    }
+
+    /// Number of workflow functions.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the scenario has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The cluster the scenario simulates.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// Runs one simulation and returns the lean [`SimResult`] — the hot
+    /// path of every search method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulatorError::ConfigCountMismatch`] when `configs` does
+    /// not cover every function and [`SimulatorError::Unplaceable`] when a
+    /// configuration exceeds every cluster host.
+    pub fn simulate(
+        &self,
+        scratch: &mut SimScratch,
+        configs: &ConfigMap,
+        input: InputSpec,
+        seed: u64,
+    ) -> Result<SimResult, SimulatorError> {
+        self.run(scratch, configs, input, seed, None)?;
+        let nodes: Arc<[NodeSimOutcome]> = scratch
+            .records
+            .iter()
+            .map(|r| NodeSimOutcome {
+                start_ms: r.start_ms,
+                end_ms: r.end_ms,
+                runtime_ms: r.runtime_ms,
+                cost: r.cost,
+                oom: r.oom,
+            })
+            .collect();
+        // Same reduction order as the pre-compiled executor (node order).
+        let makespan_ms = nodes.iter().map(|e| e.end_ms).fold(0.0, f64::max);
+        let total_cost = nodes.iter().map(|e| e.cost).sum();
+        let any_oom = nodes.iter().any(|e| e.oom);
+        Ok(SimResult {
+            nodes,
+            makespan_ms,
+            total_cost,
+            any_oom,
+            input,
+            seed,
+        })
+    }
+
+    /// Runs one simulation recording the full event trace and materialises
+    /// the complete [`ExecutionReport`] (names included). The cold path:
+    /// used for search winners, CLI `run` output and direct
+    /// [`execute_workflow`](crate::executor::execute_workflow) calls.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledScenario::simulate`].
+    pub fn simulate_report(
+        &self,
+        scratch: &mut SimScratch,
+        configs: &ConfigMap,
+        input: InputSpec,
+        seed: u64,
+    ) -> Result<ExecutionReport, SimulatorError> {
+        let mut trace = ExecutionTrace::new();
+        self.run(scratch, configs, input, seed, Some(&mut trace))?;
+        let executions: Vec<FunctionExecution> = scratch
+            .records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| FunctionExecution {
+                node: NodeId::new(i),
+                name: self.names[i].clone(),
+                config: r.config,
+                host: r.host,
+                ready_ms: r.ready_ms,
+                start_ms: r.start_ms,
+                end_ms: r.end_ms,
+                runtime_ms: r.runtime_ms,
+                cold_start_ms: r.cold_start_ms,
+                cost: r.cost,
+                oom: r.oom,
+            })
+            .collect();
+        let makespan_ms = executions.iter().map(|e| e.end_ms).fold(0.0, f64::max);
+        let total_cost = executions.iter().map(|e| e.cost).sum();
+        let any_oom = executions.iter().any(|e| e.oom);
+        Ok(ExecutionReport::from_parts(
+            executions,
+            makespan_ms,
+            total_cost,
+            any_oom,
+            trace,
+        ))
+    }
+
+    /// The discrete-event loop shared by both result paths. Leaves the
+    /// per-node records in `scratch`; `trace` is `None` on the hot path.
+    fn run(
+        &self,
+        scratch: &mut SimScratch,
+        configs: &ConfigMap,
+        input: InputSpec,
+        seed: u64,
+        mut trace: Option<&mut ExecutionTrace>,
+    ) -> Result<(), SimulatorError> {
+        if configs.len() != self.n {
+            return Err(SimulatorError::ConfigCountMismatch {
+                expected: self.n,
+                got: configs.len(),
+            });
+        }
+        for (i, &cfg) in configs.as_slice().iter().enumerate() {
+            if !self.cluster.can_fit(cfg) {
+                return Err(SimulatorError::Unplaceable {
+                    node: NodeId::new(i),
+                });
+            }
+        }
+
+        scratch.reset(self);
+        // The jitter RNG is only constructed when draws will actually
+        // happen; the draw order (one per started, non-OOM function, in
+        // start order) is identical to the pre-compiled executor.
+        let mut rng = (self.cluster.runtime_jitter > 0.0).then(|| StdRng::seed_from_u64(seed));
+        let transfer_scale = input.scale.max(0.0);
+
+        for &entry in &self.entries {
+            scratch
+                .queue
+                .push(0, Event::FunctionReady(NodeId::new(entry as usize)));
+        }
+
+        while let Some((now, event)) = scratch.queue.pop() {
+            match event {
+                Event::FunctionReady(node) => {
+                    let i = node.index();
+                    if scratch.states[i].started {
+                        continue;
+                    }
+                    scratch.states[i].ready_at_ticks = now;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push(TraceEvent::Ready {
+                            at_ms: ticks_to_ms(now),
+                            node,
+                        });
+                    }
+                    let started =
+                        self.try_start(scratch, configs, input, &mut rng, node, now, &mut trace);
+                    if !started {
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.push(TraceEvent::QueuedForCapacity {
+                                at_ms: ticks_to_ms(now),
+                                node,
+                            });
+                        }
+                        scratch.waiting.push(node);
+                    }
+                }
+                Event::FunctionFinished(node) => {
+                    let i = node.index();
+                    if scratch.states[i].finished {
+                        continue;
+                    }
+                    scratch.states[i].finished = true;
+                    let record = scratch.records[i];
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push(TraceEvent::Finished {
+                            at_ms: record.end_ms,
+                            node,
+                            runtime_ms: record.runtime_ms,
+                        });
+                    }
+                    scratch.cluster.release(record.host, record.config);
+
+                    // Wake up successors whose dependencies are now
+                    // satisfied: a CSR walk with table-lookup transfers.
+                    let lo = self.succ_offsets[i] as usize;
+                    let hi = self.succ_offsets[i + 1] as usize;
+                    for k in lo..hi {
+                        let succ = self.succ_targets[k] as usize;
+                        let transfer_ms = self
+                            .cluster
+                            .transfer_ms(self.succ_effective_mb[k] * transfer_scale);
+                        let arrive = ms_to_ticks(record.end_ms + transfer_ms);
+                        let st = &mut scratch.states[succ];
+                        st.ready_at_ticks = st.ready_at_ticks.max(arrive);
+                        st.remaining_preds -= 1;
+                        if st.remaining_preds == 0 {
+                            scratch
+                                .queue
+                                .push(st.ready_at_ticks, Event::FunctionReady(NodeId::new(succ)));
+                        }
+                    }
+
+                    // Capacity was released: retry queued functions in FIFO
+                    // order at the current time, double-buffering the wait
+                    // queue instead of allocating a fresh vector.
+                    let mut pending = std::mem::take(&mut scratch.waiting_swap);
+                    std::mem::swap(&mut pending, &mut scratch.waiting);
+                    for &waiting_node in &pending {
+                        let started = self.try_start(
+                            scratch,
+                            configs,
+                            input,
+                            &mut rng,
+                            waiting_node,
+                            now,
+                            &mut trace,
+                        );
+                        if !started {
+                            scratch.waiting.push(waiting_node);
+                        }
+                    }
+                    pending.clear();
+                    scratch.waiting_swap = pending;
+                }
+            }
+        }
+
+        debug_assert!(
+            scratch.states.iter().all(|s| s.finished),
+            "every function of an acyclic workflow must eventually run"
+        );
+        Ok(())
+    }
+
+    /// Starts `node` at `now_ticks` if a host has capacity; returns `true`
+    /// on success. Mirrors the pre-compiled executor's `start_fn` exactly.
+    #[allow(clippy::too_many_arguments)]
+    fn try_start(
+        &self,
+        scratch: &mut SimScratch,
+        configs: &ConfigMap,
+        input: InputSpec,
+        rng: &mut Option<StdRng>,
+        node: NodeId,
+        now_ticks: SimTime,
+        trace: &mut Option<&mut ExecutionTrace>,
+    ) -> bool {
+        let i = node.index();
+        let config = configs.get(node);
+        let Some(host) = scratch.cluster.try_place(config) else {
+            return false;
+        };
+        let profile = &self.profiles[i];
+        let cold_start_ms = self.cluster.cold_start.latency_ms(config);
+        let outcome = profile.evaluate(config, input);
+        let (runtime_ms, oom) = match outcome {
+            InvocationOutcome::Completed { runtime_ms } => {
+                let jitter = if self.cluster.runtime_jitter > 0.0 {
+                    let draw = rng.as_mut().expect("jitter implies an RNG").gen::<f64>();
+                    1.0 + self.cluster.runtime_jitter * (draw * 2.0 - 1.0)
+                } else {
+                    1.0
+                };
+                (runtime_ms * jitter, false)
+            }
+            InvocationOutcome::OutOfMemory { required_mb } => {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(TraceEvent::OomKilled {
+                        at_ms: ticks_to_ms(now_ticks),
+                        node,
+                        required_mb,
+                    });
+                }
+                (OOM_KILL_MS, true)
+            }
+        };
+        let start_ms = ticks_to_ms(now_ticks);
+        let end_ms = start_ms + cold_start_ms + runtime_ms;
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(TraceEvent::Started {
+                at_ms: start_ms,
+                node,
+                host,
+                cold_start_ms,
+            });
+        }
+        scratch.records[i] = NodeRecord {
+            config,
+            host,
+            ready_ms: ticks_to_ms(scratch.states[i].ready_at_ticks),
+            start_ms,
+            end_ms,
+            runtime_ms,
+            cold_start_ms,
+            cost: self.pricing.invocation_cost(config, runtime_ms),
+            oom,
+        };
+        scratch.states[i].started = true;
+        scratch
+            .queue
+            .push(ms_to_ticks(end_ms), Event::FunctionFinished(node));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ColdStartModel;
+    use crate::perf_model::FunctionProfile;
+    use aarc_workflow::WorkflowBuilder;
+
+    fn scenario_parts(jitter: f64) -> (Workflow, ProfileSet, ClusterSpec) {
+        let mut b = WorkflowBuilder::new("kern");
+        let a = b.add_function("a");
+        let c = b.add_function("b");
+        let d = b.add_function("c");
+        b.add_edge_with(a, c, 16.0, CommunicationKind::Scatter)
+            .unwrap();
+        b.add_edge_with(a, d, 16.0, CommunicationKind::Scatter)
+            .unwrap();
+        let wf = b.build().unwrap();
+        let mut p = ProfileSet::new();
+        p.insert(a, FunctionProfile::builder("a").serial_ms(500.0).build());
+        p.insert(
+            c,
+            FunctionProfile::builder("b")
+                .serial_ms(1_000.0)
+                .parallel_ms(2_000.0)
+                .max_parallelism(2.0)
+                .build(),
+        );
+        p.insert(d, FunctionProfile::builder("c").serial_ms(700.0).build());
+        let cluster = ClusterSpec {
+            runtime_jitter: jitter,
+            cold_start: ColdStartModel::typical(),
+            ..ClusterSpec::paper_testbed()
+        };
+        (wf, p, cluster)
+    }
+
+    fn compiled(jitter: f64) -> CompiledScenario {
+        let (wf, p, cluster) = scenario_parts(jitter);
+        CompiledScenario::compile(&wf, &p, cluster, PricingModel::paper()).unwrap()
+    }
+
+    #[test]
+    fn simulate_matches_materialised_report_exactly() {
+        let scenario = compiled(0.05);
+        let mut scratch = SimScratch::new();
+        let configs = ConfigMap::uniform(3, ResourceConfig::new(2.0, 1_024));
+        let result = scenario
+            .simulate(&mut scratch, &configs, InputSpec::nominal(), 7)
+            .unwrap();
+        let report = scenario
+            .simulate_report(&mut scratch, &configs, InputSpec::nominal(), 7)
+            .unwrap();
+        assert_eq!(result.makespan_ms(), report.makespan_ms());
+        assert_eq!(result.total_cost(), report.total_cost());
+        assert_eq!(result.any_oom(), report.any_oom());
+        for exec in report.executions() {
+            let node = result.execution(exec.node).unwrap();
+            assert_eq!(node.start_ms, exec.start_ms);
+            assert_eq!(node.end_ms, exec.end_ms);
+            assert_eq!(node.runtime_ms, exec.runtime_ms);
+            assert_eq!(node.cost, exec.cost);
+            assert_eq!(node.oom, exec.oom);
+        }
+        assert!(!report.trace().is_empty(), "full report carries the trace");
+    }
+
+    #[test]
+    fn scratch_reuse_is_invisible() {
+        let scenario = compiled(0.1);
+        let mut scratch = SimScratch::new();
+        let small = ConfigMap::uniform(3, ResourceConfig::new(1.0, 512));
+        let big = ConfigMap::uniform(3, ResourceConfig::new(4.0, 4_096));
+        // Interleave differently-shaped runs through one scratch; every
+        // result must equal a run on a pristine scratch.
+        let r1 = scenario
+            .simulate(&mut scratch, &small, InputSpec::nominal(), 1)
+            .unwrap();
+        let _ = scenario
+            .simulate(&mut scratch, &big, InputSpec::new(2.0, 64.0), 2)
+            .unwrap();
+        let r2 = scenario
+            .simulate(&mut scratch, &small, InputSpec::nominal(), 1)
+            .unwrap();
+        let fresh = scenario
+            .simulate(&mut SimScratch::new(), &small, InputSpec::nominal(), 1)
+            .unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(r1, fresh);
+    }
+
+    #[test]
+    fn config_count_mismatch_is_reported_with_both_lengths() {
+        let scenario = compiled(0.0);
+        let configs = ConfigMap::uniform(1, ResourceConfig::new(1.0, 512));
+        let err = scenario
+            .simulate(&mut SimScratch::new(), &configs, InputSpec::nominal(), 0)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimulatorError::ConfigCountMismatch {
+                expected: 3,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn unplaceable_config_is_an_error_with_the_node() {
+        let scenario = compiled(0.0);
+        let mut configs = ConfigMap::uniform(3, ResourceConfig::new(1.0, 512));
+        configs.set(NodeId::new(1), ResourceConfig::new(500.0, 512));
+        let err = scenario
+            .simulate(&mut SimScratch::new(), &configs, InputSpec::nominal(), 0)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimulatorError::Unplaceable {
+                node: NodeId::new(1)
+            }
+        );
+    }
+
+    #[test]
+    fn compile_rejects_missing_profiles() {
+        let (wf, _, cluster) = scenario_parts(0.0);
+        let err =
+            CompiledScenario::compile(&wf, &ProfileSet::new(), cluster, PricingModel::paper())
+                .unwrap_err();
+        assert!(matches!(err, SimulatorError::MissingProfile { .. }));
+    }
+
+    #[test]
+    fn sim_result_accessors() {
+        let scenario = compiled(0.0);
+        let configs = ConfigMap::uniform(3, ResourceConfig::new(1.0, 512));
+        let result = scenario
+            .simulate(&mut SimScratch::new(), &configs, InputSpec::nominal(), 3)
+            .unwrap();
+        assert_eq!(result.len(), 3);
+        assert!(!result.is_empty());
+        assert_eq!(result.seed(), 3);
+        assert_eq!(result.input(), InputSpec::nominal());
+        assert!(result.runtime_of(NodeId::new(0)).unwrap() > 0.0);
+        assert!(result.cost_of(NodeId::new(0)).unwrap() > 0.0);
+        assert!(result.execution(NodeId::new(9)).is_none());
+        assert!(result.meets_slo(f64::INFINITY));
+        let cheap_clone = result.clone();
+        assert_eq!(cheap_clone, result);
+    }
+}

@@ -18,8 +18,13 @@
 //! * [`cost`] — the paper's extended AWS-Lambda pricing model
 //!   `cost = t · (µ0·cpu + µ1·mem) + µ2`.
 //! * [`cluster`] — hosts, containers and cold starts.
+//! * [`kernel`](mod@crate::kernel) — the zero-allocation simulation kernel:
+//!   [`CompiledScenario`] (static structure precomputed once per
+//!   environment), [`SimScratch`] (a reusable per-worker arena) and
+//!   [`SimResult`] (the lean result the searchers and the memo-cache use).
 //! * [`executor`] — discrete-event execution of a workflow DAG under a
-//!   configuration, producing an [`ExecutionReport`].
+//!   configuration, materialising a full [`ExecutionReport`] (names +
+//!   trace) on top of the kernel.
 //! * [`profiler`] — profiling runs with dummy input that produce the node
 //!   weights consumed by the Graph-Centric Scheduler.
 //! * [`env`](mod@crate::env) — [`WorkflowEnvironment`], the bundle (workflow
@@ -63,6 +68,7 @@ pub mod eval;
 pub mod event;
 pub mod executor;
 pub mod input;
+pub mod kernel;
 pub mod metrics;
 pub mod perf_model;
 pub mod profiler;
@@ -76,6 +82,7 @@ pub use error::SimulatorError;
 pub use eval::{derive_seed, EvalEngine, EvalOptions, EvalStats};
 pub use executor::{ExecutionReport, FunctionExecution};
 pub use input::{InputClass, InputSpec};
+pub use kernel::{CompiledScenario, NodeSimOutcome, SimResult, SimScratch};
 pub use perf_model::{FunctionProfile, FunctionProfileBuilder, ProfileSet};
 pub use profiler::{profile_workflow, ProfiledWeights};
 pub use resources::{MemoryMb, ResourceConfig, ResourceSpace, Vcpu};
@@ -89,6 +96,7 @@ pub mod prelude {
     pub use crate::eval::{EvalEngine, EvalOptions, EvalStats};
     pub use crate::executor::ExecutionReport;
     pub use crate::input::{InputClass, InputSpec};
+    pub use crate::kernel::{CompiledScenario, SimResult, SimScratch};
     pub use crate::perf_model::{FunctionProfile, ProfileSet};
     pub use crate::profiler::profile_workflow;
     pub use crate::resources::{MemoryMb, ResourceConfig, ResourceSpace, Vcpu};

@@ -9,6 +9,7 @@ use aarc_workflow::NodeId;
 use crate::env::{ConfigMap, WorkflowEnvironment};
 use crate::error::SimulatorError;
 use crate::executor::ExecutionReport;
+use crate::kernel::SimResult;
 
 /// Per-function runtimes measured by a profiling run, used as DAG node
 /// weights.
@@ -29,6 +30,16 @@ impl ProfiledWeights {
             }
         }
         ProfiledWeights { runtimes_ms }
+    }
+
+    /// Builds weights from a kernel [`SimResult`] (billed runtime per
+    /// function; OOM-killed functions contribute their kill time). The
+    /// search-side twin of [`ProfiledWeights::from_report`] — results store
+    /// outcomes densely by node index, so this is a straight copy.
+    pub fn from_result(result: &SimResult) -> Self {
+        ProfiledWeights {
+            runtimes_ms: result.executions().iter().map(|e| e.runtime_ms).collect(),
+        }
     }
 
     /// Runtime of `node` in milliseconds (zero for unknown nodes).
