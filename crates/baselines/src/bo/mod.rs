@@ -18,9 +18,10 @@ pub mod kernel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use aarc_core::driver::{Ask, SearchStrategy};
 use aarc_core::search::{validate_slo, ConfigurationSearch, SearchOutcome, SearchTrace};
 use aarc_core::AarcError;
-use aarc_simulator::{ConfigMap, EvalEngine, ResourceConfig, WorkflowEnvironment};
+use aarc_simulator::{ConfigMap, ResourceConfig, SimResult, WorkflowEnvironment};
 
 use self::acquisition::expected_improvement;
 use self::gp::GaussianProcess;
@@ -87,24 +88,6 @@ impl BayesianOptimization {
         &self.params
     }
 
-    /// Decodes a normalised point into a per-function configuration map.
-    fn decode(&self, env: &WorkflowEnvironment, point: &[f64]) -> ConfigMap {
-        let space = env.space();
-        let n = env.workflow().len();
-        let mut configs = Vec::with_capacity(n);
-        for f in 0..n {
-            let cpu_norm = point[2 * f].clamp(0.0, 1.0);
-            let mem_norm = point[2 * f + 1].clamp(0.0, 1.0);
-            let vcpu =
-                space.snap_vcpu(space.min_vcpu + cpu_norm * (space.max_vcpu - space.min_vcpu));
-            let mem_range = f64::from(space.max_memory_mb - space.min_memory_mb);
-            let mem =
-                space.snap_memory(space.min_memory_mb + (mem_norm * mem_range).round() as u32);
-            configs.push(ResourceConfig::new(vcpu, mem));
-        }
-        ConfigMap::from_vec(configs)
-    }
-
     /// Penalised objective: billed cost, inflated proportionally to the SLO
     /// excess and to OOM failures. The penalty is *relative to the
     /// candidate's own cost* (as in the original single-function BO
@@ -123,159 +106,252 @@ impl BayesianOptimization {
     }
 }
 
+/// Decodes a normalised `[0, 1]^{2n}` point into a per-function
+/// configuration map, shared by the method facade and the strategy.
+fn decode(env: &WorkflowEnvironment, point: &[f64]) -> ConfigMap {
+    let space = env.space();
+    let n = env.workflow().len();
+    let mut configs = Vec::with_capacity(n);
+    for f in 0..n {
+        let cpu_norm = point[2 * f].clamp(0.0, 1.0);
+        let mem_norm = point[2 * f + 1].clamp(0.0, 1.0);
+        let vcpu = space.snap_vcpu(space.min_vcpu + cpu_norm * (space.max_vcpu - space.min_vcpu));
+        let mem_range = f64::from(space.max_memory_mb - space.min_memory_mb);
+        let mem = space.snap_memory(space.min_memory_mb + (mem_norm * mem_range).round() as u32);
+        configs.push(ResourceConfig::new(vcpu, mem));
+    }
+    ConfigMap::from_vec(configs)
+}
+
+/// Where the BO strategy is in its protocol.
+enum Stage {
+    /// Probe the over-provisioned base configuration.
+    Base,
+    /// The initial space-filling design is in flight as one batch.
+    InitDesign,
+    /// Surrogate-guided sequential probes (a candidate is in flight iff
+    /// `pending` is set).
+    Surrogate,
+    /// Search complete.
+    Finished,
+}
+
+/// The ask/tell form of workflow-level BO: one base probe, the initial
+/// random design as a single index-seeded batch, then strictly sequential
+/// surrogate-guided probes (every point depends on all previous
+/// observations).
+struct BoStrategy {
+    params: BoParams,
+    slo_ms: f64,
+    rng: StdRng,
+    trace: SearchTrace,
+    kernel: RbfKernel,
+    total_budget: usize,
+    base_cost: f64,
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+    init_points: Vec<Vec<f64>>,
+    init_configs: Vec<ConfigMap>,
+    pending: Option<(Vec<f64>, ConfigMap)>,
+    best_feasible_cost: f64,
+    best_configs: Option<ConfigMap>,
+    // The outcome carries the report of the winning sample itself: under
+    // runtime jitter the batched initial design runs with per-candidate
+    // derived seeds, so re-simulating the winner under a different seed
+    // could contradict the feasibility decision that selected it.
+    best_report: Option<SimResult>,
+    stage: Stage,
+}
+
+impl BoStrategy {
+    /// Folds one observed sample into the surrogate's dataset and the
+    /// best-so-far tracking.
+    fn observe_sample(&mut self, point: Vec<f64>, configs: ConfigMap, report: &SimResult) {
+        let feasible = report.meets_slo(self.slo_ms) && !report.any_oom();
+        self.trace.record(
+            report,
+            feasible,
+            format!("bo sample {}", self.trace.sample_count() + 1),
+        );
+        let obj = BayesianOptimization::objective(
+            report.total_cost(),
+            report.makespan_ms(),
+            report.any_oom(),
+            self.slo_ms,
+            self.base_cost,
+        );
+        self.xs.push(point);
+        self.ys.push(obj);
+        if feasible && report.total_cost() < self.best_feasible_cost {
+            self.best_feasible_cost = report.total_cost();
+            self.best_configs = Some(configs);
+            self.best_report = Some(report.clone());
+        }
+    }
+
+    /// Maximises expected improvement over a random candidate pool
+    /// (normalising the objective keeps the GP well-conditioned).
+    fn next_point(&mut self, dim: usize) -> Vec<f64> {
+        let y_scale = self.ys.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
+        let ys_norm: Vec<f64> = self.ys.iter().map(|y| y / y_scale).collect();
+        let gp = GaussianProcess::fit(self.kernel, self.xs.clone(), &ys_norm);
+        let best_norm = ys_norm.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut best_candidate: Vec<f64> = (0..dim).map(|_| self.rng.gen::<f64>()).collect();
+        let mut best_ei = f64::NEG_INFINITY;
+        for c in 0..self.params.candidates {
+            let candidate: Vec<f64> = if c % 4 == 0 && !self.xs.is_empty() {
+                // A quarter of the pool are local perturbations of the
+                // incumbent, which helps late-stage refinement.
+                let incumbent = &self.xs[ys_norm
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite objectives"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)];
+                incumbent
+                    .iter()
+                    .map(|v| (v + self.rng.gen_range(-0.1..0.1)).clamp(0.0, 1.0))
+                    .collect()
+            } else {
+                (0..dim).map(|_| self.rng.gen::<f64>()).collect()
+            };
+            let (mean, var) = gp.predict(&candidate);
+            let ei = expected_improvement(mean, var, best_norm, self.params.xi);
+            if ei > best_ei {
+                best_ei = ei;
+                best_candidate = candidate;
+            }
+        }
+        best_candidate
+    }
+}
+
+impl SearchStrategy for BoStrategy {
+    fn name(&self) -> &str {
+        "BO"
+    }
+
+    fn ask(&mut self, env: &WorkflowEnvironment) -> Result<Ask, AarcError> {
+        match self.stage {
+            Stage::Base => Ok(Ask::Probe(env.base_configs())),
+            Stage::InitDesign => Ok(Ask::Batch(self.init_configs.clone())),
+            Stage::Surrogate => {
+                if self.trace.sample_count() >= self.total_budget {
+                    self.stage = Stage::Finished;
+                    return Ok(Ask::Done);
+                }
+                let dim = env.workflow().len() * 2;
+                let point = self.next_point(dim);
+                let configs = decode(env, &point);
+                self.pending = Some((point, configs.clone()));
+                Ok(Ask::Probe(configs))
+            }
+            Stage::Finished => Ok(Ask::Done),
+        }
+    }
+
+    fn tell(&mut self, env: &WorkflowEnvironment, results: &[SimResult]) -> Result<(), AarcError> {
+        match self.stage {
+            Stage::Base => {
+                let base_report = &results[0];
+                self.trace.record(base_report, true, "base configuration");
+                if base_report.any_oom() {
+                    return Err(AarcError::BaseConfigurationOom);
+                }
+                if !base_report.meets_slo(self.slo_ms) {
+                    return Err(AarcError::BaseConfigurationViolatesSlo {
+                        makespan_ms: base_report.makespan_ms(),
+                        slo_ms: self.slo_ms,
+                    });
+                }
+                let dim = env.workflow().len() * 2;
+                self.base_cost = base_report.total_cost();
+                self.xs = vec![vec![1.0; dim]];
+                self.ys = vec![BayesianOptimization::objective(
+                    self.base_cost,
+                    base_report.makespan_ms(),
+                    false,
+                    self.slo_ms,
+                    self.base_cost,
+                )];
+                self.best_feasible_cost = self.base_cost;
+                self.best_configs = Some(env.base_configs());
+                self.best_report = Some(base_report.clone());
+
+                // Initial space-filling design: uniform random points. They
+                // are independent of any observation, so they are drawn up
+                // front (the RNG stream is identical to a sequential loop,
+                // which never consumed randomness between draws) and asked
+                // as one batch.
+                let n_init = self
+                    .total_budget
+                    .min(self.params.initial_samples)
+                    .saturating_sub(1);
+                self.init_points = (0..n_init)
+                    .map(|_| (0..dim).map(|_| self.rng.gen::<f64>()).collect())
+                    .collect();
+                self.init_configs = self.init_points.iter().map(|p| decode(env, p)).collect();
+                self.stage = if self.init_points.is_empty() {
+                    Stage::Surrogate
+                } else {
+                    Stage::InitDesign
+                };
+            }
+            Stage::InitDesign => {
+                let points = std::mem::take(&mut self.init_points);
+                let configs = std::mem::take(&mut self.init_configs);
+                for ((point, config), report) in points.into_iter().zip(configs).zip(results) {
+                    self.observe_sample(point, config, report);
+                }
+                self.stage = Stage::Surrogate;
+            }
+            Stage::Surrogate => {
+                let (point, configs) = self.pending.take().expect("a probe is in flight");
+                self.observe_sample(point, configs, &results[0]);
+            }
+            Stage::Finished => unreachable!("tell without an evaluation in flight"),
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, _env: &WorkflowEnvironment) -> Result<SearchOutcome, AarcError> {
+        Ok(SearchOutcome {
+            best_configs: self.best_configs.take().expect("search completed"),
+            final_report: self.best_report.take().expect("search completed"),
+            trace: std::mem::take(&mut self.trace),
+        })
+    }
+}
+
 impl ConfigurationSearch for BayesianOptimization {
     fn name(&self) -> &str {
         "BO"
     }
 
-    fn search_with(&self, engine: &EvalEngine, slo_ms: f64) -> Result<SearchOutcome, AarcError> {
-        let env = engine.env();
+    fn strategy(
+        &self,
+        _env: &WorkflowEnvironment,
+        slo_ms: f64,
+    ) -> Result<Box<dyn SearchStrategy>, AarcError> {
         validate_slo(slo_ms)?;
-        let mut rng = StdRng::seed_from_u64(self.params.seed);
-        let mut trace = SearchTrace::new();
-        let dim = env.workflow().len() * 2;
-
-        // Reference execution with the over-provisioned base configuration.
-        let base_configs = env.base_configs();
-        let base_report = engine.evaluate(&base_configs)?;
-        trace.record(&base_report, true, "base configuration");
-        if base_report.any_oom() {
-            return Err(AarcError::BaseConfigurationOom);
-        }
-        if !base_report.meets_slo(slo_ms) {
-            return Err(AarcError::BaseConfigurationViolatesSlo {
-                makespan_ms: base_report.makespan_ms(),
-                slo_ms,
-            });
-        }
-        let base_cost = base_report.total_cost();
-
-        let mut xs: Vec<Vec<f64>> = vec![vec![1.0; dim]];
-        let mut ys: Vec<f64> = vec![Self::objective(
-            base_cost,
-            base_report.makespan_ms(),
-            false,
+        Ok(Box::new(BoStrategy {
+            params: self.params,
             slo_ms,
-            base_cost,
-        )];
-        let mut best_feasible_cost = base_cost;
-        let mut best_configs = base_configs;
-        // The outcome carries the report of the winning sample itself: under
-        // runtime jitter the batched initial design runs with per-candidate
-        // derived seeds, so re-simulating the winner under a different seed
-        // could contradict the feasibility decision that selected it.
-        let mut best_report = base_report;
-
-        let kernel = RbfKernel::new(1.0, self.params.length_scale, 1e-6);
-        let total_budget = self.params.iterations.max(2);
-
-        // Initial space-filling design: uniform random points. They are
-        // independent of any observation, so they are drawn up front (the
-        // RNG stream is identical to a sequential loop, which never consumed
-        // randomness between draws) and evaluated as one engine batch.
-        let n_init = total_budget
-            .min(self.params.initial_samples)
-            .saturating_sub(1);
-        let init_points: Vec<Vec<f64>> = (0..n_init)
-            .map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect())
-            .collect();
-        let init_configs: Vec<ConfigMap> =
-            init_points.iter().map(|p| self.decode(env, p)).collect();
-        let init_reports = engine.evaluate_batch(&init_configs)?;
-        for ((point, configs), report) in
-            init_points.into_iter().zip(init_configs).zip(init_reports)
-        {
-            let feasible = report.meets_slo(slo_ms) && !report.any_oom();
-            trace.record(
-                &report,
-                feasible,
-                format!("bo sample {}", trace.sample_count() + 1),
-            );
-            let obj = Self::objective(
-                report.total_cost(),
-                report.makespan_ms(),
-                report.any_oom(),
-                slo_ms,
-                base_cost,
-            );
-            xs.push(point);
-            ys.push(obj);
-            if feasible && report.total_cost() < best_feasible_cost {
-                best_feasible_cost = report.total_cost();
-                best_configs = configs;
-                best_report = report;
-            }
-        }
-
-        // Surrogate-guided phase: every point depends on all previous
-        // observations, so candidates go through the engine one at a time
-        // (re-visited configurations are answered from the memo-cache).
-        while trace.sample_count() < total_budget {
-            let point: Vec<f64> = {
-                // Maximise expected improvement over a random candidate pool
-                // (normalising the objective keeps the GP well-conditioned).
-                let y_scale = ys.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
-                let ys_norm: Vec<f64> = ys.iter().map(|y| y / y_scale).collect();
-                let gp = GaussianProcess::fit(kernel, xs.clone(), &ys_norm);
-                let best_norm = ys_norm.iter().cloned().fold(f64::INFINITY, f64::min);
-                let mut best_candidate: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
-                let mut best_ei = f64::NEG_INFINITY;
-                for c in 0..self.params.candidates {
-                    let candidate: Vec<f64> = if c % 4 == 0 && !xs.is_empty() {
-                        // A quarter of the pool are local perturbations of the
-                        // incumbent, which helps late-stage refinement.
-                        let incumbent = &xs[ys_norm
-                            .iter()
-                            .enumerate()
-                            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite objectives"))
-                            .map(|(i, _)| i)
-                            .unwrap_or(0)];
-                        incumbent
-                            .iter()
-                            .map(|v| (v + rng.gen_range(-0.1..0.1)).clamp(0.0, 1.0))
-                            .collect()
-                    } else {
-                        (0..dim).map(|_| rng.gen::<f64>()).collect()
-                    };
-                    let (mean, var) = gp.predict(&candidate);
-                    let ei = expected_improvement(mean, var, best_norm, self.params.xi);
-                    if ei > best_ei {
-                        best_ei = ei;
-                        best_candidate = candidate;
-                    }
-                }
-                best_candidate
-            };
-
-            let configs = self.decode(env, &point);
-            let report = engine.evaluate(&configs)?;
-            let feasible = report.meets_slo(slo_ms) && !report.any_oom();
-            trace.record(
-                &report,
-                feasible,
-                format!("bo sample {}", trace.sample_count() + 1),
-            );
-            let obj = Self::objective(
-                report.total_cost(),
-                report.makespan_ms(),
-                report.any_oom(),
-                slo_ms,
-                base_cost,
-            );
-            xs.push(point);
-            ys.push(obj);
-            if feasible && report.total_cost() < best_feasible_cost {
-                best_feasible_cost = report.total_cost();
-                best_configs = configs;
-                best_report = report;
-            }
-        }
-
-        Ok(SearchOutcome {
-            best_configs,
-            final_report: best_report,
-            trace,
-        })
+            rng: StdRng::seed_from_u64(self.params.seed),
+            trace: SearchTrace::new(),
+            kernel: RbfKernel::new(1.0, self.params.length_scale, 1e-6),
+            total_budget: self.params.iterations.max(2),
+            base_cost: 0.0,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            init_points: Vec::new(),
+            init_configs: Vec::new(),
+            pending: None,
+            best_feasible_cost: f64::INFINITY,
+            best_configs: None,
+            best_report: None,
+            stage: Stage::Base,
+        }))
     }
 }
 
@@ -381,9 +457,9 @@ mod tests {
     #[test]
     fn decode_snaps_onto_the_grid_and_respects_bounds() {
         let env = small_env();
-        let bo = BayesianOptimization::default();
-        let low = bo.decode(&env, &[0.0, 0.0, 0.0, 0.0]);
-        let high = bo.decode(&env, &[1.0, 1.0, 1.0, 1.0]);
+
+        let low = decode(&env, &[0.0, 0.0, 0.0, 0.0]);
+        let high = decode(&env, &[1.0, 1.0, 1.0, 1.0]);
         for (_, c) in low.iter() {
             assert_eq!(c, env.space().min_config());
         }
@@ -391,7 +467,7 @@ mod tests {
             assert_eq!(c, env.space().max_config());
         }
         // Out-of-range coordinates are clamped rather than panicking.
-        let clamped = bo.decode(&env, &[-3.0, 7.0, 0.5, 0.5]);
+        let clamped = decode(&env, &[-3.0, 7.0, 0.5, 0.5]);
         assert!(env
             .space()
             .contains(clamped.get(aarc_workflow::NodeId::new(0))));

@@ -10,9 +10,11 @@
 //! like "4 vCPU with 512 MB" and therefore gets stuck in coupled local
 //! optima (the effect visible in Fig. 7b).
 
+use aarc_core::driver::{Ask, SearchStrategy};
 use aarc_core::search::{validate_slo, ConfigurationSearch, SearchOutcome, SearchTrace};
 use aarc_core::AarcError;
-use aarc_simulator::{ConfigMap, EvalEngine, ResourceConfig, WorkflowEnvironment};
+use aarc_simulator::{ConfigMap, ResourceConfig, SimResult, WorkflowEnvironment};
+use aarc_workflow::NodeId;
 
 /// Parameters of the MAFF baseline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,13 +61,207 @@ impl MaffGradientDescent {
     pub fn params(&self) -> &MaffParams {
         &self.params
     }
+}
 
-    /// The coupled configuration for a memory size.
-    fn coupled(&self, env: &WorkflowEnvironment, memory_mb: u32) -> ResourceConfig {
-        let space = env.space();
-        let mem = space.snap_memory(memory_mb);
-        let vcpu = space.snap_vcpu(f64::from(mem) / self.params.mb_per_core);
-        ResourceConfig::new(vcpu, mem)
+/// The coupled configuration for a memory size, shared with the strategy.
+fn coupled(params: &MaffParams, env: &WorkflowEnvironment, memory_mb: u32) -> ResourceConfig {
+    let space = env.space();
+    let mem = space.snap_memory(memory_mb);
+    let vcpu = space.snap_vcpu(f64::from(mem) / params.mb_per_core);
+    ResourceConfig::new(vcpu, mem)
+}
+
+/// Where the MAFF strategy is in its descent.
+enum Stage {
+    /// Probe the initial coupled, over-provisioned configuration.
+    Base,
+    /// Walking memory downward node by node (a candidate is in flight iff
+    /// `pending` is set).
+    Descent,
+    /// Asking for the final evaluation of the settled configuration.
+    Final,
+    /// Awaiting the final evaluation's result.
+    AwaitFinal,
+    /// Search complete.
+    Finished,
+}
+
+/// A descent candidate in flight: the node being shrunk, the configuration
+/// it replaced, and the candidate memory size to commit on acceptance.
+struct PendingStep {
+    node: NodeId,
+    previous: ResourceConfig,
+    candidate: ResourceConfig,
+    candidate_mem: u32,
+}
+
+/// The ask/tell form of MAFF's coupled gradient descent: strictly
+/// sequential probes (each step depends on the previous result), walking
+/// the topological order pass by pass with a halving step, then one final
+/// probe of the settled configuration.
+struct MaffStrategy {
+    params: MaffParams,
+    slo_ms: f64,
+    trace: SearchTrace,
+    memories: Vec<u32>,
+    configs: ConfigMap,
+    best_cost: f64,
+    step: u32,
+    order: Vec<NodeId>,
+    pos: usize,
+    improved: bool,
+    pending: Option<PendingStep>,
+    final_report: Option<SimResult>,
+    stage: Stage,
+}
+
+impl SearchStrategy for MaffStrategy {
+    fn name(&self) -> &str {
+        "MAFF"
+    }
+
+    fn ask(&mut self, env: &WorkflowEnvironment) -> Result<Ask, AarcError> {
+        loop {
+            match self.stage {
+                Stage::Base => {
+                    // Initial coupled, over-provisioned configuration.
+                    let n = env.workflow().len();
+                    self.memories = vec![self.params.initial_memory_mb; n];
+                    self.configs = ConfigMap::from_vec(
+                        self.memories
+                            .iter()
+                            .map(|&m| coupled(&self.params, env, m))
+                            .collect(),
+                    );
+                    self.order = env.workflow().topological_order();
+                    return Ok(Ask::Probe(self.configs.clone()));
+                }
+                Stage::Descent => {
+                    if self.trace.sample_count() >= self.params.max_samples {
+                        self.stage = Stage::Final;
+                        continue;
+                    }
+                    if self.step < self.params.min_step_mb {
+                        self.stage = Stage::Final;
+                        continue;
+                    }
+                    if self.pos == self.order.len() {
+                        // Pass boundary: halve the step when a full pass
+                        // brought no improvement.
+                        if !self.improved {
+                            self.step /= 2;
+                        }
+                        if self.step < self.params.min_step_mb {
+                            self.stage = Stage::Final;
+                        } else {
+                            self.pos = 0;
+                            self.improved = false;
+                        }
+                        continue;
+                    }
+                    let node = self.order[self.pos];
+                    let current_mem = self.memories[node.index()];
+                    if current_mem <= env.space().min_memory_mb {
+                        self.pos += 1;
+                        continue;
+                    }
+                    let candidate_mem = current_mem
+                        .saturating_sub(self.step)
+                        .max(env.space().min_memory_mb);
+                    if candidate_mem == current_mem {
+                        self.pos += 1;
+                        continue;
+                    }
+                    let previous = self.configs.get(node);
+                    let candidate = coupled(&self.params, env, candidate_mem);
+                    self.configs.set(node, candidate);
+                    self.pending = Some(PendingStep {
+                        node,
+                        previous,
+                        candidate,
+                        candidate_mem,
+                    });
+                    return Ok(Ask::Probe(self.configs.clone()));
+                }
+                Stage::Final => {
+                    self.stage = Stage::AwaitFinal;
+                    return Ok(Ask::Probe(self.configs.clone()));
+                }
+                Stage::Finished => return Ok(Ask::Done),
+                Stage::AwaitFinal => unreachable!("AwaitFinal awaits tell, never asks"),
+            }
+        }
+    }
+
+    fn tell(&mut self, env: &WorkflowEnvironment, results: &[SimResult]) -> Result<(), AarcError> {
+        let report = &results[0];
+        match self.stage {
+            Stage::Base => {
+                self.trace
+                    .record(report, true, "coupled base configuration");
+                if report.any_oom() {
+                    return Err(AarcError::BaseConfigurationOom);
+                }
+                if !report.meets_slo(self.slo_ms) {
+                    return Err(AarcError::BaseConfigurationViolatesSlo {
+                        makespan_ms: report.makespan_ms(),
+                        slo_ms: self.slo_ms,
+                    });
+                }
+                self.best_cost = report.total_cost();
+                self.pos = 0;
+                self.improved = false;
+                self.stage = Stage::Descent;
+            }
+            Stage::Descent => {
+                let PendingStep {
+                    node,
+                    previous,
+                    candidate,
+                    candidate_mem,
+                } = self.pending.take().expect("a descent step is in flight");
+                let label = format!(
+                    "{}: {} -> {}",
+                    env.workflow().function(node).name(),
+                    previous,
+                    candidate
+                );
+                if !report.meets_slo(self.slo_ms) {
+                    // Paper: revert to the previous step and terminate.
+                    self.trace.record(report, false, label);
+                    self.configs.set(node, previous);
+                    self.stage = Stage::Final;
+                } else if report.total_cost() + 1e-9 < self.best_cost {
+                    self.trace.record(report, true, label);
+                    self.memories[node.index()] = candidate_mem;
+                    self.best_cost = report.total_cost();
+                    self.improved = true;
+                    self.pos += 1;
+                } else {
+                    // Cost did not improve: undo and move on (local
+                    // gradient is non-negative in this direction).
+                    self.trace.record(report, false, label);
+                    self.configs.set(node, previous);
+                    self.pos += 1;
+                }
+            }
+            Stage::AwaitFinal => {
+                self.final_report = Some(report.clone());
+                self.stage = Stage::Finished;
+            }
+            Stage::Final | Stage::Finished => {
+                unreachable!("tell without an evaluation in flight")
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, _env: &WorkflowEnvironment) -> Result<SearchOutcome, AarcError> {
+        Ok(SearchOutcome {
+            best_configs: self.configs.clone(),
+            final_report: self.final_report.take().expect("search completed"),
+            trace: std::mem::take(&mut self.trace),
+        })
     }
 }
 
@@ -74,87 +270,27 @@ impl ConfigurationSearch for MaffGradientDescent {
         "MAFF"
     }
 
-    fn search_with(&self, engine: &EvalEngine, slo_ms: f64) -> Result<SearchOutcome, AarcError> {
-        let env = engine.env();
+    fn strategy(
+        &self,
+        _env: &WorkflowEnvironment,
+        slo_ms: f64,
+    ) -> Result<Box<dyn SearchStrategy>, AarcError> {
         validate_slo(slo_ms)?;
-        let n = env.workflow().len();
-        let mut trace = SearchTrace::new();
-
-        // Initial coupled, over-provisioned configuration.
-        let mut memories: Vec<u32> = vec![self.params.initial_memory_mb; n];
-        let mut configs =
-            ConfigMap::from_vec(memories.iter().map(|&m| self.coupled(env, m)).collect());
-        let best_report = engine.evaluate(&configs)?;
-        trace.record(&best_report, true, "coupled base configuration");
-        if best_report.any_oom() {
-            return Err(AarcError::BaseConfigurationOom);
-        }
-        if !best_report.meets_slo(slo_ms) {
-            return Err(AarcError::BaseConfigurationViolatesSlo {
-                makespan_ms: best_report.makespan_ms(),
-                slo_ms,
-            });
-        }
-        let mut best_cost = best_report.total_cost();
-
-        let mut step = self.params.initial_step_mb;
-        let order = env.workflow().topological_order();
-        'outer: while step >= self.params.min_step_mb {
-            let mut improved = false;
-            for &node in &order {
-                if trace.sample_count() >= self.params.max_samples {
-                    break 'outer;
-                }
-                let current_mem = memories[node.index()];
-                if current_mem <= env.space().min_memory_mb {
-                    continue;
-                }
-                let candidate_mem = current_mem
-                    .saturating_sub(step)
-                    .max(env.space().min_memory_mb);
-                if candidate_mem == current_mem {
-                    continue;
-                }
-                let previous = configs.get(node);
-                let candidate = self.coupled(env, candidate_mem);
-                configs.set(node, candidate);
-                let report = engine.evaluate(&configs)?;
-                let label = format!(
-                    "{}: {} -> {}",
-                    env.workflow().function(node).name(),
-                    previous,
-                    candidate
-                );
-
-                if !report.meets_slo(slo_ms) {
-                    // Paper: revert to the previous step and terminate.
-                    trace.record(&report, false, label);
-                    configs.set(node, previous);
-                    break 'outer;
-                }
-                if report.total_cost() + 1e-9 < best_cost {
-                    trace.record(&report, true, label);
-                    memories[node.index()] = candidate_mem;
-                    best_cost = report.total_cost();
-                    improved = true;
-                } else {
-                    // Cost did not improve: undo and move on (local
-                    // gradient is non-negative in this direction).
-                    trace.record(&report, false, label);
-                    configs.set(node, previous);
-                }
-            }
-            if !improved {
-                step /= 2;
-            }
-        }
-
-        let final_report = engine.evaluate(&configs)?;
-        Ok(SearchOutcome {
-            best_configs: configs,
-            final_report,
-            trace,
-        })
+        Ok(Box::new(MaffStrategy {
+            params: self.params,
+            slo_ms,
+            trace: SearchTrace::new(),
+            memories: Vec::new(),
+            configs: ConfigMap::from_vec(Vec::new()),
+            best_cost: f64::INFINITY,
+            step: self.params.initial_step_mb,
+            order: Vec::new(),
+            pos: 0,
+            improved: false,
+            pending: None,
+            final_report: None,
+            stage: Stage::Base,
+        }))
     }
 }
 

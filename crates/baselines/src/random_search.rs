@@ -7,9 +7,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use aarc_core::driver::{Ask, SearchStrategy};
 use aarc_core::search::{validate_slo, ConfigurationSearch, SearchOutcome, SearchTrace};
 use aarc_core::AarcError;
-use aarc_simulator::{ConfigMap, EvalEngine, ResourceConfig};
+use aarc_simulator::{ConfigMap, ResourceConfig, SimResult, WorkflowEnvironment};
 
 /// Parameters of the random-search control.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,80 +43,147 @@ impl RandomSearch {
     }
 }
 
+/// Where the random-search strategy is in its two-step protocol.
+enum Stage {
+    /// Probe the over-provisioned base configuration.
+    Base,
+    /// The full random design is in flight as one batch.
+    Design,
+    /// All samples observed.
+    Finished,
+}
+
+/// The ask/tell form of random search: one base probe, then the entire
+/// design as a single index-seeded batch — candidates fan out over the
+/// shared worker pool with seeds derived from their index, keeping results
+/// thread-count and interleaving invariant.
+struct RandomStrategy {
+    params: RandomSearchParams,
+    slo_ms: f64,
+    rng: StdRng,
+    trace: SearchTrace,
+    candidates: Vec<ConfigMap>,
+    best_cost: f64,
+    best_configs: Option<ConfigMap>,
+    // The outcome carries the report of the winning sample itself: under
+    // runtime jitter every batched candidate ran with its own derived
+    // seed, so re-simulating the winner under a different seed could
+    // contradict the feasibility decision that selected it.
+    best_report: Option<SimResult>,
+    stage: Stage,
+}
+
+impl SearchStrategy for RandomStrategy {
+    fn name(&self) -> &str {
+        "Random"
+    }
+
+    fn ask(&mut self, env: &WorkflowEnvironment) -> Result<Ask, AarcError> {
+        match self.stage {
+            Stage::Base => Ok(Ask::Probe(env.base_configs())),
+            Stage::Design => Ok(Ask::Batch(self.candidates.clone())),
+            Stage::Finished => Ok(Ask::Done),
+        }
+    }
+
+    fn tell(&mut self, env: &WorkflowEnvironment, results: &[SimResult]) -> Result<(), AarcError> {
+        match self.stage {
+            Stage::Base => {
+                let base_report = &results[0];
+                self.trace.record(base_report, true, "base configuration");
+                if base_report.any_oom() {
+                    return Err(AarcError::BaseConfigurationOom);
+                }
+                if !base_report.meets_slo(self.slo_ms) {
+                    return Err(AarcError::BaseConfigurationViolatesSlo {
+                        makespan_ms: base_report.makespan_ms(),
+                        slo_ms: self.slo_ms,
+                    });
+                }
+                self.best_cost = base_report.total_cost();
+                self.best_configs = Some(env.base_configs());
+                self.best_report = Some(base_report.clone());
+
+                // Every sample is independent, so the whole design is drawn
+                // up front (same RNG stream as a sequential loop) and asked
+                // as one batch.
+                let space = *env.space();
+                let remaining = self.params.iterations.max(2) - 1;
+                self.candidates = (0..remaining)
+                    .map(|_| {
+                        ConfigMap::from_vec(
+                            (0..env.workflow().len())
+                                .map(|_| {
+                                    let vcpu = space.snap_vcpu(
+                                        self.rng.gen_range(space.min_vcpu..=space.max_vcpu),
+                                    );
+                                    let mem = space.snap_memory(
+                                        self.rng
+                                            .gen_range(space.min_memory_mb..=space.max_memory_mb),
+                                    );
+                                    ResourceConfig::new(vcpu, mem)
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                self.stage = Stage::Design;
+            }
+            Stage::Design => {
+                for (configs, report) in std::mem::take(&mut self.candidates)
+                    .into_iter()
+                    .zip(results)
+                {
+                    let feasible = report.meets_slo(self.slo_ms) && !report.any_oom();
+                    self.trace.record(
+                        report,
+                        feasible,
+                        format!("random sample {}", self.trace.sample_count() + 1),
+                    );
+                    if feasible && report.total_cost() < self.best_cost {
+                        self.best_cost = report.total_cost();
+                        self.best_configs = Some(configs);
+                        self.best_report = Some(report.clone());
+                    }
+                }
+                self.stage = Stage::Finished;
+            }
+            Stage::Finished => unreachable!("tell without an evaluation in flight"),
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, _env: &WorkflowEnvironment) -> Result<SearchOutcome, AarcError> {
+        Ok(SearchOutcome {
+            best_configs: self.best_configs.take().expect("search completed"),
+            final_report: self.best_report.take().expect("search completed"),
+            trace: std::mem::take(&mut self.trace),
+        })
+    }
+}
+
 impl ConfigurationSearch for RandomSearch {
     fn name(&self) -> &str {
         "Random"
     }
 
-    fn search_with(&self, engine: &EvalEngine, slo_ms: f64) -> Result<SearchOutcome, AarcError> {
-        let env = engine.env();
+    fn strategy(
+        &self,
+        _env: &WorkflowEnvironment,
+        slo_ms: f64,
+    ) -> Result<Box<dyn SearchStrategy>, AarcError> {
         validate_slo(slo_ms)?;
-        let mut rng = StdRng::seed_from_u64(self.params.seed);
-        let mut trace = SearchTrace::new();
-        let space = *env.space();
-
-        let base_configs = env.base_configs();
-        let base_report = engine.evaluate(&base_configs)?;
-        trace.record(&base_report, true, "base configuration");
-        if base_report.any_oom() {
-            return Err(AarcError::BaseConfigurationOom);
-        }
-        if !base_report.meets_slo(slo_ms) {
-            return Err(AarcError::BaseConfigurationViolatesSlo {
-                makespan_ms: base_report.makespan_ms(),
-                slo_ms,
-            });
-        }
-
-        // Every sample is independent, so the whole design can be drawn up
-        // front (same RNG stream as a sequential loop) and submitted as one
-        // engine batch: candidates fan out over the worker pool with seeds
-        // derived from their index, keeping results thread-count invariant.
-        let remaining = self.params.iterations.max(2) - 1;
-        let candidates: Vec<ConfigMap> = (0..remaining)
-            .map(|_| {
-                ConfigMap::from_vec(
-                    (0..env.workflow().len())
-                        .map(|_| {
-                            let vcpu =
-                                space.snap_vcpu(rng.gen_range(space.min_vcpu..=space.max_vcpu));
-                            let mem = space.snap_memory(
-                                rng.gen_range(space.min_memory_mb..=space.max_memory_mb),
-                            );
-                            ResourceConfig::new(vcpu, mem)
-                        })
-                        .collect(),
-                )
-            })
-            .collect();
-        let reports = engine.evaluate_batch(&candidates)?;
-
-        let mut best_cost = base_report.total_cost();
-        let mut best_configs = base_configs;
-        // The outcome carries the report of the winning sample itself: under
-        // runtime jitter every batched candidate ran with its own derived
-        // seed, so re-simulating the winner under a different seed could
-        // contradict the feasibility decision that selected it.
-        let mut best_report = base_report;
-        for (configs, report) in candidates.into_iter().zip(reports) {
-            let feasible = report.meets_slo(slo_ms) && !report.any_oom();
-            trace.record(
-                &report,
-                feasible,
-                format!("random sample {}", trace.sample_count() + 1),
-            );
-            if feasible && report.total_cost() < best_cost {
-                best_cost = report.total_cost();
-                best_configs = configs;
-                best_report = report;
-            }
-        }
-
-        Ok(SearchOutcome {
-            best_configs,
-            final_report: best_report,
-            trace,
-        })
+        Ok(Box::new(RandomStrategy {
+            params: self.params,
+            slo_ms,
+            rng: StdRng::seed_from_u64(self.params.seed),
+            trace: SearchTrace::new(),
+            candidates: Vec::new(),
+            best_cost: f64::INFINITY,
+            best_configs: None,
+            best_report: None,
+            stage: Stage::Base,
+        }))
     }
 }
 

@@ -3,6 +3,7 @@
 //! the initial step size.
 
 use aarc_core::{AarcError, AarcParams, ConfigurationSearch, GraphCentricScheduler};
+use aarc_simulator::EvalService;
 use aarc_workloads::Workload;
 
 /// Result of one ablation variant on one workload.
@@ -30,8 +31,25 @@ pub fn run_variant(
     label: &str,
     params: AarcParams,
 ) -> Result<AblationResult, AarcError> {
+    run_variant_on(&EvalService::default(), workload, label, params)
+}
+
+/// [`run_variant`] over a shared [`EvalService`], so a grid of variants
+/// reuses one pool and cache (the base-configuration profiling run of every
+/// variant is simulated once and answered from the cache thereafter).
+///
+/// # Errors
+///
+/// Propagates search errors.
+pub fn run_variant_on(
+    service: &EvalService,
+    workload: &Workload,
+    label: &str,
+    params: AarcParams,
+) -> Result<AblationResult, AarcError> {
     let scheduler = GraphCentricScheduler::new(params);
-    let outcome = scheduler.search(workload.env(), workload.slo_ms())?;
+    let outcome =
+        scheduler.search_on(&service.register(workload.env().clone()), workload.slo_ms())?;
     Ok(AblationResult {
         variant: label.to_owned(),
         samples: outcome.trace.sample_count(),
@@ -92,9 +110,10 @@ pub fn variants() -> Vec<(&'static str, AarcParams)> {
 ///
 /// Propagates search errors.
 pub fn run_all(workload: &Workload) -> Result<Vec<AblationResult>, AarcError> {
+    let service = EvalService::default();
     variants()
         .into_iter()
-        .map(|(label, params)| run_variant(workload, label, params))
+        .map(|(label, params)| run_variant_on(&service, workload, label, params))
         .collect()
 }
 

@@ -5,6 +5,7 @@
 use aarc_baselines::{BayesianOptimization, BoParams};
 use aarc_core::{AarcError, ConfigurationSearch};
 use aarc_simulator::metrics::fluctuation_amplitude;
+use aarc_simulator::EvalService;
 use aarc_workloads::chatbot;
 
 /// Result of the Fig. 3 experiment.
@@ -39,7 +40,8 @@ pub fn run(rounds: usize) -> Result<BoMotivation, AarcError> {
         iterations: rounds,
         ..BoParams::motivation()
     });
-    let outcome = bo.search(workload.env(), workload.slo_ms())?;
+    let service = EvalService::default();
+    let outcome = bo.search_on(&service.register(workload.env().clone()), workload.slo_ms())?;
     let runtime_series_ms = outcome.trace.runtime_series();
     let cost_series = outcome.trace.cost_series();
 

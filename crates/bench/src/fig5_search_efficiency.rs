@@ -3,6 +3,7 @@
 //! runtime / cost series (Figs. 6 and 7).
 
 use aarc_core::AarcError;
+use aarc_simulator::EvalService;
 use aarc_workloads::{paper_workloads, Workload};
 
 use crate::methods::{build_method, MethodName};
@@ -32,14 +33,30 @@ pub struct SearchEfficiency {
     pub final_meets_slo: bool,
 }
 
-/// Runs one method on one workload and collects its efficiency metrics.
+/// Runs one method on one workload and collects its efficiency metrics,
+/// over a private single-threaded evaluation service.
 ///
 /// # Errors
 ///
 /// Propagates search errors.
 pub fn measure(workload: &Workload, method: MethodName) -> Result<SearchEfficiency, AarcError> {
+    measure_on(&EvalService::default(), workload, method)
+}
+
+/// [`measure`] over a shared [`EvalService`]: the workload is registered as
+/// a handle and the search submits through the shared pool and
+/// fingerprint-keyed cache. Results are bit-identical to a private engine.
+///
+/// # Errors
+///
+/// Propagates search errors.
+pub fn measure_on(
+    service: &EvalService,
+    workload: &Workload,
+    method: MethodName,
+) -> Result<SearchEfficiency, AarcError> {
     let search = build_method(method);
-    let outcome = search.search(workload.env(), workload.slo_ms())?;
+    let outcome = search.search_on(&service.register(workload.env().clone()), workload.slo_ms())?;
     Ok(SearchEfficiency {
         workload: workload.name().to_owned(),
         method,
@@ -61,10 +78,14 @@ pub fn measure(workload: &Workload, method: MethodName) -> Result<SearchEfficien
 ///
 /// Propagates search errors.
 pub fn run_all() -> Result<Vec<SearchEfficiency>, AarcError> {
+    // One shared service across the whole matrix: every (workload, method)
+    // pair draws from the same pool, and repeated simulations (e.g. the
+    // base configuration per workload) hit the shared cache across methods.
+    let service = EvalService::default();
     let mut out = Vec::new();
     for workload in paper_workloads() {
         for method in MethodName::ALL {
-            out.push(measure(&workload, method)?);
+            out.push(measure_on(&service, &workload, method)?);
         }
     }
     Ok(out)

@@ -6,7 +6,7 @@
 use std::collections::BTreeMap;
 
 use aarc_core::{AarcError, AarcParams, GraphCentricScheduler, InputAwareEngine};
-use aarc_simulator::{ConfigMap, InputClass};
+use aarc_simulator::{ConfigMap, EvalService, InputClass};
 use aarc_workloads::inputs::request_sequence;
 use aarc_workloads::video_analysis;
 
@@ -80,9 +80,15 @@ pub fn run(total_requests: usize) -> Result<Vec<InputAwareResult>, AarcError> {
 
     let mut results = Vec::new();
 
+    // One shared evaluation service for the whole figure: the per-class
+    // input-aware searches interleave on its pool, and the static
+    // baselines' searches reuse the same cache.
+    let service = EvalService::default();
+
     // AARC with the input-aware engine plugin.
     let scheduler = GraphCentricScheduler::new(AarcParams::paper());
-    let engine = InputAwareEngine::build(&scheduler, env, slo, workload.input_classes())?;
+    let engine =
+        InputAwareEngine::build_with(&scheduler, &service, env, slo, workload.input_classes())?;
     let mut aarc_requests = Vec::with_capacity(total_requests);
     for (i, (class, input)) in requests.iter().enumerate() {
         let report = engine.serve(env, *input)?;
@@ -102,7 +108,7 @@ pub fn run(total_requests: usize) -> Result<Vec<InputAwareResult>, AarcError> {
     // Static baselines: one configuration for all inputs.
     for method in [MethodName::Bo, MethodName::Maff] {
         let search = build_method(method);
-        let outcome = search.search(env, slo)?;
+        let outcome = search.search_on(&service.register(env.clone()), slo)?;
         results.push(serve_static(
             method,
             &outcome.best_configs,

@@ -5,7 +5,7 @@
 
 use aarc_core::AarcError;
 use aarc_simulator::metrics::Summary;
-use aarc_simulator::{ClusterSpec, ConfigMap, WorkflowEnvironment};
+use aarc_simulator::{ClusterSpec, ConfigMap, EvalService, WorkflowEnvironment};
 use aarc_workloads::{paper_workloads, Workload};
 
 use crate::methods::{build_method, MethodName};
@@ -83,8 +83,22 @@ pub fn measure(
     method: MethodName,
     repetitions: usize,
 ) -> Result<OptimalConfigRow, AarcError> {
+    measure_on(&EvalService::default(), workload, method, repetitions)
+}
+
+/// [`measure`] over a shared [`EvalService`] (see the sibling harnesses).
+///
+/// # Errors
+///
+/// Propagates search and execution errors.
+pub fn measure_on(
+    service: &EvalService,
+    workload: &Workload,
+    method: MethodName,
+    repetitions: usize,
+) -> Result<OptimalConfigRow, AarcError> {
     let search = build_method(method);
-    let outcome = search.search(workload.env(), workload.slo_ms())?;
+    let outcome = search.search_on(&service.register(workload.env().clone()), workload.slo_ms())?;
     let (runtime, cost, violations) = evaluate_config(
         workload.env(),
         &outcome.best_configs,
@@ -108,10 +122,11 @@ pub fn measure(
 ///
 /// Propagates search and execution errors.
 pub fn run_all(repetitions: usize) -> Result<Vec<OptimalConfigRow>, AarcError> {
+    let service = EvalService::default();
     let mut rows = Vec::new();
     for workload in paper_workloads() {
         for method in MethodName::ALL {
-            rows.push(measure(&workload, method, repetitions)?);
+            rows.push(measure_on(&service, &workload, method, repetitions)?);
         }
     }
     Ok(rows)

@@ -1,4 +1,5 @@
-//! Minimal flag parser: `--flag value` pairs plus positional arguments.
+//! Minimal flag parser: `--flag value` / `--flag=value` pairs plus
+//! positional arguments.
 
 use std::collections::HashMap;
 
@@ -10,13 +11,19 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses `--name value` pairs and positionals; `known` lists the
-    /// accepted flag names (without `--`).
+    /// Parses `--name value` / `--name=value` pairs and positionals;
+    /// `known` lists the accepted flag names (without `--`).
     pub fn parse(argv: &[String], known: &[&str]) -> Result<Args, String> {
         let mut args = Args::default();
         let mut it = argv.iter();
         while let Some(a) = it.next() {
-            if let Some(name) = a.strip_prefix("--") {
+            if let Some(flag) = a.strip_prefix("--") {
+                // `--name=value` carries its value inline; `--name` takes
+                // the next argument.
+                let (name, inline) = match flag.split_once('=') {
+                    Some((name, value)) => (name, Some(value.to_owned())),
+                    None => (flag, None),
+                };
                 if !known.contains(&name) {
                     return Err(format!(
                         "unknown flag `--{name}` (accepted: {})",
@@ -27,10 +34,14 @@ impl Args {
                             .join(", ")
                     ));
                 }
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("flag `--{name}` needs a value"))?;
-                if args.flags.insert(name.to_owned(), value.clone()).is_some() {
+                let value = match inline {
+                    Some(value) => value,
+                    None => it
+                        .next()
+                        .ok_or_else(|| format!("flag `--{name}` needs a value"))?
+                        .clone(),
+                };
+                if args.flags.insert(name.to_owned(), value).is_some() {
                     return Err(format!("flag `--{name}` given twice"));
                 }
             } else {
@@ -94,6 +105,34 @@ mod tests {
         assert!(Args::parse(&argv(&["--nope", "1"]), &["spec"]).is_err());
         assert!(Args::parse(&argv(&["--spec", "a", "--spec", "b"]), &["spec"]).is_err());
         assert!(Args::parse(&argv(&["--spec"]), &["spec"]).is_err());
+    }
+
+    #[test]
+    fn parses_equals_syntax() {
+        let a = Args::parse(
+            &argv(&["--spec=x.yaml", "pos1", "--method=bo", "--slo=1500.5"]),
+            &["spec", "method", "slo"],
+        )
+        .unwrap();
+        assert_eq!(a.get("spec"), Some("x.yaml"));
+        assert_eq!(a.get("method"), Some("bo"));
+        assert_eq!(a.get_parsed::<f64>("slo").unwrap(), Some(1500.5));
+        assert_eq!(a.positional(), &["pos1".to_string()]);
+        // Values may themselves contain `=` — only the first splits.
+        let b = Args::parse(&argv(&["--out=a=b.json"]), &["out"]).unwrap();
+        assert_eq!(b.get("out"), Some("a=b.json"));
+        // An empty inline value is a value, not a missing one.
+        let c = Args::parse(&argv(&["--out="]), &["out"]).unwrap();
+        assert_eq!(c.get("out"), Some(""));
+    }
+
+    #[test]
+    fn equals_syntax_keeps_unknown_and_duplicate_errors() {
+        let err = Args::parse(&argv(&["--nope=1"]), &["spec"]).unwrap_err();
+        assert!(err.contains("unknown flag `--nope`"), "{err}");
+        assert!(Args::parse(&argv(&["--spec=a", "--spec", "b"]), &["spec"]).is_err());
+        assert!(Args::parse(&argv(&["--spec", "a", "--spec=b"]), &["spec"]).is_err());
+        assert!(Args::parse(&argv(&["--spec=a", "--spec=b"]), &["spec"]).is_err());
     }
 
     #[test]

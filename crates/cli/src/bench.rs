@@ -1,8 +1,8 @@
 //! `aarc bench` — the machine-readable performance benchmark behind the CI
 //! perf-regression gate.
 //!
-//! For every spec the harness measures two things through the
-//! [`EvalEngine`]:
+//! For every spec the harness measures two things through the shared
+//! [`EvalService`]:
 //!
 //! 1. **Raw simulation throughput** — a deterministic batch of candidate
 //!    configurations (derived from the spec fingerprint, so the workload is
@@ -10,14 +10,20 @@
 //!    once at the requested thread count, yielding `sims_per_sec` and the
 //!    parallel `speedup`.
 //! 2. **Search wall-clock** — all four search methods run through one
-//!    shared memoising engine (exactly what `aarc compare` does), yielding
+//!    shared memoising service (exactly what `aarc compare` does), yielding
 //!    `wall_ms`, sample counts and the cache hit rate.
+//!
+//! On top of the per-scenario phases, an **aggregate shared-pool phase**
+//! registers every spec on one [`EvalService`] and replays all candidate
+//! batches through it back-to-back — the multi-scenario throughput the
+//! service layer is supposed to sustain, gated so the shared substrate
+//! cannot silently regress.
 //!
 //! The result serializes as `BENCH_*.json` (see README for the schema). In
 //! gate mode the harness compares itself against a committed baseline and
-//! fails on >`max_regress` regressions of search wall-clock or multi-thread
-//! throughput, on parallel speedup below `--min-speedup`, or on a zero
-//! cache hit rate.
+//! fails on >`max_regress` regressions of search wall-clock, multi-thread
+//! throughput or aggregate shared-pool throughput, on parallel speedup
+//! below `--min-speedup`, or on a zero cache hit rate.
 
 use std::time::Instant;
 
@@ -25,13 +31,15 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use aarc_simulator::{ConfigMap, EvalEngine, EvalOptions, ResourceConfig};
+use aarc_simulator::{ConfigMap, EvalOptions, EvalService, ResourceConfig};
 use aarc_workloads::Workload;
 
 use crate::methods;
 
-/// Version stamp of the `BENCH_*.json` schema.
-pub const BENCH_VERSION: u32 = 1;
+/// Version stamp of the `BENCH_*.json` schema (2 added the aggregate
+/// shared-pool phase; version-1 baselines still parse, they just carry no
+/// aggregate to gate against).
+pub const BENCH_VERSION: u32 = 2;
 
 /// One timed batch evaluation at a fixed thread count.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -80,6 +88,18 @@ pub struct BenchScenario {
     pub search: SearchPhase,
 }
 
+/// The aggregate shared-pool phase: every scenario's candidate batch
+/// replayed back-to-back through one multi-scenario [`EvalService`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AggregatePhase {
+    /// Wall-clock time of all batches together, ms.
+    pub wall_ms: f64,
+    /// Simulations executed across all scenarios.
+    pub simulations: u64,
+    /// Aggregate simulations per second on the shared pool.
+    pub sims_per_sec: f64,
+}
+
 /// The complete `BENCH_*.json` document.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -91,6 +111,9 @@ pub struct BenchReport {
     pub batch: usize,
     /// One entry per benched spec, in argument order.
     pub scenarios: Vec<BenchScenario>,
+    /// The aggregate shared-pool phase over all scenarios (absent in
+    /// version-1 baselines).
+    pub aggregate: Option<AggregatePhase>,
     /// Sum of the per-scenario search wall-clocks, ms.
     pub total_search_wall_ms: f64,
     /// Geometric mean of the per-scenario parallel speedups.
@@ -121,8 +144,8 @@ fn candidate_batch(workload: &Workload, fingerprint: u64, batch: usize) -> Vec<C
         .collect()
 }
 
-/// Times one batch evaluation on a fresh, cache-less engine with `threads`
-/// workers.
+/// Times one batch evaluation on a fresh, cache-less service with
+/// `threads` workers.
 fn time_batch(
     workload: &Workload,
     candidates: &[ConfigMap],
@@ -130,19 +153,17 @@ fn time_batch(
 ) -> Result<ThroughputPhase, String> {
     // The cache is disabled so the phase times raw simulation throughput,
     // not memoisation.
-    let engine = EvalEngine::new(
-        workload.env().clone(),
-        EvalOptions {
-            threads,
-            cache_capacity: 0,
-        },
-    );
+    let service = EvalService::new(EvalOptions {
+        threads,
+        cache_capacity: 0,
+    });
+    let handle = service.register(workload.env().clone());
     let start = Instant::now();
-    engine
+    handle
         .evaluate_batch(candidates)
         .map_err(|e| format!("batch evaluation failed: {e}"))?;
     let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
-    let simulations = engine.stats().simulations();
+    let simulations = handle.stats().simulations();
     Ok(ThroughputPhase {
         wall_ms,
         simulations,
@@ -154,20 +175,21 @@ fn time_batch(
     })
 }
 
-/// Runs all four search methods through one shared memoising engine and
+/// Runs all four search methods through one shared memoising service and
 /// times the whole sweep.
 fn time_search(workload: &Workload, threads: usize) -> Result<SearchPhase, String> {
-    let engine = EvalEngine::with_threads(workload.env().clone(), threads);
+    let service = EvalService::with_threads(threads);
+    let handle = service.register(workload.env().clone());
     let mut samples = 0u64;
     let start = Instant::now();
     for (name, method) in methods::all() {
         let outcome = method
-            .search_with(&engine, workload.slo_ms())
+            .search_on(&handle, workload.slo_ms())
             .map_err(|e| format!("method `{name}` failed: {e}"))?;
         samples += outcome.trace.sample_count() as u64;
     }
     let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
-    let stats = engine.stats();
+    let stats = handle.stats();
     Ok(SearchPhase {
         wall_ms,
         samples,
@@ -175,6 +197,40 @@ fn time_search(workload: &Workload, threads: usize) -> Result<SearchPhase, Strin
         cache_hits: stats.cache_hits,
         cache_misses: stats.cache_misses,
         cache_hit_rate: stats.hit_rate(),
+    })
+}
+
+/// Replays every scenario's candidate batch back-to-back through one
+/// multi-scenario, cache-less service — the aggregate throughput the
+/// shared substrate sustains when many scenarios draw from one pool.
+fn time_aggregate(
+    workloads: &[(Workload, Vec<ConfigMap>)],
+    threads: usize,
+) -> Result<AggregatePhase, String> {
+    let service = EvalService::new(EvalOptions {
+        threads,
+        cache_capacity: 0,
+    });
+    let handles: Vec<_> = workloads
+        .iter()
+        .map(|(workload, _)| service.register(workload.env().clone()))
+        .collect();
+    let start = Instant::now();
+    for (handle, (_, candidates)) in handles.iter().zip(workloads) {
+        handle
+            .evaluate_batch(candidates)
+            .map_err(|e| format!("aggregate batch evaluation failed: {e}"))?;
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    let simulations = service.stats().simulations();
+    Ok(AggregatePhase {
+        wall_ms,
+        simulations,
+        sims_per_sec: if wall_ms > 0.0 {
+            simulations as f64 / (wall_ms / 1_000.0)
+        } else {
+            f64::INFINITY
+        },
     })
 }
 
@@ -189,7 +245,8 @@ pub fn run_bench(
     threads: usize,
     batch: usize,
 ) -> Result<BenchReport, String> {
-    let mut scenarios = Vec::with_capacity(spec_paths.len());
+    let mut workloads: Vec<(Workload, Vec<ConfigMap>)> = Vec::with_capacity(spec_paths.len());
+    let mut fingerprints = Vec::with_capacity(spec_paths.len());
     for path in spec_paths {
         let spec = aarc_spec::load(path).map_err(|e| format!("{path}: {e}"))?;
         let fingerprint = spec.fingerprint();
@@ -197,9 +254,15 @@ pub fn run_bench(
             .map_err(|e| format!("{path}: {e}"))?
             .into_workload();
         let candidates = candidate_batch(&workload, fingerprint, batch);
-        let single_thread = time_batch(&workload, &candidates, 1)?;
-        let multi_thread = time_batch(&workload, &candidates, threads)?;
-        let search = time_search(&workload, threads)?;
+        fingerprints.push(fingerprint);
+        workloads.push((workload, candidates));
+    }
+
+    let mut scenarios = Vec::with_capacity(workloads.len());
+    for ((workload, candidates), fingerprint) in workloads.iter().zip(fingerprints) {
+        let single_thread = time_batch(workload, candidates, 1)?;
+        let multi_thread = time_batch(workload, candidates, threads)?;
+        let search = time_search(workload, threads)?;
         scenarios.push(BenchScenario {
             scenario: workload.name().to_owned(),
             spec_fingerprint: fingerprint,
@@ -210,6 +273,7 @@ pub fn run_bench(
             search,
         });
     }
+    let aggregate = time_aggregate(&workloads, threads)?;
     let total_search_wall_ms = scenarios.iter().map(|s| s.search.wall_ms).sum();
     let mean_speedup = if scenarios.is_empty() {
         0.0
@@ -222,6 +286,7 @@ pub fn run_bench(
         threads,
         batch,
         scenarios,
+        aggregate: Some(aggregate),
         total_search_wall_ms,
         mean_speedup,
     })
@@ -269,6 +334,20 @@ pub fn gate_failures(
                     base_scenario.multi_thread.sims_per_sec,
                     cur.multi_thread.sims_per_sec,
                     sims_floor,
+                    max_regress * 100.0
+                ));
+            }
+        }
+    }
+    if let Some(base) = baseline {
+        if let (Some(base_agg), Some(cur_agg)) = (&base.aggregate, &current.aggregate) {
+            let floor = base_agg.sims_per_sec * (1.0 - max_regress);
+            if cur_agg.sims_per_sec < floor {
+                failures.push(format!(
+                    "aggregate shared-pool sims/sec regressed {:.0} -> {:.0} (floor {:.0}, -{:.0}%)",
+                    base_agg.sims_per_sec,
+                    cur_agg.sims_per_sec,
+                    floor,
                     max_regress * 100.0
                 ));
             }
@@ -330,10 +409,43 @@ mod tests {
             "shared engine must produce cache hits across methods"
         );
         assert!(s.speedup > 0.0);
+        let aggregate = report.aggregate.expect("aggregate phase is always run");
+        assert_eq!(aggregate.simulations, 32, "one batch per scenario");
+        assert!(aggregate.sims_per_sec > 0.0);
         let json = serde_json::to_string_pretty(&report).unwrap();
         let parsed: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed.scenarios[0].scenario, s.scenario);
         assert_eq!(parsed.scenarios[0].spec_fingerprint, s.spec_fingerprint);
+        assert!(parsed.aggregate.is_some());
+    }
+
+    #[test]
+    fn version_1_baselines_without_aggregate_still_parse() {
+        let path = tiny_spec_path();
+        let report = run_bench(&[path], 1, 8).unwrap();
+        let mut json = serde_json::to_string_pretty(&report).unwrap();
+        // Strip the aggregate block the way a version-1 baseline lacks it.
+        let start = json.find("\"aggregate\"").unwrap();
+        let end = json[start..].find("},").unwrap() + start + 2;
+        json.replace_range(start..end, "");
+        let parsed: BenchReport = serde_json::from_str(&json).unwrap();
+        assert!(parsed.aggregate.is_none());
+        // Gating a report against an aggregate-less baseline skips the
+        // aggregate check instead of failing.
+        assert!(gate_failures(&report, Some(&parsed), 0.2, None).is_empty());
+    }
+
+    #[test]
+    fn gate_flags_aggregate_shared_pool_regressions() {
+        let path = tiny_spec_path();
+        let report = run_bench(&[path], 1, 16).unwrap();
+        let mut fast = report.clone();
+        fast.aggregate.as_mut().unwrap().sims_per_sec *= 10.0;
+        let failures = gate_failures(&report, Some(&fast), 0.2, None);
+        assert!(
+            failures.iter().any(|f| f.contains("aggregate shared-pool")),
+            "{failures:?}"
+        );
     }
 
     #[test]

@@ -3,13 +3,14 @@
 use std::path::{Path, PathBuf};
 
 use aarc_core::report::ConfigurationReport;
-use aarc_simulator::EvalEngine;
+use aarc_simulator::{EvalEngine, EvalService};
 use aarc_spec::{compile, load, validate, SpecFormat, SynthParams};
 
 use crate::args::Args;
 use crate::bench;
 use crate::methods;
 use crate::report::CompareReport;
+use crate::sweep::{self, SweepClass};
 
 const USAGE: &str = "\
 aarc — declarative scenario runner for the AARC reproduction
@@ -19,7 +20,12 @@ USAGE:
     aarc run --spec FILE [--method NAME]        search one scenario
              [--slo MS] [--threads N] [--format text|json] [--out FILE]
     aarc compare --spec FILE [--threads N] [--format json|csv|table]
-                 [--out FILE]                   all methods on one scenario
+                 [--out FILE] [--eval-detail on]
+                                                all methods on one scenario
+    aarc sweep <spec|dir>... [--methods a,b,c] [--classes nominal,light,...]
+               [--threads N] [--slo MS] [--format json|csv] [--out FILE]
+                                                many scenarios x methods x input
+                                                classes on one shared pool
     aarc bench <spec>... [--threads N] [--batch N] [--out FILE]
                [--baseline FILE] [--max-regress F] [--min-speedup X]
                                                 emit BENCH_*.json perf measurements
@@ -32,9 +38,11 @@ USAGE:
 METHODS: aarc (graph-centric scheduler), bo (Bayesian optimization),
          maff (coupled gradient descent), random (uniform sampling)
 
-Candidate executions go through the evaluation engine: --threads N fans
-batches out over N workers (results are bit-identical for any N) and a
-memo-cache short-circuits repeated simulations.
+All flags also accept --flag=value. Candidate executions go through the
+shared evaluation service: --threads N fans batches out over N workers
+(results are bit-identical for any N) and a fingerprint-keyed memo-cache
+short-circuits repeated simulations across methods, input classes and
+scenarios.
 ";
 
 /// Runs the subcommand named by `argv[0]`.
@@ -47,6 +55,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("validate") => cmd_validate(&argv[1..]),
         Some("run") => cmd_run(&argv[1..]),
         Some("compare") => cmd_compare(&argv[1..]),
+        Some("sweep") => cmd_sweep(&argv[1..]),
         Some("bench") => cmd_bench(&argv[1..]),
         Some("export-builtin") => cmd_export_builtin(&argv[1..]),
         Some("generate") => cmd_generate(&argv[1..]),
@@ -162,7 +171,10 @@ fn cmd_run(argv: &[String]) -> Result<(), String> {
 }
 
 fn cmd_compare(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["spec", "slo", "threads", "format", "out"])?;
+    let args = Args::parse(
+        argv,
+        &["spec", "slo", "threads", "format", "out", "eval-detail"],
+    )?;
     let spec = load(args.require("spec")?).map_err(|e| e.to_string())?;
     let scenario = compile(&spec).map_err(|e| e.to_string())?;
     let workload = scenario.workload();
@@ -171,7 +183,8 @@ fn cmd_compare(argv: &[String]) -> Result<(), String> {
         .unwrap_or_else(|| workload.slo_ms());
     let threads = parse_threads(&args)?;
 
-    let report = CompareReport::run(workload, methods::all(), slo_ms, threads)
+    let service = EvalService::with_threads(threads);
+    let report = CompareReport::run_on(&service, workload, methods::all(), slo_ms)
         .map_err(|e| format!("comparison failed: {e}"))?;
     let text = match args.get("format").unwrap_or("json") {
         "json" => {
@@ -188,6 +201,90 @@ fn cmd_compare(argv: &[String]) -> Result<(), String> {
             ))
         }
     };
+    // The per-fingerprint breakdown goes to stderr so the primary report
+    // stays byte-stable (and `cmp`-pinnable) with and without the flag.
+    let eval_detail = match args.get("eval-detail") {
+        None | Some("off") | Some("false") | Some("0") => false,
+        Some("on") | Some("true") | Some("1") => true,
+        Some(other) => return Err(format!("--eval-detail: expected on|off, got `{other}`")),
+    };
+    if eval_detail {
+        for s in service.scenario_stats() {
+            eprintln!(
+                "eval[{:016x}]: {} simulations, {} hits, {} misses, {} evictions ({:.1}% hit rate)",
+                s.fingerprint,
+                s.simulations(),
+                s.cache_hits,
+                s.cache_misses,
+                s.evictions,
+                s.hit_rate() * 100.0
+            );
+        }
+    }
+    write_or_print(&text, args.get("out"))
+}
+
+fn cmd_sweep(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        argv,
+        &["methods", "classes", "threads", "slo", "format", "out"],
+    )?;
+    let spec_paths = sweep::expand_spec_args(args.positional())?;
+    let threads = parse_threads(&args)?;
+    let slo_override = args.get_parsed::<f64>("slo")?;
+
+    let method_names: Vec<&'static str> = match args.get("methods") {
+        None => methods::METHOD_NAMES.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                // Resolve through the builder so unknown names fail with
+                // the same message as `run --method`.
+                methods::build(name.trim())?;
+                Ok(methods::METHOD_NAMES
+                    .iter()
+                    .copied()
+                    .find(|&n| n == name.trim())
+                    .expect("build succeeded, so the name is known"))
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+    };
+    let classes: Vec<SweepClass> = match args.get("classes") {
+        None => vec![SweepClass::Nominal],
+        Some(list) => list
+            .split(',')
+            .map(|c| SweepClass::parse(c.trim()))
+            .collect::<Result<Vec<_>, String>>()?,
+    };
+
+    let report = sweep::run_sweep(&spec_paths, &method_names, &classes, threads, slo_override)?;
+    let text = match args.get("format").unwrap_or("json") {
+        "json" => {
+            let mut s =
+                serde_json::to_string_pretty(&report).expect("report serialization is infallible");
+            s.push('\n');
+            s
+        }
+        "csv" => report.to_csv(),
+        other => return Err(format!("unknown format `{other}` (accepted: json, csv)")),
+    };
+    // Human-readable summary on stderr; stdout/--out stay machine-pure.
+    for s in &report.scenarios {
+        eprintln!(
+            "{}: {} runs, {} simulations, cache hit rate {:.1}%",
+            s.scenario,
+            s.runs.len(),
+            s.eval.simulations,
+            s.eval.cache_hit_rate * 100.0
+        );
+    }
+    eprintln!(
+        "sweep total: {} scenarios, {} simulations, {} cache hits ({:.1}% hit rate)",
+        report.scenarios.len(),
+        report.eval.simulations,
+        report.eval.cache_hits,
+        report.eval.cache_hit_rate * 100.0
+    );
     write_or_print(&text, args.get("out"))
 }
 
@@ -240,6 +337,12 @@ fn cmd_bench(argv: &[String]) -> Result<(), String> {
             s.speedup,
             s.search.wall_ms,
             s.search.cache_hit_rate * 100.0
+        );
+    }
+    if let Some(aggregate) = &report.aggregate {
+        eprintln!(
+            "aggregate shared pool: {} simulations in {:.1} ms ({:.0} sims/s @{}t)",
+            aggregate.simulations, aggregate.wall_ms, aggregate.sims_per_sec, report.threads
         );
     }
 

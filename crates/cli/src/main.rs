@@ -4,6 +4,7 @@
 //! aarc validate <spec>...
 //! aarc run --spec FILE [--method aarc|bo|maff|random] [--slo MS] [--threads N] [--format text|json]
 //! aarc compare --spec FILE [--threads N] [--out FILE] [--format json|csv]
+//! aarc sweep <spec|dir>... [--methods a,b] [--classes c,d] [--threads N] [--format json|csv]
 //! aarc bench <spec>... [--threads N] [--batch N] [--out FILE] [--baseline FILE]
 //! aarc export-builtin [--dir DIR] [--format yaml|json]
 //! aarc generate --seed N [--layers N] [--max-width N] [--out FILE]
@@ -22,6 +23,7 @@ mod bench;
 mod commands;
 mod methods;
 mod report;
+mod sweep;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

@@ -6,12 +6,13 @@ use serde::Serialize;
 
 use aarc_core::report::ConfigurationReport;
 use aarc_core::{AarcError, ConfigurationSearch};
-use aarc_simulator::{EvalEngine, EvalStats};
+use aarc_simulator::{EvalService, EvalStats};
 use aarc_workloads::Workload;
 
 /// RFC 4180 quoting for a CSV field: wrap in quotes when the value contains
-/// a comma, quote or line break, doubling embedded quotes.
-fn csv_field(s: &str) -> String {
+/// a comma, quote or line break, doubling embedded quotes. Shared with the
+/// sweep report's CSV rendering.
+pub(crate) fn csv_field(s: &str) -> String {
     if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
@@ -81,31 +82,34 @@ pub struct CompareReport {
     pub slo_ms: f64,
     /// Number of workflow functions.
     pub functions: usize,
-    /// Shared evaluation-engine statistics over the whole comparison.
+    /// Shared evaluation-service statistics over the whole comparison.
     pub eval: EvalSummary,
     /// One entry per method, in [`crate::methods::METHOD_NAMES`] order.
     pub methods: Vec<MethodResult>,
 }
 
 impl CompareReport {
-    /// Runs every `(name, method)` pair on the workload, sharing one
-    /// [`EvalEngine`] with `threads` workers across all methods so repeated
-    /// candidate simulations are answered from the memo-cache.
+    /// Runs every `(name, method)` pair on the workload through one
+    /// caller-provided shared [`EvalService`] (one handle shared by all
+    /// methods), so repeated candidate simulations are answered from the
+    /// memo-cache. Methods run sequentially, which keeps the statistics —
+    /// and therefore the report bytes — identical to the historical
+    /// per-scenario engine.
     ///
     /// # Errors
     ///
     /// Propagates the first search failure.
-    pub fn run(
+    pub fn run_on(
+        service: &EvalService,
         workload: &Workload,
         methods: Vec<(&'static str, Box<dyn ConfigurationSearch>)>,
         slo_ms: f64,
-        threads: usize,
     ) -> Result<Self, AarcError> {
-        let engine = EvalEngine::with_threads(workload.env().clone(), threads);
-        let env = engine.env();
+        let handle = service.register(workload.env().clone());
+        let env = handle.env();
         let mut results = Vec::with_capacity(methods.len());
         for (cli_name, method) in methods {
-            let outcome = method.search_with(&engine, slo_ms)?;
+            let outcome = method.search_on(&handle, slo_ms)?;
             results.push(MethodResult {
                 method: cli_name.to_owned(),
                 display_name: method.name().to_owned(),
@@ -127,7 +131,7 @@ impl CompareReport {
             scenario: workload.name().to_owned(),
             slo_ms,
             functions: workload.len(),
-            eval: engine.stats().into(),
+            eval: handle.stats().into(),
             methods: results,
         })
     }
@@ -202,7 +206,9 @@ mod tests {
             ..aarc_spec::SynthParams::default()
         });
         let workload = aarc_spec::compile(&spec).unwrap().into_workload();
-        let report = CompareReport::run(&workload, methods::all(), workload.slo_ms(), 1).unwrap();
+        let service = EvalService::with_threads(1);
+        let report =
+            CompareReport::run_on(&service, &workload, methods::all(), workload.slo_ms()).unwrap();
         assert_eq!(report.methods.len(), 4);
         for m in &report.methods {
             assert!(m.final_cost > 0.0);

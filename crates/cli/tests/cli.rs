@@ -253,8 +253,15 @@ fn bench_emits_schema_and_gates_against_itself() {
         serde_json::parse(&std::fs::read_to_string(&baseline).unwrap()).expect("valid JSON");
     assert_eq!(
         report.get("version").and_then(as_num),
-        Some(1.0),
+        Some(2.0),
         "BENCH schema version"
+    );
+    let aggregate = report
+        .get("aggregate")
+        .expect("aggregate shared-pool phase");
+    assert!(
+        aggregate.get("sims_per_sec").and_then(as_num).unwrap() > 0.0,
+        "aggregate phase must record throughput"
     );
     let scenarios = report.get("scenarios").and_then(|s| s.as_seq()).unwrap();
     assert_eq!(scenarios.len(), 1);

@@ -1,0 +1,69 @@
+//! Byte-level pre-refactor goldens: `aarc compare --format json` on every
+//! committed spec must be *byte-identical* to the output captured before
+//! the EvalService/ask-tell refactor (`tests/goldens/compare_<name>.json`),
+//! at `--threads 1` and `--threads 8`.
+//!
+//! This is the refactor's contract: moving the worker pool, memo-cache and
+//! scratch arenas into a process-wide service, and the search methods onto
+//! ask/tell strategies behind the `SearchDriver`, must not change a single
+//! byte — results, trace, cache statistics or serialization.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const SPECS: [&str; 5] = [
+    "chatbot",
+    "ml_pipeline",
+    "video_analysis",
+    "synthetic_dense",
+    "synthetic_fanout",
+];
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn compare_bytes(spec: &str, threads: &str) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_aarc"))
+        .args([
+            "compare",
+            "--threads",
+            threads,
+            "--format",
+            "json",
+            "--spec",
+        ])
+        .arg(repo_path(&format!("specs/{spec}.yaml")))
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "compare failed on {spec}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn compare_is_byte_identical_to_the_pre_refactor_goldens() {
+    for spec in SPECS {
+        let golden = std::fs::read(
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("tests/goldens")
+                .join(format!("compare_{spec}.json")),
+        )
+        .expect("committed golden exists");
+        for threads in ["1", "8"] {
+            let current = compare_bytes(spec, threads);
+            assert!(
+                current == golden,
+                "{spec} at --threads {threads} drifted from the pre-refactor golden \
+                 (lengths {} vs {})",
+                current.len(),
+                golden.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Property test pinning the shared-pool sweep's determinism at the CLI
+//! boundary: for any pair of synthetic scenarios, `aarc sweep` must emit
+//! byte-identical reports for `--threads 1` and `--threads 8` AND for any
+//! submission order of the spec paths.
+//!
+//! Thread-count invariance holds because cache bookkeeping happens on the
+//! submitting thread in candidate order; submission-order invariance holds
+//! because the sweep sorts scenarios by name before building its
+//! interleaved search units, and cache keys are fingerprint-disjoint across
+//! scenarios.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use proptest::prelude::*;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_aarc"))
+}
+
+fn sweep_bytes(specs: &[&PathBuf], threads: &str, format: &str) -> Vec<u8> {
+    let out = bin()
+        .args(["sweep", "--threads", threads, "--format", format])
+        .args(specs)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "sweep --threads {threads} failed\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Whatever the scenario shapes, the sweep report (JSON and CSV) is
+    /// byte-identical across worker-thread counts and across the order the
+    /// spec paths are given.
+    #[test]
+    fn sweep_is_byte_identical_across_threads_and_submission_order(
+        seed_a in 0u64..50_000,
+        offset in 1u64..50_000,
+        layers in 1usize..3,
+    ) {
+        let seed_b = seed_a + offset;
+        let dir = std::env::temp_dir().join("aarc-proptest-sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut paths = Vec::new();
+        for seed in [seed_a, seed_b] {
+            let path = dir.join(format!("case-{seed}-{layers}.yaml"));
+            let spec = aarc_spec::synthetic_spec(aarc_spec::SynthParams {
+                seed,
+                layers,
+                max_width: 2,
+                ..aarc_spec::SynthParams::default()
+            });
+            aarc_spec::save(&spec, &path).unwrap();
+            paths.push(path);
+        }
+        let fwd: Vec<&PathBuf> = paths.iter().collect();
+        let rev: Vec<&PathBuf> = paths.iter().rev().collect();
+
+        let json_1t = sweep_bytes(&fwd, "1", "json");
+        let json_8t = sweep_bytes(&fwd, "8", "json");
+        prop_assert_eq!(&json_1t, &json_8t, "JSON diverged across thread counts");
+
+        let json_rev = sweep_bytes(&rev, "4", "json");
+        prop_assert_eq!(&json_1t, &json_rev, "JSON diverged across submission order");
+
+        let csv_1t = sweep_bytes(&fwd, "1", "csv");
+        let csv_8t = sweep_bytes(&rev, "8", "csv");
+        prop_assert_eq!(&csv_1t, &csv_8t, "CSV diverged");
+
+        for path in paths {
+            std::fs::remove_file(path).ok();
+        }
+    }
+}

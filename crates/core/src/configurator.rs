@@ -71,6 +71,11 @@ impl PriorityConfigurator {
     /// candidate is submitted through `engine`, so re-visited configurations
     /// (e.g. after a revert) are answered from the memo-cache.
     ///
+    /// This is the synchronous loop over [`begin_path`]
+    /// (PriorityConfigurator::begin_path); the scheduler's ask/tell
+    /// strategy drives the same [`PathConfigState`] without owning an
+    /// engine.
+    ///
     /// # Errors
     ///
     /// Returns an error if the platform rejects an execution.
@@ -86,69 +91,46 @@ impl PriorityConfigurator {
         trace: &mut SearchTrace,
     ) -> Result<PathConfiguration, AarcError> {
         let env = engine.env();
-        let mut result = PathConfiguration {
-            samples_used: 0,
-            accepted_reductions: 0,
-        };
-        if path.is_empty() || path_budget_ms <= 0.0 {
-            return Ok(result);
-        }
-
-        let budget = path_budget_ms * self.params.slo_safety_factor;
-        let mut queue = self.seed_queue(env, path);
-        let mut current_path_cost = path_cost(baseline, path);
-
-        while let Some(mut op) = queue.pop() {
-            if result.samples_used >= self.params.max_trials_per_path {
-                break;
-            }
-            let previous = configs.get(op.node);
-            let Some(candidate) = self.deallocate(env, previous, &op) else {
-                // The allocation is already at the platform minimum (or the
-                // step shrank below the grid resolution): drop the
-                // operation.
-                continue;
-            };
-
-            configs.set(op.node, candidate);
+        let mut state = self.begin_path(env, path, path_budget_ms, end_to_end_slo_ms, baseline);
+        while state.propose(env, configs) {
             let report = engine.evaluate(configs)?;
-            result.samples_used += 1;
-
-            let new_path_runtime = path_runtime(&report, path);
-            let new_path_cost = path_cost(&report, path);
-            let violates = new_path_runtime > budget
-                || report.makespan_ms() > end_to_end_slo_ms
-                || report.any_oom()
-                || new_path_cost > current_path_cost + 1e-9;
-
-            let label = format!(
-                "{}.{} {} -> {}",
-                env.workflow().function(op.node).name(),
-                op.op_type,
-                previous,
-                candidate
-            );
-            trace.record(&report, !violates, label);
-
-            if violates {
-                // Revert and back off exponentially (Algorithm 2, lines
-                // 14-18).
-                configs.set(op.node, previous);
-                op.step *= self.params.backoff_factor;
-                op.trail = op.trail.saturating_sub(1);
-                if op.trail > 0 {
-                    queue.push(op, PRIORITY_REVERTED);
-                }
-            } else {
-                // Keep the reduction and re-enqueue the operation with the
-                // achieved saving as its priority (lines 20-21).
-                let saving = current_path_cost - new_path_cost;
-                current_path_cost = new_path_cost;
-                result.accepted_reductions += 1;
-                queue.push(op, saving);
-            }
+            state.observe(env, configs, &report, trace);
         }
-        Ok(result)
+        Ok(state.result())
+    }
+
+    /// Starts the resumable ask/tell form of Algorithm 2 over one path:
+    /// seeds the (optionally affinity-ordered) operation queue and captures
+    /// the path's budget and baseline cost. Drive the returned state with
+    /// [`PathConfigState::propose`] / [`PathConfigState::observe`].
+    pub fn begin_path(
+        &self,
+        env: &WorkflowEnvironment,
+        path: &[NodeId],
+        path_budget_ms: f64,
+        end_to_end_slo_ms: f64,
+        baseline: &SimResult,
+    ) -> PathConfigState {
+        let queue = if path.is_empty() || path_budget_ms <= 0.0 {
+            // Nothing to do: an empty queue makes the first `propose`
+            // return `false` without spending a sample.
+            OperationQueue::new()
+        } else {
+            self.seed_queue(env, path)
+        };
+        PathConfigState {
+            params: self.params,
+            path: path.to_vec(),
+            budget: path_budget_ms * self.params.slo_safety_factor,
+            end_to_end_slo_ms,
+            queue,
+            current_path_cost: path_cost(baseline, path),
+            result: PathConfiguration {
+                samples_used: 0,
+                accepted_reductions: 0,
+            },
+            pending: None,
+        }
     }
 
     /// Builds the initial operation queue for a path (Algorithm 2, lines
@@ -184,34 +166,172 @@ impl PriorityConfigurator {
         }
         queue
     }
+}
 
-    /// Computes the shrunken configuration for `op`, or `None` if no further
-    /// reduction is possible (already at the platform minimum or the step is
-    /// below the grid resolution). This is the paper's `deallocate`.
-    fn deallocate(
-        &self,
+/// The paper's `deallocate` as a free function, shared by the synchronous
+/// configurator loop and the resumable [`PathConfigState`].
+fn deallocate(
+    env: &WorkflowEnvironment,
+    current: ResourceConfig,
+    op: &Operation,
+) -> Option<ResourceConfig> {
+    let space = env.space();
+    let base = env.base_config();
+    let candidate = match op.op_type {
+        OpType::Cpu => {
+            let delta = op.step * base.vcpu.get();
+            let new_vcpu = space.snap_vcpu(current.vcpu.get() - delta);
+            ResourceConfig::new(new_vcpu, current.memory.get())
+        }
+        OpType::Mem => {
+            let delta = (op.step * f64::from(base.memory.get())).round() as i64;
+            let target = i64::from(current.memory.get()) - delta;
+            let new_mem = space.snap_memory(target.max(0) as u32);
+            ResourceConfig::new(current.vcpu.get(), new_mem)
+        }
+    };
+    let changed = (candidate.vcpu.get() - current.vcpu.get()).abs() > 1e-9
+        || candidate.memory.get() != current.memory.get();
+    changed.then_some(candidate)
+}
+
+/// A candidate reduction in flight: the operation that produced it and the
+/// configuration it replaced, kept until the result is observed.
+#[derive(Debug, Clone, Copy)]
+struct PendingOp {
+    op: Operation,
+    previous: ResourceConfig,
+    candidate: ResourceConfig,
+}
+
+/// The resumable ask/tell form of Algorithm 2 over one path: an operation
+/// queue plus the budget/cost bookkeeping, decoupled from any evaluation
+/// engine.
+///
+/// The protocol alternates [`propose`](PathConfigState::propose) (mutates
+/// `configs` into the next candidate, returns `false` when the path is
+/// done) and [`observe`](PathConfigState::observe) (processes the
+/// candidate's simulation result: keep or revert-with-backoff). The
+/// synchronous [`PriorityConfigurator::configure_path`] and the scheduler's
+/// ask/tell strategy both drive this state machine, so their behaviour is
+/// identical by construction.
+#[derive(Debug)]
+pub struct PathConfigState {
+    params: AarcParams,
+    path: Vec<NodeId>,
+    budget: f64,
+    end_to_end_slo_ms: f64,
+    queue: OperationQueue,
+    current_path_cost: f64,
+    result: PathConfiguration,
+    pending: Option<PendingOp>,
+}
+
+impl PathConfigState {
+    /// Mutates `configs` into the next candidate reduction to evaluate.
+    /// Returns `false` when the path is fully configured (queue drained or
+    /// trial budget spent); `configs` is left at the best accepted state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous proposal was never
+    /// [`observe`](PathConfigState::observe)d.
+    pub fn propose(&mut self, env: &WorkflowEnvironment, configs: &mut ConfigMap) -> bool {
+        assert!(
+            self.pending.is_none(),
+            "propose called with an unobserved candidate in flight"
+        );
+        while let Some(op) = self.queue.pop() {
+            if self.result.samples_used >= self.params.max_trials_per_path {
+                return false;
+            }
+            let previous = configs.get(op.node);
+            let Some(candidate) = deallocate(env, previous, &op) else {
+                // The allocation is already at the platform minimum (or the
+                // step shrank below the grid resolution): drop the
+                // operation.
+                continue;
+            };
+            configs.set(op.node, candidate);
+            self.pending = Some(PendingOp {
+                op,
+                previous,
+                candidate,
+            });
+            return true;
+        }
+        false
+    }
+
+    /// Processes the simulation result of the candidate produced by the
+    /// last [`propose`](PathConfigState::propose): keeps the reduction (and
+    /// re-prioritises its operation by the achieved saving) or reverts
+    /// `configs` and re-enqueues with exponential back-off (Algorithm 2,
+    /// lines 14-21). The sample is appended to `trace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no candidate is in flight.
+    pub fn observe(
+        &mut self,
         env: &WorkflowEnvironment,
-        current: ResourceConfig,
-        op: &Operation,
-    ) -> Option<ResourceConfig> {
-        let space = env.space();
-        let base = env.base_config();
-        let candidate = match op.op_type {
-            OpType::Cpu => {
-                let delta = op.step * base.vcpu.get();
-                let new_vcpu = space.snap_vcpu(current.vcpu.get() - delta);
-                ResourceConfig::new(new_vcpu, current.memory.get())
+        configs: &mut ConfigMap,
+        report: &SimResult,
+        trace: &mut SearchTrace,
+    ) {
+        let PendingOp {
+            mut op,
+            previous,
+            candidate,
+        } = self
+            .pending
+            .take()
+            .expect("observe called without a candidate in flight");
+        self.result.samples_used += 1;
+
+        let new_path_runtime = path_runtime(report, &self.path);
+        let new_path_cost = path_cost(report, &self.path);
+        let violates = new_path_runtime > self.budget
+            || report.makespan_ms() > self.end_to_end_slo_ms
+            || report.any_oom()
+            || new_path_cost > self.current_path_cost + 1e-9;
+
+        let label = format!(
+            "{}.{} {} -> {}",
+            env.workflow().function(op.node).name(),
+            op.op_type,
+            previous,
+            candidate
+        );
+        trace.record(report, !violates, label);
+
+        if violates {
+            // Revert and back off exponentially (Algorithm 2, lines 14-18).
+            configs.set(op.node, previous);
+            op.step *= self.params.backoff_factor;
+            op.trail = op.trail.saturating_sub(1);
+            if op.trail > 0 {
+                self.queue.push(op, PRIORITY_REVERTED);
             }
-            OpType::Mem => {
-                let delta = (op.step * f64::from(base.memory.get())).round() as i64;
-                let target = i64::from(current.memory.get()) - delta;
-                let new_mem = space.snap_memory(target.max(0) as u32);
-                ResourceConfig::new(current.vcpu.get(), new_mem)
-            }
-        };
-        let changed = (candidate.vcpu.get() - current.vcpu.get()).abs() > 1e-9
-            || candidate.memory.get() != current.memory.get();
-        changed.then_some(candidate)
+        } else {
+            // Keep the reduction and re-enqueue the operation with the
+            // achieved saving as its priority (lines 20-21).
+            let saving = self.current_path_cost - new_path_cost;
+            self.current_path_cost = new_path_cost;
+            self.result.accepted_reductions += 1;
+            self.queue.push(op, saving);
+        }
+    }
+
+    /// Whether a proposed candidate is awaiting its result.
+    pub fn is_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// The per-path tally so far (final once
+    /// [`propose`](PathConfigState::propose) returned `false`).
+    pub fn result(&self) -> PathConfiguration {
+        self.result
     }
 }
 
@@ -404,13 +524,52 @@ mod tests {
     #[test]
     fn deallocate_stops_at_platform_minimum() {
         let (env, _) = chain_env();
-        let configurator = PriorityConfigurator::new(AarcParams::paper());
         let space = ResourceSpace::paper();
         let minimal = space.min_config();
         let op_cpu = Operation::new(NodeId::new(0), OpType::Cpu, 0.2, 3);
         let op_mem = Operation::new(NodeId::new(0), OpType::Mem, 0.2, 3);
-        assert!(configurator.deallocate(&env, minimal, &op_cpu).is_none());
-        assert!(configurator.deallocate(&env, minimal, &op_mem).is_none());
+        assert!(deallocate(&env, minimal, &op_cpu).is_none());
+        assert!(deallocate(&env, minimal, &op_mem).is_none());
+    }
+
+    #[test]
+    fn path_state_drives_identically_to_configure_path() {
+        // Drive the resumable state machine by hand and compare against the
+        // synchronous loop: identical configs, trace and tallies.
+        let (env, path) = chain_env();
+        let budget = 60_000.0;
+        let configurator = PriorityConfigurator::new(AarcParams::paper());
+
+        let engine_sync = EvalEngine::single_threaded(env.clone());
+        let mut configs_sync = env.base_configs();
+        let baseline = engine_sync.evaluate(&configs_sync).unwrap();
+        let mut trace_sync = SearchTrace::new();
+        let result_sync = configurator
+            .configure_path(
+                &engine_sync,
+                &mut configs_sync,
+                &path,
+                budget,
+                budget,
+                &baseline,
+                &mut trace_sync,
+            )
+            .unwrap();
+
+        let engine_state = EvalEngine::single_threaded(env.clone());
+        let mut configs_state = env.base_configs();
+        let baseline_state = engine_state.evaluate(&configs_state).unwrap();
+        let mut trace_state = SearchTrace::new();
+        let mut state = configurator.begin_path(&env, &path, budget, budget, &baseline_state);
+        assert!(!state.is_pending());
+        while state.propose(&env, &mut configs_state) {
+            assert!(state.is_pending());
+            let report = engine_state.evaluate(&configs_state).unwrap();
+            state.observe(&env, &mut configs_state, &report, &mut trace_state);
+        }
+        assert_eq!(configs_sync, configs_state);
+        assert_eq!(trace_sync, trace_state);
+        assert_eq!(result_sync, state.result());
     }
 
     #[test]

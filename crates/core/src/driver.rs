@@ -1,0 +1,191 @@
+//! The ask/tell search driver: the evaluate-loop extracted out of the
+//! individual search methods.
+//!
+//! Every search method is a [`SearchStrategy`] — a pure resumable state
+//! machine that *asks* for candidate evaluations and is *told* their
+//! results. The [`SearchDriver`] owns the loop in between: it submits each
+//! ask through a [`ScenarioHandle`], so the method never touches the
+//! evaluation substrate directly. The split buys two things:
+//!
+//! * **interleaving** — [`SearchDriver::run_interleaved`] round-robins any
+//!   number of independent searches (different methods, different input
+//!   classes, different scenarios) over one shared [`EvalService`]
+//!   (`aarc_simulator::EvalService`) pool, one ask per search per round;
+//! * **determinism** — a strategy's ask sequence depends only on the
+//!   results it was told, and every evaluation's RNG seed derives from the
+//!   environment seed (probes) or the candidate's batch index (batches,
+//!   see [`aarc_simulator::derive_seed`]). Interleaved runs are therefore
+//!   bit-identical to sequential ones, at any thread count.
+
+use aarc_simulator::{ConfigMap, ScenarioHandle, SimResult, WorkflowEnvironment};
+
+use crate::error::AarcError;
+use crate::search::SearchOutcome;
+
+/// One request from a strategy to the driver.
+#[derive(Debug)]
+pub enum Ask {
+    /// Evaluate one candidate under the environment's default input and
+    /// seed (the sequential probe used by the iterative methods; answered
+    /// by [`ScenarioHandle::evaluate`]).
+    Probe(ConfigMap),
+    /// Evaluate an index-seeded batch: candidate `i` runs under
+    /// `derive_seed(env.seed(), i)` and the batch fans out over the shared
+    /// worker pool (answered by [`ScenarioHandle::evaluate_batch`]).
+    Batch(Vec<ConfigMap>),
+    /// The search is complete; the driver calls
+    /// [`SearchStrategy::finish`].
+    Done,
+}
+
+/// A resumable configuration-search state machine.
+///
+/// The protocol is strictly alternating: after an [`Ask::Probe`] or
+/// [`Ask::Batch`] the driver calls [`tell`](SearchStrategy::tell) exactly
+/// once with the results (one result for a probe, one per candidate in
+/// batch order), then asks again. [`Ask::Done`] ends the run and
+/// [`finish`](SearchStrategy::finish) is called exactly once.
+///
+/// Strategies own their [`SearchTrace`](crate::search::SearchTrace) and
+/// best-so-far state; they must not perform evaluations themselves — that
+/// is what keeps independent searches interleavable on one shared pool.
+pub trait SearchStrategy {
+    /// Short method name used in figures ("AARC", "BO", "MAFF").
+    fn name(&self) -> &str;
+
+    /// Produces the next evaluation request (or [`Ask::Done`]).
+    ///
+    /// # Errors
+    ///
+    /// Strategies may fail here on invalid internal state; validation
+    /// errors discovered from results are usually raised in
+    /// [`tell`](SearchStrategy::tell) instead.
+    fn ask(&mut self, env: &WorkflowEnvironment) -> Result<Ask, AarcError>;
+
+    /// Receives the results of the previous ask, in candidate order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error to abort the search (e.g. the base configuration
+    /// violates the SLO).
+    fn tell(&mut self, env: &WorkflowEnvironment, results: &[SimResult]) -> Result<(), AarcError>;
+
+    /// Consumes the accumulated state into the final [`SearchOutcome`].
+    /// Called exactly once, after [`ask`](SearchStrategy::ask) returned
+    /// [`Ask::Done`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the strategy never completed (driver misuse).
+    fn finish(&mut self, env: &WorkflowEnvironment) -> Result<SearchOutcome, AarcError>;
+}
+
+/// One interleavable search: a strategy bound to the scenario handle its
+/// evaluations go through.
+#[derive(Debug)]
+pub struct SearchUnit<'s> {
+    strategy: Box<dyn SearchStrategy>,
+    handle: ScenarioHandle<'s>,
+}
+
+impl std::fmt::Debug for dyn SearchStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SearchStrategy({})", self.name())
+    }
+}
+
+impl<'s> SearchUnit<'s> {
+    /// Binds `strategy` to the handle its evaluations will go through.
+    pub fn new(strategy: Box<dyn SearchStrategy>, handle: ScenarioHandle<'s>) -> Self {
+        SearchUnit { strategy, handle }
+    }
+
+    /// The unit's scenario handle.
+    pub fn handle(&self) -> &ScenarioHandle<'s> {
+        &self.handle
+    }
+
+    /// The strategy's method name.
+    pub fn name(&self) -> &str {
+        self.strategy.name()
+    }
+}
+
+/// The evaluate-loop between strategies and the evaluation substrate.
+#[derive(Debug, Default)]
+pub struct SearchDriver;
+
+impl SearchDriver {
+    /// Runs one strategy to completion on `handle`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first strategy or platform error.
+    pub fn run(
+        strategy: Box<dyn SearchStrategy>,
+        handle: &ScenarioHandle<'_>,
+    ) -> Result<SearchOutcome, AarcError> {
+        let mut unit = SearchUnit::new(strategy, handle.clone());
+        loop {
+            if let Some(result) = Self::step(&mut unit) {
+                return result;
+            }
+        }
+    }
+
+    /// Runs any number of independent searches concurrently on their (in
+    /// practice shared) services by round-robin interleaving: each live
+    /// unit performs one ask/evaluate/tell step per round, so batches from
+    /// different searches alternate on the shared worker pool. Outcomes are
+    /// returned in unit order; a unit's error ends that unit only.
+    pub fn run_interleaved(units: Vec<SearchUnit<'_>>) -> Vec<Result<SearchOutcome, AarcError>> {
+        let n = units.len();
+        let mut slots: Vec<Option<SearchUnit<'_>>> = units.into_iter().map(Some).collect();
+        let mut outcomes: Vec<Option<Result<SearchOutcome, AarcError>>> =
+            (0..n).map(|_| None).collect();
+        loop {
+            let mut any_live = false;
+            for i in 0..n {
+                let Some(unit) = slots[i].as_mut() else {
+                    continue;
+                };
+                any_live = true;
+                if let Some(result) = Self::step(unit) {
+                    outcomes[i] = Some(result);
+                    slots[i] = None;
+                }
+            }
+            if !any_live {
+                break;
+            }
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every unit ran to completion"))
+            .collect()
+    }
+
+    /// Performs one ask/evaluate/tell step. Returns `Some(outcome)` when
+    /// the unit completed (successfully or with an error), `None` when it
+    /// has more work.
+    fn step(unit: &mut SearchUnit<'_>) -> Option<Result<SearchOutcome, AarcError>> {
+        let SearchUnit { strategy, handle } = unit;
+        let env = handle.env();
+        let results = match strategy.ask(env) {
+            Err(e) => return Some(Err(e)),
+            Ok(Ask::Done) => return Some(strategy.finish(env)),
+            Ok(Ask::Probe(configs)) => match handle.evaluate(&configs) {
+                Err(e) => return Some(Err(e.into())),
+                Ok(result) => vec![result],
+            },
+            Ok(Ask::Batch(candidates)) => match handle.evaluate_batch(&candidates) {
+                Err(e) => return Some(Err(e.into())),
+                Ok(results) => results,
+            },
+        };
+        match strategy.tell(env, &results) {
+            Err(e) => Some(Err(e)),
+            Ok(()) => None,
+        }
+    }
+}

@@ -8,8 +8,12 @@
 
 use std::collections::BTreeMap;
 
-use aarc_simulator::{ConfigMap, ExecutionReport, InputClass, InputSpec, WorkflowEnvironment};
+use aarc_simulator::{
+    ConfigMap, EvalOptions, EvalService, ExecutionReport, InputClass, InputSpec,
+    WorkflowEnvironment,
+};
 
+use crate::driver::{SearchDriver, SearchUnit};
 use crate::error::AarcError;
 use crate::scheduler::GraphCentricScheduler;
 use crate::search::{ConfigurationSearch, SearchTrace};
@@ -24,7 +28,10 @@ pub struct InputAwareEngine {
 
 impl InputAwareEngine {
     /// Builds the engine by running `scheduler` once for every `(class,
-    /// representative input)` pair on `env`.
+    /// representative input)` pair on `env`, over a private single-threaded
+    /// [`EvalService`] shared by all classes. See
+    /// [`build_with`](InputAwareEngine::build_with) to share a wider,
+    /// process-wide service instead.
     ///
     /// The configuration found for [`InputClass::Heavy`] (or, failing that,
     /// the largest class present) doubles as the fallback for inputs whose
@@ -40,13 +47,47 @@ impl InputAwareEngine {
         slo_ms: f64,
         class_inputs: &BTreeMap<InputClass, InputSpec>,
     ) -> Result<Self, AarcError> {
-        let mut configs = BTreeMap::new();
-        let mut trace = SearchTrace::new();
+        Self::build_with(
+            scheduler,
+            &EvalService::new(EvalOptions::default()),
+            env,
+            slo_ms,
+            class_inputs,
+        )
+    }
+
+    /// [`build`](InputAwareEngine::build) over a shared [`EvalService`]:
+    /// every class's environment is registered as a handle on `service`,
+    /// and the per-class scheduler runs interleave their evaluations on the
+    /// service's worker pool and memo-cache. Results are bit-identical to
+    /// sequential per-class searches on private engines — per-class inputs
+    /// bucket the cache keys, so entries never leak between classes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first scheduler error in class order.
+    pub fn build_with(
+        scheduler: &GraphCentricScheduler,
+        service: &EvalService,
+        env: &WorkflowEnvironment,
+        slo_ms: f64,
+        class_inputs: &BTreeMap<InputClass, InputSpec>,
+    ) -> Result<Self, AarcError> {
+        let mut classes = Vec::with_capacity(class_inputs.len());
+        let mut units = Vec::with_capacity(class_inputs.len());
         for (&class, &input) in class_inputs {
             let class_env = env.with_input(input);
-            let outcome = scheduler.search(&class_env, slo_ms)?;
-            // Merge the per-class searches into one engine-level trace.
-            trace.merge(&outcome.trace);
+            let strategy = scheduler.strategy(&class_env, slo_ms)?;
+            units.push(SearchUnit::new(strategy, service.register(class_env)));
+            classes.push(class);
+        }
+        let outcomes = SearchDriver::run_interleaved(units);
+        let mut configs = BTreeMap::new();
+        let mut trace = SearchTrace::new();
+        for (class, outcome) in classes.into_iter().zip(outcomes) {
+            let outcome = outcome?;
+            // Fold the per-class searches into one engine-level trace.
+            trace.append(outcome.trace);
             configs.insert(class, outcome.best_configs);
         }
         let fallback = configs
@@ -210,6 +251,28 @@ mod tests {
                 input.classify()
             );
         }
+    }
+
+    #[test]
+    fn build_with_shared_service_matches_private_build() {
+        let env = input_sensitive_env();
+        let slo = 120_000.0;
+        let scheduler = GraphCentricScheduler::new(AarcParams::fast());
+        let private = InputAwareEngine::build(&scheduler, &env, slo, &class_inputs()).unwrap();
+        let service = EvalService::with_threads(4);
+        let shared =
+            InputAwareEngine::build_with(&scheduler, &service, &env, slo, &class_inputs()).unwrap();
+        for class in InputClass::ALL {
+            assert_eq!(
+                private.config_for(class),
+                shared.config_for(class),
+                "interleaving on a shared pool must not change class {class} configs"
+            );
+        }
+        assert_eq!(private.trace(), shared.trace());
+        // One handle per class env, each with its own fingerprint.
+        assert_eq!(service.scenario_stats().len(), 3);
+        assert!(service.stats().requests > 0);
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //! * [`search`] — the [`search::ConfigurationSearch`] trait and the
 //!   sample-by-sample [`search::SearchTrace`] shared with the baseline
 //!   methods; the traces drive Figs. 5–7.
+//! * [`driver`] — the ask/tell protocol: every method is a resumable
+//!   [`driver::SearchStrategy`] and the [`driver::SearchDriver`] owns the
+//!   evaluate-loop, so independent searches interleave their batches on
+//!   one shared [`EvalService`](aarc_simulator::EvalService) pool while
+//!   staying bit-identical to sequential runs.
 //!
 //! # Quick start
 //!
@@ -57,6 +62,7 @@
 
 pub mod affinity;
 pub mod configurator;
+pub mod driver;
 pub mod error;
 pub mod input_aware;
 pub mod operation;
@@ -66,7 +72,8 @@ pub mod scheduler;
 pub mod search;
 
 pub use affinity::{classify_affinity, AffinityReport};
-pub use configurator::PriorityConfigurator;
+pub use configurator::{PathConfigState, PriorityConfigurator};
+pub use driver::{Ask, SearchDriver, SearchStrategy, SearchUnit};
 pub use error::AarcError;
 pub use input_aware::InputAwareEngine;
 pub use operation::{OpType, Operation, OperationQueue};
@@ -78,6 +85,7 @@ pub use search::{ConfigurationSearch, SearchOutcome, SearchSample, SearchTrace};
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::affinity::classify_affinity;
+    pub use crate::driver::{Ask, SearchDriver, SearchStrategy, SearchUnit};
     pub use crate::error::AarcError;
     pub use crate::input_aware::InputAwareEngine;
     pub use crate::params::AarcParams;

@@ -1,9 +1,10 @@
-//! The Graph-Centric Scheduler (Algorithm 1).
+//! The Graph-Centric Scheduler (Algorithm 1), in resumable ask/tell form.
 
-use aarc_simulator::{profile_workflow, ConfigMap, EvalEngine, SimResult, WorkflowEnvironment};
+use aarc_simulator::{profile_workflow, ConfigMap, SimResult, WorkflowEnvironment};
 use aarc_workflow::subpath::{decompose, DetourSubpath, PathDecomposition};
 
-use crate::configurator::PriorityConfigurator;
+use crate::configurator::{PathConfigState, PriorityConfigurator};
+use crate::driver::{Ask, SearchStrategy};
 use crate::error::AarcError;
 use crate::params::AarcParams;
 use crate::search::{validate_slo, ConfigurationSearch, SearchOutcome, SearchTrace};
@@ -52,39 +53,275 @@ impl GraphCentricScheduler {
         let weights = profile_workflow(env, &env.base_configs())?;
         Ok(decompose(env.workflow().dag(), weights.weight_fn()))
     }
+}
 
-    /// Derives the latency budget of a detour sub-path from the timeline of
-    /// the already-configured workflow: the window between the completion of
-    /// its start anchor and the start of its end anchor (the paper's
-    /// `runtime_sum(L, sp.start, sp.end)` minus the runtimes of the already
-    /// scheduled anchor functions). Detours starting at a workflow entry use
-    /// time zero as the window start; detours ending at a workflow exit may
-    /// run until the end-to-end SLO.
-    fn subpath_budget_ms(
-        &self,
-        env: &WorkflowEnvironment,
-        report: &SimResult,
-        subpath: &DetourSubpath,
-        slo_ms: f64,
-    ) -> f64 {
-        let window_start = subpath
-            .start_anchor
-            .and_then(|a| report.execution(a))
-            .map_or(0.0, |e| e.end_ms);
-        let window_end = subpath
-            .end_anchor
-            .and_then(|a| report.execution(a))
-            .map_or(slo_ms, |e| e.start_ms);
-        // Leave room for the hand-off from the detour's tail to its end
-        // anchor (conservatively the full edge payload).
-        let handoff_ms = match (subpath.interior.last(), subpath.end_anchor) {
-            (Some(&tail), Some(anchor)) => env
-                .workflow()
-                .edge(tail, anchor)
-                .map_or(0.0, |e| env.cluster().transfer_ms(e.payload_mb)),
-            _ => 0.0,
-        };
-        (window_end - window_start - handoff_ms).max(0.0)
+/// Derives the latency budget of a detour sub-path from the timeline of
+/// the already-configured workflow: the window between the completion of
+/// its start anchor and the start of its end anchor (the paper's
+/// `runtime_sum(L, sp.start, sp.end)` minus the runtimes of the already
+/// scheduled anchor functions). Detours starting at a workflow entry use
+/// time zero as the window start; detours ending at a workflow exit may
+/// run until the end-to-end SLO.
+fn subpath_budget_ms(
+    env: &WorkflowEnvironment,
+    report: &SimResult,
+    subpath: &DetourSubpath,
+    slo_ms: f64,
+) -> f64 {
+    let window_start = subpath
+        .start_anchor
+        .and_then(|a| report.execution(a))
+        .map_or(0.0, |e| e.end_ms);
+    let window_end = subpath
+        .end_anchor
+        .and_then(|a| report.execution(a))
+        .map_or(slo_ms, |e| e.start_ms);
+    // Leave room for the hand-off from the detour's tail to its end
+    // anchor (conservatively the full edge payload).
+    let handoff_ms = match (subpath.interior.last(), subpath.end_anchor) {
+        (Some(&tail), Some(anchor)) => env
+            .workflow()
+            .edge(tail, anchor)
+            .map_or(0.0, |e| env.cluster().transfer_ms(e.payload_mb)),
+        _ => 0.0,
+    };
+    (window_end - window_start - handoff_ms).max(0.0)
+}
+
+/// Where the scheduler strategy is in Algorithm 1. Stages double as the
+/// routing key for `tell`: a stage that just asked for a probe interprets
+/// the next result.
+enum Stage {
+    /// Probe the over-provisioned base configuration (lines 2-5).
+    Base,
+    /// Configuring the critical path (lines 7-9).
+    Critical(PathConfigState),
+    /// Re-executing so sub-SLO windows reflect the configured critical
+    /// path (step ❺ of the architecture figure).
+    CriticalReexec,
+    /// Selecting the next detour sub-path to configure (lines 11-21).
+    Subpaths { next: usize },
+    /// Configuring detour sub-path `index` within its window.
+    Subpath {
+        index: usize,
+        state: PathConfigState,
+    },
+    /// Re-executing after sub-path `index` was configured.
+    SubpathReexec { index: usize },
+    /// Awaiting the safety-net execution with detours reverted to base.
+    Guard,
+    /// Search complete.
+    Finished,
+}
+
+/// The ask/tell form of Algorithm 1: base probe, critical-path
+/// configuration, per-sub-path configuration with re-executions in
+/// between, and the SLO safety net — every evaluation expressed as an
+/// [`Ask::Probe`] so the driver (and therefore a shared pool) executes it.
+struct SchedulerStrategy {
+    configurator: PriorityConfigurator,
+    slo_ms: f64,
+    configs: ConfigMap,
+    trace: SearchTrace,
+    decomposition: Option<PathDecomposition>,
+    current_report: Option<SimResult>,
+    final_report: Option<SimResult>,
+    stage: Stage,
+}
+
+impl SchedulerStrategy {
+    fn new(configurator: PriorityConfigurator, slo_ms: f64) -> Self {
+        SchedulerStrategy {
+            configurator,
+            slo_ms,
+            configs: ConfigMap::from_vec(Vec::new()),
+            trace: SearchTrace::new(),
+            decomposition: None,
+            current_report: None,
+            final_report: None,
+            stage: Stage::Base,
+        }
+    }
+
+    fn decomposition(&self) -> &PathDecomposition {
+        self.decomposition
+            .as_ref()
+            .expect("decomposition exists after the base probe")
+    }
+}
+
+impl SearchStrategy for SchedulerStrategy {
+    fn name(&self) -> &str {
+        "AARC"
+    }
+
+    fn ask(&mut self, env: &WorkflowEnvironment) -> Result<Ask, AarcError> {
+        loop {
+            match std::mem::replace(&mut self.stage, Stage::Finished) {
+                Stage::Base => {
+                    // Lines 2-5: assign the over-provisioned base
+                    // configuration and execute once to profile the
+                    // workflow.
+                    self.configs = env.base_configs();
+                    self.stage = Stage::Base;
+                    return Ok(Ask::Probe(self.configs.clone()));
+                }
+                Stage::Critical(mut state) => {
+                    if state.propose(env, &mut self.configs) {
+                        self.stage = Stage::Critical(state);
+                    } else {
+                        // Critical path done: re-execute so sub-SLO windows
+                        // reflect the configured critical path. The last
+                        // accepted candidate is still memoised, so this is
+                        // a cache hit.
+                        self.stage = Stage::CriticalReexec;
+                    }
+                    return Ok(Ask::Probe(self.configs.clone()));
+                }
+                Stage::Subpaths { next } => {
+                    let decomposition = self.decomposition();
+                    let current = self
+                        .current_report
+                        .as_ref()
+                        .expect("current report exists after the critical re-exec");
+                    let mut index = next;
+                    let mut started = None;
+                    while index < decomposition.subpaths.len() {
+                        let subpath = &decomposition.subpaths[index];
+                        let budget = subpath_budget_ms(env, current, subpath, self.slo_ms);
+                        if budget <= 0.0 || subpath.interior.is_empty() {
+                            index += 1;
+                            continue;
+                        }
+                        started = Some(self.configurator.begin_path(
+                            env,
+                            &subpath.interior,
+                            budget,
+                            self.slo_ms,
+                            current,
+                        ));
+                        break;
+                    }
+                    if let Some(state) = started {
+                        self.stage = Stage::Subpath { index, state };
+                        continue;
+                    }
+                    // All sub-paths configured (or skipped). Safety net: if
+                    // the combined configuration somehow violates the SLO
+                    // (e.g. through transfer effects not captured by the
+                    // per-path budgets), fall back to base configurations
+                    // for all non-critical functions. The
+                    // critical-path-only configuration is SLO-compliant by
+                    // construction.
+                    let current = current.clone();
+                    if current.meets_slo(self.slo_ms) {
+                        self.final_report = Some(current);
+                        self.stage = Stage::Finished;
+                        return Ok(Ask::Done);
+                    }
+                    let detour_nodes: Vec<_> = self
+                        .decomposition()
+                        .subpaths
+                        .iter()
+                        .flat_map(|sp| sp.interior.iter().copied())
+                        .collect();
+                    for node in detour_nodes {
+                        self.configs.set(node, env.base_config());
+                    }
+                    self.stage = Stage::Guard;
+                    return Ok(Ask::Probe(self.configs.clone()));
+                }
+                Stage::Subpath { index, mut state } => {
+                    if state.propose(env, &mut self.configs) {
+                        self.stage = Stage::Subpath { index, state };
+                    } else {
+                        self.stage = Stage::SubpathReexec { index };
+                    }
+                    return Ok(Ask::Probe(self.configs.clone()));
+                }
+                Stage::Finished => return Ok(Ask::Done),
+                Stage::CriticalReexec | Stage::SubpathReexec { .. } | Stage::Guard => {
+                    unreachable!("re-exec stages await tell, never ask")
+                }
+            }
+        }
+    }
+
+    fn tell(&mut self, env: &WorkflowEnvironment, results: &[SimResult]) -> Result<(), AarcError> {
+        let result = &results[0];
+        match std::mem::replace(&mut self.stage, Stage::Finished) {
+            Stage::Base => {
+                self.trace.record(result, true, "base configuration");
+                if result.any_oom() {
+                    return Err(AarcError::BaseConfigurationOom);
+                }
+                if !result.meets_slo(self.slo_ms) {
+                    return Err(AarcError::BaseConfigurationViolatesSlo {
+                        makespan_ms: result.makespan_ms(),
+                        slo_ms: self.slo_ms,
+                    });
+                }
+                // Lines 6, 10: weighted-DAG decomposition into the critical
+                // path and its detour sub-paths.
+                let weights = aarc_simulator::ProfiledWeights::from_result(result);
+                let decomposition = decompose(env.workflow().dag(), weights.weight_fn());
+                // Lines 7-9: configure the critical path against the
+                // end-to-end SLO.
+                let state = self.configurator.begin_path(
+                    env,
+                    decomposition.critical.nodes(),
+                    self.slo_ms,
+                    self.slo_ms,
+                    result,
+                );
+                self.decomposition = Some(decomposition);
+                self.stage = Stage::Critical(state);
+            }
+            Stage::Critical(mut state) => {
+                state.observe(env, &mut self.configs, result, &mut self.trace);
+                self.stage = Stage::Critical(state);
+            }
+            Stage::CriticalReexec => {
+                self.trace.record(result, true, "critical path configured");
+                self.current_report = Some(result.clone());
+                self.stage = Stage::Subpaths { next: 0 };
+            }
+            Stage::Subpath { index, mut state } => {
+                state.observe(env, &mut self.configs, result, &mut self.trace);
+                self.stage = Stage::Subpath { index, state };
+            }
+            Stage::SubpathReexec { index } => {
+                let interior_len = self.decomposition().subpaths[index].interior.len();
+                self.trace.record(
+                    result,
+                    true,
+                    format!("sub-path of {interior_len} functions configured"),
+                );
+                self.current_report = Some(result.clone());
+                self.stage = Stage::Subpaths { next: index + 1 };
+            }
+            Stage::Guard => {
+                self.trace
+                    .record(result, true, "slo guard: detours reverted to base");
+                self.final_report = Some(result.clone());
+                self.stage = Stage::Finished;
+            }
+            Stage::Subpaths { .. } | Stage::Finished => {
+                unreachable!("tell without an evaluation in flight")
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, _env: &WorkflowEnvironment) -> Result<SearchOutcome, AarcError> {
+        Ok(SearchOutcome {
+            best_configs: self.configs.clone(),
+            final_report: self
+                .final_report
+                .take()
+                .expect("finish follows Ask::Done, which set the final report"),
+            trace: std::mem::take(&mut self.trace),
+        })
     }
 }
 
@@ -93,95 +330,16 @@ impl ConfigurationSearch for GraphCentricScheduler {
         "AARC"
     }
 
-    fn search_with(&self, engine: &EvalEngine, slo_ms: f64) -> Result<SearchOutcome, AarcError> {
-        let env = engine.env();
+    fn strategy(
+        &self,
+        _env: &WorkflowEnvironment,
+        slo_ms: f64,
+    ) -> Result<Box<dyn SearchStrategy>, AarcError> {
         validate_slo(slo_ms)?;
-        let mut trace = SearchTrace::new();
-
-        // Lines 2-5: assign the over-provisioned base configuration and
-        // execute once to profile the workflow.
-        let mut configs: ConfigMap = env.base_configs();
-        let base_report = engine.evaluate(&configs)?;
-        trace.record(&base_report, true, "base configuration");
-        if base_report.any_oom() {
-            return Err(AarcError::BaseConfigurationOom);
-        }
-        if !base_report.meets_slo(slo_ms) {
-            return Err(AarcError::BaseConfigurationViolatesSlo {
-                makespan_ms: base_report.makespan_ms(),
-                slo_ms,
-            });
-        }
-
-        // Lines 6, 10: weighted-DAG decomposition into the critical path and
-        // its detour sub-paths.
-        let weights = aarc_simulator::ProfiledWeights::from_result(&base_report);
-        let decomposition = decompose(env.workflow().dag(), weights.weight_fn());
-
-        // Lines 7-9: configure the critical path against the end-to-end SLO.
-        self.configurator.configure_path(
-            engine,
-            &mut configs,
-            decomposition.critical.nodes(),
+        Ok(Box::new(SchedulerStrategy::new(
+            self.configurator.clone(),
             slo_ms,
-            slo_ms,
-            &base_report,
-            &mut trace,
-        )?;
-
-        // Re-execute so sub-SLO windows reflect the *configured* critical
-        // path (step ❺ of the paper's architecture figure). The last
-        // accepted candidate is still memoised, so this is a cache hit.
-        let mut current_report = engine.evaluate(&configs)?;
-        trace.record(&current_report, true, "critical path configured");
-
-        // Lines 11-21: configure every detour sub-path within its window.
-        for subpath in &decomposition.subpaths {
-            let budget = self.subpath_budget_ms(env, &current_report, subpath, slo_ms);
-            if budget <= 0.0 || subpath.interior.is_empty() {
-                continue;
-            }
-            self.configurator.configure_path(
-                engine,
-                &mut configs,
-                &subpath.interior,
-                budget,
-                slo_ms,
-                &current_report,
-                &mut trace,
-            )?;
-            current_report = engine.evaluate(&configs)?;
-            trace.record(
-                &current_report,
-                true,
-                format!(
-                    "sub-path of {} functions configured",
-                    subpath.interior.len()
-                ),
-            );
-        }
-
-        // Safety net: if the combined configuration somehow violates the SLO
-        // (e.g. through transfer effects not captured by the per-path
-        // budgets), fall back to base configurations for all non-critical
-        // functions. The critical-path-only configuration is SLO-compliant
-        // by construction.
-        let mut final_report = current_report;
-        if !final_report.meets_slo(slo_ms) {
-            for subpath in &decomposition.subpaths {
-                for &node in &subpath.interior {
-                    configs.set(node, env.base_config());
-                }
-            }
-            final_report = engine.evaluate(&configs)?;
-            trace.record(&final_report, true, "slo guard: detours reverted to base");
-        }
-
-        Ok(SearchOutcome {
-            best_configs: configs,
-            final_report,
-            trace,
-        })
+        )))
     }
 }
 

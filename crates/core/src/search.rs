@@ -4,8 +4,11 @@
 
 use serde::{Deserialize, Serialize};
 
-use aarc_simulator::{ConfigMap, EvalEngine, ExecutionReport, SimResult, WorkflowEnvironment};
+use aarc_simulator::{
+    ConfigMap, EvalEngine, ExecutionReport, ScenarioHandle, SimResult, WorkflowEnvironment,
+};
 
+use crate::driver::{SearchDriver, SearchStrategy};
 use crate::error::AarcError;
 
 /// One configuration sample taken during a search: the candidate was
@@ -63,11 +66,24 @@ impl SearchTrace {
         self.samples.push(sample);
     }
 
-    /// Appends every sample of `other` to this trace (re-indexed). Used by
-    /// the input-aware engine to merge the per-class scheduler runs.
+    /// Appends every sample of `other` to this trace (re-indexed), cloning
+    /// each sample. Prefer [`append`](SearchTrace::append) when `other` is
+    /// no longer needed.
     pub fn merge(&mut self, other: &SearchTrace) {
         for sample in other.samples() {
             self.push(sample.clone());
+        }
+    }
+
+    /// Consumes `other`, moving its samples onto the end of this trace and
+    /// re-indexing them in place — the allocation-free form of
+    /// [`merge`](SearchTrace::merge), used by the input-aware engine to
+    /// fold the per-class scheduler runs into one engine-level trace.
+    pub fn append(&mut self, other: SearchTrace) {
+        let offset = self.samples.len();
+        self.samples.extend(other.samples);
+        for (i, sample) in self.samples.iter_mut().enumerate().skip(offset) {
+            sample.index = i + 1;
         }
     }
 
@@ -163,35 +179,69 @@ impl SearchOutcome {
 /// SLO, produce a per-function configuration.
 ///
 /// AARC's [`GraphCentricScheduler`](crate::scheduler::GraphCentricScheduler)
-/// and the baselines (Bayesian optimization, MAFF) all implement this trait,
-/// which is what the experiment harness iterates over.
+/// and the baselines (Bayesian optimization, MAFF, random search) all
+/// implement this trait, which is what the experiment harness iterates
+/// over. A method's only required behaviour is building its ask/tell
+/// [`SearchStrategy`]; the evaluate-loop itself lives in the
+/// [`SearchDriver`], which lets independent searches interleave their
+/// batches on one shared evaluation pool.
 pub trait ConfigurationSearch {
     /// Short method name used in figures ("AARC", "BO", "MAFF").
     fn name(&self) -> &str;
 
-    /// Runs the search, submitting every candidate execution through
-    /// `engine` — the shared [`EvalEngine`] that memoises repeated
-    /// simulations and fans batches out over its worker pool.
+    /// Builds the resumable ask/tell strategy of one search run over `env`
+    /// under `slo_ms`.
     ///
-    /// Implementations must stay deterministic with respect to the engine's
-    /// thread count: batch submissions derive per-candidate seeds from the
-    /// candidate index (see [`aarc_simulator::derive_seed`]), never from
-    /// evaluation order.
+    /// Strategies must stay deterministic with respect to the evaluation
+    /// pool's thread count and to interleaving with other searches: their
+    /// ask sequence may depend only on the results they were told, and
+    /// batch candidates receive index-derived seeds (see
+    /// [`aarc_simulator::derive_seed`]), never evaluation-order-derived
+    /// ones.
     ///
     /// # Errors
     ///
-    /// Implementations return an error if the SLO is invalid, the base
-    /// configuration already violates it, or the platform rejects an
-    /// execution.
-    fn search_with(&self, engine: &EvalEngine, slo_ms: f64) -> Result<SearchOutcome, AarcError>;
+    /// Returns an error if the SLO is invalid (see [`validate_slo`]) or the
+    /// method cannot search this environment.
+    fn strategy(
+        &self,
+        env: &WorkflowEnvironment,
+        slo_ms: f64,
+    ) -> Result<Box<dyn SearchStrategy>, AarcError>;
+
+    /// Runs the search to completion on `handle` — a scenario registered on
+    /// a (possibly shared) [`EvalService`](aarc_simulator::EvalService) —
+    /// driving the strategy through the [`SearchDriver`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the SLO is invalid, the base configuration
+    /// already violates it, or the platform rejects an execution.
+    fn search_on(
+        &self,
+        handle: &ScenarioHandle<'_>,
+        slo_ms: f64,
+    ) -> Result<SearchOutcome, AarcError> {
+        SearchDriver::run(self.strategy(handle.env(), slo_ms)?, handle)
+    }
+
+    /// Runs the search through an [`EvalEngine`] — the single-scenario
+    /// compatibility facade over the service layer.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigurationSearch::search_on`].
+    fn search_with(&self, engine: &EvalEngine, slo_ms: f64) -> Result<SearchOutcome, AarcError> {
+        self.search_on(&engine.handle(), slo_ms)
+    }
 
     /// Runs the search on a private single-threaded engine over a copy of
     /// `env` — the convenience entry point for callers that do not share an
-    /// engine across methods.
+    /// evaluation service across methods.
     ///
     /// # Errors
     ///
-    /// See [`ConfigurationSearch::search_with`].
+    /// See [`ConfigurationSearch::search_on`].
     fn search(&self, env: &WorkflowEnvironment, slo_ms: f64) -> Result<SearchOutcome, AarcError> {
         self.search_with(&EvalEngine::single_threaded(env.clone()), slo_ms)
     }
@@ -282,6 +332,32 @@ mod tests {
         assert!(series[0].is_infinite());
         assert!(series[1].is_infinite());
         assert_eq!(series[2], 30.0);
+    }
+
+    #[test]
+    fn append_moves_samples_and_reindexes() {
+        let sample = |label: &str| SearchSample {
+            index: 99,
+            makespan_ms: 1.0,
+            cost: 2.0,
+            oom: false,
+            accepted: true,
+            label: label.into(),
+        };
+        let mut a = SearchTrace::new();
+        a.push(sample("a1"));
+        let mut b = SearchTrace::new();
+        b.push(sample("b1"));
+        b.push(sample("b2"));
+        let mut merged_ref = a.clone();
+        merged_ref.merge(&b);
+        a.append(b);
+        assert_eq!(a, merged_ref, "append must behave exactly like merge");
+        assert_eq!(
+            a.samples().iter().map(|s| s.index).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(a.samples()[2].label, "b2");
     }
 
     #[test]

@@ -1,12 +1,17 @@
-//! [`EvalEngine`]: the candidate-evaluation layer between the configuration
-//! searchers and the discrete-event executor.
+//! The candidate-evaluation layer between the configuration searchers and
+//! the discrete-event executor: a process-wide [`EvalService`] that owns the
+//! shared evaluation substrate, cheap per-scenario [`ScenarioHandle`]s that
+//! submit candidates through it, and [`EvalEngine`] as a thin single-handle
+//! compatibility facade.
 //!
 //! Every search method (AARC's Graph-Centric Scheduler, Bayesian
 //! optimization, MAFF, random search) spends nearly all of its wall-clock
 //! re-simulating candidate configurations, many of which repeat across
 //! search steps and across methods (the over-provisioned base configuration
-//! alone is executed by every method). The engine amortises and parallelises
-//! that hot path:
+//! alone is executed by every method). Real deployments run fleets of
+//! heterogeneous workflows against one evaluation substrate, so the
+//! expensive, shareable resources are owned once per process by the
+//! service:
 //!
 //! * a **deterministic fork-join worker pool** (`std::thread::scope`) that
 //!   evaluates batches of candidates in parallel. Each candidate's RNG seed
@@ -15,7 +20,16 @@
 //!   of the thread count;
 //! * a **sharded memo-cache** keyed by `(scenario fingerprint,
 //!   configuration, input bucket, seed)` that short-circuits repeated
-//!   simulations, with hit/miss/eviction statistics surfaced in reports.
+//!   simulations. Keys carry the scenario fingerprint, so any number of
+//!   scenarios can share the cache without ever leaking reports across
+//!   scenarios; hit/miss/eviction statistics are kept **per fingerprint**
+//!   (see [`EvalService::scenario_stats`]) as well as in aggregate;
+//! * a pool of reusable [`SimScratch`] arenas borrowed by worker threads.
+//!
+//! A [`ScenarioHandle`] is just a compiled scenario plus [`EvalOptions`]:
+//! creating one compiles the environment once, and any number of handles
+//! (for the same or different scenarios) can submit through one service
+//! concurrently with the searches interleaving on the shared pool.
 //!
 //! Cache bookkeeping (lookup, hit/miss accounting, insertion, eviction)
 //! always happens on the submitting thread in candidate order; worker
@@ -23,19 +37,17 @@
 //! and therefore any report that embeds them — identical for `--threads 1`
 //! and `--threads 8`.
 //!
-//! Since the kernel refactor the engine evaluates candidates through a
-//! [`CompiledScenario`] built once at construction and a pool of reusable
-//! [`SimScratch`] arenas (one per active worker), and both the cache and
-//! the searchers traffic in the lean [`SimResult`] — cache hits clone an
-//! `Arc`, not a report full of `String`s. The full
+//! Both the cache and the searchers traffic in the lean [`SimResult`] —
+//! cache hits clone an `Arc`, not a report full of `String`s. The full
 //! [`ExecutionReport`](crate::executor::ExecutionReport) is only
-//! materialised on demand via [`EvalEngine::materialize`].
+//! materialised on demand via [`ScenarioHandle::materialize`] /
+//! [`EvalEngine::materialize`].
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
@@ -76,14 +88,15 @@ pub fn derive_seed(base: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Tuning knobs of an [`EvalEngine`].
+/// Tuning knobs of an [`EvalService`] (and of the [`EvalEngine`] facade).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvalOptions {
     /// Worker threads used for batch evaluation (1 = fully sequential).
     pub threads: usize,
-    /// Maximum number of memoised execution reports kept across all shards.
-    /// Eviction is FIFO per shard and can only cost future cache hits — a
-    /// recomputed report is always identical to the evicted one.
+    /// Maximum number of memoised execution reports kept across all shards
+    /// of the shared cache. Eviction is FIFO per shard and can only cost
+    /// future cache hits — a recomputed report is always identical to the
+    /// evicted one. `0` disables memoisation.
     pub cache_capacity: usize,
 }
 
@@ -96,11 +109,11 @@ impl Default for EvalOptions {
     }
 }
 
-/// Cumulative counters of one engine, surfaced in CLI reports and
-/// `BENCH_*.json`.
+/// Cumulative counters of one service (or one scenario's slice of it),
+/// surfaced in CLI reports and `BENCH_*.json`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EvalStats {
-    /// Worker threads the engine was configured with.
+    /// Worker threads the pool was configured with.
     pub threads: usize,
     /// Candidate evaluations requested (hits + misses).
     pub requests: u64,
@@ -129,6 +142,39 @@ impl EvalStats {
     }
 }
 
+/// One scenario's slice of a shared service's statistics, keyed by the
+/// scenario fingerprint baked into every cache key. Evictions are
+/// attributed to the scenario whose entry was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioEvalStats {
+    /// The scenario fingerprint ([`WorkflowEnvironment::fingerprint`]).
+    pub fingerprint: u64,
+    /// Candidate evaluations requested for this scenario (hits + misses).
+    pub requests: u64,
+    /// Requests answered from the memo-cache.
+    pub cache_hits: u64,
+    /// Requests that required an actual simulation.
+    pub cache_misses: u64,
+    /// This scenario's reports dropped by FIFO eviction.
+    pub evictions: u64,
+}
+
+impl ScenarioEvalStats {
+    /// Fraction of this scenario's requests served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Number of simulations actually executed for this scenario.
+    pub fn simulations(&self) -> u64 {
+        self.cache_misses
+    }
+}
+
 /// Exact-equality cache key of one candidate evaluation.
 ///
 /// The *input bucket* is the bit pattern of the input's scale and payload:
@@ -151,84 +197,70 @@ struct Shard {
     order: VecDeque<CacheKey>,
 }
 
-/// The candidate-evaluation engine: a [`WorkflowEnvironment`] wrapped in a
-/// deterministic worker pool and a sharded memo-cache.
-///
-/// Searchers submit candidates through [`evaluate`](EvalEngine::evaluate) /
-/// [`evaluate_batch`](EvalEngine::evaluate_batch) instead of calling
-/// [`WorkflowEnvironment::execute`] directly; the engine short-circuits
-/// repeated simulations and fans independent candidates out over its worker
-/// threads.
-#[derive(Debug)]
-pub struct EvalEngine {
-    env: WorkflowEnvironment,
-    scenario: CompiledScenario,
-    options: EvalOptions,
-    fingerprint: u64,
-    shards: Vec<Mutex<Shard>>,
-    scratch_pool: Mutex<Vec<SimScratch>>,
+/// Hit/miss/eviction counters of one scenario fingerprint. Shared (via
+/// `Arc`) between the service registry and every handle of that scenario,
+/// so per-scenario statistics survive handle drops.
+#[derive(Debug, Default)]
+struct ScenarioCounters {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
 }
 
-impl EvalEngine {
-    /// Creates an engine over `env` with the given options.
-    pub fn new(env: WorkflowEnvironment, options: EvalOptions) -> Self {
-        let fingerprint = env.fingerprint();
-        let scenario = CompiledScenario::compile(
-            env.workflow(),
-            env.profiles(),
-            *env.cluster(),
-            *env.pricing(),
-        )
-        .expect("environment profiles are validated at build time");
-        EvalEngine {
-            env,
-            scenario,
+/// The immutable per-scenario half of an evaluation: the compiled scenario,
+/// its environment and options, and its statistics slice. Shared by
+/// [`ScenarioHandle`]s and the [`EvalEngine`] facade via `Arc`.
+#[derive(Debug)]
+struct ScenarioData {
+    env: WorkflowEnvironment,
+    scenario: CompiledScenario,
+    fingerprint: u64,
+    options: EvalOptions,
+    counters: Arc<ScenarioCounters>,
+}
+
+/// The process-wide evaluation substrate: the deterministic fork-join
+/// worker pool, the sharded fingerprint-keyed memo-cache and the
+/// [`SimScratch`] arena pool, shared by every scenario registered on it.
+///
+/// Scenarios borrow the substrate through [`ScenarioHandle`]s
+/// ([`EvalService::register`]); independent searches submit batches through
+/// their handles and interleave on the shared pool. Statistics are kept per
+/// scenario fingerprint ([`EvalService::scenario_stats`]) and in aggregate
+/// ([`EvalService::stats`]).
+#[derive(Debug)]
+pub struct EvalService {
+    options: EvalOptions,
+    shards: Vec<Mutex<Shard>>,
+    scratch_pool: Mutex<Vec<SimScratch>>,
+    scenarios: Mutex<BTreeMap<u64, Arc<ScenarioCounters>>>,
+}
+
+impl EvalService {
+    /// Creates a service with the given pool and cache options.
+    pub fn new(options: EvalOptions) -> Self {
+        EvalService {
             options: EvalOptions {
                 threads: options.threads.max(1),
                 cache_capacity: options.cache_capacity,
             },
-            fingerprint,
             shards: (0..SHARD_COUNT)
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
             scratch_pool: Mutex::new(Vec::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            scenarios: Mutex::new(BTreeMap::new()),
         }
     }
 
-    /// A sequential engine with the default cache (the drop-in replacement
-    /// for calling the executor directly).
-    pub fn single_threaded(env: WorkflowEnvironment) -> Self {
-        EvalEngine::new(env, EvalOptions::default())
+    /// A service with `threads` workers and the default cache.
+    pub fn with_threads(threads: usize) -> Self {
+        EvalService::new(EvalOptions {
+            threads,
+            ..EvalOptions::default()
+        })
     }
 
-    /// An engine with `threads` workers and the default cache.
-    pub fn with_threads(env: WorkflowEnvironment, threads: usize) -> Self {
-        EvalEngine::new(
-            env,
-            EvalOptions {
-                threads,
-                ..EvalOptions::default()
-            },
-        )
-    }
-
-    /// The wrapped environment (workflow, profiles, space, pricing, ...).
-    pub fn env(&self) -> &WorkflowEnvironment {
-        &self.env
-    }
-
-    /// The compiled scenario every evaluation runs against.
-    pub fn scenario(&self) -> &CompiledScenario {
-        &self.scenario
-    }
-
-    /// The engine's options.
+    /// The service's options (pool width and shared cache capacity).
     pub fn options(&self) -> EvalOptions {
         self.options
     }
@@ -238,108 +270,155 @@ impl EvalEngine {
         self.options.threads
     }
 
-    /// The scenario fingerprint baked into every cache key.
-    pub fn fingerprint(&self) -> u64 {
-        self.fingerprint
+    /// Registers `env` on the service: compiles the scenario once and
+    /// returns a cheap handle that submits evaluations through the shared
+    /// pool and cache. Handles of environments with identical fingerprints
+    /// share one statistics slice.
+    pub fn register(&self, env: WorkflowEnvironment) -> ScenarioHandle<'_> {
+        self.register_with(env, self.options)
     }
 
-    /// Evaluates one candidate with the environment's default input and
-    /// seed, consulting the memo-cache first.
-    ///
-    /// # Errors
-    ///
-    /// See [`CompiledScenario::simulate`].
-    pub fn evaluate(&self, configs: &ConfigMap) -> Result<SimResult, SimulatorError> {
-        self.evaluate_with(configs, self.env.input(), self.env.seed())
-    }
-
-    /// Evaluates one candidate with full control over input and seed,
-    /// consulting the memo-cache first.
-    ///
-    /// # Errors
-    ///
-    /// See [`CompiledScenario::simulate`].
-    pub fn evaluate_with(
+    /// [`register`](EvalService::register) with per-handle options: the
+    /// handle's `threads` caps the fan-out of its batches (within the
+    /// shared pool) and `cache_capacity == 0` opts this handle out of
+    /// memoisation. The shared cache's capacity itself stays service-wide.
+    pub fn register_with(
         &self,
+        env: WorkflowEnvironment,
+        options: EvalOptions,
+    ) -> ScenarioHandle<'_> {
+        ScenarioHandle {
+            service: self,
+            data: self.scenario_data(env, options),
+        }
+    }
+
+    /// Compiles `env` into the shared per-scenario data block used by both
+    /// handles and the [`EvalEngine`] facade.
+    fn scenario_data(&self, env: WorkflowEnvironment, options: EvalOptions) -> Arc<ScenarioData> {
+        let fingerprint = env.fingerprint();
+        let scenario = CompiledScenario::compile(
+            env.workflow(),
+            env.profiles(),
+            *env.cluster(),
+            *env.pricing(),
+        )
+        .expect("environment profiles are validated at build time");
+        let counters = Arc::clone(
+            self.scenarios
+                .lock()
+                .expect("scenario registry poisoned")
+                .entry(fingerprint)
+                .or_default(),
+        );
+        Arc::new(ScenarioData {
+            env,
+            scenario,
+            fingerprint,
+            options: EvalOptions {
+                threads: options.threads.max(1),
+                cache_capacity: options.cache_capacity,
+            },
+            counters,
+        })
+    }
+
+    /// Aggregate statistics over every scenario registered on the service.
+    pub fn stats(&self) -> EvalStats {
+        let mut hits = 0;
+        let mut misses = 0;
+        let mut evictions = 0;
+        for counters in self
+            .scenarios
+            .lock()
+            .expect("scenario registry poisoned")
+            .values()
+        {
+            hits += counters.hits.load(Ordering::Relaxed);
+            misses += counters.misses.load(Ordering::Relaxed);
+            evictions += counters.evictions.load(Ordering::Relaxed);
+        }
+        EvalStats {
+            threads: self.options.threads,
+            requests: hits + misses,
+            cache_hits: hits,
+            cache_misses: misses,
+            evictions,
+        }
+    }
+
+    /// The per-fingerprint statistics breakdown, ordered by fingerprint.
+    /// One entry per distinct scenario ever registered, even if all of its
+    /// handles have been dropped.
+    pub fn scenario_stats(&self) -> Vec<ScenarioEvalStats> {
+        self.scenarios
+            .lock()
+            .expect("scenario registry poisoned")
+            .iter()
+            .map(|(&fingerprint, counters)| {
+                let hits = counters.hits.load(Ordering::Relaxed);
+                let misses = counters.misses.load(Ordering::Relaxed);
+                ScenarioEvalStats {
+                    fingerprint,
+                    requests: hits + misses,
+                    cache_hits: hits,
+                    cache_misses: misses,
+                    evictions: counters.evictions.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
+    }
+
+    /// Number of reports currently memoised across all shards (all
+    /// scenarios together).
+    pub fn cached_entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Drops every memoised report of every scenario (statistics are kept).
+    /// Used by the bench harness to time cold batches.
+    pub fn clear_cache(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock().expect("cache shard poisoned");
+            s.map.clear();
+            s.order.clear();
+        }
+    }
+
+    /// Evaluates one candidate of `data`'s scenario, consulting the shared
+    /// memo-cache first.
+    fn evaluate_data(
+        &self,
+        data: &ScenarioData,
         configs: &ConfigMap,
         input: InputSpec,
         seed: u64,
     ) -> Result<SimResult, SimulatorError> {
-        let key = self.key(configs, input, seed);
-        if let Some(result) = self.cache_get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        let key = Self::key(data, configs, input, seed);
+        if let Some(result) = self.cache_get(data, &key) {
+            data.counters.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(result);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let result = self.simulate(configs, input, seed)?;
-        self.cache_insert(key, result.clone());
+        data.counters.misses.fetch_add(1, Ordering::Relaxed);
+        let mut scratch = self.take_scratch();
+        let result = data.scenario.simulate(&mut scratch, configs, input, seed);
+        self.put_scratch(scratch);
+        let result = result?;
+        self.cache_insert(data, key, result.clone());
         Ok(result)
     }
 
-    /// Materialises the full [`ExecutionReport`] (per-function names and the
-    /// complete event trace) of one candidate. This deliberately bypasses
-    /// the memo-cache — reports are only produced for search winners and
-    /// CLI `run` output, never on the hot path — and is bit-identical to
-    /// the [`SimResult`] of the same `(configs, input, seed)` triple.
-    ///
-    /// # Errors
-    ///
-    /// See [`CompiledScenario::simulate_report`].
-    pub fn materialize(
+    /// Evaluates a batch of candidates of `data`'s scenario. Candidate `i`
+    /// runs with the derived seed `derive_seed(env.seed(), i)` — a function
+    /// of its index only — and duplicates within the batch are simulated
+    /// once, so the returned reports (and the statistics) are bit-identical
+    /// regardless of the pool's thread count.
+    fn evaluate_batch_data(
         &self,
-        configs: &ConfigMap,
-        input: InputSpec,
-        seed: u64,
-    ) -> Result<ExecutionReport, SimulatorError> {
-        let mut scratch = self.take_scratch();
-        let report = self
-            .scenario
-            .simulate_report(&mut scratch, configs, input, seed);
-        self.put_scratch(scratch);
-        report
-    }
-
-    /// [`materialize`](EvalEngine::materialize) for the exact `(input,
-    /// seed)` a [`SimResult`] was produced under — the way a search winner's
-    /// full report is recovered without risking a contradictory re-roll
-    /// under runtime jitter.
-    ///
-    /// # Errors
-    ///
-    /// See [`CompiledScenario::simulate_report`].
-    pub fn materialize_result(
-        &self,
-        configs: &ConfigMap,
-        result: &SimResult,
-    ) -> Result<ExecutionReport, SimulatorError> {
-        self.materialize(configs, result.input(), result.seed())
-    }
-
-    /// Evaluates a batch of candidates with the environment's default input.
-    ///
-    /// Candidate `i` runs with the derived seed `derive_seed(env.seed(), i)`
-    /// — a function of its index only — and duplicates within the batch are
-    /// simulated once, so the returned reports (and the cache statistics)
-    /// are bit-identical regardless of the engine's thread count.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first error in candidate order.
-    pub fn evaluate_batch(
-        &self,
-        candidates: &[ConfigMap],
-    ) -> Result<Vec<SimResult>, SimulatorError> {
-        self.evaluate_batch_with(candidates, self.env.input())
-    }
-
-    /// [`evaluate_batch`](EvalEngine::evaluate_batch) with an explicit
-    /// input.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first error in candidate order.
-    pub fn evaluate_batch_with(
-        &self,
+        data: &ScenarioData,
         candidates: &[ConfigMap],
         input: InputSpec,
     ) -> Result<Vec<SimResult>, SimulatorError> {
@@ -353,30 +432,30 @@ impl EvalEngine {
         let mut pending: Vec<(usize, CacheKey, u64)> = Vec::new();
         let mut duplicates: Vec<(usize, usize)> = Vec::new();
         for (i, configs) in candidates.iter().enumerate() {
-            let seed = derive_seed(self.env.seed(), i as u64);
-            let key = self.key(configs, input, seed);
-            if let Some(report) = self.cache_get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+            let seed = derive_seed(data.env.seed(), i as u64);
+            let key = Self::key(data, configs, input, seed);
+            if let Some(report) = self.cache_get(data, &key) {
+                data.counters.hits.fetch_add(1, Ordering::Relaxed);
                 results[i] = Some(report);
             } else if let Some(&p) = claimed.get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                data.counters.hits.fetch_add(1, Ordering::Relaxed);
                 duplicates.push((i, p));
             } else {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                data.counters.misses.fetch_add(1, Ordering::Relaxed);
                 claimed.insert(key.clone(), pending.len());
                 pending.push((i, key, seed));
             }
         }
 
         // Simulate all distinct misses on the worker pool.
-        let computed = self.run_pool(candidates, input, &pending);
+        let computed = self.run_pool(data, candidates, input, &pending);
 
         // Insert in candidate order (deterministic eviction), then resolve
         // duplicates from the freshly computed results.
         let mut fresh: Vec<Option<SimResult>> = Vec::with_capacity(pending.len());
         for ((i, key, _seed), outcome) in pending.iter().zip(computed) {
             let report = outcome?;
-            self.cache_insert(key.clone(), report.clone());
+            self.cache_insert(data, key.clone(), report.clone());
             results[*i] = Some(report.clone());
             fresh.push(Some(report));
         }
@@ -389,48 +468,22 @@ impl EvalEngine {
             .collect())
     }
 
-    /// The engine's cumulative statistics.
-    pub fn stats(&self) -> EvalStats {
-        let hits = self.hits.load(Ordering::Relaxed);
-        let misses = self.misses.load(Ordering::Relaxed);
-        EvalStats {
-            threads: self.options.threads,
-            requests: hits + misses,
-            cache_hits: hits,
-            cache_misses: misses,
-            evictions: self.evictions.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Number of reports currently memoised across all shards.
-    pub fn cached_entries(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").map.len())
-            .sum()
-    }
-
-    /// Drops every memoised report (statistics are kept). Used by the bench
-    /// harness to time cold batches.
-    pub fn clear_cache(&self) {
-        for shard in &self.shards {
-            let mut s = shard.lock().expect("cache shard poisoned");
-            s.map.clear();
-            s.order.clear();
-        }
-    }
-
-    /// Runs one uncached simulation on a pooled scratch.
-    fn simulate(
+    /// Materialises the full [`ExecutionReport`] of one candidate of
+    /// `data`'s scenario (bypasses the memo-cache; see
+    /// [`ScenarioHandle::materialize`]).
+    fn materialize_data(
         &self,
+        data: &ScenarioData,
         configs: &ConfigMap,
         input: InputSpec,
         seed: u64,
-    ) -> Result<SimResult, SimulatorError> {
+    ) -> Result<ExecutionReport, SimulatorError> {
         let mut scratch = self.take_scratch();
-        let result = self.scenario.simulate(&mut scratch, configs, input, seed);
+        let report = data
+            .scenario
+            .simulate_report(&mut scratch, configs, input, seed);
         self.put_scratch(scratch);
-        result
+        report
     }
 
     /// Borrows a scratch arena from the pool (or creates one on first use).
@@ -457,17 +510,23 @@ impl EvalEngine {
     /// performs `O(t)` arena (re)uses, not `O(k)` allocations.
     fn run_pool(
         &self,
+        data: &ScenarioData,
         candidates: &[ConfigMap],
         input: InputSpec,
         pending: &[(usize, CacheKey, u64)],
     ) -> Vec<Result<SimResult, SimulatorError>> {
-        let threads = self.options.threads.min(pending.len()).max(1);
+        let threads = data
+            .options
+            .threads
+            .min(self.options.threads)
+            .min(pending.len())
+            .max(1);
         if threads <= 1 {
             let mut scratch = self.take_scratch();
             let results = pending
                 .iter()
                 .map(|(i, _, seed)| {
-                    self.scenario
+                    data.scenario
                         .simulate(&mut scratch, &candidates[*i], input, *seed)
                 })
                 .collect();
@@ -484,7 +543,7 @@ impl EvalEngine {
                         let results = jobs
                             .iter()
                             .map(|(i, _, seed)| {
-                                self.scenario
+                                data.scenario
                                     .simulate(&mut scratch, &candidates[*i], input, *seed)
                             })
                             .collect::<Vec<_>>();
@@ -503,14 +562,14 @@ impl EvalEngine {
     /// Builds the exact cache key of one evaluation. The seed is dropped
     /// from the key when the cluster models no jitter, because the report is
     /// then seed-independent.
-    fn key(&self, configs: &ConfigMap, input: InputSpec, seed: u64) -> CacheKey {
-        let key_seed = if self.env.cluster().runtime_jitter > 0.0 {
+    fn key(data: &ScenarioData, configs: &ConfigMap, input: InputSpec, seed: u64) -> CacheKey {
+        let key_seed = if data.env.cluster().runtime_jitter > 0.0 {
             seed
         } else {
             0
         };
         CacheKey {
-            fingerprint: self.fingerprint,
+            fingerprint: data.fingerprint,
             input_bucket: (input.scale.to_bits(), input.payload_mb.to_bits()),
             seed: key_seed,
             configs: configs
@@ -527,8 +586,14 @@ impl EvalEngine {
         &self.shards[(hasher.finish() as usize) % SHARD_COUNT]
     }
 
-    fn cache_get(&self, key: &CacheKey) -> Option<SimResult> {
-        if self.options.cache_capacity == 0 {
+    /// Whether memoisation is active for this handle: both the service's
+    /// shared capacity and the handle's own options must allow it.
+    fn cache_enabled(&self, data: &ScenarioData) -> bool {
+        self.options.cache_capacity > 0 && data.options.cache_capacity > 0
+    }
+
+    fn cache_get(&self, data: &ScenarioData, key: &CacheKey) -> Option<SimResult> {
+        if !self.cache_enabled(data) {
             return None;
         }
         self.shard_of(key)
@@ -539,8 +604,8 @@ impl EvalEngine {
             .cloned()
     }
 
-    fn cache_insert(&self, key: CacheKey, result: SimResult) {
-        if self.options.cache_capacity == 0 {
+    fn cache_insert(&self, data: &ScenarioData, key: CacheKey, result: SimResult) {
+        if !self.cache_enabled(data) {
             return;
         }
         let per_shard = (self.options.cache_capacity / SHARD_COUNT).max(1);
@@ -550,9 +615,387 @@ impl EvalEngine {
             while shard.map.len() > per_shard {
                 let oldest = shard.order.pop_front().expect("order tracks map");
                 shard.map.remove(&oldest);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.count_eviction(data, oldest.fingerprint);
             }
         }
+    }
+
+    /// Attributes one eviction to the scenario whose entry was dropped —
+    /// with a shared cache that is not necessarily the submitting scenario.
+    fn count_eviction(&self, data: &ScenarioData, evicted_fingerprint: u64) {
+        if evicted_fingerprint == data.fingerprint {
+            data.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if let Some(counters) = self
+            .scenarios
+            .lock()
+            .expect("scenario registry poisoned")
+            .get(&evicted_fingerprint)
+        {
+            counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for EvalService {
+    fn default() -> Self {
+        EvalService::new(EvalOptions::default())
+    }
+}
+
+/// A cheap per-scenario view onto a shared [`EvalService`]: the compiled
+/// scenario plus [`EvalOptions`]. Cloning a handle clones an `Arc`, not the
+/// compiled scenario.
+///
+/// Searchers submit candidates through [`evaluate`](ScenarioHandle::evaluate)
+/// / [`evaluate_batch`](ScenarioHandle::evaluate_batch); the service
+/// short-circuits repeated simulations through the shared memo-cache and
+/// fans independent candidates out over the shared worker pool.
+#[derive(Debug, Clone)]
+pub struct ScenarioHandle<'s> {
+    service: &'s EvalService,
+    data: Arc<ScenarioData>,
+}
+
+impl<'s> ScenarioHandle<'s> {
+    /// The service this handle submits through.
+    pub fn service(&self) -> &'s EvalService {
+        self.service
+    }
+
+    /// The wrapped environment (workflow, profiles, space, pricing, ...).
+    pub fn env(&self) -> &WorkflowEnvironment {
+        &self.data.env
+    }
+
+    /// The compiled scenario every evaluation runs against.
+    pub fn scenario(&self) -> &CompiledScenario {
+        &self.data.scenario
+    }
+
+    /// The handle's options.
+    pub fn options(&self) -> EvalOptions {
+        self.data.options
+    }
+
+    /// Worker threads this handle's batches fan out over.
+    pub fn threads(&self) -> usize {
+        self.data.options.threads.min(self.service.options.threads)
+    }
+
+    /// The scenario fingerprint baked into every cache key.
+    pub fn fingerprint(&self) -> u64 {
+        self.data.fingerprint
+    }
+
+    /// Evaluates one candidate with the environment's default input and
+    /// seed, consulting the shared memo-cache first.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledScenario::simulate`].
+    pub fn evaluate(&self, configs: &ConfigMap) -> Result<SimResult, SimulatorError> {
+        self.evaluate_with(configs, self.data.env.input(), self.data.env.seed())
+    }
+
+    /// Evaluates one candidate with full control over input and seed,
+    /// consulting the shared memo-cache first.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledScenario::simulate`].
+    pub fn evaluate_with(
+        &self,
+        configs: &ConfigMap,
+        input: InputSpec,
+        seed: u64,
+    ) -> Result<SimResult, SimulatorError> {
+        self.service.evaluate_data(&self.data, configs, input, seed)
+    }
+
+    /// Evaluates a batch of candidates with the environment's default input.
+    ///
+    /// Candidate `i` runs with the derived seed `derive_seed(env.seed(), i)`
+    /// — a function of its index only — and duplicates within the batch are
+    /// simulated once, so the returned reports (and the cache statistics)
+    /// are bit-identical regardless of the pool's thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in candidate order.
+    pub fn evaluate_batch(
+        &self,
+        candidates: &[ConfigMap],
+    ) -> Result<Vec<SimResult>, SimulatorError> {
+        self.evaluate_batch_with(candidates, self.data.env.input())
+    }
+
+    /// [`evaluate_batch`](ScenarioHandle::evaluate_batch) with an explicit
+    /// input.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in candidate order.
+    pub fn evaluate_batch_with(
+        &self,
+        candidates: &[ConfigMap],
+        input: InputSpec,
+    ) -> Result<Vec<SimResult>, SimulatorError> {
+        self.service
+            .evaluate_batch_data(&self.data, candidates, input)
+    }
+
+    /// Materialises the full [`ExecutionReport`] (per-function names and the
+    /// complete event trace) of one candidate. This deliberately bypasses
+    /// the memo-cache — reports are only produced for search winners and
+    /// CLI `run` output, never on the hot path — and is bit-identical to
+    /// the [`SimResult`] of the same `(configs, input, seed)` triple.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledScenario::simulate_report`].
+    pub fn materialize(
+        &self,
+        configs: &ConfigMap,
+        input: InputSpec,
+        seed: u64,
+    ) -> Result<ExecutionReport, SimulatorError> {
+        self.service
+            .materialize_data(&self.data, configs, input, seed)
+    }
+
+    /// [`materialize`](ScenarioHandle::materialize) for the exact `(input,
+    /// seed)` a [`SimResult`] was produced under — the way a search winner's
+    /// full report is recovered without risking a contradictory re-roll
+    /// under runtime jitter.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledScenario::simulate_report`].
+    pub fn materialize_result(
+        &self,
+        configs: &ConfigMap,
+        result: &SimResult,
+    ) -> Result<ExecutionReport, SimulatorError> {
+        self.materialize(configs, result.input(), result.seed())
+    }
+
+    /// This scenario's slice of the service's cumulative statistics
+    /// (`threads` reports the handle's effective fan-out).
+    pub fn stats(&self) -> EvalStats {
+        let hits = self.data.counters.hits.load(Ordering::Relaxed);
+        let misses = self.data.counters.misses.load(Ordering::Relaxed);
+        EvalStats {
+            threads: self.threads(),
+            requests: hits + misses,
+            cache_hits: hits,
+            cache_misses: misses,
+            evictions: self.data.counters.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// This scenario's statistics in per-fingerprint form.
+    pub fn scenario_stats(&self) -> ScenarioEvalStats {
+        let hits = self.data.counters.hits.load(Ordering::Relaxed);
+        let misses = self.data.counters.misses.load(Ordering::Relaxed);
+        ScenarioEvalStats {
+            fingerprint: self.data.fingerprint,
+            requests: hits + misses,
+            cache_hits: hits,
+            cache_misses: misses,
+            evictions: self.data.counters.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The single-scenario candidate-evaluation engine: a thin compatibility
+/// facade over a private [`EvalService`] with exactly one registered
+/// scenario.
+///
+/// Pre-service code (CLI `run`, tests, examples) keeps working unchanged;
+/// anything that evaluates more than one scenario — `aarc sweep`, the
+/// input-aware engine, the bench harness — should share one
+/// [`EvalService`] and hold [`ScenarioHandle`]s instead. Use
+/// [`EvalEngine::handle`] to lend this engine's scenario to handle-based
+/// APIs.
+#[derive(Debug)]
+pub struct EvalEngine {
+    service: EvalService,
+    data: Arc<ScenarioData>,
+}
+
+impl EvalEngine {
+    /// Creates an engine over `env` with the given options.
+    pub fn new(env: WorkflowEnvironment, options: EvalOptions) -> Self {
+        let service = EvalService::new(options);
+        let data = service.scenario_data(env, service.options);
+        EvalEngine { service, data }
+    }
+
+    /// A sequential engine with the default cache (the drop-in replacement
+    /// for calling the executor directly).
+    pub fn single_threaded(env: WorkflowEnvironment) -> Self {
+        EvalEngine::new(env, EvalOptions::default())
+    }
+
+    /// An engine with `threads` workers and the default cache.
+    pub fn with_threads(env: WorkflowEnvironment, threads: usize) -> Self {
+        EvalEngine::new(
+            env,
+            EvalOptions {
+                threads,
+                ..EvalOptions::default()
+            },
+        )
+    }
+
+    /// The engine's scenario as a [`ScenarioHandle`] on its private
+    /// service — the bridge from facade-based call sites into handle-based
+    /// APIs (ask/tell drivers, the sweep runner).
+    pub fn handle(&self) -> ScenarioHandle<'_> {
+        ScenarioHandle {
+            service: &self.service,
+            data: Arc::clone(&self.data),
+        }
+    }
+
+    /// The underlying single-scenario service.
+    pub fn service(&self) -> &EvalService {
+        &self.service
+    }
+
+    /// The wrapped environment (workflow, profiles, space, pricing, ...).
+    pub fn env(&self) -> &WorkflowEnvironment {
+        &self.data.env
+    }
+
+    /// The compiled scenario every evaluation runs against.
+    pub fn scenario(&self) -> &CompiledScenario {
+        &self.data.scenario
+    }
+
+    /// The engine's options.
+    pub fn options(&self) -> EvalOptions {
+        self.data.options
+    }
+
+    /// Worker threads used for batch evaluation.
+    pub fn threads(&self) -> usize {
+        self.data.options.threads
+    }
+
+    /// The scenario fingerprint baked into every cache key.
+    pub fn fingerprint(&self) -> u64 {
+        self.data.fingerprint
+    }
+
+    /// Evaluates one candidate with the environment's default input and
+    /// seed, consulting the memo-cache first.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledScenario::simulate`].
+    pub fn evaluate(&self, configs: &ConfigMap) -> Result<SimResult, SimulatorError> {
+        self.evaluate_with(configs, self.data.env.input(), self.data.env.seed())
+    }
+
+    /// Evaluates one candidate with full control over input and seed,
+    /// consulting the memo-cache first.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledScenario::simulate`].
+    pub fn evaluate_with(
+        &self,
+        configs: &ConfigMap,
+        input: InputSpec,
+        seed: u64,
+    ) -> Result<SimResult, SimulatorError> {
+        self.service.evaluate_data(&self.data, configs, input, seed)
+    }
+
+    /// Materialises the full [`ExecutionReport`] of one candidate (see
+    /// [`ScenarioHandle::materialize`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledScenario::simulate_report`].
+    pub fn materialize(
+        &self,
+        configs: &ConfigMap,
+        input: InputSpec,
+        seed: u64,
+    ) -> Result<ExecutionReport, SimulatorError> {
+        self.service
+            .materialize_data(&self.data, configs, input, seed)
+    }
+
+    /// [`materialize`](EvalEngine::materialize) for the exact `(input,
+    /// seed)` a [`SimResult`] was produced under (see
+    /// [`ScenarioHandle::materialize_result`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledScenario::simulate_report`].
+    pub fn materialize_result(
+        &self,
+        configs: &ConfigMap,
+        result: &SimResult,
+    ) -> Result<ExecutionReport, SimulatorError> {
+        self.materialize(configs, result.input(), result.seed())
+    }
+
+    /// Evaluates a batch of candidates with the environment's default input
+    /// (see [`ScenarioHandle::evaluate_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in candidate order.
+    pub fn evaluate_batch(
+        &self,
+        candidates: &[ConfigMap],
+    ) -> Result<Vec<SimResult>, SimulatorError> {
+        self.evaluate_batch_with(candidates, self.data.env.input())
+    }
+
+    /// [`evaluate_batch`](EvalEngine::evaluate_batch) with an explicit
+    /// input.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in candidate order.
+    pub fn evaluate_batch_with(
+        &self,
+        candidates: &[ConfigMap],
+        input: InputSpec,
+    ) -> Result<Vec<SimResult>, SimulatorError> {
+        self.service
+            .evaluate_batch_data(&self.data, candidates, input)
+    }
+
+    /// The engine's cumulative statistics.
+    pub fn stats(&self) -> EvalStats {
+        let hits = self.data.counters.hits.load(Ordering::Relaxed);
+        let misses = self.data.counters.misses.load(Ordering::Relaxed);
+        EvalStats {
+            threads: self.data.options.threads,
+            requests: hits + misses,
+            cache_hits: hits,
+            cache_misses: misses,
+            evictions: self.data.counters.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of reports currently memoised across all shards.
+    pub fn cached_entries(&self) -> usize {
+        self.service.cached_entries()
+    }
+
+    /// Drops every memoised report (statistics are kept). Used by the bench
+    /// harness to time cold batches.
+    pub fn clear_cache(&self) {
+        self.service.clear_cache();
     }
 }
 
@@ -560,6 +1003,7 @@ impl EvalEngine {
 const _: () = {
     const fn assert_sync<T: Sync + Send>() {}
     assert_sync::<WorkflowEnvironment>();
+    assert_sync::<EvalService>();
 };
 
 #[cfg(test)]
@@ -808,5 +1252,149 @@ mod tests {
         let c = EvalEngine::single_threaded(jittery_env());
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    // ----- service / handle tests -------------------------------------
+
+    #[test]
+    fn handle_results_match_the_facade_exactly() {
+        let cfgs = candidates(20);
+        let engine = EvalEngine::with_threads(env(), 4);
+        let service = EvalService::with_threads(4);
+        let handle = service.register(env());
+        let via_engine = engine.evaluate_batch(&cfgs).unwrap();
+        let via_handle = handle.evaluate_batch(&cfgs).unwrap();
+        assert_eq!(via_engine, via_handle);
+        assert_eq!(engine.stats(), handle.stats());
+        assert_eq!(engine.fingerprint(), handle.fingerprint());
+    }
+
+    #[test]
+    fn two_scenarios_share_one_cache_without_leaking() {
+        let service = EvalService::with_threads(2);
+        let plain = service.register(env());
+        let jittered = service.register(jittery_env());
+        let cfg = plain.env().base_configs();
+        let a = plain.evaluate(&cfg).unwrap();
+        let b = jittered.evaluate(&cfg).unwrap();
+        // Identical configs, different scenario fingerprints: both must
+        // miss (no cross-scenario leak), and both entries coexist.
+        assert_ne!(a.makespan_ms(), b.makespan_ms());
+        assert_eq!(service.stats().cache_misses, 2);
+        assert_eq!(service.stats().cache_hits, 0);
+        assert_eq!(service.cached_entries(), 2);
+        // Re-evaluating through either handle hits its own entry.
+        plain.evaluate(&cfg).unwrap();
+        jittered.evaluate(&cfg).unwrap();
+        assert_eq!(service.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn per_scenario_stats_split_the_aggregate() {
+        let service = EvalService::with_threads(1);
+        let plain = service.register(env());
+        let jittered = service.register(jittery_env());
+        let cfg = plain.env().base_configs();
+        plain.evaluate(&cfg).unwrap();
+        plain.evaluate(&cfg).unwrap();
+        jittered.evaluate(&cfg).unwrap();
+        let breakdown = service.scenario_stats();
+        assert_eq!(breakdown.len(), 2);
+        let plain_slice = breakdown
+            .iter()
+            .find(|s| s.fingerprint == plain.fingerprint())
+            .unwrap();
+        let jitter_slice = breakdown
+            .iter()
+            .find(|s| s.fingerprint == jittered.fingerprint())
+            .unwrap();
+        assert_eq!(plain_slice.requests, 2);
+        assert_eq!(plain_slice.cache_hits, 1);
+        assert_eq!(jitter_slice.requests, 1);
+        assert_eq!(jitter_slice.cache_hits, 0);
+        let total = service.stats();
+        assert_eq!(total.requests, plain_slice.requests + jitter_slice.requests);
+        assert_eq!(
+            total.cache_hits,
+            plain_slice.cache_hits + jitter_slice.cache_hits
+        );
+        // Fingerprints are ordered in the breakdown.
+        assert!(breakdown[0].fingerprint < breakdown[1].fingerprint);
+    }
+
+    #[test]
+    fn handles_of_the_same_scenario_share_counters_and_entries() {
+        let service = EvalService::with_threads(1);
+        let first = service.register(env());
+        let second = service.register(env());
+        let cfg = first.env().base_configs();
+        first.evaluate(&cfg).unwrap();
+        second.evaluate(&cfg).unwrap();
+        assert_eq!(second.stats().cache_hits, 1, "same fingerprint shares");
+        assert_eq!(service.scenario_stats().len(), 1);
+        assert_eq!(service.stats().requests, 2);
+    }
+
+    #[test]
+    fn handle_options_can_opt_out_of_the_shared_cache() {
+        let service = EvalService::with_threads(1);
+        let uncached = service.register_with(
+            env(),
+            EvalOptions {
+                threads: 1,
+                cache_capacity: 0,
+            },
+        );
+        let cfg = uncached.env().base_configs();
+        uncached.evaluate(&cfg).unwrap();
+        uncached.evaluate(&cfg).unwrap();
+        assert_eq!(uncached.stats().cache_hits, 0);
+        assert_eq!(service.cached_entries(), 0);
+    }
+
+    #[test]
+    fn eviction_is_attributed_to_the_owning_scenario() {
+        let service = EvalService::new(EvalOptions {
+            threads: 1,
+            cache_capacity: SHARD_COUNT, // one entry per shard
+        });
+        let plain = service.register(env());
+        let jittered = service.register(jittery_env());
+        let cfgs = candidates(60);
+        plain.evaluate_batch(&cfgs).unwrap();
+        jittered.evaluate_batch(&cfgs).unwrap();
+        let breakdown = service.scenario_stats();
+        let evicted: u64 = breakdown.iter().map(|s| s.evictions).sum();
+        assert!(evicted > 0, "capacity pressure must evict");
+        assert_eq!(service.stats().evictions, evicted);
+    }
+
+    #[test]
+    fn interleaved_submissions_keep_per_scenario_results_stable() {
+        // Alternating submissions from two scenarios must produce the same
+        // per-scenario results and statistics as running each alone.
+        let cfgs = candidates(12);
+        let shared = EvalService::with_threads(3);
+        let h1 = shared.register(env());
+        let h2 = shared.register(jittery_env());
+        let mut inter1 = Vec::new();
+        let mut inter2 = Vec::new();
+        for chunk in cfgs.chunks(3) {
+            inter1.extend(h1.evaluate_batch(chunk).unwrap());
+            inter2.extend(h2.evaluate_batch(chunk).unwrap());
+        }
+
+        let solo1 = EvalEngine::with_threads(env(), 3);
+        let solo2 = EvalEngine::with_threads(jittery_env(), 3);
+        let mut alone1 = Vec::new();
+        let mut alone2 = Vec::new();
+        for chunk in cfgs.chunks(3) {
+            alone1.extend(solo1.evaluate_batch(chunk).unwrap());
+            alone2.extend(solo2.evaluate_batch(chunk).unwrap());
+        }
+        assert_eq!(inter1, alone1);
+        assert_eq!(inter2, alone2);
+        assert_eq!(h1.stats().cache_hits, solo1.stats().cache_hits);
+        assert_eq!(h2.stats().cache_misses, solo2.stats().cache_misses);
     }
 }

@@ -23,6 +23,18 @@ pub enum InputClass {
 impl InputClass {
     /// All classes, in increasing size order.
     pub const ALL: [InputClass; 3] = [InputClass::Light, InputClass::Middle, InputClass::Heavy];
+
+    /// The canonical representative input of the class, used when a caller
+    /// (e.g. `aarc sweep --classes ...`) needs a concrete input per class
+    /// without a measured trace: half / nominal / double scale with a
+    /// matching payload. `representative().classify()` round-trips.
+    pub fn representative(self) -> InputSpec {
+        match self {
+            InputClass::Light => InputSpec::new(0.5, 4.0),
+            InputClass::Middle => InputSpec::nominal(),
+            InputClass::Heavy => InputSpec::new(2.0, 32.0),
+        }
+    }
 }
 
 impl std::fmt::Display for InputClass {
@@ -95,6 +107,14 @@ mod tests {
         assert_eq!(InputSpec::new(0.4, 2.0).classify(), InputClass::Light);
         assert_eq!(InputSpec::new(1.0, 8.0).classify(), InputClass::Middle);
         assert_eq!(InputSpec::new(2.5, 64.0).classify(), InputClass::Heavy);
+    }
+
+    #[test]
+    fn representatives_round_trip_through_classification() {
+        for class in InputClass::ALL {
+            assert_eq!(class.representative().classify(), class);
+        }
+        assert_eq!(InputClass::Middle.representative(), InputSpec::nominal());
     }
 
     #[test]

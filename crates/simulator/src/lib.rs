@@ -29,9 +29,11 @@
 //!   weights consumed by the Graph-Centric Scheduler.
 //! * [`env`](mod@crate::env) — [`WorkflowEnvironment`], the bundle (workflow
 //!   + profiles + pricing + cluster + input) that search methods sample.
-//! * [`eval`](mod@crate::eval) — [`EvalEngine`], the candidate-evaluation
-//!   layer the searchers submit through: a deterministic worker pool plus a
-//!   sharded memo-cache that short-circuits repeated simulations.
+//! * [`eval`](mod@crate::eval) — the candidate-evaluation layer the
+//!   searchers submit through: a process-wide [`EvalService`] (deterministic
+//!   worker pool, sharded fingerprint-keyed memo-cache, scratch arenas)
+//!   borrowed by cheap per-scenario [`ScenarioHandle`]s, with
+//!   [`EvalEngine`] as a single-scenario compatibility facade.
 //!
 //! # Example
 //!
@@ -79,7 +81,9 @@ pub use cluster::{ClusterSpec, ColdStartModel};
 pub use cost::PricingModel;
 pub use env::{ConfigMap, WorkflowEnvironment, WorkflowEnvironmentBuilder};
 pub use error::SimulatorError;
-pub use eval::{derive_seed, EvalEngine, EvalOptions, EvalStats};
+pub use eval::{
+    derive_seed, EvalEngine, EvalOptions, EvalService, EvalStats, ScenarioEvalStats, ScenarioHandle,
+};
 pub use executor::{ExecutionReport, FunctionExecution};
 pub use input::{InputClass, InputSpec};
 pub use kernel::{CompiledScenario, NodeSimOutcome, SimResult, SimScratch};
@@ -93,7 +97,9 @@ pub mod prelude {
     pub use crate::cost::PricingModel;
     pub use crate::env::{ConfigMap, WorkflowEnvironment};
     pub use crate::error::SimulatorError;
-    pub use crate::eval::{EvalEngine, EvalOptions, EvalStats};
+    pub use crate::eval::{
+        EvalEngine, EvalOptions, EvalService, EvalStats, ScenarioEvalStats, ScenarioHandle,
+    };
     pub use crate::executor::ExecutionReport;
     pub use crate::input::{InputClass, InputSpec};
     pub use crate::kernel::{CompiledScenario, SimResult, SimScratch};
