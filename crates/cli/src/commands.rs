@@ -30,6 +30,16 @@ USAGE:
                [--baseline FILE] [--max-regress F] [--min-speedup X]
                                                 emit BENCH_*.json perf measurements
                                                 and gate against a committed baseline
+    aarc serve [--addr HOST:PORT] [--threads N]
+                                                long-running configuration daemon:
+                                                upload/validate/list/delete scenarios,
+                                                start/poll/pause/cancel search sessions,
+                                                fetch reports, scrape /metrics over a
+                                                JSON HTTP API (default addr
+                                                127.0.0.1:7411; port 0 = ephemeral).
+                                                POST /shutdown drains sessions and
+                                                exits 0 (SIGTERM cannot be trapped in
+                                                this no-libc build)
     aarc export-builtin [--dir DIR] [--format yaml|json]
                                                 write the three paper workloads as specs
     aarc generate --seed N [--layers N] [--max-width N] [--edge-prob P]
@@ -42,7 +52,8 @@ All flags also accept --flag=value. Candidate executions go through the
 shared evaluation service: --threads N fans batches out over N workers
 (results are bit-identical for any N) and a fingerprint-keyed memo-cache
 short-circuits repeated simulations across methods, input classes and
-scenarios.
+scenarios. --threads defaults to the host's available parallelism when
+omitted and must be at least 1.
 ";
 
 /// Runs the subcommand named by `argv[0]`.
@@ -57,6 +68,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("compare") => cmd_compare(&argv[1..]),
         Some("sweep") => cmd_sweep(&argv[1..]),
         Some("bench") => cmd_bench(&argv[1..]),
+        Some("serve") => cmd_serve(&argv[1..]),
         Some("export-builtin") => cmd_export_builtin(&argv[1..]),
         Some("generate") => cmd_generate(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -109,13 +121,40 @@ fn cmd_validate(argv: &[String]) -> Result<(), String> {
     }
 }
 
-/// Parses `--threads` (default 1, must be at least 1).
+/// The host's available parallelism (1 when it cannot be determined).
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parses `--threads`: defaults to the host's available parallelism when
+/// omitted, and rejects 0 with a clear error before any pool is built.
+/// Shared by `run`/`compare`/`sweep`/`bench`/`serve` — results are
+/// bit-identical for any accepted value, so the default only affects
+/// wall-clock.
 fn parse_threads(args: &Args) -> Result<usize, String> {
-    let threads = args.get_parsed::<usize>("threads")?.unwrap_or(1);
-    if threads == 0 {
-        return Err("--threads must be at least 1".to_string());
+    match args.get_parsed::<usize>("threads")? {
+        Some(0) => Err(format!(
+            "--threads must be at least 1 (got 0); omit the flag to use all {} host cores",
+            host_parallelism()
+        )),
+        Some(threads) => Ok(threads),
+        None => Ok(host_parallelism()),
     }
-    Ok(threads)
+}
+
+fn cmd_serve(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["addr", "threads"])?;
+    if !args.positional().is_empty() {
+        return Err(format!(
+            "serve takes no positional arguments (got `{}`)",
+            args.positional().join(" ")
+        ));
+    }
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7411");
+    let threads = parse_threads(&args)?;
+    crate::serve::run_serve(addr, threads)
 }
 
 fn cmd_run(argv: &[String]) -> Result<(), String> {

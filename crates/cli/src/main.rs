@@ -6,6 +6,7 @@
 //! aarc compare --spec FILE [--threads N] [--out FILE] [--format json|csv]
 //! aarc sweep <spec|dir>... [--methods a,b] [--classes c,d] [--threads N] [--format json|csv]
 //! aarc bench <spec>... [--threads N] [--batch N] [--out FILE] [--baseline FILE]
+//! aarc serve [--addr HOST:PORT] [--threads N]
 //! aarc export-builtin [--dir DIR] [--format yaml|json]
 //! aarc generate --seed N [--layers N] [--max-width N] [--out FILE]
 //! ```
@@ -21,8 +22,10 @@ use std::process::ExitCode;
 mod args;
 mod bench;
 mod commands;
+mod http;
 mod methods;
 mod report;
+mod serve;
 mod sweep;
 
 fn main() -> ExitCode {

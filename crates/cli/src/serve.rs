@@ -1,0 +1,1233 @@
+//! `aarc serve` — the online configuration daemon.
+//!
+//! Where every other subcommand builds the world, runs to completion and
+//! exits, `serve` keeps one process-wide
+//! [`EvalService`](aarc_simulator::EvalService) alive behind a hand-rolled
+//! HTTP/1.1 JSON API (see [`crate::http`]): clients upload scenario specs
+//! (parsed in memory via `ScenarioSpec::from_slice`, never touching disk),
+//! start search sessions (method × input class × SLO), poll their
+//! progress, fetch final reports and scrape `/metrics`.
+//!
+//! A single **scheduler thread** round-robins
+//! [`SearchSession::step`](aarc_core::SearchSession::step) across all live
+//! sessions, so concurrent clients' searches interleave on the shared
+//! worker pool and memo-cache exactly like `aarc sweep` interleaves its
+//! grid — and therefore return results bit-identical to an offline
+//! `aarc run` of the same spec/method/SLO (pinned by the CI serve smoke
+//! job).
+//!
+//! Shutdown: `POST /shutdown` stops admission, cancels paused sessions,
+//! drains running ones and exits 0. A SIGTERM cannot be intercepted in
+//! this build — the offline environment has no `libc` and the crate
+//! forbids `unsafe` — so process supervisors should send `/shutdown`
+//! first and treat SIGTERM as the hard fallback.
+
+use std::collections::BTreeMap;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use aarc_core::report::ConfigurationReport;
+use aarc_core::{AarcError, SearchSession, SessionProgress, SessionState};
+use aarc_simulator::{EvalService, ScenarioHandle};
+use aarc_spec::{validate, ScenarioSpec};
+use aarc_workloads::Workload;
+
+use crate::http::{read_request, Request, Response};
+use crate::methods;
+use crate::sweep::SweepClass;
+
+/// How long a connection may sit idle before the daemon gives up on it
+/// (bounds shutdown latency: a drained daemon only waits this long for
+/// stragglers).
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One uploaded scenario in the runtime registry.
+struct ScenarioEntry<'s> {
+    workload: Workload,
+    functions: usize,
+    edges: usize,
+    slo_ms: f64,
+    /// One registered handle per input-class variant used by this
+    /// scenario's sessions: the class environment is compiled once and
+    /// every further session clones the (cheap, `Arc`-backed) handle.
+    /// Their fingerprints are unregistered — and their cache entries
+    /// purged — when the scenario is deleted.
+    handles: BTreeMap<String, ScenarioHandle<'s>>,
+}
+
+/// Observable lifecycle phase of a served session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Running,
+    Paused,
+    Finished,
+    Failed,
+    Cancelled,
+}
+
+impl Phase {
+    fn label(self) -> &'static str {
+        match self {
+            Phase::Running => "running",
+            Phase::Paused => "paused",
+            Phase::Finished => "finished",
+            Phase::Failed => "failed",
+            Phase::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the session still occupies the scheduler.
+    fn is_live(self) -> bool {
+        matches!(self, Phase::Running | Phase::Paused)
+    }
+}
+
+/// Final summary of a finished session (mirrors the sweep report row).
+#[derive(Debug, Clone, Serialize)]
+struct FinalSummary {
+    final_cost: f64,
+    final_makespan_ms: f64,
+    meets_slo: bool,
+    samples: usize,
+}
+
+/// One session slot: identity, the steppable session itself (absent while
+/// the scheduler holds it for a step, and after it finished), the last
+/// published progress snapshot and the terminal result.
+struct Slot<'s> {
+    id: u64,
+    scenario: String,
+    method: String,
+    class: String,
+    slo_ms: f64,
+    session: Option<SearchSession<'s>>,
+    phase: Phase,
+    want_pause: bool,
+    want_cancel: bool,
+    progress: SessionProgress,
+    /// Exact `aarc run --format json` bytes of the winning configuration —
+    /// byte-identical to the offline run of the same spec/method/SLO.
+    report_json: Option<String>,
+    summary: Option<FinalSummary>,
+    error: Option<String>,
+}
+
+/// Shared daemon state: the evaluation substrate, the runtime scenario
+/// registry and the session table. Connection handlers and the scheduler
+/// thread share it by reference inside one thread scope.
+struct ServeState<'s> {
+    service: &'s EvalService,
+    scenarios: Mutex<BTreeMap<String, ScenarioEntry<'s>>>,
+    sessions: Mutex<BTreeMap<u64, Slot<'s>>>,
+    next_session_id: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl<'s> ServeState<'s> {
+    fn new(service: &'s EvalService) -> Self {
+        ServeState {
+            service,
+            scenarios: Mutex::new(BTreeMap::new()),
+            sessions: Mutex::new(BTreeMap::new()),
+            next_session_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Number of sessions still occupying the scheduler.
+    fn live_sessions(&self) -> usize {
+        self.sessions
+            .lock()
+            .expect("session table poisoned")
+            .values()
+            .filter(|s| s.phase.is_live())
+            .count()
+    }
+
+    /// Whether the daemon has been asked to shut down and every session
+    /// has reached a terminal phase — the exit condition of both the
+    /// accept loop and the scheduler thread.
+    fn drained(&self) -> bool {
+        self.shutting_down() && self.live_sessions() == 0
+    }
+}
+
+/// Runs the daemon until a graceful shutdown completes.
+///
+/// # Errors
+///
+/// Returns a user-facing message when the listener cannot bind; runtime
+/// errors of individual requests are reported to the client, never fatal.
+pub fn run_serve(addr: &str, threads: usize) -> Result<(), String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve local address: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot configure listener: {e}"))?;
+    let service = EvalService::with_threads(threads);
+    let state = ServeState::new(&service);
+    // The readiness line is the machine-readable contract of the CI smoke
+    // job and the integration tests: they parse the bound (possibly
+    // ephemeral) port out of it.
+    eprintln!("aarc serve: listening on {local} ({threads} worker threads)");
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| scheduler_loop(&state));
+        loop {
+            if state.drained() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let state = &state;
+                    scope.spawn(move || handle_connection(state, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    eprintln!("aarc serve: accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    });
+    eprintln!("aarc serve: drained, exiting");
+    Ok(())
+}
+
+/// The session scheduler: round-robins one [`SearchSession::step`] per
+/// live session per round on the shared service, applying pause/cancel
+/// requests between steps, until shutdown has drained every session.
+/// Stepping happens outside the session-table lock, so status polls are
+/// never blocked behind a long batch.
+fn scheduler_loop(state: &ServeState<'_>) {
+    loop {
+        let shutting_down = state.shutting_down();
+        let runnable: Vec<u64> = {
+            let mut sessions = state.sessions.lock().expect("session table poisoned");
+            for slot in sessions.values_mut() {
+                apply_controls_with_shutdown(slot, shutting_down);
+            }
+            sessions
+                .iter()
+                .filter(|(_, s)| s.phase == Phase::Running && s.session.is_some())
+                .map(|(&id, _)| id)
+                .collect()
+        };
+        let mut stepped = false;
+        for id in runnable {
+            let taken = {
+                let mut sessions = state.sessions.lock().expect("session table poisoned");
+                sessions.get_mut(&id).and_then(|slot| {
+                    if slot.phase == Phase::Running {
+                        slot.session.take()
+                    } else {
+                        None
+                    }
+                })
+            };
+            let Some(mut session) = taken else { continue };
+            let outcome_state = session.step();
+            stepped = true;
+            let mut sessions = state.sessions.lock().expect("session table poisoned");
+            let slot = sessions.get_mut(&id).expect("slots are never removed");
+            slot.progress = session.progress().clone();
+            if outcome_state == SessionState::Finished {
+                finalize_slot(slot, session);
+            } else {
+                slot.session = Some(session);
+            }
+        }
+        if state.drained() {
+            break;
+        }
+        if !stepped {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+/// [`apply_controls`] preceded by the shutdown sweep: once the daemon is
+/// draining, a paused (or about-to-pause) session would park forever and
+/// stall the drain, so any pending or applied pause is converted into a
+/// cancellation. Run by the scheduler every round, which also closes the
+/// race where a pause request lands after `/shutdown` swept the table or
+/// while the session was out being stepped.
+fn apply_controls_with_shutdown(slot: &mut Slot<'_>, shutting_down: bool) {
+    if shutting_down && slot.phase.is_live() && (slot.want_pause || slot.phase == Phase::Paused) {
+        slot.want_pause = false;
+        slot.want_cancel = true;
+    }
+    apply_controls(slot);
+}
+
+/// Applies pending pause/resume/cancel requests to an idle slot.
+fn apply_controls(slot: &mut Slot<'_>) {
+    if !slot.phase.is_live() {
+        return;
+    }
+    let Some(session) = slot.session.as_mut() else {
+        return; // being stepped right now; re-applied next round
+    };
+    if slot.want_cancel {
+        session.cancel();
+        // Un-pause so the next step observes the cancellation and the
+        // slot reaches its terminal phase.
+        session.resume();
+        slot.phase = Phase::Running;
+    } else if slot.want_pause && slot.phase == Phase::Running {
+        session.pause();
+        slot.phase = Phase::Paused;
+    } else if !slot.want_pause && slot.phase == Phase::Paused {
+        session.resume();
+        slot.phase = Phase::Running;
+    }
+}
+
+/// Moves a finished session's outcome into its slot: the final report is
+/// rendered once, as the exact bytes `aarc run --format json` would emit
+/// for the same spec/method/SLO.
+fn finalize_slot(slot: &mut Slot<'_>, session: SearchSession<'_>) {
+    let handle = session.handle().clone();
+    let outcome = session
+        .into_outcome()
+        .expect("finalize is only called on finished sessions");
+    match outcome {
+        Ok(outcome) => {
+            let report = ConfigurationReport::new(
+                handle.env(),
+                &outcome.best_configs,
+                &outcome.final_report,
+                Some(slot.slo_ms),
+            );
+            let mut json =
+                serde_json::to_string_pretty(&report).expect("report serialization is infallible");
+            json.push('\n');
+            slot.summary = Some(FinalSummary {
+                final_cost: outcome.best_cost(),
+                final_makespan_ms: outcome.best_runtime_ms(),
+                meets_slo: outcome.final_report.meets_slo(slot.slo_ms),
+                samples: outcome.trace.sample_count(),
+            });
+            slot.report_json = Some(json);
+            slot.phase = Phase::Finished;
+        }
+        Err(AarcError::SearchCancelled) => {
+            slot.error = Some(AarcError::SearchCancelled.to_string());
+            slot.phase = Phase::Cancelled;
+        }
+        Err(e) => {
+            slot.error = Some(e.to_string());
+            slot.phase = Phase::Failed;
+        }
+    }
+}
+
+/// Serves one connection: read a request, route it, write the response.
+fn handle_connection(state: &ServeState<'_>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let response = match read_request(&mut stream) {
+        Ok(None) => return,
+        Err(e) => Response::error(400, &e.to_string()),
+        Ok(Some(request)) => route(state, &request),
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+// ---------------------------------------------------------------------------
+// Routing and endpoint handlers
+// ---------------------------------------------------------------------------
+
+/// Dispatches one request to its endpoint handler.
+fn route(state: &ServeState<'_>, request: &Request) -> Response {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Response::json(200, "{\"status\": \"ok\"}\n".to_owned()),
+        ("GET", ["metrics"]) => Response::text(200, render_metrics(state)),
+        ("GET", ["scenarios"]) => list_scenarios(state),
+        ("POST", ["scenarios"]) => upload_scenario(state, &request.body),
+        ("POST", ["scenarios", "validate"]) => validate_scenario(&request.body),
+        ("DELETE", ["scenarios", name]) => delete_scenario(state, name),
+        ("GET", ["sessions"]) => list_sessions(state),
+        ("POST", ["sessions"]) => start_session(state, &request.body),
+        ("GET", ["sessions", id]) => with_session_id(id, |id| session_status(state, id)),
+        ("GET", ["sessions", id, "report"]) => with_session_id(id, |id| session_report(state, id)),
+        ("POST", ["sessions", id, action @ ("pause" | "resume" | "cancel")]) => {
+            with_session_id(id, |id| control_session(state, id, action))
+        }
+        ("POST", ["shutdown"]) => request_shutdown(state),
+        (
+            _,
+            ["healthz" | "metrics" | "scenarios" | "sessions" | "shutdown"]
+            | ["scenarios" | "sessions", ..],
+        ) => Response::error(405, &format!("method {} not allowed here", request.method)),
+        _ => Response::error(404, &format!("no such endpoint `{}`", request.path)),
+    }
+}
+
+fn with_session_id(raw: &str, f: impl FnOnce(u64) -> Response) -> Response {
+    match raw.parse::<u64>() {
+        Ok(id) => f(id),
+        Err(_) => Response::error(400, &format!("session id `{raw}` is not a number")),
+    }
+}
+
+/// Row of the `GET /scenarios` listing.
+#[derive(Debug, Serialize)]
+struct ScenarioSummary {
+    name: String,
+    functions: usize,
+    edges: usize,
+    slo_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ScenarioList {
+    scenarios: Vec<ScenarioSummary>,
+}
+
+fn list_scenarios(state: &ServeState<'_>) -> Response {
+    let scenarios = state.scenarios.lock().expect("scenario registry poisoned");
+    let list = ScenarioList {
+        scenarios: scenarios
+            .iter()
+            .map(|(name, e)| ScenarioSummary {
+                name: name.clone(),
+                functions: e.functions,
+                edges: e.edges,
+                slo_ms: e.slo_ms,
+            })
+            .collect(),
+    };
+    json_response(200, &list)
+}
+
+#[derive(Debug, Serialize)]
+struct UploadReply {
+    name: String,
+    functions: usize,
+    edges: usize,
+    slo_ms: f64,
+}
+
+/// `POST /scenarios`: parse the body in memory (YAML or JSON, sniffed),
+/// validate, compile, and admit the scenario into the runtime registry.
+fn upload_scenario(state: &ServeState<'_>, body: &[u8]) -> Response {
+    if state.shutting_down() {
+        return Response::error(503, "daemon is shutting down");
+    }
+    let (spec, workload) = match parse_and_compile(body) {
+        Ok(pair) => pair,
+        Err(message) => return Response::error(400, &message),
+    };
+    let name = workload.name().to_owned();
+    // Names become URL path segments, JSON string values and Prometheus
+    // label values; restrict them to a safe alphabet up front so every
+    // later rendering is trivially well-formed.
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+    {
+        return Response::error(
+            400,
+            &format!(
+                "scenario name `{name}` must be non-empty and use only [A-Za-z0-9._-] \
+                 (it becomes a URL path segment and a metrics label)"
+            ),
+        );
+    }
+    let mut scenarios = state.scenarios.lock().expect("scenario registry poisoned");
+    if scenarios.contains_key(&name) {
+        return Response::error(
+            409,
+            &format!("scenario `{name}` already exists (delete it first)"),
+        );
+    }
+    let reply = UploadReply {
+        name: name.clone(),
+        functions: spec.functions.len(),
+        edges: spec.edges.len(),
+        slo_ms: workload.slo_ms(),
+    };
+    scenarios.insert(
+        name,
+        ScenarioEntry {
+            functions: spec.functions.len(),
+            edges: spec.edges.len(),
+            slo_ms: workload.slo_ms(),
+            workload,
+            handles: BTreeMap::new(),
+        },
+    );
+    json_response(201, &reply)
+}
+
+#[derive(Debug, Serialize)]
+struct ValidateReply {
+    valid: bool,
+    name: String,
+    functions: usize,
+    edges: usize,
+    slo_ms: f64,
+}
+
+/// `POST /scenarios/validate`: parse + validate + compile without
+/// admitting anything.
+fn validate_scenario(body: &[u8]) -> Response {
+    match parse_and_compile(body) {
+        Ok((spec, workload)) => json_response(
+            200,
+            &ValidateReply {
+                valid: true,
+                name: workload.name().to_owned(),
+                functions: spec.functions.len(),
+                edges: spec.edges.len(),
+                slo_ms: workload.slo_ms(),
+            },
+        ),
+        Err(message) => Response::error(400, &message),
+    }
+}
+
+/// The shared upload/validate pipeline: bytes → spec → semantic
+/// validation → compiled workload. All in memory.
+fn parse_and_compile(body: &[u8]) -> Result<(ScenarioSpec, Workload), String> {
+    let spec = ScenarioSpec::from_slice(body).map_err(|e| e.to_string())?;
+    validate(&spec).map_err(|e| e.to_string())?;
+    let workload = aarc_spec::compile(&spec)
+        .map_err(|e| e.to_string())?
+        .into_workload();
+    Ok((spec, workload))
+}
+
+/// `DELETE /scenarios/{name}`: refuse while live sessions reference the
+/// scenario; otherwise drop it from the registry and unregister its
+/// fingerprints from the service (purging their cache entries).
+fn delete_scenario(state: &ServeState<'_>, name: &str) -> Response {
+    let mut scenarios = state.scenarios.lock().expect("scenario registry poisoned");
+    if !scenarios.contains_key(name) {
+        return Response::error(404, &format!("no scenario named `{name}`"));
+    }
+    {
+        let sessions = state.sessions.lock().expect("session table poisoned");
+        let live = sessions
+            .values()
+            .filter(|s| s.scenario == name && s.phase.is_live())
+            .count();
+        if live > 0 {
+            return Response::error(
+                409,
+                &format!("scenario `{name}` has {live} live session(s); cancel them first"),
+            );
+        }
+    }
+    let entry = scenarios.remove(name).expect("checked above");
+    for handle in entry.handles.values() {
+        state.service.unregister(handle.fingerprint());
+    }
+    #[derive(Serialize)]
+    struct DeleteReply {
+        deleted: String,
+    }
+    json_response(
+        200,
+        &DeleteReply {
+            deleted: name.to_owned(),
+        },
+    )
+}
+
+/// Body of `POST /sessions`.
+#[derive(Debug, Deserialize)]
+struct StartSessionBody {
+    /// Name of an uploaded scenario.
+    scenario: String,
+    /// Method name (`aarc`, `bo`, `maff`, `random`); `aarc` when omitted.
+    method: Option<String>,
+    /// Input class (`nominal`, `light`, `middle`, `heavy`); `nominal`
+    /// when omitted.
+    class: Option<String>,
+    /// SLO override, ms; the scenario's own SLO when omitted.
+    slo_ms: Option<f64>,
+}
+
+#[derive(Debug, Serialize)]
+struct StartSessionReply {
+    id: u64,
+    scenario: String,
+    method: String,
+    class: String,
+    slo_ms: f64,
+    state: String,
+}
+
+/// `POST /sessions`: bind a strategy to the scenario's class environment
+/// and hand the session to the scheduler. The class environment is
+/// compiled and registered once per (scenario, class) — further sessions
+/// clone the cached handle (an `Arc` bump), so repeated session starts
+/// neither recompile nor hold the registry lock for long.
+fn start_session(state: &ServeState<'_>, body: &[u8]) -> Response {
+    if state.shutting_down() {
+        return Response::error(503, "daemon is shutting down");
+    }
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => return Response::error(400, "body is not valid utf-8"),
+    };
+    let request: StartSessionBody = match serde_json::from_str(text) {
+        Ok(request) => request,
+        Err(e) => return Response::error(400, &format!("invalid session request: {e}")),
+    };
+    let class = match SweepClass::parse(request.class.as_deref().unwrap_or("nominal")) {
+        Ok(class) => class,
+        Err(message) => return Response::error(400, &message),
+    };
+    let method_name = request.method.as_deref().unwrap_or("aarc").to_owned();
+    let method = match methods::build(&method_name) {
+        Ok(method) => method,
+        Err(message) => return Response::error(400, &message),
+    };
+
+    let mut scenarios = state.scenarios.lock().expect("scenario registry poisoned");
+    let Some(entry) = scenarios.get_mut(&request.scenario) else {
+        return Response::error(404, &format!("no scenario named `{}`", request.scenario));
+    };
+    let slo_ms = request.slo_ms.unwrap_or(entry.slo_ms);
+    let handle = match entry.handles.get(&class.label()) {
+        Some(handle) => handle.clone(),
+        None => {
+            let handle = state.service.register(class.env(entry.workload.env()));
+            entry.handles.insert(class.label(), handle.clone());
+            handle
+        }
+    };
+    let strategy = match method.strategy(handle.env(), slo_ms) {
+        Ok(strategy) => strategy,
+        Err(e) => return Response::error(400, &format!("cannot start search: {e}")),
+    };
+    let session = SearchSession::with_slo(strategy, handle, slo_ms);
+
+    let id = state.next_session_id.fetch_add(1, Ordering::SeqCst);
+    let slot = Slot {
+        id,
+        scenario: request.scenario.clone(),
+        method: method_name,
+        class: class.label(),
+        slo_ms,
+        session: Some(session),
+        phase: Phase::Running,
+        want_pause: false,
+        want_cancel: false,
+        progress: SessionProgress::default(),
+        report_json: None,
+        summary: None,
+        error: None,
+    };
+    let reply = StartSessionReply {
+        id,
+        scenario: slot.scenario.clone(),
+        method: slot.method.clone(),
+        class: slot.class.clone(),
+        slo_ms,
+        state: slot.phase.label().to_owned(),
+    };
+    state
+        .sessions
+        .lock()
+        .expect("session table poisoned")
+        .insert(id, slot);
+    json_response(201, &reply)
+}
+
+/// The status document of one session (`GET /sessions/{id}` and the rows
+/// of `GET /sessions`).
+#[derive(Debug, Serialize)]
+struct SessionStatus {
+    id: u64,
+    scenario: String,
+    method: String,
+    class: String,
+    slo_ms: f64,
+    state: String,
+    rounds: u64,
+    evals: u64,
+    incumbent: Option<aarc_core::Incumbent>,
+    summary: Option<FinalSummary>,
+    error: Option<String>,
+}
+
+impl SessionStatus {
+    fn of(slot: &Slot<'_>) -> Self {
+        SessionStatus {
+            id: slot.id,
+            scenario: slot.scenario.clone(),
+            method: slot.method.clone(),
+            class: slot.class.clone(),
+            slo_ms: slot.slo_ms,
+            state: slot.phase.label().to_owned(),
+            rounds: slot.progress.rounds,
+            evals: slot.progress.evals,
+            incumbent: slot.progress.incumbent.clone(),
+            summary: slot.summary.clone(),
+            error: slot.error.clone(),
+        }
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct SessionList {
+    sessions: Vec<SessionStatus>,
+}
+
+fn list_sessions(state: &ServeState<'_>) -> Response {
+    let sessions = state.sessions.lock().expect("session table poisoned");
+    let list = SessionList {
+        sessions: sessions.values().map(SessionStatus::of).collect(),
+    };
+    json_response(200, &list)
+}
+
+fn session_status(state: &ServeState<'_>, id: u64) -> Response {
+    let sessions = state.sessions.lock().expect("session table poisoned");
+    match sessions.get(&id) {
+        Some(slot) => json_response(200, &SessionStatus::of(slot)),
+        None => Response::error(404, &format!("no session {id}")),
+    }
+}
+
+/// `GET /sessions/{id}/report`: the stored final report, byte-identical
+/// to `aarc run --format json` for the same spec/method/SLO.
+fn session_report(state: &ServeState<'_>, id: u64) -> Response {
+    let sessions = state.sessions.lock().expect("session table poisoned");
+    let Some(slot) = sessions.get(&id) else {
+        return Response::error(404, &format!("no session {id}"));
+    };
+    match slot.phase {
+        Phase::Finished => Response::json(
+            200,
+            slot.report_json
+                .clone()
+                .expect("finished sessions store their report"),
+        ),
+        Phase::Failed => Response::error(
+            409,
+            &format!(
+                "session {id} failed: {}",
+                slot.error.as_deref().unwrap_or("unknown error")
+            ),
+        ),
+        Phase::Cancelled => Response::error(409, &format!("session {id} was cancelled")),
+        Phase::Running | Phase::Paused => Response::error(
+            409,
+            &format!("session {id} is still {}", slot.phase.label()),
+        ),
+    }
+}
+
+/// `POST /sessions/{id}/pause|resume|cancel`: record the request; the
+/// scheduler applies it between steps.
+fn control_session(state: &ServeState<'_>, id: u64, action: &str) -> Response {
+    let mut sessions = state.sessions.lock().expect("session table poisoned");
+    let Some(slot) = sessions.get_mut(&id) else {
+        return Response::error(404, &format!("no session {id}"));
+    };
+    if !slot.phase.is_live() {
+        return Response::error(409, &format!("session {id} already {}", slot.phase.label()));
+    }
+    match action {
+        // A pause during shutdown would park the session and stall the
+        // drain forever (the scheduler would force-cancel it anyway).
+        "pause" if state.shutting_down() => {
+            return Response::error(503, "daemon is shutting down; pause is not accepted")
+        }
+        "pause" => slot.want_pause = true,
+        "resume" => slot.want_pause = false,
+        "cancel" => slot.want_cancel = true,
+        _ => unreachable!("router only passes pause/resume/cancel"),
+    }
+    apply_controls(slot);
+    json_response(200, &SessionStatus::of(slot))
+}
+
+/// `POST /shutdown`: stop admission, cancel paused sessions (they would
+/// otherwise never drain) and let running ones finish; the process exits
+/// 0 once the last session reaches a terminal phase.
+fn request_shutdown(state: &ServeState<'_>) -> Response {
+    state.shutdown.store(true, Ordering::SeqCst);
+    let mut sessions = state.sessions.lock().expect("session table poisoned");
+    for slot in sessions.values_mut() {
+        if slot.phase == Phase::Paused || (slot.phase.is_live() && slot.want_pause) {
+            slot.want_pause = false;
+            slot.want_cancel = true;
+            apply_controls(slot);
+        }
+    }
+    let draining = sessions.values().filter(|s| s.phase.is_live()).count();
+    Response::json(200, format!("{{\"draining\": {draining}}}\n"))
+}
+
+fn json_response<T: Serialize>(status: u16, value: &T) -> Response {
+    let mut body = serde_json::to_string_pretty(value).expect("API replies serialize");
+    body.push('\n');
+    Response::json(status, body)
+}
+
+// ---------------------------------------------------------------------------
+// /metrics
+// ---------------------------------------------------------------------------
+
+/// Renders the Prometheus-style text exposition: eval-service counters
+/// from [`EvalService::stats_snapshot`] plus per-session progress gauges.
+/// Escapes a Prometheus label value (`\` → `\\`, `"` → `\"`, newline →
+/// `\n`, per the text exposition format).
+fn metric_label(raw: &str) -> String {
+    raw.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_metrics(state: &ServeState<'_>) -> String {
+    use std::fmt::Write;
+    let snapshot = state.service.stats_snapshot();
+    let scenario_count = state
+        .scenarios
+        .lock()
+        .expect("scenario registry poisoned")
+        .len();
+    let mut out = String::with_capacity(2048);
+    let _ = writeln!(
+        out,
+        "# HELP aarc_eval_requests_total Candidate evaluations requested (cache hits + misses).\n\
+         # TYPE aarc_eval_requests_total counter\n\
+         aarc_eval_requests_total {}",
+        snapshot.stats.requests
+    );
+    let _ = writeln!(
+        out,
+        "# TYPE aarc_eval_cache_hits_total counter\naarc_eval_cache_hits_total {}",
+        snapshot.stats.cache_hits
+    );
+    let _ = writeln!(
+        out,
+        "# TYPE aarc_eval_cache_misses_total counter\naarc_eval_cache_misses_total {}",
+        snapshot.stats.cache_misses
+    );
+    let _ = writeln!(
+        out,
+        "# TYPE aarc_eval_evictions_total counter\naarc_eval_evictions_total {}",
+        snapshot.stats.evictions
+    );
+    let _ = writeln!(
+        out,
+        "# TYPE aarc_eval_cached_entries gauge\naarc_eval_cached_entries {}",
+        snapshot.cached_entries
+    );
+    let _ = writeln!(
+        out,
+        "# TYPE aarc_eval_threads gauge\naarc_eval_threads {}",
+        snapshot.stats.threads
+    );
+    let _ = writeln!(
+        out,
+        "# TYPE aarc_eval_scenarios_registered gauge\naarc_eval_scenarios_registered {}",
+        snapshot.registered_scenarios
+    );
+    let _ = writeln!(
+        out,
+        "# TYPE aarc_scenarios gauge\naarc_scenarios {scenario_count}"
+    );
+
+    let sessions = state.sessions.lock().expect("session table poisoned");
+    let live = sessions.values().filter(|s| s.phase.is_live()).count();
+    let _ = writeln!(
+        out,
+        "# TYPE aarc_sessions_total counter\naarc_sessions_total {}",
+        sessions.len()
+    );
+    let _ = writeln!(
+        out,
+        "# TYPE aarc_sessions_live gauge\naarc_sessions_live {live}"
+    );
+    for slot in sessions.values() {
+        // Method/class/state come from fixed vocabularies and scenario
+        // names are restricted at upload, but escape anyway so a future
+        // relaxation can never corrupt the exposition.
+        let labels = format!(
+            "session=\"{}\",scenario=\"{}\",method=\"{}\",class=\"{}\",state=\"{}\"",
+            slot.id,
+            metric_label(&slot.scenario),
+            metric_label(&slot.method),
+            metric_label(&slot.class),
+            slot.phase.label()
+        );
+        let _ = writeln!(
+            out,
+            "aarc_session_rounds{{{labels}}} {}",
+            slot.progress.rounds
+        );
+        let _ = writeln!(
+            out,
+            "aarc_session_evals{{{labels}}} {}",
+            slot.progress.evals
+        );
+        if let Some(incumbent) = &slot.progress.incumbent {
+            let _ = writeln!(
+                out,
+                "aarc_session_incumbent_cost{{{labels}}} {}",
+                incumbent.cost
+            );
+            let _ = writeln!(
+                out,
+                "aarc_session_incumbent_makespan_ms{{{labels}}} {}",
+                incumbent.makespan_ms
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chatbot_yaml() -> Vec<u8> {
+        let (_, spec) = aarc_spec::builtin_specs()
+            .into_iter()
+            .find(|(name, _)| *name == "chatbot")
+            .expect("chatbot is a builtin");
+        aarc_spec::to_string(&spec, aarc_spec::SpecFormat::Yaml).into_bytes()
+    }
+
+    fn request(method: &str, path: &str, body: &[u8]) -> Request {
+        Request {
+            method: method.to_owned(),
+            path: path.to_owned(),
+            body: body.to_vec(),
+        }
+    }
+
+    /// Drives the router directly (no sockets) with a manual scheduler:
+    /// steps every live session to completion between requests, exactly
+    /// like the scheduler thread would.
+    fn drain_sessions(state: &ServeState<'_>) {
+        loop {
+            let runnable: Vec<u64> = {
+                let sessions = state.sessions.lock().unwrap();
+                sessions
+                    .iter()
+                    .filter(|(_, s)| s.phase == Phase::Running && s.session.is_some())
+                    .map(|(&id, _)| id)
+                    .collect()
+            };
+            if runnable.is_empty() {
+                break;
+            }
+            for id in runnable {
+                let taken = {
+                    let mut sessions = state.sessions.lock().unwrap();
+                    sessions.get_mut(&id).and_then(|s| s.session.take())
+                };
+                let Some(mut session) = taken else { continue };
+                let st = session.step();
+                let mut sessions = state.sessions.lock().unwrap();
+                let slot = sessions.get_mut(&id).unwrap();
+                slot.progress = session.progress().clone();
+                if st == SessionState::Finished {
+                    finalize_slot(slot, session);
+                } else {
+                    slot.session = Some(session);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn upload_list_delete_lifecycle() {
+        let service = EvalService::with_threads(1);
+        let state = ServeState::new(&service);
+        let yaml = chatbot_yaml();
+
+        let created = route(&state, &request("POST", "/scenarios", &yaml));
+        assert_eq!(created.status, 201, "{}", created.body);
+        assert!(created.body.contains("\"chatbot\""));
+
+        let duplicate = route(&state, &request("POST", "/scenarios", &yaml));
+        assert_eq!(duplicate.status, 409);
+
+        let listed = route(&state, &request("GET", "/scenarios", b""));
+        assert_eq!(listed.status, 200);
+        assert!(listed.body.contains("\"chatbot\""));
+
+        let gone = route(&state, &request("DELETE", "/scenarios/nope", b""));
+        assert_eq!(gone.status, 404);
+        let deleted = route(&state, &request("DELETE", "/scenarios/chatbot", b""));
+        assert_eq!(deleted.status, 200);
+        let listed = route(&state, &request("GET", "/scenarios", b""));
+        assert!(!listed.body.contains("chatbot"));
+    }
+
+    #[test]
+    fn invalid_uploads_are_rejected_with_400() {
+        let service = EvalService::with_threads(1);
+        let state = ServeState::new(&service);
+        let garbage = route(&state, &request("POST", "/scenarios", b"{ not a spec"));
+        assert_eq!(garbage.status, 400);
+        let empty = route(&state, &request("POST", "/scenarios/validate", b""));
+        assert_eq!(empty.status, 400);
+        let ok = route(
+            &state,
+            &request("POST", "/scenarios/validate", &chatbot_yaml()),
+        );
+        assert_eq!(ok.status, 200, "{}", ok.body);
+        assert!(ok.body.contains("\"valid\": true"));
+        // Validation never admits anything.
+        let listed = route(&state, &request("GET", "/scenarios", b""));
+        assert!(!listed.body.contains("chatbot"));
+    }
+
+    #[test]
+    fn scenario_names_outside_the_safe_alphabet_are_rejected() {
+        let service = EvalService::with_threads(1);
+        let state = ServeState::new(&service);
+        // Names become URL path segments, JSON values and metrics labels.
+        for bad in ["bad/name", "bad\"name", "bad name"] {
+            let yaml = String::from_utf8(chatbot_yaml())
+                .unwrap()
+                .replace("name: chatbot", &format!("name: '{bad}'"));
+            let reply = route(&state, &request("POST", "/scenarios", yaml.as_bytes()));
+            assert_eq!(reply.status, 400, "{bad}: {}", reply.body);
+            assert!(reply.body.contains("[A-Za-z0-9._-]"), "{}", reply.body);
+        }
+        assert_eq!(metric_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn session_runs_to_completion_and_reports_offline_identical_bytes() {
+        let service = EvalService::with_threads(2);
+        let state = ServeState::new(&service);
+        route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
+
+        let started = route(
+            &state,
+            &request("POST", "/sessions", b"{\"scenario\": \"chatbot\"}"),
+        );
+        assert_eq!(started.status, 201, "{}", started.body);
+        assert!(started.body.contains("\"id\": 1"));
+
+        // A premature report poll is a 409, not an error.
+        drain_sessions(&state);
+        let status = route(&state, &request("GET", "/sessions/1", b""));
+        assert_eq!(status.status, 200);
+        assert!(status.body.contains("\"finished\""), "{}", status.body);
+        assert!(status.body.contains("\"incumbent\""));
+
+        let report = route(&state, &request("GET", "/sessions/1/report", b""));
+        assert_eq!(report.status, 200);
+
+        // Bit-identical to the offline path: same strategy driven by
+        // SearchDriver::run on a private engine.
+        let workload = {
+            let scenarios = state.scenarios.lock().unwrap();
+            scenarios["chatbot"].workload.clone()
+        };
+        let method = methods::build("aarc").unwrap();
+        let engine = aarc_simulator::EvalEngine::with_threads(workload.env().clone(), 2);
+        let outcome = method.search_with(&engine, workload.slo_ms()).unwrap();
+        let offline = ConfigurationReport::new(
+            workload.env(),
+            &outcome.best_configs,
+            &outcome.final_report,
+            Some(workload.slo_ms()),
+        );
+        let mut offline_json = serde_json::to_string_pretty(&offline).unwrap();
+        offline_json.push('\n');
+        assert_eq!(
+            report.body, offline_json,
+            "served report must match offline run bytes"
+        );
+    }
+
+    #[test]
+    fn unknown_sessions_scenarios_and_routes_are_404() {
+        let service = EvalService::with_threads(1);
+        let state = ServeState::new(&service);
+        assert_eq!(
+            route(&state, &request("GET", "/sessions/7", b"")).status,
+            404
+        );
+        assert_eq!(
+            route(&state, &request("GET", "/sessions/7/report", b"")).status,
+            404
+        );
+        assert_eq!(
+            route(
+                &state,
+                &request("POST", "/sessions", b"{\"scenario\": \"ghost\"}")
+            )
+            .status,
+            404
+        );
+        assert_eq!(route(&state, &request("GET", "/nope", b"")).status, 404);
+        assert_eq!(
+            route(&state, &request("PUT", "/scenarios", b"")).status,
+            405
+        );
+        assert_eq!(
+            route(&state, &request("GET", "/sessions/abc", b"")).status,
+            400
+        );
+    }
+
+    #[test]
+    fn pause_cancel_and_delete_conflicts() {
+        let service = EvalService::with_threads(1);
+        let state = ServeState::new(&service);
+        route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
+        let started = route(
+            &state,
+            &request(
+                "POST",
+                "/sessions",
+                b"{\"scenario\": \"chatbot\", \"method\": \"random\"}",
+            ),
+        );
+        assert_eq!(started.status, 201, "{}", started.body);
+
+        // Pause before any scheduling: the session must report paused and
+        // deleting its scenario must conflict.
+        let paused = route(&state, &request("POST", "/sessions/1/pause", b""));
+        assert_eq!(paused.status, 200);
+        assert!(paused.body.contains("\"paused\""), "{}", paused.body);
+        let conflict = route(&state, &request("DELETE", "/scenarios/chatbot", b""));
+        assert_eq!(conflict.status, 409);
+        // A paused session does not advance.
+        drain_sessions(&state);
+        let status = route(&state, &request("GET", "/sessions/1", b""));
+        assert!(status.body.contains("\"paused\""), "{}", status.body);
+
+        // Cancel finishes it with the cancelled phase; its report is 409.
+        let cancelled = route(&state, &request("POST", "/sessions/1/cancel", b""));
+        assert_eq!(cancelled.status, 200);
+        drain_sessions(&state);
+        let status = route(&state, &request("GET", "/sessions/1", b""));
+        assert!(status.body.contains("\"cancelled\""), "{}", status.body);
+        assert_eq!(
+            route(&state, &request("GET", "/sessions/1/report", b"")).status,
+            409
+        );
+        // Controls on a terminal session conflict.
+        assert_eq!(
+            route(&state, &request("POST", "/sessions/1/resume", b"")).status,
+            409
+        );
+        // With the session terminal, the scenario can be deleted.
+        assert_eq!(
+            route(&state, &request("DELETE", "/scenarios/chatbot", b"")).status,
+            200
+        );
+    }
+
+    #[test]
+    fn metrics_exposes_service_and_session_series() {
+        let service = EvalService::with_threads(1);
+        let state = ServeState::new(&service);
+        route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
+        route(
+            &state,
+            &request("POST", "/sessions", b"{\"scenario\": \"chatbot\"}"),
+        );
+        drain_sessions(&state);
+        let metrics = route(&state, &request("GET", "/metrics", b""));
+        assert_eq!(metrics.status, 200);
+        for needle in [
+            "aarc_eval_requests_total ",
+            "aarc_eval_cache_hits_total ",
+            "aarc_eval_cached_entries ",
+            "aarc_scenarios 1",
+            "aarc_sessions_total 1",
+            "aarc_session_rounds{session=\"1\"",
+            "aarc_session_incumbent_cost{",
+        ] {
+            assert!(
+                metrics.body.contains(needle),
+                "missing `{needle}` in:\n{}",
+                metrics.body
+            );
+        }
+    }
+
+    #[test]
+    fn shutdown_blocks_admission_and_cancels_paused_sessions() {
+        let service = EvalService::with_threads(1);
+        let state = ServeState::new(&service);
+        route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
+        route(
+            &state,
+            &request("POST", "/sessions", b"{\"scenario\": \"chatbot\"}"),
+        );
+        route(&state, &request("POST", "/sessions/1/pause", b""));
+
+        let reply = route(&state, &request("POST", "/shutdown", b""));
+        assert_eq!(reply.status, 200);
+        assert!(reply.body.contains("\"draining\""));
+        assert_eq!(
+            route(&state, &request("POST", "/scenarios", &chatbot_yaml())).status,
+            503
+        );
+        assert_eq!(
+            route(
+                &state,
+                &request("POST", "/sessions", b"{\"scenario\": \"chatbot\"}")
+            )
+            .status,
+            503
+        );
+        // The paused session was marked for cancellation so the drain
+        // completes.
+        drain_sessions(&state);
+        assert!(state.drained());
+    }
+
+    #[test]
+    fn pause_after_shutdown_cannot_stall_the_drain() {
+        let service = EvalService::with_threads(1);
+        let state = ServeState::new(&service);
+        route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
+        route(
+            &state,
+            &request("POST", "/sessions", b"{\"scenario\": \"chatbot\"}"),
+        );
+        route(&state, &request("POST", "/shutdown", b""));
+        // A pause landing after /shutdown is refused outright — it would
+        // park the session and the daemon would never exit.
+        let late_pause = route(&state, &request("POST", "/sessions/1/pause", b""));
+        assert_eq!(late_pause.status, 503, "{}", late_pause.body);
+        // Even a pause that slipped in as a pending flag (e.g. while the
+        // scheduler held the session) is converted to a cancellation by
+        // the scheduler's shutdown sweep.
+        {
+            let mut sessions = state.sessions.lock().unwrap();
+            sessions.get_mut(&1).unwrap().want_pause = true;
+        }
+        {
+            let mut sessions = state.sessions.lock().unwrap();
+            for slot in sessions.values_mut() {
+                apply_controls_with_shutdown(slot, state.shutting_down());
+            }
+        }
+        drain_sessions(&state);
+        assert!(state.drained(), "pending pause must not park the session");
+    }
+}

@@ -21,7 +21,7 @@ use std::path::{Path, PathBuf};
 
 use serde::Serialize;
 
-use aarc_core::{SearchDriver, SearchOutcome, SearchUnit};
+use aarc_core::{SearchDriver, SearchOutcome, SearchSession};
 use aarc_simulator::{EvalService, EvalStats, InputClass, ScenarioEvalStats, WorkflowEnvironment};
 use aarc_workloads::Workload;
 
@@ -62,8 +62,9 @@ impl SweepClass {
         }
     }
 
-    /// The environment this class variant searches over.
-    fn env(self, base: &WorkflowEnvironment) -> WorkflowEnvironment {
+    /// The environment this class variant searches over (also used by the
+    /// serve daemon to build per-class session environments).
+    pub(crate) fn env(self, base: &WorkflowEnvironment) -> WorkflowEnvironment {
         match self {
             SweepClass::Nominal => base.clone(),
             SweepClass::Class(c) => base.with_input(c.representative()),
@@ -209,8 +210,10 @@ impl SweepReport {
 ///
 /// # Errors
 ///
-/// Returns a user-facing message for unreadable paths or an empty
-/// expansion.
+/// Returns a user-facing message for unreadable paths, directories
+/// containing no spec files, arguments naming nothing on disk (e.g. an
+/// unexpanded glob) and an empty argument list — a sweep must never
+/// silently emit an empty report.
 pub fn expand_spec_args(args: &[String]) -> Result<Vec<PathBuf>, String> {
     let mut paths = Vec::new();
     for arg in args {
@@ -228,11 +231,15 @@ pub fn expand_spec_args(args: &[String]) -> Result<Vec<PathBuf>, String> {
                 .collect();
             entries.sort();
             if entries.is_empty() {
-                return Err(format!("{arg}: directory contains no spec files"));
+                return Err(format!("no scenario specs found under {arg}"));
             }
             paths.extend(entries);
-        } else {
+        } else if path.is_file() {
             paths.push(path.to_path_buf());
+        } else {
+            // A non-existent path — typically a shell glob that matched
+            // nothing and arrived as the literal pattern.
+            return Err(format!("no scenario specs found under {arg}"));
         }
     }
     if paths.is_empty() {
@@ -298,7 +305,7 @@ pub fn run_sweep(
         display_name: String,
     }
     let mut metas: Vec<UnitMeta> = Vec::new();
-    let mut units: Vec<SearchUnit<'_>> = Vec::new();
+    let mut units: Vec<SearchSession<'_>> = Vec::new();
     let mut variant_fingerprints: BTreeMap<(usize, usize), u64> = BTreeMap::new();
     for (si, scenario) in scenarios.iter().enumerate() {
         for (ci, &class) in classes.iter().enumerate() {
@@ -316,7 +323,7 @@ pub fn run_sweep(
                     method: name,
                     display_name: method.name().to_owned(),
                 });
-                units.push(SearchUnit::new(strategy, handle.clone()));
+                units.push(SearchSession::new(strategy, handle.clone()));
             }
         }
     }
@@ -467,6 +474,23 @@ mod tests {
             .collect();
         assert_eq!(names, vec!["s1.yaml", "s2.yaml", "s3.yaml"]);
         assert!(expand_spec_args(&[]).is_err());
+    }
+
+    #[test]
+    fn empty_directories_and_missing_paths_are_clear_errors() {
+        let empty = std::env::temp_dir().join("aarc-sweep-mod-empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        // Remove any stray spec files from previous runs.
+        for entry in std::fs::read_dir(&empty).unwrap() {
+            std::fs::remove_file(entry.unwrap().path()).ok();
+        }
+        let arg = empty.to_string_lossy().into_owned();
+        let err = expand_spec_args(std::slice::from_ref(&arg)).unwrap_err();
+        assert_eq!(err, format!("no scenario specs found under {arg}"));
+        // A glob that matched nothing arrives as the literal pattern.
+        let glob = format!("{arg}/*.yaml");
+        let err = expand_spec_args(std::slice::from_ref(&glob)).unwrap_err();
+        assert_eq!(err, format!("no scenario specs found under {glob}"));
     }
 
     #[test]

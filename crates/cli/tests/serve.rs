@@ -1,0 +1,254 @@
+//! End-to-end tests of the `aarc serve` daemon: spawn the compiled
+//! binary on an ephemeral port, drive the HTTP API over raw TCP, and pin
+//! the online/offline determinism contract — a served session's report is
+//! byte-identical to `aarc run` on the same spec/method/SLO.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_aarc"))
+}
+
+fn chatbot_spec() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("specs/chatbot.yaml")
+}
+
+/// A running daemon plus the address parsed from its readiness line.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Spawns `aarc serve` on an ephemeral port and waits for readiness.
+    fn start() -> Daemon {
+        let mut child = bin()
+            .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("daemon spawns");
+        let stderr = child.stderr.take().expect("stderr piped");
+        let mut lines = BufReader::new(stderr).lines();
+        let ready = lines
+            .next()
+            .expect("daemon prints a readiness line")
+            .expect("stderr is utf-8");
+        let addr = ready
+            .split("listening on ")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("unparseable readiness line: {ready}"))
+            .to_owned();
+        // Keep draining stderr in the background so the daemon never
+        // blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        Daemon { child, addr }
+    }
+
+    /// One HTTP exchange; returns `(status, body)`.
+    fn request(&self, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+        let mut stream = TcpStream::connect(&self.addr).expect("daemon accepts");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.write_all(body).unwrap();
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).expect("daemon responds");
+        let text = String::from_utf8(raw).expect("response is utf-8");
+        let status: u16 = text
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable response: {text}"));
+        let body = text
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_owned())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    /// Polls a session until it leaves the live phases.
+    fn await_terminal(&self, id: u64) -> String {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            let (status, body) = self.request("GET", &format!("/sessions/{id}"), b"");
+            assert_eq!(status, 200, "{body}");
+            if !body.contains("\"running\"") && !body.contains("\"paused\"") {
+                return body;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "session {id} never finished: {body}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Requests shutdown and waits for a clean exit 0.
+    fn shutdown(mut self) {
+        let (status, body) = self.request("POST", "/shutdown", b"");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"draining\""), "{body}");
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            match self.child.try_wait().expect("child is pollable") {
+                Some(code) => {
+                    assert!(code.success(), "daemon exited with {code}");
+                    return;
+                }
+                None if Instant::now() > deadline => {
+                    self.child.kill().ok();
+                    panic!("daemon did not exit after /shutdown");
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.child.kill().ok();
+    }
+}
+
+/// Extracts the `"id": N` of a freshly created session.
+fn session_id(body: &str) -> u64 {
+    body.split("\"id\":")
+        .nth(1)
+        .and_then(|rest| rest.split([',', '}']).next())
+        .and_then(|raw| raw.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no session id in: {body}"))
+}
+
+/// The offline reference bytes: `aarc run --format json` on the same
+/// spec/method (threads don't matter — results are thread-invariant).
+fn offline_run_json(method: &str) -> String {
+    let out = bin()
+        .args(["run", "--spec"])
+        .arg(chatbot_spec())
+        .args(["--method", method, "--format", "json", "--threads", "2"])
+        .output()
+        .expect("offline run executes");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("report is utf-8")
+}
+
+#[test]
+fn serve_walkthrough_sessions_match_offline_runs_and_shutdown_is_clean() {
+    let daemon = Daemon::start();
+    let spec_bytes = std::fs::read(chatbot_spec()).expect("spec readable");
+
+    let (status, body) = daemon.request("GET", "/healthz", b"");
+    assert_eq!(status, 200, "{body}");
+
+    // Upload once; the duplicate is refused.
+    let (status, body) = daemon.request("POST", "/scenarios", &spec_bytes);
+    assert_eq!(status, 201, "{body}");
+    assert!(body.contains("\"chatbot\""), "{body}");
+    let (status, _) = daemon.request("POST", "/scenarios", &spec_bytes);
+    assert_eq!(status, 409);
+    let (status, body) = daemon.request("POST", "/scenarios/validate", &spec_bytes);
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = daemon.request("GET", "/scenarios", b"");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"chatbot\""), "{body}");
+
+    // Two concurrent sessions on the one shared service: AARC and BO.
+    let (status, body) = daemon.request("POST", "/sessions", b"{\"scenario\": \"chatbot\"}");
+    assert_eq!(status, 201, "{body}");
+    let aarc_id = session_id(&body);
+    let (status, body) = daemon.request(
+        "POST",
+        "/sessions",
+        b"{\"scenario\": \"chatbot\", \"method\": \"bo\"}",
+    );
+    assert_eq!(status, 201, "{body}");
+    let bo_id = session_id(&body);
+
+    let aarc_status = daemon.await_terminal(aarc_id);
+    assert!(aarc_status.contains("\"finished\""), "{aarc_status}");
+    assert!(aarc_status.contains("\"incumbent\""), "{aarc_status}");
+    let bo_status = daemon.await_terminal(bo_id);
+    assert!(bo_status.contains("\"finished\""), "{bo_status}");
+
+    // The determinism contract: served reports are byte-identical to the
+    // offline `aarc run` of the same spec/method/SLO/seed.
+    let (status, served_aarc) = daemon.request("GET", &format!("/sessions/{aarc_id}/report"), b"");
+    assert_eq!(status, 200, "{served_aarc}");
+    assert_eq!(
+        served_aarc,
+        offline_run_json("aarc"),
+        "AARC online != offline"
+    );
+    let (status, served_bo) = daemon.request("GET", &format!("/sessions/{bo_id}/report"), b"");
+    assert_eq!(status, 200, "{served_bo}");
+    assert_eq!(served_bo, offline_run_json("bo"), "BO online != offline");
+
+    // Metrics expose the shared service and both sessions.
+    let (status, metrics) = daemon.request("GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    for needle in [
+        "aarc_eval_requests_total ",
+        "aarc_sessions_total 2",
+        "aarc_session_evals{session=\"1\"",
+        "aarc_session_evals{session=\"2\"",
+    ] {
+        assert!(
+            metrics.contains(needle),
+            "missing `{needle}` in:\n{metrics}"
+        );
+    }
+
+    // Scenario deletion frees the registry once sessions are terminal.
+    let (status, body) = daemon.request("DELETE", "/scenarios/chatbot", b"");
+    assert_eq!(status, 200, "{body}");
+
+    daemon.shutdown();
+}
+
+#[test]
+fn serve_rejects_bad_requests_and_unknown_resources() {
+    let daemon = Daemon::start();
+    let (status, _) = daemon.request("POST", "/scenarios", b"definitely: [not, a, spec");
+    assert_eq!(status, 400);
+    let (status, _) = daemon.request("POST", "/sessions", b"{\"scenario\": \"ghost\"}");
+    assert_eq!(status, 404);
+    let (status, _) = daemon.request("POST", "/sessions", b"{\"nope\": 1}");
+    assert_eq!(status, 400);
+    let (status, _) = daemon.request("GET", "/sessions/99", b"");
+    assert_eq!(status, 404);
+    let (status, _) = daemon.request("PATCH", "/scenarios", b"");
+    assert_eq!(status, 405);
+    let (status, _) = daemon.request("GET", "/no/such/endpoint", b"");
+    assert_eq!(status, 404);
+    daemon.shutdown();
+}
+
+#[test]
+fn serve_threads_zero_is_rejected_before_binding() {
+    let out = bin()
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "0"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--threads must be at least 1"), "{stderr}");
+}

@@ -1,21 +1,30 @@
 //! The ask/tell search driver: the evaluate-loop extracted out of the
-//! individual search methods.
+//! individual search methods, in steppable session form.
 //!
 //! Every search method is a [`SearchStrategy`] — a pure resumable state
 //! machine that *asks* for candidate evaluations and is *told* their
-//! results. The [`SearchDriver`] owns the loop in between: it submits each
-//! ask through a [`ScenarioHandle`], so the method never touches the
-//! evaluation substrate directly. The split buys two things:
+//! results. A [`SearchSession`] binds one strategy to the
+//! [`ScenarioHandle`] its evaluations go through and advances it one
+//! ask/evaluate/tell round per [`step`](SearchSession::step); the
+//! [`SearchDriver`] entry points are now thin loops over sessions. The
+//! split buys three things:
 //!
 //! * **interleaving** — [`SearchDriver::run_interleaved`] round-robins any
-//!   number of independent searches (different methods, different input
+//!   number of independent sessions (different methods, different input
 //!   classes, different scenarios) over one shared [`EvalService`]
-//!   (`aarc_simulator::EvalService`) pool, one ask per search per round;
+//!   (`aarc_simulator::EvalService`) pool, one step per session per round;
+//! * **online serving** — a long-running daemon (`aarc serve`) owns
+//!   sessions directly, stepping them from a scheduler thread while
+//!   concurrent clients poll each session's [`SessionProgress`] snapshot,
+//!   pause/resume it, or cancel it;
 //! * **determinism** — a strategy's ask sequence depends only on the
 //!   results it was told, and every evaluation's RNG seed derives from the
 //!   environment seed (probes) or the candidate's batch index (batches,
-//!   see [`aarc_simulator::derive_seed`]). Interleaved runs are therefore
-//!   bit-identical to sequential ones, at any thread count.
+//!   see [`aarc_simulator::derive_seed`]). Interleaved or served runs are
+//!   therefore bit-identical to sequential ones, at any thread count and
+//!   under any step schedule.
+
+use serde::Serialize;
 
 use aarc_simulator::{ConfigMap, ScenarioHandle, SimResult, WorkflowEnvironment};
 
@@ -49,7 +58,9 @@ pub enum Ask {
 /// Strategies own their [`SearchTrace`](crate::search::SearchTrace) and
 /// best-so-far state; they must not perform evaluations themselves — that
 /// is what keeps independent searches interleavable on one shared pool.
-pub trait SearchStrategy {
+/// Strategies are `Send` so sessions can be stepped from a scheduler
+/// thread (the `aarc serve` daemon moves live sessions across threads).
+pub trait SearchStrategy: Send {
     /// Short method name used in figures ("AARC", "BO", "MAFF").
     fn name(&self) -> &str;
 
@@ -80,27 +91,101 @@ pub trait SearchStrategy {
     fn finish(&mut self, env: &WorkflowEnvironment) -> Result<SearchOutcome, AarcError>;
 }
 
-/// One interleavable search: a strategy bound to the scenario handle its
-/// evaluations go through.
-#[derive(Debug)]
-pub struct SearchUnit<'s> {
-    strategy: Box<dyn SearchStrategy>,
-    handle: ScenarioHandle<'s>,
-}
-
 impl std::fmt::Debug for dyn SearchStrategy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "SearchStrategy({})", self.name())
     }
 }
 
-impl<'s> SearchUnit<'s> {
+/// Observable lifecycle state of a [`SearchSession`], as reported by
+/// [`SearchSession::step`] and [`SearchSession::state`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SessionState {
+    /// The session has more ask/tell rounds to run.
+    Running,
+    /// The session is paused: [`step`](SearchSession::step) is a no-op
+    /// until [`resume`](SearchSession::resume).
+    Paused,
+    /// The session completed (successfully, with an error, or by
+    /// cancellation); its [`SearchOutcome`] is available.
+    Finished,
+}
+
+/// The best SLO-feasible candidate a session has observed so far: the
+/// configuration together with the makespan and cost of its evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Incumbent {
+    /// The candidate configuration.
+    pub configs: ConfigMap,
+    /// End-to-end runtime of its evaluation, ms.
+    pub makespan_ms: f64,
+    /// Billed cost of its evaluation.
+    pub cost: f64,
+}
+
+/// A cheap point-in-time snapshot of a session's progress, maintained by
+/// [`SearchSession::step`] and polled by the serving layer.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct SessionProgress {
+    /// Completed ask/evaluate/tell rounds.
+    pub rounds: u64,
+    /// Candidate evaluations requested so far (a probe counts 1, a batch
+    /// its length).
+    pub evals: u64,
+    /// Best feasible candidate observed so far: lowest-cost result that
+    /// did not OOM and (when the session knows its SLO) met the SLO. Ties
+    /// keep the earliest, so the snapshot is deterministic.
+    pub incumbent: Option<Incumbent>,
+}
+
+/// One steppable search: a [`SearchStrategy`] bound to the
+/// [`ScenarioHandle`] its evaluations go through, advanced one
+/// ask/evaluate/tell round per [`step`](SearchSession::step).
+///
+/// Sessions are the unit the driver loops over and the unit the `aarc
+/// serve` daemon schedules: they can be paused, resumed and cancelled
+/// between steps, and publish a [`SessionProgress`] snapshot after every
+/// step. The step sequence — ask, evaluate through the handle, tell — is
+/// exactly the historical driver loop, so running a session to completion
+/// is bit-identical to the pre-session `SearchDriver::run`.
+#[derive(Debug)]
+pub struct SearchSession<'s> {
+    strategy: Box<dyn SearchStrategy>,
+    handle: ScenarioHandle<'s>,
+    slo_ms: Option<f64>,
+    progress: SessionProgress,
+    paused: bool,
+    outcome: Option<Result<SearchOutcome, AarcError>>,
+}
+
+impl<'s> SearchSession<'s> {
     /// Binds `strategy` to the handle its evaluations will go through.
     pub fn new(strategy: Box<dyn SearchStrategy>, handle: ScenarioHandle<'s>) -> Self {
-        SearchUnit { strategy, handle }
+        SearchSession {
+            strategy,
+            handle,
+            slo_ms: None,
+            progress: SessionProgress::default(),
+            paused: false,
+            outcome: None,
+        }
     }
 
-    /// The unit's scenario handle.
+    /// [`new`](SearchSession::new), additionally telling the session the
+    /// SLO the search runs under so the [`SessionProgress::incumbent`]
+    /// snapshot only tracks SLO-feasible candidates.
+    pub fn with_slo(
+        strategy: Box<dyn SearchStrategy>,
+        handle: ScenarioHandle<'s>,
+        slo_ms: f64,
+    ) -> Self {
+        SearchSession {
+            slo_ms: Some(slo_ms),
+            ..SearchSession::new(strategy, handle)
+        }
+    }
+
+    /// The session's scenario handle.
     pub fn handle(&self) -> &ScenarioHandle<'s> {
         &self.handle
     }
@@ -109,9 +194,127 @@ impl<'s> SearchUnit<'s> {
     pub fn name(&self) -> &str {
         self.strategy.name()
     }
+
+    /// The session's lifecycle state.
+    pub fn state(&self) -> SessionState {
+        if self.outcome.is_some() {
+            SessionState::Finished
+        } else if self.paused {
+            SessionState::Paused
+        } else {
+            SessionState::Running
+        }
+    }
+
+    /// The session's progress snapshot (updated after every completed
+    /// step).
+    pub fn progress(&self) -> &SessionProgress {
+        &self.progress
+    }
+
+    /// Pauses the session: [`step`](SearchSession::step) becomes a no-op
+    /// until [`resume`](SearchSession::resume). No effect on a finished
+    /// session.
+    pub fn pause(&mut self) {
+        self.paused = true;
+    }
+
+    /// Resumes a paused session.
+    pub fn resume(&mut self) {
+        self.paused = false;
+    }
+
+    /// Cancels the session: it finishes immediately with
+    /// [`AarcError::SearchCancelled`]. No effect on an already finished
+    /// session (its outcome is kept).
+    pub fn cancel(&mut self) {
+        if self.outcome.is_none() {
+            self.outcome = Some(Err(AarcError::SearchCancelled));
+        }
+    }
+
+    /// Advances the session by exactly one ask/evaluate/tell round and
+    /// returns the state after the step. Paused and finished sessions are
+    /// left untouched.
+    pub fn step(&mut self) -> SessionState {
+        if self.outcome.is_some() {
+            return SessionState::Finished;
+        }
+        if self.paused {
+            return SessionState::Paused;
+        }
+        // Split borrows: the strategy is stepped mutably while the
+        // environment is borrowed from the handle.
+        let SearchSession {
+            strategy,
+            handle,
+            slo_ms,
+            progress,
+            ..
+        } = self;
+        let env = handle.env();
+        let (asked, results) = match strategy.ask(env) {
+            Err(e) => {
+                self.outcome = Some(Err(e));
+                return SessionState::Finished;
+            }
+            Ok(Ask::Done) => {
+                self.outcome = Some(strategy.finish(env));
+                return SessionState::Finished;
+            }
+            Ok(Ask::Probe(configs)) => match handle.evaluate(&configs) {
+                Err(e) => {
+                    self.outcome = Some(Err(e.into()));
+                    return SessionState::Finished;
+                }
+                Ok(result) => (vec![configs], vec![result]),
+            },
+            Ok(Ask::Batch(candidates)) => match handle.evaluate_batch(&candidates) {
+                Err(e) => {
+                    self.outcome = Some(Err(e.into()));
+                    return SessionState::Finished;
+                }
+                Ok(results) => (candidates, results),
+            },
+        };
+        if let Err(e) = strategy.tell(env, &results) {
+            self.outcome = Some(Err(e));
+            return SessionState::Finished;
+        }
+        progress.rounds += 1;
+        progress.evals += results.len() as u64;
+        for (configs, result) in asked.iter().zip(&results) {
+            let feasible =
+                !result.any_oom() && slo_ms.is_none_or(|slo| result.makespan_ms() <= slo);
+            let improves = progress
+                .incumbent
+                .as_ref()
+                .is_none_or(|inc| result.total_cost() < inc.cost);
+            if feasible && improves {
+                progress.incumbent = Some(Incumbent {
+                    configs: configs.clone(),
+                    makespan_ms: result.makespan_ms(),
+                    cost: result.total_cost(),
+                });
+            }
+        }
+        SessionState::Running
+    }
+
+    /// Whether the session has completed.
+    pub fn is_finished(&self) -> bool {
+        self.outcome.is_some()
+    }
+
+    /// Consumes a finished session into its outcome; `None` when the
+    /// session has not finished yet.
+    pub fn into_outcome(self) -> Option<Result<SearchOutcome, AarcError>> {
+        self.outcome
+    }
 }
 
-/// The evaluate-loop between strategies and the evaluation substrate.
+/// The evaluate-loop between strategies and the evaluation substrate: thin
+/// run-to-completion loops over [`SearchSession`]s.
 #[derive(Debug, Default)]
 pub struct SearchDriver;
 
@@ -125,67 +328,48 @@ impl SearchDriver {
         strategy: Box<dyn SearchStrategy>,
         handle: &ScenarioHandle<'_>,
     ) -> Result<SearchOutcome, AarcError> {
-        let mut unit = SearchUnit::new(strategy, handle.clone());
-        loop {
-            if let Some(result) = Self::step(&mut unit) {
-                return result;
-            }
-        }
+        let mut session = SearchSession::new(strategy, handle.clone());
+        while session.step() == SessionState::Running {}
+        session
+            .into_outcome()
+            .expect("a stepped-to-Finished session has an outcome")
     }
 
-    /// Runs any number of independent searches concurrently on their (in
+    /// Runs any number of independent sessions concurrently on their (in
     /// practice shared) services by round-robin interleaving: each live
-    /// unit performs one ask/evaluate/tell step per round, so batches from
-    /// different searches alternate on the shared worker pool. Outcomes are
-    /// returned in unit order; a unit's error ends that unit only.
-    pub fn run_interleaved(units: Vec<SearchUnit<'_>>) -> Vec<Result<SearchOutcome, AarcError>> {
-        let n = units.len();
-        let mut slots: Vec<Option<SearchUnit<'_>>> = units.into_iter().map(Some).collect();
-        let mut outcomes: Vec<Option<Result<SearchOutcome, AarcError>>> =
-            (0..n).map(|_| None).collect();
+    /// session performs one ask/evaluate/tell step per round, so batches
+    /// from different searches alternate on the shared worker pool.
+    /// Outcomes are returned in session order; a session's error ends that
+    /// session only. This is a run-to-completion loop: paused sessions are
+    /// resumed (a pause would otherwise stall the round-robin forever —
+    /// schedulers that honour pauses own their own loop, like the serve
+    /// daemon's).
+    pub fn run_interleaved(
+        mut sessions: Vec<SearchSession<'_>>,
+    ) -> Vec<Result<SearchOutcome, AarcError>> {
         loop {
             let mut any_live = false;
-            for i in 0..n {
-                let Some(unit) = slots[i].as_mut() else {
-                    continue;
-                };
-                any_live = true;
-                if let Some(result) = Self::step(unit) {
-                    outcomes[i] = Some(result);
-                    slots[i] = None;
+            for session in &mut sessions {
+                if !session.is_finished() {
+                    any_live = true;
+                    session.resume();
+                    session.step();
                 }
             }
             if !any_live {
                 break;
             }
         }
-        outcomes
+        sessions
             .into_iter()
-            .map(|o| o.expect("every unit ran to completion"))
+            .map(|s| s.into_outcome().expect("every session ran to completion"))
             .collect()
     }
-
-    /// Performs one ask/evaluate/tell step. Returns `Some(outcome)` when
-    /// the unit completed (successfully or with an error), `None` when it
-    /// has more work.
-    fn step(unit: &mut SearchUnit<'_>) -> Option<Result<SearchOutcome, AarcError>> {
-        let SearchUnit { strategy, handle } = unit;
-        let env = handle.env();
-        let results = match strategy.ask(env) {
-            Err(e) => return Some(Err(e)),
-            Ok(Ask::Done) => return Some(strategy.finish(env)),
-            Ok(Ask::Probe(configs)) => match handle.evaluate(&configs) {
-                Err(e) => return Some(Err(e.into())),
-                Ok(result) => vec![result],
-            },
-            Ok(Ask::Batch(candidates)) => match handle.evaluate_batch(&candidates) {
-                Err(e) => return Some(Err(e.into())),
-                Ok(results) => results,
-            },
-        };
-        match strategy.tell(env, &results) {
-            Err(e) => Some(Err(e)),
-            Ok(()) => None,
-        }
-    }
 }
+
+// Sessions move into the serve daemon's scheduler thread.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<SearchSession<'static>>();
+    assert_send::<SessionProgress>();
+};

@@ -26,6 +26,9 @@ pub enum AarcError {
     /// The input-aware engine was asked to dispatch before any
     /// configuration was computed.
     NoConfigurations,
+    /// The search session was cancelled before it completed (see
+    /// [`SearchSession::cancel`](crate::driver::SearchSession::cancel)).
+    SearchCancelled,
 }
 
 impl fmt::Display for AarcError {
@@ -43,6 +46,7 @@ impl fmt::Display for AarcError {
             AarcError::NoConfigurations => {
                 write!(f, "input-aware engine holds no configurations yet")
             }
+            AarcError::SearchCancelled => write!(f, "search session was cancelled"),
         }
     }
 }
@@ -76,6 +80,7 @@ mod tests {
             AarcError::BaseConfigurationOom,
             AarcError::InvalidSlo(-1.0),
             AarcError::NoConfigurations,
+            AarcError::SearchCancelled,
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());

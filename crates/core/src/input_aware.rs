@@ -13,7 +13,7 @@ use aarc_simulator::{
     WorkflowEnvironment,
 };
 
-use crate::driver::{SearchDriver, SearchUnit};
+use crate::driver::{SearchDriver, SearchSession};
 use crate::error::AarcError;
 use crate::scheduler::GraphCentricScheduler;
 use crate::search::{ConfigurationSearch, SearchTrace};
@@ -78,7 +78,7 @@ impl InputAwareEngine {
         for (&class, &input) in class_inputs {
             let class_env = env.with_input(input);
             let strategy = scheduler.strategy(&class_env, slo_ms)?;
-            units.push(SearchUnit::new(strategy, service.register(class_env)));
+            units.push(SearchSession::new(strategy, service.register(class_env)));
             classes.push(class);
         }
         let outcomes = SearchDriver::run_interleaved(units);

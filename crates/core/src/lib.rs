@@ -22,10 +22,13 @@
 //!   sample-by-sample [`search::SearchTrace`] shared with the baseline
 //!   methods; the traces drive Figs. 5–7.
 //! * [`driver`] — the ask/tell protocol: every method is a resumable
-//!   [`driver::SearchStrategy`] and the [`driver::SearchDriver`] owns the
-//!   evaluate-loop, so independent searches interleave their batches on
-//!   one shared [`EvalService`](aarc_simulator::EvalService) pool while
-//!   staying bit-identical to sequential runs.
+//!   [`driver::SearchStrategy`], a [`driver::SearchSession`] advances one
+//!   strategy a single ask/evaluate/tell round per step (with
+//!   pause/cancel and a pollable progress snapshot), and the
+//!   [`driver::SearchDriver`] entry points are thin loops over sessions —
+//!   so independent searches interleave their batches on one shared
+//!   [`EvalService`](aarc_simulator::EvalService) pool (or are served
+//!   online by a daemon) while staying bit-identical to sequential runs.
 //!
 //! # Quick start
 //!
@@ -73,7 +76,9 @@ pub mod search;
 
 pub use affinity::{classify_affinity, AffinityReport};
 pub use configurator::{PathConfigState, PriorityConfigurator};
-pub use driver::{Ask, SearchDriver, SearchStrategy, SearchUnit};
+pub use driver::{
+    Ask, Incumbent, SearchDriver, SearchSession, SearchStrategy, SessionProgress, SessionState,
+};
 pub use error::AarcError;
 pub use input_aware::InputAwareEngine;
 pub use operation::{OpType, Operation, OperationQueue};
@@ -85,7 +90,9 @@ pub use search::{ConfigurationSearch, SearchOutcome, SearchSample, SearchTrace};
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::affinity::classify_affinity;
-    pub use crate::driver::{Ask, SearchDriver, SearchStrategy, SearchUnit};
+    pub use crate::driver::{
+        Ask, Incumbent, SearchDriver, SearchSession, SearchStrategy, SessionProgress, SessionState,
+    };
     pub use crate::error::AarcError;
     pub use crate::input_aware::InputAwareEngine;
     pub use crate::params::AarcParams;

@@ -29,7 +29,13 @@
 //! A [`ScenarioHandle`] is just a compiled scenario plus [`EvalOptions`]:
 //! creating one compiles the environment once, and any number of handles
 //! (for the same or different scenarios) can submit through one service
-//! concurrently with the searches interleaving on the shared pool.
+//! concurrently with the searches interleaving on the shared pool. The
+//! scenario population is a *runtime* concern: scenarios are
+//! [`register`](EvalService::register)ed and
+//! [`unregister`](EvalService::unregister)ed while the service runs (a
+//! long-lived daemon uploads and deletes scenarios over its API), with
+//! unregistration purging the scenario's cache entries, and
+//! [`EvalService::stats_snapshot`] gives a pollable service-wide view.
 //!
 //! Cache bookkeeping (lookup, hit/miss accounting, insertion, eviction)
 //! always happens on the submitting thread in candidate order; worker
@@ -175,6 +181,23 @@ impl ScenarioEvalStats {
     }
 }
 
+/// A point-in-time view of a whole [`EvalService`], produced by
+/// [`EvalService::stats_snapshot`] — the payload a long-running daemon
+/// serves from its metrics endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSnapshot {
+    /// Aggregate counters over every scenario ever registered (monotonic
+    /// across unregistration).
+    pub stats: EvalStats,
+    /// Number of scenarios currently registered.
+    pub registered_scenarios: usize,
+    /// Number of reports currently memoised across all shards.
+    pub cached_entries: usize,
+    /// The per-fingerprint breakdown of currently registered scenarios,
+    /// ordered by fingerprint.
+    pub scenarios: Vec<ScenarioEvalStats>,
+}
+
 /// Exact-equality cache key of one candidate evaluation.
 ///
 /// The *input bucket* is the bit pattern of the input's scale and payload:
@@ -234,6 +257,10 @@ pub struct EvalService {
     shards: Vec<Mutex<Shard>>,
     scratch_pool: Mutex<Vec<SimScratch>>,
     scenarios: Mutex<BTreeMap<u64, Arc<ScenarioCounters>>>,
+    /// Counters folded in from unregistered scenarios, so the aggregate
+    /// [`stats`](EvalService::stats) stays monotonic across the runtime
+    /// scenario lifecycle (a `/metrics` scrape must never see totals drop).
+    retired: ScenarioCounters,
 }
 
 impl EvalService {
@@ -249,6 +276,7 @@ impl EvalService {
                 .collect(),
             scratch_pool: Mutex::new(Vec::new()),
             scenarios: Mutex::new(BTreeMap::new()),
+            retired: ScenarioCounters::default(),
         }
     }
 
@@ -323,11 +351,50 @@ impl EvalService {
         })
     }
 
-    /// Aggregate statistics over every scenario registered on the service.
+    /// Unregisters a scenario from the service by fingerprint: drops its
+    /// statistics slice from the registry (its counters are folded into a
+    /// retired total, so the aggregate [`stats`](EvalService::stats) stays
+    /// monotonic) and purges every cache entry carrying that fingerprint
+    /// from all shards. Returns whether the fingerprint was registered.
+    ///
+    /// Outstanding [`ScenarioHandle`]s of the scenario keep working — they
+    /// own the compiled scenario via `Arc` — but become statistically
+    /// detached: their counter increments no longer show up in the
+    /// service-wide statistics, and entries they re-insert are attributed
+    /// to an unknown fingerprint until the scenario is registered again
+    /// (which starts a fresh statistics slice).
+    pub fn unregister(&self, fingerprint: u64) -> bool {
+        let removed = self
+            .scenarios
+            .lock()
+            .expect("scenario registry poisoned")
+            .remove(&fingerprint);
+        if let Some(counters) = &removed {
+            self.retired
+                .hits
+                .fetch_add(counters.hits.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.retired
+                .misses
+                .fetch_add(counters.misses.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.retired.evictions.fetch_add(
+                counters.evictions.load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+        }
+        for shard in &self.shards {
+            let mut s = shard.lock().expect("cache shard poisoned");
+            s.order.retain(|k| k.fingerprint != fingerprint);
+            s.map.retain(|k, _| k.fingerprint != fingerprint);
+        }
+        removed.is_some()
+    }
+
+    /// Aggregate statistics over every scenario ever registered on the
+    /// service (unregistered scenarios' counters stay folded in).
     pub fn stats(&self) -> EvalStats {
-        let mut hits = 0;
-        let mut misses = 0;
-        let mut evictions = 0;
+        let mut hits = self.retired.hits.load(Ordering::Relaxed);
+        let mut misses = self.retired.misses.load(Ordering::Relaxed);
+        let mut evictions = self.retired.evictions.load(Ordering::Relaxed);
         for counters in self
             .scenarios
             .lock()
@@ -367,6 +434,20 @@ impl EvalService {
                 }
             })
             .collect()
+    }
+
+    /// A point-in-time snapshot of the whole service, cheap enough to poll
+    /// from a metrics endpoint: aggregate counters, the per-fingerprint
+    /// breakdown, the number of currently registered scenarios and the
+    /// number of memoised reports.
+    pub fn stats_snapshot(&self) -> ServiceSnapshot {
+        let scenarios = self.scenario_stats();
+        ServiceSnapshot {
+            stats: self.stats(),
+            registered_scenarios: scenarios.len(),
+            cached_entries: self.cached_entries(),
+            scenarios,
+        }
     }
 
     /// Number of reports currently memoised across all shards (all
@@ -1367,6 +1448,105 @@ mod tests {
         let evicted: u64 = breakdown.iter().map(|s| s.evictions).sum();
         assert!(evicted > 0, "capacity pressure must evict");
         assert_eq!(service.stats().evictions, evicted);
+    }
+
+    #[test]
+    fn unregister_purges_cache_entries_and_keeps_totals_monotonic() {
+        let service = EvalService::with_threads(1);
+        let plain = service.register(env());
+        let jittered = service.register(jittery_env());
+        let cfg = plain.env().base_configs();
+        plain.evaluate(&cfg).unwrap();
+        jittered.evaluate(&cfg).unwrap();
+        assert_eq!(service.cached_entries(), 2);
+        let before = service.stats();
+
+        assert!(service.unregister(plain.fingerprint()));
+        assert!(
+            !service.unregister(plain.fingerprint()),
+            "second unregister is a no-op"
+        );
+        // Only the other scenario's entry survives, and the aggregate
+        // counters did not drop.
+        assert_eq!(service.cached_entries(), 1);
+        assert_eq!(service.scenario_stats().len(), 1);
+        assert_eq!(
+            service.scenario_stats()[0].fingerprint,
+            jittered.fingerprint()
+        );
+        assert_eq!(service.stats(), before, "totals stay monotonic");
+
+        // The purged entry recomputes: a fresh registration starts a fresh
+        // statistics slice and must miss.
+        let again = service.register(env());
+        again.evaluate(&cfg).unwrap();
+        assert_eq!(again.stats().cache_misses, 1);
+        assert_eq!(again.stats().cache_hits, 0);
+        assert_eq!(service.stats().requests, before.requests + 1);
+    }
+
+    #[test]
+    fn stats_snapshot_reflects_the_registry() {
+        let service = EvalService::with_threads(3);
+        let snap = service.stats_snapshot();
+        assert_eq!(snap.registered_scenarios, 0);
+        assert_eq!(snap.cached_entries, 0);
+        assert_eq!(snap.stats.requests, 0);
+
+        let handle = service.register(env());
+        handle.evaluate(&handle.env().base_configs()).unwrap();
+        handle.evaluate(&handle.env().base_configs()).unwrap();
+        let snap = service.stats_snapshot();
+        assert_eq!(snap.registered_scenarios, 1);
+        assert_eq!(snap.cached_entries, 1);
+        assert_eq!(snap.stats.requests, 2);
+        assert_eq!(snap.stats.cache_hits, 1);
+        assert_eq!(snap.scenarios.len(), 1);
+        assert_eq!(snap.scenarios[0].fingerprint, handle.fingerprint());
+        // The snapshot serializes (the daemon's metrics payload).
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        assert!(json.contains("\"registered_scenarios\""));
+    }
+
+    #[test]
+    fn concurrent_register_evaluate_unregister_is_safe() {
+        // Exercise the runtime scenario lifecycle under concurrency: one
+        // scenario is hammered with evaluations while another is
+        // repeatedly registered, evaluated and unregistered. Nothing may
+        // deadlock, leak entries across fingerprints, or corrupt results.
+        let service = EvalService::with_threads(2);
+        let stable = service.register(env());
+        let cfgs = candidates(8);
+        let reference = stable.evaluate_batch(&cfgs).unwrap();
+        std::thread::scope(|scope| {
+            let service = &service;
+            let stable = &stable;
+            let cfgs = &cfgs;
+            let reference = &reference;
+            for _ in 0..3 {
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        let got = stable.evaluate_batch(cfgs).unwrap();
+                        assert_eq!(&got, reference);
+                    }
+                });
+            }
+            scope.spawn(move || {
+                for _ in 0..20 {
+                    let churn = service.register(jittery_env());
+                    churn.evaluate(&churn.env().base_configs()).unwrap();
+                    service.unregister(churn.fingerprint());
+                }
+            });
+        });
+        // The churned scenario is gone; the stable one still answers from
+        // its (untouched) cache entries.
+        let slices = service.scenario_stats();
+        assert_eq!(slices.len(), 1);
+        assert_eq!(slices[0].fingerprint, stable.fingerprint());
+        let hits_before = stable.stats().cache_hits;
+        assert_eq!(stable.evaluate_batch(&cfgs).unwrap(), reference);
+        assert_eq!(stable.stats().cache_hits, hits_before + cfgs.len() as u64);
     }
 
     #[test]

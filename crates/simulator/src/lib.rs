@@ -82,7 +82,8 @@ pub use cost::PricingModel;
 pub use env::{ConfigMap, WorkflowEnvironment, WorkflowEnvironmentBuilder};
 pub use error::SimulatorError;
 pub use eval::{
-    derive_seed, EvalEngine, EvalOptions, EvalService, EvalStats, ScenarioEvalStats, ScenarioHandle,
+    derive_seed, EvalEngine, EvalOptions, EvalService, EvalStats, ScenarioEvalStats,
+    ScenarioHandle, ServiceSnapshot,
 };
 pub use executor::{ExecutionReport, FunctionExecution};
 pub use input::{InputClass, InputSpec};
@@ -99,6 +100,7 @@ pub mod prelude {
     pub use crate::error::SimulatorError;
     pub use crate::eval::{
         EvalEngine, EvalOptions, EvalService, EvalStats, ScenarioEvalStats, ScenarioHandle,
+        ServiceSnapshot,
     };
     pub use crate::executor::ExecutionReport;
     pub use crate::input::{InputClass, InputSpec};

@@ -33,6 +33,17 @@ impl SpecFormat {
             SpecFormat::Json => "json",
         }
     }
+
+    /// Sniffs the format of raw spec bytes: JSON iff the first
+    /// non-whitespace byte is `{`, YAML otherwise (YAML documents start
+    /// with a key, a comment or a `---` marker; a YAML flow mapping at the
+    /// top level would be valid JSON anyway).
+    pub fn sniff(bytes: &[u8]) -> Self {
+        match bytes.iter().find(|b| !b.is_ascii_whitespace()) {
+            Some(b'{') => SpecFormat::Json,
+            _ => SpecFormat::Yaml,
+        }
+    }
 }
 
 /// Parses a spec from YAML text.
@@ -51,6 +62,23 @@ pub fn from_yaml_str(text: &str) -> Result<ScenarioSpec, SpecError> {
 /// Returns [`SpecError::Parse`] on malformed text or schema mismatches.
 pub fn from_json_str(text: &str) -> Result<ScenarioSpec, SpecError> {
     serde_json::from_str(text).map_err(|e| SpecError::Parse(e.to_string()))
+}
+
+/// Parses a spec from raw in-memory bytes, sniffing the format with
+/// [`SpecFormat::sniff`] — the disk-free entry point used by the serving
+/// layer for uploaded scenario bodies.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Parse`] on non-UTF-8 input, malformed text or
+/// schema mismatches.
+pub fn from_slice(bytes: &[u8]) -> Result<ScenarioSpec, SpecError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| SpecError::Parse(format!("spec is not valid utf-8: {e}")))?;
+    match SpecFormat::sniff(bytes) {
+        SpecFormat::Yaml => from_yaml_str(text),
+        SpecFormat::Json => from_json_str(text),
+    }
 }
 
 /// Serializes a spec in the given format.
@@ -124,6 +152,42 @@ mod tests {
             let from_json = from_json_str(&json).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(from_json, spec, "{name} JSON round trip");
         }
+    }
+
+    #[test]
+    fn from_slice_sniffs_yaml_and_json() {
+        for (name, spec) in builtin_specs() {
+            let yaml = to_string(&spec, SpecFormat::Yaml);
+            assert_eq!(SpecFormat::sniff(yaml.as_bytes()), SpecFormat::Yaml);
+            assert_eq!(
+                from_slice(yaml.as_bytes()).unwrap_or_else(|e| panic!("{name}: {e}")),
+                spec,
+                "{name} YAML from_slice"
+            );
+            let json = to_string(&spec, SpecFormat::Json);
+            assert_eq!(SpecFormat::sniff(json.as_bytes()), SpecFormat::Json);
+            // Leading whitespace must not defeat the sniffer.
+            let padded = format!("\n  \t{json}");
+            assert_eq!(SpecFormat::sniff(padded.as_bytes()), SpecFormat::Json);
+            assert_eq!(
+                from_slice(padded.as_bytes()).unwrap_or_else(|e| panic!("{name}: {e}")),
+                spec,
+                "{name} JSON from_slice"
+            );
+            // The inherent method is the same entry point.
+            assert_eq!(ScenarioSpec::from_slice(json.as_bytes()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn from_slice_rejects_bad_input_without_touching_disk() {
+        assert!(from_slice(&[0xff, 0xfe, 0x00]).is_err(), "non-utf8");
+        let err = from_slice(b"{ not json").unwrap_err();
+        assert!(err.to_string().contains("parse"), "{err}");
+        assert!(
+            from_slice(b"version: 1\nname: t\n").is_err(),
+            "missing fields"
+        );
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub mod validate;
 pub use compile::{compile, CompiledScenario};
 pub use error::{SpecError, ValidationIssue};
 pub use export::{builtin_specs, export, BUILTIN_NAMES};
-pub use io::{from_json_str, from_yaml_str, load, save, to_string, SpecFormat};
+pub use io::{from_json_str, from_slice, from_yaml_str, load, save, to_string, SpecFormat};
 pub use schema::{
     AffinityDecl, ClassDecl, ClusterDecl, ColdStartDecl, ConfigDecl, EdgeDecl, FunctionDecl,
     InputClassDecl, InputDecl, KindDecl, PricingDecl, ProfileDecl, ScenarioSpec, SpaceDecl,
@@ -82,7 +82,7 @@ pub mod prelude {
     pub use crate::compile::{compile, CompiledScenario};
     pub use crate::error::SpecError;
     pub use crate::export::{builtin_specs, export};
-    pub use crate::io::{from_json_str, from_yaml_str, load, save, SpecFormat};
+    pub use crate::io::{from_json_str, from_slice, from_yaml_str, load, save, SpecFormat};
     pub use crate::schema::ScenarioSpec;
     pub use crate::validate::validate;
 }

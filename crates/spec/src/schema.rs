@@ -59,6 +59,19 @@ impl ScenarioSpec {
         let canonical = crate::io::to_string(self, crate::io::SpecFormat::Json);
         aarc_simulator::eval::fnv1a_64(canonical.bytes())
     }
+
+    /// Parses a spec from raw in-memory bytes, sniffing YAML vs JSON from
+    /// the content (see [`SpecFormat::sniff`](crate::io::SpecFormat::sniff)).
+    /// Uploaded scenario bodies go through this entry point — they never
+    /// touch disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`](crate::error::SpecError) on non-UTF-8 input,
+    /// malformed text or schema mismatches.
+    pub fn from_slice(bytes: &[u8]) -> Result<Self, crate::error::SpecError> {
+        crate::io::from_slice(bytes)
+    }
 }
 
 /// One serverless function: identity, advisory affinity and profile.
