@@ -25,21 +25,26 @@
 //! throughput or aggregate shared-pool throughput, on parallel speedup
 //! below `--min-speedup`, or on a zero cache hit rate.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use aarc_simulator::{ConfigMap, EvalOptions, EvalService, ResourceConfig};
+use aarc_simulator::{ConfigMap, EvalOptions, EvalService, EvalTelemetry, ResourceConfig};
+use aarc_telemetry::{FlightRecorder, Recorder};
 use aarc_workloads::Workload;
 
 use crate::methods;
+use crate::version::VersionInfo;
 
 /// Version stamp of the `BENCH_*.json` schema (2 added the aggregate
-/// shared-pool phase; version-1 baselines still parse, they just carry no
-/// aggregate to gate against).
-pub const BENCH_VERSION: u32 = 2;
+/// shared-pool phase; 3 added per-batch eval latency percentiles and build
+/// provenance). Version-1/2 baselines still parse — the added fields are
+/// optional and simply absent, so they carry no latency or provenance to
+/// gate against.
+pub const BENCH_VERSION: u32 = 3;
 
 /// One timed batch evaluation at a fixed thread count.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -50,6 +55,21 @@ pub struct ThroughputPhase {
     pub simulations: u64,
     /// Simulations per second.
     pub sims_per_sec: f64,
+}
+
+/// Per-request eval latency percentiles, from the telemetry histograms
+/// attached to the search phase's service (batch and probe requests
+/// merged, so probe-only methods contribute too).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LatencyPercentiles {
+    /// Median eval request latency, ms.
+    pub p50_ms: f64,
+    /// 90th-percentile eval request latency, ms.
+    pub p90_ms: f64,
+    /// 99th-percentile eval request latency, ms.
+    pub p99_ms: f64,
+    /// Requests the percentiles were computed over.
+    pub samples: u64,
 }
 
 /// One timed all-methods search run through a shared memoising engine.
@@ -67,6 +87,8 @@ pub struct SearchPhase {
     pub cache_misses: u64,
     /// Fraction of evaluations served from the cache.
     pub cache_hit_rate: f64,
+    /// Eval request latency percentiles (absent in version-1/2 baselines).
+    pub latency: Option<LatencyPercentiles>,
 }
 
 /// Benchmark results of one scenario.
@@ -114,6 +136,9 @@ pub struct BenchReport {
     /// The aggregate shared-pool phase over all scenarios (absent in
     /// version-1 baselines).
     pub aggregate: Option<AggregatePhase>,
+    /// Provenance of the binary that produced the report (absent in
+    /// version-1/2 baselines).
+    pub build_info: Option<VersionInfo>,
     /// Sum of the per-scenario search wall-clocks, ms.
     pub total_search_wall_ms: f64,
     /// Geometric mean of the per-scenario parallel speedups.
@@ -176,9 +201,17 @@ fn time_batch(
 }
 
 /// Runs all four search methods through one shared memoising service and
-/// times the whole sweep.
+/// times the whole sweep. The service carries telemetry instruments so the
+/// phase also reports per-request eval latency percentiles.
 fn time_search(workload: &Workload, threads: usize) -> Result<SearchPhase, String> {
     let service = EvalService::with_threads(threads);
+    let recorder = Recorder::new();
+    service
+        .attach_telemetry(EvalTelemetry::new(
+            &recorder,
+            Arc::new(FlightRecorder::new(1)),
+        ))
+        .expect("fresh service has no telemetry attached");
     let handle = service.register(workload.env().clone());
     let mut samples = 0u64;
     let start = Instant::now();
@@ -190,6 +223,23 @@ fn time_search(workload: &Workload, threads: usize) -> Result<SearchPhase, Strin
     }
     let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
     let stats = handle.stats();
+    // Batch and probe requests merged: probe-only methods would otherwise
+    // leave the percentiles empty.
+    let mut latency_hist = recorder.histogram("aarc_eval_batch_seconds", "").snapshot();
+    latency_hist.merge(&recorder.histogram("aarc_eval_probe_seconds", "").snapshot());
+    let latency = match (
+        latency_hist.quantile_ms(0.50),
+        latency_hist.quantile_ms(0.90),
+        latency_hist.quantile_ms(0.99),
+    ) {
+        (Some(p50_ms), Some(p90_ms), Some(p99_ms)) => Some(LatencyPercentiles {
+            p50_ms,
+            p90_ms,
+            p99_ms,
+            samples: latency_hist.count(),
+        }),
+        _ => None,
+    };
     Ok(SearchPhase {
         wall_ms,
         samples,
@@ -197,6 +247,7 @@ fn time_search(workload: &Workload, threads: usize) -> Result<SearchPhase, Strin
         cache_hits: stats.cache_hits,
         cache_misses: stats.cache_misses,
         cache_hit_rate: stats.hit_rate(),
+        latency,
     })
 }
 
@@ -287,6 +338,7 @@ pub fn run_bench(
         batch,
         scenarios,
         aggregate: Some(aggregate),
+        build_info: Some(VersionInfo::current()),
         total_search_wall_ms,
         mean_speedup,
     })
@@ -412,11 +464,54 @@ mod tests {
         let aggregate = report.aggregate.expect("aggregate phase is always run");
         assert_eq!(aggregate.simulations, 32, "one batch per scenario");
         assert!(aggregate.sims_per_sec > 0.0);
+        let latency = s.search.latency.expect("search phase records latency");
+        assert!(latency.samples > 0);
+        assert!(latency.p50_ms > 0.0);
+        assert!(latency.p50_ms <= latency.p90_ms);
+        assert!(latency.p90_ms <= latency.p99_ms);
+        let build = report.build_info.as_ref().expect("provenance is stamped");
+        assert_eq!(*build, crate::version::VersionInfo::current());
         let json = serde_json::to_string_pretty(&report).unwrap();
         let parsed: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed.scenarios[0].scenario, s.scenario);
         assert_eq!(parsed.scenarios[0].spec_fingerprint, s.spec_fingerprint);
         assert!(parsed.aggregate.is_some());
+        assert!(parsed.scenarios[0].search.latency.is_some());
+        assert_eq!(parsed.build_info, report.build_info);
+    }
+
+    /// Removes every occurrence of `key` anywhere in a JSON tree — used to
+    /// reconstruct the older baseline schemas from a current report.
+    fn strip_key(v: &mut serde::Value, key: &str) {
+        match v {
+            serde::Value::Map(entries) => {
+                entries.retain(|(k, _)| k != key);
+                for (_, child) in entries.iter_mut() {
+                    strip_key(child, key);
+                }
+            }
+            serde::Value::Seq(items) => {
+                for item in items.iter_mut() {
+                    strip_key(item, key);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn version_2_baselines_without_latency_or_build_info_still_parse() {
+        let path = tiny_spec_path();
+        let report = run_bench(&[path], 1, 8).unwrap();
+        let mut v2 = serde_json::to_value(&report);
+        strip_key(&mut v2, "latency");
+        strip_key(&mut v2, "build_info");
+        let parsed: BenchReport = serde_json::from_value(&v2).unwrap();
+        assert!(parsed.scenarios[0].search.latency.is_none());
+        assert!(parsed.build_info.is_none());
+        // Gating against a pre-latency baseline works unchanged: the gate
+        // only reads wall-clock and throughput, which v2 still carries.
+        assert!(gate_failures(&report, Some(&parsed), 0.2, None).is_empty());
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::path::{Path, PathBuf};
 use aarc_core::report::ConfigurationReport;
 use aarc_simulator::{EvalEngine, EvalService};
 use aarc_spec::{compile, load, validate, SpecFormat, SynthParams};
+use aarc_telemetry::{LogFormat, LogLevel, Logger};
 
 use crate::args::Args;
 use crate::bench;
@@ -31,15 +32,18 @@ USAGE:
                                                 emit BENCH_*.json perf measurements
                                                 and gate against a committed baseline
     aarc serve [--addr HOST:PORT] [--threads N]
+               [--log-level error|warn|info|debug] [--log-format text|json]
                                                 long-running configuration daemon:
                                                 upload/validate/list/delete scenarios,
                                                 start/poll/pause/cancel search sessions,
-                                                fetch reports, scrape /metrics over a
-                                                JSON HTTP API (default addr
-                                                127.0.0.1:7411; port 0 = ephemeral).
-                                                POST /shutdown drains sessions and
-                                                exits 0 (SIGTERM cannot be trapped in
-                                                this no-libc build)
+                                                fetch reports, scrape /metrics,
+                                                /version, /debug/events and per-session
+                                                convergence traces over a JSON HTTP API
+                                                (default addr 127.0.0.1:7411; port 0 =
+                                                ephemeral). Structured logs go to
+                                                stderr. POST /shutdown drains sessions
+                                                and exits 0 (SIGTERM cannot be trapped
+                                                in this no-libc build)
     aarc export-builtin [--dir DIR] [--format yaml|json]
                                                 write the three paper workloads as specs
     aarc generate --seed N [--layers N] [--max-width N] [--edge-prob P]
@@ -145,7 +149,7 @@ fn parse_threads(args: &Args) -> Result<usize, String> {
 }
 
 fn cmd_serve(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["addr", "threads"])?;
+    let args = Args::parse(argv, &["addr", "threads", "log-level", "log-format"])?;
     if !args.positional().is_empty() {
         return Err(format!(
             "serve takes no positional arguments (got `{}`)",
@@ -154,7 +158,15 @@ fn cmd_serve(argv: &[String]) -> Result<(), String> {
     }
     let addr = args.get("addr").unwrap_or("127.0.0.1:7411");
     let threads = parse_threads(&args)?;
-    crate::serve::run_serve(addr, threads)
+    let level = match args.get("log-level") {
+        None => LogLevel::Info,
+        Some(raw) => LogLevel::parse(raw).map_err(|e| format!("--log-level: {e}"))?,
+    };
+    let format = match args.get("log-format") {
+        None => LogFormat::Text,
+        Some(raw) => LogFormat::parse(raw).map_err(|e| format!("--log-format: {e}"))?,
+    };
+    crate::serve::run_serve(addr, threads, Logger::new(level, format))
 }
 
 fn cmd_run(argv: &[String]) -> Result<(), String> {

@@ -27,10 +27,24 @@ const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 pub struct Request {
     /// Uppercase method token (`GET`, `POST`, `DELETE`, ...).
     pub method: String,
-    /// Request path, query string stripped (the API uses none).
+    /// Request path with the query string stripped.
     pub path: String,
+    /// Raw query string (without the `?`); empty when the target has none.
+    pub query: String,
     /// Raw request body (`Content-Length` bytes).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Looks up a query parameter by name in `key=value&...` form.
+    /// Returns the raw value (no percent-decoding — the API's parameters
+    /// are plain integers); a bare `key` without `=` yields `""`.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+            (key == name).then_some(value)
+        })
+    }
 }
 
 /// A malformed or oversized request, reported to the client as 400.
@@ -93,7 +107,10 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, BadReques
     if !version.starts_with("HTTP/1.") {
         return Err(BadRequest(format!("unsupported protocol `{version}`")));
     }
-    let path = target.split('?').next().unwrap_or(target).to_owned();
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_owned(), query.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
 
     let mut content_length: usize = 0;
     for line in lines {
@@ -126,7 +143,12 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, BadReques
         body.extend_from_slice(&chunk[..n]);
     }
     body.truncate(content_length);
-    Ok(Some(Request { method, path, body }))
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        body,
+    }))
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
@@ -262,6 +284,24 @@ mod tests {
             .unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/sessions/3");
+        assert_eq!(req.query, "verbose=1");
+    }
+
+    #[test]
+    fn query_params_are_retrievable() {
+        let req = roundtrip(b"GET /debug/events?limit=16&flag&x=a=b HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.query_param("limit"), Some("16"));
+        assert_eq!(req.query_param("flag"), Some(""));
+        assert_eq!(req.query_param("x"), Some("a=b"));
+        assert_eq!(req.query_param("absent"), None);
+
+        let bare = roundtrip(b"GET /metrics HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(bare.query, "");
+        assert_eq!(bare.query_param("limit"), None);
     }
 
     #[test]

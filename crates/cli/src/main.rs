@@ -6,7 +6,7 @@
 //! aarc compare --spec FILE [--threads N] [--out FILE] [--format json|csv]
 //! aarc sweep <spec|dir>... [--methods a,b] [--classes c,d] [--threads N] [--format json|csv]
 //! aarc bench <spec>... [--threads N] [--batch N] [--out FILE] [--baseline FILE]
-//! aarc serve [--addr HOST:PORT] [--threads N]
+//! aarc serve [--addr HOST:PORT] [--threads N] [--log-level LEVEL] [--log-format text|json]
 //! aarc export-builtin [--dir DIR] [--format yaml|json]
 //! aarc generate --seed N [--layers N] [--max-width N] [--out FILE]
 //! ```
@@ -27,6 +27,7 @@ mod methods;
 mod report;
 mod serve;
 mod sweep;
+mod version;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

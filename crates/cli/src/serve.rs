@@ -25,25 +25,85 @@
 use std::collections::BTreeMap;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
 use aarc_core::report::ConfigurationReport;
-use aarc_core::{AarcError, SearchSession, SessionProgress, SessionState};
-use aarc_simulator::{EvalService, ScenarioHandle};
+use aarc_core::{AarcError, RoundPoint, SearchSession, SessionProgress, SessionState};
+use aarc_simulator::{EvalService, EvalTelemetry, ScenarioHandle};
 use aarc_spec::{validate, ScenarioSpec};
+use aarc_telemetry::{
+    events_json, FieldValue, FlightRecorder, Histogram, LogLevel, Logger, Recorder,
+};
 use aarc_workloads::Workload;
 
 use crate::http::{read_request, Request, Response};
 use crate::methods;
 use crate::sweep::SweepClass;
+use crate::version::VersionInfo;
 
 /// How long a connection may sit idle before the daemon gives up on it
 /// (bounds shutdown latency: a drained daemon only waits this long for
 /// stragglers).
 const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Events retained by the daemon's flight recorder (served from
+/// `GET /debug/events`).
+const FLIGHT_CAPACITY: usize = 1024;
+
+/// Default and maximum `limit` of `GET /debug/events`.
+const DEFAULT_EVENT_LIMIT: usize = 64;
+
+/// The daemon's observability bundle: the metric registry every layer
+/// records into, the shared flight recorder, the structured logger, and
+/// the daemon's own latency histograms. Built once per `run_serve` and
+/// shared by reference with the connection handlers and the scheduler.
+pub struct ServeTelemetry {
+    recorder: Recorder,
+    flight: Arc<FlightRecorder>,
+    logger: Logger,
+    http_seconds: Arc<Histogram>,
+    step_seconds: Arc<Histogram>,
+}
+
+impl ServeTelemetry {
+    /// Creates the bundle and registers the daemon's own instruments.
+    pub fn new(logger: Logger) -> Self {
+        let recorder = Recorder::new();
+        let flight = Arc::new(FlightRecorder::new(FLIGHT_CAPACITY));
+        let http_seconds = recorder.histogram(
+            "aarc_http_request_seconds",
+            "Wall-clock latency of HTTP requests (read, route, respond).",
+        );
+        let step_seconds = recorder.histogram(
+            "aarc_session_step_seconds",
+            "Wall-clock latency of one session scheduler step (ask/evaluate/tell).",
+        );
+        ServeTelemetry {
+            recorder,
+            flight,
+            logger,
+            http_seconds,
+            step_seconds,
+        }
+    }
+
+    /// A bundle that logs errors only — the default for router unit tests.
+    #[cfg(test)]
+    pub fn quiet() -> Self {
+        ServeTelemetry::new(Logger::new(
+            LogLevel::Error,
+            aarc_telemetry::LogFormat::Text,
+        ))
+    }
+
+    /// The instruments the [`EvalService`] should record into.
+    pub fn eval_telemetry(&self) -> EvalTelemetry {
+        EvalTelemetry::new(&self.recorder, Arc::clone(&self.flight))
+    }
+}
 
 /// One uploaded scenario in the runtime registry.
 struct ScenarioEntry<'s> {
@@ -109,6 +169,11 @@ struct Slot<'s> {
     want_pause: bool,
     want_cancel: bool,
     progress: SessionProgress,
+    /// Per-round convergence trace, copied incrementally from the
+    /// session's [`SearchSession::convergence`] after every step so
+    /// `GET /sessions/{id}/trace` works while the session runs and after
+    /// it finished (the session itself is consumed on finish).
+    trace: Vec<RoundPoint>,
     /// Exact `aarc run --format json` bytes of the winning configuration —
     /// byte-identical to the offline run of the same spec/method/SLO.
     report_json: Option<String>,
@@ -121,6 +186,7 @@ struct Slot<'s> {
 /// thread share it by reference inside one thread scope.
 struct ServeState<'s> {
     service: &'s EvalService,
+    telemetry: &'s ServeTelemetry,
     scenarios: Mutex<BTreeMap<String, ScenarioEntry<'s>>>,
     sessions: Mutex<BTreeMap<u64, Slot<'s>>>,
     next_session_id: AtomicU64,
@@ -128,9 +194,10 @@ struct ServeState<'s> {
 }
 
 impl<'s> ServeState<'s> {
-    fn new(service: &'s EvalService) -> Self {
+    fn new(service: &'s EvalService, telemetry: &'s ServeTelemetry) -> Self {
         ServeState {
             service,
+            telemetry,
             scenarios: Mutex::new(BTreeMap::new()),
             sessions: Mutex::new(BTreeMap::new()),
             next_session_id: AtomicU64::new(1),
@@ -166,7 +233,7 @@ impl<'s> ServeState<'s> {
 ///
 /// Returns a user-facing message when the listener cannot bind; runtime
 /// errors of individual requests are reported to the client, never fatal.
-pub fn run_serve(addr: &str, threads: usize) -> Result<(), String> {
+pub fn run_serve(addr: &str, threads: usize, logger: Logger) -> Result<(), String> {
     let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let local = listener
         .local_addr()
@@ -175,11 +242,23 @@ pub fn run_serve(addr: &str, threads: usize) -> Result<(), String> {
         .set_nonblocking(true)
         .map_err(|e| format!("cannot configure listener: {e}"))?;
     let service = EvalService::with_threads(threads);
-    let state = ServeState::new(&service);
+    let telemetry = ServeTelemetry::new(logger);
+    service
+        .attach_telemetry(telemetry.eval_telemetry())
+        .expect("fresh service has no telemetry attached");
+    let state = ServeState::new(&service, &telemetry);
     // The readiness line is the machine-readable contract of the CI smoke
     // job and the integration tests: they parse the bound (possibly
-    // ephemeral) port out of it.
+    // ephemeral) port out of it. It must stay the FIRST stderr line, so it
+    // is printed before any log record.
     eprintln!("aarc serve: listening on {local} ({threads} worker threads)");
+    telemetry.logger.info(
+        "serve_started",
+        &[
+            ("addr", FieldValue::Str(local.to_string())),
+            ("threads", FieldValue::U64(threads as u64)),
+        ],
+    );
 
     std::thread::scope(|scope| {
         scope.spawn(|| scheduler_loop(&state));
@@ -202,6 +281,7 @@ pub fn run_serve(addr: &str, threads: usize) -> Result<(), String> {
             }
         }
     });
+    telemetry.logger.info("serve_drained", &[]);
     eprintln!("aarc serve: drained, exiting");
     Ok(())
 }
@@ -238,13 +318,26 @@ fn scheduler_loop(state: &ServeState<'_>) {
                 })
             };
             let Some(mut session) = taken else { continue };
+            let step_start = Instant::now();
             let outcome_state = session.step();
+            let step_ns = step_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            state.telemetry.step_seconds.record_ns(step_ns);
             stepped = true;
             let mut sessions = state.sessions.lock().expect("session table poisoned");
             let slot = sessions.get_mut(&id).expect("slots are never removed");
             slot.progress = session.progress().clone();
+            slot.trace
+                .extend_from_slice(&session.convergence()[slot.trace.len()..]);
+            state.telemetry.flight.record(
+                "session_step",
+                vec![
+                    ("session", FieldValue::U64(id)),
+                    ("rounds", FieldValue::U64(slot.progress.rounds)),
+                    ("duration_us", FieldValue::U64(step_ns / 1_000)),
+                ],
+            );
             if outcome_state == SessionState::Finished {
-                finalize_slot(slot, session);
+                finalize_slot(slot, session, state.telemetry);
             } else {
                 slot.session = Some(session);
             }
@@ -298,8 +391,10 @@ fn apply_controls(slot: &mut Slot<'_>) {
 /// Moves a finished session's outcome into its slot: the final report is
 /// rendered once, as the exact bytes `aarc run --format json` would emit
 /// for the same spec/method/SLO.
-fn finalize_slot(slot: &mut Slot<'_>, session: SearchSession<'_>) {
+fn finalize_slot(slot: &mut Slot<'_>, session: SearchSession<'_>, telemetry: &ServeTelemetry) {
     let handle = session.handle().clone();
+    slot.trace
+        .extend_from_slice(&session.convergence()[slot.trace.len()..]);
     let outcome = session
         .into_outcome()
         .expect("finalize is only called on finished sessions");
@@ -332,17 +427,69 @@ fn finalize_slot(slot: &mut Slot<'_>, session: SearchSession<'_>) {
             slot.phase = Phase::Failed;
         }
     }
+    let mut fields = vec![
+        ("session", FieldValue::U64(slot.id)),
+        ("scenario", FieldValue::Str(slot.scenario.clone())),
+        ("state", FieldValue::Str(slot.phase.label().to_owned())),
+        ("rounds", FieldValue::U64(slot.progress.rounds)),
+        ("evals", FieldValue::U64(slot.progress.evals)),
+    ];
+    if let Some(summary) = &slot.summary {
+        fields.push(("final_cost", FieldValue::F64(summary.final_cost)));
+        fields.push((
+            "final_makespan_ms",
+            FieldValue::F64(summary.final_makespan_ms),
+        ));
+    }
+    if let Some(error) = &slot.error {
+        fields.push(("error", FieldValue::Str(error.clone())));
+    }
+    telemetry.flight.record("session_finished", fields.clone());
+    let level = if slot.phase == Phase::Failed {
+        LogLevel::Warn
+    } else {
+        LogLevel::Info
+    };
+    telemetry.logger.log(level, "session_finished", &fields);
 }
 
 /// Serves one connection: read a request, route it, write the response.
+/// Each request is timed into `aarc_http_request_seconds`, appended to the
+/// flight recorder and logged as one structured line.
 fn handle_connection(state: &ServeState<'_>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let response = match read_request(&mut stream) {
+    let started = Instant::now();
+    let (response, method, path) = match read_request(&mut stream) {
         Ok(None) => return,
-        Err(e) => Response::error(400, &e.to_string()),
-        Ok(Some(request)) => route(state, &request),
+        Err(e) => (
+            Response::error(400, &e.to_string()),
+            "-".to_owned(),
+            "-".to_owned(),
+        ),
+        Ok(Some(request)) => {
+            let method = request.method.clone();
+            let path = request.path.clone();
+            (route(state, &request), method, path)
+        }
     };
+    let status = response.status;
     let _ = response.write_to(&mut stream);
+    let duration_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    let telemetry = state.telemetry;
+    telemetry.http_seconds.record_ns(duration_ns);
+    let fields = vec![
+        ("method", FieldValue::Str(method)),
+        ("path", FieldValue::Str(path)),
+        ("status", FieldValue::U64(u64::from(status))),
+        ("duration_us", FieldValue::U64(duration_ns / 1_000)),
+    ];
+    telemetry.flight.record("http_request", fields.clone());
+    let level = if status >= 500 {
+        LogLevel::Warn
+    } else {
+        LogLevel::Info
+    };
+    telemetry.logger.log(level, "http_request", &fields);
 }
 
 // ---------------------------------------------------------------------------
@@ -355,6 +502,8 @@ fn route(state: &ServeState<'_>, request: &Request) -> Response {
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => Response::json(200, "{\"status\": \"ok\"}\n".to_owned()),
         ("GET", ["metrics"]) => Response::text(200, render_metrics(state)),
+        ("GET", ["version"]) => json_response(200, &VersionInfo::current()),
+        ("GET", ["debug", "events"]) => debug_events(state, request),
         ("GET", ["scenarios"]) => list_scenarios(state),
         ("POST", ["scenarios"]) => upload_scenario(state, &request.body),
         ("POST", ["scenarios", "validate"]) => validate_scenario(&request.body),
@@ -363,14 +512,15 @@ fn route(state: &ServeState<'_>, request: &Request) -> Response {
         ("POST", ["sessions"]) => start_session(state, &request.body),
         ("GET", ["sessions", id]) => with_session_id(id, |id| session_status(state, id)),
         ("GET", ["sessions", id, "report"]) => with_session_id(id, |id| session_report(state, id)),
+        ("GET", ["sessions", id, "trace"]) => with_session_id(id, |id| session_trace(state, id)),
         ("POST", ["sessions", id, action @ ("pause" | "resume" | "cancel")]) => {
             with_session_id(id, |id| control_session(state, id, action))
         }
         ("POST", ["shutdown"]) => request_shutdown(state),
         (
             _,
-            ["healthz" | "metrics" | "scenarios" | "sessions" | "shutdown"]
-            | ["scenarios" | "sessions", ..],
+            ["healthz" | "metrics" | "version" | "scenarios" | "sessions" | "shutdown"]
+            | ["scenarios" | "sessions" | "debug", ..],
         ) => Response::error(405, &format!("method {} not allowed here", request.method)),
         _ => Response::error(404, &format!("no such endpoint `{}`", request.path)),
     }
@@ -471,6 +621,17 @@ fn upload_scenario(state: &ServeState<'_>, body: &[u8]) -> Response {
             handles: BTreeMap::new(),
         },
     );
+    let fields = vec![
+        ("scenario", FieldValue::Str(reply.name.clone())),
+        ("functions", FieldValue::U64(reply.functions as u64)),
+        ("edges", FieldValue::U64(reply.edges as u64)),
+        ("slo_ms", FieldValue::F64(reply.slo_ms)),
+    ];
+    state
+        .telemetry
+        .flight
+        .record("scenario_registered", fields.clone());
+    state.telemetry.logger.info("scenario_registered", &fields);
     json_response(201, &reply)
 }
 
@@ -537,6 +698,15 @@ fn delete_scenario(state: &ServeState<'_>, name: &str) -> Response {
     for handle in entry.handles.values() {
         state.service.unregister(handle.fingerprint());
     }
+    let fields = vec![
+        ("scenario", FieldValue::Str(name.to_owned())),
+        ("classes", FieldValue::U64(entry.handles.len() as u64)),
+    ];
+    state
+        .telemetry
+        .flight
+        .record("scenario_deleted", fields.clone());
+    state.telemetry.logger.info("scenario_deleted", &fields);
     #[derive(Serialize)]
     struct DeleteReply {
         deleted: String,
@@ -631,6 +801,7 @@ fn start_session(state: &ServeState<'_>, body: &[u8]) -> Response {
         want_pause: false,
         want_cancel: false,
         progress: SessionProgress::default(),
+        trace: Vec::new(),
         report_json: None,
         summary: None,
         error: None,
@@ -648,6 +819,18 @@ fn start_session(state: &ServeState<'_>, body: &[u8]) -> Response {
         .lock()
         .expect("session table poisoned")
         .insert(id, slot);
+    let fields = vec![
+        ("session", FieldValue::U64(id)),
+        ("scenario", FieldValue::Str(reply.scenario.clone())),
+        ("method", FieldValue::Str(reply.method.clone())),
+        ("class", FieldValue::Str(reply.class.clone())),
+        ("slo_ms", FieldValue::F64(slo_ms)),
+    ];
+    state
+        .telemetry
+        .flight
+        .record("session_started", fields.clone());
+    state.telemetry.logger.info("session_started", &fields);
     json_response(201, &reply)
 }
 
@@ -736,6 +919,65 @@ fn session_report(state: &ServeState<'_>, id: u64) -> Response {
     }
 }
 
+/// Reply of `GET /sessions/{id}/trace`: the per-round convergence trace,
+/// one point per completed ask/evaluate/tell round. Available while the
+/// session runs (plot search progress live) and after it finished.
+#[derive(Debug, Serialize)]
+struct TraceReply {
+    id: u64,
+    scenario: String,
+    method: String,
+    class: String,
+    state: String,
+    rounds: Vec<RoundPoint>,
+}
+
+/// `GET /sessions/{id}/trace`.
+fn session_trace(state: &ServeState<'_>, id: u64) -> Response {
+    let sessions = state.sessions.lock().expect("session table poisoned");
+    let Some(slot) = sessions.get(&id) else {
+        return Response::error(404, &format!("no session {id}"));
+    };
+    json_response(
+        200,
+        &TraceReply {
+            id: slot.id,
+            scenario: slot.scenario.clone(),
+            method: slot.method.clone(),
+            class: slot.class.clone(),
+            state: slot.phase.label().to_owned(),
+            rounds: slot.trace.clone(),
+        },
+    )
+}
+
+/// `GET /debug/events?limit=N`: the flight recorder's tail (most recent
+/// events, oldest first). `limit` defaults to 64 and is capped at the
+/// ring's capacity.
+fn debug_events(state: &ServeState<'_>, request: &Request) -> Response {
+    let limit = match request.query_param("limit") {
+        None => DEFAULT_EVENT_LIMIT,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(limit) => limit.min(FLIGHT_CAPACITY),
+            Err(_) => {
+                return Response::error(
+                    400,
+                    &format!("limit `{raw}` is not a non-negative integer"),
+                )
+            }
+        },
+    };
+    let flight = &state.telemetry.flight;
+    let events = flight.tail(limit);
+    let body = format!(
+        "{{\"total\":{},\"capacity\":{},\"events\":{}}}\n",
+        flight.total_recorded(),
+        flight.capacity(),
+        events_json(&events)
+    );
+    Response::json(200, body)
+}
+
 /// `POST /sessions/{id}/pause|resume|cancel`: record the request; the
 /// scheduler applies it between steps.
 fn control_session(state: &ServeState<'_>, id: u64, action: &str) -> Response {
@@ -788,16 +1030,28 @@ fn json_response<T: Serialize>(status: u16, value: &T) -> Response {
 // /metrics
 // ---------------------------------------------------------------------------
 
-/// Renders the Prometheus-style text exposition: eval-service counters
-/// from [`EvalService::stats_snapshot`] plus per-session progress gauges.
 /// Escapes a Prometheus label value (`\` → `\\`, `"` → `\"`, newline →
 /// `\n`, per the text exposition format).
 fn metric_label(raw: &str) -> String {
-    raw.replace('\\', "\\\\")
-        .replace('"', "\\\"")
-        .replace('\n', "\\n")
+    aarc_telemetry::prom::escape_label_value(raw)
 }
 
+/// Writes one `# HELP`/`# TYPE` header pair for a daemon-rendered family.
+fn family_header(out: &mut String, name: &str, kind: &str, help: &str) {
+    use std::fmt::Write;
+    let _ = writeln!(
+        out,
+        "# HELP {name} {}\n# TYPE {name} {kind}",
+        aarc_telemetry::prom::escape_help(help)
+    );
+}
+
+/// Renders the Prometheus text exposition: eval-service counters from
+/// [`EvalService::stats_snapshot`], per-session progress gauges, build
+/// provenance, and every instrument of the shared telemetry
+/// [`Recorder`] (latency histograms, kernel counters, sims/sec gauge).
+/// Every family carries `# HELP`/`# TYPE` headers and keeps its samples
+/// consecutive, as the exposition format requires.
 fn render_metrics(state: &ServeState<'_>) -> String {
     use std::fmt::Write;
     let snapshot = state.service.stats_snapshot();
@@ -806,95 +1060,176 @@ fn render_metrics(state: &ServeState<'_>) -> String {
         .lock()
         .expect("scenario registry poisoned")
         .len();
-    let mut out = String::with_capacity(2048);
-    let _ = writeln!(
-        out,
-        "# HELP aarc_eval_requests_total Candidate evaluations requested (cache hits + misses).\n\
-         # TYPE aarc_eval_requests_total counter\n\
-         aarc_eval_requests_total {}",
-        snapshot.stats.requests
+    let mut out = String::with_capacity(8192);
+
+    let build = VersionInfo::current();
+    family_header(
+        &mut out,
+        "aarc_build_info",
+        "gauge",
+        "Build provenance; the value is always 1, the labels carry the data.",
     );
     let _ = writeln!(
         out,
-        "# TYPE aarc_eval_cache_hits_total counter\naarc_eval_cache_hits_total {}",
-        snapshot.stats.cache_hits
+        "aarc_build_info{{version=\"{}\",rustc=\"{}\",profile=\"{}\"}} 1",
+        metric_label(&build.version),
+        metric_label(&build.rustc),
+        metric_label(&build.profile)
     );
-    let _ = writeln!(
-        out,
-        "# TYPE aarc_eval_cache_misses_total counter\naarc_eval_cache_misses_total {}",
-        snapshot.stats.cache_misses
-    );
-    let _ = writeln!(
-        out,
-        "# TYPE aarc_eval_evictions_total counter\naarc_eval_evictions_total {}",
-        snapshot.stats.evictions
-    );
-    let _ = writeln!(
-        out,
-        "# TYPE aarc_eval_cached_entries gauge\naarc_eval_cached_entries {}",
-        snapshot.cached_entries
-    );
-    let _ = writeln!(
-        out,
-        "# TYPE aarc_eval_threads gauge\naarc_eval_threads {}",
-        snapshot.stats.threads
-    );
-    let _ = writeln!(
-        out,
-        "# TYPE aarc_eval_scenarios_registered gauge\naarc_eval_scenarios_registered {}",
-        snapshot.registered_scenarios
-    );
-    let _ = writeln!(
-        out,
-        "# TYPE aarc_scenarios gauge\naarc_scenarios {scenario_count}"
-    );
+
+    for (name, help, value) in [
+        (
+            "aarc_eval_requests_total",
+            "Candidate evaluations requested (cache hits + misses).",
+            snapshot.stats.requests,
+        ),
+        (
+            "aarc_eval_cache_hits_total",
+            "Evaluations answered from the memo-cache.",
+            snapshot.stats.cache_hits,
+        ),
+        (
+            "aarc_eval_cache_misses_total",
+            "Evaluations that required simulation.",
+            snapshot.stats.cache_misses,
+        ),
+        (
+            "aarc_eval_evictions_total",
+            "Memo-cache entries evicted under capacity pressure.",
+            snapshot.stats.evictions,
+        ),
+    ] {
+        family_header(&mut out, name, "counter", help);
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, help, value) in [
+        (
+            "aarc_eval_cached_entries",
+            "Memo-cache entries currently resident.",
+            snapshot.cached_entries as u64,
+        ),
+        (
+            "aarc_eval_threads",
+            "Worker threads of the shared evaluation pool.",
+            snapshot.stats.threads as u64,
+        ),
+        (
+            "aarc_eval_scenarios_registered",
+            "Scenario environments registered with the evaluation service.",
+            snapshot.registered_scenarios as u64,
+        ),
+        (
+            "aarc_scenarios",
+            "Scenarios in the daemon's runtime registry.",
+            scenario_count as u64,
+        ),
+    ] {
+        family_header(&mut out, name, "gauge", help);
+        let _ = writeln!(out, "{name} {value}");
+    }
 
     let sessions = state.sessions.lock().expect("session table poisoned");
     let live = sessions.values().filter(|s| s.phase.is_live()).count();
-    let _ = writeln!(
-        out,
-        "# TYPE aarc_sessions_total counter\naarc_sessions_total {}",
-        sessions.len()
+    family_header(
+        &mut out,
+        "aarc_sessions_total",
+        "counter",
+        "Search sessions started since daemon boot.",
     );
-    let _ = writeln!(
-        out,
-        "# TYPE aarc_sessions_live gauge\naarc_sessions_live {live}"
+    let _ = writeln!(out, "aarc_sessions_total {}", sessions.len());
+    family_header(
+        &mut out,
+        "aarc_sessions_live",
+        "gauge",
+        "Sessions currently running or paused.",
     );
-    for slot in sessions.values() {
-        // Method/class/state come from fixed vocabularies and scenario
-        // names are restricted at upload, but escape anyway so a future
-        // relaxation can never corrupt the exposition.
-        let labels = format!(
+    let _ = writeln!(out, "aarc_sessions_live {live}");
+
+    // Method/class/state come from fixed vocabularies and scenario names
+    // are restricted at upload, but escape anyway so a future relaxation
+    // can never corrupt the exposition.
+    let session_labels = |slot: &Slot<'_>| {
+        format!(
             "session=\"{}\",scenario=\"{}\",method=\"{}\",class=\"{}\",state=\"{}\"",
             slot.id,
             metric_label(&slot.scenario),
             metric_label(&slot.method),
             metric_label(&slot.class),
             slot.phase.label()
+        )
+    };
+    // One pass per family so each family's samples stay consecutive under
+    // a single header, as the exposition format requires.
+    if !sessions.is_empty() {
+        family_header(
+            &mut out,
+            "aarc_session_rounds",
+            "gauge",
+            "Completed ask/evaluate/tell rounds of the session.",
         );
-        let _ = writeln!(
-            out,
-            "aarc_session_rounds{{{labels}}} {}",
-            slot.progress.rounds
-        );
-        let _ = writeln!(
-            out,
-            "aarc_session_evals{{{labels}}} {}",
-            slot.progress.evals
-        );
-        if let Some(incumbent) = &slot.progress.incumbent {
+        for slot in sessions.values() {
             let _ = writeln!(
                 out,
-                "aarc_session_incumbent_cost{{{labels}}} {}",
-                incumbent.cost
-            );
-            let _ = writeln!(
-                out,
-                "aarc_session_incumbent_makespan_ms{{{labels}}} {}",
-                incumbent.makespan_ms
+                "aarc_session_rounds{{{}}} {}",
+                session_labels(slot),
+                slot.progress.rounds
             );
         }
+        family_header(
+            &mut out,
+            "aarc_session_evals",
+            "gauge",
+            "Candidate evaluations consumed by the session.",
+        );
+        for slot in sessions.values() {
+            let _ = writeln!(
+                out,
+                "aarc_session_evals{{{}}} {}",
+                session_labels(slot),
+                slot.progress.evals
+            );
+        }
+        if sessions.values().any(|s| s.progress.incumbent.is_some()) {
+            family_header(
+                &mut out,
+                "aarc_session_incumbent_cost",
+                "gauge",
+                "Cost of the session's best configuration so far.",
+            );
+            for slot in sessions.values() {
+                if let Some(incumbent) = &slot.progress.incumbent {
+                    let _ = writeln!(
+                        out,
+                        "aarc_session_incumbent_cost{{{}}} {}",
+                        session_labels(slot),
+                        incumbent.cost
+                    );
+                }
+            }
+            family_header(
+                &mut out,
+                "aarc_session_incumbent_makespan_ms",
+                "gauge",
+                "End-to-end makespan of the session's best configuration, ms.",
+            );
+            for slot in sessions.values() {
+                if let Some(incumbent) = &slot.progress.incumbent {
+                    let _ = writeln!(
+                        out,
+                        "aarc_session_incumbent_makespan_ms{{{}}} {}",
+                        session_labels(slot),
+                        incumbent.makespan_ms
+                    );
+                }
+            }
+        }
     }
+    drop(sessions);
+
+    // Everything recorded through the shared telemetry recorder: latency
+    // histograms (eval batch, queue wait, sim time, HTTP, session step),
+    // kernel counters and the sims/sec gauge.
+    aarc_telemetry::prom::write_snapshot(&mut out, &state.telemetry.recorder.snapshot());
     out
 }
 
@@ -910,10 +1245,30 @@ mod tests {
         aarc_spec::to_string(&spec, aarc_spec::SpecFormat::Yaml).into_bytes()
     }
 
+    /// Looks up a key in a parsed JSON map, panicking with the key name.
+    fn field<'a>(doc: &'a serde::Value, key: &str) -> &'a serde::Value {
+        doc.get(key)
+            .unwrap_or_else(|| panic!("missing field `{key}` in {doc:?}"))
+    }
+
+    /// Reads a JSON number as u64 (the shim parses small ints as `Int`).
+    fn uint(v: &serde::Value) -> u64 {
+        match v {
+            serde::Value::Int(i) if *i >= 0 => *i as u64,
+            serde::Value::UInt(u) => *u,
+            other => panic!("expected unsigned integer, got {other:?}"),
+        }
+    }
+
     fn request(method: &str, path: &str, body: &[u8]) -> Request {
+        let (path, query) = match path.split_once('?') {
+            Some((path, query)) => (path.to_owned(), query.to_owned()),
+            None => (path.to_owned(), String::new()),
+        };
         Request {
             method: method.to_owned(),
-            path: path.to_owned(),
+            path,
+            query,
             body: body.to_vec(),
         }
     }
@@ -944,8 +1299,10 @@ mod tests {
                 let mut sessions = state.sessions.lock().unwrap();
                 let slot = sessions.get_mut(&id).unwrap();
                 slot.progress = session.progress().clone();
+                slot.trace
+                    .extend_from_slice(&session.convergence()[slot.trace.len()..]);
                 if st == SessionState::Finished {
-                    finalize_slot(slot, session);
+                    finalize_slot(slot, session, state.telemetry);
                 } else {
                     slot.session = Some(session);
                 }
@@ -956,7 +1313,8 @@ mod tests {
     #[test]
     fn upload_list_delete_lifecycle() {
         let service = EvalService::with_threads(1);
-        let state = ServeState::new(&service);
+        let telemetry = ServeTelemetry::quiet();
+        let state = ServeState::new(&service, &telemetry);
         let yaml = chatbot_yaml();
 
         let created = route(&state, &request("POST", "/scenarios", &yaml));
@@ -981,7 +1339,8 @@ mod tests {
     #[test]
     fn invalid_uploads_are_rejected_with_400() {
         let service = EvalService::with_threads(1);
-        let state = ServeState::new(&service);
+        let telemetry = ServeTelemetry::quiet();
+        let state = ServeState::new(&service, &telemetry);
         let garbage = route(&state, &request("POST", "/scenarios", b"{ not a spec"));
         assert_eq!(garbage.status, 400);
         let empty = route(&state, &request("POST", "/scenarios/validate", b""));
@@ -1000,7 +1359,8 @@ mod tests {
     #[test]
     fn scenario_names_outside_the_safe_alphabet_are_rejected() {
         let service = EvalService::with_threads(1);
-        let state = ServeState::new(&service);
+        let telemetry = ServeTelemetry::quiet();
+        let state = ServeState::new(&service, &telemetry);
         // Names become URL path segments, JSON values and metrics labels.
         for bad in ["bad/name", "bad\"name", "bad name"] {
             let yaml = String::from_utf8(chatbot_yaml())
@@ -1016,7 +1376,8 @@ mod tests {
     #[test]
     fn session_runs_to_completion_and_reports_offline_identical_bytes() {
         let service = EvalService::with_threads(2);
-        let state = ServeState::new(&service);
+        let telemetry = ServeTelemetry::quiet();
+        let state = ServeState::new(&service, &telemetry);
         route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
 
         let started = route(
@@ -1062,7 +1423,8 @@ mod tests {
     #[test]
     fn unknown_sessions_scenarios_and_routes_are_404() {
         let service = EvalService::with_threads(1);
-        let state = ServeState::new(&service);
+        let telemetry = ServeTelemetry::quiet();
+        let state = ServeState::new(&service, &telemetry);
         assert_eq!(
             route(&state, &request("GET", "/sessions/7", b"")).status,
             404
@@ -1093,7 +1455,8 @@ mod tests {
     #[test]
     fn pause_cancel_and_delete_conflicts() {
         let service = EvalService::with_threads(1);
-        let state = ServeState::new(&service);
+        let telemetry = ServeTelemetry::quiet();
+        let state = ServeState::new(&service, &telemetry);
         route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
         let started = route(
             &state,
@@ -1142,7 +1505,8 @@ mod tests {
     #[test]
     fn metrics_exposes_service_and_session_series() {
         let service = EvalService::with_threads(1);
-        let state = ServeState::new(&service);
+        let telemetry = ServeTelemetry::quiet();
+        let state = ServeState::new(&service, &telemetry);
         route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
         route(
             &state,
@@ -1169,9 +1533,245 @@ mod tests {
     }
 
     #[test]
+    fn version_endpoint_reports_build_provenance() {
+        let service = EvalService::with_threads(1);
+        let telemetry = ServeTelemetry::quiet();
+        let state = ServeState::new(&service, &telemetry);
+        let reply = route(&state, &request("GET", "/version", b""));
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let info: VersionInfo = serde_json::from_str(&reply.body).unwrap();
+        assert_eq!(info.name, "aarc");
+        assert_eq!(info, VersionInfo::current());
+        // Wrong method on /version is 405, not 404.
+        assert_eq!(route(&state, &request("POST", "/version", b"")).status, 405);
+    }
+
+    #[test]
+    fn debug_events_serves_the_flight_recorder_tail() {
+        let service = EvalService::with_threads(1);
+        let telemetry = ServeTelemetry::quiet();
+        let state = ServeState::new(&service, &telemetry);
+        route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
+        route(
+            &state,
+            &request(
+                "POST",
+                "/sessions",
+                b"{\"scenario\": \"chatbot\", \"method\": \"random\"}",
+            ),
+        );
+        drain_sessions(&state);
+
+        let reply = route(&state, &request("GET", "/debug/events", b""));
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let doc = serde_json::parse(&reply.body).unwrap();
+        assert_eq!(uint(field(&doc, "capacity")) as usize, FLIGHT_CAPACITY);
+        assert!(uint(field(&doc, "total")) > 0);
+        let events = field(&doc, "events").as_seq().unwrap();
+        assert!(!events.is_empty());
+        let kinds: Vec<&str> = events
+            .iter()
+            .map(|e| field(e, "kind").as_str().unwrap())
+            .collect();
+        assert!(kinds.contains(&"scenario_registered"), "{kinds:?}");
+        assert!(kinds.contains(&"session_started"), "{kinds:?}");
+        assert!(kinds.contains(&"session_finished"), "{kinds:?}");
+        // Events arrive oldest first with strictly increasing sequence
+        // numbers.
+        let seqs: Vec<u64> = events.iter().map(|e| uint(field(e, "seq"))).collect();
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1), "{seqs:?}");
+
+        let limited = route(&state, &request("GET", "/debug/events?limit=2", b""));
+        let doc = serde_json::parse(&limited.body).unwrap();
+        let tail = field(&doc, "events").as_seq().unwrap();
+        assert_eq!(tail.len(), 2);
+        // The limited reply is the TAIL: its last event matches the
+        // unlimited reply's last event.
+        assert_eq!(
+            uint(field(tail.last().unwrap(), "seq")),
+            *seqs.last().unwrap()
+        );
+
+        let bad = route(&state, &request("GET", "/debug/events?limit=many", b""));
+        assert_eq!(bad.status, 400, "{}", bad.body);
+    }
+
+    #[test]
+    fn session_trace_returns_per_round_convergence() {
+        let service = EvalService::with_threads(1);
+        let telemetry = ServeTelemetry::quiet();
+        let state = ServeState::new(&service, &telemetry);
+        route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
+        route(
+            &state,
+            &request("POST", "/sessions", b"{\"scenario\": \"chatbot\"}"),
+        );
+        assert_eq!(
+            route(&state, &request("GET", "/sessions/9/trace", b"")).status,
+            404
+        );
+        drain_sessions(&state);
+
+        let reply = route(&state, &request("GET", "/sessions/1/trace", b""));
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let doc = serde_json::parse(&reply.body).unwrap();
+        assert_eq!(uint(field(&doc, "id")), 1);
+        assert_eq!(field(&doc, "scenario").as_str(), Some("chatbot"));
+        assert_eq!(field(&doc, "state").as_str(), Some("finished"));
+        let rounds = field(&doc, "rounds").as_seq().unwrap();
+        assert!(!rounds.is_empty(), "finished session has a trace");
+        // Rounds are strictly increasing, evals non-decreasing, and the
+        // last point agrees with the session's final progress.
+        let progress = {
+            let sessions = state.sessions.lock().unwrap();
+            sessions[&1].progress.clone()
+        };
+        let last = rounds.last().unwrap();
+        assert_eq!(uint(field(last, "round")), progress.rounds);
+        assert_eq!(uint(field(last, "evals")), progress.evals);
+        assert!(
+            !matches!(field(last, "incumbent_cost"), serde::Value::Null),
+            "final point carries the incumbent"
+        );
+        for pair in rounds.windows(2) {
+            assert!(uint(field(&pair[0], "round")) < uint(field(&pair[1], "round")));
+            assert!(uint(field(&pair[0], "evals")) <= uint(field(&pair[1], "evals")));
+        }
+    }
+
+    /// Validates the full text exposition: every sample belongs to a
+    /// family announced by exactly one `# HELP` + `# TYPE` pair, family
+    /// samples are consecutive, histogram buckets are cumulative with
+    /// `+Inf` equal to `_count`, and the latency histograms of the
+    /// telemetry recorder are present.
+    #[test]
+    fn metrics_exposition_is_well_formed() {
+        let service = EvalService::with_threads(1);
+        let telemetry = ServeTelemetry::quiet();
+        service
+            .attach_telemetry(telemetry.eval_telemetry())
+            .unwrap();
+        let state = ServeState::new(&service, &telemetry);
+        route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
+        route(
+            &state,
+            &request("POST", "/sessions", b"{\"scenario\": \"chatbot\"}"),
+        );
+        drain_sessions(&state);
+        let metrics = route(&state, &request("GET", "/metrics", b""));
+        assert_eq!(metrics.status, 200);
+        let body = &metrics.body;
+
+        let mut types: std::collections::BTreeMap<String, String> = Default::default();
+        let mut helps: std::collections::BTreeSet<String> = Default::default();
+        for line in body.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split(' ');
+                let (name, kind) = (it.next().unwrap(), it.next().unwrap());
+                assert!(
+                    types.insert(name.to_owned(), kind.to_owned()).is_none(),
+                    "duplicate TYPE for {name}"
+                );
+            } else if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap();
+                assert!(helps.insert(name.to_owned()), "duplicate HELP for {name}");
+            }
+        }
+        assert_eq!(
+            types.keys().collect::<Vec<_>>(),
+            helps.iter().collect::<Vec<_>>(),
+            "every TYPE has a HELP and vice versa"
+        );
+
+        // Resolve each sample line to its family; histogram samples use
+        // the _bucket/_sum/_count suffixes of the family name.
+        let family_of = |sample_name: &str| -> String {
+            for suffix in ["_bucket", "_sum", "_count"] {
+                if let Some(base) = sample_name.strip_suffix(suffix) {
+                    if types.get(base).map(String::as_str) == Some("histogram") {
+                        return base.to_owned();
+                    }
+                }
+            }
+            sample_name.to_owned()
+        };
+        let mut order: Vec<String> = Vec::new();
+        let mut bucket_runs: std::collections::BTreeMap<String, Vec<(f64, u64)>> =
+            Default::default();
+        let mut counts: std::collections::BTreeMap<String, u64> = Default::default();
+        for line in body
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+        {
+            let name_end = line.find(['{', ' ']).unwrap();
+            let name = &line[..name_end];
+            let family = family_of(name);
+            assert!(
+                types.contains_key(&family),
+                "sample `{name}` has no TYPE header"
+            );
+            if order.last() != Some(&family) {
+                assert!(
+                    !order.contains(&family),
+                    "family {family} samples are not consecutive"
+                );
+                order.push(family.clone());
+            }
+            let value = line.rsplit(' ').next().unwrap();
+            if name.ends_with("_bucket") && types[&family] == "histogram" {
+                let le = line
+                    .split("le=\"")
+                    .nth(1)
+                    .and_then(|s| s.split('"').next())
+                    .expect("bucket has le label");
+                let bound = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse::<f64>().unwrap()
+                };
+                bucket_runs
+                    .entry(family.clone())
+                    .or_default()
+                    .push((bound, value.parse().unwrap()));
+            } else if name.ends_with("_count") && types[&family] == "histogram" {
+                counts.insert(family.clone(), value.parse().unwrap());
+            }
+        }
+
+        let histogram_families: Vec<&String> = types
+            .iter()
+            .filter(|(_, kind)| *kind == "histogram")
+            .map(|(name, _)| name)
+            .collect();
+        assert!(
+            histogram_families.len() >= 3,
+            "expected at least 3 histogram families, got {histogram_families:?}"
+        );
+        for family in &histogram_families {
+            let buckets = &bucket_runs[*family];
+            assert!(
+                buckets
+                    .windows(2)
+                    .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1),
+                "{family} buckets must be cumulative with increasing bounds"
+            );
+            let (last_bound, last_value) = *buckets.last().unwrap();
+            assert!(last_bound.is_infinite(), "{family} is missing +Inf");
+            assert_eq!(last_value, counts[*family], "{family} +Inf != _count");
+        }
+        // The session actually recorded into the eval histograms (the
+        // method decides whether it probes or batches, so accept either).
+        assert!(counts["aarc_eval_batch_seconds"] + counts["aarc_eval_probe_seconds"] > 0);
+        assert!(body.contains("aarc_kernel_simulations_total "));
+        assert!(body.contains("aarc_build_info{"));
+        assert!(body.contains("aarc_session_rounds{session=\"1\""));
+    }
+
+    #[test]
     fn shutdown_blocks_admission_and_cancels_paused_sessions() {
         let service = EvalService::with_threads(1);
-        let state = ServeState::new(&service);
+        let telemetry = ServeTelemetry::quiet();
+        let state = ServeState::new(&service, &telemetry);
         route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
         route(
             &state,
@@ -1203,7 +1803,8 @@ mod tests {
     #[test]
     fn pause_after_shutdown_cannot_stall_the_drain() {
         let service = EvalService::with_threads(1);
-        let state = ServeState::new(&service);
+        let telemetry = ServeTelemetry::quiet();
+        let state = ServeState::new(&service, &telemetry);
         route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
         route(
             &state,

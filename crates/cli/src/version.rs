@@ -1,0 +1,50 @@
+//! Build provenance in serialisable form: the telemetry crate's
+//! [`aarc_telemetry::BuildInfo`] is dependency-free and cannot implement
+//! `Serialize`, so the CLI mirrors it into a serde-enabled struct shared
+//! by `GET /version`, the `aarc_build_info` metric labels and the bench
+//! report.
+
+use serde::{Deserialize, Serialize};
+
+/// Crate version plus toolchain metadata, as served by `GET /version` and
+/// embedded in `BENCH_*.json` for provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VersionInfo {
+    /// Binary name (`aarc`).
+    pub name: String,
+    /// Workspace crate version.
+    pub version: String,
+    /// `rustc --version` captured at build time.
+    pub rustc: String,
+    /// Cargo build profile (`debug` or `release`).
+    pub profile: String,
+}
+
+impl VersionInfo {
+    /// The provenance of the running binary.
+    pub fn current() -> Self {
+        let info = aarc_telemetry::build_info();
+        VersionInfo {
+            name: "aarc".to_owned(),
+            version: info.crate_version.to_owned(),
+            rustc: info.rustc.to_owned(),
+            profile: info.profile.to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_is_populated_and_serialisable() {
+        let info = VersionInfo::current();
+        assert_eq!(info.name, "aarc");
+        assert!(!info.version.is_empty());
+        assert!(!info.rustc.is_empty());
+        let json = serde_json::to_string(&info).unwrap();
+        let back: VersionInfo = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, info);
+    }
+}

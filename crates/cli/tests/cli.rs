@@ -253,8 +253,13 @@ fn bench_emits_schema_and_gates_against_itself() {
         serde_json::parse(&std::fs::read_to_string(&baseline).unwrap()).expect("valid JSON");
     assert_eq!(
         report.get("version").and_then(as_num),
-        Some(2.0),
+        Some(3.0),
         "BENCH schema version"
+    );
+    let build_info = report.get("build_info").expect("build provenance block");
+    assert!(
+        build_info.get("rustc").and_then(|v| v.as_str()).is_some(),
+        "build_info must record the rustc version"
     );
     let aggregate = report
         .get("aggregate")
@@ -281,6 +286,13 @@ fn bench_emits_schema_and_gates_against_itself() {
     let search = scenarios[0].get("search").unwrap();
     let hit_rate = search.get("cache_hit_rate").and_then(as_num).unwrap();
     assert!(hit_rate > 0.0, "search phase must produce cache hits");
+    let latency = search.get("latency").expect("per-eval latency percentiles");
+    let p50 = latency.get("p50_ms").and_then(as_num).unwrap();
+    let p99 = latency.get("p99_ms").and_then(as_num).unwrap();
+    assert!(
+        p50 > 0.0 && p99 >= p50,
+        "latency percentiles must be ordered"
+    );
 
     // Second run gates against the first: identical workloads on the same
     // machine cannot regress by 900% (huge tolerance keeps this timing-noise

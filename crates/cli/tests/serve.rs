@@ -23,13 +23,22 @@ fn chatbot_spec() -> PathBuf {
 struct Daemon {
     child: Child,
     addr: String,
+    /// Collects every stderr line after the readiness line (structured
+    /// logs); joined and returned by [`Daemon::shutdown`].
+    stderr_lines: Option<std::thread::JoinHandle<Vec<String>>>,
 }
 
 impl Daemon {
     /// Spawns `aarc serve` on an ephemeral port and waits for readiness.
     fn start() -> Daemon {
+        Daemon::start_with(&[])
+    }
+
+    /// [`Daemon::start`] with extra CLI flags (e.g. `--log-format json`).
+    fn start_with(extra_args: &[&str]) -> Daemon {
         let mut child = bin()
             .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+            .args(extra_args)
             .stdout(Stdio::null())
             .stderr(Stdio::piped())
             .spawn()
@@ -47,9 +56,13 @@ impl Daemon {
             .unwrap_or_else(|| panic!("unparseable readiness line: {ready}"))
             .to_owned();
         // Keep draining stderr in the background so the daemon never
-        // blocks on a full pipe.
-        std::thread::spawn(move || for _ in lines {});
-        Daemon { child, addr }
+        // blocks on a full pipe; keep the lines for log assertions.
+        let stderr_lines = std::thread::spawn(move || lines.map_while(Result::ok).collect());
+        Daemon {
+            child,
+            addr,
+            stderr_lines: Some(stderr_lines),
+        }
     }
 
     /// One HTTP exchange; returns `(status, body)`.
@@ -97,8 +110,9 @@ impl Daemon {
         }
     }
 
-    /// Requests shutdown and waits for a clean exit 0.
-    fn shutdown(mut self) {
+    /// Requests shutdown, waits for a clean exit 0 and returns every
+    /// stderr line emitted after the readiness line.
+    fn shutdown(mut self) -> Vec<String> {
         let (status, body) = self.request("POST", "/shutdown", b"");
         assert_eq!(status, 200, "{body}");
         assert!(body.contains("\"draining\""), "{body}");
@@ -107,7 +121,11 @@ impl Daemon {
             match self.child.try_wait().expect("child is pollable") {
                 Some(code) => {
                     assert!(code.success(), "daemon exited with {code}");
-                    return;
+                    return self
+                        .stderr_lines
+                        .take()
+                        .map(|h| h.join().expect("stderr drain thread joins"))
+                        .unwrap_or_default();
                 }
                 None if Instant::now() > deadline => {
                     self.child.kill().ok();
@@ -222,6 +240,101 @@ fn serve_walkthrough_sessions_match_offline_runs_and_shutdown_is_clean() {
     assert_eq!(status, 200, "{body}");
 
     daemon.shutdown();
+}
+
+#[test]
+fn serve_observability_endpoints_and_json_logs() {
+    let daemon = Daemon::start_with(&["--log-format", "json"]);
+    let spec_bytes = std::fs::read(chatbot_spec()).expect("spec readable");
+
+    let (status, body) = daemon.request("GET", "/version", b"");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"name\": \"aarc\""), "{body}");
+    assert!(body.contains("\"rustc\""), "{body}");
+
+    let (status, _) = daemon.request("POST", "/scenarios", &spec_bytes);
+    assert_eq!(status, 201);
+    let (status, body) = daemon.request(
+        "POST",
+        "/sessions",
+        b"{\"scenario\": \"chatbot\", \"method\": \"random\"}",
+    );
+    assert_eq!(status, 201, "{body}");
+    let id = session_id(&body);
+    let terminal = daemon.await_terminal(id);
+    assert!(terminal.contains("\"finished\""), "{terminal}");
+
+    // The convergence trace of the finished session: per-round points
+    // carrying rounds, eval counts and the incumbent.
+    let (status, trace) = daemon.request("GET", &format!("/sessions/{id}/trace"), b"");
+    assert_eq!(status, 200, "{trace}");
+    assert!(trace.contains("\"rounds\""), "{trace}");
+    assert!(trace.contains("\"incumbent_cost\""), "{trace}");
+    assert!(trace.contains("\"finished\""), "{trace}");
+
+    // The flight recorder saw the whole lifecycle.
+    let (status, events) = daemon.request("GET", "/debug/events?limit=1000", b"");
+    assert_eq!(status, 200, "{events}");
+    for kind in [
+        "scenario_registered",
+        "session_started",
+        "session_step",
+        "session_finished",
+        "http_request",
+    ] {
+        assert!(
+            events.contains(&format!("\"kind\":\"{kind}\"")),
+            "missing `{kind}` event in:\n{events}"
+        );
+    }
+    let (status, bad) = daemon.request("GET", "/debug/events?limit=nope", b"");
+    assert_eq!(status, 400, "{bad}");
+
+    // The latency histograms reached the exposition.
+    let (status, metrics) = daemon.request("GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    for needle in [
+        "# TYPE aarc_http_request_seconds histogram",
+        "# TYPE aarc_session_step_seconds histogram",
+        "# TYPE aarc_eval_batch_seconds histogram",
+        "aarc_http_request_seconds_bucket{le=\"",
+        "aarc_build_info{",
+        "aarc_kernel_simulations_total ",
+    ] {
+        assert!(
+            metrics.contains(needle),
+            "missing `{needle}` in:\n{metrics}"
+        );
+    }
+
+    // Every log line after the readiness banner is a JSON object with the
+    // structured-log envelope.
+    let logs = daemon.shutdown();
+    let mut structured = 0usize;
+    for line in &logs {
+        if line.starts_with("aarc serve:") {
+            continue; // human-facing banner lines, not logs
+        }
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSON log line: {line}"
+        );
+        for key in ["\"ts\":", "\"level\":", "\"event\":"] {
+            assert!(line.contains(key), "log line missing {key}: {line}");
+        }
+        structured += 1;
+    }
+    assert!(structured > 0, "no structured log lines captured: {logs:?}");
+    assert!(
+        logs.iter()
+            .any(|l| l.contains("\"event\":\"http_request\"")),
+        "{logs:?}"
+    );
+    assert!(
+        logs.iter()
+            .any(|l| l.contains("\"event\":\"session_finished\"")),
+        "{logs:?}"
+    );
 }
 
 #[test]

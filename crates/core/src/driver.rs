@@ -123,6 +123,29 @@ pub struct Incumbent {
     pub cost: f64,
 }
 
+/// One point of a session's convergence trace: the incumbent after a
+/// completed ask/evaluate/tell round.
+///
+/// Sessions append one point per successful step (see
+/// [`SearchSession::convergence`]), so a client can plot search progress —
+/// cost and makespan of the best feasible candidate against rounds or
+/// evaluations — while the session runs. Pure in-memory bookkeeping: the
+/// trace is deterministic (it derives from the deterministic step
+/// sequence) and is not part of any report, so byte-golden outputs are
+/// unaffected.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RoundPoint {
+    /// 1-based round index (equals [`SessionProgress::rounds`] after the
+    /// step).
+    pub round: u64,
+    /// Cumulative candidate evaluations after the round.
+    pub evals: u64,
+    /// Cost of the incumbent after the round, if one exists yet.
+    pub incumbent_cost: Option<f64>,
+    /// Makespan of the incumbent after the round, ms.
+    pub incumbent_makespan_ms: Option<f64>,
+}
+
 /// A cheap point-in-time snapshot of a session's progress, maintained by
 /// [`SearchSession::step`] and polled by the serving layer.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
@@ -154,6 +177,7 @@ pub struct SearchSession<'s> {
     handle: ScenarioHandle<'s>,
     slo_ms: Option<f64>,
     progress: SessionProgress,
+    convergence: Vec<RoundPoint>,
     paused: bool,
     outcome: Option<Result<SearchOutcome, AarcError>>,
 }
@@ -166,6 +190,7 @@ impl<'s> SearchSession<'s> {
             handle,
             slo_ms: None,
             progress: SessionProgress::default(),
+            convergence: Vec::new(),
             paused: false,
             outcome: None,
         }
@@ -212,6 +237,12 @@ impl<'s> SearchSession<'s> {
         &self.progress
     }
 
+    /// The per-round convergence trace: one [`RoundPoint`] per completed
+    /// ask/evaluate/tell round, in round order.
+    pub fn convergence(&self) -> &[RoundPoint] {
+        &self.convergence
+    }
+
     /// Pauses the session: [`step`](SearchSession::step) becomes a no-op
     /// until [`resume`](SearchSession::resume). No effect on a finished
     /// session.
@@ -250,6 +281,7 @@ impl<'s> SearchSession<'s> {
             handle,
             slo_ms,
             progress,
+            convergence,
             ..
         } = self;
         let env = handle.env();
@@ -298,6 +330,12 @@ impl<'s> SearchSession<'s> {
                 });
             }
         }
+        convergence.push(RoundPoint {
+            round: progress.rounds,
+            evals: progress.evals,
+            incumbent_cost: progress.incumbent.as_ref().map(|inc| inc.cost),
+            incumbent_makespan_ms: progress.incumbent.as_ref().map(|inc| inc.makespan_ms),
+        });
         SessionState::Running
     }
 

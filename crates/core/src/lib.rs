@@ -77,7 +77,8 @@ pub mod search;
 pub use affinity::{classify_affinity, AffinityReport};
 pub use configurator::{PathConfigState, PriorityConfigurator};
 pub use driver::{
-    Ask, Incumbent, SearchDriver, SearchSession, SearchStrategy, SessionProgress, SessionState,
+    Ask, Incumbent, RoundPoint, SearchDriver, SearchSession, SearchStrategy, SessionProgress,
+    SessionState,
 };
 pub use error::AarcError;
 pub use input_aware::InputAwareEngine;

@@ -53,9 +53,12 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
+
+use aarc_telemetry::{Counter, FieldValue, FlightRecorder, Gauge, Histogram, Recorder};
 
 use crate::env::{ConfigMap, WorkflowEnvironment};
 use crate::error::SimulatorError;
@@ -242,6 +245,83 @@ struct ScenarioData {
     counters: Arc<ScenarioCounters>,
 }
 
+/// Telemetry instruments for the evaluation substrate, registered on a
+/// shared [`Recorder`] and attached to an [`EvalService`] with
+/// [`EvalService::attach_telemetry`].
+///
+/// When no telemetry is attached the service takes **zero** timestamps —
+/// the only overhead on the evaluation path is one atomic load per batch
+/// (`OnceLock::get`), which keeps the bench gate's sims/sec unchanged.
+/// When attached, each batch records its wall-clock latency split into
+/// queue-wait (cache pre-pass, dedup, memo-cache insertion) and pure
+/// simulation time, updates a sims/sec gauge, folds the kernel's work
+/// counters into process counters, and appends an `eval_batch` event to
+/// the flight recorder.
+#[derive(Debug)]
+pub struct EvalTelemetry {
+    batch_seconds: Arc<Histogram>,
+    probe_seconds: Arc<Histogram>,
+    queue_wait_seconds: Arc<Histogram>,
+    sim_seconds: Arc<Histogram>,
+    sims_per_sec: Arc<Gauge>,
+    kernel_sims: Arc<Counter>,
+    node_starts: Arc<Counter>,
+    oom_kills: Arc<Counter>,
+    capacity_stalls: Arc<Counter>,
+    flight: Arc<FlightRecorder>,
+}
+
+impl EvalTelemetry {
+    /// Registers the evaluation metrics on `recorder` and wires events to
+    /// `flight`.
+    pub fn new(recorder: &Recorder, flight: Arc<FlightRecorder>) -> Self {
+        EvalTelemetry {
+            batch_seconds: recorder.histogram(
+                "aarc_eval_batch_seconds",
+                "Wall-clock latency of candidate evaluation batches.",
+            ),
+            probe_seconds: recorder.histogram(
+                "aarc_eval_probe_seconds",
+                "Wall-clock latency of single-candidate probe evaluations.",
+            ),
+            queue_wait_seconds: recorder.histogram(
+                "aarc_eval_queue_wait_seconds",
+                "Batch time outside the simulation pool: cache pre-pass, dedup and insertion.",
+            ),
+            sim_seconds: recorder.histogram(
+                "aarc_eval_sim_seconds",
+                "Batch time inside the simulation worker pool.",
+            ),
+            sims_per_sec: recorder.gauge(
+                "aarc_sims_per_sec",
+                "Simulation throughput of the most recent evaluation batch.",
+            ),
+            kernel_sims: recorder.counter(
+                "aarc_kernel_simulations_total",
+                "Completed discrete-event simulations.",
+            ),
+            node_starts: recorder.counter(
+                "aarc_kernel_function_starts_total",
+                "Function invocations started by the simulation kernel.",
+            ),
+            oom_kills: recorder.counter(
+                "aarc_kernel_oom_kills_total",
+                "Simulated invocations killed by the memory limit.",
+            ),
+            capacity_stalls: recorder.counter(
+                "aarc_kernel_capacity_stalls_total",
+                "Placement attempts that found no host with free capacity.",
+            ),
+            flight,
+        }
+    }
+
+    /// The flight recorder events are appended to.
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+}
+
 /// The process-wide evaluation substrate: the deterministic fork-join
 /// worker pool, the sharded fingerprint-keyed memo-cache and the
 /// [`SimScratch`] arena pool, shared by every scenario registered on it.
@@ -261,6 +341,9 @@ pub struct EvalService {
     /// [`stats`](EvalService::stats) stays monotonic across the runtime
     /// scenario lifecycle (a `/metrics` scrape must never see totals drop).
     retired: ScenarioCounters,
+    /// Optional instrumentation, attached at most once. Unset, the
+    /// evaluation path takes no timestamps at all.
+    telemetry: OnceLock<EvalTelemetry>,
 }
 
 impl EvalService {
@@ -277,7 +360,20 @@ impl EvalService {
             scratch_pool: Mutex::new(Vec::new()),
             scenarios: Mutex::new(BTreeMap::new()),
             retired: ScenarioCounters::default(),
+            telemetry: OnceLock::new(),
         }
+    }
+
+    /// Attaches telemetry instruments to the service. May be called at
+    /// most once per service; subsequent calls are ignored (the first
+    /// attachment wins) and the error carries the rejected instruments.
+    pub fn attach_telemetry(&self, telemetry: EvalTelemetry) -> Result<(), EvalTelemetry> {
+        self.telemetry.set(telemetry)
+    }
+
+    /// The attached telemetry instruments, if any.
+    pub fn telemetry(&self) -> Option<&EvalTelemetry> {
+        self.telemetry.get()
     }
 
     /// A service with `threads` workers and the default cache.
@@ -478,6 +574,21 @@ impl EvalService {
         input: InputSpec,
         seed: u64,
     ) -> Result<SimResult, SimulatorError> {
+        let probe_start = self.telemetry.get().map(|_| Instant::now());
+        let result = self.evaluate_data_inner(data, configs, input, seed);
+        if let (Some(telemetry), Some(start)) = (self.telemetry.get(), probe_start) {
+            telemetry.probe_seconds.record(start.elapsed());
+        }
+        result
+    }
+
+    fn evaluate_data_inner(
+        &self,
+        data: &ScenarioData,
+        configs: &ConfigMap,
+        input: InputSpec,
+        seed: u64,
+    ) -> Result<SimResult, SimulatorError> {
         let key = Self::key(data, configs, input, seed);
         if let Some(result) = self.cache_get(data, &key) {
             data.counters.hits.fetch_add(1, Ordering::Relaxed);
@@ -504,6 +615,9 @@ impl EvalService {
         input: InputSpec,
     ) -> Result<Vec<SimResult>, SimulatorError> {
         let n = candidates.len();
+        // One atomic load; `None` keeps the whole path free of clock reads.
+        let telemetry = self.telemetry.get();
+        let batch_start = telemetry.map(|_| Instant::now());
         let mut results: Vec<Option<SimResult>> = vec![None; n];
         // Sequential cache pre-pass in candidate order: resolve hits, claim
         // the first occurrence of every distinct missing key and remember
@@ -512,14 +626,17 @@ impl EvalService {
         let mut claimed: HashMap<CacheKey, usize> = HashMap::new();
         let mut pending: Vec<(usize, CacheKey, u64)> = Vec::new();
         let mut duplicates: Vec<(usize, usize)> = Vec::new();
+        let mut batch_hits = 0u64;
         for (i, configs) in candidates.iter().enumerate() {
             let seed = derive_seed(data.env.seed(), i as u64);
             let key = Self::key(data, configs, input, seed);
             if let Some(report) = self.cache_get(data, &key) {
                 data.counters.hits.fetch_add(1, Ordering::Relaxed);
+                batch_hits += 1;
                 results[i] = Some(report);
             } else if let Some(&p) = claimed.get(&key) {
                 data.counters.hits.fetch_add(1, Ordering::Relaxed);
+                batch_hits += 1;
                 duplicates.push((i, p));
             } else {
                 data.counters.misses.fetch_add(1, Ordering::Relaxed);
@@ -529,19 +646,55 @@ impl EvalService {
         }
 
         // Simulate all distinct misses on the worker pool.
+        let sim_start = telemetry.map(|_| Instant::now());
         let computed = self.run_pool(data, candidates, input, &pending);
+        let sim_ns = sim_start.map_or(0, |s| s.elapsed().as_nanos().min(u64::MAX as u128) as u64);
 
         // Insert in candidate order (deterministic eviction), then resolve
         // duplicates from the freshly computed results.
+        let mut evicted = 0usize;
         let mut fresh: Vec<Option<SimResult>> = Vec::with_capacity(pending.len());
         for ((i, key, _seed), outcome) in pending.iter().zip(computed) {
             let report = outcome?;
-            self.cache_insert(data, key.clone(), report.clone());
+            evicted += self.cache_insert(data, key.clone(), report.clone());
             results[*i] = Some(report.clone());
             fresh.push(Some(report));
         }
         for (i, p) in duplicates {
             results[i] = fresh[p].clone();
+        }
+
+        if let (Some(telemetry), Some(start)) = (telemetry, batch_start) {
+            let total_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            telemetry.batch_seconds.record_ns(total_ns);
+            telemetry.sim_seconds.record_ns(sim_ns);
+            telemetry
+                .queue_wait_seconds
+                .record_ns(total_ns.saturating_sub(sim_ns));
+            if sim_ns > 0 && !pending.is_empty() {
+                telemetry
+                    .sims_per_sec
+                    .set(pending.len() as f64 / (sim_ns as f64 / 1e9));
+            }
+            telemetry.flight.record(
+                "eval_batch",
+                vec![
+                    (
+                        "fingerprint",
+                        FieldValue::Str(format!("{:016x}", data.fingerprint)),
+                    ),
+                    ("candidates", FieldValue::U64(n as u64)),
+                    ("hits", FieldValue::U64(batch_hits)),
+                    ("misses", FieldValue::U64(pending.len() as u64)),
+                    ("evictions", FieldValue::U64(evicted as u64)),
+                    (
+                        "queue_us",
+                        FieldValue::U64(total_ns.saturating_sub(sim_ns) / 1_000),
+                    ),
+                    ("sim_us", FieldValue::U64(sim_ns / 1_000)),
+                    ("total_us", FieldValue::U64(total_ns / 1_000)),
+                ],
+            );
         }
         Ok(results
             .into_iter()
@@ -576,8 +729,18 @@ impl EvalService {
             .unwrap_or_default()
     }
 
-    /// Returns a scratch arena to the pool for the next evaluation.
-    fn put_scratch(&self, scratch: SimScratch) {
+    /// Returns a scratch arena to the pool for the next evaluation,
+    /// folding the kernel's accumulated work counters into the process
+    /// metrics when telemetry is attached (they keep accumulating in the
+    /// arena otherwise — plain integer adds, never timestamps).
+    fn put_scratch(&self, mut scratch: SimScratch) {
+        if let Some(telemetry) = self.telemetry.get() {
+            let counters = scratch.take_counters();
+            telemetry.kernel_sims.add(counters.sims);
+            telemetry.node_starts.add(counters.node_starts);
+            telemetry.oom_kills.add(counters.oom_kills);
+            telemetry.capacity_stalls.add(counters.capacity_stalls);
+        }
         self.scratch_pool
             .lock()
             .expect("scratch pool poisoned")
@@ -685,20 +848,25 @@ impl EvalService {
             .cloned()
     }
 
-    fn cache_insert(&self, data: &ScenarioData, key: CacheKey, result: SimResult) {
+    /// Memoises `result` under `key`; returns how many entries were
+    /// evicted to make room (feeds the flight recorder's batch events).
+    fn cache_insert(&self, data: &ScenarioData, key: CacheKey, result: SimResult) -> usize {
         if !self.cache_enabled(data) {
-            return;
+            return 0;
         }
         let per_shard = (self.options.cache_capacity / SHARD_COUNT).max(1);
         let mut shard = self.shard_of(&key).lock().expect("cache shard poisoned");
+        let mut evicted = 0;
         if shard.map.insert(key.clone(), result).is_none() {
             shard.order.push_back(key);
             while shard.map.len() > per_shard {
                 let oldest = shard.order.pop_front().expect("order tracks map");
                 shard.map.remove(&oldest);
                 self.count_eviction(data, oldest.fingerprint);
+                evicted += 1;
             }
         }
+        evicted
     }
 
     /// Attributes one eviction to the scenario whose entry was dropped —
@@ -1576,5 +1744,119 @@ mod tests {
         assert_eq!(inter2, alone2);
         assert_eq!(h1.stats().cache_hits, solo1.stats().cache_hits);
         assert_eq!(h2.stats().cache_misses, solo2.stats().cache_misses);
+    }
+
+    #[test]
+    fn attached_telemetry_records_batches_without_changing_results() {
+        let cfgs = candidates(10);
+
+        let plain = EvalService::with_threads(2);
+        let baseline = plain.register(env()).evaluate_batch(&cfgs).unwrap();
+
+        let recorder = Recorder::new();
+        let flight = Arc::new(FlightRecorder::new(64));
+        let instrumented = EvalService::with_threads(2);
+        instrumented
+            .attach_telemetry(EvalTelemetry::new(&recorder, Arc::clone(&flight)))
+            .expect("first attach succeeds");
+        // A second attachment is rejected (first wins).
+        assert!(instrumented
+            .attach_telemetry(EvalTelemetry::new(&recorder, Arc::clone(&flight)))
+            .is_err());
+
+        let handle = instrumented.register(env());
+        let observed = handle.evaluate_batch(&cfgs).unwrap();
+        assert_eq!(observed, baseline, "telemetry must not perturb results");
+        handle.evaluate(&cfgs[0]).unwrap();
+
+        let snap = recorder.snapshot();
+        let histogram = |name: &str| {
+            snap.histograms
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .unwrap_or_else(|| panic!("missing histogram {name}"))
+                .2
+                .clone()
+        };
+        assert_eq!(histogram("aarc_eval_batch_seconds").count(), 1);
+        assert_eq!(histogram("aarc_eval_sim_seconds").count(), 1);
+        assert_eq!(histogram("aarc_eval_queue_wait_seconds").count(), 1);
+        assert_eq!(histogram("aarc_eval_probe_seconds").count(), 1);
+        // queue + sim never exceed the total batch time.
+        assert!(
+            histogram("aarc_eval_queue_wait_seconds").sum_ns
+                + histogram("aarc_eval_sim_seconds").sum_ns
+                <= histogram("aarc_eval_batch_seconds").sum_ns
+        );
+
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+                .2
+        };
+        // 10 batch candidates (distinct) + 1 probe (cache hit, no sim).
+        assert_eq!(counter("aarc_kernel_simulations_total"), 10);
+        // Two functions per workflow, started once per simulation.
+        assert_eq!(counter("aarc_kernel_function_starts_total"), 20);
+        assert_eq!(counter("aarc_kernel_oom_kills_total"), 0);
+
+        let gauge = snap
+            .gauges
+            .iter()
+            .find(|(n, _, _)| n == "aarc_sims_per_sec")
+            .expect("sims/sec gauge registered");
+        assert!(gauge.2 > 0.0);
+
+        let events = flight.tail(usize::MAX);
+        assert_eq!(events.len(), 1, "one eval_batch event, probes are silent");
+        assert_eq!(events[0].kind, "eval_batch");
+        let field = |name: &str| {
+            events[0]
+                .fields
+                .iter()
+                .find(|(k, _)| *k == name)
+                .unwrap_or_else(|| panic!("missing field {name}"))
+                .1
+                .clone()
+        };
+        assert_eq!(field("candidates"), FieldValue::U64(10));
+        assert_eq!(field("hits"), FieldValue::U64(0));
+        assert_eq!(field("misses"), FieldValue::U64(10));
+        assert_eq!(
+            field("fingerprint"),
+            FieldValue::Str(format!("{:016x}", handle.fingerprint()))
+        );
+    }
+
+    #[test]
+    fn kernel_counters_accumulate_and_drain() {
+        let e = env();
+        let scenario =
+            CompiledScenario::compile(e.workflow(), e.profiles(), *e.cluster(), *e.pricing())
+                .unwrap();
+        let mut scratch = SimScratch::new();
+        let cfg = e.base_configs();
+        scenario
+            .simulate(&mut scratch, &cfg, InputSpec::default(), 0)
+            .unwrap();
+        scenario
+            .simulate(&mut scratch, &cfg, InputSpec::default(), 0)
+            .unwrap();
+        // Counters survive the per-run reset and accumulate across runs.
+        let counters = scratch.counters();
+        assert_eq!(counters.sims, 2);
+        assert_eq!(counters.node_starts, 4);
+        assert_eq!(counters.oom_kills, 0);
+        // Draining returns the total and zeroes the arena's counters.
+        assert_eq!(scratch.take_counters(), counters);
+        assert_eq!(scratch.counters(), crate::kernel::KernelCounters::default());
+
+        let mut merged = crate::kernel::KernelCounters::default();
+        merged.merge(&counters);
+        merged.merge(&counters);
+        assert_eq!(merged.sims, 4);
+        assert_eq!(merged.node_starts, 8);
     }
 }

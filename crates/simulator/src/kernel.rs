@@ -215,6 +215,36 @@ pub struct SimScratch {
     cluster: ClusterState,
     waiting: Vec<NodeId>,
     waiting_swap: Vec<NodeId>,
+    counters: KernelCounters,
+}
+
+/// Work counters accumulated by the simulation kernel.
+///
+/// Plain integer adds on thread-local state — no clocks, no atomics — so
+/// they are always on; they cost nothing measurable against the event
+/// loop. Counters accumulate across runs (they are *not* cleared by the
+/// per-run reset) and are drained with [`SimScratch::take_counters`] when
+/// telemetry is attached.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Completed simulations.
+    pub sims: u64,
+    /// Function invocations successfully placed and started.
+    pub node_starts: u64,
+    /// Invocations killed by the memory limit.
+    pub oom_kills: u64,
+    /// Placement attempts that found no host with capacity.
+    pub capacity_stalls: u64,
+}
+
+impl KernelCounters {
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &KernelCounters) {
+        self.sims += other.sims;
+        self.node_starts += other.node_starts;
+        self.oom_kills += other.oom_kills;
+        self.capacity_stalls += other.capacity_stalls;
+    }
 }
 
 impl SimScratch {
@@ -222,6 +252,16 @@ impl SimScratch {
     /// afterwards.
     pub fn new() -> Self {
         SimScratch::default()
+    }
+
+    /// Returns the accumulated kernel counters, resetting them to zero.
+    pub fn take_counters(&mut self) -> KernelCounters {
+        std::mem::take(&mut self.counters)
+    }
+
+    /// Reads the accumulated kernel counters without resetting them.
+    pub fn counters(&self) -> KernelCounters {
+        self.counters
     }
 
     /// Prepares the scratch for one run of `scenario`, reusing every
@@ -577,6 +617,7 @@ impl CompiledScenario {
             scratch.states.iter().all(|s| s.finished),
             "every function of an acyclic workflow must eventually run"
         );
+        scratch.counters.sims += 1;
         Ok(())
     }
 
@@ -596,6 +637,7 @@ impl CompiledScenario {
         let i = node.index();
         let config = configs.get(node);
         let Some(host) = scratch.cluster.try_place(config) else {
+            scratch.counters.capacity_stalls += 1;
             return false;
         };
         let profile = &self.profiles[i];
@@ -644,6 +686,10 @@ impl CompiledScenario {
             oom,
         };
         scratch.states[i].started = true;
+        scratch.counters.node_starts += 1;
+        if oom {
+            scratch.counters.oom_kills += 1;
+        }
         scratch
             .queue
             .push(ms_to_ticks(end_ms), Event::FunctionFinished(node));

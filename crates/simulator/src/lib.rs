@@ -82,12 +82,12 @@ pub use cost::PricingModel;
 pub use env::{ConfigMap, WorkflowEnvironment, WorkflowEnvironmentBuilder};
 pub use error::SimulatorError;
 pub use eval::{
-    derive_seed, EvalEngine, EvalOptions, EvalService, EvalStats, ScenarioEvalStats,
+    derive_seed, EvalEngine, EvalOptions, EvalService, EvalStats, EvalTelemetry, ScenarioEvalStats,
     ScenarioHandle, ServiceSnapshot,
 };
 pub use executor::{ExecutionReport, FunctionExecution};
 pub use input::{InputClass, InputSpec};
-pub use kernel::{CompiledScenario, NodeSimOutcome, SimResult, SimScratch};
+pub use kernel::{CompiledScenario, KernelCounters, NodeSimOutcome, SimResult, SimScratch};
 pub use perf_model::{FunctionProfile, FunctionProfileBuilder, ProfileSet};
 pub use profiler::{profile_workflow, ProfiledWeights};
 pub use resources::{MemoryMb, ResourceConfig, ResourceSpace, Vcpu};

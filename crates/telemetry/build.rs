@@ -1,0 +1,21 @@
+//! Captures build provenance (rustc version, cargo profile) into
+//! compile-time environment variables, so `aarc_telemetry::build_info()`
+//! can expose them without any runtime probing.
+
+use std::process::Command;
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_owned());
+    let version = Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned());
+    println!("cargo:rustc-env=AARC_RUSTC_VERSION={version}");
+    let profile = std::env::var("PROFILE").unwrap_or_else(|_| "unknown".to_owned());
+    println!("cargo:rustc-env=AARC_BUILD_PROFILE={profile}");
+    println!("cargo:rerun-if-changed=build.rs");
+}

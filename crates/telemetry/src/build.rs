@@ -1,0 +1,34 @@
+//! Compile-time build provenance, captured by the crate's build script.
+
+/// Build provenance: crate version plus toolchain metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildInfo {
+    /// Workspace crate version (`CARGO_PKG_VERSION`).
+    pub crate_version: &'static str,
+    /// `rustc --version` output captured at build time.
+    pub rustc: &'static str,
+    /// Cargo build profile (`debug` or `release`).
+    pub profile: &'static str,
+}
+
+/// Returns the provenance baked into this build.
+pub fn build_info() -> BuildInfo {
+    BuildInfo {
+        crate_version: env!("CARGO_PKG_VERSION"),
+        rustc: env!("AARC_RUSTC_VERSION"),
+        profile: env!("AARC_BUILD_PROFILE"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_info_is_populated() {
+        let info = build_info();
+        assert!(!info.crate_version.is_empty());
+        assert!(!info.rustc.is_empty());
+        assert!(matches!(info.profile, "debug" | "release" | "unknown"));
+    }
+}

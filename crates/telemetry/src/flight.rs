@@ -1,0 +1,250 @@
+//! The flight recorder: a bounded ring buffer of recent structured events.
+//!
+//! Every layer of the stack appends small, typed events here — eval batch
+//! completions, cache evictions, HTTP requests, session state changes —
+//! and the daemon serves the tail from `GET /debug/events`. Like an
+//! aircraft black box it answers "what happened in the last N operations"
+//! without unbounded memory: old events are overwritten once the ring is
+//! full, and a monotone sequence number records how many were ever seen.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json::{push_json_f64, push_json_string};
+
+/// A typed field value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point value (serialised as `null` when non-finite).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+}
+
+impl FieldValue {
+    fn push_json(&self, out: &mut String) {
+        match self {
+            FieldValue::U64(v) => out.push_str(&v.to_string()),
+            FieldValue::I64(v) => out.push_str(&v.to_string()),
+            FieldValue::F64(v) => push_json_f64(out, *v),
+            FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            FieldValue::Str(v) => push_json_string(out, v),
+        }
+    }
+}
+
+/// One recorded event: a kind tag, a wall-clock timestamp, a monotone
+/// sequence number, and a small set of structured fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Position in the recorder's lifetime stream (0-based, monotone).
+    pub seq: u64,
+    /// Wall-clock milliseconds since the Unix epoch when recorded.
+    pub ts_ms: u64,
+    /// Event kind tag, e.g. `"eval_batch"` or `"http_request"`.
+    pub kind: &'static str,
+    /// Ordered `(key, value)` fields.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// Renders the event as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"seq\":");
+        out.push_str(&self.seq.to_string());
+        out.push_str(",\"ts_ms\":");
+        out.push_str(&self.ts_ms.to_string());
+        out.push_str(",\"kind\":");
+        push_json_string(&mut out, self.kind);
+        for (key, value) in &self.fields {
+            out.push(',');
+            push_json_string(&mut out, key);
+            out.push(':');
+            value.push_json(&mut out);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Renders a slice of events as a JSON array.
+pub fn events_json(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 2);
+    out.push('[');
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&event.to_json());
+    }
+    out.push(']');
+    out
+}
+
+struct Inner {
+    events: VecDeque<Event>,
+    recorded: u64,
+}
+
+/// A bounded ring buffer of recent [`Event`]s, safe to record into from
+/// any thread.
+pub struct FlightRecorder {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity)
+            .field("len", &inner.events.len())
+            .field("recorded", &inner.recorded)
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// Creates a recorder retaining at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                events: VecDeque::new(),
+                recorded: 0,
+            }),
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total number of events ever recorded (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.inner.lock().unwrap().recorded
+    }
+
+    /// Appends an event, evicting the oldest if the ring is full.
+    pub fn record(&self, kind: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+            .unwrap_or(0);
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.recorded;
+        inner.recorded += 1;
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+        }
+        inner.events.push_back(Event {
+            seq,
+            ts_ms,
+            kind,
+            fields,
+        });
+    }
+
+    /// Returns up to `limit` of the most recent events, oldest first.
+    pub fn tail(&self, limit: usize) -> Vec<Event> {
+        let inner = self.inner.lock().unwrap();
+        let skip = inner.events.len().saturating_sub(limit);
+        inner.events.iter().skip(skip).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps_and_keeps_the_most_recent_events() {
+        let recorder = FlightRecorder::new(4);
+        assert_eq!(recorder.capacity(), 4);
+        for i in 0..10u64 {
+            recorder.record("tick", vec![("i", FieldValue::U64(i))]);
+        }
+        assert_eq!(recorder.total_recorded(), 10);
+        let tail = recorder.tail(100);
+        assert_eq!(tail.len(), 4);
+        // Oldest-first of the most recent four: seq 6..=9.
+        let seqs: Vec<u64> = tail.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(tail[3].fields, vec![("i", FieldValue::U64(9))]);
+
+        // A smaller limit trims from the old end.
+        let last_two: Vec<u64> = recorder.tail(2).iter().map(|e| e.seq).collect();
+        assert_eq!(last_two, vec![8, 9]);
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        let recorder = FlightRecorder::new(0);
+        recorder.record("a", vec![]);
+        recorder.record("b", vec![]);
+        let tail = recorder.tail(10);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].kind, "b");
+    }
+
+    #[test]
+    fn event_json_rendering() {
+        let event = Event {
+            seq: 7,
+            ts_ms: 1700000000123,
+            kind: "http_request",
+            fields: vec![
+                ("method", FieldValue::Str("GET".to_owned())),
+                ("path", FieldValue::Str("/metrics?x=\"1\"".to_owned())),
+                ("status", FieldValue::U64(200)),
+                ("duration_us", FieldValue::U64(350)),
+                ("ok", FieldValue::Bool(true)),
+                ("delta", FieldValue::I64(-3)),
+                ("ratio", FieldValue::F64(0.5)),
+                ("bad", FieldValue::F64(f64::NAN)),
+            ],
+        };
+        assert_eq!(
+            event.to_json(),
+            "{\"seq\":7,\"ts_ms\":1700000000123,\"kind\":\"http_request\",\
+             \"method\":\"GET\",\"path\":\"/metrics?x=\\\"1\\\"\",\"status\":200,\
+             \"duration_us\":350,\"ok\":true,\"delta\":-3,\"ratio\":0.5,\"bad\":null}"
+        );
+        assert_eq!(events_json(&[]), "[]");
+        let two = events_json(&[event.clone(), event]);
+        assert!(two.starts_with("[{\"seq\":7"));
+        assert!(two.contains("},{"));
+        assert!(two.ends_with("}]"));
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless_up_to_capacity() {
+        let recorder = FlightRecorder::new(1024);
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let recorder = &recorder;
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        recorder.record("w", vec![("v", FieldValue::U64(t * 1000 + i))]);
+                    }
+                });
+            }
+        });
+        assert_eq!(recorder.total_recorded(), 800);
+        let tail = recorder.tail(usize::MAX);
+        assert_eq!(tail.len(), 800);
+        // Sequence numbers are a contiguous 0..800 despite interleaving.
+        for (i, event) in tail.iter().enumerate() {
+            assert_eq!(event.seq, i as u64);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Minimal JSON string escaping shared by the flight recorder and the
+//! structured logger. The telemetry crate is dependency-free, so it
+//! cannot use the workspace's vendored `serde_json`.
+
+/// Appends `s` to `out` as a JSON string literal (including the
+/// surrounding quotes), escaping per RFC 8259.
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` as a JSON value; non-finite values become `null`
+/// (JSON has no NaN/Infinity).
+pub(crate) fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn escaped(s: &str) -> String {
+        let mut out = String::new();
+        push_json_string(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_specials_and_control_chars() {
+        assert_eq!(escaped("plain"), "\"plain\"");
+        assert_eq!(escaped("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escaped("a\\b"), "\"a\\\\b\"");
+        assert_eq!(escaped("line1\nline2"), "\"line1\\nline2\"");
+        assert_eq!(escaped("tab\there"), "\"tab\\there\"");
+        assert_eq!(escaped("bell\u{7}"), "\"bell\\u0007\"");
+        assert_eq!(escaped("unicode ✓"), "\"unicode ✓\"");
+    }
+
+    #[test]
+    fn f64_non_finite_becomes_null() {
+        let mut out = String::new();
+        push_json_f64(&mut out, 1.5);
+        assert_eq!(out, "1.5");
+        out.clear();
+        push_json_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+        out.clear();
+        push_json_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "null");
+    }
+}

@@ -1,0 +1,256 @@
+//! Leveled structured logging to stderr, in `text` or JSON-lines format.
+//!
+//! The daemon logs one line per HTTP request and per session state
+//! transition — never per search step, which could fill a consumer's pipe
+//! buffer and stall the scheduler. Lines are written with a single
+//! `write_all` per record so concurrent handlers do not interleave bytes.
+
+use std::io::Write;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::flight::FieldValue;
+use crate::json::push_json_string;
+
+/// Log severity, ordered `Error < Warn < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Unrecoverable or unexpected failures.
+    Error,
+    /// Recoverable anomalies.
+    Warn,
+    /// Normal operational events (default).
+    Info,
+    /// Verbose diagnostics.
+    Debug,
+}
+
+impl LogLevel {
+    /// Parses a level name (case-insensitive).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Self::Error),
+            "warn" | "warning" => Ok(Self::Warn),
+            "info" => Ok(Self::Info),
+            "debug" => Ok(Self::Debug),
+            other => Err(format!(
+                "unknown log level '{other}' (expected error|warn|info|debug)"
+            )),
+        }
+    }
+
+    /// Lower-case name, as written in log lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Error => "error",
+            Self::Warn => "warn",
+            Self::Info => "info",
+            Self::Debug => "debug",
+        }
+    }
+}
+
+/// Output encoding for log lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogFormat {
+    /// Human-oriented `key=value` lines.
+    Text,
+    /// One JSON object per line.
+    Json,
+}
+
+impl LogFormat {
+    /// Parses a format name (case-insensitive).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "text" => Ok(Self::Text),
+            "json" => Ok(Self::Json),
+            other => Err(format!("unknown log format '{other}' (expected text|json)")),
+        }
+    }
+}
+
+/// A leveled structured logger writing to stderr.
+#[derive(Debug, Clone, Copy)]
+pub struct Logger {
+    level: LogLevel,
+    format: LogFormat,
+}
+
+impl Logger {
+    /// Creates a logger emitting records at or above `level`.
+    pub fn new(level: LogLevel, format: LogFormat) -> Self {
+        Self { level, format }
+    }
+
+    /// Whether a record at `level` would be emitted.
+    pub fn enabled(&self, level: LogLevel) -> bool {
+        level <= self.level
+    }
+
+    /// The configured maximum level.
+    pub fn level(&self) -> LogLevel {
+        self.level
+    }
+
+    /// The configured output format.
+    pub fn format(&self) -> LogFormat {
+        self.format
+    }
+
+    /// Emits one record with the given event name and fields, if `level`
+    /// is enabled.
+    pub fn log(&self, level: LogLevel, event: &str, fields: &[(&str, FieldValue)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let line = self.render(level, event, fields);
+        let mut stderr = std::io::stderr().lock();
+        let _ = stderr.write_all(line.as_bytes());
+    }
+
+    /// Shorthand for [`Self::log`] at [`LogLevel::Info`].
+    pub fn info(&self, event: &str, fields: &[(&str, FieldValue)]) {
+        self.log(LogLevel::Info, event, fields);
+    }
+
+    /// Shorthand for [`Self::log`] at [`LogLevel::Warn`].
+    pub fn warn(&self, event: &str, fields: &[(&str, FieldValue)]) {
+        self.log(LogLevel::Warn, event, fields);
+    }
+
+    /// Shorthand for [`Self::log`] at [`LogLevel::Error`].
+    pub fn error(&self, event: &str, fields: &[(&str, FieldValue)]) {
+        self.log(LogLevel::Error, event, fields);
+    }
+
+    /// Renders a record (including the trailing newline) without writing
+    /// it; exposed for tests.
+    pub fn render(&self, level: LogLevel, event: &str, fields: &[(&str, FieldValue)]) -> String {
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+            .unwrap_or(0);
+        let mut out = String::with_capacity(96);
+        match self.format {
+            LogFormat::Json => {
+                out.push_str("{\"ts\":");
+                out.push_str(&ts_ms.to_string());
+                out.push_str(",\"level\":");
+                push_json_string(&mut out, level.name());
+                out.push_str(",\"event\":");
+                push_json_string(&mut out, event);
+                for (key, value) in fields {
+                    out.push(',');
+                    push_json_string(&mut out, key);
+                    out.push(':');
+                    match value {
+                        FieldValue::U64(v) => out.push_str(&v.to_string()),
+                        FieldValue::I64(v) => out.push_str(&v.to_string()),
+                        FieldValue::F64(v) => crate::json::push_json_f64(&mut out, *v),
+                        FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+                        FieldValue::Str(v) => push_json_string(&mut out, v),
+                    }
+                }
+                out.push('}');
+            }
+            LogFormat::Text => {
+                out.push_str("ts=");
+                out.push_str(&ts_ms.to_string());
+                out.push_str(" level=");
+                out.push_str(level.name());
+                out.push_str(" event=");
+                out.push_str(event);
+                for (key, value) in fields {
+                    out.push(' ');
+                    out.push_str(key);
+                    out.push('=');
+                    match value {
+                        FieldValue::U64(v) => out.push_str(&v.to_string()),
+                        FieldValue::I64(v) => out.push_str(&v.to_string()),
+                        FieldValue::F64(v) => out.push_str(&v.to_string()),
+                        FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+                        FieldValue::Str(v) => {
+                            // Quote strings containing whitespace or '='
+                            // so lines stay splittable.
+                            if v.contains([' ', '=', '"']) {
+                                push_json_string(&mut out, v);
+                            } else {
+                                out.push_str(v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parse_and_ordering() {
+        assert_eq!(LogLevel::parse("INFO").unwrap(), LogLevel::Info);
+        assert_eq!(LogLevel::parse("warning").unwrap(), LogLevel::Warn);
+        assert!(LogLevel::parse("loud").is_err());
+        assert!(LogLevel::Error < LogLevel::Warn);
+        assert!(LogLevel::Warn < LogLevel::Info);
+        assert!(LogLevel::Info < LogLevel::Debug);
+    }
+
+    #[test]
+    fn format_parse() {
+        assert_eq!(LogFormat::parse("json").unwrap(), LogFormat::Json);
+        assert_eq!(LogFormat::parse("TEXT").unwrap(), LogFormat::Text);
+        assert!(LogFormat::parse("xml").is_err());
+    }
+
+    #[test]
+    fn enabled_respects_threshold() {
+        let logger = Logger::new(LogLevel::Warn, LogFormat::Text);
+        assert!(logger.enabled(LogLevel::Error));
+        assert!(logger.enabled(LogLevel::Warn));
+        assert!(!logger.enabled(LogLevel::Info));
+        assert!(!logger.enabled(LogLevel::Debug));
+    }
+
+    #[test]
+    fn json_render_is_one_valid_object_per_line() {
+        let logger = Logger::new(LogLevel::Debug, LogFormat::Json);
+        let line = logger.render(
+            LogLevel::Info,
+            "http_request",
+            &[
+                ("method", FieldValue::Str("GET".to_owned())),
+                ("path", FieldValue::Str("/metrics".to_owned())),
+                ("status", FieldValue::U64(200)),
+            ],
+        );
+        assert!(line.ends_with("}\n"));
+        assert!(line.starts_with("{\"ts\":"));
+        assert!(line.contains("\"level\":\"info\""));
+        assert!(line.contains("\"event\":\"http_request\""));
+        assert!(line.contains("\"method\":\"GET\",\"path\":\"/metrics\",\"status\":200"));
+        assert_eq!(line.matches('\n').count(), 1);
+    }
+
+    #[test]
+    fn text_render_quotes_awkward_strings() {
+        let logger = Logger::new(LogLevel::Debug, LogFormat::Text);
+        let line = logger.render(
+            LogLevel::Warn,
+            "scenario_registered",
+            &[
+                ("name", FieldValue::Str("plain-name".to_owned())),
+                ("detail", FieldValue::Str("has space".to_owned())),
+            ],
+        );
+        assert!(line.contains("level=warn"));
+        assert!(line.contains("event=scenario_registered"));
+        assert!(line.contains("name=plain-name"));
+        assert!(line.contains("detail=\"has space\""));
+    }
+}

@@ -1,0 +1,200 @@
+//! Prometheus text-exposition rendering.
+//!
+//! Emits the [text-based exposition format]: a `# HELP` and `# TYPE`
+//! header per metric family, all samples of a family consecutive, label
+//! values escaped, and histograms rendered as cumulative `_bucket{le=...}`
+//! series (in **seconds**, the Prometheus convention for durations) plus
+//! `_sum` and `_count`.
+//!
+//! [text-based exposition format]:
+//! https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::metrics::{HistogramSnapshot, RecorderSnapshot, BUCKET_BOUNDS_NS};
+
+/// Escapes a label value: backslash, double-quote and newline.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes HELP text: backslash and newline (quotes are legal there).
+pub fn escape_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    for ch in help.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_header(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&escape_help(help));
+    out.push('\n');
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+/// Writes a counter family with its headers.
+pub fn write_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    write_header(out, name, help, "counter");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// Writes a gauge family with its headers.
+pub fn write_gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    write_header(out, name, help, "gauge");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// Writes a histogram family with its headers: cumulative buckets with
+/// `le` bounds in seconds, a `+Inf` bucket, `_sum` (seconds) and `_count`.
+pub fn write_histogram(out: &mut String, name: &str, help: &str, snapshot: &HistogramSnapshot) {
+    write_header(out, name, help, "histogram");
+    let mut cumulative = 0u64;
+    for (idx, &count) in snapshot.counts.iter().enumerate() {
+        cumulative += count;
+        out.push_str(name);
+        out.push_str("_bucket{le=\"");
+        if idx < BUCKET_BOUNDS_NS.len() {
+            out.push_str(&format!("{}", BUCKET_BOUNDS_NS[idx] as f64 / 1e9));
+        } else {
+            out.push_str("+Inf");
+        }
+        out.push_str("\"} ");
+        out.push_str(&cumulative.to_string());
+        out.push('\n');
+    }
+    out.push_str(name);
+    out.push_str("_sum ");
+    out.push_str(&format!("{}", snapshot.sum_ns as f64 / 1e9));
+    out.push('\n');
+    out.push_str(name);
+    out.push_str("_count ");
+    out.push_str(&cumulative.to_string());
+    out.push('\n');
+}
+
+/// Writes every metric in a [`RecorderSnapshot`], counters first, then
+/// gauges, then histograms, each group in name order.
+pub fn write_snapshot(out: &mut String, snapshot: &RecorderSnapshot) {
+    for (name, help, value) in &snapshot.counters {
+        write_counter(out, name, help, *value);
+    }
+    for (name, help, value) in &snapshot.gauges {
+        write_gauge(out, name, help, *value);
+    }
+    for (name, help, hist) in &snapshot.histograms {
+        write_histogram(out, name, help, hist);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Histogram, Recorder};
+
+    #[test]
+    fn escapes() {
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(
+            escape_help("multi\nline \\ with \"quotes\""),
+            "multi\\nline \\\\ with \"quotes\""
+        );
+    }
+
+    #[test]
+    fn counter_and_gauge_families() {
+        let mut out = String::new();
+        write_counter(&mut out, "aarc_things_total", "Things seen.", 7);
+        write_gauge(&mut out, "aarc_rate", "Current rate.", 2.5);
+        assert_eq!(
+            out,
+            "# HELP aarc_things_total Things seen.\n\
+             # TYPE aarc_things_total counter\n\
+             aarc_things_total 7\n\
+             # HELP aarc_rate Current rate.\n\
+             # TYPE aarc_rate gauge\n\
+             aarc_rate 2.5\n"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let h = Histogram::new();
+        h.record_ns(1_500); // (1µs, 2µs]
+        h.record_ns(1_500);
+        h.record_ns(3_000_000); // (2ms, 5ms]
+        h.record_ns(u64::MAX); // overflow
+        let mut out = String::new();
+        write_histogram(&mut out, "aarc_test_seconds", "Test.", &h.snapshot());
+
+        assert!(
+            out.starts_with("# HELP aarc_test_seconds Test.\n# TYPE aarc_test_seconds histogram\n")
+        );
+        // First bound 1µs = 0.000001s with zero observations.
+        assert!(out.contains("aarc_test_seconds_bucket{le=\"0.000001\"} 0\n"));
+        // 2µs bucket holds the two 1.5µs records.
+        assert!(out.contains("aarc_test_seconds_bucket{le=\"0.000002\"} 2\n"));
+        // By 5ms all but the overflow record are included.
+        assert!(out.contains("aarc_test_seconds_bucket{le=\"0.005\"} 3\n"));
+        assert!(out.contains("aarc_test_seconds_bucket{le=\"+Inf\"} 4\n"));
+        assert!(out.contains("aarc_test_seconds_count 4\n"));
+
+        // Bucket values never decrease and +Inf equals _count.
+        let mut last = 0u64;
+        let mut inf = None;
+        for line in out.lines() {
+            if let Some(rest) = line.strip_prefix("aarc_test_seconds_bucket{le=\"") {
+                let (bound, count) = rest.split_once("\"} ").unwrap();
+                let count: u64 = count.parse().unwrap();
+                assert!(count >= last, "bucket counts must be monotonic");
+                last = count;
+                if bound == "+Inf" {
+                    inf = Some(count);
+                }
+            }
+        }
+        assert_eq!(inf, Some(4));
+    }
+
+    #[test]
+    fn snapshot_rendering_is_deterministic() {
+        let recorder = Recorder::new();
+        recorder.counter("b_total", "B.").add(1);
+        recorder.counter("a_total", "A.").add(2);
+        recorder.gauge("g", "G.").set(1.0);
+        recorder.histogram("h_seconds", "H.").record_ns(10);
+        let mut first = String::new();
+        write_snapshot(&mut first, &recorder.snapshot());
+        let mut second = String::new();
+        write_snapshot(&mut second, &recorder.snapshot());
+        assert_eq!(first, second);
+        // Counters render in name order.
+        let a = first.find("a_total 2").unwrap();
+        let b = first.find("b_total 1").unwrap();
+        assert!(a < b);
+    }
+}

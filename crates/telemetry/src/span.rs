@@ -1,0 +1,63 @@
+//! Monotonic-clock spans: a stopwatch that deposits its elapsed time into
+//! a histogram when finished.
+//!
+//! Spans are created explicitly by the caller — there is no thread-local
+//! ambient context — which keeps them zero-cost at sites where telemetry
+//! is not attached: no `Span::start` call, no clock read.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// A named, in-progress timing measurement.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    started: Instant,
+}
+
+impl Span {
+    /// Starts a span now (one monotonic clock read).
+    pub fn start(name: &'static str) -> Self {
+        Self {
+            name,
+            started: Instant::now(),
+        }
+    }
+
+    /// The name this span was started with.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Nanoseconds elapsed since the span started, without ending it.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Ends the span, records its duration into `histogram`, and returns
+    /// the elapsed nanoseconds.
+    pub fn finish(self, histogram: &Histogram) -> u64 {
+        let ns = self.elapsed_ns();
+        histogram.record_ns(ns);
+        ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_records_into_histogram() {
+        let h = Histogram::new();
+        let span = Span::start("unit");
+        assert_eq!(span.name(), "unit");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let ns = span.finish(&h);
+        assert!(ns >= 2_000_000, "span measured {ns}ns");
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.sum_ns, ns);
+    }
+}
