@@ -14,28 +14,49 @@ impl Args {
     /// Parses `--name value` / `--name=value` pairs and positionals;
     /// `known` lists the accepted flag names (without `--`).
     pub fn parse(argv: &[String], known: &[&str]) -> Result<Args, String> {
+        Args::parse_with_switches(argv, known, &[])
+    }
+
+    /// Like [`Args::parse`], with `switches` naming valueless boolean
+    /// flags: `--name` alone means true (`--name=true|false` also works,
+    /// so scripts can template the value).
+    pub fn parse_with_switches(
+        argv: &[String],
+        known: &[&str],
+        switches: &[&str],
+    ) -> Result<Args, String> {
         let mut args = Args::default();
         let mut it = argv.iter();
         while let Some(a) = it.next() {
             if let Some(flag) = a.strip_prefix("--") {
                 // `--name=value` carries its value inline; `--name` takes
-                // the next argument.
+                // the next argument (switches take none).
                 let (name, inline) = match flag.split_once('=') {
                     Some((name, value)) => (name, Some(value.to_owned())),
                     None => (flag, None),
                 };
-                if !known.contains(&name) {
+                if !known.contains(&name) && !switches.contains(&name) {
                     return Err(format!(
                         "unknown flag `--{name}` (accepted: {})",
                         known
                             .iter()
+                            .chain(switches)
                             .map(|k| format!("--{k}"))
                             .collect::<Vec<_>>()
                             .join(", ")
                     ));
                 }
                 let value = match inline {
+                    Some(value) if switches.contains(&name) => match value.as_str() {
+                        "true" | "false" => value,
+                        other => {
+                            return Err(format!(
+                                "switch `--{name}` accepts only true or false (got `{other}`)"
+                            ))
+                        }
+                    },
                     Some(value) => value,
+                    None if switches.contains(&name) => "true".to_owned(),
                     None => it
                         .next()
                         .ok_or_else(|| format!("flag `--{name}` needs a value"))?
@@ -49,6 +70,12 @@ impl Args {
             }
         }
         Ok(args)
+    }
+
+    /// Whether a boolean switch (declared via [`Args::parse_with_switches`])
+    /// is on.
+    pub fn switch(&self, name: &str) -> bool {
+        self.get(name) == Some("true")
     }
 
     /// A string flag.
@@ -133,6 +160,22 @@ mod tests {
         assert!(Args::parse(&argv(&["--spec=a", "--spec", "b"]), &["spec"]).is_err());
         assert!(Args::parse(&argv(&["--spec", "a", "--spec=b"]), &["spec"]).is_err());
         assert!(Args::parse(&argv(&["--spec=a", "--spec=b"]), &["spec"]).is_err());
+    }
+
+    #[test]
+    fn switches_are_valueless_booleans() {
+        let a = Args::parse_with_switches(
+            &argv(&["--hold", "--concurrent", "10"]),
+            &["concurrent"],
+            &["hold"],
+        )
+        .unwrap();
+        assert!(a.switch("hold"));
+        assert_eq!(a.get_parsed::<usize>("concurrent").unwrap(), Some(10));
+        let b = Args::parse_with_switches(&argv(&["--hold=false"]), &[], &["hold"]).unwrap();
+        assert!(!b.switch("hold"));
+        assert!(!b.switch("absent"));
+        assert!(Args::parse_with_switches(&argv(&["--hold=maybe"]), &[], &["hold"]).is_err());
     }
 
     #[test]

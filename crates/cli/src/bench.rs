@@ -41,10 +41,11 @@ use crate::version::VersionInfo;
 
 /// Version stamp of the `BENCH_*.json` schema (2 added the aggregate
 /// shared-pool phase; 3 added per-batch eval latency percentiles and build
-/// provenance). Version-1/2 baselines still parse — the added fields are
-/// optional and simply absent, so they carry no latency or provenance to
-/// gate against.
-pub const BENCH_VERSION: u32 = 3;
+/// provenance; 4 added the optional `serve` phase written by
+/// `aarc loadtest --bench`). Version-1/2/3 baselines still parse — the
+/// added fields are optional and simply absent, so they carry no latency,
+/// provenance or serving numbers to gate against.
+pub const BENCH_VERSION: u32 = 4;
 
 /// One timed batch evaluation at a fixed thread count.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -122,6 +123,35 @@ pub struct AggregatePhase {
     pub sims_per_sec: f64,
 }
 
+/// The serving phase written by `aarc loadtest --bench`: request latency
+/// and admission-control outcomes of driving many concurrent search
+/// sessions against an in-process daemon over real sockets.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ServePhase {
+    /// HTTP requests issued by the harness.
+    pub requests: u64,
+    /// Median request latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, ms.
+    pub p99_ms: f64,
+    /// Sessions the daemon admitted (201 replies).
+    pub sessions_started: u64,
+    /// Peak concurrently-live sessions observed.
+    pub concurrent_peak: u64,
+    /// Requests answered 2xx.
+    pub accepted_2xx: u64,
+    /// Requests rejected 429 (quota or rate admission control).
+    pub rejected_429: u64,
+    /// Requests rejected 503 (global watermark or shutdown).
+    pub rejected_503: u64,
+    /// Requests answered 5xx — always 0 on a passing run.
+    pub server_errors_5xx: u64,
+    /// Wall-clock time of the whole loadtest, ms.
+    pub wall_ms: f64,
+    /// Requests per second sustained over the run.
+    pub requests_per_sec: f64,
+}
+
 /// The complete `BENCH_*.json` document.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -139,6 +169,9 @@ pub struct BenchReport {
     /// Provenance of the binary that produced the report (absent in
     /// version-1/2 baselines).
     pub build_info: Option<VersionInfo>,
+    /// The serving phase, merged in by `aarc loadtest --bench` (absent in
+    /// version-1/2/3 baselines and in plain `aarc bench` reports).
+    pub serve: Option<ServePhase>,
     /// Sum of the per-scenario search wall-clocks, ms.
     pub total_search_wall_ms: f64,
     /// Geometric mean of the per-scenario parallel speedups.
@@ -339,6 +372,7 @@ pub fn run_bench(
         scenarios,
         aggregate: Some(aggregate),
         build_info: Some(VersionInfo::current()),
+        serve: None,
         total_search_wall_ms,
         mean_speedup,
     })
@@ -512,6 +546,42 @@ mod tests {
         // Gating against a pre-latency baseline works unchanged: the gate
         // only reads wall-clock and throughput, which v2 still carries.
         assert!(gate_failures(&report, Some(&parsed), 0.2, None).is_empty());
+    }
+
+    #[test]
+    fn version_3_baselines_without_a_serve_phase_still_parse() {
+        let path = tiny_spec_path();
+        let report = run_bench(&[path], 1, 8).unwrap();
+        assert!(
+            report.serve.is_none(),
+            "plain bench never adds a serve phase"
+        );
+        let mut v3 = serde_json::to_value(&report);
+        strip_key(&mut v3, "serve");
+        let parsed: BenchReport = serde_json::from_value(&v3).unwrap();
+        assert!(parsed.serve.is_none());
+        assert!(gate_failures(&report, Some(&parsed), 0.2, None).is_empty());
+        // And a report that does carry a serve phase round-trips.
+        let mut with_serve = report.clone();
+        with_serve.serve = Some(ServePhase {
+            requests: 100,
+            p50_ms: 1.0,
+            p99_ms: 5.0,
+            sessions_started: 40,
+            concurrent_peak: 40,
+            accepted_2xx: 90,
+            rejected_429: 10,
+            rejected_503: 0,
+            server_errors_5xx: 0,
+            wall_ms: 250.0,
+            requests_per_sec: 400.0,
+        });
+        let json = serde_json::to_string_pretty(&with_serve).unwrap();
+        let parsed: BenchReport = serde_json::from_str(&json).unwrap();
+        let serve = parsed.serve.expect("serve phase survives the round-trip");
+        assert_eq!(serve.requests, 100);
+        assert_eq!(serve.rejected_429, 10);
+        assert_eq!(serve.server_errors_5xx, 0);
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! A minimal blocking HTTP/1.1 client for talking to `aarc serve` — the
+//! mirror image of [`crate::http`], used by the loadtest harness and by
+//! integration tests. One request per connection (`Connection: close`, the
+//! daemon's contract), bodies sized by `Content-Length`, responses read to
+//! EOF and parsed just enough to recover the status line, headers and
+//! body.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Response headers as `(lowercase-name, trimmed-value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes, decoded as UTF-8 (the daemon only ever sends
+    /// JSON or text).
+    pub body: String,
+}
+
+impl HttpReply {
+    /// The first value of a header, if present (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Sends one request and reads the full response. `api_key`, when given,
+/// is sent as `X-Api-Key`. The timeout bounds both the connect and each
+/// read/write.
+///
+/// # Errors
+///
+/// Returns a message on connect/read/write failure or an unparseable
+/// response; non-2xx statuses are NOT errors (callers inspect `status`).
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    api_key: Option<&str>,
+    body: &[u8],
+    timeout: Duration,
+) -> Result<HttpReply, String> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, timeout).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+    if let Some(key) = api_key {
+        head.push_str("X-Api-Key: ");
+        head.push_str(key);
+        head.push_str("\r\n");
+    }
+    head.push_str(&format!(
+        "Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    ));
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .map_err(|e| format!("write {method} {path}: {e}"))?;
+    let mut raw = Vec::with_capacity(1024);
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read {method} {path}: {e}"))?;
+    parse_reply(&raw).map_err(|e| format!("{method} {path}: {e}"))
+}
+
+/// Parses a full `Connection: close` response held in memory.
+fn parse_reply(raw: &[u8]) -> Result<HttpReply, String> {
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("response has no header terminator")?;
+    let header_text =
+        std::str::from_utf8(&raw[..header_end]).map_err(|_| "response headers are not utf-8")?;
+    let mut lines = header_text.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    // `HTTP/1.1 200 OK` — the code is the second token.
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line `{status_line}`"))?;
+    let headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(name, value)| (name.trim().to_ascii_lowercase(), value.trim().to_owned()))
+        .collect();
+    let body = String::from_utf8(raw[header_end + 4..].to_vec())
+        .map_err(|_| "response body is not utf-8")?;
+    Ok(HttpReply {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_response() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/problem+json\r\nRetry-After: 2\r\nConnection: close\r\n\r\n{\"status\":429}";
+        let reply = parse_reply(raw).unwrap();
+        assert_eq!(reply.status, 429);
+        assert_eq!(reply.header("retry-after"), Some("2"));
+        assert_eq!(reply.header("Retry-After"), Some("2"));
+        assert_eq!(reply.body, "{\"status\":429}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_reply(b"not http").is_err());
+        assert!(parse_reply(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn round_trips_against_the_daemon_contract() {
+        // A tiny one-shot server speaking the daemon's exact wire format.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let request = crate::http::read_request(&mut stream).unwrap().unwrap();
+            assert_eq!(request.method, "POST");
+            assert_eq!(request.path, "/api/v1/sessions");
+            assert_eq!(request.header("x-api-key"), Some("k1"));
+            assert_eq!(request.body, b"{\"scenario\":\"s\"}");
+            crate::http::Response::json(201, "{\"id\":1}".to_owned())
+                .write_to(&mut stream)
+                .unwrap();
+        });
+        let reply = http_request(
+            addr,
+            "POST",
+            "/api/v1/sessions",
+            Some("k1"),
+            b"{\"scenario\":\"s\"}",
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        server.join().unwrap();
+        assert_eq!(reply.status, 201);
+        assert_eq!(reply.body, "{\"id\":1}");
+    }
+}

@@ -12,6 +12,7 @@ use crate::bench;
 use crate::methods;
 use crate::report::CompareReport;
 use crate::sweep::{self, SweepClass};
+use crate::tenant::TenantRegistry;
 
 const USAGE: &str = "\
 aarc — declarative scenario runner for the AARC reproduction
@@ -32,18 +33,38 @@ USAGE:
                                                 emit BENCH_*.json perf measurements
                                                 and gate against a committed baseline
     aarc serve [--addr HOST:PORT] [--threads N]
+               [--tenants FILE] [--max-live-sessions N]
                [--log-level error|warn|info|debug] [--log-format text|json]
-                                                long-running configuration daemon:
-                                                upload/validate/list/delete scenarios,
-                                                start/poll/pause/cancel search sessions,
-                                                fetch reports, scrape /metrics,
+                                                long-running, multi-tenant configuration
+                                                daemon: upload/validate/list/delete
+                                                scenarios, start/poll/pause/cancel search
+                                                sessions, fetch reports, scrape /metrics,
                                                 /version, /debug/events and per-session
-                                                convergence traces over a JSON HTTP API
-                                                (default addr 127.0.0.1:7411; port 0 =
-                                                ephemeral). Structured logs go to
-                                                stderr. POST /shutdown drains sessions
+                                                convergence traces over a versioned JSON
+                                                HTTP API mounted at /api/v1 (bare legacy
+                                                paths stay as deprecated aliases).
+                                                --tenants FILE maps X-Api-Key headers to
+                                                tenant namespaces with per-tenant quotas
+                                                and rate limits; without it a single
+                                                unlimited anonymous tenant is assumed.
+                                                Admission control rejects (429/503
+                                                problem+json with Retry-After) instead
+                                                of queuing. (default addr 127.0.0.1:7411;
+                                                port 0 = ephemeral). Structured logs go
+                                                to stderr. POST /shutdown drains sessions
                                                 and exits 0 (SIGTERM cannot be trapped
                                                 in this no-libc build)
+    aarc loadtest [--concurrent N] [--tenants N] [--clients N] [--threads N]
+                  [--rps R] [--hold] [--min-concurrent N] [--method NAME]
+                  [--out FILE] [--bench FILE]
+                                                spawn an in-process daemon and drive N
+                                                concurrent sessions against it through
+                                                real sockets; reports p50/p99 request
+                                                latency and admission 2xx/429/503 counts
+                                                (any 5xx fails the run). --hold pauses
+                                                sessions to pin peak concurrency;
+                                                --bench merges a `serve` phase into an
+                                                `aarc bench` JSON report (schema v4)
     aarc export-builtin [--dir DIR] [--format yaml|json]
                                                 write the three paper workloads as specs
     aarc generate --seed N [--layers N] [--max-width N] [--edge-prob P]
@@ -73,6 +94,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("sweep") => cmd_sweep(&argv[1..]),
         Some("bench") => cmd_bench(&argv[1..]),
         Some("serve") => cmd_serve(&argv[1..]),
+        Some("loadtest") => cmd_loadtest(&argv[1..]),
         Some("export-builtin") => cmd_export_builtin(&argv[1..]),
         Some("generate") => cmd_generate(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -149,15 +171,39 @@ fn parse_threads(args: &Args) -> Result<usize, String> {
 }
 
 fn cmd_serve(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["addr", "threads", "log-level", "log-format"])?;
+    let args = Args::parse(
+        argv,
+        &[
+            "addr",
+            "threads",
+            "tenants",
+            "max-live-sessions",
+            "log-level",
+            "log-format",
+        ],
+    )?;
     if !args.positional().is_empty() {
         return Err(format!(
             "serve takes no positional arguments (got `{}`)",
             args.positional().join(" ")
         ));
     }
-    let addr = args.get("addr").unwrap_or("127.0.0.1:7411");
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7411").to_owned();
     let threads = parse_threads(&args)?;
+    let tenants = match args.get("tenants") {
+        None => TenantRegistry::single_anonymous(),
+        Some(path) => {
+            let contents =
+                std::fs::read_to_string(path).map_err(|e| format!("--tenants {path}: {e}"))?;
+            TenantRegistry::from_file_contents(&contents)
+                .map_err(|e| format!("--tenants {path}: {e}"))?
+        }
+    };
+    let max_live_sessions = match args.get_parsed::<usize>("max-live-sessions")? {
+        Some(0) => return Err("--max-live-sessions must be at least 1 (got 0)".to_owned()),
+        Some(n) => n,
+        None => crate::serve::DEFAULT_MAX_LIVE_SESSIONS,
+    };
     let level = match args.get("log-level") {
         None => LogLevel::Info,
         Some(raw) => LogLevel::parse(raw).map_err(|e| format!("--log-level: {e}"))?,
@@ -166,7 +212,51 @@ fn cmd_serve(argv: &[String]) -> Result<(), String> {
         None => LogFormat::Text,
         Some(raw) => LogFormat::parse(raw).map_err(|e| format!("--log-format: {e}"))?,
     };
-    crate::serve::run_serve(addr, threads, Logger::new(level, format))
+    let config = crate::serve::ServeConfig {
+        addr,
+        threads,
+        tenants,
+        max_live_sessions,
+        logger: Logger::new(level, format),
+    };
+    crate::serve::run_serve(config, None)
+}
+
+fn cmd_loadtest(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse_with_switches(
+        argv,
+        &[
+            "concurrent",
+            "tenants",
+            "clients",
+            "threads",
+            "rps",
+            "min-concurrent",
+            "method",
+            "out",
+            "bench",
+        ],
+        &["hold"],
+    )?;
+    if !args.positional().is_empty() {
+        return Err(format!(
+            "loadtest takes no positional arguments (got `{}`)",
+            args.positional().join(" ")
+        ));
+    }
+    let options = crate::loadtest::LoadtestOptions {
+        concurrent: args.get_parsed::<usize>("concurrent")?.unwrap_or(1000),
+        tenants: args.get_parsed::<usize>("tenants")?.unwrap_or(8),
+        clients: args.get_parsed::<usize>("clients")?.unwrap_or(32),
+        threads: parse_threads(&args)?,
+        rps: args.get_parsed::<f64>("rps")?,
+        hold: args.switch("hold"),
+        min_concurrent: args.get_parsed::<usize>("min-concurrent")?.unwrap_or(0),
+        method: args.get("method").unwrap_or("aarc").to_owned(),
+        out: args.get("out").map(str::to_owned),
+        bench: args.get("bench").map(str::to_owned),
+    };
+    crate::loadtest::run_loadtest(&options)
 }
 
 fn cmd_run(argv: &[String]) -> Result<(), String> {

@@ -8,9 +8,12 @@
 //! * request line `METHOD SP PATH SP HTTP/1.x`, headers terminated by an
 //!   empty line, optional body sized by `Content-Length` (chunked bodies
 //!   are rejected with `411 Length Required` semantics at the call site);
+//! * request headers are captured (lower-cased names) so the router can
+//!   read `X-Api-Key` for tenant resolution;
 //! * responses are always `Connection: close`: one request per
 //!   connection, which every HTTP client (curl included) handles and
-//!   which keeps the daemon free of keep-alive bookkeeping;
+//!   which keeps the daemon free of keep-alive bookkeeping; responses may
+//!   carry extra headers (`Retry-After`, `Deprecation`, ...);
 //! * hard caps on header block (16 KiB) and body (8 MiB) so a misbehaving
 //!   client cannot balloon daemon memory.
 
@@ -31,6 +34,9 @@ pub struct Request {
     pub path: String,
     /// Raw query string (without the `?`); empty when the target has none.
     pub query: String,
+    /// Request headers as `(lowercase-name, trimmed-value)` pairs, in
+    /// arrival order.
+    pub headers: Vec<(String, String)>,
     /// Raw request body (`Content-Length` bytes).
     pub body: Vec<u8>,
 }
@@ -44,6 +50,15 @@ impl Request {
             let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
             (key == name).then_some(value)
         })
+    }
+
+    /// Looks up a request header by name (case-insensitive). Returns the
+    /// first occurrence's trimmed value.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -112,21 +127,24 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, BadReques
         None => (target.to_owned(), String::new()),
     };
 
+    let mut headers: Vec<(String, String)> = Vec::new();
     let mut content_length: usize = 0;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_owned();
+        if name == "content-length" {
             content_length = value
-                .trim()
                 .parse()
-                .map_err(|_| BadRequest(format!("bad content-length `{}`", value.trim())))?;
-        } else if name.trim().eq_ignore_ascii_case("transfer-encoding") {
+                .map_err(|_| BadRequest(format!("bad content-length `{value}`")))?;
+        } else if name == "transfer-encoding" {
             return Err(BadRequest(
                 "chunked transfer encoding is not supported; send Content-Length".into(),
             ));
         }
+        headers.push((name, value));
     }
     if content_length > MAX_BODY_BYTES {
         return Err(BadRequest("body exceeds 8 MiB".into()));
@@ -147,6 +165,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, BadReques
         method,
         path,
         query,
+        headers,
         body,
     }))
 }
@@ -162,6 +181,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (`Retry-After`, `Deprecation`, ...) as
+    /// `(name, value)` pairs, emitted after `Content-Type`.
+    pub headers: Vec<(&'static str, String)>,
     /// Response body.
     pub body: String,
 }
@@ -172,6 +194,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body,
         }
     }
@@ -181,18 +204,27 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body,
         }
     }
 
-    /// A JSON error envelope: `{"error": "<message>"}`.
-    pub fn error(status: u16, message: &str) -> Self {
-        let mut body = serde_json::to_string_pretty(&ErrorBody {
-            error: message.to_owned(),
-        })
-        .expect("error envelope serializes");
-        body.push('\n');
-        Response::json(status, body)
+    /// Adds an extra response header (builder-style).
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.headers.push((name, value));
+        self
+    }
+
+    /// The first value of an extra header, if present (case-insensitive).
+    /// Test-only: production code writes headers out, it never reads them
+    /// back.
+    #[cfg(test)]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 
     /// Serializes the response (status line, headers, body) onto `stream`.
@@ -202,22 +234,24 @@ impl Response {
     /// Propagates I/O errors (the peer may already be gone; callers
     /// typically ignore the failure and drop the connection).
     pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len()
         );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("Connection: close\r\n\r\n");
         stream.write_all(head.as_bytes())?;
         stream.write_all(self.body.as_bytes())?;
         stream.flush()
     }
-}
-
-#[derive(serde::Serialize)]
-struct ErrorBody {
-    error: String,
 }
 
 /// The reason phrase of the status codes the API uses.
@@ -226,9 +260,12 @@ fn reason(status: u16) -> &'static str {
         200 => "OK",
         201 => "Created",
         400 => "Bad Request",
+        401 => "Unauthorized",
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
@@ -288,6 +325,17 @@ mod tests {
     }
 
     #[test]
+    fn headers_are_captured_case_insensitively() {
+        let req = roundtrip(b"GET /metrics HTTP/1.1\r\nX-Api-Key:  tenant-key \r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.header("x-api-key"), Some("tenant-key"));
+        assert_eq!(req.header("X-Api-Key"), Some("tenant-key"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("absent"), None);
+    }
+
+    #[test]
     fn query_params_are_retrievable() {
         let req = roundtrip(b"GET /debug/events?limit=16&flag&x=a=b HTTP/1.1\r\n\r\n")
             .unwrap()
@@ -340,10 +388,23 @@ mod tests {
     }
 
     #[test]
-    fn error_envelope_is_json() {
-        let r = Response::error(404, "no such session");
-        assert_eq!(r.status, 404);
-        assert!(r.body.contains("\"error\""));
-        assert!(r.body.contains("no such session"));
+    fn extra_headers_are_emitted_before_connection_close() {
+        let (mut client, mut server) = pair();
+        Response::json(429, "{}".into())
+            .with_header("Retry-After", "2".into())
+            .with_header("Deprecation", "true".into())
+            .write_to(&mut server)
+            .unwrap();
+        drop(server);
+        let mut raw = String::new();
+        client.read_to_string(&mut raw).unwrap();
+        assert!(
+            raw.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{raw}"
+        );
+        assert!(raw.contains("Retry-After: 2\r\n"));
+        assert!(raw.contains("Deprecation: true\r\n"));
+        let headers_end = raw.find("\r\n\r\n").unwrap();
+        assert!(raw[..headers_end].ends_with("Connection: close"));
     }
 }

@@ -6,7 +6,8 @@
 //! aarc compare --spec FILE [--threads N] [--out FILE] [--format json|csv]
 //! aarc sweep <spec|dir>... [--methods a,b] [--classes c,d] [--threads N] [--format json|csv]
 //! aarc bench <spec>... [--threads N] [--batch N] [--out FILE] [--baseline FILE]
-//! aarc serve [--addr HOST:PORT] [--threads N] [--log-level LEVEL] [--log-format text|json]
+//! aarc serve [--addr HOST:PORT] [--threads N] [--tenants FILE] [--max-live-sessions N]
+//! aarc loadtest [--concurrent N] [--tenants N] [--clients N] [--hold] [--bench FILE]
 //! aarc export-builtin [--dir DIR] [--format yaml|json]
 //! aarc generate --seed N [--layers N] [--max-width N] [--out FILE]
 //! ```
@@ -21,12 +22,16 @@ use std::process::ExitCode;
 
 mod args;
 mod bench;
+mod client;
 mod commands;
 mod http;
+mod loadtest;
 mod methods;
+mod problem;
 mod report;
 mod serve;
 mod sweep;
+mod tenant;
 mod version;
 
 fn main() -> ExitCode {

@@ -1,0 +1,216 @@
+//! RFC-7807 `application/problem+json` error documents.
+//!
+//! Every non-2xx response on the serve API is built here: one shared
+//! builder, a closed set of typed error kinds, and a stable `type` URI per
+//! kind (`/api/v1/problems/<slug>`, documented in the README). The shape
+//! is always `{type, title, status, detail, instance}`; 429/503 documents
+//! additionally carry a `Retry-After` header.
+
+use crate::http::Response;
+use serde::Value;
+
+/// The media type of every error document.
+pub const PROBLEM_CONTENT_TYPE: &str = "application/problem+json";
+
+/// The closed set of error kinds the API emits. Each kind fixes the
+/// `type` URI, the `title` and the default status code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Malformed request: unparseable body, bad query parameter, missing
+    /// field (400).
+    BadRequest,
+    /// Missing or unknown API key when anonymous access is disabled (401).
+    Unauthorized,
+    /// No such route or resource — also used for resources owned by a
+    /// different tenant, so existence never leaks across tenants (404).
+    NotFound,
+    /// The route exists but not for this method (405).
+    MethodNotAllowed,
+    /// The resource exists and the request conflicts with its state (409).
+    Conflict,
+    /// The payload parsed but failed semantic validation: invalid spec,
+    /// unknown method or input class (422).
+    ValidationFailed,
+    /// A per-tenant quota (scenarios or live sessions) is exhausted (429).
+    QuotaExceeded,
+    /// The tenant's token-bucket rate limit is exhausted (429).
+    RateLimited,
+    /// The shared evaluation service is saturated; the global live-session
+    /// watermark rejected the start (503).
+    Saturated,
+    /// The daemon is draining after `POST /shutdown` (503).
+    ShuttingDown,
+}
+
+impl Kind {
+    /// The `type` URI slug (`/api/v1/problems/<slug>`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Kind::BadRequest => "bad-request",
+            Kind::Unauthorized => "unauthorized",
+            Kind::NotFound => "not-found",
+            Kind::MethodNotAllowed => "method-not-allowed",
+            Kind::Conflict => "conflict",
+            Kind::ValidationFailed => "validation-failed",
+            Kind::QuotaExceeded => "quota-exceeded",
+            Kind::RateLimited => "rate-limited",
+            Kind::Saturated => "saturated",
+            Kind::ShuttingDown => "shutting-down",
+        }
+    }
+
+    /// The human-readable `title`, constant per kind.
+    pub fn title(self) -> &'static str {
+        match self {
+            Kind::BadRequest => "Bad request",
+            Kind::Unauthorized => "Unauthorized",
+            Kind::NotFound => "Not found",
+            Kind::MethodNotAllowed => "Method not allowed",
+            Kind::Conflict => "Conflict",
+            Kind::ValidationFailed => "Validation failed",
+            Kind::QuotaExceeded => "Quota exceeded",
+            Kind::RateLimited => "Rate limited",
+            Kind::Saturated => "Service saturated",
+            Kind::ShuttingDown => "Shutting down",
+        }
+    }
+
+    /// The HTTP status code the kind maps to.
+    pub fn status(self) -> u16 {
+        match self {
+            Kind::BadRequest => 400,
+            Kind::Unauthorized => 401,
+            Kind::NotFound => 404,
+            Kind::MethodNotAllowed => 405,
+            Kind::Conflict => 409,
+            Kind::ValidationFailed => 422,
+            Kind::QuotaExceeded | Kind::RateLimited => 429,
+            Kind::Saturated | Kind::ShuttingDown => 503,
+        }
+    }
+}
+
+/// Builder for one problem document.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    kind: Kind,
+    detail: String,
+    retry_after: Option<u64>,
+}
+
+impl Problem {
+    /// A problem of `kind` with a request-specific `detail` sentence.
+    pub fn new(kind: Kind, detail: impl Into<String>) -> Self {
+        Problem {
+            kind,
+            detail: detail.into(),
+            retry_after: None,
+        }
+    }
+
+    /// Attaches a `Retry-After` header (seconds) to the response.
+    #[must_use]
+    pub fn retry_after(mut self, seconds: u64) -> Self {
+        self.retry_after = Some(seconds);
+        self
+    }
+
+    /// Renders the document as an HTTP response; `instance` is the
+    /// request path the problem occurred on.
+    ///
+    /// `type` is a Rust keyword, so the document is assembled as a raw
+    /// `Value` map rather than a derived struct.
+    pub fn response(self, instance: &str) -> Response {
+        let doc = Value::Map(vec![
+            (
+                "type".to_owned(),
+                Value::Str(format!("/api/v1/problems/{}", self.kind.slug())),
+            ),
+            ("title".to_owned(), Value::Str(self.kind.title().to_owned())),
+            (
+                "status".to_owned(),
+                Value::Int(i64::from(self.kind.status())),
+            ),
+            ("detail".to_owned(), Value::Str(self.detail)),
+            ("instance".to_owned(), Value::Str(instance.to_owned())),
+        ]);
+        let mut body = serde_json::to_string_pretty(&doc).expect("problem document serializes");
+        body.push('\n');
+        let mut response = Response {
+            status: self.kind.status(),
+            content_type: PROBLEM_CONTENT_TYPE,
+            headers: Vec::new(),
+            body,
+        };
+        if let Some(seconds) = self.retry_after {
+            response = response.with_header("Retry-After", seconds.to_string());
+        }
+        response
+    }
+}
+
+/// Shorthand: build and render in one call.
+pub fn problem(kind: Kind, detail: impl Into<String>, instance: &str) -> Response {
+    Problem::new(kind, detail).response(instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL_KINDS: [Kind; 10] = [
+        Kind::BadRequest,
+        Kind::Unauthorized,
+        Kind::NotFound,
+        Kind::MethodNotAllowed,
+        Kind::Conflict,
+        Kind::ValidationFailed,
+        Kind::QuotaExceeded,
+        Kind::RateLimited,
+        Kind::Saturated,
+        Kind::ShuttingDown,
+    ];
+
+    #[test]
+    fn every_kind_renders_a_complete_document() {
+        for kind in ALL_KINDS {
+            let response = problem(kind, "something specific", "/api/v1/sessions");
+            assert_eq!(response.status, kind.status(), "{:?}", kind);
+            assert_eq!(response.content_type, PROBLEM_CONTENT_TYPE);
+            let doc: Value = serde_json::from_str(&response.body).unwrap();
+            let obj = match &doc {
+                Value::Map(map) => map,
+                other => panic!("problem body is not an object: {other:?}"),
+            };
+            for key in ["type", "title", "status", "detail", "instance"] {
+                assert!(
+                    obj.iter().any(|(k, _)| k == key),
+                    "{:?} document missing `{key}`",
+                    kind
+                );
+            }
+            assert!(response.body.contains(kind.slug()));
+            assert!(response.body.contains("something specific"));
+            assert!(response.body.contains("/api/v1/sessions"));
+        }
+    }
+
+    #[test]
+    fn retry_after_becomes_a_header() {
+        let response = Problem::new(Kind::RateLimited, "bucket empty")
+            .retry_after(3)
+            .response("/api/v1/sessions");
+        assert_eq!(response.status, 429);
+        assert_eq!(response.header("Retry-After"), Some("3"));
+    }
+
+    #[test]
+    fn statuses_match_rfc_semantics() {
+        assert_eq!(Kind::QuotaExceeded.status(), 429);
+        assert_eq!(Kind::RateLimited.status(), 429);
+        assert_eq!(Kind::Saturated.status(), 503);
+        assert_eq!(Kind::ShuttingDown.status(), 503);
+        assert_eq!(Kind::ValidationFailed.status(), 422);
+        assert_eq!(Kind::Unauthorized.status(), 401);
+    }
+}

@@ -8,6 +8,25 @@
 //! start search sessions (method × input class × SLO), poll their
 //! progress, fetch final reports and scrape `/metrics`.
 //!
+//! The API is **versioned and multi-tenant**:
+//!
+//! * every route is mounted under `/api/v1/...`; the bare legacy paths
+//!   remain as aliases that answer with a `Deprecation: true` header, and
+//!   `GET /api/v1` serves a discovery document;
+//! * an `X-Api-Key` header resolves to a [`crate::tenant::Tenant`];
+//!   scenarios, sessions and metric labels are partitioned per tenant and
+//!   a tenant can never observe (or delete) another tenant's resources —
+//!   cross-tenant lookups answer `404`, not `403`, so existence never
+//!   leaks. The shared memo-cache still deduplicates identical scenario
+//!   environments *below* the namespace (same fingerprint ⇒ same cached
+//!   simulations), which is invisible to clients except as speed;
+//! * admission control rejects instead of queuing: per-tenant scenario /
+//!   live-session quotas and token-bucket rate limits answer `429`, the
+//!   global live-session watermark and a draining daemon answer `503`,
+//!   both as RFC-7807 problem documents with `Retry-After`;
+//! * every non-2xx response is `application/problem+json` (see
+//!   [`crate::problem`]).
+//!
 //! A single **scheduler thread** round-robins
 //! [`SearchSession::step`](aarc_core::SearchSession::step) across all live
 //! sessions, so concurrent clients' searches interleave on the shared
@@ -23,12 +42,13 @@
 //! first and treat SIGTERM as the hard fallback.
 
 use std::collections::BTreeMap;
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use aarc_core::report::ConfigurationReport;
 use aarc_core::{AarcError, RoundPoint, SearchSession, SessionProgress, SessionState};
@@ -41,7 +61,9 @@ use aarc_workloads::Workload;
 
 use crate::http::{read_request, Request, Response};
 use crate::methods;
+use crate::problem::{problem, Kind, Problem};
 use crate::sweep::SweepClass;
+use crate::tenant::{TenantId, TenantRegistry};
 use crate::version::VersionInfo;
 
 /// How long a connection may sit idle before the daemon gives up on it
@@ -55,6 +77,36 @@ const FLIGHT_CAPACITY: usize = 1024;
 
 /// Default and maximum `limit` of `GET /debug/events`.
 const DEFAULT_EVENT_LIMIT: usize = 64;
+
+/// `limit` applied to paginated listings when the query omits it.
+const DEFAULT_PAGE_LIMIT: usize = 50;
+
+/// Hard ceiling of the pagination `limit` (larger requests are clamped).
+const MAX_PAGE_LIMIT: usize = 500;
+
+/// Default global live-session watermark: above this many concurrently
+/// live (running or paused) sessions, new session starts are rejected
+/// with `503` instead of queuing without bound.
+pub const DEFAULT_MAX_LIVE_SESSIONS: usize = 1024;
+
+/// The observable session phases, as used by the `status=` list filter.
+const PHASE_LABELS: [&str; 5] = ["running", "paused", "finished", "failed", "cancelled"];
+
+/// Everything `run_serve` needs, bundled so callers (CLI flags, the
+/// loadtest harness, tests) build it in one place.
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (port 0 picks an ephemeral
+    /// port, reported in the readiness line and the `ready` channel).
+    pub addr: String,
+    /// Worker threads of the shared evaluation pool.
+    pub threads: usize,
+    /// Tenant registry (API keys, quotas, rate limits).
+    pub tenants: TenantRegistry,
+    /// Global live-session watermark for admission control.
+    pub max_live_sessions: usize,
+    /// Structured logger.
+    pub logger: Logger,
+}
 
 /// The daemon's observability bundle: the metric registry every layer
 /// records into, the shared flight recorder, the structured logger, and
@@ -115,7 +167,8 @@ struct ScenarioEntry<'s> {
     /// scenario's sessions: the class environment is compiled once and
     /// every further session clones the (cheap, `Arc`-backed) handle.
     /// Their fingerprints are unregistered — and their cache entries
-    /// purged — when the scenario is deleted.
+    /// purged — when the scenario is deleted, unless another entry (in
+    /// any tenant) still references the same fingerprint.
     handles: BTreeMap<String, ScenarioHandle<'s>>,
 }
 
@@ -160,6 +213,7 @@ struct FinalSummary {
 /// published progress snapshot and the terminal result.
 struct Slot<'s> {
     id: u64,
+    tenant: TenantId,
     scenario: String,
     method: String,
     class: String,
@@ -181,23 +235,33 @@ struct Slot<'s> {
     error: Option<String>,
 }
 
-/// Shared daemon state: the evaluation substrate, the runtime scenario
-/// registry and the session table. Connection handlers and the scheduler
-/// thread share it by reference inside one thread scope.
+/// Shared daemon state: the evaluation substrate, the tenant registry,
+/// the (tenant-partitioned) runtime scenario registry and the session
+/// table. Connection handlers and the scheduler thread share it by
+/// reference inside one thread scope.
 struct ServeState<'s> {
     service: &'s EvalService,
     telemetry: &'s ServeTelemetry,
-    scenarios: Mutex<BTreeMap<String, ScenarioEntry<'s>>>,
+    tenants: TenantRegistry,
+    max_live_sessions: usize,
+    scenarios: Mutex<BTreeMap<(TenantId, String), ScenarioEntry<'s>>>,
     sessions: Mutex<BTreeMap<u64, Slot<'s>>>,
     next_session_id: AtomicU64,
     shutdown: AtomicBool,
 }
 
 impl<'s> ServeState<'s> {
-    fn new(service: &'s EvalService, telemetry: &'s ServeTelemetry) -> Self {
+    fn new(
+        service: &'s EvalService,
+        telemetry: &'s ServeTelemetry,
+        tenants: TenantRegistry,
+        max_live_sessions: usize,
+    ) -> Self {
         ServeState {
             service,
             telemetry,
+            tenants,
+            max_live_sessions,
             scenarios: Mutex::new(BTreeMap::new()),
             sessions: Mutex::new(BTreeMap::new()),
             next_session_id: AtomicU64::new(1),
@@ -225,16 +289,52 @@ impl<'s> ServeState<'s> {
     fn drained(&self) -> bool {
         self.shutting_down() && self.live_sessions() == 0
     }
+
+    /// Counts one authenticated API request against the tenant's
+    /// per-tenant request counter family.
+    fn count_tenant_request(&self, tenant: &str) {
+        self.telemetry
+            .recorder
+            .labeled_counter(
+                "aarc_tenant_http_requests_total",
+                "Authenticated API requests, per tenant.",
+                &[("tenant", tenant)],
+            )
+            .inc();
+    }
+
+    /// Counts one admission-control rejection (rate, quota, saturated,
+    /// shutdown) for the tenant.
+    fn count_rejection(&self, tenant: &str, reason: &'static str) {
+        self.telemetry
+            .recorder
+            .labeled_counter(
+                "aarc_tenant_rejected_total",
+                "Requests rejected by admission control, per tenant and reason.",
+                &[("tenant", tenant), ("reason", reason)],
+            )
+            .inc();
+    }
 }
 
-/// Runs the daemon until a graceful shutdown completes.
+/// Runs the daemon until a graceful shutdown completes. When `ready` is
+/// given, the bound address (useful with port 0) is sent on it right
+/// after the listener is up — the in-process channel twin of the
+/// readiness stderr line.
 ///
 /// # Errors
 ///
 /// Returns a user-facing message when the listener cannot bind; runtime
 /// errors of individual requests are reported to the client, never fatal.
-pub fn run_serve(addr: &str, threads: usize, logger: Logger) -> Result<(), String> {
-    let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+pub fn run_serve(config: ServeConfig, ready: Option<Sender<SocketAddr>>) -> Result<(), String> {
+    let ServeConfig {
+        addr,
+        threads,
+        tenants,
+        max_live_sessions,
+        logger,
+    } = config;
+    let listener = TcpListener::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let local = listener
         .local_addr()
         .map_err(|e| format!("cannot resolve local address: {e}"))?;
@@ -246,17 +346,25 @@ pub fn run_serve(addr: &str, threads: usize, logger: Logger) -> Result<(), Strin
     service
         .attach_telemetry(telemetry.eval_telemetry())
         .expect("fresh service has no telemetry attached");
-    let state = ServeState::new(&service, &telemetry);
+    let state = ServeState::new(&service, &telemetry, tenants, max_live_sessions);
     // The readiness line is the machine-readable contract of the CI smoke
     // job and the integration tests: they parse the bound (possibly
     // ephemeral) port out of it. It must stay the FIRST stderr line, so it
     // is printed before any log record.
     eprintln!("aarc serve: listening on {local} ({threads} worker threads)");
+    if let Some(ready) = ready {
+        let _ = ready.send(local);
+    }
     telemetry.logger.info(
         "serve_started",
         &[
             ("addr", FieldValue::Str(local.to_string())),
             ("threads", FieldValue::U64(threads as u64)),
+            ("tenants", FieldValue::U64(state.tenants.all().len() as u64)),
+            (
+                "max_live_sessions",
+                FieldValue::U64(state.max_live_sessions as u64),
+            ),
         ],
     );
 
@@ -462,7 +570,7 @@ fn handle_connection(state: &ServeState<'_>, mut stream: TcpStream) {
     let (response, method, path) = match read_request(&mut stream) {
         Ok(None) => return,
         Err(e) => (
-            Response::error(400, &e.to_string()),
+            problem(Kind::BadRequest, e.to_string(), "-"),
             "-".to_owned(),
             "-".to_owned(),
         ),
@@ -496,42 +604,288 @@ fn handle_connection(state: &ServeState<'_>, mut stream: TcpStream) {
 // Routing and endpoint handlers
 // ---------------------------------------------------------------------------
 
-/// Dispatches one request to its endpoint handler.
+/// Dispatches one request: `/api/v1/...` is the canonical surface; every
+/// bare legacy path remains an alias answering with `Deprecation: true`.
 fn route(state: &ServeState<'_>, request: &Request) -> Response {
-    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
-    match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => Response::json(200, "{\"status\": \"ok\"}\n".to_owned()),
-        ("GET", ["metrics"]) => Response::text(200, render_metrics(state)),
-        ("GET", ["version"]) => json_response(200, &VersionInfo::current()),
-        ("GET", ["debug", "events"]) => debug_events(state, request),
-        ("GET", ["scenarios"]) => list_scenarios(state),
-        ("POST", ["scenarios"]) => upload_scenario(state, &request.body),
-        ("POST", ["scenarios", "validate"]) => validate_scenario(&request.body),
-        ("DELETE", ["scenarios", name]) => delete_scenario(state, name),
-        ("GET", ["sessions"]) => list_sessions(state),
-        ("POST", ["sessions"]) => start_session(state, &request.body),
-        ("GET", ["sessions", id]) => with_session_id(id, |id| session_status(state, id)),
-        ("GET", ["sessions", id, "report"]) => with_session_id(id, |id| session_report(state, id)),
-        ("GET", ["sessions", id, "trace"]) => with_session_id(id, |id| session_trace(state, id)),
-        ("POST", ["sessions", id, action @ ("pause" | "resume" | "cancel")]) => {
-            with_session_id(id, |id| control_session(state, id, action))
+    match request.path.strip_prefix("/api/v1") {
+        Some(rest) if rest.is_empty() || rest.starts_with('/') => {
+            route_core(state, request, rest, true)
         }
-        ("POST", ["shutdown"]) => request_shutdown(state),
-        (
-            _,
-            ["healthz" | "metrics" | "version" | "scenarios" | "sessions" | "shutdown"]
-            | ["scenarios" | "sessions" | "debug", ..],
-        ) => Response::error(405, &format!("method {} not allowed here", request.method)),
-        _ => Response::error(404, &format!("no such endpoint `{}`", request.path)),
+        _ => route_core(state, request, &request.path, false)
+            .with_header("Deprecation", "true".to_owned()),
     }
 }
 
-fn with_session_id(raw: &str, f: impl FnOnce(u64) -> Response) -> Response {
-    match raw.parse::<u64>() {
-        Ok(id) => f(id),
-        Err(_) => Response::error(400, &format!("session id `{raw}` is not a number")),
+/// Routes one request whose path has already had the version prefix
+/// stripped. `v1` marks the canonical surface (it alone serves the
+/// discovery document at its root).
+fn route_core(state: &ServeState<'_>, request: &Request, path: &str, v1: bool) -> Response {
+    let instance = request.path.as_str();
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", []) if v1 => discovery(),
+        ("GET", ["healthz"]) => Response::json(200, "{\"status\": \"ok\"}\n".to_owned()),
+        ("GET", ["metrics"]) => Response::text(200, render_metrics(state)),
+        ("GET", ["version"]) => json_response(200, &VersionInfo::current()),
+        ("GET", ["debug", "events"]) => debug_events(state, request, instance),
+        ("POST", ["shutdown"]) => request_shutdown(state),
+        (_, ["scenarios" | "sessions", ..]) => route_tenant(state, request, &segments, instance),
+        (_, ["healthz" | "metrics" | "version" | "shutdown"] | ["debug", ..]) => problem(
+            Kind::MethodNotAllowed,
+            format!("method {} not allowed here", request.method),
+            instance,
+        ),
+        _ => problem(
+            Kind::NotFound,
+            format!("no such endpoint `{instance}`"),
+            instance,
+        ),
     }
 }
+
+/// The tenant-scoped surface (scenarios and sessions): resolves the
+/// `X-Api-Key` header to a tenant, meters the request through the
+/// tenant's token bucket, then dispatches. Operator endpoints (healthz,
+/// metrics, version, debug, shutdown, discovery) bypass this entirely.
+fn route_tenant(
+    state: &ServeState<'_>,
+    request: &Request,
+    segments: &[&str],
+    instance: &str,
+) -> Response {
+    let tenant_id = match state.tenants.resolve(request.header("x-api-key")) {
+        Ok(id) => id,
+        Err(e) => return problem(Kind::Unauthorized, e.detail(), instance),
+    };
+    let tenant = state.tenants.tenant(tenant_id);
+    state.count_tenant_request(&tenant.name);
+    if let Err(retry_after) = tenant.admit_request(Instant::now()) {
+        state.count_rejection(&tenant.name, "rate");
+        return Problem::new(
+            Kind::RateLimited,
+            format!(
+                "tenant `{}` exceeded its rate limit of {} requests/sec",
+                tenant.name, tenant.quotas.requests_per_sec
+            ),
+        )
+        .retry_after(retry_after)
+        .response(instance);
+    }
+    match (request.method.as_str(), segments) {
+        ("GET", ["scenarios"]) => list_scenarios(state, tenant_id, request, instance),
+        ("POST", ["scenarios"]) => upload_scenario(state, tenant_id, &request.body, instance),
+        ("POST", ["scenarios", "validate"]) => validate_scenario(&request.body, instance),
+        ("DELETE", ["scenarios", name]) => delete_scenario(state, tenant_id, name, instance),
+        ("GET", ["sessions"]) => list_sessions(state, tenant_id, request, instance),
+        ("POST", ["sessions"]) => start_session(state, tenant_id, &request.body, instance),
+        ("GET", ["sessions", id]) => with_session_id(id, instance, |id| {
+            session_status(state, tenant_id, id, instance)
+        }),
+        ("GET", ["sessions", id, "report"]) => with_session_id(id, instance, |id| {
+            session_report(state, tenant_id, id, instance)
+        }),
+        ("GET", ["sessions", id, "trace"]) => with_session_id(id, instance, |id| {
+            session_trace(state, tenant_id, id, instance)
+        }),
+        ("POST", ["sessions", id, action @ ("pause" | "resume" | "cancel")]) => {
+            with_session_id(id, instance, |id| {
+                control_session(state, tenant_id, id, action, instance)
+            })
+        }
+        _ => problem(
+            Kind::MethodNotAllowed,
+            format!("method {} not allowed here", request.method),
+            instance,
+        ),
+    }
+}
+
+/// `GET /api/v1`: the discovery document — supported versions and the
+/// route table, so clients can probe capabilities instead of hardcoding.
+fn discovery() -> Response {
+    let routes: [(&str, &str, &str); 18] = [
+        ("GET", "/api/v1", "This discovery document."),
+        ("GET", "/api/v1/healthz", "Liveness probe."),
+        ("GET", "/api/v1/metrics", "Prometheus text exposition."),
+        ("GET", "/api/v1/version", "Build provenance."),
+        (
+            "GET",
+            "/api/v1/debug/events?limit=N",
+            "Flight-recorder tail (most recent events).",
+        ),
+        (
+            "GET",
+            "/api/v1/scenarios?limit=&offset=&name=",
+            "List the tenant's scenarios (paginated envelope).",
+        ),
+        (
+            "POST",
+            "/api/v1/scenarios",
+            "Upload a scenario spec (YAML or JSON body).",
+        ),
+        (
+            "POST",
+            "/api/v1/scenarios/validate",
+            "Validate a spec without admitting it.",
+        ),
+        (
+            "DELETE",
+            "/api/v1/scenarios/{name}",
+            "Delete a scenario with no live sessions.",
+        ),
+        (
+            "GET",
+            "/api/v1/sessions?limit=&offset=&status=&scenario=",
+            "List the tenant's sessions (paginated envelope).",
+        ),
+        ("POST", "/api/v1/sessions", "Start a search session."),
+        ("GET", "/api/v1/sessions/{id}", "Session status."),
+        (
+            "GET",
+            "/api/v1/sessions/{id}/report",
+            "Final report, byte-identical to the offline run.",
+        ),
+        (
+            "GET",
+            "/api/v1/sessions/{id}/trace",
+            "Per-round convergence trace.",
+        ),
+        (
+            "POST",
+            "/api/v1/sessions/{id}/pause",
+            "Pause between steps.",
+        ),
+        (
+            "POST",
+            "/api/v1/sessions/{id}/resume",
+            "Resume a paused session.",
+        ),
+        (
+            "POST",
+            "/api/v1/sessions/{id}/cancel",
+            "Cancel the session.",
+        ),
+        (
+            "POST",
+            "/api/v1/shutdown",
+            "Stop admission, drain sessions, exit.",
+        ),
+    ];
+    let doc = Value::Map(vec![
+        ("api".to_owned(), Value::Str("aarc".to_owned())),
+        (
+            "versions".to_owned(),
+            Value::Seq(vec![Value::Str("v1".to_owned())]),
+        ),
+        (
+            "deprecated_aliases".to_owned(),
+            Value::Str(
+                "every route is also mounted at its bare legacy path and answers \
+                 with a `Deprecation: true` header there"
+                    .to_owned(),
+            ),
+        ),
+        (
+            "routes".to_owned(),
+            Value::Seq(
+                routes
+                    .iter()
+                    .map(|(method, path, summary)| {
+                        Value::Map(vec![
+                            ("method".to_owned(), Value::Str((*method).to_owned())),
+                            ("path".to_owned(), Value::Str((*path).to_owned())),
+                            ("summary".to_owned(), Value::Str((*summary).to_owned())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    json_response(200, &doc)
+}
+
+fn with_session_id(raw: &str, instance: &str, f: impl FnOnce(u64) -> Response) -> Response {
+    match raw.parse::<u64>() {
+        Ok(id) => f(id),
+        Err(_) => problem(
+            Kind::BadRequest,
+            format!("session id `{raw}` is not a number"),
+            instance,
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pagination
+// ---------------------------------------------------------------------------
+
+/// A parsed, bounded `limit`/`offset` pair.
+struct Page {
+    limit: usize,
+    offset: usize,
+}
+
+/// Parses `limit`/`offset` query parameters. `limit` defaults to
+/// [`DEFAULT_PAGE_LIMIT`] and is clamped into `[1, MAX_PAGE_LIMIT]`;
+/// `offset` defaults to 0. Non-numeric values are a 400 problem.
+fn parse_page(request: &Request, instance: &str) -> Result<Page, Response> {
+    let limit = match request.query_param("limit") {
+        None => DEFAULT_PAGE_LIMIT,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(value) => value.clamp(1, MAX_PAGE_LIMIT),
+            Err(_) => {
+                return Err(problem(
+                    Kind::BadRequest,
+                    format!("limit `{raw}` is not a non-negative integer"),
+                    instance,
+                ))
+            }
+        },
+    };
+    let offset = match request.query_param("offset") {
+        None => 0,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(value) => value,
+            Err(_) => {
+                return Err(problem(
+                    Kind::BadRequest,
+                    format!("offset `{raw}` is not a non-negative integer"),
+                    instance,
+                ))
+            }
+        },
+    };
+    Ok(Page { limit, offset })
+}
+
+/// Renders the `{items, total, next_offset}` pagination envelope over the
+/// filtered row set. `next_offset` is `null` on the last page (including
+/// an offset past the end). Ordering is the caller's: scenario listings
+/// come name-sorted, session listings id-sorted, both deterministic.
+fn page_envelope<T: Serialize>(rows: &[T], page: &Page) -> Response {
+    let total = rows.len();
+    let items: Vec<Value> = rows
+        .iter()
+        .skip(page.offset)
+        .take(page.limit)
+        .map(serde_json::to_value)
+        .collect();
+    let next_offset = if page.offset + items.len() < total {
+        Value::UInt((page.offset + items.len()) as u64)
+    } else {
+        Value::Null
+    };
+    let doc = Value::Map(vec![
+        ("items".to_owned(), Value::Seq(items)),
+        ("total".to_owned(), Value::UInt(total as u64)),
+        ("next_offset".to_owned(), next_offset),
+    ]);
+    json_response(200, &doc)
+}
+
+// ---------------------------------------------------------------------------
+// Scenario endpoints
+// ---------------------------------------------------------------------------
 
 /// Row of the `GET /scenarios` listing.
 #[derive(Debug, Serialize)]
@@ -542,25 +896,32 @@ struct ScenarioSummary {
     slo_ms: f64,
 }
 
-#[derive(Debug, Serialize)]
-struct ScenarioList {
-    scenarios: Vec<ScenarioSummary>,
-}
-
-fn list_scenarios(state: &ServeState<'_>) -> Response {
-    let scenarios = state.scenarios.lock().expect("scenario registry poisoned");
-    let list = ScenarioList {
-        scenarios: scenarios
-            .iter()
-            .map(|(name, e)| ScenarioSummary {
-                name: name.clone(),
-                functions: e.functions,
-                edges: e.edges,
-                slo_ms: e.slo_ms,
-            })
-            .collect(),
+/// `GET /scenarios?limit=&offset=&name=`: the tenant's scenarios in name
+/// order, optionally filtered by a `name` substring, paginated.
+fn list_scenarios(
+    state: &ServeState<'_>,
+    tenant_id: TenantId,
+    request: &Request,
+    instance: &str,
+) -> Response {
+    let page = match parse_page(request, instance) {
+        Ok(page) => page,
+        Err(response) => return response,
     };
-    json_response(200, &list)
+    let filter = request.query_param("name");
+    let scenarios = state.scenarios.lock().expect("scenario registry poisoned");
+    let rows: Vec<ScenarioSummary> = scenarios
+        .iter()
+        .filter(|((tenant, _), _)| *tenant == tenant_id)
+        .filter(|((_, name), _)| filter.is_none_or(|f| name.contains(f)))
+        .map(|((_, name), e)| ScenarioSummary {
+            name: name.clone(),
+            functions: e.functions,
+            edges: e.edges,
+            slo_ms: e.slo_ms,
+        })
+        .collect();
+    page_envelope(&rows, &page)
 }
 
 #[derive(Debug, Serialize)]
@@ -572,14 +933,24 @@ struct UploadReply {
 }
 
 /// `POST /scenarios`: parse the body in memory (YAML or JSON, sniffed),
-/// validate, compile, and admit the scenario into the runtime registry.
-fn upload_scenario(state: &ServeState<'_>, body: &[u8]) -> Response {
+/// validate, compile, and admit the scenario into the tenant's namespace,
+/// subject to the tenant's scenario quota.
+fn upload_scenario(
+    state: &ServeState<'_>,
+    tenant_id: TenantId,
+    body: &[u8],
+    instance: &str,
+) -> Response {
+    let tenant = state.tenants.tenant(tenant_id);
     if state.shutting_down() {
-        return Response::error(503, "daemon is shutting down");
+        state.count_rejection(&tenant.name, "shutdown");
+        return Problem::new(Kind::ShuttingDown, "daemon is shutting down")
+            .retry_after(1)
+            .response(instance);
     }
     let (spec, workload) = match parse_and_compile(body) {
         Ok(pair) => pair,
-        Err(message) => return Response::error(400, &message),
+        Err((kind, message)) => return problem(kind, message, instance),
     };
     let name = workload.name().to_owned();
     // Names become URL path segments, JSON string values and Prometheus
@@ -590,19 +961,39 @@ fn upload_scenario(state: &ServeState<'_>, body: &[u8]) -> Response {
             .chars()
             .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
     {
-        return Response::error(
-            400,
-            &format!(
+        return problem(
+            Kind::ValidationFailed,
+            format!(
                 "scenario name `{name}` must be non-empty and use only [A-Za-z0-9._-] \
                  (it becomes a URL path segment and a metrics label)"
             ),
+            instance,
         );
     }
     let mut scenarios = state.scenarios.lock().expect("scenario registry poisoned");
-    if scenarios.contains_key(&name) {
-        return Response::error(
-            409,
-            &format!("scenario `{name}` already exists (delete it first)"),
+    // The duplicate check comes before the quota check: re-uploading an
+    // existing name is a 409 conflict even for a tenant at quota (it
+    // would not increase the count).
+    if scenarios.contains_key(&(tenant_id, name.clone())) {
+        return problem(
+            Kind::Conflict,
+            format!("scenario `{name}` already exists (delete it first)"),
+            instance,
+        );
+    }
+    let owned = scenarios
+        .keys()
+        .filter(|(tenant, _)| *tenant == tenant_id)
+        .count() as u64;
+    if owned >= tenant.quotas.max_scenarios {
+        state.count_rejection(&tenant.name, "quota");
+        return problem(
+            Kind::QuotaExceeded,
+            format!(
+                "tenant `{}` is at its scenario quota ({owned}/{}); delete one first",
+                tenant.name, tenant.quotas.max_scenarios
+            ),
+            instance,
         );
     }
     let reply = UploadReply {
@@ -612,7 +1003,7 @@ fn upload_scenario(state: &ServeState<'_>, body: &[u8]) -> Response {
         slo_ms: workload.slo_ms(),
     };
     scenarios.insert(
-        name,
+        (tenant_id, name),
         ScenarioEntry {
             functions: spec.functions.len(),
             edges: spec.edges.len(),
@@ -623,6 +1014,7 @@ fn upload_scenario(state: &ServeState<'_>, body: &[u8]) -> Response {
     );
     let fields = vec![
         ("scenario", FieldValue::Str(reply.name.clone())),
+        ("tenant", FieldValue::Str(tenant.name.clone())),
         ("functions", FieldValue::U64(reply.functions as u64)),
         ("edges", FieldValue::U64(reply.edges as u64)),
         ("slo_ms", FieldValue::F64(reply.slo_ms)),
@@ -646,7 +1038,7 @@ struct ValidateReply {
 
 /// `POST /scenarios/validate`: parse + validate + compile without
 /// admitting anything.
-fn validate_scenario(body: &[u8]) -> Response {
+fn validate_scenario(body: &[u8], instance: &str) -> Response {
     match parse_and_compile(body) {
         Ok((spec, workload)) => json_response(
             200,
@@ -658,48 +1050,73 @@ fn validate_scenario(body: &[u8]) -> Response {
                 slo_ms: workload.slo_ms(),
             },
         ),
-        Err(message) => Response::error(400, &message),
+        Err((kind, message)) => problem(kind, message, instance),
     }
 }
 
 /// The shared upload/validate pipeline: bytes → spec → semantic
-/// validation → compiled workload. All in memory.
-fn parse_and_compile(body: &[u8]) -> Result<(ScenarioSpec, Workload), String> {
-    let spec = ScenarioSpec::from_slice(body).map_err(|e| e.to_string())?;
-    validate(&spec).map_err(|e| e.to_string())?;
+/// validation → compiled workload. All in memory. An unparseable body is
+/// a 400 ([`Kind::BadRequest`]); a body that parsed but failed semantic
+/// validation or compilation is a 422 ([`Kind::ValidationFailed`]).
+fn parse_and_compile(body: &[u8]) -> Result<(ScenarioSpec, Workload), (Kind, String)> {
+    let spec = ScenarioSpec::from_slice(body).map_err(|e| (Kind::BadRequest, e.to_string()))?;
+    validate(&spec).map_err(|e| (Kind::ValidationFailed, e.to_string()))?;
     let workload = aarc_spec::compile(&spec)
-        .map_err(|e| e.to_string())?
+        .map_err(|e| (Kind::ValidationFailed, e.to_string()))?
         .into_workload();
     Ok((spec, workload))
 }
 
-/// `DELETE /scenarios/{name}`: refuse while live sessions reference the
-/// scenario; otherwise drop it from the registry and unregister its
-/// fingerprints from the service (purging their cache entries).
-fn delete_scenario(state: &ServeState<'_>, name: &str) -> Response {
+/// `DELETE /scenarios/{name}`: refuse while the tenant has live sessions
+/// on the scenario; otherwise drop it from the tenant's namespace. A
+/// fingerprint is only unregistered from the service (purging its cache
+/// entries) when no other entry — of any tenant — still references it:
+/// the memo-cache is shared substrate below the namespaces.
+fn delete_scenario(
+    state: &ServeState<'_>,
+    tenant_id: TenantId,
+    name: &str,
+    instance: &str,
+) -> Response {
     let mut scenarios = state.scenarios.lock().expect("scenario registry poisoned");
-    if !scenarios.contains_key(name) {
-        return Response::error(404, &format!("no scenario named `{name}`"));
+    let key = (tenant_id, name.to_owned());
+    if !scenarios.contains_key(&key) {
+        return problem(
+            Kind::NotFound,
+            format!("no scenario named `{name}`"),
+            instance,
+        );
     }
     {
         let sessions = state.sessions.lock().expect("session table poisoned");
         let live = sessions
             .values()
-            .filter(|s| s.scenario == name && s.phase.is_live())
+            .filter(|s| s.tenant == tenant_id && s.scenario == name && s.phase.is_live())
             .count();
         if live > 0 {
-            return Response::error(
-                409,
-                &format!("scenario `{name}` has {live} live session(s); cancel them first"),
+            return problem(
+                Kind::Conflict,
+                format!("scenario `{name}` has {live} live session(s); cancel them first"),
+                instance,
             );
         }
     }
-    let entry = scenarios.remove(name).expect("checked above");
+    let entry = scenarios.remove(&key).expect("checked above");
     for handle in entry.handles.values() {
-        state.service.unregister(handle.fingerprint());
+        let fingerprint = handle.fingerprint();
+        let still_referenced = scenarios
+            .values()
+            .any(|e| e.handles.values().any(|h| h.fingerprint() == fingerprint));
+        if !still_referenced {
+            state.service.unregister(fingerprint);
+        }
     }
     let fields = vec![
         ("scenario", FieldValue::Str(name.to_owned())),
+        (
+            "tenant",
+            FieldValue::Str(state.tenants.tenant(tenant_id).name.clone()),
+        ),
         ("classes", FieldValue::U64(entry.handles.len() as u64)),
     ];
     state
@@ -719,6 +1136,10 @@ fn delete_scenario(state: &ServeState<'_>, name: &str) -> Response {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Session endpoints
+// ---------------------------------------------------------------------------
+
 /// Body of `POST /sessions`.
 #[derive(Debug, Deserialize)]
 struct StartSessionBody {
@@ -731,6 +1152,11 @@ struct StartSessionBody {
     class: Option<String>,
     /// SLO override, ms; the scenario's own SLO when omitted.
     slo_ms: Option<f64>,
+    /// Admit the session directly into the paused phase (it still counts
+    /// against live-session quotas). `POST .../resume` starts it. Used by
+    /// `aarc loadtest --hold` to pin concurrency without racing the
+    /// scheduler.
+    paused: Option<bool>,
 }
 
 #[derive(Debug, Serialize)]
@@ -745,36 +1171,58 @@ struct StartSessionReply {
 
 /// `POST /sessions`: bind a strategy to the scenario's class environment
 /// and hand the session to the scheduler. The class environment is
-/// compiled and registered once per (scenario, class) — further sessions
-/// clone the cached handle (an `Arc` bump), so repeated session starts
-/// neither recompile nor hold the registry lock for long.
-fn start_session(state: &ServeState<'_>, body: &[u8]) -> Response {
+/// compiled and registered once per (tenant, scenario, class) — further
+/// sessions clone the cached handle (an `Arc` bump). Admission is decided
+/// under the session-table lock, so concurrent starts can never overshoot
+/// a tenant's live-session quota or the global watermark: the tenant
+/// quota answers `429`, the global watermark `503`, both with
+/// `Retry-After` — never unbounded queuing.
+fn start_session(
+    state: &ServeState<'_>,
+    tenant_id: TenantId,
+    body: &[u8],
+    instance: &str,
+) -> Response {
+    let tenant = state.tenants.tenant(tenant_id);
     if state.shutting_down() {
-        return Response::error(503, "daemon is shutting down");
+        state.count_rejection(&tenant.name, "shutdown");
+        return Problem::new(Kind::ShuttingDown, "daemon is shutting down")
+            .retry_after(1)
+            .response(instance);
     }
     let text = match std::str::from_utf8(body) {
         Ok(text) => text,
-        Err(_) => return Response::error(400, "body is not valid utf-8"),
+        Err(_) => return problem(Kind::BadRequest, "body is not valid utf-8", instance),
     };
-    let request: StartSessionBody = match serde_json::from_str(text) {
-        Ok(request) => request,
-        Err(e) => return Response::error(400, &format!("invalid session request: {e}")),
+    let body: StartSessionBody = match serde_json::from_str(text) {
+        Ok(body) => body,
+        Err(e) => {
+            return problem(
+                Kind::BadRequest,
+                format!("invalid session request: {e}"),
+                instance,
+            )
+        }
     };
-    let class = match SweepClass::parse(request.class.as_deref().unwrap_or("nominal")) {
+    let class = match SweepClass::parse(body.class.as_deref().unwrap_or("nominal")) {
         Ok(class) => class,
-        Err(message) => return Response::error(400, &message),
+        Err(message) => return problem(Kind::ValidationFailed, message, instance),
     };
-    let method_name = request.method.as_deref().unwrap_or("aarc").to_owned();
+    let method_name = body.method.as_deref().unwrap_or("aarc").to_owned();
     let method = match methods::build(&method_name) {
         Ok(method) => method,
-        Err(message) => return Response::error(400, &message),
+        Err(message) => return problem(Kind::ValidationFailed, message, instance),
     };
 
     let mut scenarios = state.scenarios.lock().expect("scenario registry poisoned");
-    let Some(entry) = scenarios.get_mut(&request.scenario) else {
-        return Response::error(404, &format!("no scenario named `{}`", request.scenario));
+    let Some(entry) = scenarios.get_mut(&(tenant_id, body.scenario.clone())) else {
+        return problem(
+            Kind::NotFound,
+            format!("no scenario named `{}`", body.scenario),
+            instance,
+        );
     };
-    let slo_ms = request.slo_ms.unwrap_or(entry.slo_ms);
+    let slo_ms = body.slo_ms.unwrap_or(entry.slo_ms);
     let handle = match entry.handles.get(&class.label()) {
         Some(handle) => handle.clone(),
         None => {
@@ -785,20 +1233,65 @@ fn start_session(state: &ServeState<'_>, body: &[u8]) -> Response {
     };
     let strategy = match method.strategy(handle.env(), slo_ms) {
         Ok(strategy) => strategy,
-        Err(e) => return Response::error(400, &format!("cannot start search: {e}")),
+        Err(e) => {
+            return problem(
+                Kind::ValidationFailed,
+                format!("cannot start search: {e}"),
+                instance,
+            )
+        }
     };
-    let session = SearchSession::with_slo(strategy, handle, slo_ms);
+    let mut session = SearchSession::with_slo(strategy, handle, slo_ms);
+    let start_paused = body.paused.unwrap_or(false);
+    if start_paused {
+        session.pause();
+    }
 
+    let mut sessions = state.sessions.lock().expect("session table poisoned");
+    let tenant_live = sessions
+        .values()
+        .filter(|s| s.tenant == tenant_id && s.phase.is_live())
+        .count() as u64;
+    if tenant_live >= tenant.quotas.max_live_sessions {
+        state.count_rejection(&tenant.name, "quota");
+        return Problem::new(
+            Kind::QuotaExceeded,
+            format!(
+                "tenant `{}` is at its live-session quota ({tenant_live}/{})",
+                tenant.name, tenant.quotas.max_live_sessions
+            ),
+        )
+        .retry_after(1)
+        .response(instance);
+    }
+    let live = sessions.values().filter(|s| s.phase.is_live()).count();
+    if live >= state.max_live_sessions {
+        state.count_rejection(&tenant.name, "saturated");
+        return Problem::new(
+            Kind::Saturated,
+            format!(
+                "daemon is at its global live-session watermark ({live}/{})",
+                state.max_live_sessions
+            ),
+        )
+        .retry_after(1)
+        .response(instance);
+    }
     let id = state.next_session_id.fetch_add(1, Ordering::SeqCst);
     let slot = Slot {
         id,
-        scenario: request.scenario.clone(),
+        tenant: tenant_id,
+        scenario: body.scenario.clone(),
         method: method_name,
         class: class.label(),
         slo_ms,
         session: Some(session),
-        phase: Phase::Running,
-        want_pause: false,
+        phase: if start_paused {
+            Phase::Paused
+        } else {
+            Phase::Running
+        },
+        want_pause: start_paused,
         want_cancel: false,
         progress: SessionProgress::default(),
         trace: Vec::new(),
@@ -814,13 +1307,12 @@ fn start_session(state: &ServeState<'_>, body: &[u8]) -> Response {
         slo_ms,
         state: slot.phase.label().to_owned(),
     };
-    state
-        .sessions
-        .lock()
-        .expect("session table poisoned")
-        .insert(id, slot);
+    sessions.insert(id, slot);
+    drop(sessions);
+    drop(scenarios);
     let fields = vec![
         ("session", FieldValue::U64(id)),
+        ("tenant", FieldValue::Str(tenant.name.clone())),
         ("scenario", FieldValue::Str(reply.scenario.clone())),
         ("method", FieldValue::Str(reply.method.clone())),
         ("class", FieldValue::Str(reply.class.clone())),
@@ -869,33 +1361,73 @@ impl SessionStatus {
     }
 }
 
-#[derive(Debug, Serialize)]
-struct SessionList {
-    sessions: Vec<SessionStatus>,
-}
-
-fn list_sessions(state: &ServeState<'_>) -> Response {
-    let sessions = state.sessions.lock().expect("session table poisoned");
-    let list = SessionList {
-        sessions: sessions.values().map(SessionStatus::of).collect(),
+/// `GET /sessions?limit=&offset=&status=&scenario=`: the tenant's
+/// sessions in id order, filterable by phase label and scenario name
+/// (`name=` is accepted as an alias of `scenario=`), paginated.
+fn list_sessions(
+    state: &ServeState<'_>,
+    tenant_id: TenantId,
+    request: &Request,
+    instance: &str,
+) -> Response {
+    let page = match parse_page(request, instance) {
+        Ok(page) => page,
+        Err(response) => return response,
     };
-    json_response(200, &list)
+    let status = match request.query_param("status") {
+        None => None,
+        Some(raw) => {
+            if !PHASE_LABELS.contains(&raw) {
+                return problem(
+                    Kind::BadRequest,
+                    format!(
+                        "unknown status filter `{raw}` (expected one of {})",
+                        PHASE_LABELS.join("|")
+                    ),
+                    instance,
+                );
+            }
+            Some(raw)
+        }
+    };
+    let scenario = request
+        .query_param("scenario")
+        .or_else(|| request.query_param("name"));
+    let sessions = state.sessions.lock().expect("session table poisoned");
+    let rows: Vec<SessionStatus> = sessions
+        .values()
+        .filter(|s| s.tenant == tenant_id)
+        .filter(|s| status.is_none_or(|wanted| s.phase.label() == wanted))
+        .filter(|s| scenario.is_none_or(|wanted| s.scenario == wanted))
+        .map(SessionStatus::of)
+        .collect();
+    page_envelope(&rows, &page)
 }
 
-fn session_status(state: &ServeState<'_>, id: u64) -> Response {
+fn session_status(
+    state: &ServeState<'_>,
+    tenant_id: TenantId,
+    id: u64,
+    instance: &str,
+) -> Response {
     let sessions = state.sessions.lock().expect("session table poisoned");
-    match sessions.get(&id) {
+    match sessions.get(&id).filter(|s| s.tenant == tenant_id) {
         Some(slot) => json_response(200, &SessionStatus::of(slot)),
-        None => Response::error(404, &format!("no session {id}")),
+        None => problem(Kind::NotFound, format!("no session {id}"), instance),
     }
 }
 
 /// `GET /sessions/{id}/report`: the stored final report, byte-identical
 /// to `aarc run --format json` for the same spec/method/SLO.
-fn session_report(state: &ServeState<'_>, id: u64) -> Response {
+fn session_report(
+    state: &ServeState<'_>,
+    tenant_id: TenantId,
+    id: u64,
+    instance: &str,
+) -> Response {
     let sessions = state.sessions.lock().expect("session table poisoned");
-    let Some(slot) = sessions.get(&id) else {
-        return Response::error(404, &format!("no session {id}"));
+    let Some(slot) = sessions.get(&id).filter(|s| s.tenant == tenant_id) else {
+        return problem(Kind::NotFound, format!("no session {id}"), instance);
     };
     match slot.phase {
         Phase::Finished => Response::json(
@@ -904,17 +1436,23 @@ fn session_report(state: &ServeState<'_>, id: u64) -> Response {
                 .clone()
                 .expect("finished sessions store their report"),
         ),
-        Phase::Failed => Response::error(
-            409,
-            &format!(
+        Phase::Failed => problem(
+            Kind::Conflict,
+            format!(
                 "session {id} failed: {}",
                 slot.error.as_deref().unwrap_or("unknown error")
             ),
+            instance,
         ),
-        Phase::Cancelled => Response::error(409, &format!("session {id} was cancelled")),
-        Phase::Running | Phase::Paused => Response::error(
-            409,
-            &format!("session {id} is still {}", slot.phase.label()),
+        Phase::Cancelled => problem(
+            Kind::Conflict,
+            format!("session {id} was cancelled"),
+            instance,
+        ),
+        Phase::Running | Phase::Paused => problem(
+            Kind::Conflict,
+            format!("session {id} is still {}", slot.phase.label()),
+            instance,
         ),
     }
 }
@@ -933,10 +1471,10 @@ struct TraceReply {
 }
 
 /// `GET /sessions/{id}/trace`.
-fn session_trace(state: &ServeState<'_>, id: u64) -> Response {
+fn session_trace(state: &ServeState<'_>, tenant_id: TenantId, id: u64, instance: &str) -> Response {
     let sessions = state.sessions.lock().expect("session table poisoned");
-    let Some(slot) = sessions.get(&id) else {
-        return Response::error(404, &format!("no session {id}"));
+    let Some(slot) = sessions.get(&id).filter(|s| s.tenant == tenant_id) else {
+        return problem(Kind::NotFound, format!("no session {id}"), instance);
     };
     json_response(
         200,
@@ -954,15 +1492,16 @@ fn session_trace(state: &ServeState<'_>, id: u64) -> Response {
 /// `GET /debug/events?limit=N`: the flight recorder's tail (most recent
 /// events, oldest first). `limit` defaults to 64 and is capped at the
 /// ring's capacity.
-fn debug_events(state: &ServeState<'_>, request: &Request) -> Response {
+fn debug_events(state: &ServeState<'_>, request: &Request, instance: &str) -> Response {
     let limit = match request.query_param("limit") {
         None => DEFAULT_EVENT_LIMIT,
         Some(raw) => match raw.parse::<usize>() {
             Ok(limit) => limit.min(FLIGHT_CAPACITY),
             Err(_) => {
-                return Response::error(
-                    400,
-                    &format!("limit `{raw}` is not a non-negative integer"),
+                return problem(
+                    Kind::BadRequest,
+                    format!("limit `{raw}` is not a non-negative integer"),
+                    instance,
                 )
             }
         },
@@ -980,19 +1519,34 @@ fn debug_events(state: &ServeState<'_>, request: &Request) -> Response {
 
 /// `POST /sessions/{id}/pause|resume|cancel`: record the request; the
 /// scheduler applies it between steps.
-fn control_session(state: &ServeState<'_>, id: u64, action: &str) -> Response {
+fn control_session(
+    state: &ServeState<'_>,
+    tenant_id: TenantId,
+    id: u64,
+    action: &str,
+    instance: &str,
+) -> Response {
     let mut sessions = state.sessions.lock().expect("session table poisoned");
-    let Some(slot) = sessions.get_mut(&id) else {
-        return Response::error(404, &format!("no session {id}"));
+    let Some(slot) = sessions.get_mut(&id).filter(|s| s.tenant == tenant_id) else {
+        return problem(Kind::NotFound, format!("no session {id}"), instance);
     };
     if !slot.phase.is_live() {
-        return Response::error(409, &format!("session {id} already {}", slot.phase.label()));
+        return problem(
+            Kind::Conflict,
+            format!("session {id} already {}", slot.phase.label()),
+            instance,
+        );
     }
     match action {
         // A pause during shutdown would park the session and stall the
         // drain forever (the scheduler would force-cancel it anyway).
         "pause" if state.shutting_down() => {
-            return Response::error(503, "daemon is shutting down; pause is not accepted")
+            return Problem::new(
+                Kind::ShuttingDown,
+                "daemon is shutting down; pause is not accepted",
+            )
+            .retry_after(1)
+            .response(instance)
         }
         "pause" => slot.want_pause = true,
         "resume" => slot.want_pause = false,
@@ -1047,19 +1601,36 @@ fn family_header(out: &mut String, name: &str, kind: &str, help: &str) {
 }
 
 /// Renders the Prometheus text exposition: eval-service counters from
-/// [`EvalService::stats_snapshot`], per-session progress gauges, build
-/// provenance, and every instrument of the shared telemetry
-/// [`Recorder`] (latency histograms, kernel counters, sims/sec gauge).
-/// Every family carries `# HELP`/`# TYPE` headers and keeps its samples
-/// consecutive, as the exposition format requires.
+/// [`EvalService::stats_snapshot`] (including the new inflight saturation
+/// signals), per-tenant registry/eval/admission families, per-session
+/// progress gauges (labelled with their tenant), build provenance, and
+/// every instrument of the shared telemetry [`Recorder`] — latency
+/// histograms, kernel counters, and the per-tenant request/rejection
+/// counter families. Every family carries `# HELP`/`# TYPE` headers and
+/// keeps its samples consecutive, as the exposition format requires.
 fn render_metrics(state: &ServeState<'_>) -> String {
     use std::fmt::Write;
     let snapshot = state.service.stats_snapshot();
-    let scenario_count = state
+    // Per-tenant registry views, computed under the scenarios lock and
+    // rendered after it is dropped (lock order: scenarios before
+    // sessions, matching every other handler).
+    let tenant_count = state.tenants.all().len();
+    let mut tenant_scenarios = vec![0u64; tenant_count];
+    let mut tenant_fingerprints: Vec<std::collections::BTreeSet<u64>> =
+        vec![Default::default(); tenant_count];
+    let scenario_count = {
+        let scenarios = state.scenarios.lock().expect("scenario registry poisoned");
+        for ((tenant, _), entry) in scenarios.iter() {
+            tenant_scenarios[*tenant] += 1;
+            tenant_fingerprints[*tenant].extend(entry.handles.values().map(|h| h.fingerprint()));
+        }
+        scenarios.len()
+    };
+    let fingerprint_stats: BTreeMap<u64, (u64, u64)> = snapshot
         .scenarios
-        .lock()
-        .expect("scenario registry poisoned")
-        .len();
+        .iter()
+        .map(|s| (s.fingerprint, (s.requests, s.cache_hits)))
+        .collect();
     let mut out = String::with_capacity(8192);
 
     let build = VersionInfo::current();
@@ -1102,6 +1673,45 @@ fn render_metrics(state: &ServeState<'_>) -> String {
         family_header(&mut out, name, "counter", help);
         let _ = writeln!(out, "{name} {value}");
     }
+
+    // Per-tenant eval-cache visibility: each tenant only ever sees the
+    // aggregate over its own scenarios' fingerprints.
+    let tenant_eval: Vec<(u64, u64)> = tenant_fingerprints
+        .iter()
+        .map(|fingerprints| {
+            fingerprints
+                .iter()
+                .filter_map(|fp| fingerprint_stats.get(fp))
+                .fold((0, 0), |(r, h), &(requests, hits)| (r + requests, h + hits))
+        })
+        .collect();
+    family_header(
+        &mut out,
+        "aarc_tenant_eval_requests_total",
+        "counter",
+        "Candidate evaluations over the tenant's registered scenarios.",
+    );
+    for (tenant, &(requests, _)) in state.tenants.all().iter().zip(&tenant_eval) {
+        let _ = writeln!(
+            out,
+            "aarc_tenant_eval_requests_total{{tenant=\"{}\"}} {requests}",
+            metric_label(&tenant.name)
+        );
+    }
+    family_header(
+        &mut out,
+        "aarc_tenant_eval_cache_hits_total",
+        "counter",
+        "Memo-cache hits over the tenant's registered scenarios.",
+    );
+    for (tenant, &(_, hits)) in state.tenants.all().iter().zip(&tenant_eval) {
+        let _ = writeln!(
+            out,
+            "aarc_tenant_eval_cache_hits_total{{tenant=\"{}\"}} {hits}",
+            metric_label(&tenant.name)
+        );
+    }
+
     for (name, help, value) in [
         (
             "aarc_eval_cached_entries",
@@ -1119,8 +1729,23 @@ fn render_metrics(state: &ServeState<'_>) -> String {
             snapshot.registered_scenarios as u64,
         ),
         (
+            "aarc_eval_inflight",
+            "Evaluation calls executing right now (the saturation signal).",
+            snapshot.inflight as u64,
+        ),
+        (
+            "aarc_eval_inflight_peak",
+            "High-water mark of concurrent evaluation calls since boot.",
+            snapshot.inflight_peak as u64,
+        ),
+        (
+            "aarc_admission_max_live_sessions",
+            "Global live-session watermark enforced by admission control.",
+            state.max_live_sessions as u64,
+        ),
+        (
             "aarc_scenarios",
-            "Scenarios in the daemon's runtime registry.",
+            "Scenarios in the daemon's runtime registry (all tenants).",
             scenario_count as u64,
         ),
     ] {
@@ -1128,8 +1753,26 @@ fn render_metrics(state: &ServeState<'_>) -> String {
         let _ = writeln!(out, "{name} {value}");
     }
 
+    family_header(
+        &mut out,
+        "aarc_tenant_scenarios",
+        "gauge",
+        "Scenarios currently uploaded, per tenant.",
+    );
+    for (tenant, count) in state.tenants.all().iter().zip(&tenant_scenarios) {
+        let _ = writeln!(
+            out,
+            "aarc_tenant_scenarios{{tenant=\"{}\"}} {count}",
+            metric_label(&tenant.name)
+        );
+    }
+
     let sessions = state.sessions.lock().expect("session table poisoned");
     let live = sessions.values().filter(|s| s.phase.is_live()).count();
+    let mut tenant_live = vec![0u64; tenant_count];
+    for slot in sessions.values().filter(|s| s.phase.is_live()) {
+        tenant_live[slot.tenant] += 1;
+    }
     family_header(
         &mut out,
         "aarc_sessions_total",
@@ -1141,21 +1784,37 @@ fn render_metrics(state: &ServeState<'_>) -> String {
         &mut out,
         "aarc_sessions_live",
         "gauge",
-        "Sessions currently running or paused.",
+        "Sessions currently running or paused (all tenants).",
     );
     let _ = writeln!(out, "aarc_sessions_live {live}");
+    family_header(
+        &mut out,
+        "aarc_tenant_sessions_live",
+        "gauge",
+        "Sessions currently running or paused, per tenant.",
+    );
+    for (tenant, count) in state.tenants.all().iter().zip(&tenant_live) {
+        let _ = writeln!(
+            out,
+            "aarc_tenant_sessions_live{{tenant=\"{}\"}} {count}",
+            metric_label(&tenant.name)
+        );
+    }
 
-    // Method/class/state come from fixed vocabularies and scenario names
-    // are restricted at upload, but escape anyway so a future relaxation
-    // can never corrupt the exposition.
+    // Method/class/state come from fixed vocabularies; scenario and
+    // tenant names are restricted at upload/config load, but escape
+    // anyway so a future relaxation can never corrupt the exposition.
+    // `session` stays the FIRST label (the CI smoke job greps for it);
+    // `tenant` is appended last.
     let session_labels = |slot: &Slot<'_>| {
         format!(
-            "session=\"{}\",scenario=\"{}\",method=\"{}\",class=\"{}\",state=\"{}\"",
+            "session=\"{}\",scenario=\"{}\",method=\"{}\",class=\"{}\",state=\"{}\",tenant=\"{}\"",
             slot.id,
             metric_label(&slot.scenario),
             metric_label(&slot.method),
             metric_label(&slot.class),
-            slot.phase.label()
+            slot.phase.label(),
+            metric_label(&state.tenants.tenant(slot.tenant).name)
         )
     };
     // One pass per family so each family's samples stay consecutive under
@@ -1228,7 +1887,8 @@ fn render_metrics(state: &ServeState<'_>) -> String {
 
     // Everything recorded through the shared telemetry recorder: latency
     // histograms (eval batch, queue wait, sim time, HTTP, session step),
-    // kernel counters and the sims/sec gauge.
+    // kernel counters, the sims/sec gauge, and the per-tenant
+    // request/rejection counter families.
     aarc_telemetry::prom::write_snapshot(&mut out, &state.telemetry.recorder.snapshot());
     out
 }
@@ -1236,6 +1896,7 @@ fn render_metrics(state: &ServeState<'_>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::problem::PROBLEM_CONTENT_TYPE;
 
     fn chatbot_yaml() -> Vec<u8> {
         let (_, spec) = aarc_spec::builtin_specs()
@@ -1243,6 +1904,14 @@ mod tests {
             .find(|(name, _)| *name == "chatbot")
             .expect("chatbot is a builtin");
         aarc_spec::to_string(&spec, aarc_spec::SpecFormat::Yaml).into_bytes()
+    }
+
+    /// The chatbot spec renamed, for multi-scenario listings.
+    fn named_yaml(name: &str) -> Vec<u8> {
+        String::from_utf8(chatbot_yaml())
+            .unwrap()
+            .replace("name: chatbot", &format!("name: {name}"))
+            .into_bytes()
     }
 
     /// Looks up a key in a parsed JSON map, panicking with the key name.
@@ -1269,8 +1938,51 @@ mod tests {
             method: method.to_owned(),
             path,
             query,
+            headers: Vec::new(),
             body: body.to_vec(),
         }
+    }
+
+    /// A request carrying an `X-Api-Key` header.
+    fn keyed_request(method: &str, path: &str, key: &str, body: &[u8]) -> Request {
+        let mut request = request(method, path, body);
+        request
+            .headers
+            .push(("x-api-key".to_owned(), key.to_owned()));
+        request
+    }
+
+    fn anonymous_state<'s>(
+        service: &'s EvalService,
+        telemetry: &'s ServeTelemetry,
+    ) -> ServeState<'s> {
+        ServeState::new(
+            service,
+            telemetry,
+            TenantRegistry::single_anonymous(),
+            DEFAULT_MAX_LIVE_SESSIONS,
+        )
+    }
+
+    /// Asserts a response is a valid RFC-7807 problem document of the
+    /// given status, and returns the parsed document.
+    fn assert_problem(reply: &Response, status: u16) -> serde::Value {
+        assert_eq!(reply.status, status, "{}", reply.body);
+        assert_eq!(
+            reply.content_type, PROBLEM_CONTENT_TYPE,
+            "non-2xx must be problem+json: {}",
+            reply.body
+        );
+        let doc = serde_json::parse(&reply.body).unwrap();
+        for key in ["type", "title", "status", "detail", "instance"] {
+            field(&doc, key);
+        }
+        assert_eq!(uint(field(&doc, "status")), u64::from(status));
+        assert!(field(&doc, "type")
+            .as_str()
+            .unwrap()
+            .starts_with("/api/v1/problems/"));
+        doc
     }
 
     /// Drives the router directly (no sockets) with a manual scheduler:
@@ -1314,7 +2026,7 @@ mod tests {
     fn upload_list_delete_lifecycle() {
         let service = EvalService::with_threads(1);
         let telemetry = ServeTelemetry::quiet();
-        let state = ServeState::new(&service, &telemetry);
+        let state = anonymous_state(&service, &telemetry);
         let yaml = chatbot_yaml();
 
         let created = route(&state, &request("POST", "/scenarios", &yaml));
@@ -1322,14 +2034,14 @@ mod tests {
         assert!(created.body.contains("\"chatbot\""));
 
         let duplicate = route(&state, &request("POST", "/scenarios", &yaml));
-        assert_eq!(duplicate.status, 409);
+        assert_problem(&duplicate, 409);
 
         let listed = route(&state, &request("GET", "/scenarios", b""));
         assert_eq!(listed.status, 200);
         assert!(listed.body.contains("\"chatbot\""));
 
         let gone = route(&state, &request("DELETE", "/scenarios/nope", b""));
-        assert_eq!(gone.status, 404);
+        assert_problem(&gone, 404);
         let deleted = route(&state, &request("DELETE", "/scenarios/chatbot", b""));
         assert_eq!(deleted.status, 200);
         let listed = route(&state, &request("GET", "/scenarios", b""));
@@ -1337,14 +2049,152 @@ mod tests {
     }
 
     #[test]
+    fn v1_prefix_is_canonical_and_legacy_paths_are_deprecated_aliases() {
+        let service = EvalService::with_threads(1);
+        let telemetry = ServeTelemetry::quiet();
+        let state = anonymous_state(&service, &telemetry);
+
+        // The discovery document only exists on the canonical surface.
+        let discovery = route(&state, &request("GET", "/api/v1", b""));
+        assert_eq!(discovery.status, 200, "{}", discovery.body);
+        assert_eq!(discovery.header("Deprecation"), None);
+        let doc = serde_json::parse(&discovery.body).unwrap();
+        let versions = field(&doc, "versions").as_seq().unwrap();
+        assert_eq!(versions[0].as_str(), Some("v1"));
+        let routes = field(&doc, "routes").as_seq().unwrap();
+        assert!(routes.len() >= 15, "discovery lists the whole surface");
+        assert!(routes
+            .iter()
+            .all(|r| field(r, "path").as_str().unwrap().starts_with("/api/v1")));
+
+        // Same handler under both mounts; only the legacy one is marked.
+        let v1 = route(&state, &request("GET", "/api/v1/healthz", b""));
+        assert_eq!(v1.status, 200);
+        assert_eq!(v1.header("Deprecation"), None);
+        let legacy = route(&state, &request("GET", "/healthz", b""));
+        assert_eq!(legacy.status, 200);
+        assert_eq!(legacy.header("Deprecation"), Some("true"));
+        assert_eq!(v1.body, legacy.body);
+
+        // The whole tenant surface works under the prefix.
+        let created = route(
+            &state,
+            &request("POST", "/api/v1/scenarios", &chatbot_yaml()),
+        );
+        assert_eq!(created.status, 201, "{}", created.body);
+        let listed = route(&state, &request("GET", "/api/v1/scenarios", b""));
+        assert!(listed.body.contains("\"chatbot\""));
+        assert_eq!(listed.header("Deprecation"), None);
+
+        // Even errors on the legacy surface carry the deprecation marker,
+        // and problem instances preserve the path the client used.
+        let missing = route(&state, &request("GET", "/nope", b""));
+        assert_eq!(missing.header("Deprecation"), Some("true"));
+        let doc = assert_problem(&missing, 404);
+        assert_eq!(field(&doc, "instance").as_str(), Some("/nope"));
+        let v1_missing = route(&state, &request("GET", "/api/v1/nope", b""));
+        assert_eq!(v1_missing.header("Deprecation"), None);
+        let doc = assert_problem(&v1_missing, 404);
+        assert_eq!(field(&doc, "instance").as_str(), Some("/api/v1/nope"));
+
+        // `/api/v1garbage` is not the prefix — it is a legacy-shaped 404.
+        let odd = route(&state, &request("GET", "/api/v1garbage", b""));
+        assert_eq!(odd.status, 404);
+        assert_eq!(odd.header("Deprecation"), Some("true"));
+    }
+
+    #[test]
+    fn every_error_is_a_problem_document() {
+        let service = EvalService::with_threads(1);
+        let telemetry = ServeTelemetry::quiet();
+        let state = anonymous_state(&service, &telemetry);
+        route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
+
+        // 404: unknown endpoint, scenario, session.
+        assert_problem(&route(&state, &request("GET", "/api/v1/nope", b"")), 404);
+        assert_problem(
+            &route(&state, &request("DELETE", "/api/v1/scenarios/ghost", b"")),
+            404,
+        );
+        assert_problem(
+            &route(&state, &request("GET", "/api/v1/sessions/99", b"")),
+            404,
+        );
+        assert_problem(
+            &route(
+                &state,
+                &request("POST", "/api/v1/sessions", b"{\"scenario\": \"ghost\"}"),
+            ),
+            404,
+        );
+        // 405: wrong method on operator and tenant endpoints.
+        assert_problem(
+            &route(&state, &request("POST", "/api/v1/version", b"")),
+            405,
+        );
+        assert_problem(
+            &route(&state, &request("PUT", "/api/v1/scenarios", b"")),
+            405,
+        );
+        assert_problem(
+            &route(&state, &request("DELETE", "/api/v1/sessions/1", b"")),
+            405,
+        );
+        // 400: malformed ids, bodies and query parameters.
+        assert_problem(
+            &route(&state, &request("GET", "/api/v1/sessions/abc", b"")),
+            400,
+        );
+        assert_problem(
+            &route(
+                &state,
+                &request("POST", "/api/v1/scenarios", b"{ not a spec"),
+            ),
+            400,
+        );
+        assert_problem(
+            &route(&state, &request("POST", "/api/v1/sessions", b"not json")),
+            400,
+        );
+        assert_problem(
+            &route(
+                &state,
+                &request("GET", "/api/v1/debug/events?limit=many", b""),
+            ),
+            400,
+        );
+        // 422: parsed but semantically invalid.
+        let doc = assert_problem(
+            &route(
+                &state,
+                &request(
+                    "POST",
+                    "/api/v1/sessions",
+                    b"{\"scenario\": \"chatbot\", \"method\": \"alchemy\"}",
+                ),
+            ),
+            422,
+        );
+        assert!(field(&doc, "detail").as_str().unwrap().contains("alchemy"));
+        // 409: duplicate upload.
+        assert_problem(
+            &route(
+                &state,
+                &request("POST", "/api/v1/scenarios", &chatbot_yaml()),
+            ),
+            409,
+        );
+    }
+
+    #[test]
     fn invalid_uploads_are_rejected_with_400() {
         let service = EvalService::with_threads(1);
         let telemetry = ServeTelemetry::quiet();
-        let state = ServeState::new(&service, &telemetry);
+        let state = anonymous_state(&service, &telemetry);
         let garbage = route(&state, &request("POST", "/scenarios", b"{ not a spec"));
-        assert_eq!(garbage.status, 400);
+        assert_problem(&garbage, 400);
         let empty = route(&state, &request("POST", "/scenarios/validate", b""));
-        assert_eq!(empty.status, 400);
+        assert_problem(&empty, 400);
         let ok = route(
             &state,
             &request("POST", "/scenarios/validate", &chatbot_yaml()),
@@ -1360,24 +2210,152 @@ mod tests {
     fn scenario_names_outside_the_safe_alphabet_are_rejected() {
         let service = EvalService::with_threads(1);
         let telemetry = ServeTelemetry::quiet();
-        let state = ServeState::new(&service, &telemetry);
+        let state = anonymous_state(&service, &telemetry);
         // Names become URL path segments, JSON values and metrics labels.
+        // They parse fine, so this is a 422 (validation), not a 400.
         for bad in ["bad/name", "bad\"name", "bad name"] {
             let yaml = String::from_utf8(chatbot_yaml())
                 .unwrap()
                 .replace("name: chatbot", &format!("name: '{bad}'"));
             let reply = route(&state, &request("POST", "/scenarios", yaml.as_bytes()));
-            assert_eq!(reply.status, 400, "{bad}: {}", reply.body);
+            assert_problem(&reply, 422);
             assert!(reply.body.contains("[A-Za-z0-9._-]"), "{}", reply.body);
         }
         assert_eq!(metric_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 
     #[test]
+    fn listings_paginate_with_envelope_and_filters() {
+        let service = EvalService::with_threads(1);
+        let telemetry = ServeTelemetry::quiet();
+        let state = anonymous_state(&service, &telemetry);
+        for name in ["alpha", "beta", "gamma"] {
+            let reply = route(&state, &request("POST", "/scenarios", &named_yaml(name)));
+            assert_eq!(reply.status, 201, "{}", reply.body);
+        }
+
+        // Page 1 of 2: limit 2, next_offset points at the rest.
+        let page = route(&state, &request("GET", "/api/v1/scenarios?limit=2", b""));
+        assert_eq!(page.status, 200, "{}", page.body);
+        let doc = serde_json::parse(&page.body).unwrap();
+        assert_eq!(uint(field(&doc, "total")), 3);
+        let items = field(&doc, "items").as_seq().unwrap();
+        assert_eq!(items.len(), 2);
+        // Deterministic name order.
+        assert_eq!(field(&items[0], "name").as_str(), Some("alpha"));
+        assert_eq!(field(&items[1], "name").as_str(), Some("beta"));
+        assert_eq!(uint(field(&doc, "next_offset")), 2);
+
+        // Page 2: the final page has a null next_offset.
+        let page = route(
+            &state,
+            &request("GET", "/api/v1/scenarios?limit=2&offset=2", b""),
+        );
+        let doc = serde_json::parse(&page.body).unwrap();
+        let items = field(&doc, "items").as_seq().unwrap();
+        assert_eq!(items.len(), 1);
+        assert_eq!(field(&items[0], "name").as_str(), Some("gamma"));
+        assert!(matches!(field(&doc, "next_offset"), serde::Value::Null));
+
+        // Offset past the end: empty page, total still correct.
+        let page = route(&state, &request("GET", "/api/v1/scenarios?offset=99", b""));
+        let doc = serde_json::parse(&page.body).unwrap();
+        assert!(field(&doc, "items").as_seq().unwrap().is_empty());
+        assert_eq!(uint(field(&doc, "total")), 3);
+        assert!(matches!(field(&doc, "next_offset"), serde::Value::Null));
+
+        // limit=0 clamps to 1; limit above the cap clamps to the cap.
+        let page = route(&state, &request("GET", "/api/v1/scenarios?limit=0", b""));
+        let doc = serde_json::parse(&page.body).unwrap();
+        assert_eq!(field(&doc, "items").as_seq().unwrap().len(), 1);
+        let page = route(
+            &state,
+            &request("GET", "/api/v1/scenarios?limit=99999", b""),
+        );
+        assert_eq!(page.status, 200);
+
+        // Bad pagination parameters are 400 problems.
+        assert_problem(
+            &route(&state, &request("GET", "/api/v1/scenarios?limit=abc", b"")),
+            400,
+        );
+        assert_problem(
+            &route(&state, &request("GET", "/api/v1/scenarios?offset=-1", b"")),
+            400,
+        );
+
+        // Substring name filter.
+        let page = route(&state, &request("GET", "/api/v1/scenarios?name=amm", b""));
+        let doc = serde_json::parse(&page.body).unwrap();
+        let items = field(&doc, "items").as_seq().unwrap();
+        assert_eq!(items.len(), 1);
+        assert_eq!(field(&items[0], "name").as_str(), Some("gamma"));
+        assert_eq!(uint(field(&doc, "total")), 1, "total counts filtered rows");
+    }
+
+    #[test]
+    fn session_listings_filter_by_status_and_scenario() {
+        let service = EvalService::with_threads(1);
+        let telemetry = ServeTelemetry::quiet();
+        let state = anonymous_state(&service, &telemetry);
+        route(&state, &request("POST", "/scenarios", &named_yaml("one")));
+        route(&state, &request("POST", "/scenarios", &named_yaml("two")));
+        let start = |scenario: &str| {
+            let body = format!("{{\"scenario\": \"{scenario}\", \"method\": \"random\"}}");
+            let reply = route(
+                &state,
+                &request("POST", "/api/v1/sessions", body.as_bytes()),
+            );
+            assert_eq!(reply.status, 201, "{}", reply.body);
+        };
+        start("one");
+        start("two");
+        route(&state, &request("POST", "/api/v1/sessions/2/cancel", b""));
+        drain_sessions(&state);
+        // Session 1 finished; session 2 cancelled.
+
+        let finished = route(
+            &state,
+            &request("GET", "/api/v1/sessions?status=finished", b""),
+        );
+        let doc = serde_json::parse(&finished.body).unwrap();
+        assert_eq!(uint(field(&doc, "total")), 1);
+        let items = field(&doc, "items").as_seq().unwrap();
+        assert_eq!(uint(field(&items[0], "id")), 1);
+
+        let cancelled = route(
+            &state,
+            &request("GET", "/api/v1/sessions?status=cancelled", b""),
+        );
+        let doc = serde_json::parse(&cancelled.body).unwrap();
+        assert_eq!(uint(field(&doc, "total")), 1);
+
+        // Scenario filter (exact), with `name=` accepted as an alias.
+        for query in ["scenario=two", "name=two"] {
+            let reply = route(
+                &state,
+                &request("GET", &format!("/api/v1/sessions?{query}"), b""),
+            );
+            let doc = serde_json::parse(&reply.body).unwrap();
+            assert_eq!(uint(field(&doc, "total")), 1, "{query}");
+            let items = field(&doc, "items").as_seq().unwrap();
+            assert_eq!(field(&items[0], "scenario").as_str(), Some("two"));
+        }
+
+        // Unknown status values are 400 problems naming the vocabulary.
+        let bad = route(
+            &state,
+            &request("GET", "/api/v1/sessions?status=bogus", b""),
+        );
+        let doc = assert_problem(&bad, 400);
+        assert!(field(&doc, "detail").as_str().unwrap().contains("running"));
+    }
+
+    #[test]
     fn session_runs_to_completion_and_reports_offline_identical_bytes() {
         let service = EvalService::with_threads(2);
         let telemetry = ServeTelemetry::quiet();
-        let state = ServeState::new(&service, &telemetry);
+        let state = anonymous_state(&service, &telemetry);
         route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
 
         let started = route(
@@ -1387,7 +2365,6 @@ mod tests {
         assert_eq!(started.status, 201, "{}", started.body);
         assert!(started.body.contains("\"id\": 1"));
 
-        // A premature report poll is a 409, not an error.
         drain_sessions(&state);
         let status = route(&state, &request("GET", "/sessions/1", b""));
         assert_eq!(status.status, 200);
@@ -1400,8 +2377,11 @@ mod tests {
         // Bit-identical to the offline path: same strategy driven by
         // SearchDriver::run on a private engine.
         let workload = {
+            let anonymous = state.tenants.resolve(None).unwrap();
             let scenarios = state.scenarios.lock().unwrap();
-            scenarios["chatbot"].workload.clone()
+            scenarios[&(anonymous, "chatbot".to_owned())]
+                .workload
+                .clone()
         };
         let method = methods::build("aarc").unwrap();
         let engine = aarc_simulator::EvalEngine::with_threads(workload.env().clone(), 2);
@@ -1421,10 +2401,256 @@ mod tests {
     }
 
     #[test]
+    fn tenants_cannot_observe_each_other() {
+        let service = EvalService::with_threads(1);
+        let telemetry = ServeTelemetry::quiet();
+        let registry = TenantRegistry::from_file_contents(
+            "tenants:\n  - name: alpha\n    api_key: ka\n  - name: beta\n    api_key: kb\n",
+        )
+        .unwrap();
+        let state = ServeState::new(&service, &telemetry, registry, DEFAULT_MAX_LIVE_SESSIONS);
+
+        // Keyless requests are refused outright (no anonymous entry).
+        let doc = assert_problem(
+            &route(&state, &request("GET", "/api/v1/scenarios", b"")),
+            401,
+        );
+        assert!(field(&doc, "detail")
+            .as_str()
+            .unwrap()
+            .contains("X-Api-Key"));
+        assert_problem(
+            &route(
+                &state,
+                &keyed_request("GET", "/api/v1/scenarios", "wrong", b""),
+            ),
+            401,
+        );
+
+        // Both tenants may use the same scenario name: separate namespaces.
+        for key in ["ka", "kb"] {
+            let reply = route(
+                &state,
+                &keyed_request("POST", "/api/v1/scenarios", key, &chatbot_yaml()),
+            );
+            assert_eq!(reply.status, 201, "{key}: {}", reply.body);
+        }
+        // ...while the identical environment is registered once below the
+        // namespaces (shared memo-cache substrate).
+        let start = route(
+            &state,
+            &keyed_request(
+                "POST",
+                "/api/v1/sessions",
+                "ka",
+                b"{\"scenario\": \"chatbot\", \"method\": \"random\"}",
+            ),
+        );
+        assert_eq!(start.status, 201, "{}", start.body);
+
+        // Cross-tenant lookups answer 404, never 403: existence must not
+        // leak across namespaces.
+        let listed = route(&state, &keyed_request("GET", "/api/v1/sessions", "kb", b""));
+        let doc = serde_json::parse(&listed.body).unwrap();
+        assert_eq!(uint(field(&doc, "total")), 0, "beta sees no alpha sessions");
+        assert_problem(
+            &route(
+                &state,
+                &keyed_request("GET", "/api/v1/sessions/1", "kb", b""),
+            ),
+            404,
+        );
+        assert_problem(
+            &route(
+                &state,
+                &keyed_request("POST", "/api/v1/sessions/1/cancel", "kb", b""),
+            ),
+            404,
+        );
+
+        route(
+            &state,
+            &keyed_request("POST", "/api/v1/sessions/1/cancel", "ka", b""),
+        );
+        drain_sessions(&state);
+
+        // Alpha compiled the only live handle for this class env; its
+        // delete unregisters the fingerprint (beta's entry never compiled
+        // one, so nothing dangles). Beta's first session simply
+        // re-registers it.
+        let shared_env_registered = || service.stats_snapshot().registered_scenarios;
+        assert_eq!(shared_env_registered(), 1, "one class env was compiled");
+        let deleted = route(
+            &state,
+            &keyed_request("DELETE", "/api/v1/scenarios/chatbot", "ka", b""),
+        );
+        assert_eq!(deleted.status, 200, "{}", deleted.body);
+        assert_eq!(shared_env_registered(), 0, "alpha held the only handle");
+        let start = route(
+            &state,
+            &keyed_request(
+                "POST",
+                "/api/v1/sessions",
+                "kb",
+                b"{\"scenario\": \"chatbot\", \"method\": \"random\"}",
+            ),
+        );
+        assert_eq!(start.status, 201, "{}", start.body);
+        assert_eq!(shared_env_registered(), 1, "beta's session re-registers");
+        let id = uint(field(&serde_json::parse(&start.body).unwrap(), "id"));
+        route(
+            &state,
+            &keyed_request("POST", &format!("/api/v1/sessions/{id}/cancel"), "kb", b""),
+        );
+        drain_sessions(&state);
+        let deleted = route(
+            &state,
+            &keyed_request("DELETE", "/api/v1/scenarios/chatbot", "kb", b""),
+        );
+        assert_eq!(deleted.status, 200, "{}", deleted.body);
+        assert_eq!(shared_env_registered(), 0, "last reference unregisters");
+    }
+
+    #[test]
+    fn tenant_quotas_reject_with_429_and_recover() {
+        let service = EvalService::with_threads(1);
+        let telemetry = ServeTelemetry::quiet();
+        let registry = TenantRegistry::from_file_contents(
+            "tenants:\n  - name: small\n    api_key: ks\n    max_scenarios: 1\n    max_live_sessions: 1\n",
+        )
+        .unwrap();
+        let state = ServeState::new(&service, &telemetry, registry, DEFAULT_MAX_LIVE_SESSIONS);
+
+        let first = route(
+            &state,
+            &keyed_request("POST", "/api/v1/scenarios", "ks", &chatbot_yaml()),
+        );
+        assert_eq!(first.status, 201, "{}", first.body);
+        let over = route(
+            &state,
+            &keyed_request("POST", "/api/v1/scenarios", "ks", &named_yaml("second")),
+        );
+        let doc = assert_problem(&over, 429);
+        assert!(field(&doc, "detail").as_str().unwrap().contains("quota"));
+
+        let start = |body: &[u8]| {
+            route(
+                &state,
+                &keyed_request("POST", "/api/v1/sessions", "ks", body),
+            )
+        };
+        let first = start(b"{\"scenario\": \"chatbot\", \"method\": \"random\"}");
+        assert_eq!(first.status, 201, "{}", first.body);
+        let over = start(b"{\"scenario\": \"chatbot\", \"method\": \"random\"}");
+        let doc = assert_problem(&over, 429);
+        assert!(field(&doc, "detail")
+            .as_str()
+            .unwrap()
+            .contains("live-session"));
+        assert_eq!(over.header("Retry-After"), Some("1"));
+
+        // The quota frees as soon as the live session reaches a terminal
+        // phase.
+        route(
+            &state,
+            &keyed_request("POST", "/api/v1/sessions/1/cancel", "ks", b""),
+        );
+        drain_sessions(&state);
+        let again = start(b"{\"scenario\": \"chatbot\", \"method\": \"random\"}");
+        assert_eq!(again.status, 201, "{}", again.body);
+        route(
+            &state,
+            &keyed_request("POST", "/api/v1/sessions/2/cancel", "ks", b""),
+        );
+        drain_sessions(&state);
+    }
+
+    #[test]
+    fn rate_limited_tenants_get_429_with_retry_after() {
+        let service = EvalService::with_threads(1);
+        let telemetry = ServeTelemetry::quiet();
+        let registry = TenantRegistry::from_file_contents(
+            "tenants:\n  - name: slow\n    api_key: kr\n    requests_per_sec: 1\n    burst: 1\n",
+        )
+        .unwrap();
+        let state = ServeState::new(&service, &telemetry, registry, DEFAULT_MAX_LIVE_SESSIONS);
+        let first = route(
+            &state,
+            &keyed_request("GET", "/api/v1/scenarios", "kr", b""),
+        );
+        assert_eq!(first.status, 200, "{}", first.body);
+        let limited = route(
+            &state,
+            &keyed_request("GET", "/api/v1/scenarios", "kr", b""),
+        );
+        let doc = assert_problem(&limited, 429);
+        assert!(field(&doc, "detail")
+            .as_str()
+            .unwrap()
+            .contains("rate limit"));
+        let retry: u64 = limited.header("Retry-After").unwrap().parse().unwrap();
+        assert!(retry >= 1);
+        // Operator endpoints are exempt from tenant rate limits.
+        assert_eq!(
+            route(&state, &request("GET", "/api/v1/healthz", b"")).status,
+            200
+        );
+        assert_eq!(
+            route(&state, &request("GET", "/api/v1/metrics", b"")).status,
+            200
+        );
+    }
+
+    #[test]
+    fn global_watermark_saturates_with_503() {
+        let service = EvalService::with_threads(1);
+        let telemetry = ServeTelemetry::quiet();
+        let state = ServeState::new(&service, &telemetry, TenantRegistry::single_anonymous(), 1);
+        route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
+        let first = route(
+            &state,
+            &request(
+                "POST",
+                "/api/v1/sessions",
+                b"{\"scenario\": \"chatbot\", \"method\": \"random\"}",
+            ),
+        );
+        assert_eq!(first.status, 201, "{}", first.body);
+        let saturated = route(
+            &state,
+            &request(
+                "POST",
+                "/api/v1/sessions",
+                b"{\"scenario\": \"chatbot\", \"method\": \"random\"}",
+            ),
+        );
+        let doc = assert_problem(&saturated, 503);
+        assert!(field(&doc, "detail")
+            .as_str()
+            .unwrap()
+            .contains("watermark"));
+        assert_eq!(saturated.header("Retry-After"), Some("1"));
+        // Draining the one live session frees the watermark.
+        route(&state, &request("POST", "/api/v1/sessions/1/cancel", b""));
+        drain_sessions(&state);
+        let again = route(
+            &state,
+            &request(
+                "POST",
+                "/api/v1/sessions",
+                b"{\"scenario\": \"chatbot\", \"method\": \"random\"}",
+            ),
+        );
+        assert_eq!(again.status, 201, "{}", again.body);
+        route(&state, &request("POST", "/api/v1/sessions/2/cancel", b""));
+        drain_sessions(&state);
+    }
+
+    #[test]
     fn unknown_sessions_scenarios_and_routes_are_404() {
         let service = EvalService::with_threads(1);
         let telemetry = ServeTelemetry::quiet();
-        let state = ServeState::new(&service, &telemetry);
+        let state = anonymous_state(&service, &telemetry);
         assert_eq!(
             route(&state, &request("GET", "/sessions/7", b"")).status,
             404
@@ -1456,7 +2682,7 @@ mod tests {
     fn pause_cancel_and_delete_conflicts() {
         let service = EvalService::with_threads(1);
         let telemetry = ServeTelemetry::quiet();
-        let state = ServeState::new(&service, &telemetry);
+        let state = anonymous_state(&service, &telemetry);
         route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
         let started = route(
             &state,
@@ -1474,7 +2700,7 @@ mod tests {
         assert_eq!(paused.status, 200);
         assert!(paused.body.contains("\"paused\""), "{}", paused.body);
         let conflict = route(&state, &request("DELETE", "/scenarios/chatbot", b""));
-        assert_eq!(conflict.status, 409);
+        assert_problem(&conflict, 409);
         // A paused session does not advance.
         drain_sessions(&state);
         let status = route(&state, &request("GET", "/sessions/1", b""));
@@ -1486,14 +2712,14 @@ mod tests {
         drain_sessions(&state);
         let status = route(&state, &request("GET", "/sessions/1", b""));
         assert!(status.body.contains("\"cancelled\""), "{}", status.body);
-        assert_eq!(
-            route(&state, &request("GET", "/sessions/1/report", b"")).status,
-            409
+        assert_problem(
+            &route(&state, &request("GET", "/sessions/1/report", b"")),
+            409,
         );
         // Controls on a terminal session conflict.
-        assert_eq!(
-            route(&state, &request("POST", "/sessions/1/resume", b"")).status,
-            409
+        assert_problem(
+            &route(&state, &request("POST", "/sessions/1/resume", b"")),
+            409,
         );
         // With the session terminal, the scenario can be deleted.
         assert_eq!(
@@ -1503,10 +2729,43 @@ mod tests {
     }
 
     #[test]
-    fn metrics_exposes_service_and_session_series() {
+    fn sessions_can_start_directly_paused_and_resume() {
         let service = EvalService::with_threads(1);
         let telemetry = ServeTelemetry::quiet();
-        let state = ServeState::new(&service, &telemetry);
+        let state = anonymous_state(&service, &telemetry);
+        route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
+        let started = route(
+            &state,
+            &request(
+                "POST",
+                "/sessions",
+                b"{\"scenario\": \"chatbot\", \"paused\": true}",
+            ),
+        );
+        assert_eq!(started.status, 201, "{}", started.body);
+        assert!(started.body.contains("\"paused\""), "{}", started.body);
+        // A held session never advances on its own...
+        drain_sessions(&state);
+        let status = route(&state, &request("GET", "/sessions/1", b""));
+        assert!(status.body.contains("\"paused\""), "{}", status.body);
+        // ...but still counts as live: its scenario cannot be deleted.
+        assert_problem(
+            &route(&state, &request("DELETE", "/scenarios/chatbot", b"")),
+            409,
+        );
+        // Resume runs it to completion like any other session.
+        let resumed = route(&state, &request("POST", "/sessions/1/resume", b""));
+        assert_eq!(resumed.status, 200, "{}", resumed.body);
+        drain_sessions(&state);
+        let status = route(&state, &request("GET", "/sessions/1", b""));
+        assert!(status.body.contains("\"finished\""), "{}", status.body);
+    }
+
+    #[test]
+    fn metrics_exposes_service_session_and_tenant_series() {
+        let service = EvalService::with_threads(1);
+        let telemetry = ServeTelemetry::quiet();
+        let state = anonymous_state(&service, &telemetry);
         route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
         route(
             &state,
@@ -1519,10 +2778,18 @@ mod tests {
             "aarc_eval_requests_total ",
             "aarc_eval_cache_hits_total ",
             "aarc_eval_cached_entries ",
+            "aarc_eval_inflight ",
+            "aarc_eval_inflight_peak ",
+            "aarc_admission_max_live_sessions ",
             "aarc_scenarios 1",
             "aarc_sessions_total 1",
+            "aarc_tenant_scenarios{tenant=\"anonymous\"} 1",
+            "aarc_tenant_sessions_live{tenant=\"anonymous\"} 0",
+            "aarc_tenant_eval_requests_total{tenant=\"anonymous\"}",
+            "aarc_tenant_http_requests_total{tenant=\"anonymous\"}",
             "aarc_session_rounds{session=\"1\"",
             "aarc_session_incumbent_cost{",
+            "tenant=\"anonymous\"} ",
         ] {
             assert!(
                 metrics.body.contains(needle),
@@ -1530,13 +2797,25 @@ mod tests {
                 metrics.body
             );
         }
+        // Session series put the session label first (the CI smoke greps
+        // for it) and the tenant label last.
+        let line = metrics
+            .body
+            .lines()
+            .find(|l| l.starts_with("aarc_session_rounds{"))
+            .unwrap();
+        assert!(
+            line.starts_with("aarc_session_rounds{session=\"1\","),
+            "{line}"
+        );
+        assert!(line.contains(",tenant=\"anonymous\"}"), "{line}");
     }
 
     #[test]
     fn version_endpoint_reports_build_provenance() {
         let service = EvalService::with_threads(1);
         let telemetry = ServeTelemetry::quiet();
-        let state = ServeState::new(&service, &telemetry);
+        let state = anonymous_state(&service, &telemetry);
         let reply = route(&state, &request("GET", "/version", b""));
         assert_eq!(reply.status, 200, "{}", reply.body);
         let info: VersionInfo = serde_json::from_str(&reply.body).unwrap();
@@ -1550,7 +2829,7 @@ mod tests {
     fn debug_events_serves_the_flight_recorder_tail() {
         let service = EvalService::with_threads(1);
         let telemetry = ServeTelemetry::quiet();
-        let state = ServeState::new(&service, &telemetry);
+        let state = anonymous_state(&service, &telemetry);
         route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
         route(
             &state,
@@ -1593,14 +2872,14 @@ mod tests {
         );
 
         let bad = route(&state, &request("GET", "/debug/events?limit=many", b""));
-        assert_eq!(bad.status, 400, "{}", bad.body);
+        assert_problem(&bad, 400);
     }
 
     #[test]
     fn session_trace_returns_per_round_convergence() {
         let service = EvalService::with_threads(1);
         let telemetry = ServeTelemetry::quiet();
-        let state = ServeState::new(&service, &telemetry);
+        let state = anonymous_state(&service, &telemetry);
         route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
         route(
             &state,
@@ -1651,7 +2930,7 @@ mod tests {
         service
             .attach_telemetry(telemetry.eval_telemetry())
             .unwrap();
-        let state = ServeState::new(&service, &telemetry);
+        let state = anonymous_state(&service, &telemetry);
         route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
         route(
             &state,
@@ -1765,13 +3044,14 @@ mod tests {
         assert!(body.contains("aarc_kernel_simulations_total "));
         assert!(body.contains("aarc_build_info{"));
         assert!(body.contains("aarc_session_rounds{session=\"1\""));
+        assert!(body.contains("aarc_tenant_eval_requests_total{tenant=\"anonymous\"}"));
     }
 
     #[test]
     fn shutdown_blocks_admission_and_cancels_paused_sessions() {
         let service = EvalService::with_threads(1);
         let telemetry = ServeTelemetry::quiet();
-        let state = ServeState::new(&service, &telemetry);
+        let state = anonymous_state(&service, &telemetry);
         route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
         route(
             &state,
@@ -1782,18 +3062,18 @@ mod tests {
         let reply = route(&state, &request("POST", "/shutdown", b""));
         assert_eq!(reply.status, 200);
         assert!(reply.body.contains("\"draining\""));
-        assert_eq!(
-            route(&state, &request("POST", "/scenarios", &chatbot_yaml())).status,
-            503
+        let refused = route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
+        assert_problem(&refused, 503);
+        assert_eq!(refused.header("Retry-After"), Some("1"));
+        let refused = route(
+            &state,
+            &request("POST", "/sessions", b"{\"scenario\": \"chatbot\"}"),
         );
-        assert_eq!(
-            route(
-                &state,
-                &request("POST", "/sessions", b"{\"scenario\": \"chatbot\"}")
-            )
-            .status,
-            503
-        );
+        let doc = assert_problem(&refused, 503);
+        assert!(field(&doc, "detail")
+            .as_str()
+            .unwrap()
+            .contains("shutting down"));
         // The paused session was marked for cancellation so the drain
         // completes.
         drain_sessions(&state);
@@ -1804,7 +3084,7 @@ mod tests {
     fn pause_after_shutdown_cannot_stall_the_drain() {
         let service = EvalService::with_threads(1);
         let telemetry = ServeTelemetry::quiet();
-        let state = ServeState::new(&service, &telemetry);
+        let state = anonymous_state(&service, &telemetry);
         route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
         route(
             &state,
@@ -1814,7 +3094,7 @@ mod tests {
         // A pause landing after /shutdown is refused outright — it would
         // park the session and the daemon would never exit.
         let late_pause = route(&state, &request("POST", "/sessions/1/pause", b""));
-        assert_eq!(late_pause.status, 503, "{}", late_pause.body);
+        assert_problem(&late_pause, 503);
         // Even a pause that slipped in as a pending flag (e.g. while the
         // scheduler held the session) is converted to a cancellation by
         // the scheduler's shutdown sweep.

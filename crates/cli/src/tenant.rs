@@ -1,0 +1,437 @@
+//! Tenant configuration for `aarc serve`: API-key resolution, per-tenant
+//! quotas and token-bucket rate limits.
+//!
+//! A tenant is a named namespace. Requests carry an `X-Api-Key` header
+//! that maps to exactly one tenant; requests without the header resolve
+//! to the *anonymous* tenant when one is configured (the default when no
+//! `--tenants` file is given, which keeps the single-tenant API fully
+//! backward compatible). Scenario names, sessions, cache-statistics
+//! visibility and metric labels are all partitioned by the resolved
+//! tenant in `serve.rs`; this module only owns identity and admission
+//! arithmetic.
+//!
+//! The `--tenants` file is YAML (or JSON — YAML is a superset here):
+//!
+//! ```yaml
+//! tenants:
+//!   - name: acme
+//!     api_key: acme-key-1
+//!     max_scenarios: 8
+//!     max_live_sessions: 64
+//!     requests_per_sec: 50
+//!   - name: anonymous          # entry without api_key = keyless access
+//!     max_scenarios: 2
+//!     max_live_sessions: 4
+//! ```
+//!
+//! Omitted quota fields mean *unlimited*. When a file is given and no
+//! entry is keyless, anonymous access is disabled and keyless requests
+//! get `401` problem documents.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::Deserialize;
+
+/// Identifies a tenant inside a [`TenantRegistry`] (a plain index).
+pub type TenantId = usize;
+
+/// Characters allowed in tenant names (they become Prometheus label
+/// values and appear in log fields).
+fn name_is_valid(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+/// One tenant entry as it appears in the `--tenants` file.
+#[derive(Debug, Clone, Deserialize)]
+pub struct TenantSpec {
+    /// Tenant name: `[A-Za-z0-9._-]{1,64}`, unique across the file.
+    pub name: String,
+    /// The API key clients present in `X-Api-Key`. Omitted = this entry
+    /// serves keyless (anonymous) requests; at most one entry may omit it.
+    pub api_key: Option<String>,
+    /// Most scenarios the tenant may have uploaded at once (unlimited
+    /// when omitted).
+    pub max_scenarios: Option<u64>,
+    /// Most live (running or paused) sessions at once (unlimited when
+    /// omitted).
+    pub max_live_sessions: Option<u64>,
+    /// Sustained request rate across the tenant's whole API surface;
+    /// unlimited when omitted or zero.
+    pub requests_per_sec: Option<f64>,
+    /// Token-bucket burst capacity (defaults to one second's worth of
+    /// tokens, minimum 1).
+    pub burst: Option<f64>,
+}
+
+/// The whole `--tenants` file.
+#[derive(Debug, Clone, Deserialize)]
+pub struct TenantsFile {
+    /// All configured tenants.
+    pub tenants: Vec<TenantSpec>,
+}
+
+/// Effective per-tenant limits after defaulting.
+#[derive(Debug, Clone, Copy)]
+pub struct Quotas {
+    /// Most uploaded scenarios at once.
+    pub max_scenarios: u64,
+    /// Most live sessions at once.
+    pub max_live_sessions: u64,
+    /// Sustained requests/sec (0 = unlimited). The burst capacity lives
+    /// in the token bucket itself.
+    pub requests_per_sec: f64,
+}
+
+/// A classic token bucket: `capacity` tokens, refilled continuously at
+/// `rate` tokens/sec; each admitted request takes one token.
+#[derive(Debug)]
+struct TokenBucket {
+    tokens: f64,
+    capacity: f64,
+    rate: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    fn new(rate: f64, capacity: f64, now: Instant) -> Self {
+        TokenBucket {
+            tokens: capacity,
+            capacity,
+            rate,
+            last_refill: now,
+        }
+    }
+
+    /// Takes one token, or reports how many whole seconds until one will
+    /// be available (suitable for `Retry-After`, always ≥ 1).
+    fn try_take(&mut self, now: Instant) -> Result<(), u64> {
+        let elapsed = now
+            .saturating_duration_since(self.last_refill)
+            .as_secs_f64();
+        self.last_refill = now;
+        self.tokens = (self.tokens + elapsed * self.rate).min(self.capacity);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else {
+            let wait = (1.0 - self.tokens) / self.rate;
+            Err((wait.ceil() as u64).max(1))
+        }
+    }
+}
+
+/// One resolved tenant with its admission state.
+#[derive(Debug)]
+pub struct Tenant {
+    /// Tenant name (used as the metric label and in logs).
+    pub name: String,
+    /// The key that resolves to this tenant (`None` = anonymous entry).
+    pub api_key: Option<String>,
+    /// Effective limits.
+    pub quotas: Quotas,
+    /// Rate-limit state; `None` when `requests_per_sec` is unlimited.
+    bucket: Option<Mutex<TokenBucket>>,
+}
+
+impl Tenant {
+    fn from_spec(spec: &TenantSpec, now: Instant) -> Result<Self, String> {
+        if !name_is_valid(&spec.name) {
+            return Err(format!(
+                "tenant name `{}` is invalid (allowed: [A-Za-z0-9._-], 1-64 chars)",
+                spec.name
+            ));
+        }
+        if let Some(key) = &spec.api_key {
+            if key.is_empty() {
+                return Err(format!("tenant `{}` has an empty api_key", spec.name));
+            }
+        }
+        let rate = spec.requests_per_sec.unwrap_or(0.0);
+        if !rate.is_finite() || rate < 0.0 {
+            return Err(format!(
+                "tenant `{}`: requests_per_sec must be a finite non-negative number",
+                spec.name
+            ));
+        }
+        let burst = spec.burst.unwrap_or_else(|| rate.max(1.0));
+        if !burst.is_finite() || burst < 1.0 {
+            return Err(format!("tenant `{}`: burst must be ≥ 1", spec.name));
+        }
+        let quotas = Quotas {
+            max_scenarios: spec.max_scenarios.unwrap_or(u64::MAX),
+            max_live_sessions: spec.max_live_sessions.unwrap_or(u64::MAX),
+            requests_per_sec: rate,
+        };
+        let bucket = (rate > 0.0).then(|| Mutex::new(TokenBucket::new(rate, burst, now)));
+        Ok(Tenant {
+            name: spec.name.clone(),
+            api_key: spec.api_key.clone(),
+            quotas,
+            bucket,
+        })
+    }
+
+    /// Admits one request through the rate limiter, or returns the
+    /// `Retry-After` seconds. Unlimited tenants always admit.
+    pub fn admit_request(&self, now: Instant) -> Result<(), u64> {
+        match &self.bucket {
+            None => Ok(()),
+            Some(bucket) => bucket.lock().expect("token bucket lock").try_take(now),
+        }
+    }
+}
+
+/// All tenants the daemon serves, with key → tenant resolution.
+#[derive(Debug)]
+pub struct TenantRegistry {
+    tenants: Vec<Tenant>,
+    /// Index of the keyless entry, if any.
+    anonymous: Option<TenantId>,
+}
+
+/// Why a request failed tenant resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthError {
+    /// The presented key matches no tenant.
+    UnknownKey,
+    /// No key was presented and anonymous access is disabled.
+    AnonymousDisabled,
+}
+
+impl AuthError {
+    /// The problem `detail` sentence for this failure.
+    pub fn detail(&self) -> &'static str {
+        match self {
+            AuthError::UnknownKey => "the presented X-Api-Key matches no tenant",
+            AuthError::AnonymousDisabled => {
+                "anonymous access is disabled on this daemon; send X-Api-Key"
+            }
+        }
+    }
+}
+
+impl TenantRegistry {
+    /// The back-compat registry: one keyless tenant named `anonymous`
+    /// with unlimited quotas.
+    pub fn single_anonymous() -> Self {
+        TenantRegistry::from_specs(&[TenantSpec {
+            name: "anonymous".to_owned(),
+            api_key: None,
+            max_scenarios: None,
+            max_live_sessions: None,
+            requests_per_sec: None,
+            burst: None,
+        }])
+        .expect("built-in anonymous tenant is valid")
+    }
+
+    /// Builds a registry from parsed specs, validating names, keys and
+    /// the at-most-one-anonymous rule.
+    pub fn from_specs(specs: &[TenantSpec]) -> Result<Self, String> {
+        if specs.is_empty() {
+            return Err("tenants file defines no tenants".to_owned());
+        }
+        let now = Instant::now();
+        let mut tenants = Vec::with_capacity(specs.len());
+        let mut anonymous = None;
+        for spec in specs {
+            let tenant = Tenant::from_spec(spec, now)?;
+            if tenants.iter().any(|t: &Tenant| t.name == tenant.name) {
+                return Err(format!("duplicate tenant name `{}`", tenant.name));
+            }
+            if let Some(key) = &tenant.api_key {
+                if tenants
+                    .iter()
+                    .any(|t: &Tenant| t.api_key.as_deref() == Some(key))
+                {
+                    return Err(format!(
+                        "tenants `{}` share an api_key with an earlier entry",
+                        tenant.name
+                    ));
+                }
+            } else {
+                if anonymous.is_some() {
+                    return Err("more than one tenant entry omits api_key".to_owned());
+                }
+                anonymous = Some(tenants.len());
+            }
+            tenants.push(tenant);
+        }
+        Ok(TenantRegistry { tenants, anonymous })
+    }
+
+    /// Parses a `--tenants` file (YAML or JSON).
+    pub fn from_file_contents(contents: &str) -> Result<Self, String> {
+        // A file whose document starts with `{` is JSON; everything else
+        // goes through the YAML reader.
+        let file: TenantsFile = if contents.trim_start().starts_with('{') {
+            serde_json::from_str(contents)
+                .map_err(|e| format!("tenants file did not parse: {e}"))?
+        } else {
+            serde_yaml::from_str(contents)
+                .map_err(|e| format!("tenants file did not parse: {e}"))?
+        };
+        TenantRegistry::from_specs(&file.tenants)
+    }
+
+    /// Resolves the `X-Api-Key` header value to a tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`AuthError::UnknownKey`] for an unrecognised key,
+    /// [`AuthError::AnonymousDisabled`] for a keyless request when no
+    /// anonymous tenant is configured.
+    pub fn resolve(&self, api_key: Option<&str>) -> Result<TenantId, AuthError> {
+        match api_key {
+            Some(key) => self
+                .tenants
+                .iter()
+                .position(|t| t.api_key.as_deref() == Some(key))
+                .ok_or(AuthError::UnknownKey),
+            None => self.anonymous.ok_or(AuthError::AnonymousDisabled),
+        }
+    }
+
+    /// The tenant behind an id (ids come from [`TenantRegistry::resolve`]
+    /// and are always in range).
+    pub fn tenant(&self, id: TenantId) -> &Tenant {
+        &self.tenants[id]
+    }
+
+    /// All tenants, in file order (used for metrics rendering).
+    pub fn all(&self) -> &[Tenant] {
+        &self.tenants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn spec(name: &str, key: Option<&str>) -> TenantSpec {
+        TenantSpec {
+            name: name.to_owned(),
+            api_key: key.map(str::to_owned),
+            max_scenarios: None,
+            max_live_sessions: None,
+            requests_per_sec: None,
+            burst: None,
+        }
+    }
+
+    #[test]
+    fn default_registry_resolves_keyless_to_anonymous() {
+        let registry = TenantRegistry::single_anonymous();
+        let id = registry.resolve(None).unwrap();
+        assert_eq!(registry.tenant(id).name, "anonymous");
+        assert_eq!(registry.tenant(id).quotas.max_scenarios, u64::MAX);
+        assert_eq!(registry.resolve(Some("nope")), Err(AuthError::UnknownKey));
+    }
+
+    #[test]
+    fn file_without_keyless_entry_disables_anonymous() {
+        let registry = TenantRegistry::from_file_contents(
+            "tenants:\n  - name: acme\n    api_key: k1\n    max_scenarios: 8\n",
+        )
+        .unwrap();
+        assert_eq!(registry.resolve(None), Err(AuthError::AnonymousDisabled));
+        let id = registry.resolve(Some("k1")).unwrap();
+        assert_eq!(registry.tenant(id).name, "acme");
+        assert_eq!(registry.tenant(id).quotas.max_scenarios, 8);
+        assert_eq!(registry.tenant(id).quotas.max_live_sessions, u64::MAX);
+    }
+
+    #[test]
+    fn json_is_accepted_too() {
+        let registry = TenantRegistry::from_file_contents(
+            r#"{"tenants": [{"name": "a", "api_key": "ka", "requests_per_sec": 5}]}"#,
+        )
+        .unwrap();
+        let id = registry.resolve(Some("ka")).unwrap();
+        assert_eq!(registry.tenant(id).quotas.requests_per_sec, 5.0);
+    }
+
+    #[test]
+    fn invalid_files_are_rejected_with_reasons() {
+        for (contents, needle) in [
+            ("tenants: []", "no tenants"),
+            (
+                "tenants:\n  - name: a\n  - name: b\n",
+                "more than one tenant entry omits api_key",
+            ),
+            (
+                "tenants:\n  - name: a\n    api_key: k\n  - name: a\n    api_key: k2\n",
+                "duplicate tenant name",
+            ),
+            (
+                "tenants:\n  - name: a\n    api_key: k\n  - name: b\n    api_key: k\n",
+                "share an api_key",
+            ),
+            ("tenants:\n  - name: 'bad name'\n", "invalid"),
+            ("tenants:\n  - name: a\n    api_key: ''\n", "empty api_key"),
+            (
+                "tenants:\n  - name: a\n    requests_per_sec: -1\n",
+                "non-negative",
+            ),
+            ("tenants:\n  - name: a\n    burst: 0.5\n", "burst"),
+        ] {
+            let err = TenantRegistry::from_file_contents(contents).unwrap_err();
+            assert!(err.contains(needle), "`{contents}` → `{err}`");
+        }
+    }
+
+    #[test]
+    fn token_bucket_admits_burst_then_meters() {
+        let now = Instant::now();
+        let mut bucket = TokenBucket::new(2.0, 3.0, now);
+        assert!(bucket.try_take(now).is_ok());
+        assert!(bucket.try_take(now).is_ok());
+        assert!(bucket.try_take(now).is_ok());
+        let wait = bucket.try_take(now).unwrap_err();
+        assert_eq!(wait, 1, "ceil((1-0)/2) = 0.5s rounds up to 1");
+        // Half a second refills one token at 2/sec.
+        let later = now + Duration::from_millis(500);
+        assert!(bucket.try_take(later).is_ok());
+        assert!(bucket.try_take(later).is_err());
+        // Refill caps at capacity.
+        let much_later = now + Duration::from_secs(60);
+        let mut drained = 0;
+        let mut probe = much_later;
+        while bucket.try_take(probe).is_ok() {
+            drained += 1;
+            probe = much_later; // no time passes between takes
+        }
+        assert_eq!(drained, 3, "burst capacity caps the refill");
+    }
+
+    #[test]
+    fn unlimited_tenant_always_admits() {
+        let registry = TenantRegistry::from_specs(&[spec("a", Some("k"))]).unwrap();
+        let tenant = registry.tenant(registry.resolve(Some("k")).unwrap());
+        let now = Instant::now();
+        for _ in 0..10_000 {
+            assert!(tenant.admit_request(now).is_ok());
+        }
+    }
+
+    #[test]
+    fn rate_limited_tenant_reports_retry_after() {
+        let registry = TenantRegistry::from_specs(&[TenantSpec {
+            requests_per_sec: Some(1.0),
+            burst: Some(1.0),
+            ..spec("slow", Some("k"))
+        }])
+        .unwrap();
+        let tenant = registry.tenant(registry.resolve(Some("k")).unwrap());
+        let now = Instant::now();
+        assert!(tenant.admit_request(now).is_ok());
+        let wait = tenant.admit_request(now).unwrap_err();
+        assert!(wait >= 1);
+    }
+}

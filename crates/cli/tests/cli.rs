@@ -253,7 +253,7 @@ fn bench_emits_schema_and_gates_against_itself() {
         serde_json::parse(&std::fs::read_to_string(&baseline).unwrap()).expect("valid JSON");
     assert_eq!(
         report.get("version").and_then(as_num),
-        Some(3.0),
+        Some(4.0),
         "BENCH schema version"
     );
     let build_info = report.get("build_info").expect("build provenance block");

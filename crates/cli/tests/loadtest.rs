@@ -1,0 +1,61 @@
+//! End-to-end test of `aarc loadtest`: the harness must sustain 1000
+//! concurrently-live sessions against a real spawned daemon with zero
+//! 5xx responses (2xx and per-tenant 429s are the only legal outcomes).
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_aarc"))
+}
+
+fn field_u64(json: &str, key: &str) -> u64 {
+    json.split(&format!("\"{key}\":"))
+        .nth(1)
+        .and_then(|rest| rest.split([',', '}']).next())
+        .and_then(|raw| raw.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no numeric field `{key}` in: {json}"))
+}
+
+#[test]
+fn loadtest_sustains_a_thousand_concurrent_sessions_without_5xx() {
+    let dir = std::env::temp_dir().join("aarc-cli-test-loadtest");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_path = dir.join("loadtest.json");
+
+    let out = bin()
+        .args(["loadtest", "--concurrent", "1000", "--tenants", "8"])
+        .args(["--hold", "--min-concurrent", "1000", "--threads", "2"])
+        .args(["--method", "random", "--out"])
+        .arg(&out_path)
+        .output()
+        .expect("loadtest runs");
+    assert!(
+        out.status.success(),
+        "loadtest failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let report = std::fs::read_to_string(&out_path).expect("loadtest wrote --out");
+    assert!(
+        field_u64(&report, "concurrent_peak") >= 1000,
+        "peak under target: {report}"
+    );
+    assert_eq!(field_u64(&report, "server_errors_5xx"), 0, "{report}");
+    assert_eq!(field_u64(&report, "rejected_503"), 0, "{report}");
+    assert!(field_u64(&report, "sessions_started") >= 1000, "{report}");
+    assert!(field_u64(&report, "requests") > 0, "{report}");
+    // Latency quantiles are present and ordered.
+    let p50 = report
+        .split("\"p50_ms\":")
+        .nth(1)
+        .and_then(|r| r.split(',').next())
+        .and_then(|r| r.trim().parse::<f64>().ok())
+        .unwrap();
+    let p99 = report
+        .split("\"p99_ms\":")
+        .nth(1)
+        .and_then(|r| r.split(',').next())
+        .and_then(|r| r.trim().parse::<f64>().ok())
+        .unwrap();
+    assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+}

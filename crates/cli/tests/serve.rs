@@ -67,15 +67,31 @@ impl Daemon {
 
     /// One HTTP exchange; returns `(status, body)`.
     fn request(&self, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+        let (status, _, body) = self.exchange(method, path, &[], body);
+        (status, body)
+    }
+
+    /// One HTTP exchange with extra request headers; returns
+    /// `(status, response-header-block, body)`.
+    fn exchange(
+        &self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> (u16, String, String) {
         let mut stream = TcpStream::connect(&self.addr).expect("daemon accepts");
         stream
             .set_read_timeout(Some(Duration::from_secs(30)))
             .unwrap();
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-            self.addr,
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.addr);
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!(
+            "Content-Length: {}\r\nConnection: close\r\n\r\n",
             body.len()
-        );
+        ));
         stream.write_all(head.as_bytes()).unwrap();
         stream.write_all(body).unwrap();
         let mut raw = Vec::new();
@@ -86,11 +102,11 @@ impl Daemon {
             .nth(1)
             .and_then(|s| s.parse().ok())
             .unwrap_or_else(|| panic!("unparseable response: {text}"));
-        let body = text
+        let (headers, body) = text
             .split_once("\r\n\r\n")
-            .map(|(_, b)| b.to_owned())
+            .map(|(h, b)| (h.to_owned(), b.to_owned()))
             .unwrap_or_default();
-        (status, body)
+        (status, headers, body)
     }
 
     /// Polls a session until it leaves the live phases.
@@ -352,6 +368,151 @@ fn serve_rejects_bad_requests_and_unknown_resources() {
     assert_eq!(status, 405);
     let (status, _) = daemon.request("GET", "/no/such/endpoint", b"");
     assert_eq!(status, 404);
+    daemon.shutdown();
+}
+
+/// Asserts the response is an RFC-7807 problem document: right content
+/// type and all five required members present.
+fn assert_problem_document(headers: &str, body: &str, status: u16) {
+    assert!(
+        headers
+            .to_ascii_lowercase()
+            .contains("content-type: application/problem+json"),
+        "non-2xx without problem+json content type:\n{headers}\n{body}"
+    );
+    for key in [
+        "\"type\":",
+        "\"title\":",
+        "\"status\":",
+        "\"detail\":",
+        "\"instance\":",
+    ] {
+        assert!(body.contains(key), "problem missing {key}: {body}");
+    }
+    assert!(
+        body.contains(&format!("\"status\": {status}")),
+        "problem status mismatch (want {status}): {body}"
+    );
+}
+
+#[test]
+fn serve_v1_surface_is_canonical_and_legacy_paths_are_deprecated() {
+    let daemon = Daemon::start();
+    let spec_bytes = std::fs::read(chatbot_spec()).expect("spec readable");
+
+    // The discovery document enumerates the canonical surface.
+    let (status, headers, body) = daemon.exchange("GET", "/api/v1", &[], b"");
+    assert_eq!(status, 200, "{body}");
+    assert!(!headers.contains("Deprecation"), "{headers}");
+    assert!(body.contains("\"versions\""), "{body}");
+    assert!(body.contains("\"/api/v1/scenarios\""), "{body}");
+
+    // Same handler on both mounts; only the legacy one carries the
+    // deprecation marker.
+    let (status, headers, v1_body) = daemon.exchange("GET", "/api/v1/healthz", &[], b"");
+    assert_eq!(status, 200);
+    assert!(!headers.contains("Deprecation"), "{headers}");
+    let (status, headers, legacy_body) = daemon.exchange("GET", "/healthz", &[], b"");
+    assert_eq!(status, 200);
+    assert!(headers.contains("Deprecation: true"), "{headers}");
+    assert_eq!(v1_body, legacy_body);
+
+    // Upload under v1, read back through a paginated envelope.
+    let (status, _, body) = daemon.exchange("POST", "/api/v1/scenarios", &[], &spec_bytes);
+    assert_eq!(status, 201, "{body}");
+    let (status, _, body) = daemon.exchange("GET", "/api/v1/scenarios?limit=1", &[], b"");
+    assert_eq!(status, 200, "{body}");
+    for key in ["\"items\":", "\"total\":", "\"next_offset\":"] {
+        assert!(body.contains(key), "missing {key} in envelope: {body}");
+    }
+
+    // Errors are problem documents on both surfaces.
+    let (status, headers, body) = daemon.exchange("GET", "/api/v1/nope", &[], b"");
+    assert_problem_document(&headers, &body, status);
+    assert_eq!(status, 404);
+    assert!(body.contains("\"instance\": \"/api/v1/nope\""), "{body}");
+    let (status, headers, body) = daemon.exchange("PATCH", "/scenarios", &[], b"");
+    assert_problem_document(&headers, &body, status);
+    assert_eq!(status, 405);
+    assert!(headers.contains("Deprecation: true"), "{headers}");
+
+    // Shutdown works under the prefix too.
+    let (status, _, body) = daemon.exchange("POST", "/api/v1/shutdown", &[], b"");
+    assert_eq!(status, 200, "{body}");
+    drop(daemon);
+}
+
+#[test]
+fn serve_enforces_tenant_auth_quotas_and_rate_limits() {
+    let dir = std::env::temp_dir().join("aarc-serve-test-tenants");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tenants = dir.join("tenants.yaml");
+    std::fs::write(
+        &tenants,
+        "tenants:\n\
+         \x20 - name: alpha\n\
+         \x20   api_key: ka\n\
+         \x20   max_scenarios: 1\n\
+         \x20   max_live_sessions: 1\n\
+         \x20 - name: beta\n\
+         \x20   api_key: kb\n\
+         \x20   requests_per_sec: 0.001\n\
+         \x20   burst: 1\n",
+    )
+    .unwrap();
+    let tenants_flag = tenants.to_str().unwrap().to_owned();
+    let daemon = Daemon::start_with(&["--tenants", &tenants_flag]);
+    let spec_bytes = std::fs::read(chatbot_spec()).expect("spec readable");
+    let alpha = [("X-Api-Key", "ka")];
+    let beta = [("X-Api-Key", "kb")];
+
+    // No keyless entry in the file: anonymous access is disabled.
+    let (status, headers, body) = daemon.exchange("GET", "/api/v1/scenarios", &[], b"");
+    assert_problem_document(&headers, &body, status);
+    assert_eq!(status, 401, "{body}");
+    let (status, headers, body) =
+        daemon.exchange("GET", "/api/v1/scenarios", &[("X-Api-Key", "wrong")], b"");
+    assert_problem_document(&headers, &body, status);
+    assert_eq!(status, 401, "{body}");
+
+    // Alpha's scenario quota is 1: the second distinct upload is a 429
+    // problem, not a queue.
+    let (status, _, body) = daemon.exchange("POST", "/api/v1/scenarios", &alpha, &spec_bytes);
+    assert_eq!(status, 201, "{body}");
+    let renamed = String::from_utf8(spec_bytes.clone())
+        .unwrap()
+        .replace("name: chatbot", "name: second");
+    let (status, headers, body) =
+        daemon.exchange("POST", "/api/v1/scenarios", &alpha, renamed.as_bytes());
+    assert_problem_document(&headers, &body, status);
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("quota"), "{body}");
+
+    // Alpha's live-session quota is 1: the second start is 429 with
+    // Retry-After.
+    let start = b"{\"scenario\": \"chatbot\", \"method\": \"random\", \"paused\": true}";
+    let (status, _, body) = daemon.exchange("POST", "/api/v1/sessions", &alpha, start);
+    assert_eq!(status, 201, "{body}");
+    let (status, headers, body) = daemon.exchange("POST", "/api/v1/sessions", &alpha, start);
+    assert_problem_document(&headers, &body, status);
+    assert_eq!(status, 429, "{body}");
+    assert!(headers.contains("Retry-After:"), "{headers}");
+
+    // Beta's bucket holds a single token: the second request inside the
+    // window is rate-limited with a Retry-After hint.
+    let (status, _, body) = daemon.exchange("GET", "/api/v1/scenarios", &beta, b"");
+    assert_eq!(status, 200, "{body}");
+    let (status, headers, body) = daemon.exchange("GET", "/api/v1/scenarios", &beta, b"");
+    assert_problem_document(&headers, &body, status);
+    assert_eq!(status, 429, "{body}");
+    assert!(headers.contains("Retry-After:"), "{headers}");
+
+    // Cross-tenant visibility: beta sees an empty world and alpha's
+    // session does not exist for it (404, never 403).
+    let (status, _, body) = daemon.exchange("GET", "/api/v1/sessions", &alpha, b"");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"total\": 1"), "{body}");
+    // Shutdown is an operator endpoint: no tenant resolution.
     daemon.shutdown();
 }
 

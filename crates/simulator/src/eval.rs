@@ -199,6 +199,12 @@ pub struct ServiceSnapshot {
     /// The per-fingerprint breakdown of currently registered scenarios,
     /// ordered by fingerprint.
     pub scenarios: Vec<ScenarioEvalStats>,
+    /// Evaluation calls (single probes or whole batches) executing right
+    /// now — the service's queue-depth/saturation signal, polled by a
+    /// daemon's admission control.
+    pub inflight: usize,
+    /// High-water mark of `inflight` since the service was created.
+    pub inflight_peak: usize,
 }
 
 /// Exact-equality cache key of one candidate evaluation.
@@ -344,6 +350,24 @@ pub struct EvalService {
     /// Optional instrumentation, attached at most once. Unset, the
     /// evaluation path takes no timestamps at all.
     telemetry: OnceLock<EvalTelemetry>,
+    /// Evaluation calls (probes or batches) currently executing; see
+    /// [`EvalService::inflight`].
+    inflight: AtomicU64,
+    /// High-water mark of `inflight`.
+    inflight_peak: AtomicU64,
+}
+
+/// RAII marker of one in-flight evaluation call: increments the service's
+/// saturation gauge on entry and decrements it on drop, even when the
+/// evaluation errors.
+struct InflightGuard<'a> {
+    service: &'a EvalService,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.service.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl EvalService {
@@ -361,7 +385,29 @@ impl EvalService {
             scenarios: Mutex::new(BTreeMap::new()),
             retired: ScenarioCounters::default(),
             telemetry: OnceLock::new(),
+            inflight: AtomicU64::new(0),
+            inflight_peak: AtomicU64::new(0),
         }
+    }
+
+    /// Number of evaluation calls (single probes or whole batches)
+    /// executing right now. This is the service's saturation signal: a
+    /// daemon sheds load when it — together with the live-session count —
+    /// crosses an admission watermark.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst) as usize
+    }
+
+    /// High-water mark of [`inflight`](EvalService::inflight) since the
+    /// service was created.
+    pub fn inflight_peak(&self) -> usize {
+        self.inflight_peak.load(Ordering::SeqCst) as usize
+    }
+
+    fn enter_inflight(&self) -> InflightGuard<'_> {
+        let now = self.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        self.inflight_peak.fetch_max(now, Ordering::SeqCst);
+        InflightGuard { service: self }
     }
 
     /// Attaches telemetry instruments to the service. May be called at
@@ -543,6 +589,8 @@ impl EvalService {
             registered_scenarios: scenarios.len(),
             cached_entries: self.cached_entries(),
             scenarios,
+            inflight: self.inflight(),
+            inflight_peak: self.inflight_peak(),
         }
     }
 
@@ -574,6 +622,7 @@ impl EvalService {
         input: InputSpec,
         seed: u64,
     ) -> Result<SimResult, SimulatorError> {
+        let _inflight = self.enter_inflight();
         let probe_start = self.telemetry.get().map(|_| Instant::now());
         let result = self.evaluate_data_inner(data, configs, input, seed);
         if let (Some(telemetry), Some(start)) = (self.telemetry.get(), probe_start) {
@@ -614,6 +663,7 @@ impl EvalService {
         candidates: &[ConfigMap],
         input: InputSpec,
     ) -> Result<Vec<SimResult>, SimulatorError> {
+        let _inflight = self.enter_inflight();
         let n = candidates.len();
         // One atomic load; `None` keeps the whole path free of clock reads.
         let telemetry = self.telemetry.get();
@@ -1674,6 +1724,23 @@ mod tests {
         // The snapshot serializes (the daemon's metrics payload).
         let json = serde_json::to_string_pretty(&snap).unwrap();
         assert!(json.contains("\"registered_scenarios\""));
+        assert!(json.contains("\"inflight\""));
+    }
+
+    #[test]
+    fn inflight_tracks_evaluations_and_keeps_a_peak() {
+        let service = EvalService::with_threads(2);
+        assert_eq!(service.inflight(), 0);
+        assert_eq!(service.inflight_peak(), 0);
+        let handle = service.register(env());
+        handle.evaluate(&handle.env().base_configs()).unwrap();
+        handle.evaluate_batch(&candidates(4)).unwrap();
+        // The gauge always returns to zero after the calls complete, and
+        // the high-water mark remembers that something ran.
+        assert_eq!(service.inflight(), 0);
+        assert!(service.inflight_peak() >= 1);
+        assert_eq!(service.stats_snapshot().inflight, 0);
+        assert!(service.stats_snapshot().inflight_peak >= 1);
     }
 
     #[test]

@@ -265,7 +265,13 @@ pub struct Recorder {
     counters: Mutex<BTreeMap<String, (String, Arc<Counter>)>>,
     gauges: Mutex<BTreeMap<String, (String, Arc<Gauge>)>>,
     histograms: Mutex<BTreeMap<String, (String, Arc<Histogram>)>>,
+    /// Labelled counter families, keyed by `(family name, label set)`.
+    /// The `BTreeMap` groups every family's samples together, which the
+    /// exposition renderer relies on (one header per family).
+    labeled_counters: LabeledCounters,
 }
+
+type LabeledCounters = Mutex<BTreeMap<(String, Vec<(String, String)>), (String, Arc<Counter>)>>;
 
 impl Recorder {
     /// Creates an empty registry.
@@ -303,6 +309,27 @@ impl Recorder {
             .clone()
     }
 
+    /// Returns the counter registered under `name` with the given label
+    /// set (e.g. `[("tenant", "acme")]`), creating it if absent. Samples
+    /// of one family snapshot consecutively, sorted by label values, so
+    /// rendered output stays deterministic. A family name used here must
+    /// not also be used as a plain [`Recorder::counter`] (the exposition
+    /// would emit two headers).
+    pub fn labeled_counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = (
+            name.to_owned(),
+            labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+        );
+        let mut map = self.labeled_counters.lock().unwrap();
+        map.entry(key)
+            .or_insert_with(|| (help.to_owned(), Arc::new(Counter::new())))
+            .1
+            .clone()
+    }
+
     /// Captures every registered metric, in name order.
     pub fn snapshot(&self) -> RecorderSnapshot {
         RecorderSnapshot {
@@ -327,6 +354,15 @@ impl Recorder {
                 .iter()
                 .map(|(name, (help, h))| (name.clone(), help.clone(), h.snapshot()))
                 .collect(),
+            labeled_counters: self
+                .labeled_counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|((name, labels), (help, c))| {
+                    (name.clone(), help.clone(), labels.clone(), c.get())
+                })
+                .collect(),
         }
     }
 }
@@ -341,7 +377,13 @@ pub struct RecorderSnapshot {
     pub gauges: Vec<(String, String, f64)>,
     /// `(name, help, snapshot)` for every histogram.
     pub histograms: Vec<(String, String, HistogramSnapshot)>,
+    /// `(name, help, labels, value)` for every labelled counter, sorted
+    /// by `(name, labels)` so each family's samples are consecutive.
+    pub labeled_counters: Vec<LabeledCounterSample>,
 }
+
+/// One labelled-counter sample: `(name, help, labels, value)`.
+pub type LabeledCounterSample = (String, String, Vec<(String, String)>, u64);
 
 #[cfg(test)]
 mod tests {

@@ -97,11 +97,35 @@ pub fn write_histogram(out: &mut String, name: &str, help: &str, snapshot: &Hist
     out.push('\n');
 }
 
-/// Writes every metric in a [`RecorderSnapshot`], counters first, then
-/// gauges, then histograms, each group in name order.
+/// Renders a label set as `name="value",...` with values escaped.
+pub fn render_labels(labels: &[(String, String)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Writes every metric in a [`RecorderSnapshot`]: plain counters, then
+/// labelled counter families, then gauges, then histograms, each group in
+/// name order. Labelled samples arrive pre-grouped by family (the
+/// recorder's map order), so each family gets exactly one header.
 pub fn write_snapshot(out: &mut String, snapshot: &RecorderSnapshot) {
     for (name, help, value) in &snapshot.counters {
         write_counter(out, name, help, *value);
+    }
+    let mut current_family: Option<&str> = None;
+    for (name, help, labels, value) in &snapshot.labeled_counters {
+        if current_family != Some(name.as_str()) {
+            write_header(out, name, help, "counter");
+            current_family = Some(name.as_str());
+        }
+        out.push_str(name);
+        out.push('{');
+        out.push_str(&render_labels(labels));
+        out.push_str("} ");
+        out.push_str(&value.to_string());
+        out.push('\n');
     }
     for (name, help, value) in &snapshot.gauges {
         write_gauge(out, name, help, *value);
@@ -178,6 +202,45 @@ mod tests {
             }
         }
         assert_eq!(inf, Some(4));
+    }
+
+    #[test]
+    fn labeled_counter_families_share_one_header() {
+        let recorder = Recorder::new();
+        recorder
+            .labeled_counter("reqs_total", "Requests.", &[("tenant", "b")])
+            .add(2);
+        recorder
+            .labeled_counter("reqs_total", "Requests.", &[("tenant", "a")])
+            .add(1);
+        recorder
+            .labeled_counter(
+                "rejected_total",
+                "Rejections.",
+                &[("tenant", "a"), ("reason", "rate")],
+            )
+            .inc();
+        let mut out = String::new();
+        write_snapshot(&mut out, &recorder.snapshot());
+        // One header per family, samples consecutive and label-sorted.
+        assert_eq!(out.matches("# TYPE reqs_total counter").count(), 1);
+        assert!(out.contains("reqs_total{tenant=\"a\"} 1\n"));
+        assert!(out.contains("reqs_total{tenant=\"b\"} 2\n"));
+        let a = out.find("reqs_total{tenant=\"a\"}").unwrap();
+        let b = out.find("reqs_total{tenant=\"b\"}").unwrap();
+        assert!(a < b);
+        assert!(out.contains("rejected_total{tenant=\"a\",reason=\"rate\"} 1\n"));
+        // The same (name, labels) pair resolves to the same counter.
+        recorder
+            .labeled_counter("reqs_total", "Requests.", &[("tenant", "a")])
+            .inc();
+        let snap = recorder.snapshot();
+        let sample = snap
+            .labeled_counters
+            .iter()
+            .find(|(n, _, l, _)| n == "reqs_total" && l[0].1 == "a")
+            .unwrap();
+        assert_eq!(sample.3, 2);
     }
 
     #[test]

@@ -368,6 +368,28 @@ fn parse_scalar_text(s: &str) -> Result<Value, Error> {
         }
         return Err(Error::new(format!("unterminated quoted scalar: {s}")));
     }
+    if let Some(body) = s.strip_prefix('\'') {
+        // Single-quoted scalar: `''` inside the body is a literal quote.
+        let mut out = String::new();
+        let mut chars = body.char_indices().peekable();
+        while let Some((i, c)) = chars.next() {
+            if c != '\'' {
+                out.push(c);
+                continue;
+            }
+            if matches!(chars.peek(), Some((_, '\''))) {
+                out.push('\'');
+                chars.next();
+                continue;
+            }
+            let rest = s[i + 2..].trim();
+            if !rest.is_empty() && !rest.starts_with('#') {
+                return Err(Error::new(format!("trailing characters after scalar: {s}")));
+            }
+            return Ok(Value::Str(out));
+        }
+        return Err(Error::new(format!("unterminated quoted scalar: {s}")));
+    }
     if s.starts_with('[') || s.starts_with('{') {
         return parse_flow(s);
     }
