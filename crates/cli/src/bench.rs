@@ -146,6 +146,10 @@ pub struct ServePhase {
     pub rejected_503: u64,
     /// Requests answered 5xx — always 0 on a passing run.
     pub server_errors_5xx: u64,
+    /// Client-side retries after a 429/503 with `Retry-After` (absent in
+    /// reports written before the retrying client; defaults to 0).
+    #[serde(default)]
+    pub retries: u64,
     /// Wall-clock time of the whole loadtest, ms.
     pub wall_ms: f64,
     /// Requests per second sustained over the run.
@@ -573,6 +577,7 @@ mod tests {
             rejected_429: 10,
             rejected_503: 0,
             server_errors_5xx: 0,
+            retries: 4,
             wall_ms: 250.0,
             requests_per_sec: 400.0,
         });
@@ -582,6 +587,13 @@ mod tests {
         assert_eq!(serve.requests, 100);
         assert_eq!(serve.rejected_429, 10);
         assert_eq!(serve.server_errors_5xx, 0);
+        assert_eq!(serve.retries, 4);
+        // A serve phase written before the retrying client lacks the
+        // `retries` key; this reader defaults it to 0.
+        let mut pre_retry = serde_json::to_value(&with_serve);
+        strip_key(&mut pre_retry, "retries");
+        let parsed: BenchReport = serde_json::from_value(&pre_retry).unwrap();
+        assert_eq!(parsed.serve.expect("serve phase").retries, 0);
     }
 
     #[test]

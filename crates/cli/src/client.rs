@@ -76,6 +76,105 @@ pub fn http_request(
     parse_reply(&raw).map_err(|e| format!("{method} {path}: {e}"))
 }
 
+/// Backoff policy of [`http_request_retrying`]: how many times to retry
+/// a retryable (429/503) reply and how long to wait between attempts.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first (0 disables retrying).
+    pub max_retries: u32,
+    /// Base delay of the exponential schedule (retry 0 waits ~`base`,
+    /// retry 1 ~`2*base`, ...), used when the server sends no
+    /// `Retry-After`.
+    pub base: Duration,
+    /// Hard cap on any single delay — including a server-suggested
+    /// `Retry-After`, so a `Retry-After: 60` cannot stall a caller that
+    /// budgeted milliseconds.
+    pub cap: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
+}
+
+/// A reply that may have taken several attempts to obtain.
+#[derive(Debug, Clone)]
+pub struct RetriedReply {
+    /// The final reply (the first non-retryable one, or the last attempt).
+    pub reply: HttpReply,
+    /// Retries performed after the first attempt.
+    pub retries: u32,
+}
+
+/// SplitMix64 — the deterministic jitter source (no RNG state to carry).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Computes the delay before retry `attempt` (0-based). The server's
+/// `Retry-After` suggestion wins over the exponential schedule when
+/// present; either way the delay is capped at `policy.cap` and spread
+/// with deterministic half-jitter (uniform in `[d/2, d]`) so a fleet of
+/// rejected clients does not retry in lockstep.
+pub fn backoff_delay(
+    policy: &RetryPolicy,
+    attempt: u32,
+    retry_after: Option<Duration>,
+) -> Duration {
+    let raw = match retry_after {
+        Some(suggested) => suggested,
+        None => policy.base.saturating_mul(1u32 << attempt.min(16)),
+    };
+    let capped = raw.min(policy.cap);
+    let nanos = capped.as_nanos().min(u64::MAX as u128) as u64;
+    if nanos == 0 {
+        return Duration::ZERO;
+    }
+    let spread = nanos / 2;
+    let jitter =
+        splitmix64(policy.seed ^ u64::from(attempt).wrapping_mul(0x100_0000_01b3)) % (spread + 1);
+    Duration::from_nanos(nanos - spread + jitter)
+}
+
+/// [`http_request`] with admission-control awareness: a 429 or 503 reply
+/// is retried up to `policy.max_retries` times, honoring the daemon's
+/// `Retry-After` header (capped and jittered per [`backoff_delay`]).
+/// Transport errors are NOT retried — the caller decides whether a dead
+/// daemon is fatal. Any other status (2xx, 4xx) is final.
+///
+/// # Errors
+///
+/// Returns a message on connect/read/write failure or an unparseable
+/// response, exactly like [`http_request`].
+pub fn http_request_retrying(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    api_key: Option<&str>,
+    body: &[u8],
+    timeout: Duration,
+    policy: &RetryPolicy,
+) -> Result<RetriedReply, String> {
+    let mut attempt = 0u32;
+    loop {
+        let reply = http_request(addr, method, path, api_key, body, timeout)?;
+        let retryable = reply.status == 429 || reply.status == 503;
+        if !retryable || attempt >= policy.max_retries {
+            return Ok(RetriedReply {
+                reply,
+                retries: attempt,
+            });
+        }
+        let retry_after = reply
+            .header("retry-after")
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map(Duration::from_secs);
+        std::thread::sleep(backoff_delay(policy, attempt, retry_after));
+        attempt += 1;
+    }
+}
+
 /// Parses a full `Connection: close` response held in memory.
 fn parse_reply(raw: &[u8]) -> Result<HttpReply, String> {
     let header_end = raw
@@ -153,5 +252,141 @@ mod tests {
         server.join().unwrap();
         assert_eq!(reply.status, 201);
         assert_eq!(reply.body, "{\"id\":1}");
+    }
+
+    fn test_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(20),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn backoff_honors_retry_after_and_caps_it() {
+        let policy = test_policy();
+        // The server's suggestion wins over the schedule but never the cap.
+        let suggested = backoff_delay(&policy, 0, Some(Duration::from_secs(60)));
+        assert!(suggested <= policy.cap, "{suggested:?}");
+        assert!(
+            suggested >= policy.cap / 2,
+            "half-jitter floor: {suggested:?}"
+        );
+        // Without a suggestion the schedule grows exponentially until the
+        // cap takes over.
+        let first = backoff_delay(&policy, 0, None);
+        assert!(first <= Duration::from_millis(2), "{first:?}");
+        let late = backoff_delay(&policy, 10, None);
+        assert!(late <= policy.cap, "{late:?}");
+        // Deterministic: same policy and attempt, same delay.
+        assert_eq!(
+            backoff_delay(&policy, 2, None),
+            backoff_delay(&policy, 2, None)
+        );
+        // A zero-cap policy never sleeps.
+        let zero = RetryPolicy {
+            max_retries: 0,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            seed: 0,
+        };
+        assert_eq!(
+            backoff_delay(&zero, 0, Some(Duration::from_secs(1))),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn retrying_client_retries_429_until_accepted() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // Two rate-limited refusals, then acceptance.
+            for _ in 0..2 {
+                let (mut stream, _) = listener.accept().unwrap();
+                let _ = crate::http::read_request(&mut stream).unwrap();
+                crate::http::Response::json(429, "{\"status\":429}".to_owned())
+                    .with_header("Retry-After", "1".to_owned())
+                    .write_to(&mut stream)
+                    .unwrap();
+            }
+            let (mut stream, _) = listener.accept().unwrap();
+            let _ = crate::http::read_request(&mut stream).unwrap();
+            crate::http::Response::json(201, "{\"id\":1}".to_owned())
+                .write_to(&mut stream)
+                .unwrap();
+        });
+        let retried = http_request_retrying(
+            addr,
+            "POST",
+            "/api/v1/sessions",
+            None,
+            b"{}",
+            Duration::from_secs(5),
+            &test_policy(),
+        )
+        .unwrap();
+        server.join().unwrap();
+        assert_eq!(retried.reply.status, 201);
+        assert_eq!(retried.retries, 2);
+    }
+
+    #[test]
+    fn retrying_client_gives_up_after_the_budget() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let policy = RetryPolicy {
+            max_retries: 1,
+            ..test_policy()
+        };
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (mut stream, _) = listener.accept().unwrap();
+                let _ = crate::http::read_request(&mut stream).unwrap();
+                crate::http::Response::json(503, "{\"status\":503}".to_owned())
+                    .write_to(&mut stream)
+                    .unwrap();
+            }
+        });
+        let retried = http_request_retrying(
+            addr,
+            "GET",
+            "/api/v1/scenarios",
+            None,
+            b"",
+            Duration::from_secs(5),
+            &policy,
+        )
+        .unwrap();
+        server.join().unwrap();
+        assert_eq!(retried.reply.status, 503, "last reply is surfaced");
+        assert_eq!(retried.retries, 1);
+    }
+
+    #[test]
+    fn retrying_client_treats_4xx_as_final() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let _ = crate::http::read_request(&mut stream).unwrap();
+            crate::http::Response::json(404, "{\"status\":404}".to_owned())
+                .write_to(&mut stream)
+                .unwrap();
+        });
+        let retried = http_request_retrying(
+            addr,
+            "GET",
+            "/api/v1/scenarios/none",
+            None,
+            b"",
+            Duration::from_secs(5),
+            &test_policy(),
+        )
+        .unwrap();
+        server.join().unwrap();
+        assert_eq!(retried.reply.status, 404);
+        assert_eq!(retried.retries, 0, "a plain 4xx must not be retried");
     }
 }

@@ -34,6 +34,7 @@ USAGE:
                                                 and gate against a committed baseline
     aarc serve [--addr HOST:PORT] [--threads N]
                [--tenants FILE] [--max-live-sessions N]
+               [--state-dir DIR] [--checkpoint-every N]
                [--log-level error|warn|info|debug] [--log-format text|json]
                                                 long-running, multi-tenant configuration
                                                 daemon: upload/validate/list/delete
@@ -53,15 +54,25 @@ USAGE:
                                                 port 0 = ephemeral). Structured logs go
                                                 to stderr. POST /shutdown drains sessions
                                                 and exits 0 (SIGTERM cannot be trapped
-                                                in this no-libc build)
+                                                in this no-libc build).
+                                                --state-dir DIR makes the registry and
+                                                sessions durable: uploads/deletes are
+                                                write-ahead logged before the 2xx, live
+                                                sessions checkpoint every N rounds
+                                                (--checkpoint-every, default 8), and a
+                                                restarted daemon replays the WAL and
+                                                resumes checkpointed sessions
+                                                bit-identically, quarantining anything
+                                                corrupt (see GET /api/v1/recovery)
     aarc loadtest [--concurrent N] [--tenants N] [--clients N] [--threads N]
                   [--rps R] [--hold] [--min-concurrent N] [--method NAME]
                   [--out FILE] [--bench FILE]
                                                 spawn an in-process daemon and drive N
                                                 concurrent sessions against it through
                                                 real sockets; reports p50/p99 request
-                                                latency and admission 2xx/429/503 counts
-                                                (any 5xx fails the run). --hold pauses
+                                                latency, admission 2xx/429/503 counts and
+                                                client retries after Retry-After (any 5xx
+                                                fails the run). --hold pauses
                                                 sessions to pin peak concurrency;
                                                 --bench merges a `serve` phase into an
                                                 `aarc bench` JSON report (schema v4)
@@ -107,7 +118,9 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
 
 fn write_or_print(text: &str, out: Option<&str>) -> Result<(), String> {
     match out {
-        Some(path) => std::fs::write(path, text).map_err(|e| format!("{path}: {e}")),
+        Some(path) => {
+            aarc_spec::atomic_write(path, text.as_bytes()).map_err(|e| format!("{path}: {e}"))
+        }
         None => {
             print!("{text}");
             Ok(())
@@ -180,6 +193,8 @@ fn cmd_serve(argv: &[String]) -> Result<(), String> {
             "max-live-sessions",
             "log-level",
             "log-format",
+            "state-dir",
+            "checkpoint-every",
         ],
     )?;
     if !args.positional().is_empty() {
@@ -190,15 +205,27 @@ fn cmd_serve(argv: &[String]) -> Result<(), String> {
     }
     let addr = args.get("addr").unwrap_or("127.0.0.1:7411").to_owned();
     let threads = parse_threads(&args)?;
+    let mut tenants_config = None;
     let tenants = match args.get("tenants") {
         None => TenantRegistry::single_anonymous(),
         Some(path) => {
             let contents =
                 std::fs::read_to_string(path).map_err(|e| format!("--tenants {path}: {e}"))?;
-            TenantRegistry::from_file_contents(&contents)
-                .map_err(|e| format!("--tenants {path}: {e}"))?
+            let registry = TenantRegistry::from_file_contents(&contents)
+                .map_err(|e| format!("--tenants {path}: {e}"))?;
+            tenants_config = Some(contents);
+            registry
         }
     };
+    let state_dir = args.get("state-dir").map(std::path::PathBuf::from);
+    let checkpoint_every = match args.get_parsed::<u64>("checkpoint-every")? {
+        Some(0) => return Err("--checkpoint-every must be at least 1 (got 0)".to_owned()),
+        Some(n) => n,
+        None => crate::state::DEFAULT_CHECKPOINT_EVERY,
+    };
+    if checkpoint_every != crate::state::DEFAULT_CHECKPOINT_EVERY && state_dir.is_none() {
+        return Err("--checkpoint-every requires --state-dir".to_owned());
+    }
     let max_live_sessions = match args.get_parsed::<usize>("max-live-sessions")? {
         Some(0) => return Err("--max-live-sessions must be at least 1 (got 0)".to_owned()),
         Some(n) => n,
@@ -218,6 +245,9 @@ fn cmd_serve(argv: &[String]) -> Result<(), String> {
         tenants,
         max_live_sessions,
         logger: Logger::new(level, format),
+        state_dir,
+        checkpoint_every,
+        tenants_config,
     };
     crate::serve::run_serve(config, None)
 }
@@ -461,7 +491,7 @@ fn cmd_bench(argv: &[String]) -> Result<(), String> {
     json.push('\n');
     match args.get("out") {
         Some(path) => {
-            std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+            aarc_spec::atomic_write(path, json.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
             eprintln!("wrote {path}");
         }
         None => print!("{json}"),

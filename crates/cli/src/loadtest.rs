@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 use aarc_telemetry::{Histogram, LogFormat, LogLevel, Logger};
 
 use crate::bench::{BenchReport, ServePhase, BENCH_VERSION};
-use crate::client::{http_request, HttpReply};
+use crate::client::{http_request_retrying, HttpReply, RetryPolicy};
 use crate::problem::PROBLEM_CONTENT_TYPE;
 use crate::serve::{run_serve, ServeConfig};
 use crate::tenant::{TenantRegistry, TenantSpec};
@@ -33,6 +33,16 @@ use crate::tenant::{TenantRegistry, TenantSpec};
 /// Per-request client timeout (generous: the daemon is local, but a busy
 /// scheduler can delay accepts under thousands of sessions).
 const REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The harness's retry policy: honor `Retry-After` on 429/503 but cap it
+/// hard — the daemon suggests whole seconds, and a loadtest that sleeps a
+/// second per rejection measures the sleep, not the daemon.
+const RETRY_POLICY: RetryPolicy = RetryPolicy {
+    max_retries: 2,
+    base: Duration::from_millis(2),
+    cap: Duration::from_millis(20),
+    seed: 0x10ad_7e57,
+};
 
 /// Parsed `aarc loadtest` flags.
 pub struct LoadtestOptions {
@@ -67,6 +77,7 @@ struct Stats {
     rejected_429: AtomicU64,
     rejected_503: AtomicU64,
     server_errors_5xx: AtomicU64,
+    retries: AtomicU64,
     sessions_started: AtomicU64,
     concurrent_peak: AtomicU64,
 }
@@ -80,12 +91,16 @@ impl Stats {
             rejected_429: AtomicU64::new(0),
             rejected_503: AtomicU64::new(0),
             server_errors_5xx: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
             sessions_started: AtomicU64::new(0),
             concurrent_peak: AtomicU64::new(0),
         }
     }
 
     /// One timed request against the daemon, classified by status class.
+    /// Retryable rejections (429/503) are retried per [`RETRY_POLICY`];
+    /// the latency histogram times the whole exchange, backoff included,
+    /// and only the final reply is classified.
     fn call(
         &self,
         addr: SocketAddr,
@@ -95,9 +110,21 @@ impl Stats {
         body: &[u8],
     ) -> Result<HttpReply, String> {
         let started = Instant::now();
-        let reply = http_request(addr, method, path, Some(api_key), body, REQUEST_TIMEOUT)?;
+        let retried = http_request_retrying(
+            addr,
+            method,
+            path,
+            Some(api_key),
+            body,
+            REQUEST_TIMEOUT,
+            &RETRY_POLICY,
+        )?;
         self.latency.record(started.elapsed());
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        let reply = retried.reply;
+        self.requests
+            .fetch_add(1 + u64::from(retried.retries), Ordering::Relaxed);
+        self.retries
+            .fetch_add(u64::from(retried.retries), Ordering::Relaxed);
         match reply.status {
             200..=299 => self.accepted_2xx.fetch_add(1, Ordering::Relaxed),
             429 => self.rejected_429.fetch_add(1, Ordering::Relaxed),
@@ -207,6 +234,9 @@ pub fn run_loadtest(options: &LoadtestOptions) -> Result<(), String> {
         tenants: registry,
         max_live_sessions: per_tenant * options.tenants + 1,
         logger: Logger::new(LogLevel::Error, LogFormat::Text),
+        state_dir: None,
+        checkpoint_every: crate::state::DEFAULT_CHECKPOINT_EVERY,
+        tenants_config: None,
     };
     let (ready_tx, ready_rx) = mpsc::channel();
     let daemon = std::thread::spawn(move || run_serve(config, Some(ready_tx)));
@@ -337,6 +367,7 @@ pub fn run_loadtest(options: &LoadtestOptions) -> Result<(), String> {
         rejected_429: stats.rejected_429.load(Ordering::Relaxed),
         rejected_503: stats.rejected_503.load(Ordering::Relaxed),
         server_errors_5xx: stats.server_errors_5xx.load(Ordering::Relaxed),
+        retries: stats.retries.load(Ordering::Relaxed),
         wall_ms,
         requests_per_sec: if wall_ms > 0.0 {
             stats.requests.load(Ordering::Relaxed) as f64 / (wall_ms / 1e3)
@@ -349,7 +380,9 @@ pub fn run_loadtest(options: &LoadtestOptions) -> Result<(), String> {
         serde_json::to_string_pretty(&phase).expect("serve phase serialization is infallible");
     report.push('\n');
     match options.out.as_deref() {
-        Some(path) => std::fs::write(path, &report).map_err(|e| format!("{path}: {e}"))?,
+        Some(path) => {
+            aarc_spec::atomic_write(path, report.as_bytes()).map_err(|e| format!("{path}: {e}"))?
+        }
         None => print!("{report}"),
     }
     if let Some(path) = options.bench.as_deref() {
@@ -361,11 +394,11 @@ pub fn run_loadtest(options: &LoadtestOptions) -> Result<(), String> {
         let mut merged =
             serde_json::to_string_pretty(&bench).expect("bench report serialization is infallible");
         merged.push('\n');
-        std::fs::write(path, merged).map_err(|e| format!("{path}: {e}"))?;
+        aarc_spec::atomic_write(path, merged.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
     }
     eprintln!(
         "aarc loadtest: {} requests, peak {} concurrent, p50 {:.2}ms p99 {:.2}ms, \
-         {} started / {} x429 / {} x503 / {} x5xx in {:.0}ms",
+         {} started / {} x429 / {} x503 / {} x5xx / {} retried in {:.0}ms",
         phase.requests,
         phase.concurrent_peak,
         phase.p50_ms,
@@ -374,6 +407,7 @@ pub fn run_loadtest(options: &LoadtestOptions) -> Result<(), String> {
         phase.rejected_429,
         phase.rejected_503,
         phase.server_errors_5xx,
+        phase.retries,
         phase.wall_ms
     );
 

@@ -30,6 +30,7 @@ mod methods;
 mod problem;
 mod report;
 mod serve;
+mod state;
 mod sweep;
 mod tenant;
 mod version;

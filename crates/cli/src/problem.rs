@@ -40,6 +40,13 @@ pub enum Kind {
     Saturated,
     /// The daemon is draining after `POST /shutdown` (503).
     ShuttingDown,
+    /// The daemon is replaying its durable state after a restart; tenant
+    /// routes are unavailable until recovery completes (503).
+    Recovering,
+    /// A durable-state write (WAL append, checkpoint) failed, so the
+    /// mutation was not applied — durability is promised before any 2xx
+    /// (500).
+    StorageFailed,
 }
 
 impl Kind {
@@ -56,6 +63,8 @@ impl Kind {
             Kind::RateLimited => "rate-limited",
             Kind::Saturated => "saturated",
             Kind::ShuttingDown => "shutting-down",
+            Kind::Recovering => "recovering",
+            Kind::StorageFailed => "storage-failed",
         }
     }
 
@@ -72,6 +81,8 @@ impl Kind {
             Kind::RateLimited => "Rate limited",
             Kind::Saturated => "Service saturated",
             Kind::ShuttingDown => "Shutting down",
+            Kind::Recovering => "Recovering",
+            Kind::StorageFailed => "Storage failed",
         }
     }
 
@@ -85,7 +96,8 @@ impl Kind {
             Kind::Conflict => 409,
             Kind::ValidationFailed => 422,
             Kind::QuotaExceeded | Kind::RateLimited => 429,
-            Kind::Saturated | Kind::ShuttingDown => 503,
+            Kind::Saturated | Kind::ShuttingDown | Kind::Recovering => 503,
+            Kind::StorageFailed => 500,
         }
     }
 }
@@ -158,7 +170,7 @@ pub fn problem(kind: Kind, detail: impl Into<String>, instance: &str) -> Respons
 mod tests {
     use super::*;
 
-    const ALL_KINDS: [Kind; 10] = [
+    const ALL_KINDS: [Kind; 12] = [
         Kind::BadRequest,
         Kind::Unauthorized,
         Kind::NotFound,
@@ -169,6 +181,8 @@ mod tests {
         Kind::RateLimited,
         Kind::Saturated,
         Kind::ShuttingDown,
+        Kind::Recovering,
+        Kind::StorageFailed,
     ];
 
     #[test]
@@ -212,5 +226,7 @@ mod tests {
         assert_eq!(Kind::ShuttingDown.status(), 503);
         assert_eq!(Kind::ValidationFailed.status(), 422);
         assert_eq!(Kind::Unauthorized.status(), 401);
+        assert_eq!(Kind::Recovering.status(), 503);
+        assert_eq!(Kind::StorageFailed.status(), 500);
     }
 }

@@ -43,6 +43,7 @@
 
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
@@ -62,6 +63,10 @@ use aarc_workloads::Workload;
 use crate::http::{read_request, Request, Response};
 use crate::methods;
 use crate::problem::{problem, Kind, Problem};
+use crate::state::{
+    CheckpointSummary, PersistedScenario, QuarantinedFile, SessionCheckpoint, StateDir, WalRecord,
+    STATE_VERSION,
+};
 use crate::sweep::SweepClass;
 use crate::tenant::{TenantId, TenantRegistry};
 use crate::version::VersionInfo;
@@ -106,6 +111,15 @@ pub struct ServeConfig {
     pub max_live_sessions: usize,
     /// Structured logger.
     pub logger: Logger,
+    /// Durable state directory (`--state-dir`); `None` disables
+    /// persistence entirely — not a single filesystem call is made.
+    pub state_dir: Option<PathBuf>,
+    /// Checkpoint cadence: a live session's checkpoint is refreshed
+    /// after every this-many completed rounds.
+    pub checkpoint_every: u64,
+    /// Raw contents of the `--tenants` file, persisted verbatim into the
+    /// state dir so a restart without the flag keeps its namespaces.
+    pub tenants_config: Option<String>,
 }
 
 /// The daemon's observability bundle: the metric registry every layer
@@ -248,6 +262,37 @@ struct ServeState<'s> {
     sessions: Mutex<BTreeMap<u64, Slot<'s>>>,
     next_session_id: AtomicU64,
     shutdown: AtomicBool,
+    /// Durable state, when `--state-dir` was given.
+    persist: Option<StateDir>,
+    /// Checkpoint cadence in completed rounds.
+    checkpoint_every: u64,
+    /// True from boot until startup recovery has finished replaying the
+    /// WAL and checkpoints; tenant routes answer 503 `recovering`
+    /// meanwhile (operator endpoints stay up).
+    recovering: AtomicBool,
+    /// The outcome of startup recovery, served at `GET /api/v1/recovery`.
+    recovery: Mutex<Option<RecoveryReport>>,
+}
+
+/// What startup recovery did, kept for the lifetime of the daemon and
+/// served at `GET /api/v1/recovery` (also summarized as the
+/// `aarc_recovery_*` metric families).
+#[derive(Debug, Clone, Default, Serialize)]
+struct RecoveryReport {
+    /// WAL records replayed on top of the registry snapshot.
+    wal_records_applied: u64,
+    /// WAL lines dropped as torn or unparseable.
+    wal_lines_dropped: u64,
+    /// Scenarios re-registered from persisted specs.
+    scenarios_recovered: u64,
+    /// Checkpoint files considered.
+    checkpoints_seen: u64,
+    /// Live sessions resumed by deterministic replay.
+    sessions_resumed: u64,
+    /// Terminal sessions whose results were restored without replay.
+    sessions_restored: u64,
+    /// State files (or registry entries) set aside as unusable.
+    quarantined: Vec<QuarantinedFile>,
 }
 
 impl<'s> ServeState<'s> {
@@ -256,7 +301,10 @@ impl<'s> ServeState<'s> {
         telemetry: &'s ServeTelemetry,
         tenants: TenantRegistry,
         max_live_sessions: usize,
+        persist: Option<StateDir>,
+        checkpoint_every: u64,
     ) -> Self {
+        let recovering = persist.is_some();
         ServeState {
             service,
             telemetry,
@@ -266,11 +314,27 @@ impl<'s> ServeState<'s> {
             sessions: Mutex::new(BTreeMap::new()),
             next_session_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
+            persist,
+            checkpoint_every,
+            recovering: AtomicBool::new(recovering),
+            recovery: Mutex::new(None),
         }
     }
 
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Whether startup recovery is still replaying durable state.
+    fn recovering(&self) -> bool {
+        self.recovering.load(Ordering::SeqCst)
+    }
+
+    /// Resolves a persisted tenant name back to the id of the current
+    /// registry — names are the stable cross-restart identity, ids are
+    /// positional.
+    fn tenant_by_name(&self, name: &str) -> Option<TenantId> {
+        self.tenants.all().iter().position(|t| t.name == name)
     }
 
     /// Number of sessions still occupying the scheduler.
@@ -330,10 +394,41 @@ pub fn run_serve(config: ServeConfig, ready: Option<Sender<SocketAddr>>) -> Resu
     let ServeConfig {
         addr,
         threads,
-        tenants,
+        mut tenants,
         max_live_sessions,
         logger,
+        state_dir,
+        checkpoint_every,
+        tenants_config,
     } = config;
+    // A daemon explicitly asked for durability it cannot provide must
+    // fail loudly at startup, not degrade silently.
+    let persist = match &state_dir {
+        None => None,
+        Some(dir) => Some(
+            StateDir::open(dir)
+                .map_err(|e| format!("cannot open state dir {}: {e}", dir.display()))?,
+        ),
+    };
+    if let Some(persist) = &persist {
+        match &tenants_config {
+            // The tenants file travels with the state dir, verbatim, so
+            // a restart without `--tenants` keeps its namespaces.
+            Some(raw) => persist
+                .save_tenants(raw.as_bytes())
+                .map_err(|e| format!("cannot persist tenants config: {e}"))?,
+            None => {
+                if let Some(saved) = persist.load_tenants() {
+                    tenants = TenantRegistry::from_file_contents(&saved).map_err(|e| {
+                        format!(
+                            "persisted tenants config in {} is invalid: {e}",
+                            persist.root().display()
+                        )
+                    })?;
+                }
+            }
+        }
+    }
     let listener = TcpListener::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let local = listener
         .local_addr()
@@ -346,7 +441,14 @@ pub fn run_serve(config: ServeConfig, ready: Option<Sender<SocketAddr>>) -> Resu
     service
         .attach_telemetry(telemetry.eval_telemetry())
         .expect("fresh service has no telemetry attached");
-    let state = ServeState::new(&service, &telemetry, tenants, max_live_sessions);
+    let state = ServeState::new(
+        &service,
+        &telemetry,
+        tenants,
+        max_live_sessions,
+        persist,
+        checkpoint_every.max(1),
+    );
     // The readiness line is the machine-readable contract of the CI smoke
     // job and the integration tests: they parse the bound (possibly
     // ephemeral) port out of it. It must stay the FIRST stderr line, so it
@@ -369,7 +471,14 @@ pub fn run_serve(config: ServeConfig, ready: Option<Sender<SocketAddr>>) -> Resu
     );
 
     std::thread::scope(|scope| {
-        scope.spawn(|| scheduler_loop(&state));
+        scope.spawn(|| {
+            // Recovery runs on the scheduler thread, before it steps
+            // anything: tenant routes answer 503 `recovering` meanwhile
+            // and operator endpoints (healthz, metrics, recovery) are
+            // already being served by the accept loop.
+            run_recovery(&state);
+            scheduler_loop(&state)
+        });
         loop {
             if state.drained() {
                 break;
@@ -389,6 +498,20 @@ pub fn run_serve(config: ServeConfig, ready: Option<Sender<SocketAddr>>) -> Resu
             }
         }
     });
+    // Final flush: by now every session is terminal; persist each one's
+    // result so a restarted daemon can still serve its report.
+    if state.persist.is_some() {
+        let checkpoints: Vec<SessionCheckpoint> = {
+            let sessions = state.sessions.lock().expect("session table poisoned");
+            sessions
+                .values()
+                .map(|s| checkpoint_of(&state, s))
+                .collect()
+        };
+        for checkpoint in &checkpoints {
+            write_checkpoint(&state, checkpoint);
+        }
+    }
     telemetry.logger.info("serve_drained", &[]);
     eprintln!("aarc serve: drained, exiting");
     Ok(())
@@ -449,6 +572,19 @@ fn scheduler_loop(state: &ServeState<'_>) {
             } else {
                 slot.session = Some(session);
             }
+            // Checkpoint cadence: every Nth completed round, and always
+            // at the terminal phase. The checkpoint is assembled under
+            // the lock (cheap clones) but written to disk after it is
+            // released, so polls are never blocked behind an fsync.
+            let due = state.persist.is_some()
+                && (outcome_state == SessionState::Finished
+                    || (slot.progress.rounds > 0
+                        && slot.progress.rounds.is_multiple_of(state.checkpoint_every)));
+            let checkpoint = due.then(|| checkpoint_of(state, slot));
+            drop(sessions);
+            if let Some(checkpoint) = checkpoint {
+                write_checkpoint(state, &checkpoint);
+            }
         }
         if state.drained() {
             break;
@@ -457,6 +593,370 @@ fn scheduler_loop(state: &ServeState<'_>) {
             std::thread::sleep(Duration::from_millis(2));
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Durable state: checkpoints and startup recovery
+// ---------------------------------------------------------------------------
+
+/// Assembles the durable record of one session slot — identity and
+/// provenance (enough to rebuild the strategy and replay it), the
+/// progress/trace the replay is verified against, and the terminal
+/// result if the session already finished.
+fn checkpoint_of(state: &ServeState<'_>, slot: &Slot<'_>) -> SessionCheckpoint {
+    SessionCheckpoint {
+        v: STATE_VERSION,
+        id: slot.id,
+        tenant: state.tenants.tenant(slot.tenant).name.clone(),
+        scenario: slot.scenario.clone(),
+        method: slot.method.clone(),
+        class: slot.class.clone(),
+        slo_ms: slot.slo_ms,
+        phase: slot.phase.label().to_owned(),
+        rounds: slot.progress.rounds,
+        progress: slot.progress.clone(),
+        trace: slot.trace.clone(),
+        report_json: slot.report_json.clone(),
+        summary: slot.summary.as_ref().map(|s| CheckpointSummary {
+            final_cost: s.final_cost,
+            final_makespan_ms: s.final_makespan_ms,
+            meets_slo: s.meets_slo,
+            samples: s.samples as u64,
+        }),
+        error: slot.error.clone(),
+    }
+}
+
+/// Writes one checkpoint through the state dir, counting the outcome; a
+/// failed write degrades durability, never the session itself.
+fn write_checkpoint(state: &ServeState<'_>, checkpoint: &SessionCheckpoint) {
+    let Some(persist) = &state.persist else {
+        return;
+    };
+    match persist.write_checkpoint(checkpoint) {
+        Ok(()) => state
+            .telemetry
+            .recorder
+            .counter(
+                "aarc_checkpoint_writes_total",
+                "Session checkpoints written to the state dir.",
+            )
+            .inc(),
+        Err(e) => {
+            state
+                .telemetry
+                .recorder
+                .counter(
+                    "aarc_checkpoint_write_failures_total",
+                    "Session checkpoint writes that failed (durability degraded).",
+                )
+                .inc();
+            state.telemetry.logger.log(
+                LogLevel::Warn,
+                "checkpoint_write_failed",
+                &[
+                    ("session", FieldValue::U64(checkpoint.id)),
+                    ("error", FieldValue::Str(e.to_string())),
+                ],
+            );
+        }
+    }
+}
+
+/// Startup recovery: replays the registry WAL into live scenario
+/// registrations, compacts it, then rebuilds every checkpointed session —
+/// live ones by deterministic replay (re-stepping a fresh strategy the
+/// checkpointed number of rounds and verifying the progress/trace match),
+/// terminal ones by restoring their recorded result. Anything unusable is
+/// quarantined and reported; recovery degrades, it never crashes the
+/// daemon. Runs on the scheduler thread before the first step, while
+/// tenant routes answer 503 `recovering`.
+fn run_recovery(state: &ServeState<'_>) {
+    let Some(persist) = &state.persist else {
+        state.recovering.store(false, Ordering::SeqCst);
+        return;
+    };
+    let started = Instant::now();
+    state.telemetry.flight.record(
+        "recovery_started",
+        vec![(
+            "state_dir",
+            FieldValue::Str(persist.root().display().to_string()),
+        )],
+    );
+    let mut report = RecoveryReport::default();
+
+    let load = persist.load_registry();
+    report.wal_records_applied = load.records_applied;
+    report.wal_lines_dropped = load.lines_dropped;
+    report.quarantined.extend(load.quarantined);
+    let mut surviving: Vec<PersistedScenario> = Vec::with_capacity(load.scenarios.len());
+    for scenario in load.scenarios {
+        match recover_scenario(state, &scenario) {
+            Ok(()) => {
+                report.scenarios_recovered += 1;
+                surviving.push(scenario);
+            }
+            Err(reason) => {
+                // Registry entries live inside the WAL/snapshot, not in
+                // their own file, so there is nothing to move — the entry
+                // is reported and dropped from the compacted snapshot.
+                report.quarantined.push(QuarantinedFile {
+                    file: format!("registry:{}/{}", scenario.tenant, scenario.scenario),
+                    reason,
+                });
+            }
+        }
+    }
+    if let Err(e) = persist.compact(&surviving) {
+        state.telemetry.logger.log(
+            LogLevel::Warn,
+            "recovery_compaction_failed",
+            &[("error", FieldValue::Str(e.to_string()))],
+        );
+    }
+
+    for (path, parsed) in persist.load_checkpoints() {
+        report.checkpoints_seen += 1;
+        let quarantined = match parsed {
+            Err(reason) => Some(persist.quarantine(&path, reason)),
+            Ok(checkpoint) => match recover_session(state, &checkpoint) {
+                Ok(live) => {
+                    if live {
+                        report.sessions_resumed += 1;
+                    } else {
+                        report.sessions_restored += 1;
+                    }
+                    None
+                }
+                Err(reason) => Some(persist.quarantine(&path, reason)),
+            },
+        };
+        if let Some(entry) = quarantined {
+            state.telemetry.flight.record(
+                "recovery_quarantined",
+                vec![
+                    ("file", FieldValue::Str(entry.file.clone())),
+                    ("reason", FieldValue::Str(entry.reason.clone())),
+                ],
+            );
+            state.telemetry.logger.log(
+                LogLevel::Warn,
+                "recovery_quarantined",
+                &[
+                    ("file", FieldValue::Str(entry.file.clone())),
+                    ("reason", FieldValue::Str(entry.reason.clone())),
+                ],
+            );
+            report.quarantined.push(entry);
+        }
+    }
+
+    // Session ids must keep growing past every recovered id, so resumed
+    // and new sessions never collide.
+    let max_recovered = {
+        let sessions = state.sessions.lock().expect("session table poisoned");
+        sessions.keys().next_back().copied().unwrap_or(0)
+    };
+    let next = state.next_session_id.load(Ordering::SeqCst);
+    state
+        .next_session_id
+        .store(next.max(max_recovered + 1), Ordering::SeqCst);
+
+    let duration_ms = started.elapsed().as_millis().min(u64::MAX as u128) as u64;
+    let fields = vec![
+        (
+            "wal_records_applied",
+            FieldValue::U64(report.wal_records_applied),
+        ),
+        (
+            "wal_lines_dropped",
+            FieldValue::U64(report.wal_lines_dropped),
+        ),
+        (
+            "scenarios_recovered",
+            FieldValue::U64(report.scenarios_recovered),
+        ),
+        ("sessions_resumed", FieldValue::U64(report.sessions_resumed)),
+        (
+            "sessions_restored",
+            FieldValue::U64(report.sessions_restored),
+        ),
+        (
+            "quarantined",
+            FieldValue::U64(report.quarantined.len() as u64),
+        ),
+        ("duration_ms", FieldValue::U64(duration_ms)),
+    ];
+    state
+        .telemetry
+        .flight
+        .record("recovery_finished", fields.clone());
+    let level = if report.quarantined.is_empty() {
+        LogLevel::Info
+    } else {
+        LogLevel::Warn
+    };
+    state
+        .telemetry
+        .logger
+        .log(level, "recovery_finished", &fields);
+    *state.recovery.lock().expect("recovery report poisoned") = Some(report);
+    state.recovering.store(false, Ordering::SeqCst);
+}
+
+/// Re-registers one persisted scenario: canonical YAML → spec →
+/// validation → compiled workload, inserted under the tenant resolved by
+/// name. Mirrors `upload_scenario` without the HTTP layer.
+fn recover_scenario(state: &ServeState<'_>, scenario: &PersistedScenario) -> Result<(), String> {
+    let tenant_id = state.tenant_by_name(&scenario.tenant).ok_or_else(|| {
+        format!(
+            "tenant `{}` is not in the current registry",
+            scenario.tenant
+        )
+    })?;
+    let (spec, workload) = parse_and_compile(scenario.spec_yaml.as_bytes())
+        .map_err(|(_, message)| format!("persisted spec rejected: {message}"))?;
+    if workload.name() != scenario.scenario {
+        return Err(format!(
+            "persisted spec is named `{}`, expected `{}`",
+            workload.name(),
+            scenario.scenario
+        ));
+    }
+    let mut scenarios = state.scenarios.lock().expect("scenario registry poisoned");
+    scenarios.insert(
+        (tenant_id, scenario.scenario.clone()),
+        ScenarioEntry {
+            functions: spec.functions.len(),
+            edges: spec.edges.len(),
+            slo_ms: workload.slo_ms(),
+            workload,
+            handles: BTreeMap::new(),
+        },
+    );
+    Ok(())
+}
+
+/// Rebuilds one checkpointed session. Terminal sessions are restored
+/// verbatim (their recorded report/summary/error is the result). Live
+/// sessions are resumed by replay: a fresh strategy is stepped the
+/// checkpointed number of rounds and must reproduce the checkpointed
+/// progress and convergence trace exactly — the determinism contract the
+/// byte-golden suite pins — or the checkpoint is rejected. Returns
+/// whether the session came back live.
+fn recover_session(state: &ServeState<'_>, checkpoint: &SessionCheckpoint) -> Result<bool, String> {
+    let tenant_id = state.tenant_by_name(&checkpoint.tenant).ok_or_else(|| {
+        format!(
+            "tenant `{}` is not in the current registry",
+            checkpoint.tenant
+        )
+    })?;
+    let phase = match checkpoint.phase.as_str() {
+        "running" => Phase::Running,
+        "paused" => Phase::Paused,
+        "finished" => Phase::Finished,
+        "failed" => Phase::Failed,
+        "cancelled" => Phase::Cancelled,
+        other => return Err(format!("unknown phase `{other}`")),
+    };
+    {
+        let sessions = state.sessions.lock().expect("session table poisoned");
+        if sessions.contains_key(&checkpoint.id) {
+            return Err(format!("duplicate session id {}", checkpoint.id));
+        }
+    }
+    let session = if phase.is_live() {
+        Some(replay_session(state, tenant_id, checkpoint)?)
+    } else {
+        None
+    };
+    let live = phase.is_live();
+    let slot = Slot {
+        id: checkpoint.id,
+        tenant: tenant_id,
+        scenario: checkpoint.scenario.clone(),
+        method: checkpoint.method.clone(),
+        class: checkpoint.class.clone(),
+        slo_ms: checkpoint.slo_ms,
+        session,
+        phase,
+        want_pause: phase == Phase::Paused,
+        want_cancel: false,
+        progress: checkpoint.progress.clone(),
+        trace: checkpoint.trace.clone(),
+        report_json: checkpoint.report_json.clone(),
+        summary: checkpoint.summary.as_ref().map(|s| FinalSummary {
+            final_cost: s.final_cost,
+            final_makespan_ms: s.final_makespan_ms,
+            meets_slo: s.meets_slo,
+            samples: s.samples as usize,
+        }),
+        error: checkpoint.error.clone(),
+    };
+    let mut sessions = state.sessions.lock().expect("session table poisoned");
+    sessions.insert(checkpoint.id, slot);
+    drop(sessions);
+    state.telemetry.flight.record(
+        "recovery_session",
+        vec![
+            ("session", FieldValue::U64(checkpoint.id)),
+            ("scenario", FieldValue::Str(checkpoint.scenario.clone())),
+            ("phase", FieldValue::Str(checkpoint.phase.clone())),
+            ("rounds", FieldValue::U64(checkpoint.rounds)),
+            ("resumed", FieldValue::U64(u64::from(live))),
+        ],
+    );
+    Ok(live)
+}
+
+/// The replay itself: rebuild the strategy exactly like `start_session`
+/// would, step it `rounds` times, and verify the replayed state matches
+/// the checkpoint bit-for-bit.
+fn replay_session<'s>(
+    state: &ServeState<'s>,
+    tenant_id: TenantId,
+    checkpoint: &SessionCheckpoint,
+) -> Result<SearchSession<'s>, String> {
+    let class =
+        SweepClass::parse(&checkpoint.class).map_err(|e| format!("unknown input class: {e}"))?;
+    let method = methods::build(&checkpoint.method).map_err(|e| format!("unknown method: {e}"))?;
+    let mut scenarios = state.scenarios.lock().expect("scenario registry poisoned");
+    let entry = scenarios
+        .get_mut(&(tenant_id, checkpoint.scenario.clone()))
+        .ok_or_else(|| format!("scenario `{}` was not recovered", checkpoint.scenario))?;
+    let handle = match entry.handles.get(&class.label()) {
+        Some(handle) => handle.clone(),
+        None => {
+            let handle = state.service.register(class.env(entry.workload.env()));
+            entry.handles.insert(class.label(), handle.clone());
+            handle
+        }
+    };
+    drop(scenarios);
+    let strategy = method
+        .strategy(handle.env(), checkpoint.slo_ms)
+        .map_err(|e| format!("cannot rebuild strategy: {e}"))?;
+    let mut session = SearchSession::with_slo(strategy, handle, checkpoint.slo_ms);
+    for round in 0..checkpoint.rounds {
+        if session.step() == SessionState::Finished {
+            return Err(format!(
+                "replay finished after {} of {} checkpointed rounds",
+                round + 1,
+                checkpoint.rounds
+            ));
+        }
+    }
+    if *session.progress() != checkpoint.progress {
+        return Err("replay diverged from the checkpointed progress".to_owned());
+    }
+    if session.convergence() != checkpoint.trace.as_slice() {
+        return Err("replay diverged from the checkpointed convergence trace".to_owned());
+    }
+    if checkpoint.phase == "paused" {
+        session.pause();
+    }
+    Ok(session)
 }
 
 /// [`apply_controls`] preceded by the shutdown sweep: once the daemon is
@@ -628,13 +1128,16 @@ fn route_core(state: &ServeState<'_>, request: &Request, path: &str, v1: bool) -
         ("GET", ["metrics"]) => Response::text(200, render_metrics(state)),
         ("GET", ["version"]) => json_response(200, &VersionInfo::current()),
         ("GET", ["debug", "events"]) => debug_events(state, request, instance),
+        ("GET", ["recovery"]) => recovery_status(state),
         ("POST", ["shutdown"]) => request_shutdown(state),
         (_, ["scenarios" | "sessions", ..]) => route_tenant(state, request, &segments, instance),
-        (_, ["healthz" | "metrics" | "version" | "shutdown"] | ["debug", ..]) => problem(
-            Kind::MethodNotAllowed,
-            format!("method {} not allowed here", request.method),
-            instance,
-        ),
+        (_, ["healthz" | "metrics" | "version" | "shutdown" | "recovery"] | ["debug", ..]) => {
+            problem(
+                Kind::MethodNotAllowed,
+                format!("method {} not allowed here", request.method),
+                instance,
+            )
+        }
         _ => problem(
             Kind::NotFound,
             format!("no such endpoint `{instance}`"),
@@ -671,6 +1174,18 @@ fn route_tenant(
         .retry_after(retry_after)
         .response(instance);
     }
+    // Tenant state (registries, session table) is still being rebuilt
+    // during startup recovery; serving it would show a half-recovered
+    // world. Operator endpoints never reach this gate.
+    if state.recovering() {
+        state.count_rejection(&tenant.name, "recovering");
+        return Problem::new(
+            Kind::Recovering,
+            "daemon is replaying durable state after a restart; retry shortly",
+        )
+        .retry_after(1)
+        .response(instance);
+    }
     match (request.method.as_str(), segments) {
         ("GET", ["scenarios"]) => list_scenarios(state, tenant_id, request, instance),
         ("POST", ["scenarios"]) => upload_scenario(state, tenant_id, &request.body, instance),
@@ -703,11 +1218,16 @@ fn route_tenant(
 /// `GET /api/v1`: the discovery document — supported versions and the
 /// route table, so clients can probe capabilities instead of hardcoding.
 fn discovery() -> Response {
-    let routes: [(&str, &str, &str); 18] = [
+    let routes: [(&str, &str, &str); 19] = [
         ("GET", "/api/v1", "This discovery document."),
         ("GET", "/api/v1/healthz", "Liveness probe."),
         ("GET", "/api/v1/metrics", "Prometheus text exposition."),
         ("GET", "/api/v1/version", "Build provenance."),
+        (
+            "GET",
+            "/api/v1/recovery",
+            "Startup recovery status and damage report.",
+        ),
         (
             "GET",
             "/api/v1/debug/events?limit=N",
@@ -996,6 +1516,28 @@ fn upload_scenario(
             instance,
         );
     }
+    // Write-ahead: the upload is durable before the 201 leaves the
+    // daemon. A failed append fails the request — never acknowledge
+    // state that would not survive a crash.
+    if let Some(persist) = &state.persist {
+        let record = WalRecord {
+            v: STATE_VERSION,
+            op: "upload".to_owned(),
+            tenant: tenant.name.clone(),
+            scenario: name.clone(),
+            // The canonical YAML re-export (not the raw body): recovery
+            // re-compiles exactly what this daemon admitted.
+            spec_yaml: Some(aarc_spec::to_string(&spec, aarc_spec::SpecFormat::Yaml)),
+        };
+        if let Err(e) = persist.append_wal(&record) {
+            state.count_rejection(&tenant.name, "storage");
+            return problem(
+                Kind::StorageFailed,
+                format!("write-ahead log append failed: {e}"),
+                instance,
+            );
+        }
+    }
     let reply = UploadReply {
         name: name.clone(),
         functions: spec.functions.len(),
@@ -1097,6 +1639,26 @@ fn delete_scenario(
             return problem(
                 Kind::Conflict,
                 format!("scenario `{name}` has {live} live session(s); cancel them first"),
+                instance,
+            );
+        }
+    }
+    // Write-ahead: the delete is durable before the 200, mirroring
+    // upload — a recovered daemon must never resurrect a deleted
+    // scenario.
+    if let Some(persist) = &state.persist {
+        let record = WalRecord {
+            v: STATE_VERSION,
+            op: "delete".to_owned(),
+            tenant: state.tenants.tenant(tenant_id).name.clone(),
+            scenario: name.to_owned(),
+            spec_yaml: None,
+        };
+        if let Err(e) = persist.append_wal(&record) {
+            state.count_rejection(&state.tenants.tenant(tenant_id).name, "storage");
+            return problem(
+                Kind::StorageFailed,
+                format!("write-ahead log append failed: {e}"),
                 instance,
             );
         }
@@ -1557,9 +2119,43 @@ fn control_session(
     json_response(200, &SessionStatus::of(slot))
 }
 
+/// `GET /recovery`: whether this daemon persists state at all, whether
+/// startup recovery is still running, and — once it finished — what it
+/// recovered and what it had to quarantine.
+fn recovery_status(state: &ServeState<'_>) -> Response {
+    #[derive(Serialize)]
+    struct RecoveryStatusDoc {
+        enabled: bool,
+        state_dir: Option<String>,
+        in_progress: bool,
+        report: Option<RecoveryReport>,
+    }
+    let report = state
+        .recovery
+        .lock()
+        .expect("recovery report poisoned")
+        .clone();
+    json_response(
+        200,
+        &RecoveryStatusDoc {
+            enabled: state.persist.is_some(),
+            state_dir: state
+                .persist
+                .as_ref()
+                .map(|p| p.root().display().to_string()),
+            in_progress: state.recovering(),
+            report,
+        },
+    )
+}
+
 /// `POST /shutdown`: stop admission, cancel paused sessions (they would
 /// otherwise never drain) and let running ones finish; the process exits
-/// 0 once the last session reaches a terminal phase.
+/// 0 once the last session reaches a terminal phase. Idempotent: a
+/// repeated call (a supervisor retrying, two supervisors racing) answers
+/// 200 with the remaining drain count, never an error. With `--state-dir`
+/// every live session's checkpoint is flushed here, so even a SIGKILL
+/// that lands mid-drain loses at most the rounds since this call.
 fn request_shutdown(state: &ServeState<'_>) -> Response {
     state.shutdown.store(true, Ordering::SeqCst);
     let mut sessions = state.sessions.lock().expect("session table poisoned");
@@ -1571,6 +2167,19 @@ fn request_shutdown(state: &ServeState<'_>) -> Response {
         }
     }
     let draining = sessions.values().filter(|s| s.phase.is_live()).count();
+    let checkpoints: Vec<SessionCheckpoint> = if state.persist.is_some() {
+        sessions
+            .values()
+            .filter(|s| s.phase.is_live())
+            .map(|s| checkpoint_of(state, s))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    drop(sessions);
+    for checkpoint in &checkpoints {
+        write_checkpoint(state, checkpoint);
+    }
     Response::json(200, format!("{{\"draining\": {draining}}}\n"))
 }
 
@@ -1767,6 +2376,61 @@ fn render_metrics(state: &ServeState<'_>) -> String {
         );
     }
 
+    // Recovery families exist only when the daemon persists state, so a
+    // daemon without `--state-dir` exposes byte-identical metric
+    // families to before the persistence layer existed.
+    if state.persist.is_some() {
+        family_header(
+            &mut out,
+            "aarc_recovery_in_progress",
+            "gauge",
+            "1 while startup recovery is replaying durable state, 0 after.",
+        );
+        let _ = writeln!(
+            out,
+            "aarc_recovery_in_progress {}",
+            u64::from(state.recovering())
+        );
+        let recovery = state.recovery.lock().expect("recovery report poisoned");
+        if let Some(report) = recovery.as_ref() {
+            for (name, help, value) in [
+                (
+                    "aarc_recovery_wal_records_applied",
+                    "WAL records replayed on top of the registry snapshot at startup.",
+                    report.wal_records_applied,
+                ),
+                (
+                    "aarc_recovery_wal_lines_dropped",
+                    "WAL lines dropped at startup as torn or unparseable.",
+                    report.wal_lines_dropped,
+                ),
+                (
+                    "aarc_recovery_scenarios_recovered",
+                    "Scenarios re-registered from persisted specs at startup.",
+                    report.scenarios_recovered,
+                ),
+                (
+                    "aarc_recovery_sessions_resumed",
+                    "Live sessions resumed by deterministic replay at startup.",
+                    report.sessions_resumed,
+                ),
+                (
+                    "aarc_recovery_sessions_restored",
+                    "Terminal sessions restored from checkpoints at startup.",
+                    report.sessions_restored,
+                ),
+                (
+                    "aarc_recovery_files_quarantined",
+                    "State files or registry entries quarantined as unusable at startup.",
+                    report.quarantined.len() as u64,
+                ),
+            ] {
+                family_header(&mut out, name, "gauge", help);
+                let _ = writeln!(out, "{name} {value}");
+            }
+        }
+    }
+
     let sessions = state.sessions.lock().expect("session table poisoned");
     let live = sessions.values().filter(|s| s.phase.is_live()).count();
     let mut tenant_live = vec![0u64; tenant_count];
@@ -1961,6 +2625,8 @@ mod tests {
             telemetry,
             TenantRegistry::single_anonymous(),
             DEFAULT_MAX_LIVE_SESSIONS,
+            None,
+            crate::state::DEFAULT_CHECKPOINT_EVERY,
         )
     }
 
@@ -2408,7 +3074,14 @@ mod tests {
             "tenants:\n  - name: alpha\n    api_key: ka\n  - name: beta\n    api_key: kb\n",
         )
         .unwrap();
-        let state = ServeState::new(&service, &telemetry, registry, DEFAULT_MAX_LIVE_SESSIONS);
+        let state = ServeState::new(
+            &service,
+            &telemetry,
+            registry,
+            DEFAULT_MAX_LIVE_SESSIONS,
+            None,
+            crate::state::DEFAULT_CHECKPOINT_EVERY,
+        );
 
         // Keyless requests are refused outright (no anonymous entry).
         let doc = assert_problem(
@@ -2519,7 +3192,14 @@ mod tests {
             "tenants:\n  - name: small\n    api_key: ks\n    max_scenarios: 1\n    max_live_sessions: 1\n",
         )
         .unwrap();
-        let state = ServeState::new(&service, &telemetry, registry, DEFAULT_MAX_LIVE_SESSIONS);
+        let state = ServeState::new(
+            &service,
+            &telemetry,
+            registry,
+            DEFAULT_MAX_LIVE_SESSIONS,
+            None,
+            crate::state::DEFAULT_CHECKPOINT_EVERY,
+        );
 
         let first = route(
             &state,
@@ -2573,7 +3253,14 @@ mod tests {
             "tenants:\n  - name: slow\n    api_key: kr\n    requests_per_sec: 1\n    burst: 1\n",
         )
         .unwrap();
-        let state = ServeState::new(&service, &telemetry, registry, DEFAULT_MAX_LIVE_SESSIONS);
+        let state = ServeState::new(
+            &service,
+            &telemetry,
+            registry,
+            DEFAULT_MAX_LIVE_SESSIONS,
+            None,
+            crate::state::DEFAULT_CHECKPOINT_EVERY,
+        );
         let first = route(
             &state,
             &keyed_request("GET", "/api/v1/scenarios", "kr", b""),
@@ -2605,7 +3292,14 @@ mod tests {
     fn global_watermark_saturates_with_503() {
         let service = EvalService::with_threads(1);
         let telemetry = ServeTelemetry::quiet();
-        let state = ServeState::new(&service, &telemetry, TenantRegistry::single_anonymous(), 1);
+        let state = ServeState::new(
+            &service,
+            &telemetry,
+            TenantRegistry::single_anonymous(),
+            1,
+            None,
+            crate::state::DEFAULT_CHECKPOINT_EVERY,
+        );
         route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
         let first = route(
             &state,
@@ -3110,5 +3804,326 @@ mod tests {
         }
         drain_sessions(&state);
         assert!(state.drained(), "pending pause must not park the session");
+    }
+
+    // -----------------------------------------------------------------
+    // Durable state: WAL replay, checkpoints, crash recovery
+    // -----------------------------------------------------------------
+
+    /// A fresh, unique state directory for one persistence test.
+    fn temp_state_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("aarc-serve-state-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// An anonymous-tenant state persisting into `dir`.
+    fn persisted_state<'s>(
+        service: &'s EvalService,
+        telemetry: &'s ServeTelemetry,
+        dir: &std::path::Path,
+        checkpoint_every: u64,
+    ) -> ServeState<'s> {
+        ServeState::new(
+            service,
+            telemetry,
+            TenantRegistry::single_anonymous(),
+            DEFAULT_MAX_LIVE_SESSIONS,
+            Some(StateDir::open(dir).unwrap()),
+            checkpoint_every,
+        )
+    }
+
+    /// Steps session `id` exactly `rounds` rounds (it must not finish),
+    /// mirroring one scheduler round per step.
+    fn step_rounds(state: &ServeState<'_>, id: u64, rounds: u64) {
+        for _ in 0..rounds {
+            let mut session = {
+                let mut sessions = state.sessions.lock().unwrap();
+                sessions.get_mut(&id).unwrap().session.take().unwrap()
+            };
+            let st = session.step();
+            let mut sessions = state.sessions.lock().unwrap();
+            let slot = sessions.get_mut(&id).unwrap();
+            slot.progress = session.progress().clone();
+            slot.trace
+                .extend_from_slice(&session.convergence()[slot.trace.len()..]);
+            assert_eq!(st, SessionState::Running, "session finished prematurely");
+            slot.session = Some(session);
+        }
+    }
+
+    #[test]
+    fn tenant_routes_answer_503_while_recovering() {
+        let dir = temp_state_dir("recovering-gate");
+        let service = EvalService::with_threads(1);
+        let telemetry = ServeTelemetry::quiet();
+        let state = persisted_state(&service, &telemetry, &dir, 4);
+
+        // Recovery has not run yet: tenant routes hold with a retryable
+        // problem, operator endpoints stay up.
+        let refused = route(&state, &request("GET", "/api/v1/scenarios", b""));
+        let doc = assert_problem(&refused, 503);
+        assert!(
+            field(&doc, "type")
+                .as_str()
+                .unwrap()
+                .ends_with("/recovering"),
+            "{}",
+            refused.body
+        );
+        assert_eq!(refused.header("Retry-After"), Some("1"));
+        assert_eq!(route(&state, &request("GET", "/healthz", b"")).status, 200);
+        let status = route(&state, &request("GET", "/api/v1/recovery", b""));
+        assert_eq!(status.status, 200);
+        assert!(status.body.contains("\"enabled\": true"), "{}", status.body);
+        assert!(
+            status.body.contains("\"in_progress\": true"),
+            "{}",
+            status.body
+        );
+
+        run_recovery(&state);
+        assert!(!state.recovering());
+        let listed = route(&state, &request("GET", "/api/v1/scenarios", b""));
+        assert_eq!(listed.status, 200, "{}", listed.body);
+        let status = route(&state, &request("GET", "/api/v1/recovery", b""));
+        assert!(
+            status.body.contains("\"in_progress\": false"),
+            "{}",
+            status.body
+        );
+        assert!(status.body.contains("\"report\""), "{}", status.body);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_endpoint_reports_disabled_without_state_dir() {
+        let service = EvalService::with_threads(1);
+        let telemetry = ServeTelemetry::quiet();
+        let state = anonymous_state(&service, &telemetry);
+        assert!(!state.recovering(), "no state dir, nothing to recover");
+        let status = route(&state, &request("GET", "/api/v1/recovery", b""));
+        assert_eq!(status.status, 200);
+        assert!(
+            status.body.contains("\"enabled\": false"),
+            "{}",
+            status.body
+        );
+        assert!(status.body.contains("\"report\": null"), "{}", status.body);
+    }
+
+    #[test]
+    fn registry_wal_survives_restart_and_deletes_stay_deleted() {
+        let dir = temp_state_dir("wal-restart");
+        let service = EvalService::with_threads(1);
+        let telemetry = ServeTelemetry::quiet();
+        {
+            let state = persisted_state(&service, &telemetry, &dir, 4);
+            run_recovery(&state);
+            let created = route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
+            assert_eq!(created.status, 201, "{}", created.body);
+            // Simulated kill -9: the state is dropped without shutdown.
+        }
+        let state = persisted_state(&service, &telemetry, &dir, 4);
+        run_recovery(&state);
+        let report = state.recovery.lock().unwrap().clone().unwrap();
+        assert_eq!(report.scenarios_recovered, 1, "{report:?}");
+        assert!(report.quarantined.is_empty(), "{report:?}");
+        let listed = route(&state, &request("GET", "/scenarios", b""));
+        assert!(listed.body.contains("chatbot"), "{}", listed.body);
+
+        // A durable delete must never resurrect.
+        let deleted = route(&state, &request("DELETE", "/scenarios/chatbot", b""));
+        assert_eq!(deleted.status, 200, "{}", deleted.body);
+        drop(state);
+        let state = persisted_state(&service, &telemetry, &dir, 4);
+        run_recovery(&state);
+        let report = state.recovery.lock().unwrap().clone().unwrap();
+        assert_eq!(report.scenarios_recovered, 0, "{report:?}");
+        let listed = route(&state, &request("GET", "/scenarios", b""));
+        let doc = serde_json::parse(&listed.body).unwrap();
+        assert_eq!(uint(field(&doc, "total")), 0, "{}", listed.body);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn killed_session_resumes_bit_identical_after_restart() {
+        let service = EvalService::with_threads(2);
+        let telemetry = ServeTelemetry::quiet();
+        // The uninterrupted reference run, no persistence involved.
+        let reference = {
+            let state = anonymous_state(&service, &telemetry);
+            route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
+            route(
+                &state,
+                &request("POST", "/sessions", b"{\"scenario\": \"chatbot\"}"),
+            );
+            drain_sessions(&state);
+            let report = route(&state, &request("GET", "/sessions/1/report", b""));
+            assert_eq!(report.status, 200, "{}", report.body);
+            report.body
+        };
+
+        // The interrupted run: a few rounds, a checkpoint, then a
+        // simulated kill -9 (drop without shutdown).
+        let dir = temp_state_dir("resume");
+        {
+            let state = persisted_state(&service, &telemetry, &dir, 4);
+            run_recovery(&state);
+            route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
+            route(
+                &state,
+                &request("POST", "/sessions", b"{\"scenario\": \"chatbot\"}"),
+            );
+            step_rounds(&state, 1, 3);
+            let checkpoint = {
+                let sessions = state.sessions.lock().unwrap();
+                checkpoint_of(&state, &sessions[&1])
+            };
+            write_checkpoint(&state, &checkpoint);
+        }
+
+        // Restart: the session is resumed by deterministic replay and,
+        // run to completion, must reproduce the uninterrupted bytes.
+        let state = persisted_state(&service, &telemetry, &dir, 4);
+        run_recovery(&state);
+        let report = state.recovery.lock().unwrap().clone().unwrap();
+        assert_eq!(report.sessions_resumed, 1, "{report:?}");
+        assert!(report.quarantined.is_empty(), "{report:?}");
+        {
+            let sessions = state.sessions.lock().unwrap();
+            let slot = &sessions[&1];
+            assert_eq!(slot.phase, Phase::Running);
+            assert_eq!(slot.progress.rounds, 3, "resumed at the checkpoint");
+        }
+        drain_sessions(&state);
+        let resumed = route(&state, &request("GET", "/sessions/1/report", b""));
+        assert_eq!(resumed.status, 200, "{}", resumed.body);
+        assert_eq!(
+            resumed.body, reference,
+            "resumed session must be byte-identical to the uninterrupted run"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn finished_sessions_are_restored_without_replay() {
+        let dir = temp_state_dir("restore-terminal");
+        let service = EvalService::with_threads(1);
+        let telemetry = ServeTelemetry::quiet();
+        let reference = {
+            let state = persisted_state(&service, &telemetry, &dir, 4);
+            run_recovery(&state);
+            route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
+            route(
+                &state,
+                &request("POST", "/sessions", b"{\"scenario\": \"chatbot\"}"),
+            );
+            drain_sessions(&state);
+            // The terminal checkpoint the scheduler (or the final drain
+            // flush) would write.
+            let checkpoint = {
+                let sessions = state.sessions.lock().unwrap();
+                checkpoint_of(&state, &sessions[&1])
+            };
+            write_checkpoint(&state, &checkpoint);
+            route(&state, &request("GET", "/sessions/1/report", b"")).body
+        };
+        let state = persisted_state(&service, &telemetry, &dir, 4);
+        run_recovery(&state);
+        let report = state.recovery.lock().unwrap().clone().unwrap();
+        assert_eq!(report.sessions_restored, 1, "{report:?}");
+        assert_eq!(report.sessions_resumed, 0, "{report:?}");
+        let restored = route(&state, &request("GET", "/sessions/1/report", b""));
+        assert_eq!(restored.status, 200, "{}", restored.body);
+        assert_eq!(restored.body, reference, "restored report bytes");
+        // A new session must not collide with the recovered id.
+        let started = route(
+            &state,
+            &request("POST", "/sessions", b"{\"scenario\": \"chatbot\"}"),
+        );
+        assert_eq!(started.status, 201, "{}", started.body);
+        assert!(started.body.contains("\"id\": 2"), "{}", started.body);
+        drain_sessions(&state);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_state_files_are_quarantined_never_fatal() {
+        let dir = temp_state_dir("corrupt");
+        std::fs::create_dir_all(dir.join("checkpoints")).unwrap();
+        std::fs::write(dir.join("checkpoints/session-0000000001.json"), b"{ torn").unwrap();
+        std::fs::write(dir.join("checkpoints/session-0000000002.json"), b"").unwrap();
+        std::fs::write(dir.join("registry.snapshot"), b"not json at all").unwrap();
+        std::fs::write(dir.join("registry.wal"), b"garbage line\n").unwrap();
+
+        let service = EvalService::with_threads(1);
+        let telemetry = ServeTelemetry::quiet();
+        let state = persisted_state(&service, &telemetry, &dir, 4);
+        run_recovery(&state);
+        assert!(!state.recovering(), "recovery must complete");
+        let report = state.recovery.lock().unwrap().clone().unwrap();
+        assert_eq!(report.wal_lines_dropped, 1, "{report:?}");
+        // The snapshot and both checkpoints are quarantined, with the
+        // files moved out of the live layout.
+        assert_eq!(report.quarantined.len(), 3, "{report:?}");
+        assert!(!dir.join("checkpoints/session-0000000001.json").exists());
+        assert!(dir.join("quarantine").read_dir().unwrap().count() >= 3);
+
+        // Damage is degradation, not death: the daemon serves normally
+        // and reports what it set aside.
+        let created = route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
+        assert_eq!(created.status, 201, "{}", created.body);
+        let status = route(&state, &request("GET", "/api/v1/recovery", b""));
+        assert!(status.body.contains("\"quarantined\""), "{}", status.body);
+        let metrics = route(&state, &request("GET", "/metrics", b"")).body;
+        assert!(
+            metrics.contains("aarc_recovery_files_quarantined 3"),
+            "recovery metrics must expose the damage"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_flushes_live_checkpoints() {
+        let dir = temp_state_dir("shutdown-flush");
+        let service = EvalService::with_threads(1);
+        let telemetry = ServeTelemetry::quiet();
+        let state = persisted_state(&service, &telemetry, &dir, 1_000_000);
+        run_recovery(&state);
+        route(&state, &request("POST", "/scenarios", &chatbot_yaml()));
+        route(
+            &state,
+            &request("POST", "/sessions", b"{\"scenario\": \"chatbot\"}"),
+        );
+        // The cadence is huge, so nothing has been checkpointed yet.
+        step_rounds(&state, 1, 2);
+        assert!(!dir.join("checkpoints/session-0000000001.json").exists());
+
+        let first = route(&state, &request("POST", "/shutdown", b""));
+        assert_eq!(first.status, 200, "{}", first.body);
+        assert!(first.body.contains("\"draining\": 1"), "{}", first.body);
+        // Shutdown flushed the live session's checkpoint.
+        assert!(dir.join("checkpoints/session-0000000001.json").exists());
+        // A retrying supervisor gets 200 again, never an error.
+        let second = route(&state, &request("POST", "/shutdown", b""));
+        assert_eq!(second.status, 200, "{}", second.body);
+        drain_sessions(&state);
+        assert!(state.drained());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_omit_recovery_families_without_state_dir() {
+        let service = EvalService::with_threads(1);
+        let telemetry = ServeTelemetry::quiet();
+        let state = anonymous_state(&service, &telemetry);
+        let metrics = route(&state, &request("GET", "/metrics", b"")).body;
+        assert!(
+            !metrics.contains("aarc_recovery_"),
+            "recovery families must not appear without --state-dir"
+        );
     }
 }

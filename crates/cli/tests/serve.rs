@@ -126,6 +126,16 @@ impl Daemon {
         }
     }
 
+    /// SIGKILLs the daemon — no drain, no flush, the crash the durable
+    /// state layer must survive — and reaps the child.
+    fn kill(mut self) {
+        self.child.kill().expect("daemon is killable");
+        self.child.wait().expect("killed daemon is reapable");
+        if let Some(handle) = self.stderr_lines.take() {
+            let _ = handle.join();
+        }
+    }
+
     /// Requests shutdown, waits for a clean exit 0 and returns every
     /// stderr line emitted after the readiness line.
     fn shutdown(mut self) -> Vec<String> {
@@ -513,6 +523,112 @@ fn serve_enforces_tenant_auth_quotas_and_rate_limits() {
     assert_eq!(status, 200, "{body}");
     assert!(body.contains("\"total\": 1"), "{body}");
     // Shutdown is an operator endpoint: no tenant resolution.
+    daemon.shutdown();
+}
+
+/// Polls the operator recovery endpoint until startup recovery is done
+/// (tenant routes answer 503 `recovering` until then) and returns the
+/// final recovery document.
+fn await_recovered(daemon: &Daemon) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = daemon.request("GET", "/api/v1/recovery", b"");
+        assert_eq!(status, 200, "{body}");
+        if body.contains("\"in_progress\": false") {
+            return body;
+        }
+        assert!(Instant::now() < deadline, "recovery never finished: {body}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn serve_survives_kill_dash_nine_and_resumes_bit_identical() {
+    let dir = std::env::temp_dir().join(format!("aarc-serve-kill-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let state_flag = dir.to_str().unwrap().to_owned();
+    let spec_bytes = std::fs::read(chatbot_spec()).expect("spec readable");
+
+    // Boot with durable state, upload, start a session, and wait until
+    // its first on-disk checkpoint lands.
+    let daemon = Daemon::start_with(&["--state-dir", &state_flag, "--checkpoint-every", "2"]);
+    await_recovered(&daemon);
+    let (status, body) = daemon.request("POST", "/scenarios", &spec_bytes);
+    assert_eq!(status, 201, "{body}");
+    let (status, body) = daemon.request("POST", "/sessions", b"{\"scenario\": \"chatbot\"}");
+    assert_eq!(status, 201, "{body}");
+    let id = session_id(&body);
+    let checkpoint = dir
+        .join("checkpoints")
+        .join(format!("session-{id:010}.json"));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !checkpoint.exists() {
+        assert!(
+            Instant::now() < deadline,
+            "no checkpoint appeared at {}",
+            checkpoint.display()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // The crash: SIGKILL mid-search. Nothing gets to flush.
+    daemon.kill();
+
+    // Restart over the same state dir. The readiness line comes up
+    // immediately; tenant routes 503 until recovery has replayed the WAL
+    // and checkpoints, so poll the operator recovery endpoint first.
+    let daemon = Daemon::start_with(&["--state-dir", &state_flag]);
+    let recovery = await_recovered(&daemon);
+    assert!(recovery.contains("\"enabled\": true"), "{recovery}");
+    assert!(
+        recovery.contains("\"sessions_resumed\": 1")
+            || recovery.contains("\"sessions_restored\": 1"),
+        "recovery saw no session: {recovery}"
+    );
+
+    // The scenario survived the crash (write-ahead logged before the 2xx)...
+    let (status, body) = daemon.request("GET", "/scenarios", b"");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"chatbot\""), "{body}");
+    // ...and the resumed session, run to completion, reports the exact
+    // bytes the offline run of the same spec/method/SLO produces.
+    let terminal = daemon.await_terminal(id);
+    assert!(terminal.contains("\"finished\""), "{terminal}");
+    let (status, served) = daemon.request("GET", &format!("/sessions/{id}/report"), b"");
+    assert_eq!(status, 200, "{served}");
+    assert_eq!(
+        served,
+        offline_run_json("aarc"),
+        "resumed session != offline run"
+    );
+
+    // Recovery is visible in the metrics when persistence is on.
+    let (status, metrics) = daemon.request("GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("aarc_recovery_in_progress 0"),
+        "missing recovery gauge in:\n{metrics}"
+    );
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_without_state_dir_never_touches_disk_for_state() {
+    let daemon = Daemon::start();
+    // The recovery endpoint reports durability as disabled...
+    let (status, body) = daemon.request("GET", "/api/v1/recovery", b"");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"enabled\": false"), "{body}");
+    assert!(body.contains("\"state_dir\": null"), "{body}");
+    // ...and the metrics carry no recovery families at all — the
+    // exposition is byte-compatible with a pre-durability daemon.
+    let (status, metrics) = daemon.request("GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    assert!(
+        !metrics.contains("aarc_recovery_"),
+        "recovery families leaked into a stateless daemon:\n{metrics}"
+    );
     daemon.shutdown();
 }
 

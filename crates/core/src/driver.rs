@@ -24,7 +24,7 @@
 //!   therefore bit-identical to sequential ones, at any thread count and
 //!   under any step schedule.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use aarc_simulator::{ConfigMap, ScenarioHandle, SimResult, WorkflowEnvironment};
 
@@ -113,7 +113,7 @@ pub enum SessionState {
 
 /// The best SLO-feasible candidate a session has observed so far: the
 /// configuration together with the makespan and cost of its evaluation.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Incumbent {
     /// The candidate configuration.
     pub configs: ConfigMap,
@@ -133,7 +133,7 @@ pub struct Incumbent {
 /// trace is deterministic (it derives from the deterministic step
 /// sequence) and is not part of any report, so byte-golden outputs are
 /// unaffected.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundPoint {
     /// 1-based round index (equals [`SessionProgress::rounds`] after the
     /// step).
@@ -148,7 +148,7 @@ pub struct RoundPoint {
 
 /// A cheap point-in-time snapshot of a session's progress, maintained by
 /// [`SearchSession::step`] and polled by the serving layer.
-#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SessionProgress {
     /// Completed ask/evaluate/tell rounds.
     pub rounds: u64,

@@ -134,7 +134,59 @@ pub fn load(path: impl AsRef<Path>) -> Result<ScenarioSpec, SpecError> {
 pub fn save(spec: &ScenarioSpec, path: impl AsRef<Path>) -> Result<(), SpecError> {
     let path = path.as_ref();
     let text = to_string(spec, SpecFormat::for_path(path));
-    std::fs::write(path, text).map_err(|e| SpecError::Io(format!("{}: {e}", path.display())))
+    atomic_write(path, text.as_bytes())
+        .map_err(|e| SpecError::Io(format!("{}: {e}", path.display())))
+}
+
+/// Writes `bytes` to `path` atomically: the content goes to a hidden
+/// sibling temp file first, is fsynced, and is then renamed over `path`
+/// (with a best-effort directory fsync so the rename itself is durable).
+/// Readers either see the old content or the complete new content, never
+/// a torn file — the write discipline every durable output of the
+/// workspace (spec exporters, bench reports, daemon WAL snapshots and
+/// session checkpoints) goes through.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error; on failure the temp file is removed
+/// and `path` is left untouched.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+
+    let path = path.as_ref();
+    let dir = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent,
+        _ => Path::new("."),
+    };
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| std::io::Error::other(format!("{}: no file name", path.display())))?;
+    // The process id keeps concurrent writers (two daemons pointed at
+    // the same directory by mistake) from clobbering each other's temp
+    // file; the rename still serializes the final content.
+    let tmp = dir.join(format!(".{name}.{}.tmp", std::process::id()));
+    let write = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        Ok(())
+    })();
+    if let Err(e) = write {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    // Directory fsync makes the rename durable across power loss; not
+    // every platform supports opening a directory, so this stays
+    // best-effort.
+    if let Ok(dir_file) = std::fs::File::open(dir) {
+        let _ = dir_file.sync_all();
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -211,6 +263,36 @@ mod tests {
     fn missing_fields_are_reported() {
         let err = from_yaml_str("version: 1\nname: t\n").unwrap_err();
         assert!(err.to_string().contains("slo_ms"), "{err}");
+    }
+
+    #[test]
+    fn atomic_write_replaces_content_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join("aarc-spec-atomic-write-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.txt");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer content").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer content");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_into_missing_directory_fails_cleanly() {
+        let path = std::env::temp_dir()
+            .join("aarc-spec-atomic-write-missing")
+            .join("nested")
+            .join("out.txt");
+        assert!(atomic_write(&path, b"x").is_err());
     }
 
     #[test]

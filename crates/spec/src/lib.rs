@@ -68,7 +68,9 @@ pub mod validate;
 pub use compile::{compile, CompiledScenario};
 pub use error::{SpecError, ValidationIssue};
 pub use export::{builtin_specs, export, BUILTIN_NAMES};
-pub use io::{from_json_str, from_slice, from_yaml_str, load, save, to_string, SpecFormat};
+pub use io::{
+    atomic_write, from_json_str, from_slice, from_yaml_str, load, save, to_string, SpecFormat,
+};
 pub use schema::{
     AffinityDecl, ClassDecl, ClusterDecl, ColdStartDecl, ConfigDecl, EdgeDecl, FunctionDecl,
     InputClassDecl, InputDecl, KindDecl, PricingDecl, ProfileDecl, ScenarioSpec, SpaceDecl,
