@@ -1,15 +1,23 @@
 //! `aarc bench` — the machine-readable performance benchmark behind the CI
 //! perf-regression gate.
 //!
-//! For every spec the harness measures two things through the shared
+//! For every spec the harness measures four things through the shared
 //! [`EvalService`]:
 //!
-//! 1. **Raw simulation throughput** — a deterministic batch of candidate
+//! 1. **Thread-scaling curve** — a deterministic batch of candidate
 //!    configurations (derived from the spec fingerprint, so the workload is
-//!    identical across machines and runs) evaluated once at 1 thread and
-//!    once at the requested thread count, yielding `sims_per_sec` and the
-//!    parallel `speedup`.
-//! 2. **Search wall-clock** — all four search methods run through one
+//!    identical across machines and runs) evaluated at 1, 2, 4 and the
+//!    requested thread count, yielding `sims_per_sec` and `speedup` per
+//!    point on the work-stealing pool.
+//! 2. **Incremental re-simulation** — a suffix-edit probe chain (each probe
+//!    re-tunes one node of the previous candidate, the access pattern of a
+//!    local search) timed through the event-loop reference and through an
+//!    anchored [`BatchSim`] chain, yielding the incremental speedup and the
+//!    kernel's reuse counters.
+//! 3. **Intra-batch dedup** — a duplicate-heavy batch (the shape
+//!    population-based searches produce) timed once, reporting how many
+//!    candidates the scheduler fanned out without simulating.
+//! 4. **Search wall-clock** — all four search methods run through one
 //!    shared memoising service (exactly what `aarc compare` does), yielding
 //!    `wall_ms`, sample counts and the cache hit rate.
 //!
@@ -21,9 +29,10 @@
 //!
 //! The result serializes as `BENCH_*.json` (see README for the schema). In
 //! gate mode the harness compares itself against a committed baseline and
-//! fails on >`max_regress` regressions of search wall-clock, multi-thread
+//! fails on >`max_regress` regressions of search wall-clock, peak
 //! throughput or aggregate shared-pool throughput, on parallel speedup
-//! below `--min-speedup`, or on a zero cache hit rate.
+//! below `--min-speedup`, on incremental re-simulation speedup below
+//! `--min-incremental-speedup`, or on a zero cache hit rate.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -32,6 +41,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use aarc_simulator::kernel::{BatchSim, CompiledScenario, SimScratch};
 use aarc_simulator::{ConfigMap, EvalOptions, EvalService, EvalTelemetry, ResourceConfig};
 use aarc_telemetry::{FlightRecorder, Recorder};
 use aarc_workloads::Workload;
@@ -42,10 +52,13 @@ use crate::version::VersionInfo;
 /// Version stamp of the `BENCH_*.json` schema (2 added the aggregate
 /// shared-pool phase; 3 added per-batch eval latency percentiles and build
 /// provenance; 4 added the optional `serve` phase written by
-/// `aarc loadtest --bench`). Version-1/2/3 baselines still parse — the
-/// added fields are optional and simply absent, so they carry no latency,
-/// provenance or serving numbers to gate against.
-pub const BENCH_VERSION: u32 = 4;
+/// `aarc loadtest --bench`; 5 replaced the 1-vs-N throughput pair with the
+/// `thread_scaling` curve and added the `incremental_resim` and
+/// `batch_dedup` phases). Version-1/2/3/4 baselines still parse — the
+/// added fields are optional and simply absent, and the legacy
+/// `single_thread`/`multi_thread` pair is still read through the
+/// [`BenchScenario`] accessors for gating.
+pub const BENCH_VERSION: u32 = 5;
 
 /// One timed batch evaluation at a fixed thread count.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -56,6 +69,64 @@ pub struct ThroughputPhase {
     pub simulations: u64,
     /// Simulations per second.
     pub sims_per_sec: f64,
+}
+
+/// One point of the thread-scaling curve: the candidate batch evaluated on
+/// a work-stealing pool of `threads` workers.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Worker threads of this point.
+    pub threads: usize,
+    /// Wall-clock time of the batch, ms.
+    pub wall_ms: f64,
+    /// Simulations executed.
+    pub simulations: u64,
+    /// Simulations per second.
+    pub sims_per_sec: f64,
+    /// Throughput relative to the 1-thread point of the same curve.
+    pub speedup: f64,
+}
+
+/// The incremental re-simulation phase: a suffix-edit probe chain timed
+/// through the event-loop reference and through an anchored [`BatchSim`]
+/// chain that re-simulates only downstream of each edit.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IncrementalPhase {
+    /// Probes in the chain (each edits one node of its predecessor).
+    pub probes: u64,
+    /// Times the chain was replayed per timed loop; both wall-clocks and
+    /// the kernel counters below span `probes * rounds` simulations.
+    #[serde(default)]
+    pub rounds: u64,
+    /// Wall-clock of the full event-loop re-simulation of every probe, ms.
+    pub full_wall_ms: f64,
+    /// Wall-clock of the anchored incremental chain over the same probes, ms.
+    pub incremental_wall_ms: f64,
+    /// `full_wall_ms / incremental_wall_ms`.
+    pub speedup: f64,
+    /// Probes served incrementally off an anchor (0 when the scenario is
+    /// not exactness-eligible, e.g. runtime jitter is configured).
+    pub incremental_sims: u64,
+    /// Node outcomes copied from an anchor instead of recomputed.
+    pub nodes_reused: u64,
+}
+
+/// The intra-batch dedup phase: a duplicate-heavy batch through the
+/// scheduler, reporting how many candidates were fanned out from an
+/// in-flight twin instead of simulated.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DedupPhase {
+    /// Candidates submitted.
+    pub batch: u64,
+    /// Distinct candidates in the batch.
+    pub unique: u64,
+    /// Duplicates served by intra-batch fan-out (0 under runtime jitter,
+    /// where every position legitimately carries its own seed).
+    pub dedup_hits: u64,
+    /// Wall-clock time of the batch, ms.
+    pub wall_ms: f64,
+    /// Effective candidates per second (submitted, not simulated).
+    pub candidates_per_sec: f64,
 }
 
 /// Per-request eval latency percentiles, from the telemetry histograms
@@ -101,14 +172,45 @@ pub struct BenchScenario {
     pub spec_fingerprint: u64,
     /// Number of workflow functions.
     pub functions: usize,
-    /// Throughput of the candidate batch at 1 thread.
-    pub single_thread: ThroughputPhase,
-    /// Throughput of the same batch at the requested thread count.
-    pub multi_thread: ThroughputPhase,
-    /// `multi_thread.sims_per_sec / single_thread.sims_per_sec`.
+    /// Legacy 1-thread throughput of version-1..4 baselines; version-5
+    /// reports carry the full `thread_scaling` curve instead.
+    #[serde(default)]
+    pub single_thread: Option<ThroughputPhase>,
+    /// Legacy N-thread throughput of version-1..4 baselines.
+    #[serde(default)]
+    pub multi_thread: Option<ThroughputPhase>,
+    /// The thread-scaling curve at 1, 2, 4 and the requested thread count
+    /// (deduplicated, capped at `--threads`; empty in version-1..4
+    /// baselines).
+    #[serde(default)]
+    pub thread_scaling: Vec<ScalingPoint>,
+    /// Peak-over-1-thread throughput ratio (the last curve point's
+    /// speedup; `multi/single` in legacy baselines).
     pub speedup: f64,
+    /// The incremental re-simulation phase (absent in version-1..4
+    /// baselines).
+    #[serde(default)]
+    pub incremental_resim: Option<IncrementalPhase>,
+    /// The intra-batch dedup phase (absent in version-1..4 baselines).
+    #[serde(default)]
+    pub batch_dedup: Option<DedupPhase>,
     /// The all-methods search phase.
     pub search: SearchPhase,
+}
+
+impl BenchScenario {
+    /// Best throughput over the scaling curve, or the legacy multi-thread
+    /// phase of version-1..4 baselines. The max, not the last point: on a
+    /// multicore runner they coincide, while on an oversubscribed small
+    /// box the 1-thread point is both the fastest and the most stable —
+    /// gating the max keeps the regression check about the code.
+    pub fn peak_sims_per_sec(&self) -> Option<f64> {
+        self.thread_scaling
+            .iter()
+            .map(|p| p.sims_per_sec)
+            .max_by(f64::total_cmp)
+            .or(self.multi_thread.map(|p| p.sims_per_sec))
+    }
 }
 
 /// The aggregate shared-pool phase: every scenario's candidate batch
@@ -220,12 +322,21 @@ fn time_batch(
         cache_capacity: 0,
     });
     let handle = service.register(workload.env().clone());
-    let start = Instant::now();
-    handle
-        .evaluate_batch(candidates)
-        .map_err(|e| format!("batch evaluation failed: {e}"))?;
-    let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
-    let simulations = handle.stats().simulations();
+    // A 4096-candidate batch clears in single-digit milliseconds, so one
+    // pass is timing noise: keep the best of several (minimum wall-clock
+    // estimates the true cost; the cache is off, so every pass re-simulates).
+    let passes = if cfg!(debug_assertions) { 1 } else { 3 };
+    let mut wall_ms = f64::INFINITY;
+    let mut simulations = 0;
+    for _ in 0..passes {
+        let before = handle.stats().simulations();
+        let start = Instant::now();
+        handle
+            .evaluate_batch(candidates)
+            .map_err(|e| format!("batch evaluation failed: {e}"))?;
+        wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1_000.0);
+        simulations = handle.stats().simulations() - before;
+    }
     Ok(ThroughputPhase {
         wall_ms,
         simulations,
@@ -237,55 +348,240 @@ fn time_batch(
     })
 }
 
+/// The thread counts of the scaling curve: 1, 2, 4 and the requested
+/// count, deduplicated and capped at `threads`.
+fn scaling_thread_counts(threads: usize) -> Vec<usize> {
+    let mut counts: Vec<usize> = [1, 2, 4, threads]
+        .into_iter()
+        .filter(|&t| t <= threads.max(1))
+        .collect();
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Measures the thread-scaling curve of one candidate batch.
+fn time_scaling(
+    workload: &Workload,
+    candidates: &[ConfigMap],
+    threads: usize,
+) -> Result<Vec<ScalingPoint>, String> {
+    let mut curve: Vec<ScalingPoint> = Vec::new();
+    for t in scaling_thread_counts(threads) {
+        let phase = time_batch(workload, candidates, t)?;
+        let base = curve
+            .first()
+            .map(|p| p.sims_per_sec)
+            .unwrap_or(phase.sims_per_sec);
+        curve.push(ScalingPoint {
+            threads: t,
+            wall_ms: phase.wall_ms,
+            simulations: phase.simulations,
+            sims_per_sec: phase.sims_per_sec,
+            speedup: if base > 0.0 {
+                phase.sims_per_sec / base
+            } else {
+                1.0
+            },
+        });
+    }
+    Ok(curve)
+}
+
+/// Times a suffix-edit probe chain twice: full event-loop re-simulation of
+/// every probe versus an anchored incremental chain. Both walk the same
+/// deterministic chain (derived from the spec fingerprint), so the phase
+/// isolates the re-simulation strategy, nothing else.
+fn time_incremental(
+    workload: &Workload,
+    fingerprint: u64,
+    probes: usize,
+) -> Result<IncrementalPhase, String> {
+    let env = workload.env();
+    let compiled = CompiledScenario::compile(
+        env.workflow(),
+        env.profiles(),
+        *env.cluster(),
+        *env.pricing(),
+    )
+    .map_err(|e| format!("scenario compilation failed: {e}"))?;
+    let space = *env.space();
+    let n = env.workflow().len();
+    let mut rng = StdRng::seed_from_u64(fingerprint ^ 0x1c4e);
+    let mut configs: Vec<ResourceConfig> = env.base_configs().as_slice().to_vec();
+    let mut chain = Vec::with_capacity(probes);
+    for _ in 0..probes {
+        // Suffix bias: re-tune a node from the back half of the DAG, the
+        // stagewise scheduler's probe pattern (it walks critical-path
+        // suffixes), leaving the upstream timeline reusable.
+        let node = n - 1 - rng.gen_range(0..n.div_ceil(3));
+        let vcpu = space.snap_vcpu(rng.gen_range(space.min_vcpu..=space.max_vcpu));
+        let mem = space.snap_memory(rng.gen_range(space.min_memory_mb..=space.max_memory_mb));
+        configs[node] = ResourceConfig::new(vcpu, mem);
+        chain.push(ConfigMap::from_vec(configs.clone()));
+    }
+    let seed = env.seed();
+    let input = env.input();
+    let mut scratch = SimScratch::new();
+
+    // Paper-scale DAGs simulate in well under a microsecond, so a single
+    // pass over the chain is timing noise on a busy runner: replay the
+    // chain until each timed loop has executed ~100k simulations, and keep
+    // the best of several passes (the minimum wall-clock estimates the true
+    // cost; averaging would bake scheduler hiccups into the gate). Debug
+    // builds (the unit tests) only need the counters, not stable timing.
+    // Five passes, not three: this phase feeds a hard CI floor (not a
+    // relative regression check), so it gets the most noise rejection.
+    let (budget, passes) = if cfg!(debug_assertions) {
+        (2_000, 1)
+    } else {
+        (100_000, 5)
+    };
+    let rounds = (budget / probes.max(1)).max(1);
+
+    let mut full_wall_ms = f64::INFINITY;
+    for _ in 0..passes {
+        let start = Instant::now();
+        for _ in 0..rounds {
+            for c in &chain {
+                compiled
+                    .simulate_reference(&mut scratch, c, input, seed)
+                    .map_err(|e| format!("reference simulation failed: {e}"))?;
+            }
+        }
+        full_wall_ms = full_wall_ms.min(start.elapsed().as_secs_f64() * 1_000.0);
+    }
+
+    // Counters are deltaed over the first pass only, so `probes * rounds`
+    // stays the denominator they are read against.
+    let before = scratch.counters();
+    let mut after = before;
+    let mut batch_sim = BatchSim::new(&compiled, input);
+    let mut incremental_wall_ms = f64::INFINITY;
+    for pass in 0..passes {
+        let start = Instant::now();
+        for _ in 0..rounds {
+            for c in &chain {
+                batch_sim
+                    .simulate(&mut scratch, c, seed)
+                    .map_err(|e| format!("incremental simulation failed: {e}"))?;
+            }
+        }
+        incremental_wall_ms = incremental_wall_ms.min(start.elapsed().as_secs_f64() * 1_000.0);
+        if pass == 0 {
+            after = scratch.counters();
+        }
+    }
+
+    Ok(IncrementalPhase {
+        probes: chain.len() as u64,
+        rounds: rounds as u64,
+        full_wall_ms,
+        incremental_wall_ms,
+        speedup: if incremental_wall_ms > 0.0 {
+            full_wall_ms / incremental_wall_ms
+        } else {
+            f64::INFINITY
+        },
+        incremental_sims: after.incremental_sims - before.incremental_sims,
+        nodes_reused: after.nodes_reused - before.nodes_reused,
+    })
+}
+
+/// Times a duplicate-heavy batch — the unique prefix of the candidate
+/// batch replicated back to full size, the shape population-based searches
+/// produce when they re-propose configurations.
+fn time_dedup(workload: &Workload, candidates: &[ConfigMap]) -> Result<DedupPhase, String> {
+    let unique = candidates.len().div_ceil(8).max(1);
+    let batch: Vec<ConfigMap> = (0..candidates.len())
+        .map(|i| candidates[i % unique].clone())
+        .collect();
+    // Cache off so dedup, not memoisation, answers the duplicates.
+    let service = EvalService::new(EvalOptions {
+        threads: 1,
+        cache_capacity: 0,
+    });
+    let handle = service.register(workload.env().clone());
+    let start = Instant::now();
+    handle
+        .evaluate_batch(&batch)
+        .map_err(|e| format!("dedup batch evaluation failed: {e}"))?;
+    let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    Ok(DedupPhase {
+        batch: batch.len() as u64,
+        unique: unique as u64,
+        dedup_hits: handle.batch_dedup_hits(),
+        wall_ms,
+        candidates_per_sec: if wall_ms > 0.0 {
+            batch.len() as f64 / (wall_ms / 1_000.0)
+        } else {
+            f64::INFINITY
+        },
+    })
+}
+
 /// Runs all four search methods through one shared memoising service and
 /// times the whole sweep. The service carries telemetry instruments so the
 /// phase also reports per-request eval latency percentiles.
+///
+/// Best-of-N like the throughput phases, each pass on a *fresh* service so
+/// every pass pays the same cold cache; the searches are deterministic, so
+/// only the wall-clock differs between passes and the fastest one is the
+/// least-perturbed measurement of the same work.
 fn time_search(workload: &Workload, threads: usize) -> Result<SearchPhase, String> {
-    let service = EvalService::with_threads(threads);
-    let recorder = Recorder::new();
-    service
-        .attach_telemetry(EvalTelemetry::new(
-            &recorder,
-            Arc::new(FlightRecorder::new(1)),
-        ))
-        .expect("fresh service has no telemetry attached");
-    let handle = service.register(workload.env().clone());
-    let mut samples = 0u64;
-    let start = Instant::now();
-    for (name, method) in methods::all() {
-        let outcome = method
-            .search_on(&handle, workload.slo_ms())
-            .map_err(|e| format!("method `{name}` failed: {e}"))?;
-        samples += outcome.trace.sample_count() as u64;
+    let passes = if cfg!(debug_assertions) { 1 } else { 5 };
+    let mut best: Option<SearchPhase> = None;
+    for _ in 0..passes {
+        let service = EvalService::with_threads(threads);
+        let recorder = Recorder::new();
+        service
+            .attach_telemetry(EvalTelemetry::new(
+                &recorder,
+                Arc::new(FlightRecorder::new(1)),
+            ))
+            .expect("fresh service has no telemetry attached");
+        let handle = service.register(workload.env().clone());
+        let mut samples = 0u64;
+        let start = Instant::now();
+        for (name, method) in methods::all() {
+            let outcome = method
+                .search_on(&handle, workload.slo_ms())
+                .map_err(|e| format!("method `{name}` failed: {e}"))?;
+            samples += outcome.trace.sample_count() as u64;
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
+        let stats = handle.stats();
+        // Batch and probe requests merged: probe-only methods would
+        // otherwise leave the percentiles empty.
+        let mut latency_hist = recorder.histogram("aarc_eval_batch_seconds", "").snapshot();
+        latency_hist.merge(&recorder.histogram("aarc_eval_probe_seconds", "").snapshot());
+        let latency = match (
+            latency_hist.quantile_ms(0.50),
+            latency_hist.quantile_ms(0.90),
+            latency_hist.quantile_ms(0.99),
+        ) {
+            (Some(p50_ms), Some(p90_ms), Some(p99_ms)) => Some(LatencyPercentiles {
+                p50_ms,
+                p90_ms,
+                p99_ms,
+                samples: latency_hist.count(),
+            }),
+            _ => None,
+        };
+        let phase = SearchPhase {
+            wall_ms,
+            samples,
+            simulations: stats.simulations(),
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            cache_hit_rate: stats.hit_rate(),
+            latency,
+        };
+        if best.as_ref().is_none_or(|b| phase.wall_ms < b.wall_ms) {
+            best = Some(phase);
+        }
     }
-    let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
-    let stats = handle.stats();
-    // Batch and probe requests merged: probe-only methods would otherwise
-    // leave the percentiles empty.
-    let mut latency_hist = recorder.histogram("aarc_eval_batch_seconds", "").snapshot();
-    latency_hist.merge(&recorder.histogram("aarc_eval_probe_seconds", "").snapshot());
-    let latency = match (
-        latency_hist.quantile_ms(0.50),
-        latency_hist.quantile_ms(0.90),
-        latency_hist.quantile_ms(0.99),
-    ) {
-        (Some(p50_ms), Some(p90_ms), Some(p99_ms)) => Some(LatencyPercentiles {
-            p50_ms,
-            p90_ms,
-            p99_ms,
-            samples: latency_hist.count(),
-        }),
-        _ => None,
-    };
-    Ok(SearchPhase {
-        wall_ms,
-        samples,
-        simulations: stats.simulations(),
-        cache_hits: stats.cache_hits,
-        cache_misses: stats.cache_misses,
-        cache_hit_rate: stats.hit_rate(),
-        latency,
-    })
+    Ok(best.expect("at least one search pass ran"))
 }
 
 /// Replays every scenario's candidate batch back-to-back through one
@@ -303,14 +599,22 @@ fn time_aggregate(
         .iter()
         .map(|(workload, _)| service.register(workload.env().clone()))
         .collect();
-    let start = Instant::now();
-    for (handle, (_, candidates)) in handles.iter().zip(workloads) {
-        handle
-            .evaluate_batch(candidates)
-            .map_err(|e| format!("aggregate batch evaluation failed: {e}"))?;
+    // Best-of-N for the same reason as `time_batch`: the pooled batches
+    // clear in milliseconds and the ±20% gate needs a stable estimate.
+    let passes = if cfg!(debug_assertions) { 1 } else { 3 };
+    let mut wall_ms = f64::INFINITY;
+    let mut simulations = 0;
+    for _ in 0..passes {
+        let before = service.stats().simulations();
+        let start = Instant::now();
+        for (handle, (_, candidates)) in handles.iter().zip(workloads) {
+            handle
+                .evaluate_batch(candidates)
+                .map_err(|e| format!("aggregate batch evaluation failed: {e}"))?;
+        }
+        wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1_000.0);
+        simulations = service.stats().simulations() - before;
     }
-    let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
-    let simulations = service.stats().simulations();
     Ok(AggregatePhase {
         wall_ms,
         simulations,
@@ -348,16 +652,20 @@ pub fn run_bench(
 
     let mut scenarios = Vec::with_capacity(workloads.len());
     for ((workload, candidates), fingerprint) in workloads.iter().zip(fingerprints) {
-        let single_thread = time_batch(workload, candidates, 1)?;
-        let multi_thread = time_batch(workload, candidates, threads)?;
+        let thread_scaling = time_scaling(workload, candidates, threads)?;
+        let incremental_resim = time_incremental(workload, fingerprint, batch)?;
+        let batch_dedup = time_dedup(workload, candidates)?;
         let search = time_search(workload, threads)?;
         scenarios.push(BenchScenario {
             scenario: workload.name().to_owned(),
             spec_fingerprint: fingerprint,
             functions: workload.len(),
-            speedup: multi_thread.sims_per_sec / single_thread.sims_per_sec,
-            single_thread,
-            multi_thread,
+            single_thread: None,
+            multi_thread: None,
+            speedup: thread_scaling.last().map(|p| p.speedup).unwrap_or(1.0),
+            thread_scaling,
+            incremental_resim: Some(incremental_resim),
+            batch_dedup: Some(batch_dedup),
             search,
         });
     }
@@ -383,13 +691,14 @@ pub fn run_bench(
 }
 
 /// Gate checks: regression vs a committed baseline, minimum parallel
-/// speedup and a nonzero cache hit rate. Returns all failures (empty =
-/// gate passes).
+/// speedup, minimum incremental re-simulation speedup and a nonzero cache
+/// hit rate. Returns all failures (empty = gate passes).
 pub fn gate_failures(
     current: &BenchReport,
     baseline: Option<&BenchReport>,
     max_regress: f64,
     min_speedup: Option<f64>,
+    min_incremental: Option<f64>,
 ) -> Vec<String> {
     let mut failures = Vec::new();
     if let Some(base) = baseline {
@@ -416,16 +725,22 @@ pub fn gate_failures(
                     max_regress * 100.0
                 ));
             }
-            let sims_floor = base_scenario.multi_thread.sims_per_sec * (1.0 - max_regress);
-            if cur.multi_thread.sims_per_sec < sims_floor {
-                failures.push(format!(
-                    "`{}`: simulations/sec regressed {:.0} -> {:.0} (floor {:.0}, -{:.0}%)",
-                    cur.scenario,
-                    base_scenario.multi_thread.sims_per_sec,
-                    cur.multi_thread.sims_per_sec,
-                    sims_floor,
-                    max_regress * 100.0
-                ));
+            // Peak throughput reads through the accessors so version-1..4
+            // baselines (legacy pair) gate against version-5 runs (curve).
+            if let (Some(base_sims), Some(cur_sims)) =
+                (base_scenario.peak_sims_per_sec(), cur.peak_sims_per_sec())
+            {
+                let sims_floor = base_sims * (1.0 - max_regress);
+                if cur_sims < sims_floor {
+                    failures.push(format!(
+                        "`{}`: simulations/sec regressed {:.0} -> {:.0} (floor {:.0}, -{:.0}%)",
+                        cur.scenario,
+                        base_sims,
+                        cur_sims,
+                        sims_floor,
+                        max_regress * 100.0
+                    ));
+                }
             }
         }
     }
@@ -451,6 +766,34 @@ pub fn gate_failures(
                     s.scenario, s.speedup, current.threads
                 ));
             }
+        }
+    }
+    if let Some(min) = min_incremental {
+        // Only exactness-eligible scenarios (incremental_sims > 0) are held
+        // to the floor — a jittered scenario legitimately cannot reuse
+        // anchors. But if *no* scenario exercised the incremental path, the
+        // eligibility detection itself has regressed.
+        let mut any_eligible = false;
+        for s in &current.scenarios {
+            if let Some(inc) = &s.incremental_resim {
+                if inc.incremental_sims == 0 {
+                    continue;
+                }
+                any_eligible = true;
+                if inc.speedup < min {
+                    failures.push(format!(
+                        "`{}`: incremental re-simulation speedup {:.2}x below the required {min:.2}x",
+                        s.scenario, inc.speedup
+                    ));
+                }
+            }
+        }
+        if !any_eligible {
+            failures.push(
+                "no benched scenario exercised the incremental re-simulation path — \
+                 exactness eligibility looks broken"
+                    .to_owned(),
+            );
         }
     }
     if baseline.is_some() || min_speedup.is_some() {
@@ -491,8 +834,36 @@ mod tests {
         assert_eq!(report.version, BENCH_VERSION);
         assert_eq!(report.scenarios.len(), 1);
         let s = &report.scenarios[0];
-        assert_eq!(s.single_thread.simulations, 32);
-        assert_eq!(s.multi_thread.simulations, 32);
+        // v5 reports carry the scaling curve, not the legacy pair.
+        assert!(s.single_thread.is_none());
+        assert!(s.multi_thread.is_none());
+        let curve: Vec<usize> = s.thread_scaling.iter().map(|p| p.threads).collect();
+        assert_eq!(curve, vec![1, 2], "curve capped at --threads and deduped");
+        for point in &s.thread_scaling {
+            assert_eq!(point.simulations, 32);
+            assert!(point.sims_per_sec > 0.0);
+        }
+        assert_eq!(s.thread_scaling[0].speedup, 1.0);
+        assert!(s.peak_sims_per_sec().is_some());
+        let inc = s
+            .incremental_resim
+            .expect("incremental phase is always run");
+        assert_eq!(inc.probes, 32);
+        assert!(
+            inc.incremental_sims > 0,
+            "jitter-free synthetic spec must be exactness-eligible"
+        );
+        assert!(
+            inc.nodes_reused > 0,
+            "suffix edits must reuse node outcomes"
+        );
+        let dedup = s.batch_dedup.expect("dedup phase is always run");
+        assert_eq!(dedup.batch, 32);
+        assert_eq!(dedup.unique, 4);
+        assert_eq!(
+            dedup.dedup_hits, 28,
+            "every replicated candidate must be served by fan-out"
+        );
         assert!(s.search.samples > 0);
         assert!(
             s.search.cache_hit_rate > 0.0,
@@ -549,7 +920,7 @@ mod tests {
         assert!(parsed.build_info.is_none());
         // Gating against a pre-latency baseline works unchanged: the gate
         // only reads wall-clock and throughput, which v2 still carries.
-        assert!(gate_failures(&report, Some(&parsed), 0.2, None).is_empty());
+        assert!(gate_failures(&report, Some(&parsed), 0.2, None, None).is_empty());
     }
 
     #[test]
@@ -564,7 +935,7 @@ mod tests {
         strip_key(&mut v3, "serve");
         let parsed: BenchReport = serde_json::from_value(&v3).unwrap();
         assert!(parsed.serve.is_none());
-        assert!(gate_failures(&report, Some(&parsed), 0.2, None).is_empty());
+        assert!(gate_failures(&report, Some(&parsed), 0.2, None, None).is_empty());
         // And a report that does carry a serve phase round-trips.
         let mut with_serve = report.clone();
         with_serve.serve = Some(ServePhase {
@@ -609,7 +980,82 @@ mod tests {
         assert!(parsed.aggregate.is_none());
         // Gating a report against an aggregate-less baseline skips the
         // aggregate check instead of failing.
-        assert!(gate_failures(&report, Some(&parsed), 0.2, None).is_empty());
+        assert!(gate_failures(&report, Some(&parsed), 0.2, None, None).is_empty());
+    }
+
+    #[test]
+    fn version_4_baselines_with_the_legacy_throughput_pair_still_parse() {
+        let path = tiny_spec_path();
+        let report = run_bench(&[path], 1, 8).unwrap();
+        // Reconstruct a version-4 document: the legacy 1-vs-N pair instead
+        // of the v5 curve and phases.
+        let legacy = ThroughputPhase {
+            wall_ms: report.scenarios[0].thread_scaling[0].wall_ms,
+            simulations: report.scenarios[0].thread_scaling[0].simulations,
+            sims_per_sec: report.scenarios[0].thread_scaling[0].sims_per_sec,
+        };
+        let mut v4_report = report.clone();
+        v4_report.version = 4;
+        v4_report.scenarios[0].single_thread = Some(legacy);
+        v4_report.scenarios[0].multi_thread = Some(legacy);
+        let mut v4 = serde_json::to_value(&v4_report);
+        strip_key(&mut v4, "thread_scaling");
+        strip_key(&mut v4, "incremental_resim");
+        strip_key(&mut v4, "batch_dedup");
+        let parsed: BenchReport = serde_json::from_value(&v4).unwrap();
+        let s = &parsed.scenarios[0];
+        assert!(s.thread_scaling.is_empty());
+        assert!(s.incremental_resim.is_none());
+        assert!(s.batch_dedup.is_none());
+        // The accessor reads through to the legacy pair...
+        assert_eq!(
+            s.peak_sims_per_sec(),
+            Some(legacy.sims_per_sec),
+            "legacy multi-thread throughput must surface through the accessor"
+        );
+        // ...so a v5 run gates cleanly against a v4 baseline.
+        assert!(gate_failures(&report, Some(&parsed), 0.2, None, None).is_empty());
+        // A v4 baseline that was 10x faster still trips the throughput gate.
+        let mut fast = parsed.clone();
+        fast.scenarios[0]
+            .multi_thread
+            .as_mut()
+            .unwrap()
+            .sims_per_sec *= 10.0;
+        let failures = gate_failures(&report, Some(&fast), 0.2, None, None);
+        assert!(
+            failures.iter().any(|f| f.contains("simulations/sec")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn gate_enforces_the_incremental_resimulation_floor() {
+        let path = tiny_spec_path();
+        let report = run_bench(&[path], 1, 32).unwrap();
+        // An unreachable incremental floor fails.
+        let failures = gate_failures(&report, None, 0.2, None, Some(1_000_000.0));
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("incremental re-simulation")),
+            "{failures:?}"
+        );
+        // A report whose scenarios never took the incremental path fails
+        // outright — eligibility detection must not silently rot.
+        let mut ineligible = report.clone();
+        for s in &mut ineligible.scenarios {
+            if let Some(inc) = &mut s.incremental_resim {
+                inc.incremental_sims = 0;
+            }
+        }
+        let failures = gate_failures(&ineligible, None, 0.2, None, Some(1.0));
+        assert!(
+            failures.iter().any(|f| f.contains("eligibility")),
+            "{failures:?}"
+        );
+        // Without the flag, the incremental phase is informational only.
+        assert!(gate_failures(&ineligible, None, 0.2, None, None).is_empty());
     }
 
     #[test]
@@ -618,7 +1064,7 @@ mod tests {
         let report = run_bench(&[path], 1, 16).unwrap();
         let mut fast = report.clone();
         fast.aggregate.as_mut().unwrap().sims_per_sec *= 10.0;
-        let failures = gate_failures(&report, Some(&fast), 0.2, None);
+        let failures = gate_failures(&report, Some(&fast), 0.2, None, None);
         assert!(
             failures.iter().any(|f| f.contains("aggregate shared-pool")),
             "{failures:?}"
@@ -630,23 +1076,25 @@ mod tests {
         let path = tiny_spec_path();
         let report = run_bench(&[path], 1, 16).unwrap();
         // Identical runs never regress against themselves.
-        assert!(gate_failures(&report, Some(&report), 0.2, None).is_empty());
+        assert!(gate_failures(&report, Some(&report), 0.2, None, None).is_empty());
 
         // A baseline that was 10x faster trips both regression checks.
         let mut fast = report.clone();
         fast.scenarios[0].search.wall_ms /= 10.0;
-        fast.scenarios[0].multi_thread.sims_per_sec *= 10.0;
-        let failures = gate_failures(&report, Some(&fast), 0.2, None);
+        for point in &mut fast.scenarios[0].thread_scaling {
+            point.sims_per_sec *= 10.0;
+        }
+        let failures = gate_failures(&report, Some(&fast), 0.2, None, None);
         assert_eq!(failures.len(), 2, "{failures:?}");
 
         // An unreachable speedup requirement fails.
-        let failures = gate_failures(&report, None, 0.2, Some(1_000.0));
+        let failures = gate_failures(&report, None, 0.2, Some(1_000.0), None);
         assert!(!failures.is_empty());
 
         // A baseline scenario that was never benched fails.
         let mut renamed = report.clone();
         renamed.scenarios[0].scenario = "ghost".into();
-        let failures = gate_failures(&report, Some(&renamed), 0.2, None);
+        let failures = gate_failures(&report, Some(&renamed), 0.2, None, None);
         assert!(failures.iter().any(|f| f.contains("ghost")));
     }
 }

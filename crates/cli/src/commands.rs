@@ -30,8 +30,11 @@ USAGE:
                                                 classes on one shared pool
     aarc bench <spec>... [--threads N] [--batch N] [--out FILE]
                [--baseline FILE] [--max-regress F] [--min-speedup X]
+               [--min-incremental-speedup X]
                                                 emit BENCH_*.json perf measurements
-                                                and gate against a committed baseline
+                                                (thread-scaling curve, incremental
+                                                resim, batch dedup, search) and gate
+                                                against a committed baseline
     aarc serve [--addr HOST:PORT] [--threads N]
                [--tenants FILE] [--max-live-sessions N]
                [--state-dir DIR] [--checkpoint-every N]
@@ -469,6 +472,7 @@ fn cmd_bench(argv: &[String]) -> Result<(), String> {
             "baseline",
             "max-regress",
             "min-speedup",
+            "min-incremental-speedup",
         ],
     )?;
     if args.positional().is_empty() {
@@ -484,6 +488,7 @@ fn cmd_bench(argv: &[String]) -> Result<(), String> {
         return Err(format!("--max-regress {max_regress} out of range"));
     }
     let min_speedup = args.get_parsed::<f64>("min-speedup")?;
+    let min_incremental = args.get_parsed::<f64>("min-incremental-speedup")?;
 
     let report = bench::run_bench(args.positional(), threads, batch)?;
     let mut json = serde_json::to_string_pretty(&report)
@@ -499,16 +504,37 @@ fn cmd_bench(argv: &[String]) -> Result<(), String> {
     // The human-readable summary goes to stderr so stdout stays pure JSON
     // (pipeable into jq) when --out is omitted.
     for s in &report.scenarios {
+        let curve = s
+            .thread_scaling
+            .iter()
+            .map(|p| format!("{:.0}@{}t", p.sims_per_sec, p.threads))
+            .collect::<Vec<_>>()
+            .join(" ");
         eprintln!(
-            "{}: {:.0} sims/s @1t, {:.0} sims/s @{}t (speedup {:.2}x), search {:.1} ms, cache hit rate {:.1}%",
+            "{}: sims/s [{curve}] (speedup {:.2}x), search {:.1} ms, cache hit rate {:.1}%",
             s.scenario,
-            s.single_thread.sims_per_sec,
-            s.multi_thread.sims_per_sec,
-            report.threads,
             s.speedup,
             s.search.wall_ms,
             s.search.cache_hit_rate * 100.0
         );
+        if let Some(inc) = &s.incremental_resim {
+            eprintln!(
+                "  incremental resim: {:.2}x over the event loop \
+                 ({} of {} chain sims incremental, {} node outcomes reused)",
+                inc.speedup,
+                inc.incremental_sims,
+                inc.probes * inc.rounds.max(1),
+                inc.nodes_reused
+            );
+        }
+        if let Some(dedup) = &s.batch_dedup {
+            eprintln!(
+                "  batch dedup: {}/{} duplicates fanned out ({:.0} candidates/s @1t)",
+                dedup.dedup_hits,
+                dedup.batch - dedup.unique,
+                dedup.candidates_per_sec
+            );
+        }
     }
     if let Some(aggregate) = &report.aggregate {
         eprintln!(
@@ -527,7 +553,13 @@ fn cmd_bench(argv: &[String]) -> Result<(), String> {
         }
         None => None,
     };
-    let failures = bench::gate_failures(&report, baseline.as_ref(), max_regress, min_speedup);
+    let failures = bench::gate_failures(
+        &report,
+        baseline.as_ref(),
+        max_regress,
+        min_speedup,
+        min_incremental,
+    );
     if failures.is_empty() {
         Ok(())
     } else {

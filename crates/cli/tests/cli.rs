@@ -253,7 +253,7 @@ fn bench_emits_schema_and_gates_against_itself() {
         serde_json::parse(&std::fs::read_to_string(&baseline).unwrap()).expect("valid JSON");
     assert_eq!(
         report.get("version").and_then(as_num),
-        Some(4.0),
+        Some(5.0),
         "BENCH schema version"
     );
     let build_info = report.get("build_info").expect("build provenance block");
@@ -273,9 +273,10 @@ fn bench_emits_schema_and_gates_against_itself() {
     for field in [
         "scenario",
         "spec_fingerprint",
-        "single_thread",
-        "multi_thread",
+        "thread_scaling",
         "speedup",
+        "incremental_resim",
+        "batch_dedup",
         "search",
     ] {
         assert!(
@@ -283,6 +284,27 @@ fn bench_emits_schema_and_gates_against_itself() {
             "scenario lacks `{field}`"
         );
     }
+    let curve = scenarios[0]
+        .get("thread_scaling")
+        .and_then(|s| s.as_seq())
+        .unwrap();
+    assert_eq!(
+        curve.len(),
+        2,
+        "curve at --threads 2 holds the 1t and 2t points"
+    );
+    assert_eq!(curve[0].get("threads").and_then(as_num), Some(1.0));
+    assert_eq!(curve[1].get("threads").and_then(as_num), Some(2.0));
+    let inc = scenarios[0].get("incremental_resim").unwrap();
+    assert!(
+        inc.get("incremental_sims").and_then(as_num).unwrap() > 0.0,
+        "jitter-free spec must take the incremental path"
+    );
+    let dedup = scenarios[0].get("batch_dedup").unwrap();
+    assert!(
+        dedup.get("dedup_hits").and_then(as_num).unwrap() > 0.0,
+        "duplicate-heavy batch must record fan-out hits"
+    );
     let search = scenarios[0].get("search").unwrap();
     let hit_rate = search.get("cache_hit_rate").and_then(as_num).unwrap();
     assert!(hit_rate > 0.0, "search phase must produce cache hits");

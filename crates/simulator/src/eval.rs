@@ -64,7 +64,7 @@ use crate::env::{ConfigMap, WorkflowEnvironment};
 use crate::error::SimulatorError;
 use crate::executor::ExecutionReport;
 use crate::input::InputSpec;
-use crate::kernel::{CompiledScenario, SimResult, SimScratch};
+use crate::kernel::{BatchSim, CompiledScenario, KernelCounters, SimResult, SimScratch};
 
 /// Number of independent cache shards (a power of two; the shard is chosen
 /// by key hash, so concurrent submitters contend on different locks).
@@ -237,6 +237,10 @@ struct ScenarioCounters {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Candidates resolved by intra-batch dedup (identical key earlier in
+    /// the same batch) — a subset of `hits`, broken out so the bench can
+    /// tell memo-cache reuse from within-batch duplication.
+    batch_dedup: AtomicU64,
 }
 
 /// The immutable per-scenario half of an evaluation: the compiled scenario,
@@ -249,6 +253,13 @@ struct ScenarioData {
     fingerprint: u64,
     options: EvalOptions,
     counters: Arc<ScenarioCounters>,
+    /// The most recent exact probe `(configs, result)` of this
+    /// registration, used as the incremental anchor for the next probe.
+    /// Searcher probes mutate one path suffix per step, so consecutive
+    /// probes usually share most of their timeline; reuse is exact
+    /// (bit-identical results), so a stale or raced anchor can never
+    /// change an outcome — only how much work it saves.
+    probe_anchor: Mutex<Option<(ConfigMap, SimResult)>>,
 }
 
 /// Telemetry instruments for the evaluation substrate, registered on a
@@ -328,7 +339,7 @@ impl EvalTelemetry {
     }
 }
 
-/// The process-wide evaluation substrate: the deterministic fork-join
+/// The process-wide evaluation substrate: the deterministic work-stealing
 /// worker pool, the sharded fingerprint-keyed memo-cache and the
 /// [`SimScratch`] arena pool, shared by every scenario registered on it.
 ///
@@ -355,6 +366,11 @@ pub struct EvalService {
     inflight: AtomicU64,
     /// High-water mark of `inflight`.
     inflight_peak: AtomicU64,
+    /// Kernel work counters drained from every scratch arena returned to
+    /// the pool — the service-wide view of how many simulations ran and
+    /// which kernel path (event loop, relaxation, incremental) served
+    /// them, regardless of whether telemetry is attached.
+    kernel_totals: Mutex<KernelCounters>,
 }
 
 /// RAII marker of one in-flight evaluation call: increments the service's
@@ -387,6 +403,7 @@ impl EvalService {
             telemetry: OnceLock::new(),
             inflight: AtomicU64::new(0),
             inflight_peak: AtomicU64::new(0),
+            kernel_totals: Mutex::new(KernelCounters::default()),
         }
     }
 
@@ -490,6 +507,7 @@ impl EvalService {
                 cache_capacity: options.cache_capacity,
             },
             counters,
+            probe_anchor: Mutex::new(None),
         })
     }
 
@@ -520,6 +538,10 @@ impl EvalService {
                 .fetch_add(counters.misses.load(Ordering::Relaxed), Ordering::Relaxed);
             self.retired.evictions.fetch_add(
                 counters.evictions.load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+            self.retired.batch_dedup.fetch_add(
+                counters.batch_dedup.load(Ordering::Relaxed),
                 Ordering::Relaxed,
             );
         }
@@ -594,6 +616,31 @@ impl EvalService {
         }
     }
 
+    /// Candidates resolved by intra-batch dedup across every scenario ever
+    /// registered (a subset of the aggregate cache hits): identical
+    /// `(config, input, seed)` candidates within one batch simulate once
+    /// and fan the result out.
+    pub fn batch_dedup_hits(&self) -> u64 {
+        let mut dedup = self.retired.batch_dedup.load(Ordering::Relaxed);
+        for counters in self
+            .scenarios
+            .lock()
+            .expect("scenario registry poisoned")
+            .values()
+        {
+            dedup += counters.batch_dedup.load(Ordering::Relaxed);
+        }
+        dedup
+    }
+
+    /// Aggregate kernel work counters drained from every scratch arena the
+    /// service has recycled: total simulations and the per-path breakdown
+    /// (event loop vs. relaxation vs. incremental reuse). Arenas currently
+    /// checked out by in-flight evaluations are not yet included.
+    pub fn kernel_counters(&self) -> KernelCounters {
+        *self.kernel_totals.lock().expect("kernel totals poisoned")
+    }
+
     /// Number of reports currently memoised across all shards (all
     /// scenarios together).
     pub fn cached_entries(&self) -> usize {
@@ -645,9 +692,36 @@ impl EvalService {
         }
         data.counters.misses.fetch_add(1, Ordering::Relaxed);
         let mut scratch = self.take_scratch();
-        let result = data.scenario.simulate(&mut scratch, configs, input, seed);
+        // Probe fast path: re-simulate incrementally off this
+        // registration's previous exact probe when the kernel can prove
+        // bit-identity, and simulate from scratch otherwise. Reuse is
+        // exact either way, so a stale or raced anchor can never change a
+        // result — only how much work it saves.
+        let anchor = data
+            .probe_anchor
+            .lock()
+            .expect("probe anchor poisoned")
+            .clone();
+        let incremental = anchor.as_ref().and_then(|(anchor_cfgs, anchor_result)| {
+            data.scenario.try_incremental(
+                &mut scratch,
+                configs,
+                input,
+                seed,
+                anchor_cfgs,
+                anchor_result,
+            )
+        });
+        let result = match incremental {
+            Some(result) => Ok(result),
+            None => data.scenario.simulate(&mut scratch, configs, input, seed),
+        };
         self.put_scratch(scratch);
         let result = result?;
+        if data.scenario.relaxation_exact(configs) {
+            *data.probe_anchor.lock().expect("probe anchor poisoned") =
+                Some((configs.clone(), result.clone()));
+        }
         self.cache_insert(data, key, result.clone());
         Ok(result)
     }
@@ -686,6 +760,7 @@ impl EvalService {
                 results[i] = Some(report);
             } else if let Some(&p) = claimed.get(&key) {
                 data.counters.hits.fetch_add(1, Ordering::Relaxed);
+                data.counters.batch_dedup.fetch_add(1, Ordering::Relaxed);
                 batch_hits += 1;
                 duplicates.push((i, p));
             } else {
@@ -710,6 +785,7 @@ impl EvalService {
             results[*i] = Some(report.clone());
             fresh.push(Some(report));
         }
+        let dedup_hits = duplicates.len() as u64;
         for (i, p) in duplicates {
             results[i] = fresh[p].clone();
         }
@@ -735,6 +811,7 @@ impl EvalService {
                     ),
                     ("candidates", FieldValue::U64(n as u64)),
                     ("hits", FieldValue::U64(batch_hits)),
+                    ("dedup", FieldValue::U64(dedup_hits)),
                     ("misses", FieldValue::U64(pending.len() as u64)),
                     ("evictions", FieldValue::U64(evicted as u64)),
                     (
@@ -780,12 +857,16 @@ impl EvalService {
     }
 
     /// Returns a scratch arena to the pool for the next evaluation,
-    /// folding the kernel's accumulated work counters into the process
-    /// metrics when telemetry is attached (they keep accumulating in the
-    /// arena otherwise — plain integer adds, never timestamps).
+    /// draining the kernel's accumulated work counters into the
+    /// service-wide totals (and, when telemetry is attached, into the
+    /// process metrics — plain integer adds, never timestamps).
     fn put_scratch(&self, mut scratch: SimScratch) {
+        let counters = scratch.take_counters();
+        self.kernel_totals
+            .lock()
+            .expect("kernel totals poisoned")
+            .merge(&counters);
         if let Some(telemetry) = self.telemetry.get() {
-            let counters = scratch.take_counters();
             telemetry.kernel_sims.add(counters.sims);
             telemetry.node_starts.add(counters.node_starts);
             telemetry.oom_kills.add(counters.oom_kills);
@@ -797,11 +878,65 @@ impl EvalService {
             .push(scratch);
     }
 
+    /// Chunk width of the batch scheduler. A pure function of the number
+    /// of pending jobs — never of the thread count — so chunk boundaries,
+    /// and with them each chunk's fresh incremental-anchor chain and the
+    /// kernel-counter stream, are identical at every pool width. `/64`
+    /// yields enough chunks for stealing to even out stragglers on large
+    /// batches; the 8..=512 clamp bounds per-chunk scheduling overhead on
+    /// small ones and tail latency on huge ones.
+    fn batch_chunk_size(jobs: usize) -> usize {
+        (jobs / 64).clamp(8, 512)
+    }
+
+    /// Pops the next chunk index for worker `w`: the front of its own
+    /// deque, else a steal from the back of the longest other deque.
+    /// Workers never generate new chunks, so `None` (every deque observed
+    /// empty and no steal landed) means the batch is drained.
+    fn next_chunk(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+        if let Some(c) = queues[w].lock().expect("work queue poisoned").pop_front() {
+            return Some(c);
+        }
+        loop {
+            let mut victim = None;
+            let mut victim_len = 0;
+            for (v, queue) in queues.iter().enumerate() {
+                if v == w {
+                    continue;
+                }
+                let len = queue.lock().expect("work queue poisoned").len();
+                if len > victim_len {
+                    victim = Some(v);
+                    victim_len = len;
+                }
+            }
+            let victim = victim?;
+            if let Some(c) = queues[victim]
+                .lock()
+                .expect("work queue poisoned")
+                .pop_back()
+            {
+                return Some(c);
+            }
+            // Raced with the victim draining its own deque — rescan.
+        }
+    }
+
     /// Runs the distinct misses of a batch on the worker pool, returning
-    /// outcomes in `pending` order. With one worker (or one job) everything
-    /// runs on the calling thread. Each worker borrows one scratch arena
-    /// for its whole chunk, so a batch of `k` candidates on `t` threads
-    /// performs `O(t)` arena (re)uses, not `O(k)` allocations.
+    /// outcomes in `pending` order.
+    ///
+    /// The batch is cut into fixed-width chunks
+    /// ([`batch_chunk_size`](Self::batch_chunk_size)), dealt round-robin
+    /// onto per-worker deques; a worker drains its own deque from the
+    /// front and steals from the back of the longest other deque when
+    /// empty, so a straggler chunk never idles the rest of the pool the
+    /// way the old fork-join static split did. Each worker runs one
+    /// [`BatchSim`] and one scratch arena for its whole share; every chunk
+    /// starts a fresh incremental-anchor chain and carries positional
+    /// seeds, so *which* worker runs a chunk — and any stealing order — is
+    /// invisible in the results: streams are bit-identical at every thread
+    /// count. With one worker (or one chunk) everything runs on the
+    /// calling thread through the same chunking.
     fn run_pool(
         &self,
         data: &ScenarioData,
@@ -809,48 +944,76 @@ impl EvalService {
         input: InputSpec,
         pending: &[(usize, CacheKey, u64)],
     ) -> Vec<Result<SimResult, SimulatorError>> {
+        if pending.is_empty() {
+            return Vec::new();
+        }
+        let chunk = Self::batch_chunk_size(pending.len());
+        let chunk_count = pending.len().div_ceil(chunk);
         let threads = data
             .options
             .threads
             .min(self.options.threads)
-            .min(pending.len())
+            .min(chunk_count)
             .max(1);
         if threads <= 1 {
             let mut scratch = self.take_scratch();
-            let results = pending
-                .iter()
-                .map(|(i, _, seed)| {
-                    data.scenario
-                        .simulate(&mut scratch, &candidates[*i], input, *seed)
-                })
-                .collect();
+            let mut batch = BatchSim::new(&data.scenario, input);
+            let mut results = Vec::with_capacity(pending.len());
+            for jobs in pending.chunks(chunk) {
+                batch.clear_anchor();
+                for (i, _, seed) in jobs {
+                    results.push(batch.simulate(&mut scratch, &candidates[*i], *seed));
+                }
+            }
             self.put_scratch(scratch);
             return results;
         }
-        let chunk = pending.len().div_ceil(threads);
+
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+        for c in 0..chunk_count {
+            queues[c % threads]
+                .lock()
+                .expect("work queue poisoned")
+                .push_back(c);
+        }
+        let mut slots: Vec<Option<Vec<Result<SimResult, SimulatorError>>>> = Vec::new();
+        slots.resize_with(chunk_count, || None);
         std::thread::scope(|scope| {
-            let handles: Vec<_> = pending
-                .chunks(chunk)
-                .map(|jobs| {
+            let queues = &queues;
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
                     scope.spawn(move || {
                         let mut scratch = self.take_scratch();
-                        let results = jobs
-                            .iter()
-                            .map(|(i, _, seed)| {
-                                data.scenario
-                                    .simulate(&mut scratch, &candidates[*i], input, *seed)
-                            })
-                            .collect::<Vec<_>>();
+                        let mut batch = BatchSim::new(&data.scenario, input);
+                        let mut done: Vec<(usize, Vec<Result<SimResult, SimulatorError>>)> =
+                            Vec::new();
+                        while let Some(c) = Self::next_chunk(queues, w) {
+                            batch.clear_anchor();
+                            let jobs = &pending[c * chunk..pending.len().min((c + 1) * chunk)];
+                            let results = jobs
+                                .iter()
+                                .map(|(i, _, seed)| {
+                                    batch.simulate(&mut scratch, &candidates[*i], *seed)
+                                })
+                                .collect::<Vec<_>>();
+                            done.push((c, results));
+                        }
                         self.put_scratch(scratch);
-                        results
+                        done
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("evaluation worker panicked"))
-                .collect()
-        })
+            for handle in handles {
+                for (c, results) in handle.join().expect("evaluation worker panicked") {
+                    slots[c] = Some(results);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .flat_map(|s| s.expect("every chunk processed exactly once"))
+            .collect()
     }
 
     /// Builds the exact cache key of one evaluation. The seed is dropped
@@ -1105,6 +1268,14 @@ impl<'s> ScenarioHandle<'s> {
             cache_misses: misses,
             evictions: self.data.counters.evictions.load(Ordering::Relaxed),
         }
+    }
+
+    /// Candidates of this scenario resolved by intra-batch dedup (a subset
+    /// of its cache hits): identical `(config, input, seed)` candidates
+    /// within one [`evaluate_batch`](ScenarioHandle::evaluate_batch)
+    /// simulate once and fan the result out.
+    pub fn batch_dedup_hits(&self) -> u64 {
+        self.data.counters.batch_dedup.load(Ordering::Relaxed)
     }
 }
 

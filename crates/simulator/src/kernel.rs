@@ -35,6 +35,24 @@
 //! non-OOM-killed function, in start order). The equivalence proptest in
 //! `tests/proptest_kernel.rs` and the pinned CLI compare goldens enforce
 //! this.
+//!
+//! # Round two: the relaxation fast path
+//!
+//! When runtime jitter is off and a candidate provably cannot stall on
+//! capacity (see [`CompiledScenario::relaxation_exact`]), the event loop
+//! degenerates: every function starts the instant its last input arrives,
+//! so the whole simulation is one pass over the DAG in topological order —
+//! `ready = max(pred.end + transfer)` pulled through a predecessor CSR, no
+//! event heap, no placement bookkeeping. [`CompiledScenario::simulate`]
+//! routes there automatically and falls back to the reference event loop
+//! ([`CompiledScenario::simulate_reference`]) otherwise, performing the
+//! same floating-point operations in the same order either way, so results
+//! stay bit-identical. On top of that sit incremental re-simulation
+//! ([`CompiledScenario::try_incremental`]: reuse an anchor's timeline for
+//! every node not downstream of a config change — the searchers'
+//! `PathConfigState` probes touch one path suffix at a time) and
+//! [`BatchSim`], which chains candidates of one batch so each result
+//! anchors the next and the per-edge transfer table is computed once.
 
 use std::sync::Arc;
 
@@ -53,6 +71,16 @@ use crate::input::InputSpec;
 use crate::perf_model::{FunctionProfile, InvocationOutcome, ProfileSet};
 use crate::resources::ResourceConfig;
 use crate::trace::{ExecutionTrace, TraceEvent};
+
+/// Headroom (in vCPUs) the no-stall proof leaves below a host's capacity.
+/// First-fit placement accumulates `free_vcpu -= / +=` in f64, whose drift
+/// over a workflow is bounded by a few ULPs per operation (~1e-13 at the
+/// paper testbed's 96-vCPU magnitude); 1e-6 dominates that by orders of
+/// magnitude while staying far below the 0.1-vCPU configuration grid, so
+/// the check never admits a candidate the event loop could stall on and
+/// never rejects a realistically-sized one. Memory needs no margin: u32
+/// demands summed in u64 compare exactly.
+const NO_STALL_VCPU_MARGIN: f64 = 1e-6;
 
 /// Per-node outcome of one simulation, as observed by the searchers.
 ///
@@ -216,6 +244,14 @@ pub struct SimScratch {
     waiting: Vec<NodeId>,
     waiting_swap: Vec<NodeId>,
     counters: KernelCounters,
+    // Relaxation-path buffers: per-node outcomes, the changed/affected
+    // masks of an incremental run, the BFS frontier that closes `changed`
+    // over descendants, and the per-pred-edge transfer table.
+    outcomes: Vec<NodeSimOutcome>,
+    changed: Vec<bool>,
+    affected: Vec<bool>,
+    frontier: Vec<u32>,
+    pred_transfer: Vec<f64>,
 }
 
 /// Work counters accumulated by the simulation kernel.
@@ -235,6 +271,12 @@ pub struct KernelCounters {
     pub oom_kills: u64,
     /// Placement attempts that found no host with capacity.
     pub capacity_stalls: u64,
+    /// Simulations served by the heap-free relaxation path (full pass).
+    pub relaxed_sims: u64,
+    /// Simulations served incrementally off an anchor result.
+    pub incremental_sims: u64,
+    /// Node outcomes copied verbatim from an anchor instead of recomputed.
+    pub nodes_reused: u64,
 }
 
 impl KernelCounters {
@@ -244,6 +286,9 @@ impl KernelCounters {
         self.node_starts += other.node_starts;
         self.oom_kills += other.oom_kills;
         self.capacity_stalls += other.capacity_stalls;
+        self.relaxed_sims += other.relaxed_sims;
+        self.incremental_sims += other.incremental_sims;
+        self.nodes_reused += other.nodes_reused;
     }
 }
 
@@ -297,6 +342,16 @@ pub struct CompiledScenario {
     /// divided by fan-out (scatter) or fan-in (gather), so runtime transfer
     /// latency is `transfer_ms(effective_mb * input_scale)`.
     succ_effective_mb: Vec<f64>,
+    /// Transpose of the successor CSR: offsets into `pred_sources` /
+    /// `pred_effective_mb`, length `n+1`. The relaxation path pulls each
+    /// node's ready time from its predecessors instead of pushing events.
+    pred_offsets: Vec<u32>,
+    pred_sources: Vec<u32>,
+    /// Per-pred-edge effective payload, mirroring `succ_effective_mb`.
+    pred_effective_mb: Vec<f64>,
+    /// One fixed topological order (Kahn over the successor CSR, entries
+    /// first in source order).
+    topo_order: Vec<u32>,
     pred_counts: Vec<u32>,
     entries: Vec<u32>,
     /// Flat node-indexed profile table (replaces the per-start `HashMap`
@@ -369,16 +424,68 @@ impl CompiledScenario {
             succ_offsets.push(succ_targets.len() as u32);
         }
 
+        let pred_counts: Vec<u32> = workflow
+            .node_ids()
+            .map(|id| dag.predecessors(id).len() as u32)
+            .collect();
+        let entries: Vec<u32> = dag.sources().iter().map(|id| id.index() as u32).collect();
+
+        // Transpose the successor CSR into a predecessor CSR, preserving
+        // each target's incoming-edge order (source order).
+        let mut pred_offsets = vec![0u32; n + 1];
+        for &t in &succ_targets {
+            pred_offsets[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            pred_offsets[i + 1] += pred_offsets[i];
+        }
+        let mut cursor: Vec<u32> = pred_offsets[..n].to_vec();
+        let mut pred_sources = vec![0u32; succ_targets.len()];
+        let mut pred_effective_mb = vec![0.0f64; succ_targets.len()];
+        for src in 0..n {
+            let lo = succ_offsets[src] as usize;
+            let hi = succ_offsets[src + 1] as usize;
+            for k in lo..hi {
+                let t = succ_targets[k] as usize;
+                let slot = cursor[t] as usize;
+                pred_sources[slot] = src as u32;
+                pred_effective_mb[slot] = succ_effective_mb[k];
+                cursor[t] += 1;
+            }
+        }
+
+        // One fixed topological order: Kahn's algorithm over the successor
+        // CSR, seeded with the entries in source order. The workflow is
+        // acyclic by construction, so the order always covers every node.
+        let mut topo_order: Vec<u32> = Vec::with_capacity(n);
+        topo_order.extend_from_slice(&entries);
+        let mut remaining = pred_counts.clone();
+        let mut head = 0;
+        while head < topo_order.len() {
+            let i = topo_order[head] as usize;
+            head += 1;
+            let lo = succ_offsets[i] as usize;
+            let hi = succ_offsets[i + 1] as usize;
+            for &t in &succ_targets[lo..hi] {
+                remaining[t as usize] -= 1;
+                if remaining[t as usize] == 0 {
+                    topo_order.push(t);
+                }
+            }
+        }
+        debug_assert_eq!(topo_order.len(), n, "workflow DAGs are acyclic");
+
         Ok(CompiledScenario {
             n,
             succ_offsets,
             succ_targets,
             succ_effective_mb,
-            pred_counts: workflow
-                .node_ids()
-                .map(|id| dag.predecessors(id).len() as u32)
-                .collect(),
-            entries: dag.sources().iter().map(|id| id.index() as u32).collect(),
+            pred_offsets,
+            pred_sources,
+            pred_effective_mb,
+            topo_order,
+            pred_counts,
+            entries,
             profiles: flat_profiles,
             names,
             cluster,
@@ -404,12 +511,44 @@ impl CompiledScenario {
     /// Runs one simulation and returns the lean [`SimResult`] — the hot
     /// path of every search method.
     ///
+    /// Routes automatically: the heap-free topological relaxation when it
+    /// is provably bit-identical ([`CompiledScenario::relaxation_exact`]),
+    /// the reference event loop otherwise. Either way the result is
+    /// bit-identical to [`CompiledScenario::simulate_reference`].
+    ///
     /// # Errors
     ///
     /// Returns [`SimulatorError::ConfigCountMismatch`] when `configs` does
     /// not cover every function and [`SimulatorError::Unplaceable`] when a
     /// configuration exceeds every cluster host.
     pub fn simulate(
+        &self,
+        scratch: &mut SimScratch,
+        configs: &ConfigMap,
+        input: InputSpec,
+        seed: u64,
+    ) -> Result<SimResult, SimulatorError> {
+        if self.relaxation_exact(configs) {
+            self.validate(configs)?;
+            let mut transfer = std::mem::take(&mut scratch.pred_transfer);
+            self.fill_pred_transfer(input, &mut transfer);
+            let result = self.relax(scratch, configs, input, seed, &transfer, None);
+            scratch.pred_transfer = transfer;
+            return Ok(result);
+        }
+        self.simulate_reference(scratch, configs, input, seed)
+    }
+
+    /// Runs one simulation through the reference discrete-event loop,
+    /// bypassing the relaxation fast path. This is the pre-round-two
+    /// `simulate`: [`CompiledScenario::simulate`] routes here whenever
+    /// exactness can't be proven, and the equivalence proptests and the
+    /// bench harness call it directly to measure the fast path against it.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledScenario::simulate`].
+    pub fn simulate_reference(
         &self,
         scratch: &mut SimScratch,
         configs: &ConfigMap,
@@ -440,6 +579,259 @@ impl CompiledScenario {
             input,
             seed,
         })
+    }
+
+    /// Re-simulates `configs` by reusing `anchor_result`'s timeline for
+    /// every node that is not downstream of a configuration change — the
+    /// searcher-probe fast path (stagewise `PathConfigState` probes mutate
+    /// one path suffix per step, leaving most of the DAG untouched).
+    ///
+    /// Returns `None` when incremental reuse cannot be *proven*
+    /// bit-identical to [`CompiledScenario::simulate`]: runtime jitter
+    /// enabled, either configuration at stall risk, an anchor for a
+    /// different input, or `configs` invalid (the caller's fallback to
+    /// `simulate` then reproduces the validation error). `anchor_result`
+    /// must be the result of simulating `anchor_configs` against *this*
+    /// scenario — the caller owns that pairing; [`BatchSim`] maintains it
+    /// automatically.
+    pub fn try_incremental(
+        &self,
+        scratch: &mut SimScratch,
+        configs: &ConfigMap,
+        input: InputSpec,
+        seed: u64,
+        anchor_configs: &ConfigMap,
+        anchor_result: &SimResult,
+    ) -> Option<SimResult> {
+        if !self.relaxation_exact(configs)
+            || !self.relaxation_exact_slice(anchor_configs.as_slice())
+            || anchor_result.len() != self.n
+            || anchor_result.input() != input
+            || self.validate(configs).is_err()
+        {
+            return None;
+        }
+        let mut transfer = std::mem::take(&mut scratch.pred_transfer);
+        self.fill_pred_transfer(input, &mut transfer);
+        let result = self.relax(
+            scratch,
+            configs,
+            input,
+            seed,
+            &transfer,
+            Some((anchor_configs.as_slice(), anchor_result)),
+        );
+        scratch.pred_transfer = transfer;
+        Some(result)
+    }
+
+    /// Returns `true` when the topological relaxation path is *provably*
+    /// bit-identical to the event loop for `configs`: runtime jitter is off
+    /// (no RNG draws) and a single host alone can absorb the sum of every
+    /// function's demand, so first-fit placement can never stall no matter
+    /// how executions overlap. Checking one host against the *total* demand
+    /// is deliberate — weaker conditions ("all candidates fit somewhere
+    /// simultaneously") are unsound under first-fit fragmentation. The
+    /// memory sum is exact (u32 demands summed in u64); the vCPU sum keeps
+    /// [`NO_STALL_VCPU_MARGIN`] of headroom for f64 accumulation drift.
+    pub fn relaxation_exact(&self, configs: &ConfigMap) -> bool {
+        configs.len() == self.n && self.relaxation_exact_slice(configs.as_slice())
+    }
+
+    fn relaxation_exact_slice(&self, configs: &[ResourceConfig]) -> bool {
+        if self.cluster.runtime_jitter > 0.0 || self.cluster.hosts == 0 || configs.len() != self.n {
+            return false;
+        }
+        let mut vcpu = 0.0f64;
+        let mut memory_mb = 0u64;
+        for cfg in configs {
+            vcpu += cfg.vcpu.get();
+            memory_mb += u64::from(cfg.memory.get());
+        }
+        vcpu + NO_STALL_VCPU_MARGIN <= self.cluster.vcpus_per_host
+            && memory_mb <= u64::from(self.cluster.memory_mb_per_host)
+    }
+
+    /// Validates `configs` exactly as the event loop always has: count
+    /// first, then per-node host fit in node order (first failing node
+    /// named in the error).
+    fn validate(&self, configs: &ConfigMap) -> Result<(), SimulatorError> {
+        if configs.len() != self.n {
+            return Err(SimulatorError::ConfigCountMismatch {
+                expected: self.n,
+                got: configs.len(),
+            });
+        }
+        for (i, &cfg) in configs.as_slice().iter().enumerate() {
+            if !self.cluster.can_fit(cfg) {
+                return Err(SimulatorError::Unplaceable {
+                    node: NodeId::new(i),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Precomputes the per-pred-edge transfer latency table for `input`,
+    /// indexed like `pred_sources`. The table depends only on the input
+    /// scale, so one fill serves every candidate of a batch.
+    fn fill_pred_transfer(&self, input: InputSpec, table: &mut Vec<f64>) {
+        let transfer_scale = input.scale.max(0.0);
+        table.clear();
+        table.extend(
+            self.pred_effective_mb
+                .iter()
+                .map(|&mb| self.cluster.transfer_ms(mb * transfer_scale)),
+        );
+    }
+
+    /// The heap-free relaxation core. Preconditions (enforced by callers):
+    /// `validate(configs)` passed, `configs` — and the anchor's configs,
+    /// when present — satisfy [`CompiledScenario::relaxation_exact`], and
+    /// the anchor was produced under the same `input`. Under those
+    /// preconditions every function starts the tick its last input arrives,
+    /// so one pass in topological order performs the same floating-point
+    /// operations in the same order as the event loop's `try_start`:
+    /// `ready = max(ms_to_ticks(pred.end + transfer))` (u64 max commutes,
+    /// so predecessor order is irrelevant), `start = ticks_to_ms(ready)`,
+    /// `end = (start + cold_start) + runtime`.
+    fn relax(
+        &self,
+        scratch: &mut SimScratch,
+        configs: &ConfigMap,
+        input: InputSpec,
+        seed: u64,
+        transfer_ms: &[f64],
+        anchor: Option<(&[ResourceConfig], &SimResult)>,
+    ) -> SimResult {
+        let n = self.n;
+        let cfgs = configs.as_slice();
+
+        // `changed`: nodes whose profile must be re-evaluated. `affected`:
+        // changed ∪ descendants(changed) — nodes whose timeline must be
+        // recomputed. Everything else is copied from the anchor verbatim.
+        scratch.changed.clear();
+        scratch.affected.clear();
+        match anchor {
+            None => {
+                scratch.changed.resize(n, true);
+                scratch.affected.resize(n, true);
+            }
+            Some((anchor_cfgs, _)) => {
+                scratch
+                    .changed
+                    .extend(cfgs.iter().zip(anchor_cfgs).map(|(a, b)| {
+                        a.vcpu.get().to_bits() != b.vcpu.get().to_bits()
+                            || a.memory.get() != b.memory.get()
+                    }));
+                scratch.affected.extend_from_slice(&scratch.changed);
+                scratch.frontier.clear();
+                scratch
+                    .frontier
+                    .extend((0..n as u32).filter(|&i| scratch.changed[i as usize]));
+                while let Some(node) = scratch.frontier.pop() {
+                    let lo = self.succ_offsets[node as usize] as usize;
+                    let hi = self.succ_offsets[node as usize + 1] as usize;
+                    for &succ in &self.succ_targets[lo..hi] {
+                        if !scratch.affected[succ as usize] {
+                            scratch.affected[succ as usize] = true;
+                            scratch.frontier.push(succ);
+                        }
+                    }
+                }
+            }
+        }
+
+        scratch.outcomes.clear();
+        match anchor {
+            Some((_, anchor_result)) => {
+                scratch
+                    .outcomes
+                    .extend_from_slice(anchor_result.executions());
+            }
+            None => scratch.outcomes.resize(
+                n,
+                NodeSimOutcome {
+                    start_ms: 0.0,
+                    end_ms: 0.0,
+                    runtime_ms: 0.0,
+                    cost: 0.0,
+                    oom: false,
+                },
+            ),
+        }
+
+        let mut reused = 0u64;
+        for &t in &self.topo_order {
+            let i = t as usize;
+            if !scratch.affected[i] {
+                reused += 1;
+                continue;
+            }
+            let lo = self.pred_offsets[i] as usize;
+            let hi = self.pred_offsets[i + 1] as usize;
+            let mut ready_ticks: SimTime = 0;
+            for (&src, &edge_ms) in self.pred_sources[lo..hi].iter().zip(&transfer_ms[lo..hi]) {
+                let p = src as usize;
+                let arrive = ms_to_ticks(scratch.outcomes[p].end_ms + edge_ms);
+                ready_ticks = ready_ticks.max(arrive);
+            }
+            let config = cfgs[i];
+            let (runtime_ms, cost, oom) = if scratch.changed[i] {
+                let (runtime_ms, oom) = match self.profiles[i].evaluate(config, input) {
+                    InvocationOutcome::Completed { runtime_ms } => (runtime_ms, false),
+                    InvocationOutcome::OutOfMemory { .. } => (OOM_KILL_MS, true),
+                };
+                (
+                    runtime_ms,
+                    self.pricing.invocation_cost(config, runtime_ms),
+                    oom,
+                )
+            } else {
+                // Same config, no jitter: runtime, cost and the OOM verdict
+                // are pure functions of (config, input) — copy the anchor's.
+                let prev = scratch.outcomes[i];
+                (prev.runtime_ms, prev.cost, prev.oom)
+            };
+            let start_ms = ticks_to_ms(ready_ticks);
+            let cold_start_ms = self.cluster.cold_start.latency_ms(config);
+            let end_ms = start_ms + cold_start_ms + runtime_ms;
+            scratch.outcomes[i] = NodeSimOutcome {
+                start_ms,
+                end_ms,
+                runtime_ms,
+                cost,
+                oom,
+            };
+        }
+
+        let nodes: Arc<[NodeSimOutcome]> = scratch.outcomes.as_slice().into();
+        // Same reduction order as the event loop (node order).
+        let makespan_ms = nodes.iter().map(|e| e.end_ms).fold(0.0, f64::max);
+        let total_cost = nodes.iter().map(|e| e.cost).sum();
+        let any_oom = nodes.iter().any(|e| e.oom);
+
+        // Counter semantics mirror a full event-loop run of the same
+        // simulated world: every function "starts" once, OOM verdicts
+        // included, plus the round-two accounting of which path served it.
+        scratch.counters.sims += 1;
+        scratch.counters.node_starts += n as u64;
+        scratch.counters.oom_kills += nodes.iter().filter(|e| e.oom).count() as u64;
+        if anchor.is_some() {
+            scratch.counters.incremental_sims += 1;
+            scratch.counters.nodes_reused += reused;
+        } else {
+            scratch.counters.relaxed_sims += 1;
+        }
+
+        SimResult {
+            nodes,
+            makespan_ms,
+            total_cost,
+            any_oom,
+            input,
+            seed,
+        }
     }
 
     /// Runs one simulation recording the full event trace and materialises
@@ -499,19 +891,7 @@ impl CompiledScenario {
         seed: u64,
         mut trace: Option<&mut ExecutionTrace>,
     ) -> Result<(), SimulatorError> {
-        if configs.len() != self.n {
-            return Err(SimulatorError::ConfigCountMismatch {
-                expected: self.n,
-                got: configs.len(),
-            });
-        }
-        for (i, &cfg) in configs.as_slice().iter().enumerate() {
-            if !self.cluster.can_fit(cfg) {
-                return Err(SimulatorError::Unplaceable {
-                    node: NodeId::new(i),
-                });
-            }
-        }
+        self.validate(configs)?;
 
         scratch.reset(self);
         // The jitter RNG is only constructed when draws will actually
@@ -697,6 +1077,113 @@ impl CompiledScenario {
     }
 }
 
+/// Lockstep batch driver: simulates a stream of candidates against one
+/// [`CompiledScenario`] and one input, sharing the per-pred-edge transfer
+/// table across the whole batch and chaining each exact result as the
+/// incremental anchor for the next candidate — so a run of suffix-edit
+/// probes re-simulates only the nodes downstream of each edit.
+///
+/// Every candidate flows through the cheapest applicable path —
+/// incremental relaxation off the previous result, full relaxation, or the
+/// reference event loop when exactness can't be proven — and every path is
+/// bit-identical, so a `BatchSim` stream equals a
+/// [`CompiledScenario::simulate`] stream result-for-result regardless of
+/// how a batch is chunked across workers.
+#[derive(Debug)]
+pub struct BatchSim<'a> {
+    scenario: &'a CompiledScenario,
+    input: InputSpec,
+    transfer_ms: Vec<f64>,
+    anchor_configs: Vec<ResourceConfig>,
+    anchor: Option<SimResult>,
+}
+
+impl<'a> BatchSim<'a> {
+    /// Prepares a batch against `scenario` at `input`, computing the shared
+    /// transfer table once.
+    pub fn new(scenario: &'a CompiledScenario, input: InputSpec) -> Self {
+        let mut transfer_ms = Vec::new();
+        scenario.fill_pred_transfer(input, &mut transfer_ms);
+        BatchSim {
+            scenario,
+            input,
+            transfer_ms,
+            anchor_configs: Vec::new(),
+            anchor: None,
+        }
+    }
+
+    /// The scenario this batch runs against.
+    pub fn scenario(&self) -> &CompiledScenario {
+        self.scenario
+    }
+
+    /// Drops the incremental anchor: the next candidate simulates from
+    /// scratch. The batch scheduler calls this at chunk boundaries so the
+    /// kernel-counter stream is independent of how a batch is split across
+    /// workers (chunk boundaries depend only on batch length).
+    pub fn clear_anchor(&mut self) {
+        self.anchor = None;
+        self.anchor_configs.clear();
+    }
+
+    /// Seeds the incremental anchor from an already-computed result — e.g.
+    /// a search session's previous probe. Ignored (anchor cleared) unless
+    /// the pairing is eligible for exact incremental reuse. `result` must
+    /// be the result of simulating `configs` against this batch's scenario.
+    pub fn set_anchor(&mut self, configs: &ConfigMap, result: &SimResult) {
+        if result.len() == self.scenario.n
+            && result.input() == self.input
+            && self.scenario.relaxation_exact(configs)
+        {
+            self.anchor_configs.clear();
+            self.anchor_configs.extend_from_slice(configs.as_slice());
+            self.anchor = Some(result.clone());
+        } else {
+            self.clear_anchor();
+        }
+    }
+
+    /// Simulates one candidate through the cheapest exact path, updating
+    /// the anchor for the next call.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CompiledScenario::simulate`].
+    pub fn simulate(
+        &mut self,
+        scratch: &mut SimScratch,
+        configs: &ConfigMap,
+        seed: u64,
+    ) -> Result<SimResult, SimulatorError> {
+        if self.scenario.relaxation_exact(configs) {
+            self.scenario.validate(configs)?;
+            let anchor = self
+                .anchor
+                .as_ref()
+                .map(|result| (self.anchor_configs.as_slice(), result));
+            let result = self.scenario.relax(
+                scratch,
+                configs,
+                self.input,
+                seed,
+                &self.transfer_ms,
+                anchor,
+            );
+            self.anchor_configs.clear();
+            self.anchor_configs.extend_from_slice(configs.as_slice());
+            self.anchor = Some(result.clone());
+            return Ok(result);
+        }
+        // Exactness can't be proven for this candidate: take the event loop
+        // and drop the anchor — a successor could not reuse a potentially
+        // stall-contaminated timeline anyway.
+        self.clear_anchor();
+        self.scenario
+            .simulate_reference(scratch, configs, self.input, seed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -826,6 +1313,132 @@ mod tests {
             CompiledScenario::compile(&wf, &ProfileSet::new(), cluster, PricingModel::paper())
                 .unwrap_err();
         assert!(matches!(err, SimulatorError::MissingProfile { .. }));
+    }
+
+    #[test]
+    fn relaxation_matches_event_loop_bitwise() {
+        let scenario = compiled(0.0);
+        let configs = ConfigMap::uniform(3, ResourceConfig::new(2.0, 1_024));
+        assert!(scenario.relaxation_exact(&configs));
+        let mut scratch = SimScratch::new();
+        let fast = scenario
+            .simulate(&mut scratch, &configs, InputSpec::new(2.0, 64.0), 9)
+            .unwrap();
+        let slow = scenario
+            .simulate_reference(&mut scratch, &configs, InputSpec::new(2.0, 64.0), 9)
+            .unwrap();
+        assert_eq!(fast, slow);
+        assert_eq!(scratch.counters().relaxed_sims, 1);
+        assert_eq!(scratch.counters().sims, 2);
+    }
+
+    #[test]
+    fn jitter_disables_the_relaxation_path() {
+        let scenario = compiled(0.1);
+        let configs = ConfigMap::uniform(3, ResourceConfig::new(2.0, 1_024));
+        assert!(!scenario.relaxation_exact(&configs));
+    }
+
+    #[test]
+    fn stall_risk_disables_the_relaxation_path() {
+        let (wf, p, mut cluster) = scenario_parts(0.0);
+        // One entry then a 2-wide fan-out of 1-vCPU functions against a
+        // 1.5-vCPU host: the second fan-out function must queue.
+        cluster.vcpus_per_host = 1.5;
+        let scenario = CompiledScenario::compile(&wf, &p, cluster, PricingModel::paper()).unwrap();
+        let configs = ConfigMap::uniform(3, ResourceConfig::new(1.0, 512));
+        assert!(!scenario.relaxation_exact(&configs));
+        let mut scratch = SimScratch::new();
+        let routed = scenario
+            .simulate(&mut scratch, &configs, InputSpec::nominal(), 0)
+            .unwrap();
+        let reference = scenario
+            .simulate_reference(&mut scratch, &configs, InputSpec::nominal(), 0)
+            .unwrap();
+        assert_eq!(routed, reference);
+        assert!(
+            scratch.counters().capacity_stalls > 0,
+            "the tightened cluster actually queues"
+        );
+        assert_eq!(scratch.counters().relaxed_sims, 0);
+    }
+
+    #[test]
+    fn incremental_resimulation_is_exact() {
+        let scenario = compiled(0.0);
+        let mut scratch = SimScratch::new();
+        let base = ConfigMap::uniform(3, ResourceConfig::new(2.0, 1_024));
+        let anchor = scenario
+            .simulate(&mut scratch, &base, InputSpec::nominal(), 1)
+            .unwrap();
+        let mut edited = base.clone();
+        edited.set(NodeId::new(2), ResourceConfig::new(4.0, 2_048));
+        let inc = scenario
+            .try_incremental(
+                &mut scratch,
+                &edited,
+                InputSpec::nominal(),
+                1,
+                &base,
+                &anchor,
+            )
+            .expect("jitter-free no-stall candidates are incremental-eligible");
+        let full = scenario
+            .simulate(&mut scratch, &edited, InputSpec::nominal(), 1)
+            .unwrap();
+        assert_eq!(inc, full);
+        assert_eq!(scratch.counters().incremental_sims, 1);
+        assert!(
+            scratch.counters().nodes_reused > 0,
+            "the untouched prefix is reused"
+        );
+    }
+
+    #[test]
+    fn incremental_refuses_mismatched_inputs() {
+        let scenario = compiled(0.0);
+        let mut scratch = SimScratch::new();
+        let base = ConfigMap::uniform(3, ResourceConfig::new(2.0, 1_024));
+        let anchor = scenario
+            .simulate(&mut scratch, &base, InputSpec::nominal(), 1)
+            .unwrap();
+        assert!(scenario
+            .try_incremental(
+                &mut scratch,
+                &base,
+                InputSpec::new(2.0, 64.0),
+                1,
+                &base,
+                &anchor
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn batch_sim_stream_matches_individual_simulation() {
+        let scenario = compiled(0.0);
+        let mut scratch = SimScratch::new();
+        let mut batch = BatchSim::new(&scenario, InputSpec::nominal());
+        let candidates = [
+            ConfigMap::uniform(3, ResourceConfig::new(1.0, 512)),
+            ConfigMap::uniform(3, ResourceConfig::new(1.0, 128)),
+            // Sum 120 vCPU > 96: stall risk, falls back to the event loop.
+            ConfigMap::uniform(3, ResourceConfig::new(40.0, 4_096)),
+            ConfigMap::uniform(3, ResourceConfig::new(2.0, 1_024)),
+        ];
+        for (k, configs) in candidates.iter().enumerate() {
+            let chained = batch.simulate(&mut scratch, configs, k as u64).unwrap();
+            let solo = scenario
+                .simulate(
+                    &mut SimScratch::new(),
+                    configs,
+                    InputSpec::nominal(),
+                    k as u64,
+                )
+                .unwrap();
+            assert_eq!(chained, solo);
+        }
+        assert!(scratch.counters().incremental_sims > 0);
     }
 
     #[test]

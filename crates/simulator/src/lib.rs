@@ -87,7 +87,9 @@ pub use eval::{
 };
 pub use executor::{ExecutionReport, FunctionExecution};
 pub use input::{InputClass, InputSpec};
-pub use kernel::{CompiledScenario, KernelCounters, NodeSimOutcome, SimResult, SimScratch};
+pub use kernel::{
+    BatchSim, CompiledScenario, KernelCounters, NodeSimOutcome, SimResult, SimScratch,
+};
 pub use perf_model::{FunctionProfile, FunctionProfileBuilder, ProfileSet};
 pub use profiler::{profile_workflow, ProfiledWeights};
 pub use resources::{MemoryMb, ResourceConfig, ResourceSpace, Vcpu};

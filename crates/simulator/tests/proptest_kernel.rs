@@ -6,7 +6,7 @@
 //! [`CompiledScenario`] with a reused [`SimScratch`], or through the
 //! `execute_workflow` compatibility path.
 
-use aarc_simulator::kernel::{CompiledScenario, SimScratch};
+use aarc_simulator::kernel::{BatchSim, CompiledScenario, SimScratch};
 use aarc_simulator::{
     ClusterSpec, ConfigMap, EvalEngine, EvalOptions, FunctionProfile, InputSpec, PricingModel,
     ProfileSet, ResourceConfig, ResourceSpace, WorkflowEnvironment,
@@ -181,6 +181,102 @@ proptest! {
             prop_assert_eq!(node.oom, exec.oom);
             // O(1) report lookup agrees with the dense layout.
             prop_assert_eq!(report.runtime_of(exec.node), Some(exec.runtime_ms));
+        }
+    }
+
+    /// Incremental re-simulation off an anchor agrees bit-for-bit with a
+    /// full simulation after any sequence of random config edits — and is
+    /// refused (returns `None`) whenever exactness can't be proven (here:
+    /// runtime jitter on).
+    #[test]
+    fn incremental_resimulation_matches_full(
+        case in arb_case(),
+        edits in proptest::collection::vec((0usize..8, 0.1f64..10.0, 128u32..10_240), 1..6),
+        seed in 0u64..u64::MAX,
+    ) {
+        let env = &case.env;
+        let n = env.workflow().len();
+        let jitter_free = env.cluster().runtime_jitter == 0.0;
+        let compiled = CompiledScenario::compile(
+            env.workflow(),
+            env.profiles(),
+            *env.cluster(),
+            *env.pricing(),
+        )
+        .unwrap();
+        let space = ResourceSpace::paper();
+        let mut scratch = SimScratch::new();
+        let anchor_cfgs = case.configs.clone();
+        let anchor = compiled
+            .simulate(&mut scratch, &anchor_cfgs, env.input(), seed)
+            .unwrap();
+        let mut configs = anchor_cfgs.clone();
+        for (node, v, m) in edits {
+            configs.set(
+                NodeId::new(node % n),
+                ResourceConfig::new(space.snap_vcpu(v), space.snap_memory(m)),
+            );
+        }
+        let full = compiled
+            .simulate(&mut scratch, &configs, env.input(), seed)
+            .unwrap();
+        let inc = compiled.try_incremental(
+            &mut scratch,
+            &configs,
+            env.input(),
+            seed,
+            &anchor_cfgs,
+            &anchor,
+        );
+        if jitter_free {
+            // Paper-space candidates on the paper testbed always satisfy
+            // the no-stall condition (8 × 10 vCPU < 96), so eligibility is
+            // guaranteed — and the result must be bit-identical.
+            let inc = inc.expect("jitter-free paper-space candidates are eligible");
+            prop_assert_eq!(&inc, &full);
+        } else {
+            prop_assert!(inc.is_none(), "jitter must refuse incremental reuse");
+        }
+    }
+
+    /// A `BatchSim` chain (each result anchoring the next candidate) equals
+    /// per-candidate `simulate` calls result-for-result, at every jitter and
+    /// any edit distance between consecutive candidates.
+    #[test]
+    fn batch_sim_chain_matches_individual_simulates(
+        case in arb_case(),
+        edit_seq in proptest::collection::vec(
+            proptest::collection::vec((0usize..8, 0.1f64..10.0, 128u32..10_240), 0..4),
+            1..8,
+        ),
+        seed in 0u64..u64::MAX,
+    ) {
+        let env = &case.env;
+        let n = env.workflow().len();
+        let compiled = CompiledScenario::compile(
+            env.workflow(),
+            env.profiles(),
+            *env.cluster(),
+            *env.pricing(),
+        )
+        .unwrap();
+        let space = ResourceSpace::paper();
+        let mut scratch = SimScratch::new();
+        let mut batch = BatchSim::new(&compiled, env.input());
+        let mut configs = case.configs.clone();
+        for (k, edits) in edit_seq.into_iter().enumerate() {
+            for (node, v, m) in edits {
+                configs.set(
+                    NodeId::new(node % n),
+                    ResourceConfig::new(space.snap_vcpu(v), space.snap_memory(m)),
+                );
+            }
+            let candidate_seed = seed.wrapping_add(k as u64);
+            let chained = batch.simulate(&mut scratch, &configs, candidate_seed).unwrap();
+            let solo = compiled
+                .simulate(&mut SimScratch::new(), &configs, env.input(), candidate_seed)
+                .unwrap();
+            prop_assert_eq!(&chained, &solo);
         }
     }
 
