@@ -54,11 +54,13 @@ use crate::version::VersionInfo;
 /// provenance; 4 added the optional `serve` phase written by
 /// `aarc loadtest --bench`; 5 replaced the 1-vs-N throughput pair with the
 /// `thread_scaling` curve and added the `incremental_resim` and
-/// `batch_dedup` phases). Version-1/2/3/4 baselines still parse — the
+/// `batch_dedup` phases; 6 added the `alloc` phase — result-slab
+/// allocations per simulation from the round-three kernel counters, gated
+/// by `--max-allocs-per-sim`). Version-1..5 baselines still parse — the
 /// added fields are optional and simply absent, and the legacy
 /// `single_thread`/`multi_thread` pair is still read through the
 /// [`BenchScenario`] accessors for gating.
-pub const BENCH_VERSION: u32 = 5;
+pub const BENCH_VERSION: u32 = 6;
 
 /// One timed batch evaluation at a fixed thread count.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -129,6 +131,24 @@ pub struct DedupPhase {
     pub candidates_per_sec: f64,
 }
 
+/// The allocation phase: result-slab heap behaviour of the batch miss
+/// path, read from the round-three kernel counters after a cache-less
+/// single-thread batch. One slab is minted per work-stealing chunk, so a
+/// healthy batch path sits far below one allocation per simulation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AllocPhase {
+    /// Simulations the counters span.
+    pub sims: u64,
+    /// Result-slab heap allocations the kernel performed.
+    pub result_slab_allocs: u64,
+    /// Bytes of outcome storage those slabs carried.
+    pub result_slab_bytes: u64,
+    /// `result_slab_allocs / sims` — the gated figure.
+    pub allocs_per_sim: f64,
+    /// `result_slab_bytes / sims`.
+    pub bytes_per_sim: f64,
+}
+
 /// Per-request eval latency percentiles, from the telemetry histograms
 /// attached to the search phase's service (batch and probe requests
 /// merged, so probe-only methods contribute too).
@@ -194,6 +214,10 @@ pub struct BenchScenario {
     /// The intra-batch dedup phase (absent in version-1..4 baselines).
     #[serde(default)]
     pub batch_dedup: Option<DedupPhase>,
+    /// The result-slab allocation phase (absent in version-1..5
+    /// baselines).
+    #[serde(default)]
+    pub alloc: Option<AllocPhase>,
     /// The all-methods search phase.
     pub search: SearchPhase,
 }
@@ -520,6 +544,31 @@ fn time_dedup(workload: &Workload, candidates: &[ConfigMap]) -> Result<DedupPhas
     })
 }
 
+/// Measures result-slab allocation behaviour: the candidate batch through
+/// a fresh cache-less single-thread service, then the kernel counters. The
+/// service is fresh so the counters span exactly this batch; single-thread
+/// because the chunk count (and therefore the slab count) is a pure
+/// function of the batch length, so one worker measures what every pool
+/// width would.
+fn time_alloc(workload: &Workload, candidates: &[ConfigMap]) -> Result<AllocPhase, String> {
+    let service = EvalService::new(EvalOptions {
+        threads: 1,
+        cache_capacity: 0,
+    });
+    let handle = service.register(workload.env().clone());
+    handle
+        .evaluate_batch(candidates)
+        .map_err(|e| format!("alloc batch evaluation failed: {e}"))?;
+    let counters = service.kernel_counters();
+    Ok(AllocPhase {
+        sims: counters.sims,
+        result_slab_allocs: counters.result_slab_allocs,
+        result_slab_bytes: counters.result_slab_bytes,
+        allocs_per_sim: counters.allocs_per_sim(),
+        bytes_per_sim: counters.bytes_per_sim(),
+    })
+}
+
 /// Runs all four search methods through one shared memoising service and
 /// times the whole sweep. The service carries telemetry instruments so the
 /// phase also reports per-request eval latency percentiles.
@@ -655,6 +704,7 @@ pub fn run_bench(
         let thread_scaling = time_scaling(workload, candidates, threads)?;
         let incremental_resim = time_incremental(workload, fingerprint, batch)?;
         let batch_dedup = time_dedup(workload, candidates)?;
+        let alloc = time_alloc(workload, candidates)?;
         let search = time_search(workload, threads)?;
         scenarios.push(BenchScenario {
             scenario: workload.name().to_owned(),
@@ -666,6 +716,7 @@ pub fn run_bench(
             thread_scaling,
             incremental_resim: Some(incremental_resim),
             batch_dedup: Some(batch_dedup),
+            alloc: Some(alloc),
             search,
         });
     }
@@ -691,14 +742,16 @@ pub fn run_bench(
 }
 
 /// Gate checks: regression vs a committed baseline, minimum parallel
-/// speedup, minimum incremental re-simulation speedup and a nonzero cache
-/// hit rate. Returns all failures (empty = gate passes).
+/// speedup, minimum incremental re-simulation speedup, a result-slab
+/// allocation ceiling and a nonzero cache hit rate. Returns all failures
+/// (empty = gate passes).
 pub fn gate_failures(
     current: &BenchReport,
     baseline: Option<&BenchReport>,
     max_regress: f64,
     min_speedup: Option<f64>,
     min_incremental: Option<f64>,
+    max_allocs_per_sim: Option<f64>,
 ) -> Vec<String> {
     let mut failures = Vec::new();
     if let Some(base) = baseline {
@@ -796,6 +849,32 @@ pub fn gate_failures(
             );
         }
     }
+    if let Some(max) = max_allocs_per_sim {
+        // The ceiling only applies to reports that carry the alloc phase;
+        // if the gate is armed but no scenario measured allocations, the
+        // phase itself has gone missing — fail loudly instead of silently
+        // passing an unmeasured run.
+        let mut any_measured = false;
+        for s in &current.scenarios {
+            if let Some(alloc) = &s.alloc {
+                any_measured = true;
+                if alloc.allocs_per_sim > max {
+                    failures.push(format!(
+                        "`{}`: {:.4} result-slab allocations per simulation exceeds the \
+                         allowed {max:.4} ({} slabs over {} sims)",
+                        s.scenario, alloc.allocs_per_sim, alloc.result_slab_allocs, alloc.sims
+                    ));
+                }
+            }
+        }
+        if !any_measured {
+            failures.push(
+                "`--max-allocs-per-sim` set but no benched scenario carries an alloc phase — \
+                 the report predates bench schema v6"
+                    .to_owned(),
+            );
+        }
+    }
     if baseline.is_some() || min_speedup.is_some() {
         for s in &current.scenarios {
             if s.search.cache_hit_rate <= 0.0 {
@@ -834,7 +913,7 @@ mod tests {
         assert_eq!(report.version, BENCH_VERSION);
         assert_eq!(report.scenarios.len(), 1);
         let s = &report.scenarios[0];
-        // v5 reports carry the scaling curve, not the legacy pair.
+        // v5+ reports carry the scaling curve, not the legacy pair.
         assert!(s.single_thread.is_none());
         assert!(s.multi_thread.is_none());
         let curve: Vec<usize> = s.thread_scaling.iter().map(|p| p.threads).collect();
@@ -864,6 +943,13 @@ mod tests {
             dedup.dedup_hits, 28,
             "every replicated candidate must be served by fan-out"
         );
+        let alloc = s.alloc.expect("alloc phase is always run");
+        assert_eq!(alloc.sims, 32, "distinct candidates all simulate");
+        // Batch 32 → chunk width 8 → 4 chunks → 4 slab allocations.
+        assert_eq!(alloc.result_slab_allocs, 4, "one slab per chunk");
+        assert_eq!(alloc.allocs_per_sim, 4.0 / 32.0);
+        assert!(alloc.result_slab_bytes > 0);
+        assert_eq!(alloc.bytes_per_sim, alloc.result_slab_bytes as f64 / 32.0);
         assert!(s.search.samples > 0);
         assert!(
             s.search.cache_hit_rate > 0.0,
@@ -920,7 +1006,7 @@ mod tests {
         assert!(parsed.build_info.is_none());
         // Gating against a pre-latency baseline works unchanged: the gate
         // only reads wall-clock and throughput, which v2 still carries.
-        assert!(gate_failures(&report, Some(&parsed), 0.2, None, None).is_empty());
+        assert!(gate_failures(&report, Some(&parsed), 0.2, None, None, None).is_empty());
     }
 
     #[test]
@@ -935,7 +1021,7 @@ mod tests {
         strip_key(&mut v3, "serve");
         let parsed: BenchReport = serde_json::from_value(&v3).unwrap();
         assert!(parsed.serve.is_none());
-        assert!(gate_failures(&report, Some(&parsed), 0.2, None, None).is_empty());
+        assert!(gate_failures(&report, Some(&parsed), 0.2, None, None, None).is_empty());
         // And a report that does carry a serve phase round-trips.
         let mut with_serve = report.clone();
         with_serve.serve = Some(ServePhase {
@@ -980,7 +1066,7 @@ mod tests {
         assert!(parsed.aggregate.is_none());
         // Gating a report against an aggregate-less baseline skips the
         // aggregate check instead of failing.
-        assert!(gate_failures(&report, Some(&parsed), 0.2, None, None).is_empty());
+        assert!(gate_failures(&report, Some(&parsed), 0.2, None, None, None).is_empty());
     }
 
     #[test]
@@ -1014,7 +1100,7 @@ mod tests {
             "legacy multi-thread throughput must surface through the accessor"
         );
         // ...so a v5 run gates cleanly against a v4 baseline.
-        assert!(gate_failures(&report, Some(&parsed), 0.2, None, None).is_empty());
+        assert!(gate_failures(&report, Some(&parsed), 0.2, None, None, None).is_empty());
         // A v4 baseline that was 10x faster still trips the throughput gate.
         let mut fast = parsed.clone();
         fast.scenarios[0]
@@ -1022,7 +1108,7 @@ mod tests {
             .as_mut()
             .unwrap()
             .sims_per_sec *= 10.0;
-        let failures = gate_failures(&report, Some(&fast), 0.2, None, None);
+        let failures = gate_failures(&report, Some(&fast), 0.2, None, None, None);
         assert!(
             failures.iter().any(|f| f.contains("simulations/sec")),
             "{failures:?}"
@@ -1030,11 +1116,56 @@ mod tests {
     }
 
     #[test]
+    fn version_5_baselines_without_an_alloc_phase_still_parse() {
+        let path = tiny_spec_path();
+        let report = run_bench(&[path], 1, 8).unwrap();
+        // Reconstruct a version-5 document: everything v6 carries except
+        // the alloc block.
+        let mut v5_report = report.clone();
+        v5_report.version = 5;
+        let mut v5 = serde_json::to_value(&v5_report);
+        strip_key(&mut v5, "alloc");
+        let parsed: BenchReport = serde_json::from_value(&v5).unwrap();
+        assert!(parsed.scenarios[0].alloc.is_none());
+        assert!(parsed.scenarios[0].incremental_resim.is_some());
+        assert!(parsed.scenarios[0].batch_dedup.is_some());
+        // A v6 run gates cleanly against a v5 baseline — the alloc ceiling
+        // reads only the current report.
+        assert!(gate_failures(&report, Some(&parsed), 0.2, None, None, Some(1.0)).is_empty());
+        // But arming the ceiling against a report that itself lacks the
+        // phase fails loudly instead of silently passing.
+        let failures = gate_failures(&parsed, None, 0.2, None, None, Some(1.0));
+        assert!(
+            failures.iter().any(|f| f.contains("alloc phase")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn gate_enforces_the_result_slab_allocation_ceiling() {
+        let path = tiny_spec_path();
+        let report = run_bench(&[path], 1, 32).unwrap();
+        // The measured batch path sits at one slab per chunk, far below
+        // one allocation per simulation.
+        assert!(gate_failures(&report, None, 0.2, None, None, Some(0.2)).is_empty());
+        // A ceiling below the measured figure trips the gate.
+        let failures = gate_failures(&report, None, 0.2, None, None, Some(0.01));
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("result-slab allocations per simulation")),
+            "{failures:?}"
+        );
+        // Without the flag the phase is informational only.
+        assert!(gate_failures(&report, None, 0.2, None, None, None).is_empty());
+    }
+
+    #[test]
     fn gate_enforces_the_incremental_resimulation_floor() {
         let path = tiny_spec_path();
         let report = run_bench(&[path], 1, 32).unwrap();
         // An unreachable incremental floor fails.
-        let failures = gate_failures(&report, None, 0.2, None, Some(1_000_000.0));
+        let failures = gate_failures(&report, None, 0.2, None, Some(1_000_000.0), None);
         assert!(
             failures
                 .iter()
@@ -1049,13 +1180,13 @@ mod tests {
                 inc.incremental_sims = 0;
             }
         }
-        let failures = gate_failures(&ineligible, None, 0.2, None, Some(1.0));
+        let failures = gate_failures(&ineligible, None, 0.2, None, Some(1.0), None);
         assert!(
             failures.iter().any(|f| f.contains("eligibility")),
             "{failures:?}"
         );
         // Without the flag, the incremental phase is informational only.
-        assert!(gate_failures(&ineligible, None, 0.2, None, None).is_empty());
+        assert!(gate_failures(&ineligible, None, 0.2, None, None, None).is_empty());
     }
 
     #[test]
@@ -1064,7 +1195,7 @@ mod tests {
         let report = run_bench(&[path], 1, 16).unwrap();
         let mut fast = report.clone();
         fast.aggregate.as_mut().unwrap().sims_per_sec *= 10.0;
-        let failures = gate_failures(&report, Some(&fast), 0.2, None, None);
+        let failures = gate_failures(&report, Some(&fast), 0.2, None, None, None);
         assert!(
             failures.iter().any(|f| f.contains("aggregate shared-pool")),
             "{failures:?}"
@@ -1076,7 +1207,7 @@ mod tests {
         let path = tiny_spec_path();
         let report = run_bench(&[path], 1, 16).unwrap();
         // Identical runs never regress against themselves.
-        assert!(gate_failures(&report, Some(&report), 0.2, None, None).is_empty());
+        assert!(gate_failures(&report, Some(&report), 0.2, None, None, None).is_empty());
 
         // A baseline that was 10x faster trips both regression checks.
         let mut fast = report.clone();
@@ -1084,17 +1215,17 @@ mod tests {
         for point in &mut fast.scenarios[0].thread_scaling {
             point.sims_per_sec *= 10.0;
         }
-        let failures = gate_failures(&report, Some(&fast), 0.2, None, None);
+        let failures = gate_failures(&report, Some(&fast), 0.2, None, None, None);
         assert_eq!(failures.len(), 2, "{failures:?}");
 
         // An unreachable speedup requirement fails.
-        let failures = gate_failures(&report, None, 0.2, Some(1_000.0), None);
+        let failures = gate_failures(&report, None, 0.2, Some(1_000.0), None, None);
         assert!(!failures.is_empty());
 
         // A baseline scenario that was never benched fails.
         let mut renamed = report.clone();
         renamed.scenarios[0].scenario = "ghost".into();
-        let failures = gate_failures(&report, Some(&renamed), 0.2, None, None);
+        let failures = gate_failures(&report, Some(&renamed), 0.2, None, None, None);
         assert!(failures.iter().any(|f| f.contains("ghost")));
     }
 }

@@ -30,7 +30,7 @@ USAGE:
                                                 classes on one shared pool
     aarc bench <spec>... [--threads N] [--batch N] [--out FILE]
                [--baseline FILE] [--max-regress F] [--min-speedup X]
-               [--min-incremental-speedup X]
+               [--min-incremental-speedup X] [--max-allocs-per-sim F]
                                                 emit BENCH_*.json perf measurements
                                                 (thread-scaling curve, incremental
                                                 resim, batch dedup, search) and gate
@@ -473,6 +473,7 @@ fn cmd_bench(argv: &[String]) -> Result<(), String> {
             "max-regress",
             "min-speedup",
             "min-incremental-speedup",
+            "max-allocs-per-sim",
         ],
     )?;
     if args.positional().is_empty() {
@@ -489,6 +490,12 @@ fn cmd_bench(argv: &[String]) -> Result<(), String> {
     }
     let min_speedup = args.get_parsed::<f64>("min-speedup")?;
     let min_incremental = args.get_parsed::<f64>("min-incremental-speedup")?;
+    let max_allocs_per_sim = args.get_parsed::<f64>("max-allocs-per-sim")?;
+    if let Some(max) = max_allocs_per_sim {
+        if max.is_nan() || max <= 0.0 {
+            return Err(format!("--max-allocs-per-sim {max} must be positive"));
+        }
+    }
 
     let report = bench::run_bench(args.positional(), threads, batch)?;
     let mut json = serde_json::to_string_pretty(&report)
@@ -559,6 +566,7 @@ fn cmd_bench(argv: &[String]) -> Result<(), String> {
         max_regress,
         min_speedup,
         min_incremental,
+        max_allocs_per_sim,
     );
     if failures.is_empty() {
         Ok(())

@@ -253,7 +253,7 @@ fn bench_emits_schema_and_gates_against_itself() {
         serde_json::parse(&std::fs::read_to_string(&baseline).unwrap()).expect("valid JSON");
     assert_eq!(
         report.get("version").and_then(as_num),
-        Some(5.0),
+        Some(6.0),
         "BENCH schema version"
     );
     let build_info = report.get("build_info").expect("build provenance block");
@@ -277,6 +277,7 @@ fn bench_emits_schema_and_gates_against_itself() {
         "speedup",
         "incremental_resim",
         "batch_dedup",
+        "alloc",
         "search",
     ] {
         assert!(
@@ -305,6 +306,13 @@ fn bench_emits_schema_and_gates_against_itself() {
         dedup.get("dedup_hits").and_then(as_num).unwrap() > 0.0,
         "duplicate-heavy batch must record fan-out hits"
     );
+    let alloc = scenarios[0].get("alloc").unwrap();
+    // Batch 64 -> chunk width 8 -> 8 chunks -> 8 slabs over 64 sims.
+    assert_eq!(
+        alloc.get("allocs_per_sim").and_then(as_num),
+        Some(0.125),
+        "batch path must mint one result slab per chunk"
+    );
     let search = scenarios[0].get("search").unwrap();
     let hit_rate = search.get("cache_hit_rate").and_then(as_num).unwrap();
     assert!(hit_rate > 0.0, "search phase must produce cache hits");
@@ -330,6 +338,8 @@ fn bench_emits_schema_and_gates_against_itself() {
                 "64",
                 "--max-regress",
                 "9.0",
+                "--max-allocs-per-sim",
+                "0.2",
                 "--baseline",
             ])
             .arg(&baseline)

@@ -959,11 +959,11 @@ impl EvalService {
             let mut scratch = self.take_scratch();
             let mut batch = BatchSim::new(&data.scenario, input);
             let mut results = Vec::with_capacity(pending.len());
+            let mut job_list: Vec<(&ConfigMap, u64)> = Vec::with_capacity(chunk);
             for jobs in pending.chunks(chunk) {
-                batch.clear_anchor();
-                for (i, _, seed) in jobs {
-                    results.push(batch.simulate(&mut scratch, &candidates[*i], *seed));
-                }
+                job_list.clear();
+                job_list.extend(jobs.iter().map(|(i, _, seed)| (&candidates[*i], *seed)));
+                results.extend(batch.simulate_chunk(&mut scratch, &job_list));
             }
             self.put_scratch(scratch);
             return results;
@@ -988,16 +988,13 @@ impl EvalService {
                         let mut batch = BatchSim::new(&data.scenario, input);
                         let mut done: Vec<(usize, Vec<Result<SimResult, SimulatorError>>)> =
                             Vec::new();
+                        let mut job_list: Vec<(&ConfigMap, u64)> = Vec::with_capacity(chunk);
                         while let Some(c) = Self::next_chunk(queues, w) {
-                            batch.clear_anchor();
                             let jobs = &pending[c * chunk..pending.len().min((c + 1) * chunk)];
-                            let results = jobs
-                                .iter()
-                                .map(|(i, _, seed)| {
-                                    batch.simulate(&mut scratch, &candidates[*i], *seed)
-                                })
-                                .collect::<Vec<_>>();
-                            done.push((c, results));
+                            job_list.clear();
+                            job_list
+                                .extend(jobs.iter().map(|(i, _, seed)| (&candidates[*i], *seed)));
+                            done.push((c, batch.simulate_chunk(&mut scratch, &job_list)));
                         }
                         self.put_scratch(scratch);
                         done
@@ -1276,6 +1273,15 @@ impl<'s> ScenarioHandle<'s> {
     /// simulate once and fan the result out.
     pub fn batch_dedup_hits(&self) -> u64 {
         self.data.counters.batch_dedup.load(Ordering::Relaxed)
+    }
+
+    /// The service-wide kernel work counters (shared across scenarios —
+    /// scratch arenas are pooled service-wide). Exposes the layout
+    /// observables [`KernelCounters::allocs_per_sim`] and
+    /// [`KernelCounters::bytes_per_sim`] next to the per-path simulation
+    /// split.
+    pub fn kernel_counters(&self) -> KernelCounters {
+        self.service.kernel_counters()
     }
 }
 

@@ -20,7 +20,8 @@
 //!   states, execution records, cluster placement state and the capacity
 //!   wait queue. A worker resets it between candidates instead of
 //!   reallocating; after warm-up a simulation performs no heap allocation
-//!   beyond the one `Arc` that carries its result out.
+//!   beyond the shared result slab (one `Arc` per batch *chunk* since
+//!   round three; one per result on the solo entry points).
 //! * [`SimResult`] — the lean searcher-facing result: makespan, cost, OOM
 //!   flag and per-node timings behind an `Arc`, so the memo-cache clones it
 //!   with a reference-count bump. No `String`s, no trace. The full
@@ -53,7 +54,39 @@
 //! `PathConfigState` probes touch one path suffix at a time) and
 //! [`BatchSim`], which chains candidates of one batch so each result
 //! anchors the next and the per-edge transfer table is computed once.
+//!
+//! # Round three: data layout
+//!
+//! With the algorithmic fast paths in place, profiling moved the bottleneck
+//! to memory layout, and this round rebuilds the hot loop around it:
+//!
+//! * **Structure-of-arrays scratch.** The relaxation no longer walks
+//!   mixed-field `NodeSimOutcome` rows; [`SimScratch`] owns dense outcome
+//!   *columns* (`start_ms[]`, `end_ms[]`, `runtime_ms[]`, `cost[]` and a
+//!   packed `oom` bitset) that the kernel updates in place. An incremental
+//!   pass reads predecessor finish times from one contiguous `f64` column
+//!   and leaves unaffected nodes untouched — the old per-candidate
+//!   anchor-row copy is gone entirely.
+//! * **Branch-light relaxation.** The per-node ready time is a plain `f64`
+//!   max-reduction over the predecessor CSR (`ms_to_ticks` is monotone, so
+//!   hoisting it out of the loop is bit-exact), and the changed/affected
+//!   sets are packed `u64` bitmask words instead of `Vec<bool>` — the inner
+//!   loops are autovectorizable passes over flat arrays.
+//! * **Slab-pooled results.** [`BatchSim::simulate_chunk`] stages every
+//!   outcome row of a scheduler chunk into one arena and freezes it with a
+//!   *single* `Arc<[NodeSimOutcome]>` allocation; each [`SimResult`] is an
+//!   `(offset, len)` view into that shared slab. The allocator leaves the
+//!   batch miss path: one heap allocation per chunk instead of one per
+//!   simulation (solo entry points still mint one slab per result). The
+//!   trade: a memoised result keeps its whole chunk slab alive — bounded by
+//!   `chunk × n × 40` bytes per pinned slab, which the memo-cache capacity
+//!   caps. [`KernelCounters::result_slab_allocs`] /
+//!   [`KernelCounters::result_slab_bytes`] make the layout observable, so a
+//!   regression shows up in `aarc bench`'s allocs/sim gate, not just in
+//!   wall-clock.
 
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -108,19 +141,51 @@ pub struct NodeSimOutcome {
 ///
 /// Cloning is a reference-count bump plus a handful of scalars — no
 /// `String`s, no trace, no per-node reallocation — which is what makes
-/// cache hits nearly free. The result remembers the `(input, seed)` it was
-/// produced under so the matching full
+/// cache hits nearly free. Since round three the per-node rows live in a
+/// shared refcounted *slab*: results minted by
+/// [`BatchSim::simulate_chunk`] are `(offset, len)` views into one
+/// arena-per-chunk allocation, so the batch miss path allocates once per
+/// chunk rather than once per simulation. Equality compares the visible
+/// rows and scalars, never slab identity. The result remembers the
+/// `(input, seed)` it was produced under so the matching full
 /// [`ExecutionReport`](crate::executor::ExecutionReport) can be
 /// re-materialised on demand (see
 /// [`EvalEngine::materialize_result`](crate::eval::EvalEngine::materialize_result)).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct SimResult {
-    nodes: Arc<[NodeSimOutcome]>,
+    slab: Arc<[NodeSimOutcome]>,
+    offset: u32,
+    len: u32,
     makespan_ms: f64,
     total_cost: f64,
     any_oom: bool,
     input: InputSpec,
     seed: u64,
+}
+
+impl PartialEq for SimResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.makespan_ms == other.makespan_ms
+            && self.total_cost == other.total_cost
+            && self.any_oom == other.any_oom
+            && self.input == other.input
+            && self.seed == other.seed
+            && self.executions() == other.executions()
+    }
+}
+
+impl fmt::Debug for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Print the view, not the (possibly chunk-wide) backing slab.
+        f.debug_struct("SimResult")
+            .field("nodes", &self.executions())
+            .field("makespan_ms", &self.makespan_ms)
+            .field("total_cost", &self.total_cost)
+            .field("any_oom", &self.any_oom)
+            .field("input", &self.input)
+            .field("seed", &self.seed)
+            .finish()
+    }
 }
 
 impl SimResult {
@@ -146,12 +211,13 @@ impl SimResult {
 
     /// Per-function outcomes, indexed by node index.
     pub fn executions(&self) -> &[NodeSimOutcome] {
-        &self.nodes
+        let lo = self.offset as usize;
+        &self.slab[lo..lo + self.len as usize]
     }
 
     /// The outcome of one function (O(1) — nodes are stored densely).
     pub fn execution(&self, node: NodeId) -> Option<NodeSimOutcome> {
-        self.nodes.get(node.index()).copied()
+        self.executions().get(node.index()).copied()
     }
 
     /// Billed runtime of one function, if it ran.
@@ -166,12 +232,12 @@ impl SimResult {
 
     /// Number of functions that ran.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.len as usize
     }
 
     /// Returns `true` if the result covers no functions.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len == 0
     }
 
     /// The input the simulation ran with.
@@ -227,6 +293,112 @@ impl NodeRecord {
     };
 }
 
+/// A packed bitmask over node indices: one `u64` word per 64 nodes.
+///
+/// Replaces the round-two `Vec<bool>` changed/affected sets — word-wide
+/// clears, copies and popcounts instead of byte-per-node traffic.
+#[derive(Debug, Default, Clone)]
+struct BitMask {
+    words: Vec<u64>,
+}
+
+impl BitMask {
+    /// Resizes to cover `n` bits, all cleared.
+    fn reset(&mut self, n: usize) {
+        self.words.clear();
+        self.words.resize(n.div_ceil(64), 0);
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 != 0
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    #[inline]
+    fn assign(&mut self, i: usize, value: bool) {
+        let word = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if value {
+            *word |= bit;
+        } else {
+            *word &= !bit;
+        }
+    }
+
+    /// Copies `other`'s bits, reusing this mask's allocation.
+    fn copy_from(&mut self, other: &BitMask) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+    }
+
+    fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+}
+
+/// Dense structure-of-arrays outcome columns: the round-three layout the
+/// relaxation streams through. One entry per node, candidate-major (the
+/// columns always hold exactly one candidate's outcome; an incremental
+/// pass edits the affected entries in place).
+#[derive(Debug, Default)]
+struct Columns {
+    start_ms: Vec<f64>,
+    end_ms: Vec<f64>,
+    runtime_ms: Vec<f64>,
+    cost: Vec<f64>,
+    oom: BitMask,
+}
+
+impl Columns {
+    fn len(&self) -> usize {
+        self.end_ms.len()
+    }
+
+    /// Resizes every column to `n` zeroed entries.
+    fn reset(&mut self, n: usize) {
+        self.start_ms.clear();
+        self.start_ms.resize(n, 0.0);
+        self.end_ms.clear();
+        self.end_ms.resize(n, 0.0);
+        self.runtime_ms.clear();
+        self.runtime_ms.resize(n, 0.0);
+        self.cost.clear();
+        self.cost.resize(n, 0.0);
+        self.oom.reset(n);
+    }
+
+    /// Gathers AoS rows (an anchor result) into the columns.
+    fn load(&mut self, rows: &[NodeSimOutcome]) {
+        self.reset(rows.len());
+        for (i, r) in rows.iter().enumerate() {
+            self.start_ms[i] = r.start_ms;
+            self.end_ms[i] = r.end_ms;
+            self.runtime_ms[i] = r.runtime_ms;
+            self.cost[i] = r.cost;
+            self.oom.assign(i, r.oom);
+        }
+    }
+}
+
+/// The scalar reductions of one simulation, computed over the columns (or
+/// staged rows) in node order — the same order every result path has always
+/// used, so they are bit-identical across paths.
+#[derive(Debug, Clone, Copy)]
+struct RelaxSummary {
+    makespan_ms: f64,
+    total_cost: f64,
+    any_oom: bool,
+}
+
 /// The reusable per-worker simulation arena.
 ///
 /// Owns every growable buffer a simulation needs — the event heap, node
@@ -244,15 +416,42 @@ pub struct SimScratch {
     waiting: Vec<NodeId>,
     waiting_swap: Vec<NodeId>,
     counters: KernelCounters,
-    // Relaxation-path buffers: per-node outcomes, the changed/affected
-    // masks of an incremental run, the BFS frontier that closes `changed`
-    // over descendants, and the per-pred-edge transfer table.
-    outcomes: Vec<NodeSimOutcome>,
-    changed: Vec<bool>,
-    affected: Vec<bool>,
+    // Relaxation-path buffers: the dense SoA outcome columns, the packed
+    // changed/affected masks of an incremental run, the BFS frontier that
+    // closes `changed` over descendants, and the per-pred-edge transfer
+    // table.
+    cols: Columns,
+    changed: BitMask,
+    affected: BitMask,
     frontier: Vec<u32>,
     pred_transfer: Vec<f64>,
+    // Result staging: outcome rows accumulate here and are frozen into one
+    // refcounted slab per chunk (batch path) or per result (solo paths).
+    rows: Vec<NodeSimOutcome>,
+    // Retired result slabs kept for recycling. Once every `SimResult`
+    // sharing a slab has been dropped the allocation becomes unique again
+    // (`Arc::get_mut` succeeds) and the next freeze of the same length
+    // overwrites it in place instead of allocating. Without this, a batch
+    // retires its whole band of chunk slabs at once — a contiguous free
+    // large enough to make glibc trim the heap top every batch, and the
+    // page-fault churn of re-growing it dominated the sequential path.
+    slab_pool: Vec<Arc<[NodeSimOutcome]>>,
+    // Chain-token state: `id` names this scratch (lazily drawn from
+    // `NEXT_SCRATCH_ID`, 0 = unnamed), `cols_epoch` counts column
+    // rewrites. Together they let a `BatchSim` prove its anchor's outcome
+    // still sits in `cols` and skip the AoS→SoA reload on chained calls.
+    id: u64,
+    cols_epoch: u64,
 }
+
+/// Source of fresh [`SimScratch::id`] values; 0 is reserved for "unnamed".
+static NEXT_SCRATCH_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Retired-slab slots a scratch keeps for recycling. Covers the in-flight
+/// chunk count of the largest batches the scheduler produces (chunk sizing
+/// targets 64 chunks per batch) plus solo-path slabs; overflow slabs simply
+/// stay unpooled and free normally.
+const SLAB_POOL_CAP: usize = 128;
 
 /// Work counters accumulated by the simulation kernel.
 ///
@@ -277,6 +476,14 @@ pub struct KernelCounters {
     pub incremental_sims: u64,
     /// Node outcomes copied verbatim from an anchor instead of recomputed.
     pub nodes_reused: u64,
+    /// Result-slab allocations: the heap allocations that carry outcome
+    /// rows out of the kernel. At most one per chunk on the batch path and
+    /// one per result on the solo paths — recycled retired slabs count
+    /// zero — so `result_slab_allocs / sims` is the layout-regression
+    /// canary `aarc bench` gates on.
+    pub result_slab_allocs: u64,
+    /// Bytes of `NodeSimOutcome` storage those slabs carried.
+    pub result_slab_bytes: u64,
 }
 
 impl KernelCounters {
@@ -289,6 +496,29 @@ impl KernelCounters {
         self.relaxed_sims += other.relaxed_sims;
         self.incremental_sims += other.incremental_sims;
         self.nodes_reused += other.nodes_reused;
+        self.result_slab_allocs += other.result_slab_allocs;
+        self.result_slab_bytes += other.result_slab_bytes;
+    }
+
+    /// Average result-slab heap allocations per completed simulation
+    /// (`0.0` before any simulation ran). The chunked batch path sits well
+    /// below 1; solo evaluation is exactly 1.
+    pub fn allocs_per_sim(&self) -> f64 {
+        if self.sims == 0 {
+            0.0
+        } else {
+            self.result_slab_allocs as f64 / self.sims as f64
+        }
+    }
+
+    /// Average result-slab bytes per completed simulation (`0.0` before
+    /// any simulation ran).
+    pub fn bytes_per_sim(&self) -> f64 {
+        if self.sims == 0 {
+            0.0
+        } else {
+            self.result_slab_bytes as f64 / self.sims as f64
+        }
     }
 }
 
@@ -309,6 +539,18 @@ impl SimScratch {
         self.counters
     }
 
+    /// Identifies the current contents of the outcome columns: `(scratch
+    /// identity, relaxation epoch)`. Every [`CompiledScenario::relax_cols`]
+    /// run bumps the epoch, so a [`BatchSim`] that recorded the token when
+    /// it minted its anchor can later prove the columns still hold exactly
+    /// that result — and skip reloading them from the anchor slab.
+    fn chain_token(&mut self) -> (u64, u64) {
+        if self.id == 0 {
+            self.id = NEXT_SCRATCH_ID.fetch_add(1, Ordering::Relaxed);
+        }
+        (self.id, self.cols_epoch)
+    }
+
     /// Prepares the scratch for one run of `scenario`, reusing every
     /// allocation.
     fn reset(&mut self, scenario: &CompiledScenario) {
@@ -324,6 +566,81 @@ impl SimScratch {
         self.cluster.reset(&scenario.cluster);
         self.waiting.clear();
         self.waiting_swap.clear();
+    }
+
+    /// Appends the event loop's records to the row staging area and
+    /// computes the scalar reductions over the appended rows in node order
+    /// (the order every result path uses).
+    fn stage_records(&mut self) -> RelaxSummary {
+        let offset = self.rows.len();
+        self.rows
+            .extend(self.records.iter().map(|r| NodeSimOutcome {
+                start_ms: r.start_ms,
+                end_ms: r.end_ms,
+                runtime_ms: r.runtime_ms,
+                cost: r.cost,
+                oom: r.oom,
+            }));
+        let fresh = &self.rows[offset..];
+        RelaxSummary {
+            makespan_ms: fresh.iter().map(|e| e.end_ms).fold(0.0, f64::max),
+            total_cost: fresh.iter().map(|e| e.cost).sum(),
+            any_oom: fresh.iter().any(|e| e.oom),
+        }
+    }
+
+    /// Freezes the staged rows into one refcounted slab — at most one heap
+    /// allocation (plus memcpy) per freeze, counted against
+    /// [`KernelCounters::result_slab_allocs`].
+    ///
+    /// Prefers recycling: a pooled slab whose every result has been
+    /// dropped is overwritten wholesale and handed out again, allocating
+    /// nothing. Slabs still referenced by live results (or pinned by the
+    /// memo-cache) are never touched — `Arc::get_mut` proves uniqueness —
+    /// so recycling cannot alter any observable result bytes.
+    fn freeze_rows(&mut self) -> Arc<[NodeSimOutcome]> {
+        let mut dead = None;
+        for (i, slot) in self.slab_pool.iter_mut().enumerate() {
+            if slot.len() == self.rows.len() {
+                if let Some(buf) = Arc::get_mut(slot) {
+                    buf.copy_from_slice(&self.rows);
+                    return Arc::clone(slot);
+                }
+            } else if Arc::get_mut(slot).is_some() {
+                // A retired slab of the wrong length: remember it as the
+                // replacement victim so the pool adapts when chunk or
+                // workflow sizes change.
+                dead.get_or_insert(i);
+            }
+        }
+        let slab: Arc<[NodeSimOutcome]> = self.rows.as_slice().into();
+        self.counters.result_slab_allocs += 1;
+        self.counters.result_slab_bytes +=
+            (slab.len() * std::mem::size_of::<NodeSimOutcome>()) as u64;
+        if !slab.is_empty() {
+            if self.slab_pool.len() < SLAB_POOL_CAP {
+                self.slab_pool.push(Arc::clone(&slab));
+            } else if let Some(i) = dead {
+                self.slab_pool[i] = Arc::clone(&slab);
+            }
+        }
+        slab
+    }
+
+    /// Mints a solo result from the staged rows (offset 0, own slab).
+    fn mint_staged(&mut self, summary: RelaxSummary, input: InputSpec, seed: u64) -> SimResult {
+        let len = self.rows.len() as u32;
+        let slab = self.freeze_rows();
+        SimResult {
+            slab,
+            offset: 0,
+            len,
+            makespan_ms: summary.makespan_ms,
+            total_cost: summary.total_cost,
+            any_oom: summary.any_oom,
+            input,
+            seed,
+        }
     }
 }
 
@@ -532,9 +849,10 @@ impl CompiledScenario {
             self.validate(configs)?;
             let mut transfer = std::mem::take(&mut scratch.pred_transfer);
             self.fill_pred_transfer(input, &mut transfer);
-            let result = self.relax(scratch, configs, input, seed, &transfer, None);
+            scratch.rows.clear();
+            let summary = self.relax_cols(scratch, configs.as_slice(), input, &transfer, None);
             scratch.pred_transfer = transfer;
-            return Ok(result);
+            return Ok(scratch.mint_staged(summary, input, seed));
         }
         self.simulate_reference(scratch, configs, input, seed)
     }
@@ -556,29 +874,10 @@ impl CompiledScenario {
         seed: u64,
     ) -> Result<SimResult, SimulatorError> {
         self.run(scratch, configs, input, seed, None)?;
-        let nodes: Arc<[NodeSimOutcome]> = scratch
-            .records
-            .iter()
-            .map(|r| NodeSimOutcome {
-                start_ms: r.start_ms,
-                end_ms: r.end_ms,
-                runtime_ms: r.runtime_ms,
-                cost: r.cost,
-                oom: r.oom,
-            })
-            .collect();
+        scratch.rows.clear();
         // Same reduction order as the pre-compiled executor (node order).
-        let makespan_ms = nodes.iter().map(|e| e.end_ms).fold(0.0, f64::max);
-        let total_cost = nodes.iter().map(|e| e.cost).sum();
-        let any_oom = nodes.iter().any(|e| e.oom);
-        Ok(SimResult {
-            nodes,
-            makespan_ms,
-            total_cost,
-            any_oom,
-            input,
-            seed,
-        })
+        let summary = scratch.stage_records();
+        Ok(scratch.mint_staged(summary, input, seed))
     }
 
     /// Re-simulates `configs` by reusing `anchor_result`'s timeline for
@@ -613,16 +912,17 @@ impl CompiledScenario {
         }
         let mut transfer = std::mem::take(&mut scratch.pred_transfer);
         self.fill_pred_transfer(input, &mut transfer);
-        let result = self.relax(
+        scratch.cols.load(anchor_result.executions());
+        scratch.rows.clear();
+        let summary = self.relax_cols(
             scratch,
-            configs,
+            configs.as_slice(),
             input,
-            seed,
             &transfer,
-            Some((anchor_configs.as_slice(), anchor_result)),
+            Some(anchor_configs.as_slice()),
         );
         scratch.pred_transfer = transfer;
-        Some(result)
+        Some(scratch.mint_staged(summary, input, seed))
     }
 
     /// Returns `true` when the topological relaxation path is *provably*
@@ -685,152 +985,245 @@ impl CompiledScenario {
         );
     }
 
-    /// The heap-free relaxation core. Preconditions (enforced by callers):
-    /// `validate(configs)` passed, `configs` — and the anchor's configs,
-    /// when present — satisfy [`CompiledScenario::relaxation_exact`], and
-    /// the anchor was produced under the same `input`. Under those
-    /// preconditions every function starts the tick its last input arrives,
-    /// so one pass in topological order performs the same floating-point
-    /// operations in the same order as the event loop's `try_start`:
-    /// `ready = max(ms_to_ticks(pred.end + transfer))` (u64 max commutes,
-    /// so predecessor order is irrelevant), `start = ticks_to_ms(ready)`,
-    /// `end = (start + cold_start) + runtime`.
-    fn relax(
+    /// The heap-free relaxation core, round-three form: one in-place pass
+    /// over the dense outcome columns. Preconditions (enforced by
+    /// callers): `validate(configs)` passed, `configs` — and the anchor's
+    /// configs, when editing — satisfy
+    /// [`CompiledScenario::relaxation_exact`], the anchor was produced
+    /// under the same `input`, and on the edit path `scratch.cols` holds
+    /// the anchor's outcome columns. Under those preconditions every
+    /// function starts the tick its last input arrives, so one pass in
+    /// topological order performs the same floating-point operations in
+    /// the same order as the event loop's `try_start`. The ready time is a
+    /// branch-light `f64` max-reduction over the predecessor CSR —
+    /// `ms_to_ticks` is monotone non-decreasing, so
+    /// `max(ms_to_ticks(pred.end + transfer)) =
+    /// ms_to_ticks(max(pred.end + transfer))` and hoisting the conversion
+    /// out of the loop is bit-exact; then `start = ticks_to_ms(ready)` and
+    /// `end = (start + cold_start) + runtime` exactly as before.
+    ///
+    /// Leaves the candidate's outcome in `scratch.cols` (so a batch chains
+    /// it as the next candidate's anchor without any copying), appends the
+    /// candidate's `NodeSimOutcome` rows to `scratch.rows` in the same
+    /// pass (a fused store next to the column stores, cheaper than a
+    /// separate SoA→AoS scatter), and returns the scalar reductions;
+    /// callers freeze the staged rows and mint the result.
+    fn relax_cols(
         &self,
         scratch: &mut SimScratch,
-        configs: &ConfigMap,
+        cfgs: &[ResourceConfig],
         input: InputSpec,
-        seed: u64,
         transfer_ms: &[f64],
-        anchor: Option<(&[ResourceConfig], &SimResult)>,
-    ) -> SimResult {
+        edit: Option<&[ResourceConfig]>,
+    ) -> RelaxSummary {
         let n = self.n;
-        let cfgs = configs.as_slice();
+        scratch.cols_epoch += 1;
+        let SimScratch {
+            cols,
+            changed,
+            affected,
+            frontier,
+            counters,
+            rows,
+            ..
+        } = scratch;
 
-        // `changed`: nodes whose profile must be re-evaluated. `affected`:
-        // changed ∪ descendants(changed) — nodes whose timeline must be
-        // recomputed. Everything else is copied from the anchor verbatim.
-        scratch.changed.clear();
-        scratch.affected.clear();
-        match anchor {
+        // The candidate's result row is written in the same pass as the
+        // columns (one store next to the column stores beats a separate
+        // SoA→AoS scatter over the whole chunk).
+        let base = rows.len();
+
+        let mut reused = 0u64;
+        match edit {
             None => {
-                scratch.changed.resize(n, true);
-                scratch.affected.resize(n, true);
+                rows.resize(
+                    base + n,
+                    NodeSimOutcome {
+                        start_ms: 0.0,
+                        end_ms: 0.0,
+                        runtime_ms: 0.0,
+                        cost: 0.0,
+                        oom: false,
+                    },
+                );
+                let seg = &mut rows[base..];
+                // Full pass: every node recomputed, no masks consulted.
+                cols.reset(n);
+                for &t in &self.topo_order {
+                    let i = t as usize;
+                    let lo = self.pred_offsets[i] as usize;
+                    let hi = self.pred_offsets[i + 1] as usize;
+                    let mut latest = f64::NEG_INFINITY;
+                    for (&src, &edge_ms) in
+                        self.pred_sources[lo..hi].iter().zip(&transfer_ms[lo..hi])
+                    {
+                        latest = latest.max(cols.end_ms[src as usize] + edge_ms);
+                    }
+                    let ready_ticks: SimTime = if hi > lo { ms_to_ticks(latest) } else { 0 };
+                    let config = cfgs[i];
+                    let (runtime_ms, oom) = match self.profiles[i].evaluate(config, input) {
+                        InvocationOutcome::Completed { runtime_ms } => (runtime_ms, false),
+                        InvocationOutcome::OutOfMemory { .. } => (OOM_KILL_MS, true),
+                    };
+                    let cost = self.pricing.invocation_cost(config, runtime_ms);
+                    let start_ms = ticks_to_ms(ready_ticks);
+                    let end_ms = start_ms + self.cluster.cold_start.latency_ms(config) + runtime_ms;
+                    cols.start_ms[i] = start_ms;
+                    cols.end_ms[i] = end_ms;
+                    cols.runtime_ms[i] = runtime_ms;
+                    cols.cost[i] = cost;
+                    cols.oom.assign(i, oom);
+                    seg[i] = NodeSimOutcome {
+                        start_ms,
+                        end_ms,
+                        runtime_ms,
+                        cost,
+                        oom,
+                    };
+                }
             }
-            Some((anchor_cfgs, _)) => {
-                scratch
-                    .changed
-                    .extend(cfgs.iter().zip(anchor_cfgs).map(|(a, b)| {
-                        a.vcpu.get().to_bits() != b.vcpu.get().to_bits()
-                            || a.memory.get() != b.memory.get()
-                    }));
-                scratch.affected.extend_from_slice(&scratch.changed);
-                scratch.frontier.clear();
-                scratch
-                    .frontier
-                    .extend((0..n as u32).filter(|&i| scratch.changed[i as usize]));
-                while let Some(node) = scratch.frontier.pop() {
+            Some(anchor_cfgs) => {
+                debug_assert_eq!(cols.len(), n, "edit requires anchor columns");
+                // `changed`: nodes whose profile must be re-evaluated.
+                // `affected`: changed ∪ descendants(changed) — nodes whose
+                // timeline must be recomputed. Everything else keeps its
+                // anchor entry, untouched in place.
+                changed.reset(n);
+                for i in 0..n {
+                    let (a, b) = (cfgs[i], anchor_cfgs[i]);
+                    if a.vcpu.get().to_bits() != b.vcpu.get().to_bits()
+                        || a.memory.get() != b.memory.get()
+                    {
+                        changed.set(i);
+                    }
+                }
+                affected.copy_from(changed);
+                frontier.clear();
+                frontier.extend((0..n as u32).filter(|&i| changed.get(i as usize)));
+                while let Some(node) = frontier.pop() {
                     let lo = self.succ_offsets[node as usize] as usize;
                     let hi = self.succ_offsets[node as usize + 1] as usize;
                     for &succ in &self.succ_targets[lo..hi] {
-                        if !scratch.affected[succ as usize] {
-                            scratch.affected[succ as usize] = true;
-                            scratch.frontier.push(succ);
+                        if !affected.get(succ as usize) {
+                            affected.set(succ as usize);
+                            frontier.push(succ);
                         }
                     }
+                }
+                reused = n as u64 - affected.count_ones();
+
+                if reused > 0 {
+                    // Append the anchor's rows for every node in one
+                    // branch-free column sweep — reused nodes are now
+                    // final, and the loop below overwrites the recomputed
+                    // ones. This beats a per-node `affected` test (and a
+                    // default-fill resize) on the suffix-edit chains where
+                    // most of the workflow is reused.
+                    rows.extend(
+                        cols.start_ms
+                            .iter()
+                            .zip(&cols.end_ms)
+                            .zip(&cols.runtime_ms)
+                            .zip(&cols.cost)
+                            .enumerate()
+                            .map(|(i, (((&start_ms, &end_ms), &runtime_ms), &cost))| {
+                                NodeSimOutcome {
+                                    start_ms,
+                                    end_ms,
+                                    runtime_ms,
+                                    cost,
+                                    oom: cols.oom.get(i),
+                                }
+                            }),
+                    );
+                } else {
+                    // Every node is affected: the loop below writes each
+                    // row exactly once, so a cheap default fill suffices.
+                    rows.resize(
+                        base + n,
+                        NodeSimOutcome {
+                            start_ms: 0.0,
+                            end_ms: 0.0,
+                            runtime_ms: 0.0,
+                            cost: 0.0,
+                            oom: false,
+                        },
+                    );
+                }
+                let seg = &mut rows[base..];
+
+                for &t in &self.topo_order {
+                    let i = t as usize;
+                    if !affected.get(i) {
+                        continue;
+                    }
+                    let lo = self.pred_offsets[i] as usize;
+                    let hi = self.pred_offsets[i + 1] as usize;
+                    let mut latest = f64::NEG_INFINITY;
+                    for (&src, &edge_ms) in
+                        self.pred_sources[lo..hi].iter().zip(&transfer_ms[lo..hi])
+                    {
+                        latest = latest.max(cols.end_ms[src as usize] + edge_ms);
+                    }
+                    let ready_ticks: SimTime = if hi > lo { ms_to_ticks(latest) } else { 0 };
+                    let config = cfgs[i];
+                    let (runtime_ms, cost, oom) = if changed.get(i) {
+                        let (runtime_ms, oom) = match self.profiles[i].evaluate(config, input) {
+                            InvocationOutcome::Completed { runtime_ms } => (runtime_ms, false),
+                            InvocationOutcome::OutOfMemory { .. } => (OOM_KILL_MS, true),
+                        };
+                        (
+                            runtime_ms,
+                            self.pricing.invocation_cost(config, runtime_ms),
+                            oom,
+                        )
+                    } else {
+                        // Same config, no jitter: runtime, cost and the OOM
+                        // verdict are pure functions of (config, input) —
+                        // keep the anchor's, still sitting in the columns.
+                        (cols.runtime_ms[i], cols.cost[i], cols.oom.get(i))
+                    };
+                    let start_ms = ticks_to_ms(ready_ticks);
+                    let end_ms = start_ms + self.cluster.cold_start.latency_ms(config) + runtime_ms;
+                    cols.start_ms[i] = start_ms;
+                    cols.end_ms[i] = end_ms;
+                    cols.runtime_ms[i] = runtime_ms;
+                    cols.cost[i] = cost;
+                    cols.oom.assign(i, oom);
+                    seg[i] = NodeSimOutcome {
+                        start_ms,
+                        end_ms,
+                        runtime_ms,
+                        cost,
+                        oom,
+                    };
                 }
             }
         }
 
-        scratch.outcomes.clear();
-        match anchor {
-            Some((_, anchor_result)) => {
-                scratch
-                    .outcomes
-                    .extend_from_slice(anchor_result.executions());
-            }
-            None => scratch.outcomes.resize(
-                n,
-                NodeSimOutcome {
-                    start_ms: 0.0,
-                    end_ms: 0.0,
-                    runtime_ms: 0.0,
-                    cost: 0.0,
-                    oom: false,
-                },
-            ),
-        }
-
-        let mut reused = 0u64;
-        for &t in &self.topo_order {
-            let i = t as usize;
-            if !scratch.affected[i] {
-                reused += 1;
-                continue;
-            }
-            let lo = self.pred_offsets[i] as usize;
-            let hi = self.pred_offsets[i + 1] as usize;
-            let mut ready_ticks: SimTime = 0;
-            for (&src, &edge_ms) in self.pred_sources[lo..hi].iter().zip(&transfer_ms[lo..hi]) {
-                let p = src as usize;
-                let arrive = ms_to_ticks(scratch.outcomes[p].end_ms + edge_ms);
-                ready_ticks = ready_ticks.max(arrive);
-            }
-            let config = cfgs[i];
-            let (runtime_ms, cost, oom) = if scratch.changed[i] {
-                let (runtime_ms, oom) = match self.profiles[i].evaluate(config, input) {
-                    InvocationOutcome::Completed { runtime_ms } => (runtime_ms, false),
-                    InvocationOutcome::OutOfMemory { .. } => (OOM_KILL_MS, true),
-                };
-                (
-                    runtime_ms,
-                    self.pricing.invocation_cost(config, runtime_ms),
-                    oom,
-                )
-            } else {
-                // Same config, no jitter: runtime, cost and the OOM verdict
-                // are pure functions of (config, input) — copy the anchor's.
-                let prev = scratch.outcomes[i];
-                (prev.runtime_ms, prev.cost, prev.oom)
-            };
-            let start_ms = ticks_to_ms(ready_ticks);
-            let cold_start_ms = self.cluster.cold_start.latency_ms(config);
-            let end_ms = start_ms + cold_start_ms + runtime_ms;
-            scratch.outcomes[i] = NodeSimOutcome {
-                start_ms,
-                end_ms,
-                runtime_ms,
-                cost,
-                oom,
-            };
-        }
-
-        let nodes: Arc<[NodeSimOutcome]> = scratch.outcomes.as_slice().into();
-        // Same reduction order as the event loop (node order).
-        let makespan_ms = nodes.iter().map(|e| e.end_ms).fold(0.0, f64::max);
-        let total_cost = nodes.iter().map(|e| e.cost).sum();
-        let any_oom = nodes.iter().any(|e| e.oom);
+        // Same reduction order as the event loop (node order), now as flat
+        // column sweeps.
+        let makespan_ms = cols.end_ms.iter().copied().fold(0.0, f64::max);
+        let total_cost = cols.cost.iter().sum();
+        let any_oom = cols.oom.any();
 
         // Counter semantics mirror a full event-loop run of the same
         // simulated world: every function "starts" once, OOM verdicts
         // included, plus the round-two accounting of which path served it.
-        scratch.counters.sims += 1;
-        scratch.counters.node_starts += n as u64;
-        scratch.counters.oom_kills += nodes.iter().filter(|e| e.oom).count() as u64;
-        if anchor.is_some() {
-            scratch.counters.incremental_sims += 1;
-            scratch.counters.nodes_reused += reused;
+        counters.sims += 1;
+        counters.node_starts += n as u64;
+        counters.oom_kills += cols.oom.count_ones();
+        if edit.is_some() {
+            counters.incremental_sims += 1;
+            counters.nodes_reused += reused;
         } else {
-            scratch.counters.relaxed_sims += 1;
+            counters.relaxed_sims += 1;
         }
 
-        SimResult {
-            nodes,
+        RelaxSummary {
             makespan_ms,
             total_cost,
             any_oom,
-            input,
-            seed,
         }
     }
 
@@ -1096,6 +1489,10 @@ pub struct BatchSim<'a> {
     transfer_ms: Vec<f64>,
     anchor_configs: Vec<ResourceConfig>,
     anchor: Option<SimResult>,
+    /// Chain token recorded when `anchor` was minted: while the scratch
+    /// passed to the next call still matches, its columns provably hold
+    /// the anchor's outcome and the AoS->SoA reload is skipped.
+    anchor_cols: Option<(u64, u64)>,
 }
 
 impl<'a> BatchSim<'a> {
@@ -1110,6 +1507,7 @@ impl<'a> BatchSim<'a> {
             transfer_ms,
             anchor_configs: Vec::new(),
             anchor: None,
+            anchor_cols: None,
         }
     }
 
@@ -1125,6 +1523,7 @@ impl<'a> BatchSim<'a> {
     pub fn clear_anchor(&mut self) {
         self.anchor = None;
         self.anchor_configs.clear();
+        self.anchor_cols = None;
     }
 
     /// Seeds the incremental anchor from an already-computed result — e.g.
@@ -1139,13 +1538,17 @@ impl<'a> BatchSim<'a> {
             self.anchor_configs.clear();
             self.anchor_configs.extend_from_slice(configs.as_slice());
             self.anchor = Some(result.clone());
+            // Externally-minted result: the columns' contents are unknown.
+            self.anchor_cols = None;
         } else {
             self.clear_anchor();
         }
     }
 
     /// Simulates one candidate through the cheapest exact path, updating
-    /// the anchor for the next call.
+    /// the anchor for the next call. Each result mints its own slab; the
+    /// batch scheduler's hot path is [`BatchSim::simulate_chunk`], which
+    /// amortises that allocation across a whole chunk.
     ///
     /// # Errors
     ///
@@ -1158,21 +1561,35 @@ impl<'a> BatchSim<'a> {
     ) -> Result<SimResult, SimulatorError> {
         if self.scenario.relaxation_exact(configs) {
             self.scenario.validate(configs)?;
-            let anchor = self
-                .anchor
-                .as_ref()
-                .map(|result| (self.anchor_configs.as_slice(), result));
-            let result = self.scenario.relax(
-                scratch,
-                configs,
-                self.input,
-                seed,
-                &self.transfer_ms,
-                anchor,
-            );
+            scratch.rows.clear();
+            let summary = match self.anchor.as_ref() {
+                Some(anchor_result) => {
+                    // Chained call with the same scratch: the columns
+                    // already hold the anchor's outcome.
+                    if self.anchor_cols != Some(scratch.chain_token()) {
+                        scratch.cols.load(anchor_result.executions());
+                    }
+                    self.scenario.relax_cols(
+                        scratch,
+                        configs.as_slice(),
+                        self.input,
+                        &self.transfer_ms,
+                        Some(self.anchor_configs.as_slice()),
+                    )
+                }
+                None => self.scenario.relax_cols(
+                    scratch,
+                    configs.as_slice(),
+                    self.input,
+                    &self.transfer_ms,
+                    None,
+                ),
+            };
+            let result = scratch.mint_staged(summary, self.input, seed);
             self.anchor_configs.clear();
             self.anchor_configs.extend_from_slice(configs.as_slice());
             self.anchor = Some(result.clone());
+            self.anchor_cols = Some(scratch.chain_token());
             return Ok(result);
         }
         // Exactness can't be proven for this candidate: take the event loop
@@ -1181,6 +1598,91 @@ impl<'a> BatchSim<'a> {
         self.clear_anchor();
         self.scenario
             .simulate_reference(scratch, configs, self.input, seed)
+    }
+
+    /// Simulates one scheduler chunk of candidates, chaining each exact
+    /// result as the next candidate's incremental anchor *in place* (the
+    /// outcome columns never leave `scratch`) and staging every outcome
+    /// row into one arena that is frozen with a single
+    /// `Arc<[NodeSimOutcome]>` allocation — the batch miss path performs
+    /// one result-slab heap allocation per chunk, not per simulation.
+    ///
+    /// Starts from a cleared anchor (chunk boundaries reset the chain so
+    /// the result and counter streams depend only on how the batch is
+    /// chunked, never on which worker runs a chunk) and leaves the anchor
+    /// cleared on return. Per-candidate errors come back in the returned
+    /// vector in job order, exactly as a per-candidate
+    /// [`BatchSim::simulate`] loop would produce them.
+    pub fn simulate_chunk(
+        &mut self,
+        scratch: &mut SimScratch,
+        jobs: &[(&ConfigMap, u64)],
+    ) -> Vec<Result<SimResult, SimulatorError>> {
+        self.clear_anchor();
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        scratch.rows.clear();
+        let mut staged: Vec<Result<(u32, u32, RelaxSummary, u64), SimulatorError>> =
+            Vec::with_capacity(jobs.len());
+        // Whether `scratch.cols` holds the previous candidate's outcome
+        // (then `self.anchor_configs` names its configuration).
+        let mut chained = false;
+        for &(configs, seed) in jobs {
+            if self.scenario.relaxation_exact(configs) {
+                if let Err(err) = self.scenario.validate(configs) {
+                    // Anchor untouched: the next candidate still chains off
+                    // the last successful one, as the per-call loop did.
+                    staged.push(Err(err));
+                    continue;
+                }
+                let offset = scratch.rows.len() as u32;
+                let summary = {
+                    let edit = chained.then_some(self.anchor_configs.as_slice());
+                    self.scenario.relax_cols(
+                        scratch,
+                        configs.as_slice(),
+                        self.input,
+                        &self.transfer_ms,
+                        edit,
+                    )
+                };
+                self.anchor_configs.clear();
+                self.anchor_configs.extend_from_slice(configs.as_slice());
+                chained = true;
+                staged.push(Ok((offset, self.scenario.n as u32, summary, seed)));
+            } else {
+                // Event-loop fallback: drop the chain (a successor could
+                // not reuse a potentially stall-contaminated timeline) but
+                // keep staging into the shared chunk arena.
+                chained = false;
+                self.anchor_configs.clear();
+                match self.scenario.run(scratch, configs, self.input, seed, None) {
+                    Err(err) => staged.push(Err(err)),
+                    Ok(()) => {
+                        let offset = scratch.rows.len() as u32;
+                        let summary = scratch.stage_records();
+                        staged.push(Ok((offset, self.scenario.n as u32, summary, seed)));
+                    }
+                }
+            }
+        }
+        let slab = scratch.freeze_rows();
+        staged
+            .into_iter()
+            .map(|entry| {
+                entry.map(|(offset, len, summary, seed)| SimResult {
+                    slab: Arc::clone(&slab),
+                    offset,
+                    len,
+                    makespan_ms: summary.makespan_ms,
+                    total_cost: summary.total_cost,
+                    any_oom: summary.any_oom,
+                    input: self.input,
+                    seed,
+                })
+            })
+            .collect()
     }
 }
 
@@ -1439,6 +1941,143 @@ mod tests {
             assert_eq!(chained, solo);
         }
         assert!(scratch.counters().incremental_sims > 0);
+    }
+
+    #[test]
+    fn chunked_stream_matches_per_call_simulation_with_one_slab_alloc() {
+        let scenario = compiled(0.0);
+        let candidates = [
+            ConfigMap::uniform(3, ResourceConfig::new(1.0, 512)),
+            ConfigMap::uniform(3, ResourceConfig::new(1.0, 128)),
+            // Sum 120 vCPU > 96: stall risk, falls back to the event loop.
+            ConfigMap::uniform(3, ResourceConfig::new(40.0, 4_096)),
+            ConfigMap::uniform(3, ResourceConfig::new(2.0, 1_024)),
+        ];
+        let jobs: Vec<(&ConfigMap, u64)> = candidates
+            .iter()
+            .enumerate()
+            .map(|(k, c)| (c, k as u64))
+            .collect();
+
+        let mut chunk_scratch = SimScratch::new();
+        let mut chunk_batch = BatchSim::new(&scenario, InputSpec::nominal());
+        let chunked = chunk_batch.simulate_chunk(&mut chunk_scratch, &jobs);
+
+        let mut solo_scratch = SimScratch::new();
+        let mut solo_batch = BatchSim::new(&scenario, InputSpec::nominal());
+        for (k, configs) in candidates.iter().enumerate() {
+            let solo = solo_batch
+                .simulate(&mut solo_scratch, configs, k as u64)
+                .unwrap();
+            assert_eq!(chunked[k].as_ref().unwrap(), &solo);
+        }
+
+        // One arena allocation carried the whole chunk out. The per-call
+        // loop mints one slab per result, but the scratch recycles a
+        // retired slab as soon as the anchor moves past it and the caller
+        // drops the result — so only the first two solo results (the ones
+        // pinned as anchor or return value when the next freeze runs)
+        // allocated fresh. Everything else — the per-path simulation split
+        // included — is identical.
+        let a = chunk_scratch.take_counters();
+        let b = solo_scratch.take_counters();
+        assert_eq!(a.result_slab_allocs, 1, "one slab per chunk");
+        assert_eq!(b.result_slab_allocs, 2, "solo slabs recycle once retired");
+        let row = std::mem::size_of::<NodeSimOutcome>() as u64;
+        assert_eq!(a.result_slab_bytes, a.sims * 3 * row);
+        assert_eq!(b.result_slab_bytes, 2 * 3 * row);
+        assert_eq!(a.sims, b.sims);
+        assert_eq!(a.relaxed_sims, b.relaxed_sims);
+        assert_eq!(a.incremental_sims, b.incremental_sims);
+        assert_eq!(a.nodes_reused, b.nodes_reused);
+        assert!(a.allocs_per_sim() < b.allocs_per_sim());
+        assert!(a.bytes_per_sim() > 0.0);
+    }
+
+    #[test]
+    fn retired_chunk_slabs_are_recycled_without_new_allocations() {
+        let scenario = compiled(0.0);
+        let candidates = [
+            ConfigMap::uniform(3, ResourceConfig::new(1.0, 512)),
+            ConfigMap::uniform(3, ResourceConfig::new(2.0, 1_024)),
+        ];
+        let jobs: Vec<(&ConfigMap, u64)> = candidates
+            .iter()
+            .enumerate()
+            .map(|(k, c)| (c, k as u64))
+            .collect();
+        let mut scratch = SimScratch::new();
+        let mut batch = BatchSim::new(&scenario, InputSpec::nominal());
+        let first = batch.simulate_chunk(&mut scratch, &jobs);
+        assert_eq!(scratch.counters().result_slab_allocs, 1);
+        // While the first chunk's results are alive its slab is pinned:
+        // re-running the chunk must allocate a second slab...
+        let second = batch.simulate_chunk(&mut scratch, &jobs);
+        assert_eq!(scratch.counters().result_slab_allocs, 2);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+        // ...but once both are dropped, every further chunk of the same
+        // shape recycles a retired slab and allocates nothing.
+        drop(first);
+        drop(second);
+        for pass in 0..4 {
+            let again = batch.simulate_chunk(&mut scratch, &jobs);
+            assert!(again.iter().all(|r| r.is_ok()), "pass {pass}");
+        }
+        assert_eq!(scratch.counters().result_slab_allocs, 2);
+    }
+
+    #[test]
+    fn chunk_errors_come_back_in_job_order() {
+        let scenario = compiled(0.0);
+        let good = ConfigMap::uniform(3, ResourceConfig::new(1.0, 512));
+        let bad = ConfigMap::uniform(3, ResourceConfig::new(500.0, 512));
+        let jobs: Vec<(&ConfigMap, u64)> = vec![(&good, 0), (&bad, 1), (&good, 2)];
+        let mut scratch = SimScratch::new();
+        let mut batch = BatchSim::new(&scenario, InputSpec::nominal());
+        let results = batch.simulate_chunk(&mut scratch, &jobs);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert_eq!(
+            results[1].as_ref().unwrap_err(),
+            &SimulatorError::Unplaceable {
+                node: NodeId::new(0)
+            }
+        );
+        // The candidate after the failure still simulates correctly (from
+        // a cleared anchor, exactly as the per-call loop would).
+        let solo = scenario
+            .simulate(&mut SimScratch::new(), &good, InputSpec::nominal(), 2)
+            .unwrap();
+        assert_eq!(results[2].as_ref().unwrap(), &solo);
+    }
+
+    #[test]
+    fn empty_chunk_allocates_nothing() {
+        let scenario = compiled(0.0);
+        let mut scratch = SimScratch::new();
+        let mut batch = BatchSim::new(&scenario, InputSpec::nominal());
+        assert!(batch.simulate_chunk(&mut scratch, &[]).is_empty());
+        assert_eq!(scratch.counters().result_slab_allocs, 0);
+    }
+
+    #[test]
+    fn bitmask_tracks_tail_bits_exactly() {
+        let mut mask = BitMask::default();
+        mask.reset(70);
+        assert!(!mask.any());
+        mask.set(0);
+        mask.set(63);
+        mask.set(69);
+        assert_eq!(mask.count_ones(), 3);
+        assert!(mask.get(63) && mask.get(69) && !mask.get(64));
+        mask.assign(63, false);
+        assert_eq!(mask.count_ones(), 2);
+        let mut copy = BitMask::default();
+        copy.copy_from(&mask);
+        assert_eq!(copy.count_ones(), 2);
+        assert!(copy.get(69));
     }
 
     #[test]

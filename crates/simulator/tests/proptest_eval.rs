@@ -6,7 +6,7 @@
 //! whole batch equals a naive per-candidate `simulate` loop that bypasses
 //! the batch scheduler entirely (the pre-round-two static path).
 
-use aarc_simulator::kernel::{CompiledScenario, SimScratch};
+use aarc_simulator::kernel::{BatchSim, CompiledScenario, SimScratch};
 use aarc_simulator::{
     derive_seed, ClusterSpec, ColdStartModel, ConfigMap, EvalOptions, EvalService, EvalStats,
     FunctionProfile, KernelCounters, ProfileSet, ResourceConfig, ResourceSpace, SimResult,
@@ -166,6 +166,62 @@ proptest! {
                 .simulate_reference(&mut scratch, configs, env.input(), seed)
                 .unwrap();
             prop_assert_eq!(&one.results[i], &solo);
+        }
+    }
+
+    /// The chunked SoA batch path is chunking-invariant: splitting one
+    /// candidate stream into chunks of any width produces the same results
+    /// bit-for-bit as a solo `simulate` per candidate — each chunk starts a
+    /// fresh anchor chain, every result is a view into its chunk's slab,
+    /// and the kernel performs exactly one result-slab allocation per
+    /// chunk. (Counters other than results may legitimately differ between
+    /// *chunkings* — the relaxed/incremental split depends on where chains
+    /// reset — which is why the batch scheduler derives its chunk width
+    /// from the batch length alone; thread-invariance of the full counter
+    /// struct is pinned by the test above.)
+    #[test]
+    fn chunkings_are_invisible_in_results(
+        raw in proptest::collection::vec(
+            proptest::collection::vec((0.1f64..10.0, 128u32..10_240), NODES..NODES + 1),
+            1..24,
+        ),
+        dup_from in proptest::collection::vec(0usize..64, 24usize..25),
+        chunk_pick in 0usize..3,
+    ) {
+        let env = diamond_env(0.0);
+        let candidates = candidates_from(raw, &dup_from);
+        let compiled = CompiledScenario::compile(
+            env.workflow(),
+            env.profiles(),
+            *env.cluster(),
+            *env.pricing(),
+        )
+        .unwrap();
+        let input = env.input();
+
+        let chunk = [1, 3, candidates.len()][chunk_pick].max(1);
+        let jobs: Vec<(&aarc_simulator::ConfigMap, u64)> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c, derive_seed(env.seed(), i as u64)))
+            .collect();
+
+        let mut scratch = SimScratch::new();
+        let mut batch = BatchSim::new(&compiled, input);
+        let mut chunked = Vec::with_capacity(jobs.len());
+        let mut chunks = 0u64;
+        for piece in jobs.chunks(chunk) {
+            chunked.extend(batch.simulate_chunk(&mut scratch, piece));
+            chunks += 1;
+        }
+        prop_assert_eq!(scratch.counters().result_slab_allocs, chunks);
+
+        let mut solo_scratch = SimScratch::new();
+        for (i, &(configs, seed)) in jobs.iter().enumerate() {
+            let solo = compiled
+                .simulate(&mut solo_scratch, configs, input, seed)
+                .unwrap();
+            prop_assert_eq!(chunked[i].as_ref().unwrap(), &solo);
         }
     }
 }
